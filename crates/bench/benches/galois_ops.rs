@@ -1,0 +1,28 @@
+//! Microbenchmarks for GF(2^16) field arithmetic (substrate of the IDA
+//! scheme, experiment E8).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use galois::{Gf16, Matrix};
+
+fn bench_field(c: &mut Criterion) {
+    let mut g = c.benchmark_group("galois");
+    let a = Gf16(0x1234);
+    let b = Gf16(0xBEEF);
+    g.bench_function("mul", |bch| bch.iter(|| black_box(a).mul(black_box(b))));
+    g.bench_function("inv", |bch| bch.iter(|| black_box(a).inv()));
+    g.bench_function("pow", |bch| bch.iter(|| black_box(a).pow(black_box(12345))));
+    g.finish();
+}
+
+fn bench_matrix(c: &mut Criterion) {
+    let mut g = c.benchmark_group("galois_matrix");
+    let m = Matrix::vandermonde(24, 16);
+    let v: Vec<Gf16> = (1..=16).map(Gf16).collect();
+    g.bench_function("vandermonde_24x16_mul_vec", |bch| bch.iter(|| m.mul_vec(black_box(&v))));
+    let sq = Matrix::vandermonde(16, 16);
+    g.bench_function("invert_16x16", |bch| bch.iter(|| sq.inverse().unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_field, bench_matrix);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Benchmarks for Rabin dispersal encode/decode and the Schuster store
+//! (experiment E8's cost model).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use galois::Gf16;
+use ida::{IdaCode, SchusterStore};
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ida_codec");
+    for (b, d) in [(8usize, 12usize), (16, 24), (32, 48)] {
+        let code = IdaCode::new(b, d);
+        let data: Vec<Gf16> = (0..b as u16).map(|x| Gf16(x.wrapping_mul(2027))).collect();
+        let shares = code.encode(&data);
+        let quorum: Vec<(usize, Gf16)> =
+            (0..b).map(|i| (d - 1 - i, shares[d - 1 - i])).collect();
+        g.bench_function(format!("encode_b{b}_d{d}"), |bch| {
+            bch.iter(|| code.encode(black_box(&data)))
+        });
+        g.bench_function(format!("decode_b{b}_d{d}"), |bch| {
+            bch.iter(|| code.decode(black_box(&quorum)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schuster_store");
+    let mut store = SchusterStore::new(1024, 64, 8, 12);
+    g.bench_function("write", |bch| {
+        let mut v = 0usize;
+        bch.iter(|| {
+            v = (v + 7) % 1024;
+            store.write(v, v as i64)
+        })
+    });
+    let mut store2 = SchusterStore::new(1024, 64, 8, 12);
+    g.bench_function("read", |bch| {
+        let mut v = 0usize;
+        bch.iter(|| {
+            v = (v + 13) % 1024;
+            store2.read(v)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_store);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Benchmarks for 2DMOT routing throughput and the native tree primitives
+//! (experiments E5, E12).
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use mot::{primitives, MotNetwork, MotRequest, MotTopology};
+
+fn bench_routing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mot_routing");
+    g.sample_size(20);
+    for side in [16usize, 64] {
+        let mut net: MotNetwork<usize> = MotNetwork::new(side);
+        let make_reqs = |k: usize| -> Vec<MotRequest<usize>> {
+            (0..k)
+                .map(|i| MotRequest {
+                    to_root: false,
+                    src_root: (i * 3) % side,
+                    row: (i * 5) % side,
+                    col: (i * 7) % side,
+                    payload: i,
+                })
+                .collect()
+        };
+        g.bench_function(format!("batch16_side{side}"), |bch| {
+            bch.iter_batched(
+                || make_reqs(16),
+                |reqs| net.route_batch(black_box(reqs), 4, |_, _, _| {}),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mot_primitives");
+    g.sample_size(20);
+    for side in [64usize, 256] {
+        let mot = MotTopology::new(side);
+        let a: Vec<i64> = (0..side * side).map(|i| (i % 17) as i64 - 8).collect();
+        let x: Vec<i64> = (0..side).map(|j| j as i64).collect();
+        g.bench_function(format!("matvec_side{side}"), |bch| {
+            bch.iter(|| primitives::matvec(&mot, black_box(&a), black_box(&x)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mot_build");
+    g.sample_size(10);
+    for side in [64usize, 128] {
+        g.bench_function(format!("topology_side{side}"), |bch| {
+            bch.iter(|| MotTopology::new(black_box(side)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_routing, bench_primitives, bench_build);
+criterion_main!(benches);

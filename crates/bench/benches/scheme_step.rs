@@ -1,0 +1,73 @@
+//! Whole-scheme benchmarks: one uniform P-RAM step per iteration
+//! (experiments E4, E5, E8, E11 — the per-table regeneration is in the
+//! `repro` binary; these measure the simulator's own speed).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use cr_core::{HashedDmmpc, Hp2dmotLeaves, HpDmmpc, IdaShared, UwMpc};
+use pram_machine::SharedMemory;
+use simrng::rng_from_seed;
+
+fn step_inputs(n: usize, m: usize, seed: u64) -> (Vec<usize>, Vec<(usize, i64)>) {
+    let mut rng = rng_from_seed(seed);
+    let p = workloads::uniform(n, m, 0.3, &mut rng);
+    (p.reads, p.writes)
+}
+
+fn bench_schemes(c: &mut Criterion) {
+    let n = 64;
+    let m = n * n;
+    let mut g = c.benchmark_group("scheme_step");
+    g.sample_size(20);
+
+    let mut hp = HpDmmpc::for_pram(n, m);
+    g.bench_function("hp_dmmpc_n64", |bch| {
+        bch.iter_batched(
+            || step_inputs(n, m, 11),
+            |(r, w)| hp.access(&r, &w),
+            BatchSize::SmallInput,
+        )
+    });
+
+    let mut uw = UwMpc::for_pram(n, m);
+    g.bench_function("uw_mpc_n64", |bch| {
+        bch.iter_batched(
+            || step_inputs(n, m, 12),
+            |(r, w)| uw.access(&r, &w),
+            BatchSize::SmallInput,
+        )
+    });
+
+    let n_mot = 16;
+    let m_mot = n_mot * n_mot;
+    let mut hpm = Hp2dmotLeaves::for_pram(n_mot, m_mot);
+    g.bench_function("hp_2dmot_n16", |bch| {
+        bch.iter_batched(
+            || step_inputs(n_mot, m_mot, 13),
+            |(r, w)| hpm.access(&r, &w),
+            BatchSize::SmallInput,
+        )
+    });
+
+    let mut hashed = HashedDmmpc::new(n, m, 512, 14);
+    g.bench_function("hashed_dmmpc_n64", |bch| {
+        bch.iter_batched(
+            || step_inputs(n, m, 14),
+            |(r, w)| hashed.access(&r, &w),
+            BatchSize::SmallInput,
+        )
+    });
+
+    let mut ida_mem = IdaShared::for_pram(n, m);
+    g.bench_function("ida_n64", |bch| {
+        bch.iter_batched(
+            || step_inputs(n, m, 15),
+            |(r, w)| ida_mem.access(&r, &w),
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

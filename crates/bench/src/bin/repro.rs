@@ -1,0 +1,65 @@
+//! `repro` — regenerate every experiment table (DESIGN.md §4,
+//! EXPERIMENTS.md).
+//!
+//! ```text
+//! repro all            # every experiment, in order
+//! repro dmmpc mot      # selected experiments
+//! repro --seed 7 all   # override the seed
+//! repro --list         # list experiment ids
+//! ```
+
+use pram_bench::registry;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = simrng::DEFAULT_SEED;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--seed needs a u64");
+                        std::process::exit(2);
+                    });
+            }
+            "--list" => {
+                for (id, desc, _) in registry() {
+                    println!("{id:<12} {desc}");
+                }
+                return;
+            }
+            other => wanted.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if wanted.is_empty() {
+        eprintln!("usage: repro [--seed S] [--list] <experiment|all>...");
+        eprintln!("experiments:");
+        for (id, desc, _) in registry() {
+            eprintln!("  {id:<12} {desc}");
+        }
+        std::process::exit(2);
+    }
+
+    let reg = registry();
+    let run_all = wanted.iter().any(|w| w == "all");
+    let mut matched = false;
+    for (id, desc, runner) in &reg {
+        if run_all || wanted.iter().any(|w| w == id) {
+            matched = true;
+            println!("================================================================");
+            println!("{desc}   [seed {seed}]");
+            println!("================================================================");
+            println!("{}", runner(seed));
+        }
+    }
+    if !matched {
+        eprintln!("no experiment matched {wanted:?}; try --list");
+        std::process::exit(2);
+    }
+}

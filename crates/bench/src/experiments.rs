@@ -1,0 +1,661 @@
+//! The experiment implementations. See DESIGN.md §4 for the index.
+
+use metrics::{fit_polylog, fnum, Summary, Table};
+use simrng::{rng_from_seed, Rng};
+
+/// Shared helper: run `steps` uniform access steps against a scheme and
+/// collect per-step phase/cycle samples.
+pub fn drive_uniform<M: pram_machine::SharedMemory>(
+    mem: &mut M,
+    n: usize,
+    m: usize,
+    steps: usize,
+    seed: u64,
+) -> (Vec<u64>, Vec<u64>) {
+    let mut rng = rng_from_seed(seed);
+    let mut phases = Vec::with_capacity(steps);
+    let mut cycles = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let p = workloads::uniform(n, m, 0.3, &mut rng);
+        let res = mem.access(&p.reads, &p.writes);
+        phases.push(res.cost.phases);
+        cycles.push(res.cost.cycles);
+    }
+    (phases, cycles)
+}
+
+/// E1 — machine model constructors and invariants (Figs. 1, 2, 3, 5, 6).
+pub mod model_zoo {
+    use super::*;
+    use models::{BdnModel, DmbdnModel, DmmpcModel, MachineModel, MpcModel, PramModel};
+
+    /// Render the model table.
+    pub fn run(_seed: u64) -> String {
+        let n = 64;
+        let m = 4096;
+        let mods: Vec<Box<dyn MachineModel>> = vec![
+            Box::new(PramModel { n, m }),
+            Box::new(MpcModel { n, m }),
+            Box::new(BdnModel { n, m, degree: 4 }),
+            Box::new(DmmpcModel { n, m, modules: 512 }),
+            Box::new(DmbdnModel { n, m, modules: 512, switches: 2 * 512, degree: 8 }),
+        ];
+        let mut t = Table::new(vec![
+            "model", "fig", "procs", "cells", "modules", "granule", "max degree",
+            "bounded?", "switches", "valid",
+        ]);
+        let figs = ["1", "2", "3", "5", "6"];
+        for (model, fig) in mods.iter().zip(figs) {
+            t.row(vec![
+                model.name().to_string(),
+                fig.to_string(),
+                model.processors().to_string(),
+                model.memory_cells().to_string(),
+                model.modules().to_string(),
+                model.granularity().to_string(),
+                model.max_degree().to_string(),
+                model.bounded_degree().to_string(),
+                model.switch_nodes().to_string(),
+                model.validate().is_ok().to_string(),
+            ]);
+        }
+        format!("E1: machine models at n={n}, m={m} (paper Figs. 1,2,3,5,6)\n{}", t.render())
+    }
+}
+
+/// E2 — expansion of random memory maps (Lemma 1 vs Lemma 2 regimes).
+pub mod expansion {
+    use super::*;
+    use memdist::{check_sampled, min_live_spread_exhaustive, MemoryMap};
+
+    /// Render the expansion tables.
+    pub fn run(seed: u64) -> String {
+        let mut out = String::new();
+
+        // Ground truth on a tiny instance: exhaustive adversary.
+        let tiny = MemoryMap::random(32, 16, 3, seed);
+        let vars: Vec<usize> = vec![1, 9, 17];
+        let exact = min_live_spread_exhaustive(&tiny, &vars, 2);
+        out.push_str(&format!(
+            "E2a: exhaustive ground truth (m=32, M=16, r=3, c=2, q=3): \
+             min live spread = {exact}, Lemma bound (b=4) = {:.2}, holds = {}\n\n",
+            3.0 * 3.0 / 4.0,
+            exact as f64 >= 3.0 * 3.0 / 4.0
+        ));
+
+        // Sampled greedy adversary across granularities.
+        let n = 64;
+        let m = 4096;
+        let mut t = Table::new(vec![
+            "regime", "M", "c", "r", "q", "required", "worst spread", "ratio", "holds",
+        ]);
+        let mut rng = rng_from_seed(seed);
+        for (regime, modules, c) in [
+            ("coarse (MPC, Lemma 1)", n, 5usize),
+            ("fine (DMMPC, Lemma 2)", 512, 4),
+            ("finer (M=m)", 4096, 3),
+        ] {
+            let r = 2 * c - 1;
+            let q = (n / r).max(1);
+            let map = MemoryMap::random(m, modules, r, seed);
+            let rep = check_sampled(&map, c, 4, q, 40, &mut rng);
+            t.row(vec![
+                regime.to_string(),
+                modules.to_string(),
+                c.to_string(),
+                r.to_string(),
+                q.to_string(),
+                fnum(rep.required),
+                rep.worst_spread.to_string(),
+                fnum(rep.worst_ratio),
+                rep.satisfied.to_string(),
+            ]);
+        }
+        // Constructive (affine) map — the paper's open problem: does a
+        // computable map expand like a random one? E2 measures it.
+        let affine = MemoryMap::affine(m, 512, 7, seed);
+        let rep = check_sampled(&affine, 4, 4, 9, 40, &mut rng);
+        t.row(vec![
+            "affine constructive".to_string(),
+            "512".to_string(),
+            "4".to_string(),
+            "7".to_string(),
+            "9".to_string(),
+            fnum(rep.required),
+            rep.worst_spread.to_string(),
+            fnum(rep.worst_ratio),
+            rep.satisfied.to_string(),
+        ]);
+        // Adversarial control: a congested map must fail.
+        let bad = MemoryMap::congested(m, 512, 7);
+        let rep = check_sampled(&bad, 4, 4, 9, 10, &mut rng);
+        t.row(vec![
+            "congested control".to_string(),
+            "512".to_string(),
+            "4".to_string(),
+            "7".to_string(),
+            "9".to_string(),
+            fnum(rep.required),
+            rep.worst_spread.to_string(),
+            fnum(rep.worst_ratio),
+            rep.satisfied.to_string(),
+        ]);
+        out.push_str(&format!(
+            "E2b: greedy-adversary expansion on random maps (n={n}, m={m}, b=4, 40 samples)\n{}",
+            t.render()
+        ));
+        out
+    }
+}
+
+/// E3 — Theorem 1's lower bound: the granularity/redundancy cliff.
+pub mod lowerbound {
+    use super::*;
+    use cr_core::concentration_adversary;
+    use memdist::MemoryMap;
+
+    /// Render the forced-time sweep.
+    pub fn run(seed: u64) -> String {
+        let n = 64;
+        let m = 4096; // k = 2
+        let mut t = Table::new(vec![
+            "M", "eps", "r", "modules confining n vars", "forced time n/|S|", "predicted",
+        ]);
+        for (modules, eps) in [(64usize, "0"), (512, "0.5"), (4096, "1.0")] {
+            for r in [1usize, 2, 3, 5, 7, 9] {
+                let map = MemoryMap::random(m, modules, r, seed + r as u64);
+                let rep = concentration_adversary(&map, n);
+                t.row(vec![
+                    modules.to_string(),
+                    eps.to_string(),
+                    r.to_string(),
+                    rep.module_set.to_string(),
+                    fnum(rep.forced_time),
+                    fnum(rep.predicted_time),
+                ]);
+            }
+        }
+        format!(
+            "E3: concentration adversary (Theorem 1), n={n}, m={m} (k=2).\n\
+             Forced time ~ (n/M)*(m/n)^(1/r): polynomial on the MPC (eps=0)\n\
+             unless r grows; O(1) at fine granularity with constant r.\n{}",
+            t.render()
+        )
+    }
+}
+
+/// E4 — Theorem 2: DMMPC phases per step vs n, against the UW-MPC baseline.
+pub mod dmmpc {
+    use super::*;
+    use cr_core::{HpDmmpc, SchemeConfig, UwMpc};
+    use ::models::PaperParams;
+
+    /// Render the scaling table and fits.
+    pub fn run(seed: u64) -> String {
+        let ns = [16usize, 32, 64, 128, 256, 512];
+        let steps = 5;
+        let mut t = Table::new(vec![
+            "n", "m=n^2", "HP r", "HP M", "HP phases/step", "UW r", "UW phases/step",
+        ]);
+        let mut xs = Vec::new();
+        let mut hp_ys = Vec::new();
+        for &n in &ns {
+            let m = n * n;
+            // Fixed constant c=4 (r=7) for the time curves so machines are
+            // compared at equal redundancy; E9 reports the rigorous
+            // formula constants.
+            let modules = ::models::params::pow2_at_least(
+                ::models::params::ipow_ceil(n, 1.5),
+            );
+            let hp_cfg = SchemeConfig::from_params(
+                PaperParams::explicit(n, m, modules, 4, 4),
+                seed,
+            );
+            let mut hp = HpDmmpc::new(&hp_cfg);
+            let (hp_phases, _) = drive_uniform(&mut hp, n, m, steps, seed ^ 1);
+
+            let mut uw = UwMpc::for_pram(n, m);
+            let uw_r = uw.redundancy();
+            let (uw_phases, _) = drive_uniform(&mut uw, n, m, steps, seed ^ 1);
+
+            let hp_mean = Summary::of_u64(&hp_phases).mean;
+            let uw_mean = Summary::of_u64(&uw_phases).mean;
+            xs.push(n as f64);
+            hp_ys.push(hp_mean);
+            t.row(vec![
+                n.to_string(),
+                m.to_string(),
+                hp.redundancy().to_string(),
+                modules.to_string(),
+                fnum(hp_mean),
+                uw_r.to_string(),
+                fnum(uw_mean),
+            ]);
+        }
+        let fit = fit_polylog(&xs, &hp_ys);
+        format!(
+            "E4: Theorem 2 - phases per P-RAM step on the DMMPC (uniform steps, {steps}/n).\n{}\
+             \nHP phases fit a*(log2 n)^p: a={}, p={}, R2={} \
+             (paper: O(log n), i.e. p ~ 1; constant redundancy)\n",
+            t.render(),
+            fnum(fit.a),
+            fnum(fit.p),
+            fnum(fit.r2)
+        )
+    }
+}
+
+/// E5 — Theorem 3: measured 2DMOT cycles per step vs n, HP (leaves) vs LPP
+/// (roots).
+pub mod motsim {
+    use super::*;
+    use cr_core::{Hp2dmotLeaves, Lpp2dmot, SchemeConfig};
+    use ::models::PaperParams;
+
+    /// Render the cycle-scaling table.
+    pub fn run(seed: u64) -> String {
+        let ns = [8usize, 16, 32, 64];
+        let steps = 3;
+        let mut t = Table::new(vec![
+            "n", "m", "HP side", "HP r", "HP cycles/step", "LPP side", "LPP r",
+            "LPP cycles/step",
+        ]);
+        let mut xs = Vec::new();
+        let mut hp_ys = Vec::new();
+        for &n in &ns {
+            let m = n * n;
+            // Honest Theorem 3 sizing: columns = n^1.25 (so the effective
+            // module count exceeds n polynomially), constant c = 4.
+            let cols = ::models::params::pow2_at_least(
+                ::models::params::ipow_ceil(n, 1.25),
+            );
+            let cfg = SchemeConfig::from_params(
+                PaperParams::explicit(n, m, cols, 4, 4),
+                seed,
+            );
+            let mut hp = Hp2dmotLeaves::new(&cfg);
+            let (_, hp_cycles) = drive_uniform(&mut hp, n, m, steps, seed ^ 2);
+            let hp_mean = Summary::of_u64(&hp_cycles).mean;
+
+            let mut lpp = Lpp2dmot::for_pram(n, m);
+            let lpp_r = lpp.redundancy();
+            let lpp_side = lpp.side();
+            let (_, lpp_cycles) = drive_uniform(&mut lpp, n, m, steps, seed ^ 2);
+            let lpp_mean = Summary::of_u64(&lpp_cycles).mean;
+
+            xs.push(n as f64);
+            hp_ys.push(hp_mean);
+            t.row(vec![
+                n.to_string(),
+                m.to_string(),
+                hp.side().to_string(),
+                hp.redundancy().to_string(),
+                fnum(hp_mean),
+                lpp_side.to_string(),
+                lpp_r.to_string(),
+                fnum(lpp_mean),
+            ]);
+        }
+        let fit = fit_polylog(&xs, &hp_ys);
+        format!(
+            "E5: Theorem 3 - measured network cycles per P-RAM step on the 2DMOT\n\
+             (memory at leaves = HP, memory at roots = LPP; uniform steps).\n{}\
+             \nHP cycles fit a*(log2 n)^p: a={}, p={}, R2={} \
+             (paper: O(log^2 n / log log n), i.e. p between 1 and 2)\n\
+             Same time shape for both; HP's redundancy stays constant while\n\
+             LPP's grows with log m - that contrast is the paper's point (see E9).\n",
+            t.render(),
+            fnum(fit.a),
+            fnum(fit.p),
+            fnum(fit.r2)
+        )
+    }
+}
+
+/// E6 — Fig. 7 crossbar vs Fig. 8 memory-at-leaves hardware budgets.
+pub mod crossbar {
+    use super::*;
+    use mot::area::{crossbar_scheme_switches, leaves_scheme_switches};
+
+    /// Render the switch-count comparison.
+    pub fn run(_seed: u64) -> String {
+        let mut t = Table::new(vec![
+            "n", "M", "crossbar switches O(nM)", "leaves switches O(M)", "ratio",
+        ]);
+        for n in [16usize, 64, 256, 1024] {
+            let modules = n * n; // M = n^2
+            let side = (modules as f64).sqrt() as usize;
+            let xb = crossbar_scheme_switches(n, modules);
+            let lv = leaves_scheme_switches(side);
+            t.row(vec![
+                n.to_string(),
+                modules.to_string(),
+                xb.to_string(),
+                lv.to_string(),
+                fnum(xb as f64 / lv.max(1) as f64),
+            ]);
+        }
+        format!(
+            "E6: hardware budget, Fig. 7 (n x M crossbar 2DMOT) vs Fig. 8\n\
+             (sqrt(M) x sqrt(M) 2DMOT, memory at leaves). Both reach constant\n\
+             redundancy; the leaves scheme needs only O(M) switches.\n{}",
+            t.render()
+        )
+    }
+}
+
+/// E7 — the VLSI area model (paper §3).
+pub mod area {
+    use super::*;
+    use mot::area::leaves_scheme_area;
+
+    /// Render the area table.
+    pub fn run(_seed: u64) -> String {
+        let mut t = Table::new(vec![
+            "n", "m", "side", "granule g", "simulator area", "P-RAM area", "ratio",
+            "g >= log^2 side (optimal)",
+        ]);
+        let r = 7;
+        for (n, k) in [(64usize, 2.0f64), (64, 2.5), (64, 3.0), (64, 3.5), (256, 2.0), (256, 2.5), (256, 3.0)] {
+            let m = (n as f64).powf(k) as usize;
+            let side = ::models::params::pow2_at_least(
+                ::models::params::ipow_ceil(n, 1.25),
+            );
+            let rep = leaves_scheme_area(m, r, side);
+            t.row(vec![
+                n.to_string(),
+                m.to_string(),
+                side.to_string(),
+                rep.granule.to_string(),
+                rep.simulator_area.to_string(),
+                rep.pram_area.to_string(),
+                rep.overhead_ratio.to_string(),
+                rep.area_optimal.to_string(),
+            ]);
+        }
+        format!(
+            "E7: VLSI area (Leighton bound, unit constants). The simulator's\n\
+             memory area stays within a constant of the P-RAM's own memory\n\
+             exactly when the granule g = Omega(log^2 side) - paper section 3.\n{}",
+            t.render()
+        )
+    }
+}
+
+/// E8 — the Schuster/Rabin IDA alternative.
+pub mod ida_exp {
+    use super::*;
+    use cr_core::IdaShared;
+
+    /// Render the IDA comparison.
+    pub fn run(seed: u64) -> String {
+        let mut t = Table::new(vec![
+            "n", "b", "d", "blowup d/b", "quorum (d+b)/2", "shares/step (measured)",
+            "phases/step",
+        ]);
+        for n in [16usize, 64, 256, 1024, 4096] {
+            let m = 4 * n;
+            let (b, d) = ida::params_for_n(n);
+            let mut s = IdaShared::for_pram(n, m);
+            let (phases, _) = drive_uniform(&mut s, n.min(16), m, 5, seed ^ 3);
+            let (_, shares, steps) = s.totals();
+            t.row(vec![
+                n.to_string(),
+                b.to_string(),
+                d.to_string(),
+                fnum(d as f64 / b as f64),
+                ((d + b) / 2).to_string(),
+                fnum(shares as f64 / steps.max(1) as f64),
+                fnum(Summary::of_u64(&phases).mean),
+            ]);
+        }
+        format!(
+            "E8: Schuster's IDA scheme (Rabin dispersal). Storage blowup is a\n\
+             constant (1.5x) at every scale, but each access touches\n\
+             Theta(log n) shares - the trade-off the paper describes in sec. 1.\n{}",
+            t.render()
+        )
+    }
+}
+
+/// E9 — the headline: redundancy vs n across all schemes.
+pub mod redundancy {
+    use super::*;
+    use ::models::PaperParams;
+
+    /// Render the redundancy comparison.
+    pub fn run(_seed: u64) -> String {
+        let mut t = Table::new(vec![
+            "n", "m=n^2", "UW/MPC r=2c-1 (Lemma 1)", "Herley-Bilardi (analytic)",
+            "LPP 2DMOT (Lemma 1)", "HP DMMPC (Lemma 2)", "HP 2DMOT (Lemma 2)",
+            "IDA blowup",
+        ]);
+        let c_hp = PaperParams::c_lemma2(2.0, 0.5, 4);
+        for e in [4u32, 6, 8, 10, 12, 16, 20] {
+            let n = 1usize << e;
+            let m = n.saturating_mul(n);
+            let c_uw = PaperParams::c_lemma1(m, 8);
+            t.row(vec![
+                format!("2^{e}"),
+                format!("2^{}", 2 * e),
+                (2 * c_uw - 1).to_string(),
+                PaperParams::r_herley_bilardi(m).to_string(),
+                (2 * c_uw - 1).to_string(),
+                (2 * c_hp - 1).to_string(),
+                (2 * c_hp - 1).to_string(),
+                "1.5".to_string(),
+            ]);
+        }
+        format!(
+            "E9: redundancy required for polylog deterministic simulation\n\
+             (k=2, eps=0.5, b=4; Lemma constants as derived in the papers).\n\
+             The paper's claim: granularity turns Theta(log m / log log m)\n\
+             into Theta(1).\n{}",
+            t.render()
+        )
+    }
+}
+
+/// E10 — the two-stage protocol's internal structure.
+pub mod stages {
+    use super::*;
+    use cr_core::{HpDmmpc, SchemeConfig};
+    use ::models::PaperParams;
+    use pram_machine::SharedMemory;
+
+    /// Render stage statistics.
+    pub fn run(seed: u64) -> String {
+        let n = 256;
+        let m = n * n;
+        let modules = ::models::params::pow2_at_least(::models::params::ipow_ceil(n, 1.5));
+        let cfg = SchemeConfig::from_params(PaperParams::explicit(n, m, modules, 4, 4), seed);
+        let mut hp = HpDmmpc::new(&cfg);
+        let r = hp.redundancy();
+        let bound = n / r;
+        let mut rng = rng_from_seed(seed ^ 4);
+        let mut t = Table::new(vec![
+            "step", "requests", "stage1 phases", "stage1 leftover", "bound n/(2c-1)",
+            "stage2 phases", "killed attempts",
+        ]);
+        let mut ok = true;
+        for step in 0..10 {
+            let p = workloads::uniform(n, m, 0.3, &mut rng);
+            hp.access(&p.reads, &p.writes);
+            let rep = hp.last_step();
+            ok &= rep.protocol.stage1_leftover <= bound;
+            t.row(vec![
+                step.to_string(),
+                rep.requests.to_string(),
+                rep.protocol.stage1_phases.to_string(),
+                rep.protocol.stage1_leftover.to_string(),
+                bound.to_string(),
+                rep.protocol.stage2_phases.to_string(),
+                rep.protocol.killed_attempts.to_string(),
+            ]);
+        }
+        // Second machine: a deliberately tight stage-1 budget (2 phases)
+        // forces leftovers into stage 2 so its machinery is visible.
+        let tight = cfg;
+        let mut tight_cfg = tight;
+        tight_cfg.stage1_phases = 2;
+        let mut hp2 = HpDmmpc::new(&tight_cfg);
+        let mut t2 = Table::new(vec![
+            "step", "stage1 leftover", "bound", "stage2 phases", "total phases",
+        ]);
+        for step in 0..6 {
+            let p = workloads::uniform(n, m, 0.3, &mut rng);
+            hp2.access(&p.reads, &p.writes);
+            let rep = hp2.last_step();
+            t2.row(vec![
+                step.to_string(),
+                rep.protocol.stage1_leftover.to_string(),
+                bound.to_string(),
+                rep.protocol.stage2_phases.to_string(),
+                rep.phases.to_string(),
+            ]);
+        }
+        format!(
+            "E10: two-stage protocol structure at n={n}, m={m}, r={r}.\n\
+             The papers' claim: stage 1 leaves at most n/(2c-1) = {bound} live\n\
+             requests. Holds on every step: {ok}.\n{}\n\
+             Squeezing stage 1 to 2 phases (below its O(r log log n) budget,\n\
+             so the bound no longer applies) exhibits stage 2 draining the\n\
+             spill in a handful of phases:\n{}",
+            t.render(),
+            t2.render()
+        )
+    }
+}
+
+/// E11 — the probabilistic baseline: hashing congestion vs granularity.
+pub mod hashing {
+    use super::*;
+    use cr_core::HashedDmmpc;
+    use pram_machine::SharedMemory;
+
+    /// Render the congestion table.
+    pub fn run(seed: u64) -> String {
+        let steps = 200;
+        let mut t = Table::new(vec![
+            "n", "M", "mean congestion", "max congestion", "adversarial congestion",
+        ]);
+        for n in [64usize, 256, 1024] {
+            let m = n * n;
+            for modules in [n, ::models::params::ipow_ceil(n, 1.5)] {
+                let mut h = HashedDmmpc::new(n, m, modules, seed);
+                let mut rng = rng_from_seed(seed ^ 5);
+                let mut cong = Vec::new();
+                for _ in 0..steps {
+                    let p = workloads::uniform(n, m, 0.0, &mut rng);
+                    h.access(&p.reads, &p.writes);
+                    cong.push(h.last_congestion());
+                }
+                // Adversary who knows the hash aims everything at module 0's
+                // bucket.
+                let target = h.module_of(0);
+                let evil: Vec<usize> =
+                    (0..m).filter(|&v| h.module_of(v) == target).take(n).collect();
+                let adv = h.access(&evil, &[]).cost.phases;
+                let s = Summary::of_u64(&cong);
+                t.row(vec![
+                    n.to_string(),
+                    modules.to_string(),
+                    fnum(s.mean),
+                    fnum(s.max),
+                    adv.to_string(),
+                ]);
+            }
+        }
+        format!(
+            "E11: hashed (probabilistic) distribution, {steps} random steps.\n\
+             Fine granularity shrinks expected congestion (Mehlhorn-Vishkin),\n\
+             but an adversary who knows the hash still serializes a step -\n\
+             the reason deterministic worst-case schemes exist.\n{}",
+            t.render()
+        )
+    }
+}
+
+/// E12 — the 2DMOT as a compute fabric: native matrix–vector product.
+pub mod matvec {
+    use super::*;
+    use mot::primitives;
+    use mot::MotTopology;
+
+    /// Render the matvec table.
+    pub fn run(seed: u64) -> String {
+        let mut t = Table::new(vec!["side", "cycles", "2*log2(side)+1", "correct"]);
+        let mut rng = rng_from_seed(seed ^ 6);
+        for side in [4usize, 16, 64, 256] {
+            let motn = MotTopology::new(side);
+            let a: Vec<i64> = (0..side * side).map(|_| (rng.below(19) as i64) - 9).collect();
+            let x: Vec<i64> = (0..side).map(|_| (rng.below(19) as i64) - 9).collect();
+            let (y, cycles) = primitives::matvec(&motn, &a, &x);
+            let correct = (0..side).all(|i| {
+                y[i] == (0..side).map(|j| a[i * side + j] * x[j]).sum::<i64>()
+            });
+            t.row(vec![
+                side.to_string(),
+                cycles.to_string(),
+                (2 * side.ilog2() + 1).to_string(),
+                correct.to_string(),
+            ]);
+        }
+        format!(
+            "E12: the 2DMOT's original purpose (Nath et al. 1983): y = A*x in\n\
+             O(log side) cycles on the tree fabric.\n{}",
+            t.render()
+        )
+    }
+}
+
+/// End-to-end: classic P-RAM programs through every scheme, asserting
+/// result equality with the ideal machine.
+pub mod programs_e2e {
+    use super::*;
+    use cr_core::{Hp2dmotLeaves, HpDmmpc, IdaShared, UwMpc};
+    use pram_machine::{programs, IdealMemory, Mode, Pram, SharedMemory};
+
+    fn run_sum<M: SharedMemory>(mem: &mut M, n: usize) -> (i64, u64, u64) {
+        for i in 0..n {
+            mem.poke(i, (i + 1) as i64);
+        }
+        let rep = Pram::new(n, Mode::Erew).run(&programs::parallel_sum(n), mem).unwrap();
+        (mem.peek(0), rep.cost.phases, rep.cost.cycles)
+    }
+
+    /// Render the end-to-end table.
+    pub fn run(_seed: u64) -> String {
+        let n = 16;
+        let m = programs::parallel_sum_layout(n);
+        let expect = ((n * (n + 1)) / 2) as i64;
+        let mut t = Table::new(vec!["scheme", "result", "correct", "phases", "cycles"]);
+
+        let mut ideal = IdealMemory::new(m);
+        let (v, p, c) = run_sum(&mut ideal, n);
+        t.row(vec!["ideal P-RAM".into(), v.to_string(), (v == expect).to_string(), p.to_string(), c.to_string()]);
+
+        let mut hp = HpDmmpc::for_pram(n, m);
+        let (v, p, c) = run_sum(&mut hp, n);
+        t.row(vec!["HP DMMPC (Thm 2)".into(), v.to_string(), (v == expect).to_string(), p.to_string(), c.to_string()]);
+
+        let mut uw = UwMpc::for_pram(n, m);
+        let (v, p, c) = run_sum(&mut uw, n);
+        t.row(vec!["UW MPC".into(), v.to_string(), (v == expect).to_string(), p.to_string(), c.to_string()]);
+
+        let mut hpm = Hp2dmotLeaves::for_pram(n, m);
+        let (v, p, c) = run_sum(&mut hpm, n);
+        t.row(vec!["HP 2DMOT (Thm 3)".into(), v.to_string(), (v == expect).to_string(), p.to_string(), c.to_string()]);
+
+        let mut ida_mem = IdaShared::for_pram(n, m);
+        let (v, p, c) = run_sum(&mut ida_mem, n);
+        t.row(vec!["IDA (Schuster)".into(), v.to_string(), (v == expect).to_string(), p.to_string(), c.to_string()]);
+
+        format!(
+            "End-to-end: EREW tree-sum (n={n}) executed through each scheme.\n\
+             All must produce the ideal machine's result; cost columns show\n\
+             what the simulation pays for realism.\n{}",
+            t.render()
+        )
+    }
+}

@@ -1,0 +1,32 @@
+//! `pram-bench` — the reproduction harness.
+//!
+//! One module per experiment (E1–E12, per DESIGN.md §4); each returns its
+//! rendered tables as a `String` so the `repro` binary, the integration
+//! tests, and EXPERIMENTS.md all see identical output.
+//!
+//! The Criterion benches (in `benches/`) cover the micro level: field
+//! arithmetic, IDA codec, mesh routing, map operations, and whole scheme
+//! steps.
+
+pub mod experiments;
+
+pub use experiments::*;
+
+/// Experiment registry: `(id, description, runner)`.
+pub fn registry() -> Vec<(&'static str, &'static str, fn(u64) -> String)> {
+    vec![
+        ("models", "E1: machine models (Figs. 1,2,3,5,6)", experiments::model_zoo::run),
+        ("expansion", "E2: memory-map expansion (Lemmas 1-2)", experiments::expansion::run),
+        ("lowerbound", "E3: Theorem 1 granularity/redundancy lower bound", experiments::lowerbound::run),
+        ("dmmpc", "E4: Theorem 2 - DMMPC phases vs n", experiments::dmmpc::run),
+        ("mot", "E5: Theorem 3 - 2DMOT cycles vs n (vs LPP baseline)", experiments::motsim::run),
+        ("crossbar", "E6: Fig. 7 crossbar vs Fig. 8 leaves hardware", experiments::crossbar::run),
+        ("area", "E7: VLSI area model", experiments::area::run),
+        ("ida", "E8: Schuster/Rabin IDA alternative", experiments::ida_exp::run),
+        ("redundancy", "E9: redundancy-vs-n comparison (headline)", experiments::redundancy::run),
+        ("stages", "E10: two-stage protocol structure", experiments::stages::run),
+        ("hashing", "E11: probabilistic hashing baseline", experiments::hashing::run),
+        ("matvec", "E12: native 2DMOT matrix-vector product", experiments::matvec::run),
+        ("programs", "End-to-end: P-RAM programs through every scheme", experiments::programs_e2e::run),
+    ]
+}

@@ -1,0 +1,163 @@
+//! The counting argument of **Theorem 1**, as an executable adversary.
+//!
+//! Theorem 1's proof observes: if `n` variables have *all* their updated
+//! copies inside a set `S` of modules, then a P-RAM step writing those
+//! variables takes time `≥ n/|S|` (each module answers O(1) requests per
+//! time unit). The redundancy lower bound follows by counting how small an
+//! `S` must exist.
+//!
+//! This module plays the adversary against a concrete memory map: find a
+//! small module set `S` that fully contains the copies of at least `n`
+//! variables, and report the forced step time `n/|S|`. For a random map
+//! with redundancy `r`, `m` variables and `M` modules the expected value is
+//! `≈ (n/M)·(m/n)^{1/r}`:
+//!
+//! * MPC (`M = n`): `(m/n)^{1/r} = n^{(k−1)/r}` — **polynomial** unless
+//!   `r = Ω(log n)`;
+//! * DMMPC (`M = n^{1+ε}`): `n^{(k−1)/r − ε}` — **constant** once
+//!   `r ≥ (k−1)/ε`, the paper's constant redundancy.
+//!
+//! Experiment E3 sweeps `r` and `ε` and tabulates the cliff.
+
+use memdist::MemoryMap;
+
+/// Result of one adversarial construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LowerBoundReport {
+    /// Requests in the attacking step (`n`).
+    pub n: usize,
+    /// Modules in the machine.
+    pub modules: usize,
+    /// Redundancy of the map.
+    pub r: usize,
+    /// Size of the module set the adversary confined the step to.
+    pub module_set: usize,
+    /// Variables found whose copies all lie in that set (`≥ n`).
+    pub confined_vars: usize,
+    /// The forced step time, `n / module_set` (in module-service rounds).
+    pub forced_time: f64,
+    /// Theorem 1's analytic prediction `(n/M)·(m/n)^{1/r}` for a random
+    /// map, for comparison.
+    pub predicted_time: f64,
+}
+
+/// Find an adversarial write step against `map`: `n` variables whose
+/// copies concentrate in as few modules as possible.
+///
+/// Strategy: order modules by copy load (descending); for growing prefixes
+/// `S` count the variables fully contained in `S`; take the smallest
+/// prefix containing ≥ `n` variables. This matches the counting argument's
+/// expectation on random maps and is exact on adversarially bad maps.
+pub fn concentration_adversary(map: &MemoryMap, n: usize) -> LowerBoundReport {
+    let m = map.vars();
+    let modules = map.modules();
+    let r = map.redundancy();
+    assert!(n >= 1 && n <= m, "need n <= m variables to attack with");
+
+    // Modules sorted by descending load.
+    let loads = map.module_loads();
+    let mut order: Vec<usize> = (0..modules).collect();
+    order.sort_by_key(|&md| std::cmp::Reverse(loads[md]));
+    let mut rank = vec![0u32; modules];
+    for (pos, &md) in order.iter().enumerate() {
+        rank[md] = pos as u32;
+    }
+
+    // For each variable, the worst (largest) rank among its copies — it is
+    // fully contained in the prefix of length worst_rank + 1.
+    let mut worst_rank: Vec<u32> = (0..m)
+        .map(|v| map.copies(v).iter().map(|&md| rank[md as usize]).max().unwrap())
+        .collect();
+    worst_rank.sort_unstable();
+
+    // The n-th smallest worst-rank gives the minimal prefix confining n
+    // variables.
+    let s = worst_rank[n - 1] as usize + 1;
+    let confined = worst_rank.iter().take_while(|&&w| (w as usize) < s).count();
+
+    let forced_time = n as f64 / s as f64;
+    let predicted_time =
+        (n as f64 / modules as f64) * (m as f64 / n as f64).powf(1.0 / r as f64);
+
+    LowerBoundReport {
+        n,
+        modules,
+        r,
+        module_set: s,
+        confined_vars: confined,
+        forced_time,
+        predicted_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn congested_map_is_maximally_attackable() {
+        // All copies in r modules: n variables confined to r modules, so
+        // the forced time is n/r — the worst case.
+        let r = 3;
+        let map = MemoryMap::congested(256, 64, r);
+        let rep = concentration_adversary(&map, 32);
+        assert_eq!(rep.module_set, r);
+        assert!((rep.forced_time - 32.0 / 3.0).abs() < 1e-9);
+        assert!(rep.confined_vars >= 32);
+    }
+
+    #[test]
+    fn fine_granularity_blunts_the_attack() {
+        // Same n, m, r; coarse M = n vs fine M = n^1.5: the forced time
+        // collapses with granularity — Theorem 1's message.
+        let n = 64;
+        let m = 4096; // k = 2
+        let r = 3;
+        let coarse = concentration_adversary(&MemoryMap::random(m, 64, r, 1), n);
+        let fine = concentration_adversary(&MemoryMap::random(m, 512, r, 1), n);
+        assert!(
+            coarse.forced_time > 2.0 * fine.forced_time,
+            "coarse {} vs fine {}",
+            coarse.forced_time,
+            fine.forced_time
+        );
+    }
+
+    #[test]
+    fn more_redundancy_blunts_the_attack_on_mpc() {
+        let n = 64;
+        let m = 4096;
+        let weak = concentration_adversary(&MemoryMap::random(m, 64, 2, 3), n);
+        let strong = concentration_adversary(&MemoryMap::random(m, 64, 9, 3), n);
+        assert!(
+            weak.forced_time > strong.forced_time,
+            "weak {} vs strong {}",
+            weak.forced_time,
+            strong.forced_time
+        );
+    }
+
+    #[test]
+    fn prediction_tracks_measurement_on_random_maps() {
+        let n = 64;
+        let m = 1 << 14;
+        for (modules, r) in [(64usize, 2usize), (64, 4), (1024, 2), (1024, 4)] {
+            let rep = concentration_adversary(&MemoryMap::random(m, modules, r, 9), n);
+            let ratio = rep.forced_time / rep.predicted_time.max(1e-9);
+            assert!(
+                (0.2..5.0).contains(&ratio),
+                "M={modules} r={r}: measured {} vs predicted {}",
+                rep.forced_time,
+                rep.predicted_time
+            );
+        }
+    }
+
+    #[test]
+    fn confined_count_is_at_least_n() {
+        let map = MemoryMap::random(512, 32, 3, 4);
+        let rep = concentration_adversary(&map, 20);
+        assert!(rep.confined_vars >= 20);
+        assert!(rep.module_set >= map.redundancy(), "need at least r modules to confine");
+    }
+}

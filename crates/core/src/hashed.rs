@@ -1,0 +1,165 @@
+//! The probabilistic baseline: hashed memory distribution without
+//! redundancy (Mehlhorn & Vishkin 1984 / Karlin & Upfal 1986 family).
+//!
+//! Each variable lives in exactly one module, chosen by a seeded hash. A
+//! step's time is the maximum module congestion (each module serves one
+//! request per phase). The classical facts this reproduces (experiment
+//! E11):
+//!
+//! * with `M = n` modules, the expected worst-case congestion of a random
+//!   step is `Θ(log n / log log n)`;
+//! * with `M = n^{1+ε}` (the paper's fine granularity) it drops to `O(1)`
+//!   for random steps — but an **adversary who knows the hash** can still
+//!   aim `n` variables at one module, which is exactly why the
+//!   deterministic schemes exist.
+
+use pram_machine::{AccessResult, SharedMemory, StepCost, Word};
+
+/// Hashed single-copy shared memory on a DMMPC.
+#[derive(Debug)]
+pub struct HashedDmmpc {
+    n: usize,
+    modules: usize,
+    seed: u64,
+    cells: Vec<Word>,
+    last_congestion: u64,
+    worst_congestion: u64,
+    steps: u64,
+    total_phases: u64,
+}
+
+impl HashedDmmpc {
+    /// A memory of `m` cells hashed over `modules` modules.
+    pub fn new(n: usize, m: usize, modules: usize, seed: u64) -> Self {
+        assert!(n >= 1 && m >= 1 && modules >= 1);
+        HashedDmmpc {
+            n,
+            modules,
+            seed,
+            cells: vec![0; m],
+            last_congestion: 0,
+            worst_congestion: 0,
+            steps: 0,
+            total_phases: 0,
+        }
+    }
+
+    /// The module holding variable `v`.
+    pub fn module_of(&self, v: usize) -> usize {
+        (simrng::mix64(v as u64 ^ self.seed) % self.modules as u64) as usize
+    }
+
+    /// Congestion (max requests on one module) of the last step.
+    pub fn last_congestion(&self) -> u64 {
+        self.last_congestion
+    }
+
+    /// Worst congestion over all steps.
+    pub fn worst_congestion(&self) -> u64 {
+        self.worst_congestion
+    }
+
+    /// `(total phases, steps)` so far.
+    pub fn totals(&self) -> (u64, u64) {
+        (self.total_phases, self.steps)
+    }
+
+    /// Module count.
+    pub fn modules(&self) -> usize {
+        self.modules
+    }
+}
+
+impl SharedMemory for HashedDmmpc {
+    fn size(&self) -> usize {
+        self.cells.len()
+    }
+
+    fn access(&mut self, reads: &[usize], writes: &[(usize, Word)]) -> AccessResult {
+        assert!(reads.len() + writes.len() <= self.n.max(1));
+        let mut load = std::collections::HashMap::new();
+        for &a in reads.iter().chain(writes.iter().map(|(a, _)| a)) {
+            *load.entry(self.module_of(a)).or_insert(0u64) += 1;
+        }
+        let congestion = load.values().copied().max().unwrap_or(0);
+        let read_values = reads.iter().map(|&a| self.cells[a]).collect();
+        for &(a, v) in writes {
+            self.cells[a] = v;
+        }
+        self.last_congestion = congestion;
+        self.worst_congestion = self.worst_congestion.max(congestion);
+        self.steps += 1;
+        self.total_phases += congestion;
+        AccessResult {
+            read_values,
+            cost: StepCost {
+                phases: congestion,
+                cycles: congestion,
+                messages: (reads.len() + writes.len()) as u64 * 2,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simrng::{rng_from_seed, Rng};
+
+    #[test]
+    fn basic_read_write() {
+        let mut h = HashedDmmpc::new(8, 64, 8, 1);
+        h.access(&[], &[(3, 30), (4, 40)]);
+        let r = h.access(&[3, 4], &[]);
+        assert_eq!(r.read_values, vec![30, 40]);
+    }
+
+    #[test]
+    fn congestion_counts_collisions() {
+        let h = HashedDmmpc::new(8, 64, 8, 1);
+        // Find two variables in the same module.
+        let m0 = h.module_of(0);
+        let twin = (1..64).find(|&v| h.module_of(v) == m0).expect("collision exists");
+        let mut h = h;
+        let rep = h.access(&[0, twin], &[]);
+        assert_eq!(rep.cost.phases, 2);
+        assert_eq!(h.last_congestion(), 2);
+    }
+
+    #[test]
+    fn fine_granularity_reduces_congestion() {
+        // Random steps: M = n vs M = n^1.5. More modules, less congestion.
+        let n = 64;
+        let m = 4096;
+        let mut coarse = HashedDmmpc::new(n, m, n, 3);
+        let mut fine = HashedDmmpc::new(n, m, 512, 3);
+        let mut rng = rng_from_seed(17);
+        let mut sum_coarse = 0;
+        let mut sum_fine = 0;
+        for _ in 0..50 {
+            let addrs: Vec<usize> =
+                rng.sample_distinct(m as u64, n).into_iter().map(|x| x as usize).collect();
+            sum_coarse += coarse.access(&addrs, &[]).cost.phases;
+            sum_fine += fine.access(&addrs, &[]).cost.phases;
+        }
+        assert!(
+            sum_fine * 3 <= sum_coarse * 2,
+            "fine {sum_fine} should be well below coarse {sum_coarse}"
+        );
+    }
+
+    #[test]
+    fn adversary_defeats_hashing() {
+        // Someone who knows the hash aims every request at one module:
+        // congestion = request count. This is the motivation for the
+        // deterministic schemes.
+        let h = HashedDmmpc::new(16, 1 << 12, 64, 5);
+        let target = h.module_of(0);
+        let evil: Vec<usize> =
+            (0..1 << 12).filter(|&v| h.module_of(v) == target).take(16).collect();
+        assert!(evil.len() >= 8, "enough colliding variables exist");
+        let mut h = h;
+        let rep = h.access(&evil, &[]);
+        assert_eq!(rep.cost.phases, evil.len() as u64);
+    }
+}

@@ -1,0 +1,35 @@
+//! `cr-core` — the paper's contribution: deterministic P-RAM simulation
+//! schemes with constant redundancy, plus every baseline they are measured
+//! against.
+//!
+//! All schemes implement [`pram_machine::SharedMemory`], so any P-RAM
+//! program from `pram-machine` runs on them unmodified; equality with the
+//! ideal memory's results is the end-to-end faithfulness test.
+//!
+//! | Scheme | Model | Redundancy | Time/step | Paper artifact |
+//! |--------|-------|-----------|-----------|----------------|
+//! | [`UwMpc`] | MPC (`M = n`) | `2c−1`, `c = Θ(log m)` | `O(log n ·…)` phases | Upfal–Wigderson baseline |
+//! | [`HpDmmpc`] | DMMPC (`M = n^{1+ε}`) | **`Θ(1)`** | `O(log n)` phases | **Theorem 2** |
+//! | [`Hp2dmotLeaves`] | DMBDN, `√M×√M` 2DMOT, memory at leaves | **`Θ(1)`** | `O(log²n/log log n)` cycles | **Theorem 3 / Fig. 8** |
+//! | [`Lpp2dmot`] | DMBDN, 2DMOT, memory at roots | `Θ(log n)` | `O(log²n/log log n)` cycles | Luccio et al. baseline |
+//! | [`HashedDmmpc`] | DMMPC | 1 (no copies) | expected `O(log n/log log n)` | Mehlhorn–Vishkin probabilistic baseline |
+//! | [`IdaShared`] | DMMPC | blowup `d/b = Θ(1)` | `Θ(log n)` work/access | Schuster/Rabin alternative |
+//!
+//! The [`adversary`] module implements the counting argument behind
+//! Theorem 1 (the redundancy lower bound) as an executable attack.
+
+pub mod adversary;
+pub mod config;
+pub mod executors;
+pub mod hashed;
+pub mod ida_scheme;
+pub mod majority;
+pub mod protocol;
+pub mod schemes;
+
+pub use adversary::{concentration_adversary, LowerBoundReport};
+pub use config::SchemeConfig;
+pub use hashed::HashedDmmpc;
+pub use ida_scheme::IdaShared;
+pub use majority::{MajorityScheme, StepReport};
+pub use schemes::{Hp2dmotLeaves, HpDmmpc, Lpp2dmot, UwMpc};

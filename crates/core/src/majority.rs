@@ -1,0 +1,188 @@
+//! Majority-rule shared memory over any phase executor: the step engine
+//! shared by the UW-MPC, HP-DMMPC, HP-2DMOT and LPP-2DMOT schemes.
+//!
+//! One [`pram_machine::SharedMemory::access`] call = one P-RAM step:
+//!
+//! 1. the (deduplicated) reads and writes become the step's request list,
+//!    assigned to processors in order;
+//! 2. the two-stage cluster protocol accesses `≥ c` copies of every
+//!    requested variable (the timing is whatever the executor measures);
+//! 3. reads take the max-timestamp value over their quorum — correct,
+//!    because any read quorum intersects every earlier write quorum;
+//! 4. writes stamp their quorum with the step number.
+
+use crate::config::SchemeConfig;
+use crate::protocol::{run_protocol, CopyPlacement, PhaseExecutor, ProtocolStats};
+use memdist::{Clusters, MemoryMap, ReplicatedStore};
+use pram_machine::{AccessResult, SharedMemory, StepCost, Word};
+
+/// Per-step report (the measurable object of experiments E4/E5/E10).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StepReport {
+    /// Distinct variables accessed this step.
+    pub requests: usize,
+    /// Protocol phases (stage 1 + stage 2) plus the combining charge.
+    pub phases: u64,
+    /// Network cycles consumed (cycle-level executors) or phases (flat).
+    pub cycles: u64,
+    /// Messages / link-hops.
+    pub messages: u64,
+    /// Protocol detail.
+    pub protocol: ProtocolStats,
+}
+
+/// A majority-rule scheme: memory map + replicated store + cluster
+/// protocol, parameterized by the interconnect's [`PhaseExecutor`] and
+/// [`CopyPlacement`].
+#[derive(Debug)]
+pub struct MajorityScheme<E, P> {
+    cfg: SchemeConfig,
+    map: MemoryMap,
+    store: ReplicatedStore,
+    clusters: Clusters,
+    exec: E,
+    placement: P,
+    step: u64,
+    last: StepReport,
+    total: StepReport,
+    steps: u64,
+}
+
+impl<E: PhaseExecutor, P: CopyPlacement> MajorityScheme<E, P> {
+    /// Assemble a scheme. `map_modules` is the universe the memory map is
+    /// drawn over (the contention units: `M` on a DMMPC, `√M` columns on
+    /// the 2DMOT); `placement` maps `(var, copy)` to the physical location.
+    pub fn assemble(cfg: SchemeConfig, map_modules: usize, exec: E, placement: P) -> Self {
+        let r = cfg.redundancy();
+        assert!(map_modules >= r, "need at least r modules for distinct copies");
+        let map = MemoryMap::random(cfg.m, map_modules, r, cfg.seed);
+        let store = ReplicatedStore::new(&map);
+        let clusters = Clusters::new(cfg.n.max(1), r);
+        MajorityScheme {
+            cfg,
+            map,
+            store,
+            clusters,
+            exec,
+            placement,
+            step: 0,
+            last: StepReport::default(),
+            total: StepReport::default(),
+            steps: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &SchemeConfig {
+        &self.cfg
+    }
+
+    /// The memory map (for expansion checks and adversaries).
+    pub fn map(&self) -> &MemoryMap {
+        &self.map
+    }
+
+    /// The executor (for interconnect-specific diagnostics).
+    pub fn executor(&self) -> &E {
+        &self.exec
+    }
+
+    /// Report for the most recent step.
+    pub fn last_step(&self) -> StepReport {
+        self.last
+    }
+
+    /// Accumulated totals and the number of shared steps executed.
+    pub fn totals(&self) -> (StepReport, u64) {
+        (self.total, self.steps)
+    }
+
+    /// Redundancy in force.
+    pub fn redundancy(&self) -> usize {
+        self.cfg.redundancy()
+    }
+
+    /// Storage blowup versus the simulated P-RAM: copies per variable.
+    pub fn memory_blowup(&self) -> usize {
+        self.cfg.redundancy()
+    }
+}
+
+impl<E: PhaseExecutor, P: CopyPlacement> SharedMemory for MajorityScheme<E, P> {
+    fn size(&self) -> usize {
+        self.cfg.m
+    }
+
+    fn access(&mut self, reads: &[usize], writes: &[(usize, Word)]) -> AccessResult {
+        let total = reads.len() + writes.len();
+        assert!(
+            total <= self.cfg.n.max(1),
+            "a P-RAM step issues at most one request per processor ({} > n = {})",
+            total,
+            self.cfg.n
+        );
+        // Requests: reads first, then writes; processor i issues request i
+        // (the front end already deduplicated and combined).
+        let requests: Vec<(usize, usize)> = reads
+            .iter()
+            .copied()
+            .chain(writes.iter().map(|&(a, _)| a))
+            .enumerate()
+            .collect();
+
+        let (accessed, proto) = run_protocol(
+            &requests,
+            &self.clusters,
+            self.cfg.c,
+            self.cfg.redundancy(),
+            &self.map,
+            &self.placement,
+            &mut self.exec,
+            self.cfg.stage1_phases,
+            self.cfg.stage2_pipeline,
+        );
+
+        // Reads observe the pre-step state: extract before applying writes.
+        let read_values: Vec<Word> = reads
+            .iter()
+            .enumerate()
+            .map(|(i, &var)| self.store.read_majority(var, &accessed[i]))
+            .collect();
+
+        self.step += 1;
+        for (j, &(var, value)) in writes.iter().enumerate() {
+            let quorum = &accessed[reads.len() + j];
+            debug_assert!(quorum.len() >= self.cfg.c);
+            self.store.write_quorum(var, quorum, value, self.step);
+        }
+
+        let report = StepReport {
+            requests: total,
+            phases: proto.phases() + self.cfg.combine_phases,
+            cycles: proto.cycles,
+            messages: proto.messages,
+            protocol: proto,
+        };
+        self.last = report;
+        self.total.requests += report.requests;
+        self.total.phases += report.phases;
+        self.total.cycles += report.cycles;
+        self.total.messages += report.messages;
+        self.steps += 1;
+
+        AccessResult {
+            read_values,
+            cost: StepCost {
+                phases: report.phases,
+                cycles: report.cycles.max(report.phases),
+                messages: report.messages,
+            },
+        }
+    }
+
+    fn poke(&mut self, addr: usize, value: Word) {
+        // Initialization path: write all copies, outside step accounting.
+        self.step += 1;
+        self.store.write_all(addr, value, self.step);
+    }
+}

@@ -1,0 +1,306 @@
+//! The four copy-based schemes, as concrete types.
+//!
+//! Each wraps a [`MajorityScheme`] with the right executor, placement, and
+//! parameter regime, and exposes it as a [`SharedMemory`] plus diagnostics.
+
+use crate::config::SchemeConfig;
+use crate::executors::{BipartiteExec, MotExec};
+use crate::majority::MajorityScheme;
+use crate::protocol::{FlatPlacement, GridPlacement};
+use models::params::pow2_at_least;
+use models::PaperParams;
+use pram_machine::{AccessResult, SharedMemory, Word};
+
+macro_rules! delegate_shared_memory {
+    ($ty:ident) => {
+        impl SharedMemory for $ty {
+            fn size(&self) -> usize {
+                self.inner.size()
+            }
+            fn access(&mut self, reads: &[usize], writes: &[(usize, Word)]) -> AccessResult {
+                self.inner.access(reads, writes)
+            }
+            fn poke(&mut self, addr: usize, value: Word) {
+                self.inner.poke(addr, value)
+            }
+        }
+    };
+}
+
+/// **Theorem 2** — the paper's constant-redundancy scheme on a DMMPC
+/// (`K_{n,M}` with `M = n^{1+ε}` fine-grain modules, Lemma 2's constant
+/// `c`). Expected measurement: `O(log n)` phases per step, redundancy flat
+/// in `n`.
+#[derive(Debug)]
+pub struct HpDmmpc {
+    inner: MajorityScheme<BipartiteExec, FlatPlacement>,
+}
+
+impl HpDmmpc {
+    /// Build from a (fine-granularity) configuration.
+    pub fn new(cfg: &SchemeConfig) -> Self {
+        // Complete bipartite interconnect: unit latency, so stage-2
+        // pipelining buys nothing — modules serve one request per phase.
+        let cfg = cfg.with_pipeline(1);
+        let exec = BipartiteExec::new(cfg.modules);
+        HpDmmpc { inner: MajorityScheme::assemble(cfg, cfg.modules, exec, FlatPlacement) }
+    }
+
+    /// Convenience: fine-grain defaults for an `n`-processor program with
+    /// `m` cells.
+    pub fn for_pram(n: usize, m: usize) -> Self {
+        Self::new(&SchemeConfig::for_pram(n, m))
+    }
+
+    /// The wrapped step engine (stats, map, config).
+    pub fn scheme(&self) -> &MajorityScheme<BipartiteExec, FlatPlacement> {
+        &self.inner
+    }
+}
+
+delegate_shared_memory!(HpDmmpc);
+
+impl std::ops::Deref for HpDmmpc {
+    type Target = MajorityScheme<BipartiteExec, FlatPlacement>;
+    fn deref(&self) -> &Self::Target {
+        &self.inner
+    }
+}
+
+/// **Upfal–Wigderson baseline** — majority rule on the coarse-grain MPC
+/// (`M = n`, one module per processor, Lemma 1's `c = Θ(log m)`).
+/// Expected measurement: redundancy grows with `m`; phases stay polylog
+/// but each variable costs `Θ(log m)` copies of work.
+#[derive(Debug)]
+pub struct UwMpc {
+    inner: MajorityScheme<BipartiteExec, FlatPlacement>,
+}
+
+impl UwMpc {
+    /// Build from a coarse configuration (`modules == n`).
+    pub fn new(cfg: &SchemeConfig) -> Self {
+        assert_eq!(cfg.modules, cfg.n, "the MPC has one module per processor");
+        let cfg = cfg.with_pipeline(1);
+        let exec = BipartiteExec::new(cfg.modules);
+        UwMpc { inner: MajorityScheme::assemble(cfg, cfg.modules, exec, FlatPlacement) }
+    }
+
+    /// Coarse-grain defaults for an `n`-processor program with `m` cells:
+    /// Lemma 1's `c` (growing with `m`), clamped so `2c−1 ≤ n` modules can
+    /// hold distinct copies.
+    pub fn for_pram(n: usize, m: usize) -> Self {
+        let c = PaperParams::c_lemma1(m, 8).min((n + 1) / 2).max(1);
+        let p = PaperParams::explicit(n, m, n, 8, c);
+        Self::new(&SchemeConfig::from_params(p, simrng::DEFAULT_SEED))
+    }
+
+    /// The wrapped step engine.
+    pub fn scheme(&self) -> &MajorityScheme<BipartiteExec, FlatPlacement> {
+        &self.inner
+    }
+}
+
+delegate_shared_memory!(UwMpc);
+
+impl std::ops::Deref for UwMpc {
+    type Target = MajorityScheme<BipartiteExec, FlatPlacement>;
+    fn deref(&self) -> &Self::Target {
+        &self.inner
+    }
+}
+
+/// **Theorem 3 / Fig. 8** — the paper's DMBDN scheme: a `√M × √M` 2DMOT
+/// with the memory modules at the **leaves** and processors at the first
+/// `n` coalesced roots. The contention unit is the column tree (`√M`
+/// columns), so Lemma 2 gives constant redundancy; every phase is routed
+/// through the cycle-level mesh. Expected measurement:
+/// `O(log² n / log log n)` cycles per step, redundancy flat in `n`.
+#[derive(Debug)]
+pub struct Hp2dmotLeaves {
+    inner: MajorityScheme<MotExec, GridPlacement>,
+}
+
+impl Hp2dmotLeaves {
+    /// Build from a fine-granularity configuration; the grid side is the
+    /// smallest power of two ≥ max(modules, n).
+    pub fn new(cfg: &SchemeConfig) -> Self {
+        let side = pow2_at_least(cfg.modules.max(cfg.n)).max(2);
+        let cfg = cfg.with_modules(side);
+        let exec = MotExec::leaves(side);
+        Hp2dmotLeaves {
+            inner: MajorityScheme::assemble(cfg, side, exec, GridPlacement { side }),
+        }
+    }
+
+    /// Fine-grain defaults for an `n`-processor program with `m` cells.
+    pub fn for_pram(n: usize, m: usize) -> Self {
+        Self::new(&SchemeConfig::for_pram(n, m))
+    }
+
+    /// Grid side `√M`.
+    pub fn side(&self) -> usize {
+        self.inner.executor().side()
+    }
+
+    /// Switches introduced (`O(M)` — the Fig. 8 hardware budget).
+    pub fn switches(&self) -> usize {
+        self.inner.executor().switches()
+    }
+
+    /// The wrapped step engine.
+    pub fn scheme(&self) -> &MajorityScheme<MotExec, GridPlacement> {
+        &self.inner
+    }
+}
+
+delegate_shared_memory!(Hp2dmotLeaves);
+
+impl std::ops::Deref for Hp2dmotLeaves {
+    type Target = MajorityScheme<MotExec, GridPlacement>;
+    fn deref(&self) -> &Self::Target {
+        &self.inner
+    }
+}
+
+/// **Luccio–Pietracaprina–Pucci baseline** — 2DMOT with memory at the
+/// **roots** (coalesced with the processors): same `O(log²n/log log n)`
+/// time shape, but the module count stays `n`, so Lemma 1 forces
+/// `Θ(log n)` redundancy. The contrast with [`Hp2dmotLeaves`] is the
+/// paper's headline (experiments E5/E9).
+#[derive(Debug)]
+pub struct Lpp2dmot {
+    inner: MajorityScheme<MotExec, FlatPlacement>,
+}
+
+impl Lpp2dmot {
+    /// Build for an `n`-processor program with `m` cells. The grid is
+    /// `pow2(n) × pow2(n)`; modules are the first `n` roots.
+    pub fn for_pram(n: usize, m: usize) -> Self {
+        let n2 = n.max(2);
+        let c = PaperParams::c_lemma1(m, 8).min((n2 + 1) / 2).max(1);
+        let p = PaperParams::explicit(n, m, n2, 8, c);
+        let cfg = SchemeConfig::from_params(p, simrng::DEFAULT_SEED);
+        let side = pow2_at_least(n2);
+        let exec = MotExec::roots(side);
+        Lpp2dmot { inner: MajorityScheme::assemble(cfg, n2, exec, FlatPlacement) }
+    }
+
+    /// Grid side.
+    pub fn side(&self) -> usize {
+        self.inner.executor().side()
+    }
+
+    /// The wrapped step engine.
+    pub fn scheme(&self) -> &MajorityScheme<MotExec, FlatPlacement> {
+        &self.inner
+    }
+}
+
+delegate_shared_memory!(Lpp2dmot);
+
+impl std::ops::Deref for Lpp2dmot {
+    type Target = MajorityScheme<MotExec, FlatPlacement>;
+    fn deref(&self) -> &Self::Target {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simrng::{rng_from_seed, Rng};
+
+    /// Randomized read/write steps against a flat reference memory.
+    fn exercise<M: SharedMemory>(mem: &mut M, n: usize, m: usize, seed: u64, steps: usize) {
+        let mut reference = vec![0i64; m];
+        let mut rng = rng_from_seed(seed);
+        for step in 0..steps {
+            // Up to n distinct addresses split between reads and writes.
+            let k = 1 + rng.index(n.min(m));
+            let addrs = rng.sample_distinct(m as u64, k);
+            let split = rng.index(k + 1);
+            let reads: Vec<usize> = addrs[..split].iter().map(|&a| a as usize).collect();
+            let writes: Vec<(usize, i64)> = addrs[split..]
+                .iter()
+                .map(|&a| (a as usize, (step * 1000 + a as usize) as i64))
+                .collect();
+            let result = mem.access(&reads, &writes);
+            for (i, &a) in reads.iter().enumerate() {
+                assert_eq!(result.read_values[i], reference[a], "step {step}, addr {a}");
+            }
+            for &(a, v) in &writes {
+                reference[a] = v;
+            }
+        }
+    }
+
+    #[test]
+    fn hp_dmmpc_linearizes() {
+        let mut s = HpDmmpc::for_pram(16, 256);
+        exercise(&mut s, 16, 256, 7, 60);
+        let (tot, steps) = s.totals();
+        assert_eq!(steps, 60);
+        assert!(tot.phases > 0);
+    }
+
+    #[test]
+    fn uw_mpc_linearizes() {
+        let mut s = UwMpc::for_pram(16, 256);
+        exercise(&mut s, 16, 256, 8, 60);
+        assert_eq!(s.config().modules, 16);
+    }
+
+    #[test]
+    fn hp_2dmot_leaves_linearizes() {
+        let mut s = Hp2dmotLeaves::for_pram(8, 64);
+        assert!(s.side() >= 8);
+        exercise(&mut s, 8, 64, 9, 30);
+        let rep = s.last_step();
+        assert!(rep.cycles > 0, "2DMOT steps consume measured cycles");
+    }
+
+    #[test]
+    fn lpp_2dmot_linearizes() {
+        let mut s = Lpp2dmot::for_pram(8, 64);
+        exercise(&mut s, 8, 64, 10, 30);
+        assert!(s.last_step().cycles > 0);
+    }
+
+    #[test]
+    fn poke_then_read_through_protocol() {
+        let mut s = HpDmmpc::for_pram(8, 32);
+        s.poke(5, 42);
+        let r = s.access(&[5], &[]);
+        assert_eq!(r.read_values, vec![42]);
+    }
+
+    #[test]
+    fn hp_redundancy_constant_uw_grows() {
+        let hp_small = HpDmmpc::for_pram(16, 16 * 16);
+        let hp_big = HpDmmpc::for_pram(256, 256 * 256);
+        assert_eq!(hp_small.redundancy(), hp_big.redundancy());
+        let uw_small = UwMpc::for_pram(16, 16 * 16);
+        let uw_big = UwMpc::for_pram(1 << 10, 1 << 20);
+        assert!(uw_big.redundancy() > uw_small.redundancy());
+    }
+
+    #[test]
+    #[should_panic(expected = "one module per processor")]
+    fn uw_rejects_fine_grain_config() {
+        let cfg = SchemeConfig::for_pram(16, 256);
+        let _ = UwMpc::new(&cfg);
+    }
+
+    #[test]
+    fn step_report_accumulates() {
+        let mut s = HpDmmpc::for_pram(8, 64);
+        s.access(&[1, 2], &[(3, 9)]);
+        let one = s.last_step();
+        assert_eq!(one.requests, 3);
+        s.access(&[4], &[]);
+        let (tot, steps) = s.totals();
+        assert_eq!(steps, 2);
+        assert_eq!(tot.requests, 4);
+        assert!(tot.phases >= one.phases);
+    }
+}

@@ -1,0 +1,221 @@
+//! GF(2¹⁶) arithmetic and linear algebra — the finite-field substrate for
+//! Rabin's information dispersal (the paper's §1 "alternative scheme"
+//! attributed to Schuster).
+//!
+//! Elements are 16-bit polynomials over GF(2) modulo the primitive
+//! polynomial `x¹⁶ + x¹² + x³ + x + 1` (0x1100B). Multiplication and
+//! inversion go through log/antilog tables built once per process
+//! (128 KiB + 256 KiB), giving O(1) field ops — the right trade for the
+//! codec benchmarks.
+
+pub mod matrix;
+
+pub use matrix::Matrix;
+
+use std::sync::OnceLock;
+
+/// The primitive polynomial: x^16 + x^12 + x^3 + x + 1.
+const POLY: u32 = 0x1100B;
+/// Multiplicative group order.
+const ORDER: usize = 65535;
+
+struct Tables {
+    /// exp[i] = g^i for i in 0..2·ORDER (doubled to skip a mod in mul).
+    exp: Vec<u16>,
+    /// log[x] for x in 1..=ORDER; log[0] is a sentinel (unused).
+    log: Vec<u16>,
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = vec![0u16; 2 * ORDER];
+        let mut log = vec![0u16; ORDER + 1];
+        let mut x: u32 = 1;
+        for i in 0..ORDER {
+            exp[i] = x as u16;
+            log[x as usize] = i as u16;
+            // multiply by the generator g = x (i.e. 2)
+            x <<= 1;
+            if x & 0x10000 != 0 {
+                x ^= POLY;
+            }
+        }
+        for i in ORDER..2 * ORDER {
+            exp[i] = exp[i - ORDER];
+        }
+        Tables { exp, log }
+    })
+}
+
+/// An element of GF(2¹⁶).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Gf16(pub u16);
+
+impl Gf16 {
+    /// Additive identity.
+    pub const ZERO: Gf16 = Gf16(0);
+    /// Multiplicative identity.
+    pub const ONE: Gf16 = Gf16(1);
+
+    /// Field addition = XOR (characteristic 2).
+    #[inline]
+    pub fn add(self, other: Gf16) -> Gf16 {
+        Gf16(self.0 ^ other.0)
+    }
+
+    /// Subtraction coincides with addition in characteristic 2.
+    #[inline]
+    pub fn sub(self, other: Gf16) -> Gf16 {
+        self.add(other)
+    }
+
+    /// Field multiplication via log tables.
+    #[inline]
+    pub fn mul(self, other: Gf16) -> Gf16 {
+        if self.0 == 0 || other.0 == 0 {
+            return Gf16::ZERO;
+        }
+        let t = tables();
+        let l = t.log[self.0 as usize] as usize + t.log[other.0 as usize] as usize;
+        Gf16(t.exp[l])
+    }
+
+    /// Multiplicative inverse. Panics on zero.
+    #[inline]
+    pub fn inv(self) -> Gf16 {
+        assert!(self.0 != 0, "zero has no inverse");
+        let t = tables();
+        Gf16(t.exp[ORDER - t.log[self.0 as usize] as usize])
+    }
+
+    /// Field division. Panics if `other` is zero.
+    #[inline]
+    pub fn div(self, other: Gf16) -> Gf16 {
+        self.mul(other.inv())
+    }
+
+    /// `self^e` by table arithmetic (`0^0 = 1`).
+    pub fn pow(self, e: u64) -> Gf16 {
+        if e == 0 {
+            return Gf16::ONE;
+        }
+        if self.0 == 0 {
+            return Gf16::ZERO;
+        }
+        let t = tables();
+        let l = (t.log[self.0 as usize] as u64 * (e % ORDER as u64)) % ORDER as u64;
+        Gf16(t.exp[l as usize])
+    }
+}
+
+impl std::ops::Add for Gf16 {
+    type Output = Gf16;
+    fn add(self, rhs: Gf16) -> Gf16 {
+        Gf16::add(self, rhs)
+    }
+}
+
+impl std::ops::Sub for Gf16 {
+    type Output = Gf16;
+    fn sub(self, rhs: Gf16) -> Gf16 {
+        Gf16::sub(self, rhs)
+    }
+}
+
+impl std::ops::Mul for Gf16 {
+    type Output = Gf16;
+    fn mul(self, rhs: Gf16) -> Gf16 {
+        Gf16::mul(self, rhs)
+    }
+}
+
+impl std::fmt::Display for Gf16 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:04x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identities() {
+        let a = Gf16(0x1234);
+        assert_eq!(a + Gf16::ZERO, a);
+        assert_eq!(a.mul(Gf16::ONE), a);
+        assert_eq!(a + a, Gf16::ZERO); // char 2
+        assert_eq!(a.mul(Gf16::ZERO), Gf16::ZERO);
+    }
+
+    #[test]
+    fn known_products() {
+        // x * x = x^2
+        assert_eq!(Gf16(2).mul(Gf16(2)), Gf16(4));
+        // x^15 * x = x^16 = x^12 + x^3 + x + 1 (mod POLY)
+        assert_eq!(Gf16(1 << 15).mul(Gf16(2)), Gf16(0x100B));
+    }
+
+    #[test]
+    fn inverse_roundtrip_spot() {
+        for v in [1u16, 2, 3, 0x1234, 0xFFFF, 0x8000] {
+            let a = Gf16(v);
+            assert_eq!(a.mul(a.inv()), Gf16::ONE, "v={v:#x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no inverse")]
+    fn zero_inverse_panics() {
+        let _ = Gf16::ZERO.inv();
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let g = Gf16(7);
+        let mut acc = Gf16::ONE;
+        for e in 0..20u64 {
+            assert_eq!(g.pow(e), acc, "e={e}");
+            acc = acc.mul(g);
+        }
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        // g = 2 generates the multiplicative group: g^ORDER = 1 and
+        // g^(ORDER/p) != 1 for prime factors p of 65535 = 3·5·17·257.
+        let g = Gf16(2);
+        assert_eq!(g.pow(ORDER as u64), Gf16::ONE);
+        for p in [3u64, 5, 17, 257] {
+            assert_ne!(g.pow(ORDER as u64 / p), Gf16::ONE, "p={p}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn mul_commutes(a in any::<u16>(), b in any::<u16>()) {
+            prop_assert_eq!(Gf16(a).mul(Gf16(b)), Gf16(b).mul(Gf16(a)));
+        }
+
+        #[test]
+        fn mul_associates(a in any::<u16>(), b in any::<u16>(), c in any::<u16>()) {
+            let (a, b, c) = (Gf16(a), Gf16(b), Gf16(c));
+            prop_assert_eq!(a.mul(b).mul(c), a.mul(b.mul(c)));
+        }
+
+        #[test]
+        fn distributes(a in any::<u16>(), b in any::<u16>(), c in any::<u16>()) {
+            let (a, b, c) = (Gf16(a), Gf16(b), Gf16(c));
+            prop_assert_eq!(a.mul(b + c), a.mul(b) + a.mul(c));
+        }
+
+        #[test]
+        fn nonzero_invertible(a in 1u16..) {
+            let a = Gf16(a);
+            prop_assert_eq!(a.mul(a.inv()), Gf16::ONE);
+            prop_assert_eq!(a.div(a), Gf16::ONE);
+        }
+    }
+}

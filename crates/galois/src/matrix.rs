@@ -1,0 +1,201 @@
+//! Dense matrices over GF(2¹⁶): just enough linear algebra for information
+//! dispersal — Vandermonde construction, matrix–vector products, and
+//! Gaussian inversion.
+
+use crate::Gf16;
+
+/// A dense row-major matrix over GF(2¹⁶).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Gf16>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![Gf16::ZERO; rows * cols] }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zero(n, n);
+        for i in 0..n {
+            m[(i, i)] = Gf16::ONE;
+        }
+        m
+    }
+
+    /// Vandermonde matrix: row `i` is `[1, xᵢ, xᵢ², …, xᵢ^{cols−1}]` with
+    /// `xᵢ = i + 1` (distinct and nonzero, so any `cols` rows are linearly
+    /// independent — the property information dispersal rests on).
+    pub fn vandermonde(rows: usize, cols: usize) -> Self {
+        assert!(rows <= 65535, "need distinct nonzero evaluation points");
+        let mut m = Matrix::zero(rows, cols);
+        for i in 0..rows {
+            let x = Gf16((i + 1) as u16);
+            let mut p = Gf16::ONE;
+            for j in 0..cols {
+                m[(i, j)] = p;
+                p = p.mul(x);
+            }
+        }
+        m
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `self · v` for a column vector `v`.
+    pub fn mul_vec(&self, v: &[Gf16]) -> Vec<Gf16> {
+        assert_eq!(v.len(), self.cols);
+        let mut out = vec![Gf16::ZERO; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let mut acc = Gf16::ZERO;
+            for (a, b) in row.iter().zip(v) {
+                acc = acc + a.mul(*b);
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// A new matrix from a subset of this one's rows.
+    pub fn select_rows(&self, idx: &[usize]) -> Matrix {
+        let mut m = Matrix::zero(idx.len(), self.cols);
+        for (new_i, &old_i) in idx.iter().enumerate() {
+            assert!(old_i < self.rows);
+            for j in 0..self.cols {
+                m[(new_i, j)] = self[(old_i, j)];
+            }
+        }
+        m
+    }
+
+    /// Inverse by Gauss–Jordan elimination with partial pivoting; `None`
+    /// if singular.
+    pub fn inverse(&self) -> Option<Matrix> {
+        assert_eq!(self.rows, self.cols, "inverse of a square matrix only");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = Matrix::identity(n);
+        for col in 0..n {
+            // Find a pivot.
+            let pivot = (col..n).find(|&r| a[(r, col)] != Gf16::ZERO)?;
+            if pivot != col {
+                a.swap_rows(pivot, col);
+                inv.swap_rows(pivot, col);
+            }
+            let p = a[(col, col)].inv();
+            for j in 0..n {
+                a[(col, j)] = a[(col, j)].mul(p);
+                inv[(col, j)] = inv[(col, j)].mul(p);
+            }
+            for r in 0..n {
+                if r == col || a[(r, col)] == Gf16::ZERO {
+                    continue;
+                }
+                let f = a[(r, col)];
+                for j in 0..n {
+                    let av = a[(col, j)].mul(f);
+                    a[(r, j)] = a[(r, j)] + av;
+                    let iv = inv[(col, j)].mul(f);
+                    inv[(r, j)] = inv[(r, j)] + iv;
+                }
+            }
+        }
+        Some(inv)
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for j in 0..self.cols {
+            self.data.swap(a * self.cols + j, b * self.cols + j);
+        }
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = Gf16;
+    fn index(&self, (i, j): (usize, usize)) -> &Gf16 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Gf16 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_mul() {
+        let i = Matrix::identity(4);
+        let v: Vec<Gf16> = (1..=4).map(Gf16).collect();
+        assert_eq!(i.mul_vec(&v), v);
+    }
+
+    #[test]
+    fn vandermonde_any_square_submatrix_invertible() {
+        let m = Matrix::vandermonde(8, 4);
+        // Several row subsets, including adjacent and spread ones.
+        for idx in [[0usize, 1, 2, 3], [4, 5, 6, 7], [0, 2, 5, 7], [1, 3, 4, 6]] {
+            let sub = m.select_rows(&idx);
+            assert!(sub.inverse().is_some(), "rows {idx:?} should be independent");
+        }
+    }
+
+    #[test]
+    fn singular_detected() {
+        let mut m = Matrix::zero(2, 2);
+        m[(0, 0)] = Gf16(3);
+        m[(0, 1)] = Gf16(5);
+        m[(1, 0)] = Gf16(3);
+        m[(1, 1)] = Gf16(5);
+        assert!(m.inverse().is_none());
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let m = Matrix::vandermonde(5, 5);
+        let inv = m.inverse().unwrap();
+        let v: Vec<Gf16> = [9u16, 99, 999, 9999, members()].iter().map(|&x| Gf16(x)).collect();
+        let round = inv.mul_vec(&m.mul_vec(&v));
+        assert_eq!(round, v);
+    }
+
+    fn members() -> u16 {
+        0x4242
+    }
+
+    proptest! {
+        #[test]
+        fn vandermonde_encode_decode(data in proptest::collection::vec(any::<u16>(), 4)) {
+            let data: Vec<Gf16> = data.into_iter().map(Gf16).collect();
+            let enc = Matrix::vandermonde(9, 4);
+            let shares = enc.mul_vec(&data);
+            // Decode from rows {8, 1, 6, 3}.
+            let idx = [8usize, 1, 6, 3];
+            let sub = enc.select_rows(&idx);
+            let inv = sub.inverse().expect("vandermonde rows independent");
+            let picked: Vec<Gf16> = idx.iter().map(|&i| shares[i]).collect();
+            prop_assert_eq!(inv.mul_vec(&picked), data);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! The `b → d` dispersal codec (Rabin 1989).
+
+use galois::{Gf16, Matrix};
+
+/// An information-dispersal code: `b` data symbols recoded into `d ≥ b`
+/// share symbols via a `d × b` Vandermonde matrix; **any** `b` shares
+/// recover the data (every `b × b` submatrix of a Vandermonde matrix with
+/// distinct evaluation points is invertible).
+#[derive(Debug, Clone)]
+pub struct IdaCode {
+    b: usize,
+    d: usize,
+    enc: Matrix,
+}
+
+impl IdaCode {
+    /// A `b`-of-`d` code. Requires `1 ≤ b ≤ d ≤ 65535`.
+    pub fn new(b: usize, d: usize) -> Self {
+        assert!(b >= 1 && b <= d && d <= 65535, "need 1 <= b <= d <= 65535");
+        IdaCode { b, d, enc: Matrix::vandermonde(d, b) }
+    }
+
+    /// Data symbols per block.
+    pub fn b(&self) -> usize {
+        self.b
+    }
+
+    /// Share symbols per block.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// Storage blowup `d/b` — constant by construction.
+    pub fn blowup(&self) -> f64 {
+        self.d as f64 / self.b as f64
+    }
+
+    /// Encode `b` data symbols into `d` shares.
+    pub fn encode(&self, data: &[Gf16]) -> Vec<Gf16> {
+        assert_eq!(data.len(), self.b);
+        self.enc.mul_vec(data)
+    }
+
+    /// Recover the data from any `≥ b` shares given as `(share_index,
+    /// value)` pairs with distinct indices; the first `b` are used.
+    /// Returns `None` if fewer than `b` shares are provided.
+    pub fn decode(&self, shares: &[(usize, Gf16)]) -> Option<Vec<Gf16>> {
+        if shares.len() < self.b {
+            return None;
+        }
+        let idx: Vec<usize> = shares.iter().take(self.b).map(|&(i, _)| i).collect();
+        debug_assert!(idx.iter().all(|&i| i < self.d), "share index out of range");
+        let sub = self.enc.select_rows(&idx);
+        let inv = sub.inverse().expect("Vandermonde rows are independent");
+        let vals: Vec<Gf16> = shares.iter().take(self.b).map(|&(_, v)| v).collect();
+        Some(inv.mul_vec(&vals))
+    }
+}
+
+/// Pack a machine word into four GF(2¹⁶) symbols (little-endian 16-bit
+/// limbs).
+pub fn word_to_symbols(w: i64) -> [Gf16; 4] {
+    let u = w as u64;
+    [
+        Gf16((u & 0xFFFF) as u16),
+        Gf16(((u >> 16) & 0xFFFF) as u16),
+        Gf16(((u >> 32) & 0xFFFF) as u16),
+        Gf16(((u >> 48) & 0xFFFF) as u16),
+    ]
+}
+
+/// Inverse of [`word_to_symbols`].
+pub fn symbols_to_word(s: &[Gf16]) -> i64 {
+    debug_assert_eq!(s.len(), 4);
+    let u = (s[0].0 as u64)
+        | ((s[1].0 as u64) << 16)
+        | ((s[2].0 as u64) << 32)
+        | ((s[3].0 as u64) << 48);
+    u as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use simrng::{rng_from_seed, Rng};
+
+    #[test]
+    fn roundtrip_any_b_shares() {
+        let code = IdaCode::new(4, 9);
+        let data: Vec<Gf16> = [11u16, 22, 33, 44].iter().map(|&x| Gf16(x)).collect();
+        let shares = code.encode(&data);
+        assert_eq!(shares.len(), 9);
+        let mut rng = rng_from_seed(5);
+        for _ in 0..30 {
+            let pick = rng.sample_distinct(9, 4);
+            let quorum: Vec<(usize, Gf16)> =
+                pick.iter().map(|&i| (i as usize, shares[i as usize])).collect();
+            assert_eq!(code.decode(&quorum).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn too_few_shares_fails() {
+        let code = IdaCode::new(4, 8);
+        let data = vec![Gf16(1); 4];
+        let shares = code.encode(&data);
+        let quorum: Vec<(usize, Gf16)> = (0..3).map(|i| (i, shares[i])).collect();
+        assert!(code.decode(&quorum).is_none());
+    }
+
+    #[test]
+    fn b_equals_d_is_a_permutation_code() {
+        let code = IdaCode::new(3, 3);
+        let data: Vec<Gf16> = [7u16, 8, 9].iter().map(|&x| Gf16(x)).collect();
+        let shares = code.encode(&data);
+        let quorum: Vec<(usize, Gf16)> = shares.iter().copied().enumerate().collect();
+        assert_eq!(code.decode(&quorum).unwrap(), data);
+        assert!((code.blowup() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corrupted_share_changes_decode() {
+        // IDA is an erasure code, not an error-correcting one: a silently
+        // corrupted share in the quorum yields wrong data. (The schemes use
+        // version stamps, not decoding, for consistency.)
+        let code = IdaCode::new(4, 8);
+        let data: Vec<Gf16> = [5u16, 6, 7, 8].iter().map(|&x| Gf16(x)).collect();
+        let shares = code.encode(&data);
+        let mut quorum: Vec<(usize, Gf16)> = (0..4).map(|i| (i, shares[i])).collect();
+        quorum[2].1 = quorum[2].1 + Gf16::ONE;
+        assert_ne!(code.decode(&quorum).unwrap(), data);
+    }
+
+    #[test]
+    fn word_symbol_roundtrip_extremes() {
+        for w in [0i64, 1, -1, i64::MAX, i64::MIN, 0x0123_4567_89AB_CDEF] {
+            assert_eq!(symbols_to_word(&word_to_symbols(w)), w);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn proptest_roundtrip(data in proptest::collection::vec(any::<u16>(), 8),
+                              seed in any::<u64>()) {
+            let code = IdaCode::new(8, 12);
+            let data: Vec<Gf16> = data.into_iter().map(Gf16).collect();
+            let shares = code.encode(&data);
+            let mut rng = rng_from_seed(seed);
+            let pick = rng.sample_distinct(12, 8);
+            let quorum: Vec<(usize, Gf16)> =
+                pick.iter().map(|&i| (i as usize, shares[i as usize])).collect();
+            prop_assert_eq!(code.decode(&quorum).unwrap(), data);
+        }
+
+        #[test]
+        fn proptest_word_roundtrip(w in any::<i64>()) {
+            prop_assert_eq!(symbols_to_word(&word_to_symbols(w)), w);
+        }
+    }
+}

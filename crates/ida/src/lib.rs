@@ -1,0 +1,54 @@
+//! Rabin's information dispersal algorithm (IDA) and Schuster's
+//! constant-space shared-memory scheme built on it (paper §1).
+//!
+//! > "This scheme uses the information dispersal-recovery method suggested
+//! > by Rabin (1989), whereby a file of b elements of a finite field is
+//! > recoded into a file of d > b elements from the same field, with the
+//! > property that any b of the elements of the latter permit the recovery
+//! > of the original file. The shared memory is subdivided into m/b blocks
+//! > of size b, and data are stored in recoded form. [...] to access a
+//! > variable it is sufficient to access (d+b)/2 terms of its block. By
+//! > choosing b and d both Θ(log n), memory size increases only by a
+//! > constant factor, although as many as Θ(log n) variables may have to be
+//! > processed per variable accessed."
+//!
+//! * [`codec::IdaCode`] — the `b → d` Vandermonde recoding with
+//!   any-`b`-of-`d` recovery;
+//! * [`store::SchusterStore`] — the shared memory: blocks dispersed across
+//!   modules, `(d+b)/2`-share quorums with version stamps (two such quorums
+//!   intersect in ≥ `b` shares, which is exactly what recovery needs).
+
+pub mod codec;
+pub mod store;
+
+pub use codec::IdaCode;
+pub use store::{IdaAccessStats, SchusterStore};
+
+/// Parameter choice for an `n`-processor machine: `b = Θ(log n)` rounded to
+/// a multiple of 4 (one 64-bit word = four GF(2¹⁶) symbols) and `d = 3b/2`
+/// (memory blowup 1.5, a constant).
+pub fn params_for_n(n: usize) -> (usize, usize) {
+    let b = (((n.max(2) as f64).log2().ceil() as usize).div_ceil(4) * 4).max(4);
+    let d = b + b / 2;
+    (b, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_scale_logarithmically() {
+        let (b1, d1) = params_for_n(16);
+        let (b2, d2) = params_for_n(1 << 16);
+        assert!(b2 > b1);
+        assert_eq!(b1 % 4, 0);
+        assert_eq!(b2 % 4, 0);
+        // Constant blowup.
+        assert!((d1 as f64 / b1 as f64 - 1.5).abs() < 1e-9);
+        assert!((d2 as f64 / b2 as f64 - 1.5).abs() < 1e-9);
+        // Quorum size is integral.
+        assert_eq!((d1 + b1) % 2, 0);
+        assert_eq!((d2 + b2) % 2, 0);
+    }
+}

@@ -1,0 +1,348 @@
+//! Schuster's IDA-backed shared memory.
+//!
+//! The `m` variables are grouped into blocks of `b/4` variables (each
+//! variable is four GF(2¹⁶) symbols), every block is recoded into `d`
+//! shares, and share `i` of a block lives in a distinct memory module.
+//! Accesses use quorums of `w = (d+b)/2` shares with version stamps:
+//!
+//! * **write**: read a quorum, recover the block at its newest version,
+//!   modify the variable, re-encode, and write the new shares (with version
+//!   + 1) to a quorum;
+//! * **read**: read a quorum; two quorums intersect in
+//!   `2·(d+b)/2 − d = b` shares, so at least `b` of the touched shares
+//!   carry the newest version — exactly enough to decode.
+//!
+//! Storage blowup is `d/b` (constant); work per access is `Θ(d)` share
+//! touches, i.e. `Θ(log n)` — the trade-off the paper points out.
+
+use crate::codec::{symbols_to_word, word_to_symbols, IdaCode};
+
+/// Cost of one access, for the E8 experiment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IdaAccessStats {
+    /// Shares read or written.
+    pub shares_touched: u64,
+    /// Distinct memory modules contacted.
+    pub modules_touched: u64,
+    /// Field operations spent encoding/decoding (symbol multiplies).
+    pub field_ops: u64,
+}
+
+impl IdaAccessStats {
+    fn add(&mut self, other: IdaAccessStats) {
+        self.shares_touched += other.shares_touched;
+        self.modules_touched += other.modules_touched;
+        self.field_ops += other.field_ops;
+    }
+}
+
+/// One dispersed block: `d` shares, each `(value, version)`.
+#[derive(Debug, Clone)]
+struct Block {
+    shares: Vec<(galois::Gf16, u64)>,
+    /// Rotation offset so successive writes hit different stale shares.
+    write_rotation: usize,
+}
+
+/// The IDA-backed shared memory.
+#[derive(Debug, Clone)]
+pub struct SchusterStore {
+    code: IdaCode,
+    vars: usize,
+    vars_per_block: usize,
+    modules: usize,
+    module_stride: usize,
+    blocks: Vec<Block>,
+    total_stats: IdaAccessStats,
+}
+
+impl SchusterStore {
+    /// A store for `vars` variables across `modules` modules with a
+    /// `b`-of-`d` code. `b` must be a multiple of 4 (4 symbols per word)
+    /// and `d ≤ modules` (shares of one block must live in distinct
+    /// modules); `d + b` must be even so the quorum size is integral.
+    pub fn new(vars: usize, modules: usize, b: usize, d: usize) -> Self {
+        assert!(b >= 4 && b % 4 == 0, "b must be a positive multiple of 4");
+        assert!((d + b) % 2 == 0, "d + b must be even for integral quorums");
+        assert!(d <= modules, "a block's {d} shares need distinct modules, only {modules} exist");
+        let code = IdaCode::new(b, d);
+        let vars_per_block = b / 4;
+        let nblocks = vars.div_ceil(vars_per_block);
+        // All-zero data encodes to all-zero shares (linearity), version 0.
+        let blocks = (0..nblocks)
+            .map(|_| Block { shares: vec![(galois::Gf16::ZERO, 0); d], write_rotation: 0 })
+            .collect();
+        let module_stride = (modules / d).max(1);
+        SchusterStore {
+            code,
+            vars,
+            vars_per_block,
+            modules,
+            module_stride,
+            blocks,
+            total_stats: IdaAccessStats::default(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn size(&self) -> usize {
+        self.vars
+    }
+
+    /// Quorum size `(d+b)/2`.
+    pub fn quorum(&self) -> usize {
+        (self.code.d() + self.code.b()) / 2
+    }
+
+    /// Variables stored per block (`b/4`).
+    pub fn vars_per_block(&self) -> usize {
+        self.vars_per_block
+    }
+
+    /// Storage blowup `d/b`.
+    pub fn blowup(&self) -> f64 {
+        self.code.blowup()
+    }
+
+    /// Cumulative access statistics.
+    pub fn total_stats(&self) -> IdaAccessStats {
+        self.total_stats
+    }
+
+    /// The module holding share `i` of block `blk`.
+    pub fn module_of_share(&self, blk: usize, i: usize) -> usize {
+        (blk + i * self.module_stride) % self.modules
+    }
+
+    fn locate(&self, v: usize) -> (usize, usize) {
+        assert!(v < self.vars, "variable {v} out of range");
+        (v / self.vars_per_block, v % self.vars_per_block)
+    }
+
+    /// Recover a block's current data from a quorum of its shares,
+    /// excluding any modules in `unavailable`. Returns `(data_symbols,
+    /// newest_version, stats)`, or `None` if no quorum is reachable.
+    fn recover(
+        &self,
+        blk: usize,
+        unavailable: &[bool],
+    ) -> Option<(Vec<galois::Gf16>, u64, IdaAccessStats)> {
+        let d = self.code.d();
+        let q = self.quorum();
+        let block = &self.blocks[blk];
+        // Touch the first q available shares (deterministic order).
+        let mut touched: Vec<usize> = Vec::with_capacity(q);
+        for i in 0..d {
+            if !unavailable
+                .get(self.module_of_share(blk, i))
+                .copied()
+                .unwrap_or(false)
+            {
+                touched.push(i);
+                if touched.len() == q {
+                    break;
+                }
+            }
+        }
+        if touched.len() < q {
+            return None; // too many modules down: no quorum
+        }
+        let newest = touched.iter().map(|&i| block.shares[i].1).max().unwrap();
+        let current: Vec<(usize, galois::Gf16)> = touched
+            .iter()
+            .filter(|&&i| block.shares[i].1 == newest)
+            .map(|&i| (i, block.shares[i].0))
+            .collect();
+        debug_assert!(
+            current.len() >= self.code.b(),
+            "quorum intersection must contain b current shares"
+        );
+        let data = self.code.decode(&current)?;
+        let stats = IdaAccessStats {
+            shares_touched: q as u64,
+            modules_touched: q as u64,
+            field_ops: (self.code.b() * self.code.b()) as u64, // decode matrix-vector
+        };
+        Some((data, newest, stats))
+    }
+
+    /// Read variable `v`.
+    pub fn read(&mut self, v: usize) -> (i64, IdaAccessStats) {
+        let none = vec![false; self.modules];
+        self.read_with_unavailable(v, &none).expect("all modules available")
+    }
+
+    /// Read with some modules unavailable (fault injection): `None` when no
+    /// quorum survives.
+    pub fn read_with_unavailable(
+        &mut self,
+        v: usize,
+        unavailable: &[bool],
+    ) -> Option<(i64, IdaAccessStats)> {
+        let (blk, off) = self.locate(v);
+        let (data, _ver, stats) = self.recover(blk, unavailable)?;
+        self.total_stats.add(stats);
+        Some((symbols_to_word(&data[off * 4..off * 4 + 4]), stats))
+    }
+
+    /// Write variable `v`.
+    pub fn write(&mut self, v: usize, value: i64) -> IdaAccessStats {
+        let none = vec![false; self.modules];
+        self.write_with_unavailable(v, value, &none).expect("all modules available")
+    }
+
+    /// Write with some modules unavailable; `None` when no quorum survives.
+    pub fn write_with_unavailable(
+        &mut self,
+        v: usize,
+        value: i64,
+        unavailable: &[bool],
+    ) -> Option<IdaAccessStats> {
+        let (blk, off) = self.locate(v);
+        let (mut data, ver, mut stats) = self.recover(blk, unavailable)?;
+        data[off * 4..off * 4 + 4].copy_from_slice(&word_to_symbols(value));
+        let shares = self.code.encode(&data);
+        stats.field_ops += (self.code.d() * self.code.b()) as u64;
+        // Write a quorum of shares at version+1, starting at a rotating
+        // offset so staleness spreads across share indices.
+        let d = self.code.d();
+        let q = self.quorum();
+        let share_modules: Vec<usize> = (0..d).map(|i| self.module_of_share(blk, i)).collect();
+        let block = &mut self.blocks[blk];
+        let start = block.write_rotation;
+        block.write_rotation = (block.write_rotation + 1) % d;
+        let mut written = 0;
+        for k in 0..d {
+            let i = (start + k) % d;
+            if unavailable.get(share_modules[i]).copied().unwrap_or(false) {
+                continue;
+            }
+            block.shares[i] = (shares[i], ver + 1);
+            written += 1;
+            if written == q {
+                break;
+            }
+        }
+        if written < q {
+            return None;
+        }
+        stats.shares_touched += q as u64;
+        stats.modules_touched += q as u64;
+        self.total_stats.add(stats);
+        Some(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simrng::{rng_from_seed, Rng};
+
+    fn store() -> SchusterStore {
+        // b=8 (2 vars/block), d=12, 32 modules.
+        SchusterStore::new(64, 32, 8, 12)
+    }
+
+    #[test]
+    fn fresh_store_reads_zero() {
+        let mut s = store();
+        for v in [0usize, 1, 17, 63] {
+            assert_eq!(s.read(v).0, 0);
+        }
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut s = store();
+        s.write(5, 123456789);
+        s.write(4, -42); // same block as 5
+        assert_eq!(s.read(5).0, 123456789);
+        assert_eq!(s.read(4).0, -42);
+        assert_eq!(s.read(6).0, 0); // different block untouched
+    }
+
+    #[test]
+    fn repeated_writes_latest_wins() {
+        let mut s = store();
+        for i in 0..40 {
+            s.write(9, i * 1000);
+            assert_eq!(s.read(9).0, i * 1000, "iteration {i}");
+        }
+    }
+
+    #[test]
+    fn quorum_cost_is_d_plus_b_ish() {
+        let mut s = store();
+        let (_, rstats) = s.read(0);
+        assert_eq!(rstats.shares_touched, 10); // (12+8)/2
+        let wstats = s.write(0, 1);
+        // write = recover quorum + write quorum
+        assert_eq!(wstats.shares_touched, 20);
+    }
+
+    #[test]
+    fn blowup_is_constant() {
+        let s = store();
+        assert!((s.blowup() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn survives_module_failures_up_to_margin() {
+        let mut s = store();
+        s.write(10, 777);
+        // (d - q) = 2 modules may die with a quorum still guaranteed.
+        let mut dead = vec![false; 32];
+        // Kill the first two modules of variable 10's block.
+        let blk = 10 / 2;
+        dead[s.module_of_share(blk, 0)] = true;
+        dead[s.module_of_share(blk, 1)] = true;
+        let got = s.read_with_unavailable(10, &dead).expect("quorum survives");
+        assert_eq!(got.0, 777);
+    }
+
+    #[test]
+    fn too_many_failures_lose_quorum() {
+        let mut s = store();
+        s.write(10, 777);
+        let blk = 10 / 2;
+        let mut dead = vec![false; 32];
+        for i in 0..3 {
+            // d - q + 1 = 3 failures: quorum impossible.
+            dead[s.module_of_share(blk, i)] = true;
+        }
+        assert!(s.read_with_unavailable(10, &dead).is_none());
+    }
+
+    #[test]
+    fn randomized_against_reference() {
+        let mut s = SchusterStore::new(128, 64, 8, 12);
+        let mut reference = vec![0i64; 128];
+        let mut rng = rng_from_seed(99);
+        for _ in 0..500 {
+            let v = rng.index(128);
+            if rng.chance(0.5) {
+                let val = rng.next_u64() as i64;
+                s.write(v, val);
+                reference[v] = val;
+            } else {
+                assert_eq!(s.read(v).0, reference[v]);
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_modules_per_block() {
+        let s = SchusterStore::new(64, 32, 8, 12);
+        for blk in 0..32 {
+            let mods: std::collections::HashSet<usize> =
+                (0..12).map(|i| s.module_of_share(blk, i)).collect();
+            assert_eq!(mods.len(), 12, "block {blk} shares collide in a module");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 4")]
+    fn bad_b_rejected() {
+        let _ = SchusterStore::new(16, 16, 6, 10);
+    }
+}

@@ -1,0 +1,90 @@
+//! Processor clusters.
+//!
+//! All the deterministic protocols organize the `n` processors into
+//! `⌈n/(2c−1)⌉` clusters of (up to) `2c−1` processors. Within a cluster the
+//! processors cooperate: when accessing a variable, each cluster member is
+//! responsible for one of its `2c−1` copies.
+
+/// A partition of processors `0..n` into fixed-size contiguous clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Clusters {
+    n: usize,
+    size: usize,
+}
+
+impl Clusters {
+    /// Partition `n` processors into clusters of `size` (the last cluster
+    /// may be smaller).
+    pub fn new(n: usize, size: usize) -> Self {
+        assert!(n >= 1 && size >= 1);
+        Clusters { n, size }
+    }
+
+    /// Number of clusters.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.n.div_ceil(self.size)
+    }
+
+    /// Cluster of processor `p`.
+    #[inline]
+    pub fn cluster_of(&self, p: usize) -> usize {
+        debug_assert!(p < self.n);
+        p / self.size
+    }
+
+    /// Processors in cluster `k`.
+    #[inline]
+    pub fn members(&self, k: usize) -> std::ops::Range<usize> {
+        let start = k * self.size;
+        start..((start + self.size).min(self.n))
+    }
+
+    /// Nominal cluster size (`2c−1` in the protocols).
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Total processors.
+    #[inline]
+    pub fn processors(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_partition() {
+        let c = Clusters::new(12, 3);
+        assert_eq!(c.count(), 4);
+        assert_eq!(c.members(0), 0..3);
+        assert_eq!(c.members(3), 9..12);
+        assert_eq!(c.cluster_of(7), 2);
+    }
+
+    #[test]
+    fn ragged_tail() {
+        let c = Clusters::new(10, 3);
+        assert_eq!(c.count(), 4);
+        assert_eq!(c.members(3), 9..10);
+    }
+
+    #[test]
+    fn every_processor_in_its_cluster() {
+        let c = Clusters::new(23, 5);
+        for p in 0..23 {
+            assert!(c.members(c.cluster_of(p)).contains(&p));
+        }
+    }
+
+    #[test]
+    fn singleton_clusters() {
+        let c = Clusters::new(4, 1);
+        assert_eq!(c.count(), 4);
+        assert_eq!(c.members(2), 2..3);
+    }
+}

@@ -1,0 +1,293 @@
+//! Empirical verification of the memory-map expansion property.
+//!
+//! **Lemma 1** (Upfal & Wigderson) / **Lemma 2** (the paper): for a good
+//! map, *any* set of `q ≤ n/(2c−1)` live variables has its live copies in
+//! at least `(2c−1)q/b` distinct modules. A variable is *live* while fewer
+//! than `c` of its `2c−1` copies have been accessed, so an adversary gets to
+//! choose up to `c−1` already-dead copies per variable, leaving `c` live
+//! copies placed as unhelpfully as possible.
+//!
+//! Exact verification is a covering problem exponential in `q`; per
+//! DESIGN.md §5 we provide
+//!
+//! * [`min_live_spread_exhaustive`] — ground truth for small instances
+//!   (every choice of live copies enumerated);
+//! * [`min_live_spread_greedy`] — a concentration heuristic playing the
+//!   adversary on large instances (its result *upper-bounds* the true
+//!   minimum spread, i.e. over-estimates the adversary's power never,
+//!   under-estimates it possibly — so a greedy pass that stays above the
+//!   bound is evidence, and the protocol phase counts in E4/E5 are the
+//!   corroborating measurement);
+//! * [`check_sampled`] — a sampling driver over random live sets.
+
+use crate::map::{MemoryMap, VarId};
+use simrng::Rng;
+
+/// Distinct modules covered by the given live copies
+/// (`live[i] = (variable, live copy indices)`).
+pub fn live_spread(map: &MemoryMap, live: &[(VarId, Vec<usize>)]) -> usize {
+    let mut seen = vec![false; map.modules()];
+    let mut count = 0;
+    for (v, copies) in live {
+        for &i in copies {
+            let md = map.module_of(*v, i);
+            if !seen[md] {
+                seen[md] = true;
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Exact minimum spread over **all** adversarial choices of `c` live copies
+/// per variable. Cost is `C(r, c)^q`; intended for `q·r` tiny (tests, E2's
+/// ground-truth column).
+pub fn min_live_spread_exhaustive(map: &MemoryMap, vars: &[VarId], c: usize) -> usize {
+    let r = map.redundancy();
+    assert!(c <= r);
+    let choices: Vec<Vec<usize>> = combinations(r, c);
+    let mut best = usize::MAX;
+    let mut selected: Vec<usize> = Vec::with_capacity(vars.len());
+
+    fn recurse(
+        map: &MemoryMap,
+        vars: &[VarId],
+        choices: &[Vec<usize>],
+        selected: &mut Vec<usize>,
+        covered: &mut Vec<u32>,
+        depth: usize,
+        spread: usize,
+        best: &mut usize,
+    ) {
+        if spread >= *best {
+            return; // cannot improve
+        }
+        if depth == vars.len() {
+            *best = spread;
+            return;
+        }
+        let v = vars[depth];
+        for (ci, choice) in choices.iter().enumerate() {
+            let mut added = Vec::new();
+            let mut new_spread = spread;
+            for &i in choice {
+                let md = map.module_of(v, i);
+                if covered[md] == 0 {
+                    new_spread += 1;
+                }
+                covered[md] += 1;
+                added.push(md);
+            }
+            selected.push(ci);
+            recurse(map, vars, choices, selected, covered, depth + 1, new_spread, best);
+            selected.pop();
+            for md in added {
+                covered[md] -= 1;
+            }
+        }
+    }
+
+    let mut covered = vec![0u32; map.modules()];
+    recurse(map, vars, &choices, &mut selected, &mut covered, 0, 0, &mut best);
+    best
+}
+
+/// Greedy adversary: iteratively keep, for each variable, the `c` copies
+/// whose modules are most shared with other variables in the set, then
+/// count the union. Two refinement rounds bias the choice toward the
+/// already-selected module set.
+pub fn min_live_spread_greedy(map: &MemoryMap, vars: &[VarId], c: usize) -> usize {
+    let r = map.redundancy();
+    assert!(c <= r);
+    // Round 0 scores: global popularity of each module within the set.
+    let mut score = vec![0u32; map.modules()];
+    for &v in vars {
+        for &md in map.copies(v) {
+            score[md as usize] += 1;
+        }
+    }
+
+    let mut kept: Vec<Vec<usize>> = Vec::with_capacity(vars.len());
+    for round in 0..3 {
+        kept.clear();
+        let mut covered = vec![false; map.modules()];
+        for &v in vars {
+            let mods = map.copies(v);
+            let mut idx: Vec<usize> = (0..r).collect();
+            // Prefer popular / already-covered modules.
+            idx.sort_by_key(|&i| {
+                let md = mods[i] as usize;
+                let cov_bonus = if covered[md] { 1_000_000u32 } else { 0 };
+                std::cmp::Reverse(score[md] + cov_bonus)
+            });
+            idx.truncate(c);
+            for &i in &idx {
+                covered[mods[i] as usize] = true;
+            }
+            kept.push(idx);
+        }
+        if round < 2 {
+            // Re-score using only the kept copies.
+            score.iter_mut().for_each(|s| *s = 0);
+            for (j, &v) in vars.iter().enumerate() {
+                for &i in &kept[j] {
+                    score[map.module_of(v, i)] += 1;
+                }
+            }
+        }
+    }
+
+    let live: Vec<(VarId, Vec<usize>)> =
+        vars.iter().copied().zip(kept.into_iter()).collect();
+    live_spread(map, &live)
+}
+
+/// Result of a sampled expansion check (one row of experiment E2).
+#[derive(Debug, Clone, Copy)]
+pub struct ExpansionReport {
+    /// Live-set size tested.
+    pub q: usize,
+    /// Number of random live sets sampled.
+    pub samples: usize,
+    /// The lemma's requirement `(2c−1)·q / b`.
+    pub required: f64,
+    /// Worst (smallest) spread the greedy adversary achieved.
+    pub worst_spread: usize,
+    /// `worst_spread / required` — ≥ 1 means the property held on every
+    /// sample.
+    pub worst_ratio: f64,
+    /// Whether every sample satisfied the lemma's bound.
+    pub satisfied: bool,
+}
+
+/// Sample `samples` random live sets of size `q` and report the worst
+/// greedy-adversary spread against the lemma bound `(2c−1)q/b`.
+pub fn check_sampled(
+    map: &MemoryMap,
+    c: usize,
+    b: usize,
+    q: usize,
+    samples: usize,
+    rng: &mut impl Rng,
+) -> ExpansionReport {
+    assert!(q >= 1 && q <= map.vars());
+    let required = (map.redundancy() * q) as f64 / b as f64;
+    let mut worst = usize::MAX;
+    for _ in 0..samples {
+        let vars: Vec<VarId> = rng
+            .sample_distinct(map.vars() as u64, q)
+            .into_iter()
+            .map(|x| x as usize)
+            .collect();
+        let spread = min_live_spread_greedy(map, &vars, c);
+        worst = worst.min(spread);
+    }
+    ExpansionReport {
+        q,
+        samples,
+        required,
+        worst_spread: worst,
+        worst_ratio: worst as f64 / required.max(f64::MIN_POSITIVE),
+        satisfied: (worst as f64) >= required,
+    }
+}
+
+/// All `C(r, c)` ways to choose `c` live copy indices out of `r`.
+fn combinations(r: usize, c: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::with_capacity(c);
+    fn go(start: usize, r: usize, c: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if cur.len() == c {
+            out.push(cur.clone());
+            return;
+        }
+        for i in start..r {
+            if r - i < c - cur.len() {
+                break;
+            }
+            cur.push(i);
+            go(i + 1, r, c, cur, out);
+            cur.pop();
+        }
+    }
+    go(0, r, c, &mut cur, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simrng::rng_from_seed;
+
+    #[test]
+    fn combinations_count() {
+        assert_eq!(combinations(5, 3).len(), 10);
+        assert_eq!(combinations(3, 3).len(), 1);
+        assert_eq!(combinations(4, 1).len(), 4);
+    }
+
+    #[test]
+    fn live_spread_counts_distinct_modules() {
+        let map = MemoryMap::striped(10, 8, 3); // stride 2: v's copies at v, v+2, v+4 (mod 8)
+        let spread = live_spread(&map, &[(0, vec![0, 1]), (2, vec![0, 1])]);
+        // var 0 copies 0,1 -> modules 0,2 ; var 2 copies 0,1 -> modules 2,4
+        assert_eq!(spread, 3);
+    }
+
+    #[test]
+    fn congested_map_has_no_expansion() {
+        let r = 5;
+        let c = 3;
+        let map = MemoryMap::congested(100, 64, r);
+        let vars: Vec<VarId> = (0..10).collect();
+        // All copies in modules 0..5, so spread can never exceed r.
+        let spread = min_live_spread_greedy(&map, &vars, c);
+        assert!(spread <= r);
+        // With b = 4, requirement is 5*10/4 = 12.5 > 5: property fails.
+        let mut rng = rng_from_seed(0);
+        let rep = check_sampled(&map, c, 4, 10, 5, &mut rng);
+        assert!(!rep.satisfied);
+    }
+
+    #[test]
+    fn exhaustive_matches_or_beats_greedy() {
+        // Greedy is an upper bound on the true minimum spread.
+        let map = MemoryMap::random(32, 16, 3, 5);
+        let vars: Vec<VarId> = vec![1, 4, 9, 20];
+        let exact = min_live_spread_exhaustive(&map, &vars, 2);
+        let greedy = min_live_spread_greedy(&map, &vars, 2);
+        assert!(exact <= greedy, "exact {exact} > greedy {greedy}");
+        assert!(exact >= 2, "distinct-module maps give at least c spread for one var");
+    }
+
+    #[test]
+    fn random_map_fine_granularity_expands() {
+        // n = 16 procs, M = 64 modules (eps = 0.5 at n=16), m = 256 vars,
+        // c = 3, b = 4, q = n/(2c-1) = 3: requirement 3.75.
+        let map = MemoryMap::random(256, 64, 5, 7);
+        let mut rng = rng_from_seed(42);
+        let rep = check_sampled(&map, 3, 4, 3, 50, &mut rng);
+        assert!(rep.satisfied, "random fine-grain map should expand: {rep:?}");
+        assert!(rep.worst_ratio >= 1.0);
+    }
+
+    #[test]
+    fn single_variable_spread_is_c() {
+        let map = MemoryMap::random(16, 32, 5, 3);
+        let exact = min_live_spread_exhaustive(&map, &[7], 3);
+        // One variable with distinct-module copies: any c live copies
+        // occupy exactly c modules.
+        assert_eq!(exact, 3);
+    }
+
+    #[test]
+    fn greedy_spread_bounded_by_full_footprint() {
+        let map = MemoryMap::random(64, 32, 5, 9);
+        let vars: Vec<VarId> = (0..8).collect();
+        let g = min_live_spread_greedy(&map, &vars, 3);
+        let all: Vec<(VarId, Vec<usize>)> =
+            vars.iter().map(|&v| (v, (0..5).collect())).collect();
+        assert!(g <= live_spread(&map, &all));
+    }
+}

@@ -1,0 +1,313 @@
+//! The memory map: which module holds each copy of each variable.
+//!
+//! The papers' maps are non-constructive (shown to exist by the
+//! probabilistic method); following DESIGN.md §5 we instantiate seeded
+//! pseudo-random maps and verify the needed expansion property empirically
+//! (see [`crate::expansion`]). Degenerate map families are provided as
+//! adversarial controls for the experiments.
+
+use simrng::{rng_from_seed, Rng};
+
+/// A shared-memory variable index, `0 .. m`.
+pub type VarId = usize;
+/// A memory-module index, `0 .. M`.
+pub type ModuleId = usize;
+
+/// How a map was generated (recorded for experiment provenance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapKind {
+    /// Copies of each variable drawn uniformly without replacement —
+    /// the instantiation of the papers' random map.
+    Random,
+    /// Copy `i` of variable `v` in module `(v + i·stride) mod M` — a
+    /// structured map that looks balanced but has poor expansion for
+    /// correlated variable sets (adversarial control).
+    Striped,
+    /// All copies of every variable crowded into the first `r` modules —
+    /// the worst possible map (adversarial control; expansion fails
+    /// maximally).
+    Congested,
+    /// Copy `i` of variable `v` in module `(aᵢ·v + bᵢ) mod p mod M` for
+    /// per-copy random affine functions over a prime field — a
+    /// **constructive** map in the spirit of the paper's conclusion (each
+    /// processor computes placements from `2r` coefficients instead of
+    /// storing an `O(m·r·log M)`-bit table). Pairwise-independent per
+    /// copy, but *not* proven to satisfy the lemmas — E2 measures it.
+    Affine,
+}
+
+/// Placement of `r` copies of each of `m` variables among `M` modules.
+///
+/// Stored flat: copy `i` of variable `v` is `copy_module[v*r + i]`. For a
+/// valid map the `r` modules of one variable are pairwise distinct (copies
+/// in the same module would not survive that module's unavailability and
+/// would not add access bandwidth).
+#[derive(Debug, Clone)]
+pub struct MemoryMap {
+    m: usize,
+    modules: usize,
+    r: usize,
+    kind: MapKind,
+    copy_module: Vec<u32>,
+}
+
+impl MemoryMap {
+    /// Uniform random map (the paper's existence proof instantiated): the
+    /// `r` copies of each variable land in `r` distinct uniform modules.
+    pub fn random(m: usize, modules: usize, r: usize, seed: u64) -> Self {
+        assert!(r >= 1 && r <= modules, "need r <= M distinct modules per variable");
+        let mut rng = rng_from_seed(seed);
+        let mut copy_module = Vec::with_capacity(m * r);
+        for _ in 0..m {
+            for mod_id in rng.sample_distinct(modules as u64, r) {
+                copy_module.push(mod_id as u32);
+            }
+        }
+        MemoryMap { m, modules, r, kind: MapKind::Random, copy_module }
+    }
+
+    /// Striped map: copy `i` of `v` in module `(v + i·stride) mod M`, with
+    /// `stride = ⌊M/r⌋` so a variable's copies are distinct and evenly
+    /// spaced.
+    pub fn striped(m: usize, modules: usize, r: usize) -> Self {
+        assert!(r >= 1 && r <= modules);
+        let stride = (modules / r).max(1);
+        let mut copy_module = Vec::with_capacity(m * r);
+        for v in 0..m {
+            for i in 0..r {
+                copy_module.push(((v + i * stride) % modules) as u32);
+            }
+        }
+        let map = MemoryMap { m, modules, r, kind: MapKind::Striped, copy_module };
+        debug_assert!(map.validate().is_ok());
+        map
+    }
+
+    /// Constructive affine map: copy `i` of `v` lands in
+    /// `(aᵢ·v + bᵢ) mod p mod M` with `p = 2⁶¹ − 1` and seeded random odd
+    /// `aᵢ`, `bᵢ`. Collisions among a variable's copies are resolved by
+    /// linear probing to the next free module, keeping the map valid; the
+    /// probe offset is itself a deterministic function of `(v, i)`, so the
+    /// map remains computable from the `2r` coefficients alone.
+    pub fn affine(m: usize, modules: usize, r: usize, seed: u64) -> Self {
+        assert!(r >= 1 && r <= modules, "need r <= M distinct modules per variable");
+        const P: u128 = (1u128 << 61) - 1;
+        let mut rng = rng_from_seed(seed);
+        let coeffs: Vec<(u128, u128)> = (0..r)
+            .map(|_| (((rng.next_u64() | 1) as u128) % P, (rng.next_u64() as u128) % P))
+            .collect();
+        let mut copy_module = Vec::with_capacity(m * r);
+        let mut taken: Vec<u32> = Vec::with_capacity(r);
+        for v in 0..m {
+            taken.clear();
+            for &(a, b) in &coeffs {
+                let mut md = (((a * (v as u128 + 1) + b) % P) % modules as u128) as u32;
+                while taken.contains(&md) {
+                    md = (md + 1) % modules as u32; // deterministic probe
+                }
+                taken.push(md);
+                copy_module.push(md);
+            }
+        }
+        MemoryMap { m, modules, r, kind: MapKind::Affine, copy_module }
+    }
+
+    /// Worst-case map: every variable's copies sit in modules `0..r`.
+    pub fn congested(m: usize, modules: usize, r: usize) -> Self {
+        assert!(r >= 1 && r <= modules);
+        let mut copy_module = Vec::with_capacity(m * r);
+        for _ in 0..m {
+            for i in 0..r {
+                copy_module.push(i as u32);
+            }
+        }
+        MemoryMap { m, modules, r, kind: MapKind::Congested, copy_module }
+    }
+
+    /// Number of variables `m`.
+    #[inline]
+    pub fn vars(&self) -> usize {
+        self.m
+    }
+
+    /// Number of modules `M`.
+    #[inline]
+    pub fn modules(&self) -> usize {
+        self.modules
+    }
+
+    /// Copies per variable `r`.
+    #[inline]
+    pub fn redundancy(&self) -> usize {
+        self.r
+    }
+
+    /// Provenance of this map.
+    #[inline]
+    pub fn kind(&self) -> MapKind {
+        self.kind
+    }
+
+    /// Module holding copy `i` of variable `v`.
+    #[inline]
+    pub fn module_of(&self, v: VarId, i: usize) -> ModuleId {
+        debug_assert!(i < self.r);
+        self.copy_module[v * self.r + i] as ModuleId
+    }
+
+    /// The modules of all `r` copies of `v`.
+    #[inline]
+    pub fn copies(&self, v: VarId) -> &[u32] {
+        &self.copy_module[v * self.r..(v + 1) * self.r]
+    }
+
+    /// Per-module count of copy slots (storage-balance histogram).
+    pub fn module_loads(&self) -> Vec<usize> {
+        let mut loads = vec![0usize; self.modules];
+        for &md in &self.copy_module {
+            loads[md as usize] += 1;
+        }
+        loads
+    }
+
+    /// Structural validation: each variable's copies occupy distinct
+    /// modules within range.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.copy_module.len() != self.m * self.r {
+            return Err("copy table has wrong size".into());
+        }
+        let mut seen = vec![usize::MAX; self.modules];
+        for v in 0..self.m {
+            for &md in self.copies(v) {
+                let md = md as usize;
+                if md >= self.modules {
+                    return Err(format!("variable {v} has a copy in nonexistent module {md}"));
+                }
+                if seen[md] == v {
+                    return Err(format!("variable {v} has two copies in module {md}"));
+                }
+                seen[md] = v;
+            }
+        }
+        Ok(())
+    }
+
+    /// Bits required by the address look-up table each processor must store
+    /// (`O(m·r·log M)`) — the figure the paper's conclusion laments.
+    pub fn lookup_table_bits(&self) -> u128 {
+        let log_m = (self.modules.max(2) as f64).log2().ceil() as u128;
+        (self.m as u128) * (self.r as u128) * log_m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_map_is_valid_and_deterministic() {
+        let a = MemoryMap::random(100, 32, 5, 1);
+        let b = MemoryMap::random(100, 32, 5, 1);
+        let c = MemoryMap::random(100, 32, 5, 2);
+        assert!(a.validate().is_ok());
+        assert_eq!(a.copy_module, b.copy_module);
+        assert_ne!(a.copy_module, c.copy_module);
+        assert_eq!(a.kind(), MapKind::Random);
+    }
+
+    #[test]
+    fn random_map_full_redundancy_equals_modules() {
+        let map = MemoryMap::random(10, 7, 7, 3);
+        assert!(map.validate().is_ok());
+        for v in 0..10 {
+            let mut mods: Vec<u32> = map.copies(v).to_vec();
+            mods.sort_unstable();
+            assert_eq!(mods, (0..7).collect::<Vec<u32>>());
+        }
+    }
+
+    #[test]
+    fn striped_map_valid_and_spaced() {
+        let map = MemoryMap::striped(50, 16, 4);
+        assert!(map.validate().is_ok());
+        assert_eq!(map.module_of(0, 0), 0);
+        assert_eq!(map.module_of(0, 1), 4);
+        assert_eq!(map.module_of(1, 0), 1);
+    }
+
+    #[test]
+    fn congested_map_detected_invalid_only_if_duplicated() {
+        let map = MemoryMap::congested(20, 16, 3);
+        // Structurally valid (copies are in distinct modules 0,1,2) but
+        // pathologically concentrated.
+        assert!(map.validate().is_ok());
+        let loads = map.module_loads();
+        assert_eq!(loads[0], 20);
+        assert_eq!(loads[3], 0);
+    }
+
+    #[test]
+    fn module_loads_sum_to_all_copies() {
+        let map = MemoryMap::random(64, 16, 3, 9);
+        let loads = map.module_loads();
+        assert_eq!(loads.iter().sum::<usize>(), 64 * 3);
+    }
+
+    #[test]
+    fn random_map_roughly_balanced() {
+        let (m, modules, r) = (2000, 64, 5);
+        let map = MemoryMap::random(m, modules, r, 11);
+        let loads = map.module_loads();
+        let mean = (m * r / modules) as f64;
+        for &l in &loads {
+            assert!(
+                (l as f64) < 2.0 * mean && (l as f64) > 0.4 * mean,
+                "load {l} too far from mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_table_bits_formula() {
+        let map = MemoryMap::random(1 << 10, 1 << 6, 3, 0);
+        assert_eq!(map.lookup_table_bits(), 1024 * 3 * 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "r <= M")]
+    fn too_much_redundancy_rejected() {
+        let _ = MemoryMap::random(4, 3, 5, 0);
+    }
+
+    #[test]
+    fn affine_map_valid_and_deterministic() {
+        let a = MemoryMap::affine(500, 64, 5, 3);
+        let b = MemoryMap::affine(500, 64, 5, 3);
+        let c = MemoryMap::affine(500, 64, 5, 4);
+        assert!(a.validate().is_ok());
+        assert_eq!(a.copies(17), b.copies(17));
+        assert_ne!(a.copy_module, c.copy_module);
+        assert_eq!(a.kind(), MapKind::Affine);
+    }
+
+    #[test]
+    fn affine_map_roughly_balanced() {
+        let (m, modules, r) = (2000, 64, 5);
+        let map = MemoryMap::affine(m, modules, r, 11);
+        let loads = map.module_loads();
+        let mean = (m * r / modules) as f64;
+        for &l in &loads {
+            assert!(
+                (l as f64) < 2.5 * mean && (l as f64) > 0.3 * mean,
+                "load {l} too far from mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn affine_map_probing_keeps_copies_distinct() {
+        // Tiny module count forces probe collisions; validity must hold.
+        let map = MemoryMap::affine(64, 5, 5, 7);
+        assert!(map.validate().is_ok());
+    }
+}

@@ -1,0 +1,269 @@
+//! Experiment support: summaries, scaling-law fits, and table rendering.
+//!
+//! The reproduction's claims are about *growth rates* (is time `log² n` or
+//! `n^ε`? is redundancy flat or `log n`?), so the crate provides
+//! least-squares fits against the two model families the paper uses —
+//! `y = a·(log₂ x)^p` and `y = a·x^p` — plus plain ASCII tables for the
+//! `repro` harness and EXPERIMENTS.md.
+
+/// Basic descriptive statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample count.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Population standard deviation.
+    pub std: f64,
+}
+
+impl Summary {
+    /// Summarize a sample (empty samples yield zeros).
+    pub fn of(xs: &[f64]) -> Summary {
+        if xs.is_empty() {
+            return Summary { count: 0, mean: 0.0, min: 0.0, max: 0.0, std: 0.0 };
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        Summary {
+            count: xs.len(),
+            mean,
+            min: xs.iter().copied().fold(f64::INFINITY, f64::min),
+            max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            std: var.sqrt(),
+        }
+    }
+
+    /// Summarize integer samples.
+    pub fn of_u64(xs: &[u64]) -> Summary {
+        Summary::of(&xs.iter().map(|&x| x as f64).collect::<Vec<_>>())
+    }
+}
+
+/// A fitted model `y = a·f(x)^p` with its residual quality.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fit {
+    /// Multiplicative constant.
+    pub a: f64,
+    /// Exponent.
+    pub p: f64,
+    /// Coefficient of determination on the transformed (log) scale.
+    pub r2: f64,
+}
+
+fn linfit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let slope = if sxx.abs() < 1e-12 { 0.0 } else { sxy / sxx };
+    let intercept = my - slope * mx;
+    let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| {
+            let e = y - (intercept + slope * x);
+            e * e
+        })
+        .sum();
+    let r2 = if ss_tot.abs() < 1e-12 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    (intercept, slope, r2)
+}
+
+/// Fit `y = a·x^p` (log-log least squares). Requires positive data.
+pub fn fit_power(xs: &[f64], ys: &[f64]) -> Fit {
+    assert_eq!(xs.len(), ys.len());
+    assert!(xs.len() >= 2, "need at least two points to fit");
+    let lx: Vec<f64> = xs.iter().map(|&x| x.max(1e-12).ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|&y| y.max(1e-12).ln()).collect();
+    let (b, p, r2) = linfit(&lx, &ly);
+    Fit { a: b.exp(), p, r2 }
+}
+
+/// Fit `y = a·(log₂ x)^p` — the polylog family the paper's bounds live in.
+pub fn fit_polylog(xs: &[f64], ys: &[f64]) -> Fit {
+    assert_eq!(xs.len(), ys.len());
+    assert!(xs.len() >= 2, "need at least two points to fit");
+    let lx: Vec<f64> = xs.iter().map(|&x| x.max(2.0).log2().ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|&y| y.max(1e-12).ln()).collect();
+    let (b, p, r2) = linfit(&lx, &ly);
+    Fit { a: b.exp(), p, r2 }
+}
+
+/// A plain-text table with aligned columns (also renders as markdown).
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.len());
+            }
+        }
+        w
+    }
+
+    /// Render with aligned columns and a separator rule.
+    pub fn render(&self) -> String {
+        let w = self.widths();
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], w: &[usize]| {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", c, width = w[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &w));
+        out.push('\n');
+        out.push_str(&"-".repeat(w.iter().sum::<usize>() + 2 * (w.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &w));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as a GitHub-flavored markdown table.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}|\n",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+/// Format a float compactly for tables.
+pub fn fnum(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.std - (1.25f64).sqrt()).abs() < 1e-12);
+        let e = Summary::of(&[]);
+        assert_eq!(e.count, 0);
+    }
+
+    #[test]
+    fn power_fit_recovers_exponent() {
+        let xs: Vec<f64> = (1..=6).map(|i| (1 << i) as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 3.0 * x.powf(1.5)).collect();
+        let f = fit_power(&xs, &ys);
+        assert!((f.p - 1.5).abs() < 1e-6, "p = {}", f.p);
+        assert!((f.a - 3.0).abs() < 1e-6);
+        assert!(f.r2 > 0.999);
+    }
+
+    #[test]
+    fn polylog_fit_recovers_exponent() {
+        let xs: Vec<f64> = (3..=10).map(|i| (1u64 << i) as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 2.0 * x.log2().powf(2.0)).collect();
+        let f = fit_polylog(&xs, &ys);
+        assert!((f.p - 2.0).abs() < 1e-6, "p = {}", f.p);
+        assert!(f.r2 > 0.999);
+    }
+
+    #[test]
+    fn polylog_distinguishes_linear_from_log() {
+        let xs: Vec<f64> = (3..=12).map(|i| (1u64 << i) as f64).collect();
+        let linear: Vec<f64> = xs.clone();
+        let logly: Vec<f64> = xs.iter().map(|&x| x.log2()).collect();
+        let f_lin = fit_polylog(&xs, &linear);
+        let f_log = fit_polylog(&xs, &logly);
+        // A linear function looks like a very high polylog power; log n is
+        // power 1.
+        assert!((f_log.p - 1.0).abs() < 1e-6);
+        assert!(f_lin.p > 3.0);
+    }
+
+    #[test]
+    fn table_rendering() {
+        let mut t = Table::new(vec!["n", "phases"]);
+        t.row(vec!["16", "12"]);
+        t.row(vec!["256", "20"]);
+        let s = t.render();
+        assert!(s.contains("n"));
+        assert!(s.lines().count() == 4);
+        let md = t.render_markdown();
+        assert!(md.starts_with("| n | phases |"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn fnum_ranges() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(3.14159), "3.14");
+        assert_eq!(fnum(42.5), "42.5");
+        assert_eq!(fnum(12345.6), "12346");
+    }
+}

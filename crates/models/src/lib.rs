@@ -1,0 +1,337 @@
+//! Machine-model descriptors for the five models the paper discusses.
+//!
+//! | Figure | Model | Struct |
+//! |--------|-------|--------|
+//! | Fig. 1 | P-RAM (n processors, m shared cells, unit access) | [`PramModel`] |
+//! | Fig. 2 | MPC — module parallel computer, complete graph `K_n`, one module per processor | [`MpcModel`] |
+//! | Fig. 3 | BDN — bounded-degree network | [`BdnModel`] |
+//! | Fig. 5 | DMMPC — distributed-memory MPC, complete bipartite `K_{n,M}` | [`DmmpcModel`] |
+//! | Fig. 6 | DMBDN — distributed-memory bounded-degree network with switches | [`DmbdnModel`] |
+//!
+//! These structs carry the structural parameters (processor count, module
+//! count, granularity, interconnect degree) and validate the models'
+//! defining constraints. The simulation schemes in `cr-core` are each pinned
+//! to one of these models; the E1 experiment prints this table.
+//!
+//! The crate also hosts [`params::PaperParams`], the single source of truth
+//! for the paper's parameter conventions (`n`, `k`, `ε`, `b`, `c`, `r`).
+
+pub mod params;
+
+pub use params::PaperParams;
+
+/// Structural facts common to all machine models.
+pub trait MachineModel {
+    /// Human-readable model name as used in the paper.
+    fn name(&self) -> &'static str;
+    /// Number of RAM processors, `n`.
+    fn processors(&self) -> usize;
+    /// Total shared-memory cells, `m`.
+    fn memory_cells(&self) -> usize;
+    /// Number of independently accessible memory modules, `M`.
+    fn modules(&self) -> usize;
+    /// Memory granularity `g = m/M` (cells per module), rounded up.
+    fn granularity(&self) -> usize {
+        self.memory_cells().div_ceil(self.modules().max(1))
+    }
+    /// Maximum vertex degree of the interconnection, as a function of the
+    /// model size (the quantity the BDN model requires to be `O(1)`).
+    fn max_degree(&self) -> usize;
+    /// Whether the interconnect degree is bounded by a constant independent
+    /// of the machine size.
+    fn bounded_degree(&self) -> bool;
+    /// Non-processor switching nodes introduced by the interconnect.
+    fn switch_nodes(&self) -> usize {
+        0
+    }
+    /// Check the model's defining structural constraints.
+    fn validate(&self) -> Result<(), String>;
+}
+
+/// Fig. 1 — the ideal P-RAM: `n` processors, `m` cells, O(1) access.
+/// Not physically realizable for large `n`; the reference model that every
+/// scheme simulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PramModel {
+    /// Processor count.
+    pub n: usize,
+    /// Shared cells.
+    pub m: usize,
+}
+
+impl MachineModel for PramModel {
+    fn name(&self) -> &'static str {
+        "P-RAM"
+    }
+    fn processors(&self) -> usize {
+        self.n
+    }
+    fn memory_cells(&self) -> usize {
+        self.m
+    }
+    fn modules(&self) -> usize {
+        1 // one monolithic memory with unbounded ports
+    }
+    fn max_degree(&self) -> usize {
+        self.n // everyone touches the shared memory
+    }
+    fn bounded_degree(&self) -> bool {
+        false
+    }
+    fn validate(&self) -> Result<(), String> {
+        if self.n == 0 {
+            return Err("P-RAM needs at least one processor".into());
+        }
+        if self.m == 0 {
+            return Err("P-RAM needs at least one memory cell".into());
+        }
+        Ok(())
+    }
+}
+
+/// Fig. 2 — MPC: `n` processors each owning a module of `m/n` cells,
+/// interconnected by the complete graph `K_n` (Mehlhorn & Vishkin 1984, as
+/// restricted by Alt et al. 1987).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MpcModel {
+    /// Processor (= module) count.
+    pub n: usize,
+    /// Total shared cells; each module stores `m/n`.
+    pub m: usize,
+}
+
+impl MachineModel for MpcModel {
+    fn name(&self) -> &'static str {
+        "MPC"
+    }
+    fn processors(&self) -> usize {
+        self.n
+    }
+    fn memory_cells(&self) -> usize {
+        self.m
+    }
+    fn modules(&self) -> usize {
+        self.n
+    }
+    fn max_degree(&self) -> usize {
+        self.n.saturating_sub(1) // K_n
+    }
+    fn bounded_degree(&self) -> bool {
+        false // the complete graph needs unbounded fan-in/out — Fig. 3's motivation
+    }
+    fn validate(&self) -> Result<(), String> {
+        if self.n == 0 {
+            return Err("MPC needs at least one processor".into());
+        }
+        if self.m < self.n {
+            return Err(format!("MPC with m={} < n={} has empty modules", self.m, self.n));
+        }
+        Ok(())
+    }
+}
+
+/// Fig. 3 — BDN: `n` processor/module pairs, each linked to O(1) others.
+/// The degree bound is the model's defining constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BdnModel {
+    /// Processor (= module) count.
+    pub n: usize,
+    /// Total shared cells.
+    pub m: usize,
+    /// The constant degree bound of the interconnect.
+    pub degree: usize,
+}
+
+impl MachineModel for BdnModel {
+    fn name(&self) -> &'static str {
+        "BDN"
+    }
+    fn processors(&self) -> usize {
+        self.n
+    }
+    fn memory_cells(&self) -> usize {
+        self.m
+    }
+    fn modules(&self) -> usize {
+        self.n
+    }
+    fn max_degree(&self) -> usize {
+        self.degree
+    }
+    fn bounded_degree(&self) -> bool {
+        true
+    }
+    fn validate(&self) -> Result<(), String> {
+        if self.degree < 2 {
+            return Err("a connected BDN needs degree >= 2".into());
+        }
+        if self.n == 0 {
+            return Err("BDN needs at least one processor".into());
+        }
+        Ok(())
+    }
+}
+
+/// Fig. 5 — DMMPC: `n` processors and `M = ⌈m/g⌉` *separate* memory modules
+/// interconnected by the complete bipartite graph `K_{n,M}` (paper §2).
+/// Decoupling modules from processors is what enables fine granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DmmpcModel {
+    /// Processor count.
+    pub n: usize,
+    /// Total shared cells.
+    pub m: usize,
+    /// Module count `M` (the paper's fine-granularity condition is
+    /// `M = n^{1+ε}`, `ε > 0`).
+    pub modules: usize,
+}
+
+impl DmmpcModel {
+    /// The granularity exponent `ε` such that `M = n^{1+ε}` (meaningful for
+    /// `n ≥ 2`).
+    pub fn epsilon(&self) -> f64 {
+        ((self.modules as f64).ln() / (self.n as f64).ln()) - 1.0
+    }
+}
+
+impl MachineModel for DmmpcModel {
+    fn name(&self) -> &'static str {
+        "DMMPC"
+    }
+    fn processors(&self) -> usize {
+        self.n
+    }
+    fn memory_cells(&self) -> usize {
+        self.m
+    }
+    fn modules(&self) -> usize {
+        self.modules
+    }
+    fn max_degree(&self) -> usize {
+        self.n.max(self.modules) // K_{n,M}
+    }
+    fn bounded_degree(&self) -> bool {
+        false
+    }
+    fn validate(&self) -> Result<(), String> {
+        if self.n == 0 || self.modules == 0 {
+            return Err("DMMPC needs processors and modules".into());
+        }
+        if self.modules < self.n {
+            return Err(format!(
+                "DMMPC with M={} < n={} is coarser than the MPC it generalizes",
+                self.modules, self.n
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Fig. 6 — DMBDN: `n` processors and `M` modules joined by a
+/// bounded-degree network that may contain `O(m)` extra *switch* nodes
+/// (paper §3). The 2DMOT instantiations are the concrete cases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DmbdnModel {
+    /// Processor count.
+    pub n: usize,
+    /// Total shared cells.
+    pub m: usize,
+    /// Module count.
+    pub modules: usize,
+    /// Switch (dummy-processor) count of the interconnect.
+    pub switches: usize,
+    /// Degree bound of the interconnect.
+    pub degree: usize,
+}
+
+impl MachineModel for DmbdnModel {
+    fn name(&self) -> &'static str {
+        "DMBDN"
+    }
+    fn processors(&self) -> usize {
+        self.n
+    }
+    fn memory_cells(&self) -> usize {
+        self.m
+    }
+    fn modules(&self) -> usize {
+        self.modules
+    }
+    fn max_degree(&self) -> usize {
+        self.degree
+    }
+    fn bounded_degree(&self) -> bool {
+        true
+    }
+    fn switch_nodes(&self) -> usize {
+        self.switches
+    }
+    fn validate(&self) -> Result<(), String> {
+        if self.degree < 2 {
+            return Err("a connected DMBDN needs degree >= 2".into());
+        }
+        // The model admits O(m) additional switches; flag gross violations
+        // (the paper's objection to hiding unbounded hardware).
+        if self.switches > 8 * self.m.max(self.n) {
+            return Err(format!(
+                "DMBDN with {} switches for m={} hides more than O(m) hardware",
+                self.switches, self.m
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pram_validates() {
+        assert!(PramModel { n: 8, m: 64 }.validate().is_ok());
+        assert!(PramModel { n: 0, m: 64 }.validate().is_err());
+        assert!(PramModel { n: 8, m: 0 }.validate().is_err());
+        assert!(!PramModel { n: 8, m: 64 }.bounded_degree());
+    }
+
+    #[test]
+    fn mpc_granularity_is_coarse() {
+        let mpc = MpcModel { n: 16, m: 16 * 16 * 16 };
+        assert!(mpc.validate().is_ok());
+        assert_eq!(mpc.granularity(), 256); // m/n = n^2 — the van Neumann bottleneck
+        assert_eq!(mpc.max_degree(), 15);
+        assert!(!mpc.bounded_degree());
+        assert!(MpcModel { n: 8, m: 4 }.validate().is_err());
+    }
+
+    #[test]
+    fn bdn_degree_bound() {
+        assert!(BdnModel { n: 64, m: 4096, degree: 4 }.validate().is_ok());
+        assert!(BdnModel { n: 64, m: 4096, degree: 1 }.validate().is_err());
+    }
+
+    #[test]
+    fn dmmpc_epsilon_recovered() {
+        // n=16, M=n^{1.5}=64
+        let d = DmmpcModel { n: 16, m: 256, modules: 64 };
+        assert!(d.validate().is_ok());
+        assert!((d.epsilon() - 0.5).abs() < 1e-9);
+        assert_eq!(d.granularity(), 4);
+        assert!(DmmpcModel { n: 16, m: 256, modules: 8 }.validate().is_err());
+    }
+
+    #[test]
+    fn dmbdn_switch_budget() {
+        let ok = DmbdnModel { n: 16, m: 4096, modules: 64, switches: 128, degree: 4 };
+        assert!(ok.validate().is_ok());
+        assert_eq!(ok.switch_nodes(), 128);
+        let bad = DmbdnModel { n: 16, m: 64, modules: 64, switches: 1 << 20, degree: 4 };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn granularity_rounds_up() {
+        let d = DmmpcModel { n: 4, m: 10, modules: 4 };
+        assert_eq!(d.granularity(), 3);
+    }
+}

@@ -1,0 +1,248 @@
+//! The paper's parameter conventions, computed in one place.
+//!
+//! Every experiment and scheme derives its constants from a
+//! [`PaperParams`]: processor count `n`, memory exponent `k` (`m = n^k`),
+//! granularity exponent `ε` (`M = n^{1+ε}`), expansion slack `b`, and the
+//! copy parameter `c` (redundancy `r = 2c − 1`).
+//!
+//! Two regimes for `c`:
+//!
+//! * **Lemma 1** (Upfal & Wigderson 1987; used by the UW-MPC and LPP-2DMOT
+//!   baselines): `c = Θ(log m / log b)` with `b > 4` — redundancy grows
+//!   with the memory size.
+//! * **Lemma 2** (this paper; used by the DMMPC and 2DMOT schemes):
+//!   `c > (bk − ε)/(ε(b − 2))` with `b > 2` — a **constant**.
+
+/// Smallest power of two `≥ x`.
+pub fn pow2_at_least(x: usize) -> usize {
+    x.max(1).next_power_of_two()
+}
+
+/// Smallest even power of two `≥ x` (so its square root is a power of two).
+pub fn even_pow2_at_least(x: usize) -> usize {
+    let mut p = pow2_at_least(x);
+    if !p.trailing_zeros().is_multiple_of(2) {
+        p *= 2;
+    }
+    p
+}
+
+/// `⌈n^e⌉` computed in floating point, clamped to at least 1.
+pub fn ipow_ceil(n: usize, e: f64) -> usize {
+    ((n as f64).powf(e)).ceil().max(1.0) as usize
+}
+
+/// All derived parameters for one machine configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperParams {
+    /// Number of P-RAM processors.
+    pub n: usize,
+    /// Shared-memory size `m`.
+    pub m: usize,
+    /// Number of memory modules `M`.
+    pub modules: usize,
+    /// Expansion slack `b` of the memory-map lemma in force.
+    pub b: usize,
+    /// Copy parameter: a write updates `c` copies, a read collects `c`.
+    pub c: usize,
+}
+
+impl PaperParams {
+    /// Fine-granularity configuration per the paper: `m = ⌈n^k⌉`,
+    /// `M = ⌈n^{1+ε}⌉` rounded to an **even power of two** (so the 2DMOT
+    /// grid side `√M` is a power of two), `c` from **Lemma 2**.
+    ///
+    /// Panics unless `n ≥ 2`, `k > 1`, `0 < ε ≤ k − 1` (more modules than
+    /// cells makes no sense), `b > 2`.
+    pub fn fine_grain(n: usize, k: f64, eps: f64, b: usize) -> Self {
+        assert!(n >= 2, "n must be at least 2");
+        assert!(k > 1.0, "k must exceed 1 (k=1 is the trivial no-contention case)");
+        assert!(eps > 0.0, "fine granularity means eps > 0");
+        assert!(eps <= k - 1.0 + 1e-9, "cannot have more modules than cells");
+        assert!(b > 2, "Lemma 2 needs b > 2");
+        let m = ipow_ceil(n, k);
+        let modules = even_pow2_at_least(ipow_ceil(n, 1.0 + eps)).min(even_pow2_at_least(m));
+        let c = Self::c_lemma2(k, eps, b);
+        PaperParams { n, m, modules, b, c }
+    }
+
+    /// Coarse-granularity configuration (MPC; `M = n`), `c` from
+    /// **Lemma 1**: `c = Θ(log m / log b)`, `b > 4`.
+    pub fn coarse_grain(n: usize, k: f64, b: usize) -> Self {
+        assert!(n >= 2, "n must be at least 2");
+        assert!(k > 1.0, "k must exceed 1");
+        assert!(b > 4, "Lemma 1 needs b > 4");
+        let m = ipow_ceil(n, k);
+        let c = Self::c_lemma1(m, b);
+        PaperParams { n, m, modules: n, b, c }
+    }
+
+    /// Fully explicit configuration (escape hatch for sweeps and tests).
+    pub fn explicit(n: usize, m: usize, modules: usize, b: usize, c: usize) -> Self {
+        assert!(n >= 1 && m >= 1 && modules >= 1);
+        assert!(c >= 1);
+        assert!(
+            modules >= 2 * c - 1,
+            "need at least r = 2c-1 = {} modules to hold distinct copies, got {}",
+            2 * c - 1,
+            modules
+        );
+        PaperParams { n, m, modules, b, c }
+    }
+
+    /// Lemma 2's constant: smallest integer `c > (bk − ε)/(ε(b − 2))`.
+    pub fn c_lemma2(k: f64, eps: f64, b: usize) -> usize {
+        let bound = (b as f64 * k - eps) / (eps * (b as f64 - 2.0));
+        (bound.floor() as usize + 1).max(2)
+    }
+
+    /// Lemma 1's parameter: `c = Θ(log m / log b)` (`b > 4`).
+    pub fn c_lemma1(m: usize, b: usize) -> usize {
+        let c = ((m.max(2) as f64).ln() / (b as f64).ln()).ceil() as usize;
+        c.max(2)
+    }
+
+    /// Herley & Bilardi's redundancy `Θ(log m / log log m)` — the analytic
+    /// comparator row of experiment E9 (see DESIGN.md §5 on why this
+    /// baseline is modeled rather than constructed).
+    pub fn r_herley_bilardi(m: usize) -> usize {
+        let lm = (m.max(4) as f64).log2();
+        (lm / lm.log2()).ceil() as usize
+    }
+
+    /// Redundancy `r = 2c − 1`.
+    pub fn redundancy(&self) -> usize {
+        2 * self.c - 1
+    }
+
+    /// Number of processor clusters, `⌈n / (2c−1)⌉`.
+    pub fn clusters(&self) -> usize {
+        self.n.div_ceil(self.redundancy())
+    }
+
+    /// Memory granularity `g = ⌈m·r / M⌉` **of the simulating machine**
+    /// (each of the `m` variables stores `r` copies across `M` modules).
+    pub fn granularity(&self) -> usize {
+        (self.m * self.redundancy()).div_ceil(self.modules)
+    }
+
+    /// The granularity exponent `ε` implied by `modules = n^{1+ε}`.
+    pub fn epsilon(&self) -> f64 {
+        ((self.modules as f64).ln() / (self.n as f64).ln()) - 1.0
+    }
+
+    /// The memory exponent `k` implied by `m = n^k`.
+    pub fn k(&self) -> f64 {
+        (self.m as f64).ln() / (self.n as f64).ln()
+    }
+
+    /// Theorem 1's lower bound on redundancy for simulating a step in time
+    /// `h`: `r = Ω((k−1)·log n / (ε·log n + log h))`. Returns the bound's
+    /// value (up to its implicit constant, which we take as 1).
+    pub fn theorem1_lower_bound(&self, h: f64) -> f64 {
+        let ln_n = (self.n as f64).ln();
+        let k = self.k();
+        let eps = self.epsilon().max(0.0);
+        ((k - 1.0) * ln_n / (eps * ln_n + h.ln().max(1.0))).max(0.0)
+    }
+
+    /// Grid side of a `√M × √M` 2DMOT housing these modules at its leaves.
+    /// `modules` must be an even power of two (as produced by
+    /// [`PaperParams::fine_grain`]).
+    pub fn mot_side(&self) -> usize {
+        let side = (self.modules as f64).sqrt().round() as usize;
+        assert_eq!(side * side, self.modules, "modules must be a perfect square");
+        assert!(side.is_power_of_two(), "grid side must be a power of two");
+        side
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pow2_helpers() {
+        assert_eq!(pow2_at_least(1), 1);
+        assert_eq!(pow2_at_least(5), 8);
+        assert_eq!(even_pow2_at_least(5), 16);
+        assert_eq!(even_pow2_at_least(16), 16);
+        assert_eq!(even_pow2_at_least(17), 64);
+        assert_eq!(even_pow2_at_least(1), 1);
+        assert_eq!(even_pow2_at_least(2), 4);
+    }
+
+    #[test]
+    fn lemma2_constant_matches_formula() {
+        // k=2, eps=0.5, b=4: (8 - 0.5)/(0.5*2) = 7.5 -> c = 8
+        assert_eq!(PaperParams::c_lemma2(2.0, 0.5, 4), 8);
+        // k=2, eps=1, b=4: (8-1)/(1*2) = 3.5 -> c = 4
+        assert_eq!(PaperParams::c_lemma2(2.0, 1.0, 4), 4);
+        // Constant in n — that is the whole point.
+        let p16 = PaperParams::fine_grain(16, 2.0, 0.5, 4);
+        let p1024 = PaperParams::fine_grain(1024, 2.0, 0.5, 4);
+        assert_eq!(p16.c, p1024.c);
+    }
+
+    #[test]
+    fn lemma1_constant_grows_with_m() {
+        let c_small = PaperParams::c_lemma1(1 << 8, 8);
+        let c_big = PaperParams::c_lemma1(1 << 24, 8);
+        assert!(c_big > c_small);
+    }
+
+    #[test]
+    fn fine_grain_derivations() {
+        let p = PaperParams::fine_grain(64, 2.0, 0.5, 4);
+        assert_eq!(p.m, 4096);
+        // n^{1.5} = 512 -> even power of two >= 512 is 1024
+        assert_eq!(p.modules, 1024);
+        assert_eq!(p.redundancy(), 2 * p.c - 1);
+        assert_eq!(p.mot_side(), 32);
+        assert!(p.epsilon() > 0.5); // rounding up only increases granularity
+    }
+
+    #[test]
+    fn coarse_grain_is_mpc() {
+        let p = PaperParams::coarse_grain(64, 2.0, 8);
+        assert_eq!(p.modules, 64);
+        assert!(p.redundancy() >= 3);
+    }
+
+    #[test]
+    fn theorem1_bound_constant_when_fine() {
+        // Fine granularity: bound ~ (k-1)/eps regardless of n.
+        let small = PaperParams::fine_grain(64, 2.0, 0.5, 4).theorem1_lower_bound(64.0);
+        let large = PaperParams::fine_grain(4096, 2.0, 0.5, 4).theorem1_lower_bound(144.0);
+        assert!((small - large).abs() < 1.5, "bound should stay ~constant: {small} vs {large}");
+        // Coarse granularity (eps = 0): bound grows like log n / log h.
+        let coarse_small = PaperParams::explicit(64, 4096, 64, 8, 5).theorem1_lower_bound(36.0);
+        let coarse_large =
+            PaperParams::explicit(1 << 14, 1 << 28, 1 << 14, 8, 10).theorem1_lower_bound(196.0);
+        assert!(coarse_large > coarse_small);
+    }
+
+    #[test]
+    fn herley_bilardi_growth() {
+        assert!(PaperParams::r_herley_bilardi(1 << 30) > PaperParams::r_herley_bilardi(1 << 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least r")]
+    fn explicit_rejects_too_few_modules() {
+        let _ = PaperParams::explicit(8, 64, 4, 4, 3); // r=5 > 4 modules
+    }
+
+    #[test]
+    fn clusters_cover_processors() {
+        let p = PaperParams::fine_grain(100, 2.0, 0.5, 4);
+        assert!(p.clusters() * p.redundancy() >= p.n);
+    }
+
+    #[test]
+    fn granularity_counts_copies() {
+        let p = PaperParams::explicit(4, 16, 8, 4, 2);
+        // 16 vars * 3 copies = 48 slots over 8 modules = 6 each
+        assert_eq!(p.granularity(), 6);
+    }
+}

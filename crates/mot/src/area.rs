@@ -1,0 +1,125 @@
+//! VLSI area accounting (paper §3; Leighton 1984).
+//!
+//! The paper's area claims, instantiated with unit constants so the
+//! *ratios and growth rates* can be tabulated (experiment E7):
+//!
+//! * an `s × s` 2DMOT occupies `Θ(s²·(log² s + A_leaf))` where `A_leaf` is
+//!   the leaf area (Leighton proved this tight);
+//! * the P-RAM's own memory occupies `Θ(m)` (one unit per cell);
+//! * with modules of granule `g = m/M` at the leaves, the simulator's
+//!   memory area is `Θ(M·(log² M + g))` — which is `Θ(m)`, i.e. **optimal**,
+//!   exactly when `g = Ω(log² M)` (the paper's condition `g = Ω(log² n)` up
+//!   to the polynomial relation between `n` and `M`).
+
+/// Area of an `s × s` 2DMOT whose leaves each occupy `leaf_area` units:
+/// `s²·(log₂²s + leaf_area)`.
+pub fn mot_layout_area(side: usize, leaf_area: u128) -> u128 {
+    assert!(side >= 2);
+    let lg = side.ilog2() as u128;
+    (side as u128) * (side as u128) * (lg * lg + leaf_area)
+}
+
+/// Area of the P-RAM's memory alone: `m` unit cells.
+pub fn pram_memory_area(m: usize) -> u128 {
+    m as u128
+}
+
+/// Area accounting for one memory-at-the-leaves configuration (Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AreaReport {
+    /// Grid side `√M`.
+    pub side: usize,
+    /// Cells per module (`g`), counting all copies stored.
+    pub granule: usize,
+    /// Simulator area (mesh wiring + leaf memories).
+    pub simulator_area: u128,
+    /// The simulated P-RAM's memory area, `m`.
+    pub pram_area: u128,
+    /// `simulator_area / pram_area`, rounded up — the paper's headline is
+    /// that this is O(1) for `g = Ω(log² n)`.
+    pub overhead_ratio: u128,
+    /// Whether the granule satisfies the paper's area-optimality condition
+    /// `g ≥ log² side`.
+    pub area_optimal: bool,
+}
+
+/// Build the area report for `m` P-RAM cells stored with redundancy `r`
+/// across `M = side²` leaf modules.
+pub fn leaves_scheme_area(m: usize, r: usize, side: usize) -> AreaReport {
+    let modules = side * side;
+    let granule = (m * r).div_ceil(modules);
+    let simulator_area = mot_layout_area(side, granule as u128);
+    let pram_area = pram_memory_area(m);
+    AreaReport {
+        side,
+        granule,
+        simulator_area,
+        pram_area,
+        overhead_ratio: simulator_area.div_ceil(pram_area.max(1)),
+        area_optimal: granule as u128 >= (side.ilog2() as u128).pow(2),
+    }
+}
+
+/// Switch count of the Fig. 8 memory-at-leaves scheme: the internal tree
+/// nodes of a `√M × √M` 2DMOT — `O(M)`.
+pub fn leaves_scheme_switches(side: usize) -> usize {
+    2 * side * side.saturating_sub(2)
+}
+
+/// Switch count of the Fig. 7 crossbar scheme: an `n × M` mesh of trees
+/// used as a crossbar needs `Θ(n·M)` switches (n row trees of M leaves and
+/// M column trees of n leaves).
+pub fn crossbar_scheme_switches(n: usize, modules: usize) -> usize {
+    // n row trees with M leaves: n·(M−1) internal nodes; M column trees
+    // with n leaves: M·(n−1); plus the n·M crosspoint leaves themselves
+    // are switches too (no memory or processor lives there).
+    n * modules.saturating_sub(1) + modules * n.saturating_sub(1) + n * modules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_area_formula() {
+        // side=16: 256·(16 + A)
+        assert_eq!(mot_layout_area(16, 0), 256 * 16);
+        assert_eq!(mot_layout_area(16, 100), 256 * 116);
+    }
+
+    #[test]
+    fn big_granule_is_area_optimal() {
+        // m = 2^20, r = 7, side = 256 => M = 65536, g = 112 >= log²256 = 64.
+        let rep = leaves_scheme_area(1 << 20, 7, 256);
+        assert!(rep.area_optimal);
+        // Simulator area within a constant of the P-RAM memory.
+        assert!(rep.overhead_ratio <= 16, "ratio {}", rep.overhead_ratio);
+    }
+
+    #[test]
+    fn tiny_granule_pays_wiring_overhead() {
+        // m = 2^12 cells over M = 2^16 modules: g = 1 < log²(256) —
+        // wiring dominates; not area-optimal.
+        let rep = leaves_scheme_area(1 << 12, 1, 256);
+        assert!(!rep.area_optimal);
+        assert!(rep.overhead_ratio > 16);
+    }
+
+    #[test]
+    fn crossbar_needs_asymptotically_more_switches() {
+        let n = 64;
+        let modules = 4096; // n^2
+        let crossbar = crossbar_scheme_switches(n, modules);
+        let leaves = leaves_scheme_switches(64); // side = sqrt(4096)
+        // O(nM) vs O(M): the gap is the paper's Fig. 7 / Fig. 8 contrast.
+        assert!(crossbar > 50 * leaves, "crossbar {crossbar} vs leaves {leaves}");
+    }
+
+    #[test]
+    fn report_fields_consistent() {
+        let rep = leaves_scheme_area(1024, 3, 16);
+        assert_eq!(rep.granule, (1024usize * 3).div_ceil(256));
+        assert_eq!(rep.pram_area, 1024);
+        assert_eq!(rep.simulator_area, mot_layout_area(16, rep.granule as u128));
+    }
+}

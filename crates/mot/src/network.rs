@@ -1,0 +1,497 @@
+//! Phase-synchronous batched request routing on the 2DMOT.
+//!
+//! Implements the paper's Theorem 3 routing discipline. Processor `P_l`
+//! (stationed at coalesced root `l`) accessing the memory module at leaf
+//! `(i, j)`:
+//!
+//! > "it sends the request down the *l*th row tree to the *j*th leaf. From
+//! > there, it propagates up to the root of the *j*th column tree (provided
+//! > it does not collide with a conflicting request), whence it is sent down
+//! > to the *i*th leaf, i.e. M_{i,j}. The answered request returns to P_l
+//! > simply by reversing this path."
+//!
+//! A *batch* is one protocol phase: a set of requests injected
+//! simultaneously, each either **served** (reaches its leaf, where a caller
+//! callback applies the memory operation, and its reply returns to the
+//! source root) or **killed**. Kills implement the "conflicting request"
+//! clause: each column tree admits at most `col_limit` requests per phase
+//! (1 = the paper's stage-1 collision rule; `Θ(log n)` = the stage-2
+//! pipelining of Luccio et al.), decided deterministically by arrival order
+//! at the turning leaf. All timing comes from the cycle-level engine — link
+//! serialization and pipelining effects are measured, not assumed.
+
+use crate::topology::MotTopology;
+use netsim::{Behavior, Engine, EngineConfig, NodeId, Route, RunStats, Topology};
+
+/// A memory-access request to route through the mesh.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MotRequest<P> {
+    /// Serve at the **column root** instead of a leaf (the Luccio et al.
+    /// scheme, where memory modules sit at the roots): the request still
+    /// turns at leaf `(src_root, col)` and ascends column `col`, but is
+    /// consumed at root `col`; `row` is ignored for routing.
+    pub to_root: bool,
+    /// Source processor's root index (`P_l` at coalesced root `l`).
+    pub src_root: usize,
+    /// Destination leaf row `i`.
+    pub row: usize,
+    /// Destination leaf column `j`.
+    pub col: usize,
+    /// Caller payload (typically variable id, copy index, read/write op).
+    pub payload: P,
+}
+
+/// Which leg of the six-leg path a packet is on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Leg {
+    /// Root `l` → leaf `(l, j)` down the row tree.
+    RowDown,
+    /// Leaf `(l, j)` → root `j` up the column tree.
+    ColUp,
+    /// Root `j` → leaf `(i, j)` down the column tree.
+    ColDown,
+    /// Reply: leaf `(i, j)` → root `j`.
+    ReplyColUp,
+    /// Reply: root `j` → leaf `(l, j)`.
+    ReplyColDown,
+    /// Reply: leaf `(l, j)` → root `l`.
+    ReplyRowUp,
+    /// Lost the column admission race; to be collected as killed.
+    Killed,
+}
+
+#[derive(Debug)]
+struct MotPacket<P> {
+    req: MotRequest<P>,
+    leg: Leg,
+}
+
+/// Result of routing one batch.
+#[derive(Debug)]
+pub struct BatchOutcome<P> {
+    /// Requests served, with payloads as mutated by the leaf callback.
+    pub served: Vec<MotRequest<P>>,
+    /// Requests killed by column-admission conflicts (to be retried by the
+    /// protocol in a later phase).
+    pub killed: Vec<MotRequest<P>>,
+    /// Engine statistics; `stats.cycles` is the phase's duration.
+    pub stats: RunStats,
+}
+
+struct Router<'a, P, F> {
+    mot: &'a MotTopology,
+    serve: F,
+    /// Requests admitted into each column tree this phase.
+    col_admit: &'a mut [u32],
+    col_limit: u32,
+    served: Vec<MotRequest<P>>,
+    killed: Vec<MotRequest<P>>,
+}
+
+impl<P, F: FnMut(usize, usize, &mut P)> Behavior<MotPacket<P>> for Router<'_, P, F> {
+    fn route(&mut self, node: NodeId, p: &mut MotPacket<P>, _topo: &Topology) -> Route {
+        let mot = self.mot;
+        let ports = mot.ports(node);
+        match p.leg {
+            Leg::RowDown => {
+                if let Some((r, c)) = mot.as_leaf(node) {
+                    debug_assert_eq!((r, c), (p.req.src_root, p.req.col));
+                    // Column admission: the "conflicting request" rule.
+                    if self.col_admit[c] >= self.col_limit {
+                        p.leg = Leg::Killed;
+                        return Route::Consume;
+                    }
+                    self.col_admit[c] += 1;
+                    p.leg = Leg::ColUp;
+                    Route::Forward(ports.col_up.expect("leaf has column parent"))
+                } else {
+                    Route::Forward(mot.row_step_down(node, p.req.col))
+                }
+            }
+            Leg::ColUp => {
+                if mot.as_root(node).is_some() {
+                    if p.req.to_root {
+                        return Route::Consume; // module lives at this root
+                    }
+                    p.leg = Leg::ColDown;
+                    Route::Forward(mot.col_step_down(node, p.req.row))
+                } else {
+                    Route::Forward(ports.col_up.expect("column node has parent"))
+                }
+            }
+            Leg::ColDown => {
+                if let Some((r, c)) = mot.as_leaf(node) {
+                    debug_assert_eq!((r, c), (p.req.row, p.req.col));
+                    Route::Consume // memory module access happens in consume()
+                } else {
+                    Route::Forward(mot.col_step_down(node, p.req.row))
+                }
+            }
+            Leg::ReplyColUp => {
+                if mot.as_root(node).is_some() {
+                    p.leg = Leg::ReplyColDown;
+                    Route::Forward(mot.col_step_down(node, p.req.src_root))
+                } else {
+                    Route::Forward(ports.col_up.expect("column node has parent"))
+                }
+            }
+            Leg::ReplyColDown => {
+                if mot.as_leaf(node).is_some() {
+                    p.leg = Leg::ReplyRowUp;
+                    Route::Forward(ports.row_up.expect("leaf has row parent"))
+                } else {
+                    Route::Forward(mot.col_step_down(node, p.req.src_root))
+                }
+            }
+            Leg::ReplyRowUp => {
+                if let Some(t) = mot.as_root(node) {
+                    debug_assert_eq!(t, p.req.src_root);
+                    Route::Consume
+                } else {
+                    Route::Forward(ports.row_up.expect("row node has parent"))
+                }
+            }
+            Leg::Killed => Route::Consume,
+        }
+    }
+
+    fn consume(
+        &mut self,
+        node: NodeId,
+        mut p: MotPacket<P>,
+        _topo: &Topology,
+    ) -> Option<MotPacket<P>> {
+        match p.leg {
+            Leg::Killed => {
+                self.killed.push(p.req);
+                None
+            }
+            Leg::ColUp => {
+                // to_root request: the module at column root `col` serves it.
+                debug_assert_eq!(self.mot.as_root(node), Some(p.req.col));
+                (self.serve)(p.req.row, p.req.col, &mut p.req.payload);
+                p.leg = Leg::ReplyColDown;
+                Some(p)
+            }
+            Leg::ColDown => {
+                // The memory module at this leaf serves the request.
+                let (r, c) = self.mot.as_leaf(node).expect("served at a leaf");
+                (self.serve)(r, c, &mut p.req.payload);
+                p.leg = Leg::ReplyColUp;
+                Some(p)
+            }
+            Leg::ReplyRowUp => {
+                self.served.push(p.req);
+                None
+            }
+            other => unreachable!("consume on leg {other:?}"),
+        }
+    }
+}
+
+/// A 2DMOT with a persistent routing engine: build once, route many
+/// batches. Generic over the request payload `P`.
+#[derive(Debug)]
+pub struct MotNetwork<P> {
+    mot: MotTopology,
+    engine: Engine<MotPacket<P>>,
+    col_admit: Vec<u32>,
+}
+
+impl<P> MotNetwork<P> {
+    /// A network over an `side × side` 2DMOT.
+    pub fn new(side: usize) -> Self {
+        let mot = MotTopology::new(side);
+        // Queue capacity must accommodate stage-2 pipelining (Θ(log n)
+        // packets per column); admission control bounds the real occupancy.
+        let cfg = EngineConfig { queue_capacity: 4 * side.max(16), max_cycles: 10_000_000 };
+        let engine = Engine::new(mot.graph(), cfg);
+        let col_admit = vec![0; side];
+        MotNetwork { mot, engine, col_admit }
+    }
+
+    /// The topology (for inspection / area accounting).
+    pub fn topology(&self) -> &MotTopology {
+        &self.mot
+    }
+
+    /// Route one batch (= one protocol phase).
+    ///
+    /// * `col_limit` — per-column admission bound (1 for collision-kill
+    ///   phases, larger for pipelined phases);
+    /// * `serve(row, col, payload)` — the memory-module callback, invoked
+    ///   exactly once per served request when it reaches its leaf.
+    pub fn route_batch<F: FnMut(usize, usize, &mut P)>(
+        &mut self,
+        reqs: Vec<MotRequest<P>>,
+        col_limit: usize,
+        serve: F,
+    ) -> BatchOutcome<P> {
+        let side = self.mot.side();
+        self.col_admit.iter_mut().for_each(|x| *x = 0);
+        for r in &reqs {
+            assert!(r.src_root < side && r.row < side && r.col < side, "request out of grid");
+        }
+        let n_reqs = reqs.len();
+        for req in reqs {
+            let root = self.mot.root(req.src_root);
+            self.engine.inject(root, MotPacket { req, leg: Leg::RowDown });
+        }
+        let mut router = Router {
+            mot: &self.mot,
+            serve,
+            col_admit: &mut self.col_admit,
+            col_limit: col_limit as u32,
+            served: Vec::with_capacity(n_reqs),
+            killed: Vec::new(),
+        };
+        let mut overflow: Vec<MotPacket<P>> = Vec::new();
+        let stats = self.engine.run_until_quiet(self.mot.graph(), &mut router, |p| {
+            overflow.push(p);
+        });
+        let Router { mut killed, served, .. } = router;
+        killed.extend(overflow.into_iter().map(|p| p.req));
+        debug_assert_eq!(served.len() + killed.len(), n_reqs, "requests must be accounted for");
+        BatchOutcome { served, killed, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A read/write payload for tests.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Op {
+        write: Option<i64>,
+        result: i64,
+    }
+
+    fn grid_memory(side: usize) -> Vec<i64> {
+        // module (r, c) initially holds r*side + c
+        (0..side * side).map(|x| x as i64).collect()
+    }
+
+    #[test]
+    fn single_request_roundtrip_latency() {
+        let side = 8;
+        let mut net: MotNetwork<Op> = MotNetwork::new(side);
+        let mut mem = grid_memory(side);
+        let out = net.route_batch(
+            vec![MotRequest { to_root: false, src_root: 1, row: 5, col: 3, payload: Op { write: None, result: -1 } }],
+            1,
+            |r, c, p| {
+                p.result = mem[r * side + c];
+                if let Some(v) = p.write {
+                    mem[r * side + c] = v;
+                }
+            },
+        );
+        assert_eq!(out.killed.len(), 0);
+        assert_eq!(out.served.len(), 1);
+        assert_eq!(out.served[0].payload.result, (5 * side + 3) as i64);
+        // Path: 2 × (3·depth) hops + consume overheads; must be Θ(log side).
+        let depth = side.ilog2() as u64;
+        assert!(out.stats.cycles >= 6 * depth, "cycles {} too small", out.stats.cycles);
+        assert!(out.stats.cycles <= 6 * depth + 6, "cycles {} too large", out.stats.cycles);
+    }
+
+    #[test]
+    fn distinct_columns_all_served_in_parallel() {
+        let side = 16;
+        let mut net: MotNetwork<Op> = MotNetwork::new(side);
+        let mut mem = grid_memory(side);
+        // One request per column, from distinct roots.
+        let reqs: Vec<_> = (0..side)
+            .map(|t| MotRequest {
+                to_root: false,
+                src_root: t,
+                row: (t * 7 + 3) % side,
+                col: t,
+                payload: Op { write: None, result: -1 },
+            })
+            .collect();
+        let out = net.route_batch(reqs, 1, |r, c, p| {
+            p.result = mem[r * side + c];
+            let _ = &mut mem;
+        });
+        assert_eq!(out.killed.len(), 0);
+        assert_eq!(out.served.len(), side);
+        // Parallel requests on disjoint trees: same asymptotic latency as one.
+        let depth = side.ilog2() as u64;
+        assert!(out.stats.cycles <= 6 * depth + 10, "cycles {}", out.stats.cycles);
+        for s in &out.served {
+            assert_eq!(s.payload.result, ((s.row * side + s.col) as i64));
+        }
+    }
+
+    #[test]
+    fn column_conflict_kills_excess() {
+        let side = 8;
+        let mut net: MotNetwork<Op> = MotNetwork::new(side);
+        let mut mem = grid_memory(side);
+        // Three roots all target column 2.
+        let reqs: Vec<_> = [0usize, 3, 6]
+            .iter()
+            .map(|&t| MotRequest {
+                to_root: false,
+                src_root: t,
+                row: t,
+                col: 2,
+                payload: Op { write: None, result: -1 },
+            })
+            .collect();
+        let out = net.route_batch(reqs.clone(), 1, |r, c, p| p.result = mem[r * side + c]);
+        assert_eq!(out.served.len(), 1);
+        assert_eq!(out.killed.len(), 2);
+        let _ = &mut mem;
+
+        // With a pipelined limit of 3, everyone gets through in one phase.
+        let mut mem = grid_memory(side);
+        let out = net.route_batch(reqs, 3, |r, c, p| p.result = mem[r * side + c]);
+        assert_eq!(out.served.len(), 3);
+        assert_eq!(out.killed.len(), 0);
+        let _ = &mut mem;
+    }
+
+    #[test]
+    fn writes_mutate_module_memory() {
+        let side = 4;
+        let mut net: MotNetwork<Op> = MotNetwork::new(side);
+        let mut mem = grid_memory(side);
+        let w = MotRequest { to_root: false, src_root: 0, row: 2, col: 1, payload: Op { write: Some(99), result: -1 } };
+        let out = net.route_batch(vec![w], 1, |r, c, p| {
+            p.result = mem[r * side + c];
+            if let Some(v) = p.write {
+                mem[r * side + c] = v;
+            }
+        });
+        assert_eq!(out.served.len(), 1);
+        assert_eq!(mem[2 * side + 1], 99);
+        // Read it back through the network.
+        let rd = MotRequest { to_root: false, src_root: 3, row: 2, col: 1, payload: Op { write: None, result: -1 } };
+        let out = net.route_batch(vec![rd], 1, |r, c, p| p.result = mem[r * side + c]);
+        assert_eq!(out.served[0].payload.result, 99);
+        let _ = &mut mem;
+    }
+
+    #[test]
+    fn same_root_requests_serialize_but_complete() {
+        let side = 8;
+        let mut net: MotNetwork<Op> = MotNetwork::new(side);
+        let mem = grid_memory(side);
+        // Four requests from root 0 to distinct columns.
+        let reqs: Vec<_> = (0..4)
+            .map(|i| MotRequest {
+                to_root: false,
+                src_root: 0,
+                row: i,
+                col: i + 1,
+                payload: Op { write: None, result: -1 },
+            })
+            .collect();
+        let out = net.route_batch(reqs, 1, |r, c, p| p.result = mem[r * side + c]);
+        assert_eq!(out.served.len(), 4);
+        // They share root 0's down-links, so the phase stretches a little,
+        // but still Θ(log side), not Θ(side).
+        assert!(out.stats.cycles < 12 * side as u64);
+    }
+
+    #[test]
+    fn pipelined_batch_fills_column() {
+        // side requests into ONE column with a generous limit: the column
+        // root serializes them — phase length grows linearly in the batch,
+        // which is exactly the O(log n)-per-phase pipelining budget of
+        // stage 2 (we cap batches at Θ(log n) there).
+        let side = 16;
+        let mut net: MotNetwork<Op> = MotNetwork::new(side);
+        let mem = grid_memory(side);
+        let reqs: Vec<_> = (0..side)
+            .map(|t| MotRequest {
+                to_root: false,
+                src_root: t,
+                row: 5,
+                col: 9,
+                payload: Op { write: None, result: -1 },
+            })
+            .collect();
+        let out = net.route_batch(reqs, side, |r, c, p| p.result = mem[r * side + c]);
+        assert_eq!(out.served.len(), side);
+        let depth = side.ilog2() as u64;
+        // Pipeline: latency + (batch - 1) drain, plus constants.
+        assert!(out.stats.cycles >= 6 * depth + side as u64 - 1);
+        assert!(out.stats.cycles <= 6 * depth + 4 * side as u64);
+    }
+
+    #[test]
+    fn to_root_requests_served_at_column_roots() {
+        let side = 8;
+        let mut net: MotNetwork<Op> = MotNetwork::new(side);
+        // Module j lives at root j; value = 100 + j.
+        let mut root_mem: Vec<i64> = (0..side).map(|j| 100 + j as i64).collect();
+        let reqs: Vec<_> = (0..side)
+            .map(|t| MotRequest {
+                to_root: true,
+                src_root: t,
+                row: 0, // ignored for to_root routing
+                col: (t + 3) % side,
+                payload: Op { write: None, result: -1 },
+            })
+            .collect();
+        let out = net.route_batch(reqs, 1, |_r, c, p| {
+            p.result = root_mem[c];
+            let _ = &mut root_mem;
+        });
+        assert_eq!(out.killed.len(), 0);
+        assert_eq!(out.served.len(), side);
+        for s in &out.served {
+            assert_eq!(s.payload.result, 100 + s.col as i64);
+        }
+        // Root service path (row-down, col-up, reply col-down, reply
+        // row-up = 4 legs) is shorter than the 6-leg leaf path.
+        let depth = side.ilog2() as u64;
+        assert!(out.stats.cycles <= 4 * depth + 8, "cycles {}", out.stats.cycles);
+    }
+
+    #[test]
+    fn to_root_conflicts_also_killed() {
+        let side = 8;
+        let mut net: MotNetwork<Op> = MotNetwork::new(side);
+        let reqs: Vec<_> = [1usize, 4]
+            .iter()
+            .map(|&t| MotRequest {
+                to_root: true,
+                src_root: t,
+                row: 0,
+                col: 6,
+                payload: Op { write: None, result: -1 },
+            })
+            .collect();
+        let out = net.route_batch(reqs, 1, |_, _, p| p.result = 0);
+        assert_eq!(out.served.len(), 1);
+        assert_eq!(out.killed.len(), 1);
+    }
+
+    #[test]
+    fn determinism_across_identical_batches() {
+        let side = 8;
+        let mut net: MotNetwork<Op> = MotNetwork::new(side);
+        let mem = grid_memory(side);
+        let make = || {
+            (0..6)
+                .map(|i| MotRequest {
+                    to_root: false,
+                    src_root: i % side,
+                    row: (3 * i) % side,
+                    col: (5 * i) % side,
+                    payload: Op { write: None, result: -1 },
+                })
+                .collect::<Vec<_>>()
+        };
+        let a = net.route_batch(make(), 1, |r, c, p| p.result = mem[r * side + c]);
+        let b = net.route_batch(make(), 1, |r, c, p| p.result = mem[r * side + c]);
+        assert_eq!(a.served, b.served);
+        assert_eq!(a.killed, b.killed);
+        assert_eq!(a.stats.cycles, b.stats.cycles);
+    }
+}

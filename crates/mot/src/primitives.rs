@@ -1,0 +1,152 @@
+//! The 2DMOT's native tree computations.
+//!
+//! Before it was a P-RAM interconnect, the orthogonal-trees network was a
+//! compute fabric (Nath, Maheshwari & Bhatt 1983): the row and column trees
+//! evaluate broadcasts and reductions in `log₂ s` cycles, which composes
+//! into an `O(log s)` matrix–vector product — experiment E12.
+//!
+//! These functions *execute* the tree schedules level by level (one tree
+//! level per cycle, exactly what the hardware would do) and report the cycle
+//! count alongside the result.
+
+use crate::topology::MotTopology;
+
+/// Broadcast `root_vals[t]` down column tree `t` to every leaf of column
+/// `t`. Returns the leaf grid (row-major) and the cycle count (`depth`).
+pub fn broadcast_cols(mot: &MotTopology, root_vals: &[i64]) -> (Vec<i64>, u64) {
+    let s = mot.side();
+    assert_eq!(root_vals.len(), s);
+    let mut grid = vec![0i64; s * s];
+    for r in 0..s {
+        for c in 0..s {
+            grid[r * s + c] = root_vals[c];
+        }
+    }
+    (grid, mot.depth() as u64)
+}
+
+/// Broadcast `root_vals[t]` down row tree `t` to every leaf of row `t`.
+pub fn broadcast_rows(mot: &MotTopology, root_vals: &[i64]) -> (Vec<i64>, u64) {
+    let s = mot.side();
+    assert_eq!(root_vals.len(), s);
+    let mut grid = vec![0i64; s * s];
+    for r in 0..s {
+        for c in 0..s {
+            grid[r * s + c] = root_vals[r];
+        }
+    }
+    (grid, mot.depth() as u64)
+}
+
+/// Reduce each leaf **row** up its row tree with the associative `op`,
+/// pairing adjacent subtrees one level per cycle. Returns one value per
+/// row-tree root and the cycle count (`depth`).
+pub fn reduce_rows(mot: &MotTopology, grid: &[i64], op: impl Fn(i64, i64) -> i64) -> (Vec<i64>, u64) {
+    let s = mot.side();
+    assert_eq!(grid.len(), s * s);
+    let mut out = Vec::with_capacity(s);
+    let mut cycles = 0;
+    for r in 0..s {
+        let mut level: Vec<i64> = grid[r * s..(r + 1) * s].to_vec();
+        let mut this_cycles = 0;
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len() / 2);
+            for pair in level.chunks_exact(2) {
+                next.push(op(pair[0], pair[1]));
+            }
+            level = next;
+            this_cycles += 1;
+        }
+        out.push(level[0]);
+        cycles = this_cycles; // all rows reduce concurrently
+    }
+    (out, cycles)
+}
+
+/// Reduce each leaf **column** up its column tree.
+pub fn reduce_cols(mot: &MotTopology, grid: &[i64], op: impl Fn(i64, i64) -> i64) -> (Vec<i64>, u64) {
+    let s = mot.side();
+    assert_eq!(grid.len(), s * s);
+    let mut out = Vec::with_capacity(s);
+    let mut cycles = 0;
+    for c in 0..s {
+        let mut level: Vec<i64> = (0..s).map(|r| grid[r * s + c]).collect();
+        let mut this_cycles = 0;
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len() / 2);
+            for pair in level.chunks_exact(2) {
+                next.push(op(pair[0], pair[1]));
+            }
+            level = next;
+            this_cycles += 1;
+        }
+        out.push(level[0]);
+        cycles = this_cycles;
+    }
+    (out, cycles)
+}
+
+/// Matrix–vector product `y = A·x` on the 2DMOT, the network's original
+/// raison d'être: `x[j]` is broadcast down column tree `j`, each leaf
+/// `(i, j)` multiplies by `a[i][j]`, and row tree `i` sums to `y[i]` —
+/// `2·depth + 1` cycles total.
+///
+/// `a` is row-major `s × s`; `x` has length `s`.
+pub fn matvec(mot: &MotTopology, a: &[i64], x: &[i64]) -> (Vec<i64>, u64) {
+    let s = mot.side();
+    assert_eq!(a.len(), s * s);
+    assert_eq!(x.len(), s);
+    let (xgrid, c1) = broadcast_cols(mot, x);
+    let mut prod = vec![0i64; s * s];
+    for i in 0..s * s {
+        prod[i] = a[i].wrapping_mul(xgrid[i]);
+    }
+    let (y, c2) = reduce_rows(mot, &prod, |u, v| u.wrapping_add(v));
+    (y, c1 + 1 + c2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcasts_fill_grid() {
+        let mot = MotTopology::new(4);
+        let (g, cyc) = broadcast_cols(&mot, &[1, 2, 3, 4]);
+        assert_eq!(cyc, 2);
+        assert_eq!(&g[0..4], &[1, 2, 3, 4]);
+        assert_eq!(&g[12..16], &[1, 2, 3, 4]);
+        let (g, _) = broadcast_rows(&mot, &[5, 6, 7, 8]);
+        assert_eq!(g[0], 5);
+        assert_eq!(g[15], 8);
+    }
+
+    #[test]
+    fn reductions_match_serial() {
+        let mot = MotTopology::new(4);
+        let grid: Vec<i64> = (0..16).collect();
+        let (rows, cyc) = reduce_rows(&mot, &grid, |a, b| a + b);
+        assert_eq!(cyc, 2);
+        assert_eq!(rows, vec![6, 22, 38, 54]);
+        let (cols, _) = reduce_cols(&mot, &grid, |a, b| a + b);
+        assert_eq!(cols, vec![24, 28, 32, 36]);
+        let (maxs, _) = reduce_rows(&mot, &grid, |a, b| a.max(b));
+        assert_eq!(maxs, vec![3, 7, 11, 15]);
+    }
+
+    #[test]
+    fn matvec_correct_and_logarithmic() {
+        for side in [2usize, 4, 8, 16, 32] {
+            let mot = MotTopology::new(side);
+            let a: Vec<i64> = (0..side * side).map(|i| (i % 7) as i64 - 3).collect();
+            let x: Vec<i64> = (0..side).map(|j| j as i64 + 1).collect();
+            let (y, cycles) = matvec(&mot, &a, &x);
+            // Serial reference.
+            for i in 0..side {
+                let expect: i64 = (0..side).map(|j| a[i * side + j] * x[j]).sum();
+                assert_eq!(y[i], expect, "side={side} row={i}");
+            }
+            assert_eq!(cycles, 2 * side.ilog2() as u64 + 1, "O(log s) cycles");
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! Construction of the 2DMOT graph with routing metadata.
+
+use netsim::{EdgeId, NodeId, Topology};
+
+/// Routing ports of one node. `None` where the node lacks that port
+/// (internal row nodes have no column ports; roots have no up ports).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ports {
+    /// Toward the row-tree root.
+    pub row_up: Option<EdgeId>,
+    /// Toward the column-tree root.
+    pub col_up: Option<EdgeId>,
+    /// Row-tree children; `[0]` covers the lower half of the column range.
+    pub row_down: [Option<EdgeId>; 2],
+    /// Column-tree children; `[0]` covers the lower half of the row range.
+    pub col_down: [Option<EdgeId>; 2],
+}
+
+/// An `s × s` two-dimensional mesh of trees with coalesced row/column roots.
+///
+/// Node-id layout (dense in the underlying [`Topology`]):
+/// * `0 .. s` — the `s` coalesced roots;
+/// * `s .. s + s²` — the leaves, `leaf(r, c) = s + r·s + c`;
+/// * the rest — internal tree switches.
+#[derive(Debug, Clone)]
+pub struct MotTopology {
+    side: usize,
+    topo: Topology,
+    ports: Vec<Ports>,
+    /// Column interval of leaves reachable through this node's row-tree
+    /// down-ports: `[lo, hi)`.
+    cover_cols: Vec<(u32, u32)>,
+    /// Row interval of leaves reachable through this node's column-tree
+    /// down-ports.
+    cover_rows: Vec<(u32, u32)>,
+}
+
+impl MotTopology {
+    /// Build an `side × side` 2DMOT. `side` must be a power of two, ≥ 2.
+    pub fn new(side: usize) -> Self {
+        assert!(side >= 2 && side.is_power_of_two(), "side must be a power of two >= 2");
+        let mut topo = Topology::new();
+
+        // Roots 0..side, then leaves.
+        let roots_base = topo.add_nodes(side);
+        debug_assert_eq!(roots_base, 0);
+        let leaves_base = topo.add_nodes(side * side);
+        debug_assert_eq!(leaves_base, side);
+
+        // Total nodes: side roots + side^2 leaves + 2*side*(side-2) internals.
+        let mut ports: Vec<Ports> = Vec::new();
+        let mut cover_cols: Vec<(u32, u32)> = Vec::new();
+        let mut cover_rows: Vec<(u32, u32)> = Vec::new();
+        let grow_to = |v: &mut Vec<Ports>, cc: &mut Vec<(u32, u32)>, cr: &mut Vec<(u32, u32)>, n: usize| {
+            while v.len() < n {
+                v.push(Ports::default());
+                cc.push((0, 0));
+                cr.push((0, 0));
+            }
+        };
+        grow_to(&mut ports, &mut cover_cols, &mut cover_rows, topo.nodes());
+
+        let leaf_id = |r: usize, c: usize| side + r * side + c;
+
+        // Build one tree family. `is_row == true`: row tree `t` over leaves
+        // (t, 0..side); otherwise column tree `t` over leaves (0..side, t).
+        let build_tree = |topo: &mut Topology,
+                              ports: &mut Vec<Ports>,
+                              cover_cols: &mut Vec<(u32, u32)>,
+                              cover_rows: &mut Vec<(u32, u32)>,
+                              t: usize,
+                              is_row: bool| {
+            // Heap indices 1..side are the internal nodes (heap 1 = root,
+            // coalesced with the other family's root for the same t).
+            let mut node_of = vec![usize::MAX; side.max(2)];
+            node_of[1] = t; // roots are nodes 0..side
+            for heap in 2..side {
+                let n = topo.add_node();
+                node_of[heap] = n;
+                grow_to(ports, cover_cols, cover_rows, topo.nodes());
+            }
+            // Edges parent -> child, child -> parent.
+            for heap in 1..side {
+                let parent = node_of[heap];
+                for (slot, child_heap) in [(0usize, 2 * heap), (1, 2 * heap + 1)] {
+                    let child = if child_heap < side {
+                        node_of[child_heap]
+                    } else {
+                        let leaf_idx = child_heap - side;
+                        if is_row {
+                            leaf_id(t, leaf_idx)
+                        } else {
+                            leaf_id(leaf_idx, t)
+                        }
+                    };
+                    let (down, up) = topo.add_duplex(parent, child);
+                    if is_row {
+                        ports[parent].row_down[slot] = Some(down);
+                        ports[child].row_up = Some(up);
+                    } else {
+                        ports[parent].col_down[slot] = Some(down);
+                        ports[child].col_up = Some(up);
+                    }
+                }
+            }
+            // Subtree covers: heap node v at depth d covers `side >> d`
+            // leaves starting at (v - 2^d)·(side >> d).
+            for heap in 1..side {
+                let d = heap.ilog2() as usize;
+                let width = side >> d;
+                let lo = (heap - (1 << d)) * width;
+                let n = node_of[heap];
+                if is_row {
+                    cover_cols[n] = (lo as u32, (lo + width) as u32);
+                } else {
+                    cover_rows[n] = (lo as u32, (lo + width) as u32);
+                }
+            }
+        };
+
+        for t in 0..side {
+            build_tree(&mut topo, &mut ports, &mut cover_cols, &mut cover_rows, t, true);
+            build_tree(&mut topo, &mut ports, &mut cover_cols, &mut cover_rows, t, false);
+        }
+
+        // Leaf covers are their own coordinates.
+        for r in 0..side {
+            for c in 0..side {
+                let n = leaf_id(r, c);
+                cover_cols[n] = (c as u32, c as u32 + 1);
+                cover_rows[n] = (r as u32, r as u32 + 1);
+            }
+        }
+
+        MotTopology { side, topo, ports, cover_cols, cover_rows }
+    }
+
+    /// Grid side `s` (`= √M` in the paper's Theorem 3).
+    #[inline]
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    /// The coalesced root of row tree `t` and column tree `t`.
+    #[inline]
+    pub fn root(&self, t: usize) -> NodeId {
+        debug_assert!(t < self.side);
+        t
+    }
+
+    /// The leaf at grid position `(row, col)`.
+    #[inline]
+    pub fn leaf(&self, row: usize, col: usize) -> NodeId {
+        debug_assert!(row < self.side && col < self.side);
+        self.side + row * self.side + col
+    }
+
+    /// Whether `n` is a root, and which.
+    #[inline]
+    pub fn as_root(&self, n: NodeId) -> Option<usize> {
+        (n < self.side).then_some(n)
+    }
+
+    /// Whether `n` is a leaf, and its `(row, col)`.
+    #[inline]
+    pub fn as_leaf(&self, n: NodeId) -> Option<(usize, usize)> {
+        if n >= self.side && n < self.side + self.side * self.side {
+            let idx = n - self.side;
+            Some((idx / self.side, idx % self.side))
+        } else {
+            None
+        }
+    }
+
+    /// Routing ports of node `n`.
+    #[inline]
+    pub fn ports(&self, n: NodeId) -> &Ports {
+        &self.ports[n]
+    }
+
+    /// Column interval `[lo, hi)` reachable through `n`'s row-tree
+    /// down-ports.
+    #[inline]
+    pub fn cover_cols(&self, n: NodeId) -> (u32, u32) {
+        self.cover_cols[n]
+    }
+
+    /// Row interval reachable through `n`'s column-tree down-ports.
+    #[inline]
+    pub fn cover_rows(&self, n: NodeId) -> (u32, u32) {
+        self.cover_rows[n]
+    }
+
+    /// The underlying netsim graph.
+    #[inline]
+    pub fn graph(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Row-tree down-edge at `n` leading toward column `col`.
+    #[inline]
+    pub fn row_step_down(&self, n: NodeId, col: usize) -> EdgeId {
+        let p = &self.ports[n];
+        for slot in 0..2 {
+            let e = p.row_down[slot].expect("node has row children");
+            let (_, child) = self.topo.endpoints(e);
+            let (lo, hi) = self.cover_cols[child];
+            if (col as u32) >= lo && (col as u32) < hi {
+                return e;
+            }
+        }
+        unreachable!("column {col} not covered below node {n}")
+    }
+
+    /// Column-tree down-edge at `n` leading toward row `row`.
+    #[inline]
+    pub fn col_step_down(&self, n: NodeId, row: usize) -> EdgeId {
+        let p = &self.ports[n];
+        for slot in 0..2 {
+            let e = p.col_down[slot].expect("node has column children");
+            let (_, child) = self.topo.endpoints(e);
+            let (lo, hi) = self.cover_rows[child];
+            if (row as u32) >= lo && (row as u32) < hi {
+                return e;
+            }
+        }
+        unreachable!("row {row} not covered below node {n}")
+    }
+
+    /// Switch count: nodes that are neither roots nor leaves — the "extra
+    /// processors (albeit mere switches)" of the DMBDN model.
+    pub fn switches(&self) -> usize {
+        self.topo.nodes() - self.side - self.side * self.side
+    }
+
+    /// Tree depth: hops from a root to a leaf of its tree, `log₂ side`.
+    pub fn depth(&self) -> usize {
+        self.side.ilog2() as usize
+    }
+
+    /// Length (hops) of the full request path
+    /// root → leaf → column root → leaf, one way: `3·depth`.
+    pub fn request_path_len(&self) -> usize {
+        3 * self.depth()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_counts() {
+        for side in [2usize, 4, 8, 16] {
+            let mot = MotTopology::new(side);
+            let expect = side + side * side + 2 * side * (side.saturating_sub(2));
+            assert_eq!(mot.graph().nodes(), expect, "side={side}");
+            assert_eq!(mot.switches(), 2 * side * (side - 2));
+            // Each of the 2·side trees has side-1 internal positions, each
+            // with 2 duplex child links = 4(side-1) directed edges per tree.
+            assert_eq!(mot.graph().edge_count(), 2 * side * 4 * (side - 1));
+        }
+    }
+
+    #[test]
+    fn bounded_degree() {
+        // Roots: 4 duplex links (2 row children + 2 col children) = degree 8;
+        // this constant is independent of side — the DMBDN requirement.
+        for side in [4usize, 8, 32] {
+            let mot = MotTopology::new(side);
+            assert_eq!(mot.graph().max_degree(), 8, "side={side}");
+        }
+    }
+
+    #[test]
+    fn leaves_have_both_parents() {
+        let mot = MotTopology::new(8);
+        for r in 0..8 {
+            for c in 0..8 {
+                let p = mot.ports(mot.leaf(r, c));
+                assert!(p.row_up.is_some(), "leaf ({r},{c}) lacks row parent");
+                assert!(p.col_up.is_some(), "leaf ({r},{c}) lacks col parent");
+                assert!(p.row_down[0].is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn roots_have_both_families() {
+        let mot = MotTopology::new(8);
+        for t in 0..8 {
+            let p = mot.ports(mot.root(t));
+            assert!(p.row_down[0].is_some() && p.row_down[1].is_some());
+            assert!(p.col_down[0].is_some() && p.col_down[1].is_some());
+            assert!(p.row_up.is_none() && p.col_up.is_none());
+        }
+    }
+
+    #[test]
+    fn row_descent_reaches_requested_leaf() {
+        let side = 16;
+        let mot = MotTopology::new(side);
+        for t in [0usize, 5, 15] {
+            for col in [0usize, 7, 8, 15] {
+                // Walk down row tree t toward `col`.
+                let mut node = mot.root(t);
+                let mut hops = 0;
+                while mot.as_leaf(node).is_none() {
+                    let e = mot.row_step_down(node, col);
+                    node = mot.graph().endpoints(e).1;
+                    hops += 1;
+                    assert!(hops <= mot.depth(), "descent too long");
+                }
+                assert_eq!(mot.as_leaf(node), Some((t, col)));
+                assert_eq!(hops, mot.depth());
+            }
+        }
+    }
+
+    #[test]
+    fn col_descent_reaches_requested_leaf() {
+        let side = 8;
+        let mot = MotTopology::new(side);
+        for t in 0..side {
+            for row in 0..side {
+                let mut node = mot.root(t);
+                while mot.as_leaf(node).is_none() {
+                    let e = mot.col_step_down(node, row);
+                    node = mot.graph().endpoints(e).1;
+                }
+                assert_eq!(mot.as_leaf(node), Some((row, t)));
+            }
+        }
+    }
+
+    #[test]
+    fn ascent_reaches_own_roots() {
+        let side = 8;
+        let mot = MotTopology::new(side);
+        for r in 0..side {
+            for c in 0..side {
+                // Row ascent from leaf (r, c) ends at root r.
+                let mut node = mot.leaf(r, c);
+                while let Some(e) = mot.ports(node).row_up {
+                    node = mot.graph().endpoints(e).1;
+                }
+                assert_eq!(mot.as_root(node), Some(r));
+                // Column ascent ends at root c.
+                let mut node = mot.leaf(r, c);
+                while let Some(e) = mot.ports(node).col_up {
+                    node = mot.graph().endpoints(e).1;
+                }
+                assert_eq!(mot.as_root(node), Some(c));
+            }
+        }
+    }
+
+    #[test]
+    fn smallest_mot_is_sane() {
+        let mot = MotTopology::new(2);
+        // 2 roots, 4 leaves, no internal switches: roots connect directly
+        // to leaves.
+        assert_eq!(mot.switches(), 0);
+        assert_eq!(mot.depth(), 1);
+        assert_eq!(mot.request_path_len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn odd_side_rejected() {
+        let _ = MotTopology::new(6);
+    }
+}

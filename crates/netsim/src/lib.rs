@@ -1,0 +1,527 @@
+//! A deterministic, cycle-level message-passing network simulator.
+//!
+//! This is the substrate under the 2DMOT crate: nodes connected by directed
+//! unit-capacity, unit-latency links, each node holding a FIFO queue.
+//! Behavior (routing, consumption, reply generation) is supplied by the
+//! [`Behavior`] trait; the engine provides timing, link arbitration,
+//! queueing, and statistics.
+//!
+//! ## Timing model
+//!
+//! Per cycle:
+//! 1. every occupied link delivers its packet into the destination node's
+//!    queue (packets arriving at a **full** queue are dropped and reported —
+//!    this is the "collision kill" of the deterministic 2DMOT protocols);
+//! 2. every node scans its queue in FIFO order and, for each packet, asks
+//!    the behavior to [`Route`] it: a forward claims the target link if it
+//!    is free this cycle (one packet per link per cycle — otherwise the
+//!    packet stalls in place), a consume removes the packet (optionally
+//!    spawning a reply, enqueued for the next cycle), a discard drops it.
+//!
+//! A packet therefore moves at most one hop per cycle, and contention for a
+//! link serializes traffic — latency and congestion are *emergent*, which is
+//! what makes the 2DMOT experiments measurements rather than formulas.
+//!
+//! Everything is deterministic: nodes are processed in index order and
+//! queues are FIFO.
+
+use std::collections::VecDeque;
+
+/// Node index in a [`Topology`].
+pub type NodeId = usize;
+/// Directed-edge index in a [`Topology`].
+pub type EdgeId = usize;
+
+/// A directed multigraph with per-node out-edge lists.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    out: Vec<Vec<EdgeId>>,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl Topology {
+    /// An empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a node; returns its id (dense, starting at 0).
+    pub fn add_node(&mut self) -> NodeId {
+        self.out.push(Vec::new());
+        self.out.len() - 1
+    }
+
+    /// Add `count` nodes; returns the id of the first.
+    pub fn add_nodes(&mut self, count: usize) -> NodeId {
+        let first = self.out.len();
+        for _ in 0..count {
+            self.out.push(Vec::new());
+        }
+        first
+    }
+
+    /// Add a directed edge `from → to`; returns its id.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> EdgeId {
+        assert!(from < self.out.len() && to < self.out.len(), "endpoints must exist");
+        let id = self.edges.len();
+        self.edges.push((from, to));
+        self.out[from].push(id);
+        id
+    }
+
+    /// Add a pair of directed edges (full-duplex link); returns
+    /// `(forward, backward)`.
+    pub fn add_duplex(&mut self, a: NodeId, b: NodeId) -> (EdgeId, EdgeId) {
+        (self.add_edge(a, b), self.add_edge(b, a))
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Out-edges of a node.
+    pub fn out_edges(&self, n: NodeId) -> &[EdgeId] {
+        &self.out[n]
+    }
+
+    /// `(from, to)` of an edge.
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        self.edges[e]
+    }
+
+    /// Maximum total degree (in + out) over all nodes — the quantity the
+    /// BDN/DMBDN models bound.
+    pub fn max_degree(&self) -> usize {
+        let mut deg = vec![0usize; self.nodes()];
+        for &(a, b) in &self.edges {
+            deg[a] += 1;
+            deg[b] += 1;
+        }
+        deg.into_iter().max().unwrap_or(0)
+    }
+}
+
+/// What a node does with a packet this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Send over the given out-edge (must belong to the current node). If
+    /// the link is already claimed this cycle the packet stalls in the
+    /// queue and is retried next cycle.
+    Forward(EdgeId),
+    /// Final delivery at this node; [`Behavior::consume`] runs and may
+    /// spawn a reply.
+    Consume,
+    /// Remove the packet silently (counted in [`RunStats::discarded`]).
+    Discard,
+}
+
+/// Node behavior: pure routing decisions plus consumption.
+pub trait Behavior<T> {
+    /// Decide what `node` does with `packet`.
+    fn route(&mut self, node: NodeId, packet: &mut T, topo: &Topology) -> Route;
+
+    /// Handle a consumed packet; optionally return a reply packet to be
+    /// enqueued at this node on the next cycle.
+    fn consume(&mut self, node: NodeId, packet: T, topo: &Topology) -> Option<T>;
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Per-node queue capacity for packets arriving over links; arrivals
+    /// beyond this are dropped (collision kill). Locally spawned/injected
+    /// packets are exempt (they model state already at the node).
+    pub queue_capacity: usize,
+    /// Hard cycle limit — exceeded means livelock; `run_until_quiet`
+    /// panics, since every protocol here must drain.
+    pub max_cycles: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { queue_capacity: 4, max_cycles: 1_000_000 }
+    }
+}
+
+/// Statistics of one engine run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Cycles elapsed until quiescence.
+    pub cycles: u64,
+    /// Packets consumed (final deliveries).
+    pub delivered: u64,
+    /// Link-hops traversed (total link utilization).
+    pub hops: u64,
+    /// Packets dropped on arrival at a full queue.
+    pub dropped: u64,
+    /// Packets discarded by behavior choice.
+    pub discarded: u64,
+    /// Largest queue occupancy observed at any node.
+    pub max_queue: usize,
+}
+
+/// The cycle engine. Owns transient state (queues, link slots); borrows a
+/// topology and a behavior per run.
+///
+/// Work per cycle is proportional to the number of *active* nodes and
+/// occupied links, not to the size of the network — large, mostly idle
+/// meshes simulate cheaply.
+#[derive(Debug)]
+pub struct Engine<T> {
+    queues: Vec<VecDeque<T>>,
+    /// Packet in flight on each edge, delivered at the start of next cycle.
+    links: Vec<Option<T>>,
+    /// Edges with an in-flight packet.
+    occupied: Vec<EdgeId>,
+    /// Nodes with a non-empty queue (kept duplicate-free via `is_active`).
+    active: Vec<NodeId>,
+    is_active: Vec<bool>,
+    cfg: EngineConfig,
+}
+
+impl<T> Engine<T> {
+    /// An engine sized for `topo`.
+    pub fn new(topo: &Topology, cfg: EngineConfig) -> Self {
+        Engine {
+            queues: (0..topo.nodes()).map(|_| VecDeque::new()).collect(),
+            links: (0..topo.edge_count()).map(|_| None).collect(),
+            occupied: Vec::new(),
+            active: Vec::new(),
+            is_active: vec![false; topo.nodes()],
+            cfg,
+        }
+    }
+
+    fn mark_active(&mut self, node: NodeId) {
+        if !self.is_active[node] {
+            self.is_active[node] = true;
+            self.active.push(node);
+        }
+    }
+
+    /// Inject a packet directly into a node's queue (bypasses capacity:
+    /// models work originating at the node).
+    pub fn inject(&mut self, node: NodeId, packet: T) {
+        self.queues[node].push_back(packet);
+        self.mark_active(node);
+    }
+
+    /// Run until no packet remains queued or in flight. Returns statistics;
+    /// dropped packets are handed to `on_drop` so protocols can mark the
+    /// corresponding requests failed.
+    ///
+    /// Panics when `max_cycles` is exceeded (a protocol bug, not a
+    /// condition to handle).
+    pub fn run_until_quiet<B: Behavior<T>>(
+        &mut self,
+        topo: &Topology,
+        behavior: &mut B,
+        mut on_drop: impl FnMut(T),
+    ) -> RunStats {
+        let mut stats = RunStats::default();
+        let mut spawned: Vec<(NodeId, T)> = Vec::new();
+
+        while !self.occupied.is_empty() || !self.active.is_empty() {
+            if stats.cycles >= self.cfg.max_cycles {
+                panic!(
+                    "network did not quiesce within {} cycles (protocol livelock)",
+                    self.cfg.max_cycles
+                );
+            }
+            stats.cycles += 1;
+
+            // 1. Deliver in-flight packets (deterministic order).
+            let mut arriving = std::mem::take(&mut self.occupied);
+            arriving.sort_unstable();
+            for e in arriving {
+                if let Some(p) = self.links[e].take() {
+                    let (_, to) = topo.endpoints(e);
+                    if self.queues[to].len() >= self.cfg.queue_capacity {
+                        stats.dropped += 1;
+                        on_drop(p);
+                    } else {
+                        self.queues[to].push_back(p);
+                        stats.max_queue = stats.max_queue.max(self.queues[to].len());
+                        self.mark_active(to);
+                    }
+                }
+            }
+
+            // 2. Per active node (in index order), route queued packets.
+            //    One packet per out-edge per cycle; stalled packets keep
+            //    their FIFO position.
+            let mut round = std::mem::take(&mut self.active);
+            round.sort_unstable();
+            for &node in &round {
+                self.is_active[node] = false;
+            }
+            for node in round {
+                let qlen = self.queues[node].len();
+                if qlen == 0 {
+                    continue;
+                }
+                let mut kept: VecDeque<T> = VecDeque::with_capacity(qlen);
+                while let Some(mut p) = self.queues[node].pop_front() {
+                    match behavior.route(node, &mut p, topo) {
+                        Route::Forward(e) => {
+                            debug_assert_eq!(topo.endpoints(e).0, node, "edge must leave node");
+                            if self.links[e].is_none() {
+                                self.links[e] = Some(p);
+                                self.occupied.push(e);
+                                stats.hops += 1;
+                            } else {
+                                kept.push_back(p); // stalled: link busy this cycle
+                            }
+                        }
+                        Route::Consume => {
+                            stats.delivered += 1;
+                            if let Some(reply) = behavior.consume(node, p, topo) {
+                                spawned.push((node, reply));
+                            }
+                        }
+                        Route::Discard => {
+                            stats.discarded += 1;
+                        }
+                    }
+                }
+                if !kept.is_empty() {
+                    self.mark_active(node);
+                }
+                self.queues[node] = kept;
+            }
+
+            // 3. Enqueue replies spawned this cycle (visible next cycle).
+            for (node, p) in spawned.drain(..) {
+                self.queues[node].push_back(p);
+                stats.max_queue = stats.max_queue.max(self.queues[node].len());
+                self.mark_active(node);
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A packet that walks toward `dest` along a path graph.
+    #[derive(Debug, Clone)]
+    struct WalkPacket {
+        dest: NodeId,
+        id: usize,
+    }
+
+    /// Routes greedily along the single out-edge of a path graph.
+    struct LineBehavior {
+        consumed: Vec<usize>,
+    }
+
+    impl Behavior<WalkPacket> for LineBehavior {
+        fn route(&mut self, node: NodeId, p: &mut WalkPacket, topo: &Topology) -> Route {
+            if node == p.dest {
+                Route::Consume
+            } else {
+                Route::Forward(topo.out_edges(node)[0])
+            }
+        }
+        fn consume(&mut self, _node: NodeId, p: WalkPacket, _t: &Topology) -> Option<WalkPacket> {
+            self.consumed.push(p.id);
+            None
+        }
+    }
+
+    fn line(k: usize) -> Topology {
+        let mut t = Topology::new();
+        t.add_nodes(k);
+        for i in 0..k - 1 {
+            t.add_edge(i, i + 1);
+        }
+        t
+    }
+
+    #[test]
+    fn unit_latency_per_hop() {
+        let topo = line(5); // 0 -> 1 -> 2 -> 3 -> 4
+        let mut eng = Engine::new(&topo, EngineConfig::default());
+        eng.inject(0, WalkPacket { dest: 4, id: 1 });
+        let mut b = LineBehavior { consumed: vec![] };
+        let stats = eng.run_until_quiet(&topo, &mut b, |_| {});
+        assert_eq!(b.consumed, vec![1]);
+        assert_eq!(stats.hops, 4);
+        // 4 hops at 1 cycle each + the consume cycle.
+        assert_eq!(stats.cycles, 5);
+        assert_eq!(stats.delivered, 1);
+    }
+
+    #[test]
+    fn link_contention_serializes() {
+        let topo = line(3);
+        let mut eng = Engine::new(&topo, EngineConfig::default());
+        for id in 0..4 {
+            eng.inject(0, WalkPacket { dest: 2, id });
+        }
+        let mut b = LineBehavior { consumed: vec![] };
+        let stats = eng.run_until_quiet(&topo, &mut b, |_| {});
+        assert_eq!(b.consumed.len(), 4);
+        // FIFO order preserved.
+        assert_eq!(b.consumed, vec![0, 1, 2, 3]);
+        // Pipeline: first arrives after 2 hops (+consume), one more each cycle.
+        assert!(stats.cycles >= 6, "4 packets over a shared link must serialize");
+        assert_eq!(stats.hops, 8);
+    }
+
+    #[test]
+    fn queue_overflow_drops_and_reports() {
+        // Two sources feed one sink whose queue holds 1 packet.
+        let mut topo = Topology::new();
+        let s0 = topo.add_node();
+        let s1 = topo.add_node();
+        let sink = topo.add_node();
+        topo.add_edge(s0, sink);
+        topo.add_edge(s1, sink);
+        let mut eng = Engine::new(&topo, EngineConfig { queue_capacity: 1, max_cycles: 100 });
+        eng.inject(s0, WalkPacket { dest: sink, id: 10 });
+        eng.inject(s1, WalkPacket { dest: sink, id: 11 });
+        let mut b = LineBehavior { consumed: vec![] };
+        let mut dropped = Vec::new();
+        let stats = eng.run_until_quiet(&topo, &mut b, |p| dropped.push(p.id));
+        // Both arrive in the same cycle at a capacity-1 queue: one dies.
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(dropped.len(), 1);
+        assert_eq!(b.consumed.len(), 1);
+    }
+
+    #[test]
+    fn consume_can_spawn_reply() {
+        // 0 <-> 1; a request 0->1 spawns a reply 1->0.
+        let mut topo = Topology::new();
+        let a = topo.add_node();
+        let bnode = topo.add_node();
+        let (fwd, back) = topo.add_duplex(a, bnode);
+
+        #[derive(Debug)]
+        struct ReqRep {
+            is_reply: bool,
+        }
+        struct RB {
+            replies_received: usize,
+            fwd: EdgeId,
+            back: EdgeId,
+            a: NodeId,
+            b: NodeId,
+        }
+        impl Behavior<ReqRep> for RB {
+            fn route(&mut self, node: NodeId, p: &mut ReqRep, _t: &Topology) -> Route {
+                match (node, p.is_reply) {
+                    (n, false) if n == self.a => Route::Forward(self.fwd),
+                    (n, false) if n == self.b => Route::Consume,
+                    (n, true) if n == self.b => Route::Forward(self.back),
+                    (n, true) if n == self.a => Route::Consume,
+                    _ => unreachable!(),
+                }
+            }
+            fn consume(&mut self, node: NodeId, p: ReqRep, _t: &Topology) -> Option<ReqRep> {
+                if p.is_reply {
+                    self.replies_received += 1;
+                    None
+                } else {
+                    debug_assert_eq!(node, self.b);
+                    Some(ReqRep { is_reply: true })
+                }
+            }
+        }
+
+        let mut eng = Engine::new(&topo, EngineConfig::default());
+        eng.inject(a, ReqRep { is_reply: false });
+        let mut b = RB { replies_received: 0, fwd, back, a, b: bnode };
+        let stats = eng.run_until_quiet(&topo, &mut b, |_| {});
+        assert_eq!(b.replies_received, 1);
+        assert_eq!(stats.delivered, 2); // request + reply
+        assert_eq!(stats.hops, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "livelock")]
+    fn livelock_detected() {
+        // A packet that forwards around a 2-cycle forever.
+        let mut topo = Topology::new();
+        let a = topo.add_node();
+        let b = topo.add_node();
+        topo.add_duplex(a, b);
+        struct Spin;
+        impl Behavior<u32> for Spin {
+            fn route(&mut self, node: NodeId, _p: &mut u32, topo: &Topology) -> Route {
+                Route::Forward(topo.out_edges(node)[0])
+            }
+            fn consume(&mut self, _n: NodeId, _p: u32, _t: &Topology) -> Option<u32> {
+                None
+            }
+        }
+        let mut eng = Engine::new(&topo, EngineConfig { queue_capacity: 4, max_cycles: 50 });
+        eng.inject(a, 0);
+        let _ = eng.run_until_quiet(&topo, &mut Spin, |_| {});
+    }
+
+    #[test]
+    fn topology_accessors() {
+        let mut t = Topology::new();
+        let n0 = t.add_node();
+        let n1 = t.add_node();
+        let e = t.add_edge(n0, n1);
+        assert_eq!(t.nodes(), 2);
+        assert_eq!(t.edge_count(), 1);
+        assert_eq!(t.endpoints(e), (n0, n1));
+        assert_eq!(t.out_edges(n0), &[e]);
+        assert_eq!(t.max_degree(), 1);
+        let first = t.add_nodes(3);
+        assert_eq!(first, 2);
+        assert_eq!(t.nodes(), 5);
+    }
+
+    #[test]
+    fn distinct_out_edges_move_in_same_cycle() {
+        // One node fans out to two sinks; both packets leave in cycle 1.
+        let mut topo = Topology::new();
+        let src = topo.add_node();
+        let s1 = topo.add_node();
+        let s2 = topo.add_node();
+        let e1 = topo.add_edge(src, s1);
+        let e2 = topo.add_edge(src, s2);
+
+        struct Fan {
+            e1: EdgeId,
+            e2: EdgeId,
+            src: NodeId,
+            got: usize,
+        }
+        impl Behavior<usize> for Fan {
+            fn route(&mut self, node: NodeId, p: &mut usize, _t: &Topology) -> Route {
+                if node == self.src {
+                    Route::Forward(if *p == 0 { self.e1 } else { self.e2 })
+                } else {
+                    Route::Consume
+                }
+            }
+            fn consume(&mut self, _n: NodeId, _p: usize, _t: &Topology) -> Option<usize> {
+                self.got += 1;
+                None
+            }
+        }
+
+        let mut eng = Engine::new(&topo, EngineConfig::default());
+        eng.inject(src, 0);
+        eng.inject(src, 1);
+        let mut b = Fan { e1, e2, src, got: 0 };
+        let stats = eng.run_until_quiet(&topo, &mut b, |_| {});
+        assert_eq!(b.got, 2);
+        // Both depart cycle 1, arrive cycle 2, consumed cycle 2.
+        assert_eq!(stats.cycles, 2);
+    }
+}

@@ -1,0 +1,110 @@
+//! The SPMD instruction set.
+//!
+//! Deliberately small but complete: integer ALU, comparisons, branches, and
+//! the two shared-memory operations. One instruction executes per P-RAM step
+//! on every non-halted processor; only `Read`/`Write` touch shared memory, so
+//! the shared-access pattern of a program is exactly the sequence of steps in
+//! which those appear.
+
+use crate::types::{Reg, Word};
+
+/// A single instruction. `Reg` operands name private registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// Do nothing for a step.
+    Nop,
+    /// Stop this processor; it takes no further part in the run.
+    Halt,
+
+    /// `dst <- imm`.
+    LoadImm(Reg, Word),
+    /// `dst <- src`.
+    Mov(Reg, Reg),
+
+    /// `dst <- a + b` (wrapping).
+    Add(Reg, Reg, Reg),
+    /// `dst <- a - b` (wrapping).
+    Sub(Reg, Reg, Reg),
+    /// `dst <- a * b` (wrapping).
+    Mul(Reg, Reg, Reg),
+    /// `dst <- a / b`; traps on `b == 0`.
+    Div(Reg, Reg, Reg),
+    /// `dst <- a % b`; traps on `b == 0`.
+    Rem(Reg, Reg, Reg),
+    /// `dst <- a + imm` (wrapping).
+    AddImm(Reg, Reg, Word),
+    /// `dst <- a * imm` (wrapping).
+    MulImm(Reg, Reg, Word),
+    /// `dst <- min(a, b)`.
+    Min(Reg, Reg, Reg),
+    /// `dst <- max(a, b)`.
+    Max(Reg, Reg, Reg),
+    /// `dst <- a << sh` (wrapping; `sh` masked to 0..64).
+    Shl(Reg, Reg, u32),
+    /// `dst <- a >> sh` (arithmetic).
+    Shr(Reg, Reg, u32),
+    /// `dst <- a & b`.
+    And(Reg, Reg, Reg),
+    /// `dst <- a | b`.
+    Or(Reg, Reg, Reg),
+    /// `dst <- a ^ b`.
+    Xor(Reg, Reg, Reg),
+
+    /// `dst <- (a < b) as Word`.
+    Lt(Reg, Reg, Reg),
+    /// `dst <- (a <= b) as Word`.
+    Le(Reg, Reg, Reg),
+    /// `dst <- (a == b) as Word`.
+    Eq(Reg, Reg, Reg),
+    /// `dst <- (a != b) as Word`.
+    Ne(Reg, Reg, Reg),
+
+    /// Unconditional jump to an absolute instruction index.
+    Jmp(usize),
+    /// Jump if `cond != 0`.
+    Jnz(Reg, usize),
+    /// Jump if `cond == 0`.
+    Jz(Reg, usize),
+
+    /// `dst <- shared[addr_reg]` (value observed from before this step).
+    Read(Reg, Reg),
+    /// `shared[addr_reg] <- src` (applied at end of step).
+    Write(Reg, Reg),
+
+    /// `dst <- this processor's id`.
+    ProcId(Reg),
+    /// `dst <- number of processors`.
+    NumProcs(Reg),
+    /// `dst <- shared memory size m`.
+    MemSize(Reg),
+}
+
+impl Instr {
+    /// Whether this instruction accesses shared memory.
+    #[inline]
+    pub fn is_shared_access(&self) -> bool {
+        matches!(self, Instr::Read(..) | Instr::Write(..))
+    }
+
+    /// Whether this instruction can transfer control.
+    #[inline]
+    pub fn is_branch(&self) -> bool {
+        matches!(self, Instr::Jmp(_) | Instr::Jnz(..) | Instr::Jz(..))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        let r = Reg(0);
+        assert!(Instr::Read(r, r).is_shared_access());
+        assert!(Instr::Write(r, r).is_shared_access());
+        assert!(!Instr::Add(r, r, r).is_shared_access());
+        assert!(Instr::Jmp(0).is_branch());
+        assert!(Instr::Jnz(r, 0).is_branch());
+        assert!(!Instr::Halt.is_branch());
+    }
+}

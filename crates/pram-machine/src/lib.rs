@@ -1,0 +1,26 @@
+//! The P-RAM abstract machine (Fortune & Wyllie 1978), as used by the paper.
+//!
+//! A P-RAM consists of `n` synchronous RAM processors and `m` shared memory
+//! cells (paper, Fig. 1). At every step each processor executes one
+//! instruction of an SPMD program; shared-memory reads observe the memory
+//! state *before* the step's writes are applied. Variants differ in the
+//! read/write conflict convention: EREW, CREW, or CRCW with a write policy
+//! ([`Mode`]).
+//!
+//! The executor ([`machine::Pram`]) is generic over a [`memory::SharedMemory`]
+//! backend. Running the same program against the ideal backend and against
+//! one of the simulation schemes in the `cr-core` crate — and asserting
+//! identical results — is the workspace's end-to-end faithfulness test.
+
+pub mod instr;
+pub mod machine;
+pub mod memory;
+pub mod program;
+pub mod programs;
+pub mod types;
+
+pub use instr::Instr;
+pub use machine::{Pram, RunLimits, RunReport};
+pub use memory::{AccessResult, IdealMemory, SharedMemory, StepCost};
+pub use program::{Label, Program, ProgramBuilder};
+pub use types::{Mode, PramError, ProcId, Reg, Word, WritePolicy};

@@ -1,0 +1,623 @@
+//! The synchronous SPMD executor.
+//!
+//! All `n` processors execute in lockstep. Each global step:
+//!
+//! 1. every non-halted processor decodes its current instruction;
+//! 2. shared accesses are collected, validated against the conflict [`Mode`],
+//!    concurrent reads are combined and concurrent writes resolved by the
+//!    CRCW policy;
+//! 3. the (deduplicated) access batch is submitted to the [`SharedMemory`]
+//!    backend — which may be the ideal memory or any of the simulation
+//!    schemes;
+//! 4. read results are written back to destination registers, ALU/branch
+//!    instructions execute, and program counters advance.
+//!
+//! Reads observe the memory state from before the step's writes, per the
+//! standard P-RAM convention.
+
+use std::collections::HashMap;
+
+use crate::instr::Instr;
+use crate::memory::{SharedMemory, StepCost};
+use crate::program::Program;
+use crate::types::{Mode, PramError, ProcId, Reg, Word, WritePolicy};
+
+/// Safety limits for a run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunLimits {
+    /// Abort with [`PramError::StepLimitExceeded`] after this many steps.
+    pub max_steps: u64,
+}
+
+impl Default for RunLimits {
+    fn default() -> Self {
+        RunLimits { max_steps: 1_000_000 }
+    }
+}
+
+/// Shared accesses performed in one step, for trace-driven workloads.
+#[derive(Debug, Clone, Default)]
+pub struct StepTrace {
+    /// `(processor, cell)` pairs for this step's reads.
+    pub reads: Vec<(ProcId, usize)>,
+    /// `(processor, cell, value)` triples for this step's writes.
+    pub writes: Vec<(ProcId, usize, Word)>,
+}
+
+/// Outcome of a run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Global steps executed.
+    pub steps: u64,
+    /// Steps in which at least one shared access occurred.
+    pub shared_steps: u64,
+    /// Total cost reported by the memory backend.
+    pub cost: StepCost,
+    /// Whether every processor reached `Halt` (as opposed to hitting the
+    /// step limit — which is reported as an error instead).
+    pub halted: bool,
+    /// Per-step shared-access trace, if requested.
+    pub trace: Option<Vec<StepTrace>>,
+}
+
+/// The P-RAM executor. Construct with [`Pram::new`], configure, then
+/// [`Pram::run`].
+#[derive(Debug, Clone)]
+pub struct Pram {
+    n: usize,
+    mode: Mode,
+    limits: RunLimits,
+    record_trace: bool,
+}
+
+impl Pram {
+    /// An `n`-processor machine with the given conflict mode.
+    pub fn new(n: usize, mode: Mode) -> Self {
+        assert!(n > 0, "a P-RAM needs at least one processor");
+        Pram { n, mode, limits: RunLimits::default(), record_trace: false }
+    }
+
+    /// Override the safety limits.
+    pub fn with_limits(mut self, limits: RunLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Record a [`StepTrace`] per step (used by trace-driven workloads).
+    pub fn with_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+
+    /// Number of processors.
+    pub fn processors(&self) -> usize {
+        self.n
+    }
+
+    /// Execute `program` against `mem` until all processors halt.
+    pub fn run<M: SharedMemory + ?Sized>(
+        &self,
+        program: &Program,
+        mem: &mut M,
+    ) -> Result<RunReport, PramError> {
+        let n = self.n;
+        let nregs = program.register_count().max(1);
+        let mut regs = vec![0 as Word; n * nregs];
+        let mut pcs = vec![0usize; n];
+        let mut halted = vec![false; n];
+        let mut live = n;
+
+        let mut steps: u64 = 0;
+        let mut shared_steps: u64 = 0;
+        let mut cost = StepCost::default();
+        let mut trace: Vec<StepTrace> = Vec::new();
+
+        // Scratch, reused across steps.
+        let mut step_reads: Vec<(ProcId, Reg, usize)> = Vec::new();
+        let mut step_writes: Vec<(ProcId, usize, Word)> = Vec::new();
+
+        while live > 0 {
+            if steps >= self.limits.max_steps {
+                return Err(PramError::StepLimitExceeded { limit: self.limits.max_steps });
+            }
+            step_reads.clear();
+            step_writes.clear();
+
+            // ---- pass 1: decode, collect shared accesses ----
+            for p in 0..n {
+                if halted[p] {
+                    continue;
+                }
+                let pc = pcs[p];
+                let Some(instr) = program.fetch(pc) else {
+                    // Running off the end is an implicit halt.
+                    halted[p] = true;
+                    live -= 1;
+                    continue;
+                };
+                let rf = &regs[p * nregs..(p + 1) * nregs];
+                match instr {
+                    Instr::Read(dst, addr_r) => {
+                        let a = rf[addr_r.idx()];
+                        let addr = Self::check_addr(a, mem.size(), steps, p)?;
+                        step_reads.push((p, dst, addr));
+                    }
+                    Instr::Write(addr_r, src) => {
+                        let a = rf[addr_r.idx()];
+                        let addr = Self::check_addr(a, mem.size(), steps, p)?;
+                        step_writes.push((p, addr, rf[src.idx()]));
+                    }
+                    _ => {}
+                }
+            }
+
+            // ---- pass 2: conflict semantics ----
+            let (uniq_reads, resolved_writes) =
+                self.resolve_conflicts(&step_reads, &step_writes, steps)?;
+
+            // ---- pass 3: hit the backend ----
+            let mut read_map: HashMap<usize, Word> = HashMap::new();
+            if !uniq_reads.is_empty() || !resolved_writes.is_empty() {
+                shared_steps += 1;
+                let result = mem.access(&uniq_reads, &resolved_writes);
+                cost.add(result.cost);
+                for (a, v) in uniq_reads.iter().zip(result.read_values.iter()) {
+                    read_map.insert(*a, *v);
+                }
+            }
+
+            if self.record_trace {
+                trace.push(StepTrace {
+                    reads: step_reads.iter().map(|&(p, _, a)| (p, a)).collect(),
+                    writes: step_writes.clone(),
+                });
+            }
+
+            // ---- pass 4: retire instructions ----
+            for p in 0..n {
+                if halted[p] {
+                    continue;
+                }
+                let pc = pcs[p];
+                let instr = match program.fetch(pc) {
+                    Some(i) => i,
+                    None => continue,
+                };
+                let base = p * nregs;
+                let mut next_pc = pc + 1;
+                macro_rules! r {
+                    ($reg:expr) => {
+                        regs[base + $reg.idx()]
+                    };
+                }
+                match instr {
+                    Instr::Nop => {}
+                    Instr::Halt => {
+                        halted[p] = true;
+                        live -= 1;
+                    }
+                    Instr::LoadImm(d, v) => r!(d) = v,
+                    Instr::Mov(d, a) => r!(d) = r!(a),
+                    Instr::Add(d, a, b) => r!(d) = r!(a).wrapping_add(r!(b)),
+                    Instr::Sub(d, a, b) => r!(d) = r!(a).wrapping_sub(r!(b)),
+                    Instr::Mul(d, a, b) => r!(d) = r!(a).wrapping_mul(r!(b)),
+                    Instr::Div(d, a, b) => {
+                        let bv = r!(b);
+                        if bv == 0 {
+                            return Err(PramError::DivisionByZero { step: steps, proc: p });
+                        }
+                        r!(d) = r!(a).wrapping_div(bv);
+                    }
+                    Instr::Rem(d, a, b) => {
+                        let bv = r!(b);
+                        if bv == 0 {
+                            return Err(PramError::DivisionByZero { step: steps, proc: p });
+                        }
+                        r!(d) = r!(a).wrapping_rem(bv);
+                    }
+                    Instr::AddImm(d, a, v) => r!(d) = r!(a).wrapping_add(v),
+                    Instr::MulImm(d, a, v) => r!(d) = r!(a).wrapping_mul(v),
+                    Instr::Min(d, a, b) => r!(d) = r!(a).min(r!(b)),
+                    Instr::Max(d, a, b) => r!(d) = r!(a).max(r!(b)),
+                    Instr::Shl(d, a, sh) => r!(d) = r!(a).wrapping_shl(sh),
+                    Instr::Shr(d, a, sh) => r!(d) = r!(a).wrapping_shr(sh),
+                    Instr::And(d, a, b) => r!(d) = r!(a) & r!(b),
+                    Instr::Or(d, a, b) => r!(d) = r!(a) | r!(b),
+                    Instr::Xor(d, a, b) => r!(d) = r!(a) ^ r!(b),
+                    Instr::Lt(d, a, b) => r!(d) = (r!(a) < r!(b)) as Word,
+                    Instr::Le(d, a, b) => r!(d) = (r!(a) <= r!(b)) as Word,
+                    Instr::Eq(d, a, b) => r!(d) = (r!(a) == r!(b)) as Word,
+                    Instr::Ne(d, a, b) => r!(d) = (r!(a) != r!(b)) as Word,
+                    Instr::Jmp(t) => next_pc = t,
+                    Instr::Jnz(c, t) => {
+                        if r!(c) != 0 {
+                            next_pc = t;
+                        }
+                    }
+                    Instr::Jz(c, t) => {
+                        if r!(c) == 0 {
+                            next_pc = t;
+                        }
+                    }
+                    Instr::Read(d, _) => {
+                        // Value was fetched in pass 3.
+                        let (_, _, addr) = step_reads
+                            .iter()
+                            .find(|&&(q, _, _)| q == p)
+                            .copied()
+                            .expect("read recorded in pass 1");
+                        r!(d) = read_map[&addr];
+                    }
+                    Instr::Write(_, _) => {}
+                    Instr::ProcId(d) => r!(d) = p as Word,
+                    Instr::NumProcs(d) => r!(d) = n as Word,
+                    Instr::MemSize(d) => r!(d) = mem.size() as Word,
+                }
+                if !halted[p] {
+                    pcs[p] = next_pc;
+                }
+            }
+
+            steps += 1;
+        }
+
+        Ok(RunReport {
+            steps,
+            shared_steps,
+            cost,
+            halted: true,
+            trace: if self.record_trace { Some(trace) } else { None },
+        })
+    }
+
+    fn check_addr(a: Word, m: usize, step: u64, proc: ProcId) -> Result<usize, PramError> {
+        if a < 0 || a as u128 >= m as u128 {
+            Err(PramError::AddressOutOfRange { step, proc, addr: a })
+        } else {
+            Ok(a as usize)
+        }
+    }
+
+    /// Apply the conflict convention: returns (distinct read addresses,
+    /// resolved distinct writes).
+    fn resolve_conflicts(
+        &self,
+        reads: &[(ProcId, Reg, usize)],
+        writes: &[(ProcId, usize, Word)],
+        step: u64,
+    ) -> Result<(Vec<usize>, Vec<(usize, Word)>), PramError> {
+        // Group reads by address.
+        let mut readers: HashMap<usize, Vec<ProcId>> = HashMap::new();
+        for &(p, _, a) in reads {
+            readers.entry(a).or_default().push(p);
+        }
+        // Group writes by address.
+        let mut writers: HashMap<usize, Vec<(ProcId, Word)>> = HashMap::new();
+        for &(p, a, v) in writes {
+            writers.entry(a).or_default().push((p, v));
+        }
+
+        if !self.mode.allows_concurrent_reads() {
+            for (&a, ps) in &readers {
+                if ps.len() > 1 {
+                    let mut procs = ps.clone();
+                    procs.sort_unstable();
+                    return Err(PramError::ReadConflict { step, addr: a, procs });
+                }
+            }
+            // EREW also forbids a cell being read and written in one step.
+            for &a in readers.keys() {
+                if writers.contains_key(&a) {
+                    return Err(PramError::ReadWriteConflict { step, addr: a });
+                }
+            }
+        }
+
+        let mut resolved: Vec<(usize, Word)> = Vec::with_capacity(writers.len());
+        for (&a, ws) in &writers {
+            if ws.len() == 1 {
+                resolved.push((a, ws[0].1));
+                continue;
+            }
+            match self.mode {
+                Mode::Erew | Mode::Crew => {
+                    let mut procs: Vec<ProcId> = ws.iter().map(|&(p, _)| p).collect();
+                    procs.sort_unstable();
+                    return Err(PramError::WriteConflict { step, addr: a, procs });
+                }
+                Mode::Crcw(policy) => {
+                    let winner = match policy {
+                        WritePolicy::Common => {
+                            let v0 = ws[0].1;
+                            if ws.iter().any(|&(_, v)| v != v0) {
+                                return Err(PramError::CommonViolation { step, addr: a });
+                            }
+                            v0
+                        }
+                        WritePolicy::Arbitrary | WritePolicy::Priority => {
+                            ws.iter().min_by_key(|&&(p, _)| p).unwrap().1
+                        }
+                        WritePolicy::Max => ws.iter().map(|&(_, v)| v).max().unwrap(),
+                    };
+                    resolved.push((a, winner));
+                }
+            }
+        }
+
+        let mut uniq_reads: Vec<usize> = readers.keys().copied().collect();
+        // Deterministic backend input order.
+        uniq_reads.sort_unstable();
+        resolved.sort_unstable_by_key(|&(a, _)| a);
+        Ok((uniq_reads, resolved))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::IdealMemory;
+    use crate::program::ProgramBuilder;
+
+    fn r(i: u16) -> Reg {
+        Reg(i)
+    }
+
+    /// Every processor writes its id to cell id; then reads neighbor's cell.
+    fn write_then_read_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let id = r(0);
+        let nn = r(1);
+        let tmp = r(2);
+        let one = r(3);
+        b.proc_id(id);
+        b.num_procs(nn);
+        b.write(id, id); // shared[id] = id
+        b.load_imm(one, 1);
+        b.add(tmp, id, one);
+        b.rem(tmp, tmp, nn); // (id+1) % n
+        b.read(tmp, tmp); // tmp = shared[(id+1)%n]
+        b.write(id, tmp); // shared[id] = neighbor id
+        b.halt();
+        b.build()
+    }
+
+    #[test]
+    fn lockstep_neighbor_exchange() {
+        let n = 8;
+        let mut mem = IdealMemory::new(n);
+        let report = Pram::new(n, Mode::Erew)
+            .run(&write_then_read_program(), &mut mem)
+            .unwrap();
+        assert!(report.halted);
+        for i in 0..n {
+            assert_eq!(mem.peek(i), ((i + 1) % n) as Word);
+        }
+    }
+
+    #[test]
+    fn erew_detects_read_conflict() {
+        // Everyone reads cell 0.
+        let mut b = ProgramBuilder::new();
+        b.load_imm(r(0), 0);
+        b.read(r(1), r(0));
+        b.halt();
+        let p = b.build();
+        let mut mem = IdealMemory::new(4);
+        let err = Pram::new(2, Mode::Erew).run(&p, &mut mem).unwrap_err();
+        assert!(matches!(err, PramError::ReadConflict { addr: 0, .. }));
+        // The same program is fine under CREW.
+        let mut mem = IdealMemory::new(4);
+        assert!(Pram::new(2, Mode::Crew).run(&p, &mut mem).is_ok());
+    }
+
+    #[test]
+    fn crew_detects_write_conflict() {
+        let mut b = ProgramBuilder::new();
+        b.load_imm(r(0), 0);
+        b.proc_id(r(1));
+        b.write(r(0), r(1));
+        b.halt();
+        let p = b.build();
+        let mut mem = IdealMemory::new(4);
+        let err = Pram::new(3, Mode::Crew).run(&p, &mut mem).unwrap_err();
+        assert!(matches!(err, PramError::WriteConflict { addr: 0, .. }));
+    }
+
+    #[test]
+    fn crcw_priority_lowest_proc_wins() {
+        let mut b = ProgramBuilder::new();
+        b.load_imm(r(0), 0);
+        b.proc_id(r(1));
+        b.add_imm(r(1), r(1), 100);
+        b.write(r(0), r(1));
+        b.halt();
+        let p = b.build();
+        let mut mem = IdealMemory::new(4);
+        Pram::new(4, Mode::Crcw(WritePolicy::Priority)).run(&p, &mut mem).unwrap();
+        assert_eq!(mem.peek(0), 100);
+    }
+
+    #[test]
+    fn crcw_max_policy() {
+        let mut b = ProgramBuilder::new();
+        b.load_imm(r(0), 0);
+        b.proc_id(r(1));
+        b.write(r(0), r(1));
+        b.halt();
+        let p = b.build();
+        let mut mem = IdealMemory::new(4);
+        Pram::new(4, Mode::Crcw(WritePolicy::Max)).run(&p, &mut mem).unwrap();
+        assert_eq!(mem.peek(0), 3);
+    }
+
+    #[test]
+    fn crcw_common_violation_detected() {
+        let mut b = ProgramBuilder::new();
+        b.load_imm(r(0), 0);
+        b.proc_id(r(1));
+        b.write(r(0), r(1)); // different values per proc
+        b.halt();
+        let p = b.build();
+        let mut mem = IdealMemory::new(4);
+        let err = Pram::new(2, Mode::Crcw(WritePolicy::Common)).run(&p, &mut mem).unwrap_err();
+        assert!(matches!(err, PramError::CommonViolation { addr: 0, .. }));
+    }
+
+    #[test]
+    fn crcw_common_agreement_ok() {
+        let mut b = ProgramBuilder::new();
+        b.load_imm(r(0), 0);
+        b.load_imm(r(1), 7);
+        b.write(r(0), r(1));
+        b.halt();
+        let p = b.build();
+        let mut mem = IdealMemory::new(4);
+        Pram::new(5, Mode::Crcw(WritePolicy::Common)).run(&p, &mut mem).unwrap();
+        assert_eq!(mem.peek(0), 7);
+    }
+
+    #[test]
+    fn erew_read_write_same_cell_conflict() {
+        // proc 0 reads cell 0, proc 1 writes cell 0.
+        let mut b = ProgramBuilder::new();
+        let id = r(0);
+        let addr = r(1);
+        let skip = b.label();
+        b.proc_id(id);
+        b.load_imm(addr, 0);
+        b.jnz(id, skip);
+        b.read(r(2), addr); // proc 0 only
+        b.halt();
+        b.bind(skip);
+        b.write(addr, id); // proc 1 only
+        b.halt();
+        let p = b.build();
+        // Both paths reach their memory op at the same step (the branch has
+        // equal length on both sides), so EREW must reject the run.
+        let m = Pram::new(2, Mode::Erew);
+        let err = m
+            .resolve_conflicts(&[(0, r(2), 0)], &[(1, 0, 5)], 0)
+            .unwrap_err();
+        assert!(matches!(err, PramError::ReadWriteConflict { addr: 0, .. }));
+        let mut mem = IdealMemory::new(4);
+        let err = m.run(&p, &mut mem).unwrap_err();
+        assert!(matches!(err, PramError::ReadWriteConflict { addr: 0, .. }));
+        // CREW permits a reader and a writer on the same cell; the read
+        // observes the pre-step value.
+        let mut mem = IdealMemory::new(4);
+        assert!(Pram::new(2, Mode::Crew).run(&p, &mut mem).is_ok());
+    }
+
+    #[test]
+    fn address_out_of_range_trapped() {
+        let mut b = ProgramBuilder::new();
+        b.load_imm(r(0), 99);
+        b.read(r(1), r(0));
+        b.halt();
+        let p = b.build();
+        let mut mem = IdealMemory::new(4);
+        let err = Pram::new(1, Mode::Erew).run(&p, &mut mem).unwrap_err();
+        assert!(matches!(err, PramError::AddressOutOfRange { addr: 99, .. }));
+    }
+
+    #[test]
+    fn negative_address_trapped() {
+        let mut b = ProgramBuilder::new();
+        b.load_imm(r(0), -1);
+        b.write(r(0), r(0));
+        b.halt();
+        let p = b.build();
+        let mut mem = IdealMemory::new(4);
+        let err = Pram::new(1, Mode::Erew).run(&p, &mut mem).unwrap_err();
+        assert!(matches!(err, PramError::AddressOutOfRange { addr: -1, .. }));
+    }
+
+    #[test]
+    fn step_limit_stops_infinite_loop() {
+        let mut b = ProgramBuilder::new();
+        let top = b.label();
+        b.bind(top);
+        b.jmp(top);
+        let p = b.build();
+        let mut mem = IdealMemory::new(1);
+        let err = Pram::new(1, Mode::Erew)
+            .with_limits(RunLimits { max_steps: 100 })
+            .run(&p, &mut mem)
+            .unwrap_err();
+        assert!(matches!(err, PramError::StepLimitExceeded { limit: 100 }));
+    }
+
+    #[test]
+    fn running_off_end_halts() {
+        let mut b = ProgramBuilder::new();
+        b.nop();
+        let p = b.build();
+        let mut mem = IdealMemory::new(1);
+        let rep = Pram::new(3, Mode::Erew).run(&p, &mut mem).unwrap();
+        assert!(rep.halted);
+        assert_eq!(rep.steps, 2); // nop step + off-end detection step
+    }
+
+    #[test]
+    fn trace_records_accesses() {
+        let n = 4;
+        let mut mem = IdealMemory::new(n);
+        let rep = Pram::new(n, Mode::Erew)
+            .with_trace()
+            .run(&write_then_read_program(), &mut mem)
+            .unwrap();
+        let trace = rep.trace.unwrap();
+        let total_reads: usize = trace.iter().map(|t| t.reads.len()).sum();
+        let total_writes: usize = trace.iter().map(|t| t.writes.len()).sum();
+        assert_eq!(total_reads, n); // one read per proc
+        assert_eq!(total_writes, 2 * n); // two writes per proc
+    }
+
+    #[test]
+    fn division_by_zero_trapped() {
+        let mut b = ProgramBuilder::new();
+        b.load_imm(r(0), 1);
+        b.load_imm(r(1), 0);
+        b.div(r(2), r(0), r(1));
+        b.halt();
+        let p = b.build();
+        let mut mem = IdealMemory::new(1);
+        let err = Pram::new(1, Mode::Erew).run(&p, &mut mem).unwrap_err();
+        assert!(matches!(err, PramError::DivisionByZero { .. }));
+    }
+
+    #[test]
+    fn alu_coverage() {
+        let mut b = ProgramBuilder::new();
+        b.load_imm(r(0), 12);
+        b.load_imm(r(1), 5);
+        b.sub(r(2), r(0), r(1)); // 7
+        b.mul(r(3), r(2), r(1)); // 35
+        b.div(r(4), r(3), r(1)); // 7
+        b.min(r(5), r(0), r(1)); // 5
+        b.max(r(6), r(0), r(1)); // 12
+        b.shl(r(7), r(1), 2); // 20
+        b.shr(r(8), r(0), 1); // 6
+        b.lt(r(9), r(1), r(0)); // 1
+        b.le(r(10), r(0), r(0)); // 1
+        b.eq(r(11), r(0), r(1)); // 0
+        b.ne(r(12), r(0), r(1)); // 1
+        b.raw(Instr::And(r(13), r(0), r(1))); // 12&5=4
+        b.raw(Instr::Or(r(14), r(0), r(1))); // 13
+        b.raw(Instr::Xor(r(15), r(0), r(1))); // 9
+        // Store everything to shared memory for inspection.
+        let addr = r(16);
+        for (cell, reg) in (2..=15).enumerate() {
+            b.load_imm(addr, cell as Word);
+            b.write(addr, r(reg));
+        }
+        b.halt();
+        let p = b.build();
+        let mut mem = IdealMemory::new(16);
+        Pram::new(1, Mode::Erew).run(&p, &mut mem).unwrap();
+        let expect = [7, 35, 7, 5, 12, 20, 6, 1, 1, 0, 1, 4, 13, 9];
+        for (cell, &e) in expect.iter().enumerate() {
+            assert_eq!(mem.peek(cell), e, "cell {cell}");
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! The shared-memory backend interface and the ideal (unit-cost) memory.
+//!
+//! The executor resolves all conflict semantics *before* calling the backend:
+//! a backend always receives at most one read and at most one write per
+//! distinct cell per step. This mirrors the papers' setting, where the
+//! simulation schemes operate on a set of (deduplicated) variables to access
+//! in a step. Simulation schemes in the `cr-core` crate implement
+//! [`SharedMemory`], so any P-RAM program can run unmodified on top of them.
+
+use crate::types::Word;
+
+/// Cost of one simulated memory step, in the units the paper uses.
+///
+/// * `phases` — protocol rounds (each phase is one routing round);
+/// * `cycles` — network cycles actually consumed (on the 2DMOT a phase costs
+///   `Θ(tree depth)` cycles; on complete interconnects, 1);
+/// * `messages` — point-to-point packets sent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepCost {
+    /// Protocol phases used by this step.
+    pub phases: u64,
+    /// Network cycles consumed by this step.
+    pub cycles: u64,
+    /// Messages (packets) sent during this step.
+    pub messages: u64,
+}
+
+impl StepCost {
+    /// Accumulate another step's cost.
+    pub fn add(&mut self, other: StepCost) {
+        self.phases += other.phases;
+        self.cycles += other.cycles;
+        self.messages += other.messages;
+    }
+}
+
+/// Result of a memory step: one value per requested read address, in the
+/// same order as the `reads` slice passed in, plus the cost.
+#[derive(Debug, Clone)]
+pub struct AccessResult {
+    /// `read_values[i]` is the value of `reads[i]`.
+    pub read_values: Vec<Word>,
+    /// What the step cost in the backend's own time model.
+    pub cost: StepCost,
+}
+
+/// A synchronous shared memory that executes one P-RAM step's accesses at a
+/// time.
+///
+/// Contract:
+/// * `reads` contains **distinct** addresses, all `< size()`;
+/// * `writes` contains **distinct** addresses, all `< size()`;
+/// * an address may appear in both (a read and a write by different
+///   processors is legal under CREW/CRCW after front-end resolution — under
+///   EREW the executor rejects it first); the read must observe the value
+///   from **before** this step's write.
+pub trait SharedMemory {
+    /// Number of addressable cells, `m`.
+    fn size(&self) -> usize;
+
+    /// Execute one synchronous batch of accesses.
+    fn access(&mut self, reads: &[usize], writes: &[(usize, Word)]) -> AccessResult;
+
+    /// Convenience: read a single cell outside of step accounting (used by
+    /// tests and result extraction, not by simulated programs).
+    fn peek(&mut self, addr: usize) -> Word {
+        self.access(&[addr], &[]).read_values[0]
+    }
+
+    /// Convenience: write a single cell outside of step accounting (used to
+    /// set up program inputs).
+    fn poke(&mut self, addr: usize, value: Word) {
+        self.access(&[], &[(addr, value)]);
+    }
+}
+
+/// The ideal P-RAM shared memory: every access costs one phase, one cycle.
+/// This is the model of Fig. 1 — and the correctness reference for every
+/// simulation scheme.
+#[derive(Debug, Clone)]
+pub struct IdealMemory {
+    cells: Vec<Word>,
+}
+
+impl IdealMemory {
+    /// A zero-initialized memory of `m` cells.
+    pub fn new(m: usize) -> Self {
+        IdealMemory { cells: vec![0; m] }
+    }
+
+    /// Build from initial contents.
+    pub fn from_cells(cells: Vec<Word>) -> Self {
+        IdealMemory { cells }
+    }
+
+    /// Borrow the cells (for bulk assertions in tests).
+    pub fn cells(&self) -> &[Word] {
+        &self.cells
+    }
+}
+
+impl SharedMemory for IdealMemory {
+    fn size(&self) -> usize {
+        self.cells.len()
+    }
+
+    fn access(&mut self, reads: &[usize], writes: &[(usize, Word)]) -> AccessResult {
+        let read_values = reads.iter().map(|&a| self.cells[a]).collect();
+        for &(a, v) in writes {
+            self.cells[a] = v;
+        }
+        AccessResult {
+            read_values,
+            cost: StepCost { phases: 1, cycles: 1, messages: (reads.len() + writes.len()) as u64 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_observe_pre_step_state() {
+        let mut m = IdealMemory::new(4);
+        m.poke(1, 10);
+        // Read cell 1 and write it in the same step: the read sees 10.
+        let r = m.access(&[1], &[(1, 99)]);
+        assert_eq!(r.read_values, vec![10]);
+        assert_eq!(m.peek(1), 99);
+    }
+
+    #[test]
+    fn cost_accumulates() {
+        let mut total = StepCost::default();
+        total.add(StepCost { phases: 2, cycles: 10, messages: 5 });
+        total.add(StepCost { phases: 1, cycles: 4, messages: 2 });
+        assert_eq!(total, StepCost { phases: 3, cycles: 14, messages: 7 });
+    }
+
+    #[test]
+    fn from_cells_roundtrip() {
+        let mut m = IdealMemory::from_cells(vec![5, 6, 7]);
+        assert_eq!(m.size(), 3);
+        assert_eq!(m.peek(2), 7);
+        assert_eq!(m.cells(), &[5, 6, 7]);
+    }
+}

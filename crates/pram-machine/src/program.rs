@@ -1,0 +1,355 @@
+//! Programs and a small assembler-style builder with label fix-up.
+
+use crate::instr::Instr;
+use crate::types::{Reg, Word};
+
+/// A forward-referenceable jump target issued by [`ProgramBuilder::label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+/// A validated SPMD program: a flat instruction sequence with all labels
+/// resolved to absolute indices.
+#[derive(Debug, Clone)]
+pub struct Program {
+    instrs: Vec<Instr>,
+    /// Highest register index used, for register-file sizing.
+    max_reg: u16,
+}
+
+impl Program {
+    /// The instruction at `pc`, if in range.
+    #[inline]
+    pub fn fetch(&self, pc: usize) -> Option<Instr> {
+        self.instrs.get(pc).copied()
+    }
+
+    /// Number of instructions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Number of registers the register file needs.
+    #[inline]
+    pub fn register_count(&self) -> usize {
+        self.max_reg as usize + 1
+    }
+
+    /// Read-only view of the instruction stream.
+    pub fn instructions(&self) -> &[Instr] {
+        &self.instrs
+    }
+}
+
+/// Builder that assembles a [`Program`], resolving labels on `build`.
+///
+/// ```
+/// use pram_machine::{ProgramBuilder, Reg};
+/// let mut b = ProgramBuilder::new();
+/// let r = Reg(0);
+/// b.load_imm(r, 3);
+/// let done = b.label();
+/// b.jz(r, done);
+/// b.add_imm(r, r, -1);
+/// // loop back to the jz
+/// b.jmp_to(1);
+/// b.bind(done);
+/// b.halt();
+/// let prog = b.build();
+/// assert_eq!(prog.len(), 5);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    instrs: Vec<Instr>,
+    /// label id -> resolved pc (usize::MAX while unresolved)
+    labels: Vec<usize>,
+    /// (instruction index, label id) pairs awaiting resolution
+    fixups: Vec<(usize, usize)>,
+    max_reg: u16,
+}
+
+const UNRESOLVED: usize = usize::MAX;
+
+impl ProgramBuilder {
+    /// Fresh, empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current instruction index (the pc of the next emitted instruction).
+    pub fn here(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Allocate a label to be bound later with [`ProgramBuilder::bind`].
+    pub fn label(&mut self) -> Label {
+        self.labels.push(UNRESOLVED);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Bind `label` to the current position.
+    pub fn bind(&mut self, label: Label) {
+        assert_eq!(
+            self.labels[label.0], UNRESOLVED,
+            "label bound twice"
+        );
+        self.labels[label.0] = self.instrs.len();
+    }
+
+    fn touch(&mut self, r: Reg) {
+        self.max_reg = self.max_reg.max(r.0);
+    }
+
+    fn push(&mut self, i: Instr) -> &mut Self {
+        self.instrs.push(i);
+        self
+    }
+
+    /// Emit a raw instruction (no label resolution).
+    pub fn raw(&mut self, i: Instr) -> &mut Self {
+        match i {
+            Instr::LoadImm(d, _) | Instr::ProcId(d) | Instr::NumProcs(d) | Instr::MemSize(d) => {
+                self.touch(d)
+            }
+            Instr::Mov(d, a)
+            | Instr::AddImm(d, a, _)
+            | Instr::MulImm(d, a, _)
+            | Instr::Shl(d, a, _)
+            | Instr::Shr(d, a, _)
+            | Instr::Read(d, a)
+            | Instr::Write(d, a) => {
+                self.touch(d);
+                self.touch(a);
+            }
+            Instr::Add(d, a, b)
+            | Instr::Sub(d, a, b)
+            | Instr::Mul(d, a, b)
+            | Instr::Div(d, a, b)
+            | Instr::Rem(d, a, b)
+            | Instr::Min(d, a, b)
+            | Instr::Max(d, a, b)
+            | Instr::And(d, a, b)
+            | Instr::Or(d, a, b)
+            | Instr::Xor(d, a, b)
+            | Instr::Lt(d, a, b)
+            | Instr::Le(d, a, b)
+            | Instr::Eq(d, a, b)
+            | Instr::Ne(d, a, b) => {
+                self.touch(d);
+                self.touch(a);
+                self.touch(b);
+            }
+            Instr::Jnz(c, _) | Instr::Jz(c, _) => self.touch(c),
+            Instr::Nop | Instr::Halt | Instr::Jmp(_) => {}
+        }
+        self.push(i);
+        self
+    }
+
+    // --- ergonomic emitters -------------------------------------------------
+
+    /// `nop`
+    pub fn nop(&mut self) -> &mut Self {
+        self.raw(Instr::Nop)
+    }
+    /// `halt`
+    pub fn halt(&mut self) -> &mut Self {
+        self.raw(Instr::Halt)
+    }
+    /// `dst <- imm`
+    pub fn load_imm(&mut self, d: Reg, v: Word) -> &mut Self {
+        self.raw(Instr::LoadImm(d, v))
+    }
+    /// `dst <- src`
+    pub fn mov(&mut self, d: Reg, a: Reg) -> &mut Self {
+        self.raw(Instr::Mov(d, a))
+    }
+    /// `dst <- a + b`
+    pub fn add(&mut self, d: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.raw(Instr::Add(d, a, b))
+    }
+    /// `dst <- a - b`
+    pub fn sub(&mut self, d: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.raw(Instr::Sub(d, a, b))
+    }
+    /// `dst <- a * b`
+    pub fn mul(&mut self, d: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.raw(Instr::Mul(d, a, b))
+    }
+    /// `dst <- a / b`
+    pub fn div(&mut self, d: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.raw(Instr::Div(d, a, b))
+    }
+    /// `dst <- a % b`
+    pub fn rem(&mut self, d: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.raw(Instr::Rem(d, a, b))
+    }
+    /// `dst <- a + imm`
+    pub fn add_imm(&mut self, d: Reg, a: Reg, v: Word) -> &mut Self {
+        self.raw(Instr::AddImm(d, a, v))
+    }
+    /// `dst <- a * imm`
+    pub fn mul_imm(&mut self, d: Reg, a: Reg, v: Word) -> &mut Self {
+        self.raw(Instr::MulImm(d, a, v))
+    }
+    /// `dst <- min(a, b)`
+    pub fn min(&mut self, d: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.raw(Instr::Min(d, a, b))
+    }
+    /// `dst <- max(a, b)`
+    pub fn max(&mut self, d: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.raw(Instr::Max(d, a, b))
+    }
+    /// `dst <- a << sh`
+    pub fn shl(&mut self, d: Reg, a: Reg, sh: u32) -> &mut Self {
+        self.raw(Instr::Shl(d, a, sh))
+    }
+    /// `dst <- a >> sh`
+    pub fn shr(&mut self, d: Reg, a: Reg, sh: u32) -> &mut Self {
+        self.raw(Instr::Shr(d, a, sh))
+    }
+    /// `dst <- (a < b)`
+    pub fn lt(&mut self, d: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.raw(Instr::Lt(d, a, b))
+    }
+    /// `dst <- (a <= b)`
+    pub fn le(&mut self, d: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.raw(Instr::Le(d, a, b))
+    }
+    /// `dst <- (a == b)`
+    pub fn eq(&mut self, d: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.raw(Instr::Eq(d, a, b))
+    }
+    /// `dst <- (a != b)`
+    pub fn ne(&mut self, d: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.raw(Instr::Ne(d, a, b))
+    }
+    /// `dst <- shared[addr]`
+    pub fn read(&mut self, d: Reg, addr: Reg) -> &mut Self {
+        self.raw(Instr::Read(d, addr))
+    }
+    /// `shared[addr] <- src`
+    pub fn write(&mut self, addr: Reg, src: Reg) -> &mut Self {
+        self.raw(Instr::Write(addr, src))
+    }
+    /// `dst <- proc id`
+    pub fn proc_id(&mut self, d: Reg) -> &mut Self {
+        self.raw(Instr::ProcId(d))
+    }
+    /// `dst <- n`
+    pub fn num_procs(&mut self, d: Reg) -> &mut Self {
+        self.raw(Instr::NumProcs(d))
+    }
+    /// `dst <- m`
+    pub fn mem_size(&mut self, d: Reg) -> &mut Self {
+        self.raw(Instr::MemSize(d))
+    }
+
+    /// Jump to a label (resolved at `build`).
+    pub fn jmp(&mut self, l: Label) -> &mut Self {
+        self.fixups.push((self.instrs.len(), l.0));
+        self.push(Instr::Jmp(UNRESOLVED))
+    }
+    /// Jump to an absolute pc.
+    pub fn jmp_to(&mut self, pc: usize) -> &mut Self {
+        self.push(Instr::Jmp(pc))
+    }
+    /// Jump to a label if `c != 0`.
+    pub fn jnz(&mut self, c: Reg, l: Label) -> &mut Self {
+        self.touch(c);
+        self.fixups.push((self.instrs.len(), l.0));
+        self.push(Instr::Jnz(c, UNRESOLVED))
+    }
+    /// Jump to a label if `c == 0`.
+    pub fn jz(&mut self, c: Reg, l: Label) -> &mut Self {
+        self.touch(c);
+        self.fixups.push((self.instrs.len(), l.0));
+        self.push(Instr::Jz(c, UNRESOLVED))
+    }
+
+    /// Resolve labels and produce the program.
+    ///
+    /// Panics if any referenced label was never bound, or if a jump targets
+    /// a pc outside the program.
+    pub fn build(mut self) -> Program {
+        for &(at, lbl) in &self.fixups {
+            let target = self.labels[lbl];
+            assert_ne!(target, UNRESOLVED, "label {lbl} referenced but never bound");
+            match &mut self.instrs[at] {
+                Instr::Jmp(t) | Instr::Jnz(_, t) | Instr::Jz(_, t) => *t = target,
+                other => unreachable!("fixup on non-branch {other:?}"),
+            }
+        }
+        for (pc, i) in self.instrs.iter().enumerate() {
+            if let Instr::Jmp(t) | Instr::Jnz(_, t) | Instr::Jz(_, t) = i {
+                assert!(
+                    *t <= self.instrs.len(),
+                    "instruction {pc} jumps to {t}, beyond program end"
+                );
+            }
+        }
+        Program { instrs: self.instrs, max_reg: self.max_reg }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let mut b = ProgramBuilder::new();
+        let r = Reg(2);
+        let top = b.label();
+        b.bind(top);
+        b.load_imm(r, 1);
+        let end = b.label();
+        b.jz(r, end);
+        b.jmp(top);
+        b.bind(end);
+        b.halt();
+        let p = b.build();
+        assert_eq!(p.fetch(1), Some(Instr::Jz(r, 3)));
+        assert_eq!(p.fetch(2), Some(Instr::Jmp(0)));
+        assert_eq!(p.register_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "never bound")]
+    fn unbound_label_panics() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label();
+        b.jmp(l);
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label();
+        b.bind(l);
+        b.bind(l);
+    }
+
+    #[test]
+    fn register_count_tracks_all_operands() {
+        let mut b = ProgramBuilder::new();
+        b.add(Reg(1), Reg(7), Reg(3));
+        let p = b.build();
+        assert_eq!(p.register_count(), 8);
+    }
+
+    #[test]
+    fn empty_program() {
+        let p = ProgramBuilder::new().build();
+        assert!(p.is_empty());
+        assert_eq!(p.fetch(0), None);
+    }
+}

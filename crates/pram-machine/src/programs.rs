@@ -1,0 +1,662 @@
+//! A library of classic P-RAM programs.
+//!
+//! These serve three purposes in the reproduction:
+//!
+//! 1. they test the executor against known parallel algorithms;
+//! 2. run through a simulation scheme (`cr-core`), they are the end-to-end
+//!    faithfulness check (same results as on the ideal P-RAM);
+//! 3. their recorded access traces are realistic workloads for the
+//!    experiments (the paper's motivation is general-purpose computation).
+//!
+//! ## EREW predication convention
+//!
+//! The executor keeps processors in lockstep only if they execute the same
+//! instruction stream, so data-dependent branching is avoided; programs use
+//! *arithmetic predication* instead (`val = v1 + mask·v2`). A predicated-off
+//! processor still issues its reads, so each program's memory layout reserves
+//! a **dead region** of `n` cells: inactive processors read their private
+//! dead cell, which no other processor ever touches, keeping every step
+//! EREW-legal.
+
+use crate::program::{Program, ProgramBuilder};
+use crate::types::{Reg, Word};
+
+/// Memory layout of [`parallel_sum`]: input (and partial sums) in
+/// `[0, n)`, dead region `[n, 2n)`. Result lands in cell `0`.
+pub fn parallel_sum_layout(n: usize) -> usize {
+    2 * n
+}
+
+/// EREW tree reduction: sums cells `[0, n)` into cell `0` in `⌈log₂ n⌉`
+/// rounds. `n` processors, `n` a power of two is *not* required.
+pub fn parallel_sum(_n: usize) -> Program {
+    let mut b = ProgramBuilder::new();
+    let id = Reg(0);
+    let n_r = Reg(1);
+    let d = Reg(2);
+    let twod = Reg(3);
+    let t = Reg(4);
+    let zero = Reg(5);
+    let mask = Reg(6);
+    let a2 = Reg(7);
+    let v1 = Reg(8);
+    let v2 = Reg(9);
+    let val = Reg(10);
+    let cond = Reg(11);
+    let dead = Reg(12);
+    let diff = Reg(13);
+
+    b.proc_id(id);
+    b.num_procs(n_r);
+    b.load_imm(d, 1);
+    b.load_imm(zero, 0);
+    b.add(dead, n_r, id); // private dead cell: n + id
+
+    let top = b.label();
+    b.bind(top);
+    // active iff id % 2d == 0 and id + d < n
+    b.mul_imm(twod, d, 2);
+    b.rem(t, id, twod);
+    b.eq(mask, t, zero);
+    b.add(a2, id, d);
+    b.lt(cond, a2, n_r);
+    b.mul(mask, mask, cond);
+    // a2 = active ? id + d : dead
+    b.sub(diff, a2, dead);
+    b.mul(diff, diff, mask);
+    b.add(a2, dead, diff);
+    // val = mem[id] + mask * mem[a2]
+    b.read(v1, id);
+    b.read(v2, a2);
+    b.mul(v2, v2, mask);
+    b.add(val, v1, v2);
+    b.write(id, val);
+    // d *= 2; loop while d < n
+    b.mul_imm(d, d, 2);
+    b.lt(cond, d, n_r);
+    b.jnz(cond, top);
+    b.halt();
+    b.build()
+}
+
+/// Memory layout of [`prefix_sum`]: buffer A `[0, n)` (input and final
+/// output), buffer B `[n, 2n)`, dead region `[2n, 3n)`.
+pub fn prefix_sum_layout(n: usize) -> usize {
+    3 * n
+}
+
+/// EREW inclusive prefix sum (Hillis–Steele with double buffering):
+/// on exit, cell `i` holds `input[0] + … + input[i]`.
+pub fn prefix_sum(_n: usize) -> Program {
+    let mut b = ProgramBuilder::new();
+    let id = Reg(0);
+    let n_r = Reg(1);
+    let d = Reg(2);
+    let so = Reg(3); // source buffer offset
+    let dof = Reg(4); // destination buffer offset
+    let mask = Reg(5);
+    let a1 = Reg(6);
+    let a2 = Reg(7);
+    let v1 = Reg(8);
+    let v2 = Reg(9);
+    let val = Reg(10);
+    let cond = Reg(11);
+    let dead = Reg(12);
+    let t = Reg(13);
+    let diff = Reg(14);
+
+    b.proc_id(id);
+    b.num_procs(n_r);
+    b.load_imm(d, 1);
+    b.load_imm(so, 0);
+    b.mov(dof, n_r);
+    b.mul_imm(dead, n_r, 2);
+    b.add(dead, dead, id); // private dead cell: 2n + id
+
+    let top = b.label();
+    b.bind(top);
+    // active iff id >= d
+    b.le(mask, d, id);
+    // v1 = src[id]
+    b.add(a1, so, id);
+    b.read(v1, a1);
+    // a2 = active ? src[id - d] : dead
+    b.sub(t, a1, d);
+    b.sub(diff, t, dead);
+    b.mul(diff, diff, mask);
+    b.add(a2, dead, diff);
+    b.read(v2, a2);
+    // dst[id] = v1 + mask * v2
+    b.mul(v2, v2, mask);
+    b.add(val, v1, v2);
+    b.add(t, dof, id);
+    b.write(t, val);
+    // swap buffers, double stride
+    b.mov(t, so);
+    b.mov(so, dof);
+    b.mov(dof, t);
+    b.mul_imm(d, d, 2);
+    b.lt(cond, d, n_r);
+    b.jnz(cond, top);
+
+    // Result is in the `so` buffer; copy to A if needed (uniform branch).
+    let done = b.label();
+    b.jz(so, done);
+    b.add(a1, so, id);
+    b.read(v1, a1);
+    b.write(id, v1);
+    b.bind(done);
+    b.halt();
+    b.build()
+}
+
+/// Memory layout of [`broadcast_erew`]: data `[0, n)` (cell 0 is the source),
+/// dead region `[n, 2n)`. On exit every cell of `[0, n)` holds the value.
+pub fn broadcast_erew_layout(n: usize) -> usize {
+    2 * n
+}
+
+/// EREW broadcast by recursive doubling: cell `0`'s value reaches all of
+/// `[0, n)` in `⌈log₂ n⌉` rounds without any concurrent read.
+pub fn broadcast_erew(_n: usize) -> Program {
+    let mut b = ProgramBuilder::new();
+    let id = Reg(0);
+    let n_r = Reg(1);
+    let d = Reg(2);
+    let mask = Reg(3);
+    let a2 = Reg(4);
+    let v = Reg(5);
+    let vown = Reg(6);
+    let cond = Reg(7);
+    let dead = Reg(8);
+    let t = Reg(9);
+    let twod = Reg(10);
+    let diff = Reg(11);
+
+    b.proc_id(id);
+    b.num_procs(n_r);
+    b.load_imm(d, 1);
+    b.add(dead, n_r, id);
+
+    let top = b.label();
+    b.bind(top);
+    // active iff d <= id < 2d
+    b.le(mask, d, id);
+    b.mul_imm(twod, d, 2);
+    b.lt(cond, id, twod);
+    b.mul(mask, mask, cond);
+    // src = active ? id - d : dead
+    b.sub(t, id, d);
+    b.sub(diff, t, dead);
+    b.mul(diff, diff, mask);
+    b.add(a2, dead, diff);
+    b.read(v, a2);
+    // own = mem[id]; mem[id] = own + mask * (v - own)
+    b.read(vown, id);
+    b.sub(v, v, vown);
+    b.mul(v, v, mask);
+    b.add(v, vown, v);
+    b.write(id, v);
+    b.mul_imm(d, d, 2);
+    b.lt(cond, d, n_r);
+    b.jnz(cond, top);
+    b.halt();
+    b.build()
+}
+
+/// CREW broadcast: every processor reads cell 0 — one shared step.
+pub fn broadcast_crew() -> Program {
+    let mut b = ProgramBuilder::new();
+    let id = Reg(0);
+    let zero = Reg(1);
+    let v = Reg(2);
+    b.proc_id(id);
+    b.load_imm(zero, 0);
+    b.read(v, zero);
+    b.write(id, v);
+    b.halt();
+    b.build()
+}
+
+/// CRCW-Max global maximum: every processor writes `input[id]` to cell `n`
+/// under the MAX policy. Layout: input `[0, n)`, result at cell `n`.
+pub fn max_crcw_layout(n: usize) -> usize {
+    n + 1
+}
+
+/// CRCW-Max maximum in O(1) shared steps.
+pub fn max_crcw(_n: usize) -> Program {
+    let mut b = ProgramBuilder::new();
+    let id = Reg(0);
+    let n_r = Reg(1);
+    let v = Reg(2);
+    b.proc_id(id);
+    b.num_procs(n_r);
+    b.read(v, id);
+    b.write(n_r, v); // all write cell n; Max policy resolves
+    b.halt();
+    b.build()
+}
+
+/// Memory layout of [`matvec`]: for an `r × c` matrix with `n = r·c`
+/// processors —
+/// * `A` row-major in `[0, rc)`
+/// * `x` in `[rc, rc + c)`
+/// * scratch products in `[rc + c, 2rc + c)`
+/// * result `y` in `[2rc + c, 2rc + c + r)`
+/// * dead region `[2rc + c + r, 3rc + c + r)`
+pub fn matvec_layout(rows: usize, cols: usize) -> usize {
+    let rc = rows * cols;
+    3 * rc + cols + rows
+}
+
+/// CREW matrix–vector product `y = A·x` with one processor per matrix
+/// entry: elementwise multiply, then an EREW tree reduction within each row.
+/// This is the workload the 2DMOT was originally designed for (Nath,
+/// Maheshwari & Bhatt 1983), computed here as a plain P-RAM program.
+pub fn matvec(rows: usize, cols: usize) -> Program {
+    let rc = (rows * cols) as Word;
+    let c_w = cols as Word;
+    let x_base = rc;
+    let s_base = rc + c_w;
+    let y_base = 2 * rc + c_w;
+    let dead_base = 2 * rc + c_w + rows as Word;
+
+    let mut b = ProgramBuilder::new();
+    let id = Reg(0);
+    let i = Reg(1);
+    let j = Reg(2);
+    let cr = Reg(3);
+    let t = Reg(4);
+    let a = Reg(5);
+    let xv = Reg(6);
+    let p = Reg(7);
+    let d = Reg(8);
+    let twod = Reg(9);
+    let mask = Reg(10);
+    let cond = Reg(11);
+    let a2 = Reg(12);
+    let v1 = Reg(13);
+    let v2 = Reg(14);
+    let dead = Reg(15);
+    let zero = Reg(16);
+    let sown = Reg(17);
+    let diff = Reg(18);
+
+    b.proc_id(id);
+    b.load_imm(cr, c_w);
+    b.div(i, id, cr);
+    b.rem(j, id, cr);
+    b.load_imm(zero, 0);
+    b.load_imm(dead, dead_base);
+    b.add(dead, dead, id);
+
+    // p = A[id] * x[j]   (x[j] is a concurrent read across rows)
+    b.read(a, id);
+    b.load_imm(t, x_base);
+    b.add(t, t, j);
+    b.read(xv, t);
+    b.mul(p, a, xv);
+    // scratch[id] = p
+    b.load_imm(sown, s_base);
+    b.add(sown, sown, id);
+    b.write(sown, p);
+
+    // EREW tree reduction over each row of the scratch region.
+    b.load_imm(d, 1);
+    let top = b.label();
+    b.bind(top);
+    b.mul_imm(twod, d, 2);
+    b.rem(t, j, twod);
+    b.eq(mask, t, zero);
+    b.add(t, j, d);
+    b.lt(cond, t, cr);
+    b.mul(mask, mask, cond);
+    // a2 = active ? scratch[id + d] : dead
+    b.add(a2, sown, d);
+    b.sub(diff, a2, dead);
+    b.mul(diff, diff, mask);
+    b.add(a2, dead, diff);
+    b.read(v1, sown);
+    b.read(v2, a2);
+    b.mul(v2, v2, mask);
+    b.add(v1, v1, v2);
+    b.write(sown, v1);
+    b.mul_imm(d, d, 2);
+    b.lt(cond, d, cr);
+    b.jnz(cond, top);
+
+    // j == 0 processors publish y[i] = scratch[i*c].
+    // (Uniform instruction stream: others write their dead cell.)
+    b.eq(mask, j, zero);
+    b.load_imm(t, y_base);
+    b.add(t, t, i);
+    b.sub(diff, t, dead);
+    b.mul(diff, diff, mask);
+    b.add(t, dead, diff);
+    b.read(v1, sown);
+    b.write(t, v1);
+    b.halt();
+    b.build()
+}
+
+/// Memory layout of [`odd_even_sort`]: keys in `[0, n)` (sorted in place),
+/// dead region `[n, 2n)`.
+pub fn odd_even_sort_layout(n: usize) -> usize {
+    2 * n
+}
+
+/// EREW odd–even transposition sort: `n` rounds of compare–exchange on
+/// alternating adjacent pairs sort cells `[0, n)` ascending. `O(n)` P-RAM
+/// steps — not work-optimal, but the classic synchronous sorting network
+/// and a usefully *long* shared-memory workload for the schemes.
+pub fn odd_even_sort(_n: usize) -> Program {
+    let mut b = ProgramBuilder::new();
+    let id = Reg(0);
+    let n_r = Reg(1);
+    let round = Reg(2);
+    let mask = Reg(3);
+    let t = Reg(4);
+    let a1 = Reg(5);
+    let a2 = Reg(6);
+    let v1 = Reg(7);
+    let v2 = Reg(8);
+    let lo = Reg(9);
+    let hi = Reg(10);
+    let cond = Reg(11);
+    let dead = Reg(12);
+    let two = Reg(13);
+    let diff = Reg(14);
+
+    b.proc_id(id);
+    b.num_procs(n_r);
+    b.load_imm(round, 0);
+    b.load_imm(two, 2);
+    b.add(dead, n_r, id);
+
+    let top = b.label();
+    b.bind(top);
+    // active iff id ≡ round (mod 2) and id + 1 < n: this processor owns the
+    // pair (id, id+1) this round.
+    b.rem(t, id, two);
+    b.rem(cond, round, two);
+    b.eq(mask, t, cond);
+    b.add_imm(t, id, 1);
+    b.lt(cond, t, n_r);
+    b.mul(mask, mask, cond);
+    // a1 = active ? id : dead ; a2 = active ? id+1 : dead
+    b.sub(diff, id, dead);
+    b.mul(diff, diff, mask);
+    b.add(a1, dead, diff);
+    b.add_imm(t, id, 1);
+    b.sub(diff, t, dead);
+    b.mul(diff, diff, mask);
+    b.add(a2, dead, diff);
+    // compare-exchange (inactive processors churn their dead cell)
+    b.read(v1, a1);
+    b.read(v2, a2);
+    b.min(lo, v1, v2);
+    b.max(hi, v1, v2);
+    b.write(a1, lo);
+    b.write(a2, hi);
+    // next round
+    b.add_imm(round, round, 1);
+    b.lt(cond, round, n_r);
+    b.jnz(cond, top);
+    b.halt();
+    b.build()
+}
+
+/// Memory layout of [`list_ranking`]: successor array `S` in `[0, n)`,
+/// rank array `R` in `[n, 2n)`. CREW.
+pub fn list_ranking_layout(n: usize) -> usize {
+    2 * n
+}
+
+/// CREW list ranking by pointer jumping: after `⌈log₂ n⌉` rounds,
+/// `R[i]` = number of links from node `i` to the terminal node (the node
+/// with `S[t] == t`, whose initial rank must be 0; all others start at 1).
+pub fn list_ranking(_n: usize) -> Program {
+    let mut b = ProgramBuilder::new();
+    let id = Reg(0);
+    let n_r = Reg(1);
+    let k = Reg(2);
+    let s = Reg(3);
+    let t = Reg(4);
+    let r_own = Reg(5);
+    let r_s = Reg(6);
+    let s_s = Reg(7);
+    let cond = Reg(8);
+    let radd = Reg(9);
+
+    b.proc_id(id);
+    b.num_procs(n_r);
+    b.load_imm(k, 1);
+
+    let top = b.label();
+    b.bind(top);
+    // s = S[id]
+    b.read(s, id);
+    // r_own = R[id]; r_s = R[s]; s_s = S[s]    (all CREW-legal)
+    b.add(t, n_r, id);
+    b.read(r_own, t);
+    b.add(radd, n_r, s);
+    b.read(r_s, radd);
+    b.read(s_s, s);
+    // R[id] += r_s ; S[id] = s_s
+    b.add(r_own, r_own, r_s);
+    b.add(t, n_r, id);
+    b.write(t, r_own);
+    b.write(id, s_s);
+    b.mul_imm(k, k, 2);
+    b.lt(cond, k, n_r);
+    b.jnz(cond, top);
+    b.halt();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Pram;
+    use crate::memory::{IdealMemory, SharedMemory};
+    use crate::types::{Mode, WritePolicy};
+
+    fn run_erew(prog: &Program, n: usize, mem: &mut IdealMemory) {
+        Pram::new(n, Mode::Erew).run(prog, mem).expect("EREW-legal program");
+    }
+
+    #[test]
+    fn parallel_sum_various_sizes() {
+        for n in [1usize, 2, 3, 7, 8, 16, 33, 64] {
+            let mut mem = IdealMemory::new(parallel_sum_layout(n));
+            for i in 0..n {
+                mem.poke(i, (i + 1) as Word);
+            }
+            run_erew(&parallel_sum(n), n, &mut mem);
+            let expect = (n * (n + 1) / 2) as Word;
+            assert_eq!(mem.peek(0), expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn prefix_sum_matches_sequential() {
+        for n in [1usize, 2, 5, 8, 16, 31] {
+            let mut mem = IdealMemory::new(prefix_sum_layout(n));
+            let input: Vec<Word> = (0..n).map(|i| (3 * i + 1) as Word).collect();
+            for (i, &v) in input.iter().enumerate() {
+                mem.poke(i, v);
+            }
+            run_erew(&prefix_sum(n), n, &mut mem);
+            let mut acc = 0;
+            for i in 0..n {
+                acc += input[i];
+                assert_eq!(mem.peek(i), acc, "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_erew_reaches_everyone() {
+        for n in [1usize, 2, 6, 8, 17, 32] {
+            let mut mem = IdealMemory::new(broadcast_erew_layout(n));
+            mem.poke(0, 42);
+            run_erew(&broadcast_erew(n), n, &mut mem);
+            for i in 0..n {
+                assert_eq!(mem.peek(i), 42, "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_crew_single_shared_read_step() {
+        let n = 16;
+        let mut mem = IdealMemory::new(n);
+        mem.poke(0, 7);
+        let rep = Pram::new(n, Mode::Crew).run(&broadcast_crew(), &mut mem).unwrap();
+        for i in 0..n {
+            assert_eq!(mem.peek(i), 7);
+        }
+        // one read step + one write step
+        assert_eq!(rep.shared_steps, 2);
+    }
+
+    #[test]
+    fn broadcast_crew_rejected_under_erew() {
+        let n = 4;
+        let mut mem = IdealMemory::new(n);
+        let err = Pram::new(n, Mode::Erew).run(&broadcast_crew(), &mut mem).unwrap_err();
+        assert!(matches!(err, crate::types::PramError::ReadConflict { .. }));
+    }
+
+    #[test]
+    fn max_crcw_finds_maximum() {
+        let n = 9;
+        let mut mem = IdealMemory::new(max_crcw_layout(n));
+        let vals = [3, 1, 4, 1, 5, 9, 2, 6, 5];
+        for (i, &v) in vals.iter().enumerate() {
+            mem.poke(i, v);
+        }
+        Pram::new(n, Mode::Crcw(WritePolicy::Max)).run(&max_crcw(n), &mut mem).unwrap();
+        assert_eq!(mem.peek(n), 9);
+    }
+
+    #[test]
+    fn matvec_small() {
+        let (rows, cols) = (4, 4);
+        let n = rows * cols;
+        let mut mem = IdealMemory::new(matvec_layout(rows, cols));
+        // A[i][j] = i + j, x[j] = j + 1
+        for i in 0..rows {
+            for j in 0..cols {
+                mem.poke(i * cols + j, (i + j) as Word);
+            }
+        }
+        for j in 0..cols {
+            mem.poke(rows * cols + j, (j + 1) as Word);
+        }
+        Pram::new(n, Mode::Crew).run(&matvec(rows, cols), &mut mem).unwrap();
+        let y_base = 2 * rows * cols + cols;
+        for i in 0..rows {
+            let expect: Word = (0..cols).map(|j| ((i + j) * (j + 1)) as Word).sum();
+            assert_eq!(mem.peek(y_base + i), expect, "row {i}");
+        }
+    }
+
+    #[test]
+    fn matvec_rectangular() {
+        let (rows, cols) = (2, 8);
+        let n = rows * cols;
+        let mut mem = IdealMemory::new(matvec_layout(rows, cols));
+        for i in 0..rows {
+            for j in 0..cols {
+                mem.poke(i * cols + j, 1);
+            }
+        }
+        for j in 0..cols {
+            mem.poke(rows * cols + j, 2);
+        }
+        Pram::new(n, Mode::Crew).run(&matvec(rows, cols), &mut mem).unwrap();
+        let y_base = 2 * rows * cols + cols;
+        for i in 0..rows {
+            assert_eq!(mem.peek(y_base + i), (2 * cols) as Word);
+        }
+    }
+
+    #[test]
+    fn odd_even_sort_sorts() {
+        for n in [2usize, 3, 8, 16, 17] {
+            let mut mem = IdealMemory::new(odd_even_sort_layout(n));
+            // A worst-case-ish input: reverse order with duplicates.
+            let input: Vec<Word> = (0..n).map(|i| ((n - i) % 5) as Word * 10 + 1).collect();
+            for (i, &v) in input.iter().enumerate() {
+                mem.poke(i, v);
+            }
+            run_erew(&odd_even_sort(n), n, &mut mem);
+            let mut expect = input.clone();
+            expect.sort_unstable();
+            let got: Vec<Word> = (0..n).map(|i| mem.peek(i)).collect();
+            assert_eq!(got, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn odd_even_sort_already_sorted_is_stable() {
+        let n = 8;
+        let mut mem = IdealMemory::new(odd_even_sort_layout(n));
+        for i in 0..n {
+            mem.poke(i, i as Word);
+        }
+        run_erew(&odd_even_sort(n), n, &mut mem);
+        for i in 0..n {
+            assert_eq!(mem.peek(i), i as Word);
+        }
+    }
+
+    #[test]
+    fn list_ranking_straight_chain() {
+        // Chain n-1 -> n-2 -> ... -> 0, terminal 0.
+        let n = 16;
+        let mut mem = IdealMemory::new(list_ranking_layout(n));
+        for i in 0..n {
+            let succ = if i == 0 { 0 } else { i - 1 };
+            mem.poke(i, succ as Word);
+            mem.poke(n + i, if i == 0 { 0 } else { 1 });
+        }
+        Pram::new(n, Mode::Crew).run(&list_ranking(n), &mut mem).unwrap();
+        for i in 0..n {
+            assert_eq!(mem.peek(n + i), i as Word, "rank of node {i}");
+        }
+    }
+
+    #[test]
+    fn list_ranking_shuffled_list() {
+        // A list threaded through a fixed permutation.
+        let n = 8;
+        let order = [3usize, 6, 1, 7, 0, 4, 2, 5]; // order[k] = k-th node from terminal
+        let mut mem = IdealMemory::new(list_ranking_layout(n));
+        for k in 0..n {
+            let node = order[k];
+            let succ = if k == 0 { node } else { order[k - 1] };
+            mem.poke(node, succ as Word);
+            mem.poke(n + node, if k == 0 { 0 } else { 1 });
+        }
+        Pram::new(n, Mode::Crew).run(&list_ranking(n), &mut mem).unwrap();
+        for k in 0..n {
+            assert_eq!(mem.peek(n + order[k]), k as Word, "node {}", order[k]);
+        }
+    }
+
+    #[test]
+    fn programs_have_polylog_round_structure() {
+        // Shared steps should grow like log n, not n.
+        let mut prev = 0;
+        for n in [8usize, 64, 512] {
+            let mut mem = IdealMemory::new(parallel_sum_layout(n));
+            let rep = Pram::new(n, Mode::Erew).run(&parallel_sum(n), &mut mem).unwrap();
+            assert!(rep.shared_steps as usize <= 4 * n.ilog2() as usize + 4);
+            assert!(rep.shared_steps > prev);
+            prev = rep.shared_steps;
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Fundamental machine types: words, registers, conflict modes, errors.
+
+/// A machine word. The P-RAM literature treats cells as holding integers of
+/// `O(log m)` bits; 64 bits comfortably covers every experiment here.
+pub type Word = i64;
+
+/// Processor identifier, `0 .. n`.
+pub type ProcId = usize;
+
+/// A private register index. Each processor has a small register file that
+/// models its private RAM (the paper's processors each fetch instructions
+/// from "a private RAM"; we keep the program shared/SPMD and the data
+/// private, which is the standard formulation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u16);
+
+impl Reg {
+    /// Register index as a usize.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Write-conflict resolution policy for CRCW P-RAMs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WritePolicy {
+    /// All writers to a cell must write the same value; anything else is an
+    /// error (the COMMON CRCW model).
+    Common,
+    /// An arbitrary writer wins. We make it deterministic: the *lowest*
+    /// processor id wins, which is one legal refinement of ARBITRARY.
+    Arbitrary,
+    /// The lowest-numbered processor wins (PRIORITY model).
+    Priority,
+    /// The maximum value written wins (MAX / strong CRCW model).
+    Max,
+}
+
+/// Read/write conflict convention (paper §1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Exclusive read, exclusive write: no cell may be touched by more than
+    /// one processor per step.
+    Erew,
+    /// Concurrent read, exclusive write.
+    Crew,
+    /// Concurrent read, concurrent write with the given policy.
+    Crcw(WritePolicy),
+}
+
+impl Mode {
+    /// Whether concurrent reads of one cell are legal.
+    #[inline]
+    pub fn allows_concurrent_reads(self) -> bool {
+        !matches!(self, Mode::Erew)
+    }
+
+    /// Whether concurrent writes to one cell are legal.
+    #[inline]
+    pub fn allows_concurrent_writes(self) -> bool {
+        matches!(self, Mode::Crcw(_))
+    }
+}
+
+impl std::fmt::Display for Mode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Mode::Erew => write!(f, "EREW"),
+            Mode::Crew => write!(f, "CREW"),
+            Mode::Crcw(WritePolicy::Common) => write!(f, "CRCW-Common"),
+            Mode::Crcw(WritePolicy::Arbitrary) => write!(f, "CRCW-Arbitrary"),
+            Mode::Crcw(WritePolicy::Priority) => write!(f, "CRCW-Priority"),
+            Mode::Crcw(WritePolicy::Max) => write!(f, "CRCW-Max"),
+        }
+    }
+}
+
+/// Errors raised by the executor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PramError {
+    /// Two or more processors read one cell in a step under EREW.
+    ReadConflict { step: u64, addr: usize, procs: Vec<ProcId> },
+    /// Two or more processors wrote one cell in a step under EREW/CREW.
+    WriteConflict { step: u64, addr: usize, procs: Vec<ProcId> },
+    /// A cell was both read and written in one step under EREW ("accessed by
+    /// more than one processor").
+    ReadWriteConflict { step: u64, addr: usize },
+    /// CRCW-Common writers disagreed on the value.
+    CommonViolation { step: u64, addr: usize },
+    /// Shared address outside `[0, m)`.
+    AddressOutOfRange { step: u64, proc: ProcId, addr: Word },
+    /// Division or remainder by zero.
+    DivisionByZero { step: u64, proc: ProcId },
+    /// Program counter left the program without `Halt`.
+    PcOutOfRange { step: u64, proc: ProcId, pc: usize },
+    /// The step limit was exceeded (likely a non-terminating program).
+    StepLimitExceeded { limit: u64 },
+}
+
+impl std::fmt::Display for PramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PramError::ReadConflict { step, addr, procs } => {
+                write!(f, "step {step}: EREW read conflict on cell {addr} by {procs:?}")
+            }
+            PramError::WriteConflict { step, addr, procs } => {
+                write!(f, "step {step}: write conflict on cell {addr} by {procs:?}")
+            }
+            PramError::ReadWriteConflict { step, addr } => {
+                write!(f, "step {step}: EREW read+write conflict on cell {addr}")
+            }
+            PramError::CommonViolation { step, addr } => {
+                write!(f, "step {step}: CRCW-Common writers disagree on cell {addr}")
+            }
+            PramError::AddressOutOfRange { step, proc, addr } => {
+                write!(f, "step {step}: processor {proc} addressed cell {addr} (out of range)")
+            }
+            PramError::DivisionByZero { step, proc } => {
+                write!(f, "step {step}: processor {proc} divided by zero")
+            }
+            PramError::PcOutOfRange { step, proc, pc } => {
+                write!(f, "step {step}: processor {proc} ran off the program at pc {pc}")
+            }
+            PramError::StepLimitExceeded { limit } => {
+                write!(f, "step limit {limit} exceeded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_predicates() {
+        assert!(!Mode::Erew.allows_concurrent_reads());
+        assert!(Mode::Crew.allows_concurrent_reads());
+        assert!(!Mode::Crew.allows_concurrent_writes());
+        assert!(Mode::Crcw(WritePolicy::Max).allows_concurrent_writes());
+    }
+
+    #[test]
+    fn mode_display() {
+        assert_eq!(Mode::Erew.to_string(), "EREW");
+        assert_eq!(Mode::Crcw(WritePolicy::Priority).to_string(), "CRCW-Priority");
+    }
+
+    #[test]
+    fn error_display_mentions_step() {
+        let e = PramError::DivisionByZero { step: 17, proc: 3 };
+        assert!(e.to_string().contains("17"));
+        assert!(e.to_string().contains("3"));
+    }
+}

@@ -1,0 +1,276 @@
+//! Workload generators for the experiments.
+//!
+//! A workload is a sequence of [`StepPattern`]s — the deduplicated memory
+//! requests of one P-RAM step (at most one per processor, distinct
+//! addresses). Generators cover the request distributions the experiments
+//! need:
+//!
+//! * [`uniform`] — n distinct uniform variables (the papers' canonical
+//!   step);
+//! * [`permutation`] — a random permutation routed in `m/n`-sized waves;
+//! * [`hotspot`] — Zipf-skewed requests (deduplicated, so a skewed step
+//!   carries fewer distinct requests — CRCW combining has already
+//!   happened);
+//! * [`stride`] — regular strided access, the classic bank-conflict
+//!   pattern;
+//! * [`adversarial`] — the Theorem 1 concentration attack against a
+//!   concrete memory map (variables whose copies crowd the fewest
+//!   modules);
+//! * [`program_trace`] — the real access trace of a P-RAM program from
+//!   `pram_machine::programs`.
+
+use memdist::MemoryMap;
+use pram_machine::{IdealMemory, Mode, Pram, Program, Word};
+use simrng::Rng;
+
+/// One P-RAM step's worth of (deduplicated) requests.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StepPattern {
+    /// Distinct addresses read.
+    pub reads: Vec<usize>,
+    /// Distinct addresses written, with values.
+    pub writes: Vec<(usize, Word)>,
+}
+
+impl StepPattern {
+    /// Total requests.
+    pub fn len(&self) -> usize {
+        self.reads.len() + self.writes.len()
+    }
+
+    /// Whether the step touches no memory.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// `n` distinct uniform variables, a `write_frac` fraction of them writes.
+pub fn uniform(n: usize, m: usize, write_frac: f64, rng: &mut impl Rng) -> StepPattern {
+    let k = n.min(m);
+    let addrs = rng.sample_distinct(m as u64, k);
+    let n_writes = ((k as f64) * write_frac).round() as usize;
+    let (w, r) = addrs.split_at(n_writes.min(k));
+    StepPattern {
+        reads: r.iter().map(|&a| a as usize).collect(),
+        writes: w.iter().map(|&a| (a as usize, rng.next_u64() as Word)).collect(),
+    }
+}
+
+/// A random permutation of `[0, m)` accessed in waves of `n`: wave `w`
+/// reads `perm[w·n .. (w+1)·n]`. Returns all `⌈m/n⌉` waves.
+pub fn permutation(n: usize, m: usize, rng: &mut impl Rng) -> Vec<StepPattern> {
+    let mut perm: Vec<usize> = (0..m).collect();
+    rng.shuffle(&mut perm);
+    perm.chunks(n.max(1))
+        .map(|chunk| StepPattern { reads: chunk.to_vec(), writes: Vec::new() })
+        .collect()
+}
+
+/// Zipf-distributed requests with exponent `theta`, deduplicated. The
+/// higher `theta`, the fewer distinct variables per step.
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Precompute the CDF over `m` variables (`theta > 0`).
+    pub fn new(m: usize, theta: f64) -> Self {
+        assert!(m >= 1 && theta > 0.0);
+        let mut cdf = Vec::with_capacity(m);
+        let mut acc = 0.0;
+        for i in 0..m {
+            acc += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Sample one variable.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u = rng.f64();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// `n` Zipf draws, deduplicated into one read step.
+pub fn hotspot(n: usize, zipf: &Zipf, rng: &mut impl Rng) -> StepPattern {
+    let mut seen = std::collections::BTreeSet::new();
+    for _ in 0..n {
+        seen.insert(zipf.sample(rng));
+    }
+    StepPattern { reads: seen.into_iter().collect(), writes: Vec::new() }
+}
+
+/// `n` strided reads: `offset, offset+stride, …` (mod m), deduplicated.
+pub fn stride(n: usize, m: usize, stride: usize, offset: usize) -> StepPattern {
+    let mut seen = std::collections::BTreeSet::new();
+    for i in 0..n {
+        seen.insert((offset + i * stride) % m);
+    }
+    StepPattern { reads: seen.into_iter().collect(), writes: Vec::new() }
+}
+
+/// The Theorem 1 concentration attack: the `n` variables whose copies are
+/// confined to the fewest modules of `map`, issued as one write step.
+pub fn adversarial(map: &MemoryMap, n: usize) -> StepPattern {
+    let modules = map.modules();
+    let loads = map.module_loads();
+    let mut order: Vec<usize> = (0..modules).collect();
+    order.sort_by_key(|&md| std::cmp::Reverse(loads[md]));
+    let mut rank = vec![0u32; modules];
+    for (pos, &md) in order.iter().enumerate() {
+        rank[md] = pos as u32;
+    }
+    let mut vars: Vec<(u32, usize)> = (0..map.vars())
+        .map(|v| {
+            let worst = map.copies(v).iter().map(|&md| rank[md as usize]).max().unwrap();
+            (worst, v)
+        })
+        .collect();
+    vars.sort_unstable();
+    StepPattern {
+        reads: Vec::new(),
+        writes: vars.iter().take(n).map(|&(_, v)| (v, v as Word)).collect(),
+    }
+}
+
+/// The shared-memory trace of a program run on the ideal machine: one
+/// [`StepPattern`] per step that touched memory. Writes are resolved by
+/// lowest processor id (PRIORITY), matching the executor.
+pub fn program_trace(program: &Program, n: usize, m: usize, mode: Mode) -> Vec<StepPattern> {
+    let mut mem = IdealMemory::new(m);
+    let report = Pram::new(n, mode)
+        .with_trace()
+        .run(program, &mut mem)
+        .expect("trace workload programs must run clean");
+    let mut steps = Vec::new();
+    for t in report.trace.unwrap() {
+        if t.reads.is_empty() && t.writes.is_empty() {
+            continue;
+        }
+        let mut reads: Vec<usize> = t.reads.iter().map(|&(_, a)| a).collect();
+        reads.sort_unstable();
+        reads.dedup();
+        let mut writes: Vec<(usize, Word)> = Vec::new();
+        let mut sorted = t.writes.clone();
+        sorted.sort_by_key(|&(p, a, _)| (a, p));
+        for (p, a, v) in sorted {
+            let _ = p;
+            if writes.last().map(|&(wa, _)| wa) != Some(a) {
+                writes.push((a, v));
+            }
+        }
+        // Under EREW/CREW a cell is never both read and written; under
+        // CRCW drop the read if it collides (the combining front end would
+        // satisfy it locally).
+        let wset: std::collections::BTreeSet<usize> = writes.iter().map(|&(a, _)| a).collect();
+        reads.retain(|a| !wset.contains(a));
+        steps.push(StepPattern { reads, writes });
+    }
+    steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pram_machine::programs;
+    use simrng::rng_from_seed;
+
+    #[test]
+    fn uniform_distinct_and_sized() {
+        let mut rng = rng_from_seed(1);
+        let p = uniform(16, 256, 0.25, &mut rng);
+        assert_eq!(p.len(), 16);
+        assert_eq!(p.writes.len(), 4);
+        let mut all: Vec<usize> =
+            p.reads.iter().copied().chain(p.writes.iter().map(|&(a, _)| a)).collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 16);
+    }
+
+    #[test]
+    fn uniform_clamps_to_memory() {
+        let mut rng = rng_from_seed(2);
+        let p = uniform(64, 10, 0.0, &mut rng);
+        assert_eq!(p.len(), 10);
+    }
+
+    #[test]
+    fn permutation_covers_memory_once() {
+        let mut rng = rng_from_seed(3);
+        let waves = permutation(8, 50, &mut rng);
+        assert_eq!(waves.len(), 7);
+        let mut all: Vec<usize> = waves.iter().flat_map(|w| w.reads.iter().copied()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zipf_skews_small_indices() {
+        let z = Zipf::new(1000, 1.2);
+        let mut rng = rng_from_seed(4);
+        let mut low = 0;
+        for _ in 0..2000 {
+            if z.sample(&mut rng) < 10 {
+                low += 1;
+            }
+        }
+        assert!(low > 500, "zipf(1.2) should put >25% of mass on the top 10, got {low}");
+    }
+
+    #[test]
+    fn hotspot_dedups() {
+        let z = Zipf::new(100, 2.0);
+        let mut rng = rng_from_seed(5);
+        let p = hotspot(64, &z, &mut rng);
+        assert!(p.reads.len() < 64, "heavy skew must collapse under dedup");
+        let set: std::collections::HashSet<_> = p.reads.iter().collect();
+        assert_eq!(set.len(), p.reads.len());
+    }
+
+    #[test]
+    fn stride_wraps_and_dedups() {
+        let p = stride(8, 16, 4, 1);
+        // 1, 5, 9, 13, then wraps onto the same residues.
+        assert_eq!(p.reads, vec![1, 5, 9, 13]);
+    }
+
+    #[test]
+    fn adversarial_targets_loaded_modules() {
+        let map = MemoryMap::congested(128, 32, 3);
+        let p = adversarial(&map, 16);
+        assert_eq!(p.writes.len(), 16);
+    }
+
+    #[test]
+    fn program_trace_replays_parallel_sum() {
+        let n = 8;
+        let prog = programs::parallel_sum(n);
+        let steps = program_trace(&prog, n, programs::parallel_sum_layout(n), Mode::Erew);
+        assert!(!steps.is_empty());
+        // Every step fits the one-request-per-processor budget.
+        for s in &steps {
+            assert!(s.len() <= n);
+        }
+    }
+
+    #[test]
+    fn program_trace_handles_crcw() {
+        let n = 8;
+        let prog = programs::max_crcw(n);
+        let steps = program_trace(
+            &prog,
+            n,
+            programs::max_crcw_layout(n),
+            Mode::Crcw(pram_machine::WritePolicy::Max),
+        );
+        // The concurrent write collapses to one request after combining.
+        let last = steps.last().unwrap();
+        assert!(last.writes.len() <= 1 || last.len() <= n);
+    }
+}

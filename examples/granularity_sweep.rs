@@ -1,0 +1,72 @@
+//! The paper's central claim, measured: memory granularity buys off
+//! redundancy.
+//!
+//! ```sh
+//! cargo run --release --example granularity_sweep
+//! ```
+//!
+//! For fixed `n` and `m = n²`, sweep the module count `M = n^{1+ε}` and,
+//! for each granularity, report
+//!
+//! * the Theorem 1 adversary's forced step time at constant redundancy
+//!   (r = 5) — the *lower bound* side, and
+//! * the measured phases per step of the majority-rule protocol at that
+//!   same constant redundancy — the *upper bound* side.
+//!
+//! Coarse memory (ε = 0, the MPC) is polynomially slow at constant
+//! redundancy; fine memory (ε > 0) is polylog. That crossover is the paper.
+
+use pramsim::core::{concentration_adversary, HpDmmpc, SchemeConfig};
+use pramsim::machine::SharedMemory;
+use pramsim::memdist::MemoryMap;
+use pramsim::models::PaperParams;
+use pramsim::simrng::rng_from_seed;
+
+fn main() {
+    let n = 64;
+    let m = n * n;
+    let c = 3; // constant quorum parameter -> r = 5 everywhere
+    let r = 2 * c - 1;
+    let seed = pramsim::simrng::DEFAULT_SEED;
+
+    println!("n = {n}, m = n^2 = {m}, constant redundancy r = {r}\n");
+    println!(
+        "{:>6} {:>6} {:>22} {:>22}",
+        "M", "eps", "forced time (Thm 1)", "measured phases/step"
+    );
+
+    for modules in [64usize, 128, 256, 512, 1024, 2048, 4096] {
+        let eps = (modules as f64).ln() / (n as f64).ln() - 1.0;
+
+        // Lower-bound side: the concentration adversary.
+        let map = MemoryMap::random(m, modules, r, seed);
+        let attack = concentration_adversary(&map, n);
+
+        // Upper-bound side: measured protocol phases on uniform steps.
+        let cfg =
+            SchemeConfig::from_params(PaperParams::explicit(n, m, modules, 4, c), seed);
+        let mut scheme = HpDmmpc::new(&cfg);
+        let mut rng = rng_from_seed(seed ^ 0xABCD);
+        let mut phases = 0u64;
+        let steps = 5;
+        for _ in 0..steps {
+            let pat = pramsim::workloads::uniform(n, m, 0.3, &mut rng);
+            phases += scheme.access(&pat.reads, &pat.writes).cost.phases;
+        }
+
+        println!(
+            "{:>6} {:>6.2} {:>22.2} {:>22.1}",
+            modules,
+            eps,
+            attack.forced_time,
+            phases as f64 / steps as f64
+        );
+    }
+
+    println!(
+        "\nReading: at M = n (eps = 0) the adversary forces ~(m/n)^(1/r) time,\n\
+         and the protocol stalls correspondingly; as M grows past n^1.5 both\n\
+         collapse to polylog - constant redundancy becomes sufficient, which\n\
+         is Theorems 1 + 2 of the paper in one table."
+    );
+}

@@ -1,0 +1,71 @@
+//! CREW pointer jumping over simulated shared memory.
+//!
+//! ```sh
+//! cargo run --release --example list_ranking
+//! ```
+//!
+//! List ranking is the classic "irregular" P-RAM workload: every round each
+//! processor chases a pointer whose target is data-dependent, so the memory
+//! access pattern is scattered and concurrent — exactly what the
+//! deterministic simulation schemes have to survive. This example ranks a
+//! shuffled 32-node list on the ideal machine, the Theorem 2 DMMPC scheme,
+//! and the IDA (Schuster) alternative, comparing costs.
+
+use pramsim::core::{HpDmmpc, IdaShared};
+use pramsim::machine::{programs, IdealMemory, Mode, Pram, SharedMemory};
+use pramsim::simrng::{rng_from_seed, Rng};
+
+/// Build a random list threading all n nodes; returns (succ, rank_expect).
+fn random_list(n: usize, seed: u64) -> (Vec<usize>, Vec<i64>) {
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = rng_from_seed(seed);
+    rng.shuffle(&mut order);
+    let mut succ = vec![0usize; n];
+    let mut rank = vec![0i64; n];
+    for (k, &node) in order.iter().enumerate() {
+        succ[node] = if k == 0 { node } else { order[k - 1] };
+        rank[node] = k as i64;
+    }
+    (succ, rank)
+}
+
+fn rank_on<M: SharedMemory>(mem: &mut M, n: usize, succ: &[usize]) -> (Vec<i64>, u64) {
+    for i in 0..n {
+        mem.poke(i, succ[i] as i64);
+        mem.poke(n + i, if succ[i] == i { 0 } else { 1 });
+    }
+    let report = Pram::new(n, Mode::Crew)
+        .run(&programs::list_ranking(n), mem)
+        .expect("list ranking is CREW-clean");
+    ((0..n).map(|i| mem.peek(n + i)).collect(), report.cost.phases)
+}
+
+fn main() {
+    let n = 32;
+    let m = programs::list_ranking_layout(n);
+    let (succ, expect) = random_list(n, 2026);
+
+    let mut ideal = IdealMemory::new(m);
+    let (ranks, phases) = rank_on(&mut ideal, n, &succ);
+    assert_eq!(ranks, expect);
+    println!("ideal P-RAM      : ranked {n} nodes, {phases} unit-cost steps");
+
+    let mut dmmpc = HpDmmpc::for_pram(n, m);
+    let (ranks, phases) = rank_on(&mut dmmpc, n, &succ);
+    assert_eq!(ranks, expect);
+    println!(
+        "HP DMMPC (Thm 2) : same ranks, {phases} phases with r = {} copies",
+        dmmpc.redundancy()
+    );
+
+    let mut ida_mem = IdaShared::for_pram(n, m);
+    let (ranks, phases) = rank_on(&mut ida_mem, n, &succ);
+    assert_eq!(ranks, expect);
+    println!(
+        "IDA (Schuster)   : same ranks, {phases} phases at {:.1}x storage blowup",
+        ida_mem.blowup()
+    );
+
+    println!("\nPointer chasing scatters requests across modules every round;");
+    println!("the quorum protocols keep every read consistent regardless.");
+}

@@ -1,0 +1,75 @@
+//! The 2DMOT's original purpose vs its P-RAM-simulation role.
+//!
+//! ```sh
+//! cargo run --release --example matvec_2dmot
+//! ```
+//!
+//! Nath, Maheshwari & Bhatt (1983) proposed the orthogonal-trees network to
+//! compute `y = A·x` in `O(log n)` cycles. The paper reuses the same fabric
+//! as a memory interconnect. This example computes the same product both
+//! ways:
+//!
+//! 1. **natively** on the tree fabric (broadcast → multiply → reduce);
+//! 2. as a **CREW P-RAM program** whose shared memory is simulated by the
+//!    paper's Theorem 3 scheme on that very network.
+
+use pramsim::core::Hp2dmotLeaves;
+use pramsim::machine::{programs, Mode, Pram, SharedMemory};
+use pramsim::mot::{primitives, MotTopology};
+
+fn main() {
+    let side = 8; // matrix dimension and native grid side
+    let rows = side;
+    let cols = side;
+
+    // A[i][j] = (i + 2j) mod 7 - 3, x[j] = j + 1.
+    let a: Vec<i64> = (0..rows * cols)
+        .map(|idx| ((idx / cols + 2 * (idx % cols)) % 7) as i64 - 3)
+        .collect();
+    let x: Vec<i64> = (1..=cols as i64).collect();
+    let reference: Vec<i64> = (0..rows)
+        .map(|i| (0..cols).map(|j| a[i * cols + j] * x[j]).sum())
+        .collect();
+
+    // --- 1. native tree computation ------------------------------------
+    let fabric = MotTopology::new(side);
+    let (y_native, native_cycles) = primitives::matvec(&fabric, &a, &x);
+    assert_eq!(y_native, reference);
+    println!(
+        "native 2DMOT ({side}x{side})      : y = A*x in {native_cycles} cycles \
+         (= 2*log2({side}) + 1)"
+    );
+
+    // --- 2. P-RAM program over simulated shared memory ------------------
+    let n = rows * cols;
+    let m = programs::matvec_layout(rows, cols);
+    let mut shared = Hp2dmotLeaves::for_pram(n, m);
+    for (idx, &v) in a.iter().enumerate() {
+        shared.poke(idx, v);
+    }
+    for (j, &v) in x.iter().enumerate() {
+        shared.poke(rows * cols + j, v);
+    }
+    let report = Pram::new(n, Mode::Crew)
+        .run(&programs::matvec(rows, cols), &mut shared)
+        .expect("matvec program is CREW-clean");
+    let y_base = 2 * rows * cols + cols;
+    let y_pram: Vec<i64> = (0..rows).map(|i| shared.peek(y_base + i)).collect();
+    assert_eq!(y_pram, reference);
+    println!(
+        "P-RAM on HP 2DMOT (Thm 3) : same y in {} simulated cycles \
+         ({} protocol phases over {} shared steps)",
+        report.cost.cycles,
+        report.cost.phases,
+        report.shared_steps,
+    );
+
+    let slowdown = report.cost.cycles as f64 / native_cycles as f64;
+    println!(
+        "\nGenerality costs ~{slowdown:.0}x here: the simulation routes every copy\n\
+         of every variable, while the native algorithm exploits the topology.\n\
+         The paper's point is that the *same* bounded-degree hardware supports\n\
+         both: special-purpose speed when you have it, general P-RAM programs\n\
+         with constant memory redundancy when you don't."
+    );
+}

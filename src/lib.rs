@@ -1,0 +1,54 @@
+//! # pramsim — Deterministic P-RAM Simulation with Constant Redundancy
+//!
+//! A full reproduction of Hornick & Preparata, *"Deterministic P-RAM
+//! Simulation with Constant Redundancy"* (SPAA 1989; Information and
+//! Computation 92:81–96, 1991), as a Rust workspace.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`machine`] — the P-RAM abstract machine (ISA, executor, conflict
+//!   modes, classic programs);
+//! * [`models`] — the MPC / DMMPC / BDN / DMBDN machine-model descriptors;
+//! * [`memdist`] — replicated memory maps, majority rule, expansion checks;
+//! * [`netsim`] — the cycle-level network engine;
+//! * [`mot`] — the two-dimensional mesh of trees;
+//! * [`galois`] / [`ida`] — GF(2^16) and Rabin's information dispersal
+//!   (Schuster's alternative scheme);
+//! * [`core`] — the simulation schemes themselves (the paper's
+//!   contribution plus all baselines);
+//! * [`workloads`] / [`metrics`] — experiment support.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pramsim::machine::{Mode, Pram, SharedMemory, programs};
+//! use pramsim::core::{SchemeConfig, HpDmmpc};
+//!
+//! // An 8-processor EREW P-RAM program (tree-sum), executed through the
+//! // paper's constant-redundancy DMMPC scheme (Theorem 2).
+//! let n = 8;
+//! let cfg = SchemeConfig::for_pram(n, programs::parallel_sum_layout(n));
+//! let mut shared = HpDmmpc::new(&cfg);
+//! for i in 0..n {
+//!     shared.poke(i, (i + 1) as i64);
+//! }
+//! Pram::new(n, Mode::Erew)
+//!     .run(&programs::parallel_sum(n), &mut shared)
+//!     .unwrap();
+//! assert_eq!(shared.peek(0), 36);
+//! ```
+
+pub use cr_core as core;
+pub use galois;
+pub use ida;
+pub use memdist;
+pub use metrics;
+pub use models;
+pub use mot;
+pub use netsim;
+pub use pram_machine as machine;
+pub use simrng;
+pub use workloads;

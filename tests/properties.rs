@@ -1,0 +1,119 @@
+//! Property-based tests on the workspace's core invariants.
+
+use proptest::prelude::*;
+use pramsim::core::{Hp2dmotLeaves, HpDmmpc, IdaShared, UwMpc};
+use pramsim::machine::{IdealMemory, SharedMemory};
+use pramsim::memdist::{MemoryMap, ReplicatedStore};
+
+/// A step plan: distinct addresses split into reads and writes.
+fn step_strategy(n: usize, m: usize) -> impl Strategy<Value = (Vec<usize>, Vec<(usize, i64)>)> {
+    (1..=n.min(m))
+        .prop_flat_map(move |k| {
+            (
+                proptest::sample::subsequence((0..m).collect::<Vec<_>>(), k),
+                0..=k,
+                proptest::collection::vec(any::<i64>(), k),
+            )
+        })
+        .prop_map(|(addrs, split, vals)| {
+            let reads = addrs[..split.min(addrs.len())].to_vec();
+            let writes = addrs[split.min(addrs.len())..]
+                .iter()
+                .zip(vals)
+                .map(|(&a, v)| (a, v))
+                .collect();
+            (reads, writes)
+        })
+}
+
+/// Drive a scheme and the ideal memory with the same steps; every read must
+/// agree (sequential consistency of the simulation).
+fn check_against_ideal<M: SharedMemory>(
+    mem: &mut M,
+    ideal: &mut IdealMemory,
+    steps: &[(Vec<usize>, Vec<(usize, i64)>)],
+) -> Result<(), TestCaseError> {
+    for (reads, writes) in steps {
+        let got = mem.access(reads, writes);
+        let expect = ideal.access(reads, writes);
+        prop_assert_eq!(&got.read_values, &expect.read_values);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    #[test]
+    fn hp_dmmpc_sequentially_consistent(
+        steps in proptest::collection::vec(step_strategy(8, 64), 1..12)
+    ) {
+        let mut scheme = HpDmmpc::for_pram(8, 64);
+        let mut ideal = IdealMemory::new(64);
+        check_against_ideal(&mut scheme, &mut ideal, &steps)?;
+    }
+
+    #[test]
+    fn uw_mpc_sequentially_consistent(
+        steps in proptest::collection::vec(step_strategy(8, 64), 1..12)
+    ) {
+        let mut scheme = UwMpc::for_pram(8, 64);
+        let mut ideal = IdealMemory::new(64);
+        check_against_ideal(&mut scheme, &mut ideal, &steps)?;
+    }
+
+    #[test]
+    fn ida_sequentially_consistent(
+        steps in proptest::collection::vec(step_strategy(8, 64), 1..12)
+    ) {
+        let mut scheme = IdaShared::for_pram(8, 64);
+        let mut ideal = IdealMemory::new(64);
+        check_against_ideal(&mut scheme, &mut ideal, &steps)?;
+    }
+
+    #[test]
+    fn mot_sequentially_consistent(
+        steps in proptest::collection::vec(step_strategy(4, 32), 1..6)
+    ) {
+        let mut scheme = Hp2dmotLeaves::for_pram(4, 32);
+        let mut ideal = IdealMemory::new(32);
+        check_against_ideal(&mut scheme, &mut ideal, &steps)?;
+    }
+
+    /// Quorum intersection: any write quorum of size c followed by any read
+    /// quorum of size c yields the written value (r = 2c-1).
+    #[test]
+    fn quorum_intersection_holds(
+        c in 2usize..6,
+        wseed in any::<u64>(),
+        rseed in any::<u64>(),
+        value in any::<i64>(),
+    ) {
+        use pramsim::simrng::{rng_from_seed, Rng};
+        let r = 2 * c - 1;
+        let map = MemoryMap::random(4, 4 * r, r, 1);
+        let mut store = ReplicatedStore::new(&map);
+        let mut wrng = rng_from_seed(wseed);
+        let mut rrng = rng_from_seed(rseed);
+        let wq: Vec<usize> =
+            wrng.sample_distinct(r as u64, c).into_iter().map(|x| x as usize).collect();
+        let rq: Vec<usize> =
+            rrng.sample_distinct(r as u64, c).into_iter().map(|x| x as usize).collect();
+        store.write_quorum(0, &wq, value, 7);
+        prop_assert_eq!(store.read_majority(0, &rq), value);
+    }
+
+    /// Memory maps always place a variable's copies in distinct modules.
+    #[test]
+    fn maps_have_distinct_copy_modules(
+        m in 1usize..200,
+        modules_pow in 3u32..8,
+        r in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let modules = 1usize << modules_pow;
+        prop_assume!(r <= modules);
+        let map = MemoryMap::random(m, modules, r, seed);
+        prop_assert!(map.validate().is_ok());
+    }
+}
