@@ -18,7 +18,9 @@ fn bench_matrix(c: &mut Criterion) {
     let mut g = c.benchmark_group("galois_matrix");
     let m = Matrix::vandermonde(24, 16);
     let v: Vec<Gf16> = (1..=16).map(Gf16).collect();
-    g.bench_function("vandermonde_24x16_mul_vec", |bch| bch.iter(|| m.mul_vec(black_box(&v))));
+    g.bench_function("vandermonde_24x16_mul_vec", |bch| {
+        bch.iter(|| m.mul_vec(black_box(&v)))
+    });
     let sq = Matrix::vandermonde(16, 16);
     g.bench_function("invert_16x16", |bch| bch.iter(|| sq.inverse().unwrap()));
     g.finish();

@@ -11,8 +11,7 @@ fn bench_codec(c: &mut Criterion) {
         let code = IdaCode::new(b, d);
         let data: Vec<Gf16> = (0..b as u16).map(|x| Gf16(x.wrapping_mul(2027))).collect();
         let shares = code.encode(&data);
-        let quorum: Vec<(usize, Gf16)> =
-            (0..b).map(|i| (d - 1 - i, shares[d - 1 - i])).collect();
+        let quorum: Vec<(usize, Gf16)> = (0..b).map(|i| (d - 1 - i, shares[d - 1 - i])).collect();
         g.bench_function(format!("encode_b{b}_d{d}"), |bch| {
             bch.iter(|| code.encode(black_box(&data)))
         });

@@ -1,10 +1,12 @@
 //! Whole-scheme benchmarks: one uniform P-RAM step per iteration
 //! (experiments E4, E5, E8, E11 — the per-table regeneration is in the
 //! `repro` binary; these measure the simulator's own speed).
+//!
+//! The whole zoo is driven through `Box<dyn Scheme>`: adding a scheme to
+//! [`SchemeKind::ALL`] adds its benchmark.
 
+use cr_core::{SchemeKind, SimBuilder};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use cr_core::{HashedDmmpc, Hp2dmotLeaves, HpDmmpc, IdaShared, UwMpc};
-use pram_machine::SharedMemory;
 use simrng::rng_from_seed;
 
 fn step_inputs(n: usize, m: usize, seed: u64) -> (Vec<usize>, Vec<(usize, i64)>) {
@@ -14,57 +16,29 @@ fn step_inputs(n: usize, m: usize, seed: u64) -> (Vec<usize>, Vec<(usize, i64)>)
 }
 
 fn bench_schemes(c: &mut Criterion) {
-    let n = 64;
-    let m = n * n;
     let mut g = c.benchmark_group("scheme_step");
     g.sample_size(20);
 
-    let mut hp = HpDmmpc::for_pram(n, m);
-    g.bench_function("hp_dmmpc_n64", |bch| {
-        bch.iter_batched(
-            || step_inputs(n, m, 11),
-            |(r, w)| hp.access(&r, &w),
-            BatchSize::SmallInput,
-        )
-    });
-
-    let mut uw = UwMpc::for_pram(n, m);
-    g.bench_function("uw_mpc_n64", |bch| {
-        bch.iter_batched(
-            || step_inputs(n, m, 12),
-            |(r, w)| uw.access(&r, &w),
-            BatchSize::SmallInput,
-        )
-    });
-
-    let n_mot = 16;
-    let m_mot = n_mot * n_mot;
-    let mut hpm = Hp2dmotLeaves::for_pram(n_mot, m_mot);
-    g.bench_function("hp_2dmot_n16", |bch| {
-        bch.iter_batched(
-            || step_inputs(n_mot, m_mot, 13),
-            |(r, w)| hpm.access(&r, &w),
-            BatchSize::SmallInput,
-        )
-    });
-
-    let mut hashed = HashedDmmpc::new(n, m, 512, 14);
-    g.bench_function("hashed_dmmpc_n64", |bch| {
-        bch.iter_batched(
-            || step_inputs(n, m, 14),
-            |(r, w)| hashed.access(&r, &w),
-            BatchSize::SmallInput,
-        )
-    });
-
-    let mut ida_mem = IdaShared::for_pram(n, m);
-    g.bench_function("ida_n64", |bch| {
-        bch.iter_batched(
-            || step_inputs(n, m, 15),
-            |(r, w)| ida_mem.access(&r, &w),
-            BatchSize::SmallInput,
-        )
-    });
+    for (i, kind) in SchemeKind::ALL.into_iter().enumerate() {
+        // The cycle-level 2DMOT schemes route every packet through the
+        // mesh; keep their instances small enough to iterate.
+        let n = match kind {
+            SchemeKind::Hp2dmotLeaves | SchemeKind::Lpp2dmot => 16,
+            _ => 64,
+        };
+        let m = n * n;
+        let mut scheme = SimBuilder::new(n, m)
+            .kind(kind)
+            .build()
+            .expect("default regimes are feasible");
+        g.bench_function(format!("{}_n{n}", kind.name()), |bch| {
+            bch.iter_batched(
+                || step_inputs(n, m, 11 + i as u64),
+                |(r, w)| scheme.access(&r, &w),
+                BatchSize::SmallInput,
+            )
+        });
+    }
 
     g.finish();
 }

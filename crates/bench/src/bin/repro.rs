@@ -1,35 +1,50 @@
-//! `repro` — regenerate every experiment table (DESIGN.md §4,
-//! EXPERIMENTS.md).
+//! `repro` — regenerate every experiment table (DESIGN.md §4).
 //!
 //! ```text
-//! repro all            # every experiment, in order
-//! repro dmmpc mot      # selected experiments
-//! repro --seed 7 all   # override the seed
-//! repro --list         # list experiment ids
+//! repro all                      # every experiment, in order
+//! repro dmmpc mot                # selected experiments
+//! repro --seed 7 all             # override the seed
+//! repro --scheme hp-2dmot sweep  # restrict zoo sweeps to one scheme
+//! repro --list                   # list experiment ids and scheme names
 //! ```
 
-use pram_bench::registry;
+use cr_core::SchemeKind;
+use pram_bench::{registry, RunCtx};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut seed = simrng::DEFAULT_SEED;
+    let mut schemes: Vec<SchemeKind> = Vec::new();
     let mut wanted: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--seed" => {
                 i += 1;
-                seed = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--seed needs a u64");
+                seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed needs a u64");
+                    std::process::exit(2);
+                });
+            }
+            "--scheme" => {
+                i += 1;
+                let name = args.get(i).cloned().unwrap_or_default();
+                match name.parse::<SchemeKind>() {
+                    Ok(kind) => schemes.push(kind),
+                    Err(e) => {
+                        eprintln!("{e}");
                         std::process::exit(2);
-                    });
+                    }
+                }
             }
             "--list" => {
+                println!("experiments:");
                 for (id, desc, _) in registry() {
-                    println!("{id:<12} {desc}");
+                    println!("  {id:<12} {desc}");
+                }
+                println!("schemes (for --scheme, repeatable):");
+                for kind in SchemeKind::ALL {
+                    println!("  {:<12} {}", kind.name(), kind.describe());
                 }
                 return;
             }
@@ -38,12 +53,17 @@ fn main() {
         i += 1;
     }
     if wanted.is_empty() {
-        eprintln!("usage: repro [--seed S] [--list] <experiment|all>...");
+        eprintln!("usage: repro [--seed S] [--scheme NAME]... [--list] <experiment|all>...");
         eprintln!("experiments:");
         for (id, desc, _) in registry() {
             eprintln!("  {id:<12} {desc}");
         }
         std::process::exit(2);
+    }
+
+    let mut ctx = RunCtx::seeded(seed);
+    if !schemes.is_empty() {
+        ctx = ctx.with_schemes(schemes);
     }
 
     let reg = registry();
@@ -55,7 +75,7 @@ fn main() {
             println!("================================================================");
             println!("{desc}   [seed {seed}]");
             println!("================================================================");
-            println!("{}", runner(seed));
+            println!("{}", runner(&ctx));
         }
     }
     if !matched {

@@ -1,12 +1,18 @@
 //! The experiment implementations. See DESIGN.md §4 for the index.
+//!
+//! Every experiment takes a [`RunCtx`]; the zoo-sweeping ones (`sweep`,
+//! `programs`) construct their schemes through [`cr_core::SimBuilder`] and
+//! honor [`RunCtx::schemes`].
 
+use crate::RunCtx;
 use metrics::{fit_polylog, fnum, Summary, Table};
+use pram_machine::SharedMemory;
 use simrng::{rng_from_seed, Rng};
 
 /// Shared helper: run `steps` uniform access steps against a scheme and
 /// collect per-step phase/cycle samples.
-pub fn drive_uniform<M: pram_machine::SharedMemory>(
-    mem: &mut M,
+pub fn drive_uniform(
+    mem: &mut dyn SharedMemory,
     n: usize,
     m: usize,
     steps: usize,
@@ -30,7 +36,7 @@ pub mod model_zoo {
     use models::{BdnModel, DmbdnModel, DmmpcModel, MachineModel, MpcModel, PramModel};
 
     /// Render the model table.
-    pub fn run(_seed: u64) -> String {
+    pub fn run(_ctx: &RunCtx) -> String {
         let n = 64;
         let m = 4096;
         let mods: Vec<Box<dyn MachineModel>> = vec![
@@ -38,11 +44,25 @@ pub mod model_zoo {
             Box::new(MpcModel { n, m }),
             Box::new(BdnModel { n, m, degree: 4 }),
             Box::new(DmmpcModel { n, m, modules: 512 }),
-            Box::new(DmbdnModel { n, m, modules: 512, switches: 2 * 512, degree: 8 }),
+            Box::new(DmbdnModel {
+                n,
+                m,
+                modules: 512,
+                switches: 2 * 512,
+                degree: 8,
+            }),
         ];
         let mut t = Table::new(vec![
-            "model", "fig", "procs", "cells", "modules", "granule", "max degree",
-            "bounded?", "switches", "valid",
+            "model",
+            "fig",
+            "procs",
+            "cells",
+            "modules",
+            "granule",
+            "max degree",
+            "bounded?",
+            "switches",
+            "valid",
         ]);
         let figs = ["1", "2", "3", "5", "6"];
         for (model, fig) in mods.iter().zip(figs) {
@@ -59,7 +79,10 @@ pub mod model_zoo {
                 model.validate().is_ok().to_string(),
             ]);
         }
-        format!("E1: machine models at n={n}, m={m} (paper Figs. 1,2,3,5,6)\n{}", t.render())
+        format!(
+            "E1: machine models at n={n}, m={m} (paper Figs. 1,2,3,5,6)\n{}",
+            t.render()
+        )
     }
 }
 
@@ -69,7 +92,8 @@ pub mod expansion {
     use memdist::{check_sampled, min_live_spread_exhaustive, MemoryMap};
 
     /// Render the expansion tables.
-    pub fn run(seed: u64) -> String {
+    pub fn run(ctx: &RunCtx) -> String {
+        let seed = ctx.seed;
         let mut out = String::new();
 
         // Ground truth on a tiny instance: exhaustive adversary.
@@ -87,7 +111,15 @@ pub mod expansion {
         let n = 64;
         let m = 4096;
         let mut t = Table::new(vec![
-            "regime", "M", "c", "r", "q", "required", "worst spread", "ratio", "holds",
+            "regime",
+            "M",
+            "c",
+            "r",
+            "q",
+            "required",
+            "worst spread",
+            "ratio",
+            "holds",
         ]);
         let mut rng = rng_from_seed(seed);
         for (regime, modules, c) in [
@@ -155,11 +187,17 @@ pub mod lowerbound {
     use memdist::MemoryMap;
 
     /// Render the forced-time sweep.
-    pub fn run(seed: u64) -> String {
+    pub fn run(ctx: &RunCtx) -> String {
+        let seed = ctx.seed;
         let n = 64;
         let m = 4096; // k = 2
         let mut t = Table::new(vec![
-            "M", "eps", "r", "modules confining n vars", "forced time n/|S|", "predicted",
+            "M",
+            "eps",
+            "r",
+            "modules confining n vars",
+            "forced time n/|S|",
+            "predicted",
         ]);
         for (modules, eps) in [(64usize, "0"), (512, "0.5"), (4096, "1.0")] {
             for r in [1usize, 2, 3, 5, 7, 9] {
@@ -187,15 +225,21 @@ pub mod lowerbound {
 /// E4 — Theorem 2: DMMPC phases per step vs n, against the UW-MPC baseline.
 pub mod dmmpc {
     use super::*;
-    use cr_core::{HpDmmpc, SchemeConfig, UwMpc};
-    use ::models::PaperParams;
+    use cr_core::{SchemeKind, SimBuilder};
 
     /// Render the scaling table and fits.
-    pub fn run(seed: u64) -> String {
+    pub fn run(ctx: &RunCtx) -> String {
+        let seed = ctx.seed;
         let ns = [16usize, 32, 64, 128, 256, 512];
         let steps = 5;
         let mut t = Table::new(vec![
-            "n", "m=n^2", "HP r", "HP M", "HP phases/step", "UW r", "UW phases/step",
+            "n",
+            "m=n^2",
+            "HP r",
+            "HP M",
+            "HP phases/step",
+            "UW r",
+            "UW phases/step",
         ]);
         let mut xs = Vec::new();
         let mut hp_ys = Vec::new();
@@ -204,19 +248,22 @@ pub mod dmmpc {
             // Fixed constant c=4 (r=7) for the time curves so machines are
             // compared at equal redundancy; E9 reports the rigorous
             // formula constants.
-            let modules = ::models::params::pow2_at_least(
-                ::models::params::ipow_ceil(n, 1.5),
-            );
-            let hp_cfg = SchemeConfig::from_params(
-                PaperParams::explicit(n, m, modules, 4, 4),
-                seed,
-            );
-            let mut hp = HpDmmpc::new(&hp_cfg);
-            let (hp_phases, _) = drive_uniform(&mut hp, n, m, steps, seed ^ 1);
+            let modules = ::models::params::pow2_at_least(::models::params::ipow_ceil(n, 1.5));
+            let mut hp = SimBuilder::new(n, m)
+                .kind(SchemeKind::HpDmmpc)
+                .modules(modules)
+                .c(4)
+                .seed(seed)
+                .build()
+                .expect("E4 regime is feasible");
+            let (hp_phases, _) = drive_uniform(hp.as_mut(), n, m, steps, seed ^ 1);
 
-            let mut uw = UwMpc::for_pram(n, m);
+            let mut uw = SimBuilder::new(n, m)
+                .kind(SchemeKind::UwMpc)
+                .build()
+                .expect("coarse defaults are feasible");
             let uw_r = uw.redundancy();
-            let (uw_phases, _) = drive_uniform(&mut uw, n, m, steps, seed ^ 1);
+            let (uw_phases, _) = drive_uniform(uw.as_mut(), n, m, steps, seed ^ 1);
 
             let hp_mean = Summary::of_u64(&hp_phases).mean;
             let uw_mean = Summary::of_u64(&uw_phases).mean;
@@ -225,10 +272,10 @@ pub mod dmmpc {
             t.row(vec![
                 n.to_string(),
                 m.to_string(),
-                hp.redundancy().to_string(),
+                format!("{:.0}", hp.redundancy()),
                 modules.to_string(),
                 fnum(hp_mean),
-                uw_r.to_string(),
+                format!("{uw_r:.0}"),
                 fnum(uw_mean),
             ]);
         }
@@ -249,15 +296,21 @@ pub mod dmmpc {
 /// (roots).
 pub mod motsim {
     use super::*;
-    use cr_core::{Hp2dmotLeaves, Lpp2dmot, SchemeConfig};
-    use ::models::PaperParams;
+    use cr_core::{Lpp2dmot, Scheme, SchemeConfig, SchemeKind, SimBuilder};
 
     /// Render the cycle-scaling table.
-    pub fn run(seed: u64) -> String {
+    pub fn run(ctx: &RunCtx) -> String {
+        let seed = ctx.seed;
         let ns = [8usize, 16, 32, 64];
         let steps = 3;
         let mut t = Table::new(vec![
-            "n", "m", "HP side", "HP r", "HP cycles/step", "LPP side", "LPP r",
+            "n",
+            "m",
+            "HP side",
+            "HP r",
+            "HP cycles/step",
+            "LPP side",
+            "LPP r",
             "LPP cycles/step",
         ]);
         let mut xs = Vec::new();
@@ -266,18 +319,21 @@ pub mod motsim {
             let m = n * n;
             // Honest Theorem 3 sizing: columns = n^1.25 (so the effective
             // module count exceeds n polynomially), constant c = 4.
-            let cols = ::models::params::pow2_at_least(
-                ::models::params::ipow_ceil(n, 1.25),
-            );
-            let cfg = SchemeConfig::from_params(
-                PaperParams::explicit(n, m, cols, 4, 4),
-                seed,
-            );
-            let mut hp = Hp2dmotLeaves::new(&cfg);
-            let (_, hp_cycles) = drive_uniform(&mut hp, n, m, steps, seed ^ 2);
+            let cols = ::models::params::pow2_at_least(::models::params::ipow_ceil(n, 1.25));
+            let mut hp = SimBuilder::new(n, m)
+                .kind(SchemeKind::Hp2dmotLeaves)
+                .modules(cols)
+                .c(4)
+                .seed(seed)
+                .build()
+                .expect("E5 regime is feasible");
+            let (_, hp_cycles) = drive_uniform(hp.as_mut(), n, m, steps, seed ^ 2);
             let hp_mean = Summary::of_u64(&hp_cycles).mean;
 
-            let mut lpp = Lpp2dmot::for_pram(n, m);
+            // Concrete construction: the scheme's own side() is the grid
+            // actually routed, not a re-derivation of its formula.
+            let mut lpp = Lpp2dmot::try_new(&SchemeConfig::coarse_for_pram(n, m))
+                .expect("coarse defaults are feasible");
             let lpp_r = lpp.redundancy();
             let lpp_side = lpp.side();
             let (_, lpp_cycles) = drive_uniform(&mut lpp, n, m, steps, seed ^ 2);
@@ -288,11 +344,11 @@ pub mod motsim {
             t.row(vec![
                 n.to_string(),
                 m.to_string(),
-                hp.side().to_string(),
-                hp.redundancy().to_string(),
+                hp.modules().to_string(),
+                format!("{:.0}", hp.redundancy()),
                 fnum(hp_mean),
                 lpp_side.to_string(),
-                lpp_r.to_string(),
+                format!("{lpp_r:.0}"),
                 fnum(lpp_mean),
             ]);
         }
@@ -318,9 +374,13 @@ pub mod crossbar {
     use mot::area::{crossbar_scheme_switches, leaves_scheme_switches};
 
     /// Render the switch-count comparison.
-    pub fn run(_seed: u64) -> String {
+    pub fn run(_ctx: &RunCtx) -> String {
         let mut t = Table::new(vec![
-            "n", "M", "crossbar switches O(nM)", "leaves switches O(M)", "ratio",
+            "n",
+            "M",
+            "crossbar switches O(nM)",
+            "leaves switches O(M)",
+            "ratio",
         ]);
         for n in [16usize, 64, 256, 1024] {
             let modules = n * n; // M = n^2
@@ -350,17 +410,29 @@ pub mod area {
     use mot::area::leaves_scheme_area;
 
     /// Render the area table.
-    pub fn run(_seed: u64) -> String {
+    pub fn run(_ctx: &RunCtx) -> String {
         let mut t = Table::new(vec![
-            "n", "m", "side", "granule g", "simulator area", "P-RAM area", "ratio",
+            "n",
+            "m",
+            "side",
+            "granule g",
+            "simulator area",
+            "P-RAM area",
+            "ratio",
             "g >= log^2 side (optimal)",
         ]);
         let r = 7;
-        for (n, k) in [(64usize, 2.0f64), (64, 2.5), (64, 3.0), (64, 3.5), (256, 2.0), (256, 2.5), (256, 3.0)] {
+        for (n, k) in [
+            (64usize, 2.0f64),
+            (64, 2.5),
+            (64, 3.0),
+            (64, 3.5),
+            (256, 2.0),
+            (256, 2.5),
+            (256, 3.0),
+        ] {
             let m = (n as f64).powf(k) as usize;
-            let side = ::models::params::pow2_at_least(
-                ::models::params::ipow_ceil(n, 1.25),
-            );
+            let side = ::models::params::pow2_at_least(::models::params::ipow_ceil(n, 1.25));
             let rep = leaves_scheme_area(m, r, side);
             t.row(vec![
                 n.to_string(),
@@ -385,27 +457,36 @@ pub mod area {
 /// E8 — the Schuster/Rabin IDA alternative.
 pub mod ida_exp {
     use super::*;
-    use cr_core::IdaShared;
+    use cr_core::{SchemeKind, SimBuilder};
 
     /// Render the IDA comparison.
-    pub fn run(seed: u64) -> String {
+    pub fn run(ctx: &RunCtx) -> String {
+        let seed = ctx.seed;
         let mut t = Table::new(vec![
-            "n", "b", "d", "blowup d/b", "quorum (d+b)/2", "shares/step (measured)",
+            "n",
+            "b",
+            "d",
+            "blowup d/b",
+            "quorum (d+b)/2",
+            "shares/step (measured)",
             "phases/step",
         ]);
         for n in [16usize, 64, 256, 1024, 4096] {
             let m = 4 * n;
             let (b, d) = ida::params_for_n(n);
-            let mut s = IdaShared::for_pram(n, m);
-            let (phases, _) = drive_uniform(&mut s, n.min(16), m, 5, seed ^ 3);
-            let (_, shares, steps) = s.totals();
+            let mut s = SimBuilder::new(n, m)
+                .kind(SchemeKind::Ida)
+                .build()
+                .expect("IDA defaults are feasible");
+            let (phases, _) = drive_uniform(s.as_mut(), n.min(16), m, 5, seed ^ 3);
+            let (tot, steps) = s.totals();
             t.row(vec![
                 n.to_string(),
                 b.to_string(),
                 d.to_string(),
                 fnum(d as f64 / b as f64),
                 ((d + b) / 2).to_string(),
-                fnum(shares as f64 / steps.max(1) as f64),
+                fnum(tot.messages as f64 / steps.max(1) as f64),
                 fnum(Summary::of_u64(&phases).mean),
             ]);
         }
@@ -424,10 +505,15 @@ pub mod redundancy {
     use ::models::PaperParams;
 
     /// Render the redundancy comparison.
-    pub fn run(_seed: u64) -> String {
+    pub fn run(_ctx: &RunCtx) -> String {
         let mut t = Table::new(vec![
-            "n", "m=n^2", "UW/MPC r=2c-1 (Lemma 1)", "Herley-Bilardi (analytic)",
-            "LPP 2DMOT (Lemma 1)", "HP DMMPC (Lemma 2)", "HP 2DMOT (Lemma 2)",
+            "n",
+            "m=n^2",
+            "UW/MPC r=2c-1 (Lemma 1)",
+            "Herley-Bilardi (analytic)",
+            "LPP 2DMOT (Lemma 1)",
+            "HP DMMPC (Lemma 2)",
+            "HP 2DMOT (Lemma 2)",
             "IDA blowup",
         ]);
         let c_hp = PaperParams::c_lemma2(2.0, 0.5, 4);
@@ -459,23 +545,35 @@ pub mod redundancy {
 /// E10 — the two-stage protocol's internal structure.
 pub mod stages {
     use super::*;
-    use cr_core::{HpDmmpc, SchemeConfig};
-    use ::models::PaperParams;
-    use pram_machine::SharedMemory;
+    use cr_core::{HpDmmpc, Scheme, SchemeKind, SimBuilder};
 
     /// Render stage statistics.
-    pub fn run(seed: u64) -> String {
+    pub fn run(ctx: &RunCtx) -> String {
+        let seed = ctx.seed;
         let n = 256;
         let m = n * n;
         let modules = ::models::params::pow2_at_least(::models::params::ipow_ceil(n, 1.5));
-        let cfg = SchemeConfig::from_params(PaperParams::explicit(n, m, modules, 4, 4), seed);
+        // The builder validates the regime; direct construction keeps the
+        // stage-1 budget ablation below possible.
+        let cfg = SimBuilder::new(n, m)
+            .kind(SchemeKind::HpDmmpc)
+            .modules(modules)
+            .c(4)
+            .seed(seed)
+            .fine_config()
+            .expect("E10 regime is feasible");
         let mut hp = HpDmmpc::new(&cfg);
-        let r = hp.redundancy();
+        let r = cfg.redundancy();
         let bound = n / r;
         let mut rng = rng_from_seed(seed ^ 4);
         let mut t = Table::new(vec![
-            "step", "requests", "stage1 phases", "stage1 leftover", "bound n/(2c-1)",
-            "stage2 phases", "killed attempts",
+            "step",
+            "requests",
+            "stage1 phases",
+            "stage1 leftover",
+            "bound n/(2c-1)",
+            "stage2 phases",
+            "killed attempts",
         ]);
         let mut ok = true;
         for step in 0..10 {
@@ -495,12 +593,15 @@ pub mod stages {
         }
         // Second machine: a deliberately tight stage-1 budget (2 phases)
         // forces leftovers into stage 2 so its machinery is visible.
-        let tight = cfg;
-        let mut tight_cfg = tight;
+        let mut tight_cfg = cfg;
         tight_cfg.stage1_phases = 2;
         let mut hp2 = HpDmmpc::new(&tight_cfg);
         let mut t2 = Table::new(vec![
-            "step", "stage1 leftover", "bound", "stage2 phases", "total phases",
+            "step",
+            "stage1 leftover",
+            "bound",
+            "stage2 phases",
+            "total phases",
         ]);
         for step in 0..6 {
             let p = workloads::uniform(n, m, 0.3, &mut rng);
@@ -531,13 +632,21 @@ pub mod stages {
 pub mod hashing {
     use super::*;
     use cr_core::HashedDmmpc;
-    use pram_machine::SharedMemory;
 
     /// Render the congestion table.
-    pub fn run(seed: u64) -> String {
+    ///
+    /// Uses direct construction: the hash-aware adversary needs
+    /// [`HashedDmmpc::module_of`], which the uniform [`cr_core::Scheme`]
+    /// interface deliberately does not expose.
+    pub fn run(ctx: &RunCtx) -> String {
+        let seed = ctx.seed;
         let steps = 200;
         let mut t = Table::new(vec![
-            "n", "M", "mean congestion", "max congestion", "adversarial congestion",
+            "n",
+            "M",
+            "mean congestion",
+            "max congestion",
+            "adversarial congestion",
         ]);
         for n in [64usize, 256, 1024] {
             let m = n * n;
@@ -553,8 +662,10 @@ pub mod hashing {
                 // Adversary who knows the hash aims everything at module 0's
                 // bucket.
                 let target = h.module_of(0);
-                let evil: Vec<usize> =
-                    (0..m).filter(|&v| h.module_of(v) == target).take(n).collect();
+                let evil: Vec<usize> = (0..m)
+                    .filter(|&v| h.module_of(v) == target)
+                    .take(n)
+                    .collect();
                 let adv = h.access(&evil, &[]).cost.phases;
                 let s = Summary::of_u64(&cong);
                 t.row(vec![
@@ -583,17 +694,18 @@ pub mod matvec {
     use mot::MotTopology;
 
     /// Render the matvec table.
-    pub fn run(seed: u64) -> String {
+    pub fn run(ctx: &RunCtx) -> String {
         let mut t = Table::new(vec!["side", "cycles", "2*log2(side)+1", "correct"]);
-        let mut rng = rng_from_seed(seed ^ 6);
+        let mut rng = rng_from_seed(ctx.seed ^ 6);
         for side in [4usize, 16, 64, 256] {
             let motn = MotTopology::new(side);
-            let a: Vec<i64> = (0..side * side).map(|_| (rng.below(19) as i64) - 9).collect();
+            let a: Vec<i64> = (0..side * side)
+                .map(|_| (rng.below(19) as i64) - 9)
+                .collect();
             let x: Vec<i64> = (0..side).map(|_| (rng.below(19) as i64) - 9).collect();
             let (y, cycles) = primitives::matvec(&motn, &a, &x);
-            let correct = (0..side).all(|i| {
-                y[i] == (0..side).map(|j| a[i * side + j] * x[j]).sum::<i64>()
-            });
+            let correct =
+                (0..side).all(|i| y[i] == (0..side).map(|j| a[i * side + j] * x[j]).sum::<i64>());
             t.row(vec![
                 side.to_string(),
                 cycles.to_string(),
@@ -609,47 +721,112 @@ pub mod matvec {
     }
 }
 
+/// E13 — one uniform workload through the whole scheme zoo, via the
+/// [`cr_core::Scheme`] trait: the all-scheme sweep every later scaling
+/// experiment builds on.
+pub mod sweep {
+    use super::*;
+    use cr_core::{Scheme, SimBuilder};
+
+    /// Render the zoo sweep.
+    pub fn run(ctx: &RunCtx) -> String {
+        let n = 16;
+        let m = n * n;
+        let steps = 4;
+        let mut schemes: Vec<Box<dyn Scheme>> = Vec::new();
+        for &kind in &ctx.schemes {
+            match SimBuilder::new(n, m).kind(kind).seed(ctx.seed).build() {
+                Ok(s) => schemes.push(s),
+                Err(e) => return format!("E13: cannot build {kind}: {e}"),
+            }
+        }
+        let mut t = Table::new(vec![
+            "scheme",
+            "modules",
+            "redundancy",
+            "phases/step",
+            "cycles/step",
+            "messages/step",
+        ]);
+        for s in &mut schemes {
+            let (phases, cycles) = drive_uniform(s.as_mut(), n, m, steps, ctx.seed ^ 7);
+            let (tot, nsteps) = s.totals();
+            t.row(vec![
+                Scheme::name(s.as_ref()).to_string(),
+                s.modules().to_string(),
+                fnum(s.redundancy()),
+                fnum(Summary::of_u64(&phases).mean),
+                fnum(Summary::of_u64(&cycles).mean),
+                fnum(tot.messages as f64 / nsteps.max(1) as f64),
+            ]);
+        }
+        format!(
+            "E13: the whole zoo under one uniform workload (n={n}, m={m},\n\
+             {steps} steps), driven through Box<dyn Scheme>. Redundancy is\n\
+             the storage blowup; phases/cycles are each scheme's own time\n\
+             model (not comparable across interconnects - see E4/E5).\n{}",
+            t.render()
+        )
+    }
+}
+
 /// End-to-end: classic P-RAM programs through every scheme, asserting
 /// result equality with the ideal machine.
 pub mod programs_e2e {
     use super::*;
-    use cr_core::{Hp2dmotLeaves, HpDmmpc, IdaShared, UwMpc};
-    use pram_machine::{programs, IdealMemory, Mode, Pram, SharedMemory};
+    use cr_core::{Scheme, SimBuilder};
+    use pram_machine::{programs, IdealMemory, Mode, Pram};
 
-    fn run_sum<M: SharedMemory>(mem: &mut M, n: usize) -> (i64, u64, u64) {
+    fn run_sum(mem: &mut dyn SharedMemory, n: usize) -> (i64, u64, u64) {
         for i in 0..n {
             mem.poke(i, (i + 1) as i64);
         }
-        let rep = Pram::new(n, Mode::Erew).run(&programs::parallel_sum(n), mem).unwrap();
+        let rep = Pram::new(n, Mode::Erew)
+            .run(&programs::parallel_sum(n), mem)
+            .unwrap();
         (mem.peek(0), rep.cost.phases, rep.cost.cycles)
     }
 
     /// Render the end-to-end table.
-    pub fn run(_seed: u64) -> String {
+    pub fn run(ctx: &RunCtx) -> String {
         let n = 16;
         let m = programs::parallel_sum_layout(n);
         let expect = ((n * (n + 1)) / 2) as i64;
-        let mut t = Table::new(vec!["scheme", "result", "correct", "phases", "cycles"]);
+        let mut t = Table::new(vec![
+            "scheme",
+            "redundancy",
+            "result",
+            "correct",
+            "phases",
+            "cycles",
+        ]);
 
         let mut ideal = IdealMemory::new(m);
         let (v, p, c) = run_sum(&mut ideal, n);
-        t.row(vec!["ideal P-RAM".into(), v.to_string(), (v == expect).to_string(), p.to_string(), c.to_string()]);
+        t.row(vec![
+            "ideal P-RAM".into(),
+            "1".into(),
+            v.to_string(),
+            (v == expect).to_string(),
+            p.to_string(),
+            c.to_string(),
+        ]);
 
-        let mut hp = HpDmmpc::for_pram(n, m);
-        let (v, p, c) = run_sum(&mut hp, n);
-        t.row(vec!["HP DMMPC (Thm 2)".into(), v.to_string(), (v == expect).to_string(), p.to_string(), c.to_string()]);
-
-        let mut uw = UwMpc::for_pram(n, m);
-        let (v, p, c) = run_sum(&mut uw, n);
-        t.row(vec!["UW MPC".into(), v.to_string(), (v == expect).to_string(), p.to_string(), c.to_string()]);
-
-        let mut hpm = Hp2dmotLeaves::for_pram(n, m);
-        let (v, p, c) = run_sum(&mut hpm, n);
-        t.row(vec!["HP 2DMOT (Thm 3)".into(), v.to_string(), (v == expect).to_string(), p.to_string(), c.to_string()]);
-
-        let mut ida_mem = IdaShared::for_pram(n, m);
-        let (v, p, c) = run_sum(&mut ida_mem, n);
-        t.row(vec!["IDA (Schuster)".into(), v.to_string(), (v == expect).to_string(), p.to_string(), c.to_string()]);
+        for &kind in &ctx.schemes {
+            let mut s = match SimBuilder::new(n, m).kind(kind).seed(ctx.seed).build() {
+                Ok(s) => s,
+                Err(e) => return format!("end-to-end: cannot build {kind}: {e}"),
+            };
+            let (v, p, c) = run_sum(s.as_mut(), n);
+            t.row(vec![
+                Scheme::name(s.as_ref()).to_string(),
+                fnum(s.redundancy()),
+                v.to_string(),
+                (v == expect).to_string(),
+                p.to_string(),
+                c.to_string(),
+            ]);
+        }
 
         format!(
             "End-to-end: EREW tree-sum (n={n}) executed through each scheme.\n\

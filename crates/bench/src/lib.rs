@@ -1,8 +1,12 @@
 //! `pram-bench` — the reproduction harness.
 //!
-//! One module per experiment (E1–E12, per DESIGN.md §4); each returns its
-//! rendered tables as a `String` so the `repro` binary, the integration
-//! tests, and EXPERIMENTS.md all see identical output.
+//! One module per experiment (E1–E13, per DESIGN.md §4); each takes a
+//! [`RunCtx`] and returns its rendered tables as a `String`, so the
+//! `repro` binary and the integration tests see identical output.
+//!
+//! Experiments that sweep the scheme zoo (`sweep`, `programs`) drive every
+//! scheme through `Vec<Box<dyn cr_core::Scheme>>` and honor
+//! [`RunCtx::schemes`] — that is what `repro --scheme <name>` filters.
 //!
 //! The Criterion benches (in `benches/`) cover the micro level: field
 //! arithmetic, IDA codec, mesh routing, map operations, and whole scheme
@@ -12,21 +16,104 @@ pub mod experiments;
 
 pub use experiments::*;
 
+use cr_core::SchemeKind;
+
+/// Everything an experiment run needs to know.
+#[derive(Debug, Clone)]
+pub struct RunCtx {
+    /// Seed for every randomized ingredient (maps, workloads).
+    pub seed: u64,
+    /// Which schemes the zoo-sweeping experiments cover, in order.
+    pub schemes: Vec<SchemeKind>,
+}
+
+impl RunCtx {
+    /// A context covering the full scheme zoo.
+    pub fn seeded(seed: u64) -> Self {
+        RunCtx {
+            seed,
+            schemes: SchemeKind::ALL.to_vec(),
+        }
+    }
+
+    /// Restrict the zoo-sweeping experiments to `schemes`.
+    pub fn with_schemes(mut self, schemes: Vec<SchemeKind>) -> Self {
+        self.schemes = schemes;
+        self
+    }
+}
+
+/// An experiment entry point.
+pub type Runner = fn(&RunCtx) -> String;
+
 /// Experiment registry: `(id, description, runner)`.
-pub fn registry() -> Vec<(&'static str, &'static str, fn(u64) -> String)> {
+pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
     vec![
-        ("models", "E1: machine models (Figs. 1,2,3,5,6)", experiments::model_zoo::run),
-        ("expansion", "E2: memory-map expansion (Lemmas 1-2)", experiments::expansion::run),
-        ("lowerbound", "E3: Theorem 1 granularity/redundancy lower bound", experiments::lowerbound::run),
-        ("dmmpc", "E4: Theorem 2 - DMMPC phases vs n", experiments::dmmpc::run),
-        ("mot", "E5: Theorem 3 - 2DMOT cycles vs n (vs LPP baseline)", experiments::motsim::run),
-        ("crossbar", "E6: Fig. 7 crossbar vs Fig. 8 leaves hardware", experiments::crossbar::run),
+        (
+            "models",
+            "E1: machine models (Figs. 1,2,3,5,6)",
+            experiments::model_zoo::run,
+        ),
+        (
+            "expansion",
+            "E2: memory-map expansion (Lemmas 1-2)",
+            experiments::expansion::run,
+        ),
+        (
+            "lowerbound",
+            "E3: Theorem 1 granularity/redundancy lower bound",
+            experiments::lowerbound::run,
+        ),
+        (
+            "dmmpc",
+            "E4: Theorem 2 - DMMPC phases vs n",
+            experiments::dmmpc::run,
+        ),
+        (
+            "mot",
+            "E5: Theorem 3 - 2DMOT cycles vs n (vs LPP baseline)",
+            experiments::motsim::run,
+        ),
+        (
+            "crossbar",
+            "E6: Fig. 7 crossbar vs Fig. 8 leaves hardware",
+            experiments::crossbar::run,
+        ),
         ("area", "E7: VLSI area model", experiments::area::run),
-        ("ida", "E8: Schuster/Rabin IDA alternative", experiments::ida_exp::run),
-        ("redundancy", "E9: redundancy-vs-n comparison (headline)", experiments::redundancy::run),
-        ("stages", "E10: two-stage protocol structure", experiments::stages::run),
-        ("hashing", "E11: probabilistic hashing baseline", experiments::hashing::run),
-        ("matvec", "E12: native 2DMOT matrix-vector product", experiments::matvec::run),
-        ("programs", "End-to-end: P-RAM programs through every scheme", experiments::programs_e2e::run),
+        (
+            "ida",
+            "E8: Schuster/Rabin IDA alternative",
+            experiments::ida_exp::run,
+        ),
+        (
+            "redundancy",
+            "E9: redundancy-vs-n comparison (headline)",
+            experiments::redundancy::run,
+        ),
+        (
+            "stages",
+            "E10: two-stage protocol structure",
+            experiments::stages::run,
+        ),
+        (
+            "hashing",
+            "E11: probabilistic hashing baseline",
+            experiments::hashing::run,
+        ),
+        (
+            "matvec",
+            "E12: native 2DMOT matrix-vector product",
+            experiments::matvec::run,
+        ),
+        (
+            "sweep",
+            "E13: uniform steps through the whole scheme zoo",
+            experiments::sweep::run,
+        ),
+        (
+            "programs",
+            "End-to-end: P-RAM programs through every scheme",
+            experiments::programs_e2e::run,
+        ),
     ]
 }

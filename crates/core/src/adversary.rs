@@ -66,7 +66,13 @@ pub fn concentration_adversary(map: &MemoryMap, n: usize) -> LowerBoundReport {
     // For each variable, the worst (largest) rank among its copies — it is
     // fully contained in the prefix of length worst_rank + 1.
     let mut worst_rank: Vec<u32> = (0..m)
-        .map(|v| map.copies(v).iter().map(|&md| rank[md as usize]).max().unwrap())
+        .map(|v| {
+            map.copies(v)
+                .iter()
+                .map(|&md| rank[md as usize])
+                .max()
+                .unwrap()
+        })
         .collect();
     worst_rank.sort_unstable();
 
@@ -76,8 +82,7 @@ pub fn concentration_adversary(map: &MemoryMap, n: usize) -> LowerBoundReport {
     let confined = worst_rank.iter().take_while(|&&w| (w as usize) < s).count();
 
     let forced_time = n as f64 / s as f64;
-    let predicted_time =
-        (n as f64 / modules as f64) * (m as f64 / n as f64).powf(1.0 / r as f64);
+    let predicted_time = (n as f64 / modules as f64) * (m as f64 / n as f64).powf(1.0 / r as f64);
 
     LowerBoundReport {
         n,
@@ -158,6 +163,9 @@ mod tests {
         let map = MemoryMap::random(512, 32, 3, 4);
         let rep = concentration_adversary(&map, 20);
         assert!(rep.confined_vars >= 20);
-        assert!(rep.module_set >= map.redundancy(), "need at least r modules to confine");
+        assert!(
+            rep.module_set >= map.redundancy(),
+            "need at least r modules to confine"
+        );
     }
 }

@@ -83,6 +83,32 @@ impl SchemeConfig {
         Self::from_params(p, simrng::DEFAULT_SEED)
     }
 
+    /// Largest feasible copy parameter when `modules` contention units
+    /// must hold `r = 2c − 1` distinct copies.
+    pub fn max_feasible_c(modules: usize) -> usize {
+        modules.div_ceil(2).max(1)
+    }
+
+    /// Lemma 1's coarse-grain copy parameter for a memory of `m` cells,
+    /// clamped to the feasible regime of `modules` contention units.
+    ///
+    /// This is the single clamping site for every coarse-grain baseline
+    /// (UW-MPC and LPP-2DMOT); an *explicitly requested* infeasible `c` is
+    /// rejected by `SimBuilder` instead of silently clamped here.
+    pub fn coarse_c(m: usize, modules: usize) -> usize {
+        PaperParams::c_lemma1(m, 8).min(Self::max_feasible_c(modules))
+    }
+
+    /// Coarse-grain (MPC, `M = n`) configuration for an `n`-processor
+    /// program with `m` cells: Lemma 1's `c`, clamped so the `2c − 1`
+    /// copies fit distinct modules.
+    pub fn coarse_for_pram(n: usize, m: usize) -> Self {
+        assert!(n >= 1 && m >= 1);
+        let c = Self::coarse_c(m, n);
+        let p = PaperParams::explicit(n, m, n, 8, c);
+        Self::from_params(p, simrng::DEFAULT_SEED)
+    }
+
     /// Redundancy `r = 2c − 1`.
     pub fn redundancy(&self) -> usize {
         2 * self.c - 1
@@ -168,8 +194,23 @@ mod tests {
     }
 
     #[test]
+    fn coarse_clamp_is_centralized() {
+        // Tiny machine: Lemma 1's c would exceed what n modules can hold.
+        let cfg = SchemeConfig::coarse_for_pram(4, 1 << 20);
+        assert_eq!(cfg.c, SchemeConfig::max_feasible_c(4));
+        assert!(cfg.modules >= cfg.redundancy());
+        // Large machine: the clamp is inactive and Lemma 1 rules.
+        let big = SchemeConfig::coarse_for_pram(1 << 12, 1 << 20);
+        assert_eq!(big.c, models::PaperParams::c_lemma1(1 << 20, 8));
+        assert_eq!(big.modules, 1 << 12);
+    }
+
+    #[test]
     fn builders() {
-        let cfg = SchemeConfig::for_pram(16, 64).with_seed(7).with_c(3).with_pipeline(2);
+        let cfg = SchemeConfig::for_pram(16, 64)
+            .with_seed(7)
+            .with_c(3)
+            .with_pipeline(2);
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.redundancy(), 5);
         assert_eq!(cfg.stage2_pipeline, 2);

@@ -55,7 +55,11 @@ impl PhaseExecutor for BipartiteExec {
             success,
             // A phase on a complete interconnect is one routing round:
             // one time unit, one cycle; message per attempt and reply.
-            cost: StepCost { phases: 1, cycles: 1, messages: 2 * attempts.len() as u64 },
+            cost: StepCost {
+                phases: 1,
+                cycles: 1,
+                messages: 2 * attempts.len() as u64,
+            },
         }
     }
 }
@@ -75,12 +79,20 @@ pub struct MotExec {
 impl MotExec {
     /// Memory-at-the-**leaves** executor (Theorem 3, Fig. 8).
     pub fn leaves(side: usize) -> Self {
-        MotExec { net: MotNetwork::new(side), side, to_root: false }
+        MotExec {
+            net: MotNetwork::new(side),
+            side,
+            to_root: false,
+        }
     }
 
     /// Memory-at-the-**roots** executor (Luccio et al. baseline).
     pub fn roots(side: usize) -> Self {
-        MotExec { net: MotNetwork::new(side), side, to_root: true }
+        MotExec {
+            net: MotNetwork::new(side),
+            side,
+            to_root: true,
+        }
     }
 
     /// Grid side.
@@ -122,7 +134,11 @@ impl PhaseExecutor for MotExec {
         }
         PhaseResult {
             success,
-            cost: StepCost { phases: 1, cycles: out.stats.cycles, messages: out.stats.hops },
+            cost: StepCost {
+                phases: 1,
+                cycles: out.stats.cycles,
+                messages: out.stats.hops,
+            },
         }
     }
 }
@@ -132,7 +148,14 @@ mod tests {
     use super::*;
 
     fn attempt(req: usize, module: usize, src: usize) -> CopyAttempt {
-        CopyAttempt { req, var: req, copy: 0, module, row: req % 4, src }
+        CopyAttempt {
+            req,
+            var: req,
+            copy: 0,
+            module,
+            row: req % 4,
+            src,
+        }
     }
 
     #[test]
@@ -153,7 +176,11 @@ mod tests {
         let mut ex = BipartiteExec::new(4);
         let a = vec![attempt(0, 1, 0)];
         assert_eq!(ex.execute(&a, 1).success, vec![true]);
-        assert_eq!(ex.execute(&a, 1).success, vec![true], "fresh phase, fresh budget");
+        assert_eq!(
+            ex.execute(&a, 1).success,
+            vec![true],
+            "fresh phase, fresh budget"
+        );
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //!   aim `n` variables at one module, which is exactly why the
 //!   deterministic schemes exist.
 
+use crate::majority::StepReport;
+use crate::scheme::{Scheme, SchemeKind, SchemeParams};
 use pram_machine::{AccessResult, SharedMemory, StepCost, Word};
 
 /// Hashed single-copy shared memory on a DMMPC.
@@ -24,8 +26,9 @@ pub struct HashedDmmpc {
     cells: Vec<Word>,
     last_congestion: u64,
     worst_congestion: u64,
+    last: StepReport,
+    total: StepReport,
     steps: u64,
-    total_phases: u64,
 }
 
 impl HashedDmmpc {
@@ -39,8 +42,9 @@ impl HashedDmmpc {
             cells: vec![0; m],
             last_congestion: 0,
             worst_congestion: 0,
+            last: StepReport::default(),
+            total: StepReport::default(),
             steps: 0,
-            total_phases: 0,
         }
     }
 
@@ -57,16 +61,6 @@ impl HashedDmmpc {
     /// Worst congestion over all steps.
     pub fn worst_congestion(&self) -> u64 {
         self.worst_congestion
-    }
-
-    /// `(total phases, steps)` so far.
-    pub fn totals(&self) -> (u64, u64) {
-        (self.total_phases, self.steps)
-    }
-
-    /// Module count.
-    pub fn modules(&self) -> usize {
-        self.modules
     }
 }
 
@@ -88,15 +82,60 @@ impl SharedMemory for HashedDmmpc {
         }
         self.last_congestion = congestion;
         self.worst_congestion = self.worst_congestion.max(congestion);
+        let requests = reads.len() + writes.len();
+        let report = StepReport {
+            requests,
+            phases: congestion,
+            cycles: congestion,
+            messages: requests as u64 * 2,
+            protocol: Default::default(),
+        };
+        self.last = report;
+        self.total.requests += report.requests;
+        self.total.phases += report.phases;
+        self.total.cycles += report.cycles;
+        self.total.messages += report.messages;
         self.steps += 1;
-        self.total_phases += congestion;
         AccessResult {
             read_values,
             cost: StepCost {
                 phases: congestion,
                 cycles: congestion,
-                messages: (reads.len() + writes.len()) as u64 * 2,
+                messages: report.messages,
             },
+        }
+    }
+}
+
+impl Scheme for HashedDmmpc {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Hashed
+    }
+
+    fn redundancy(&self) -> f64 {
+        1.0 // a single copy of every variable — the whole point
+    }
+
+    fn modules(&self) -> usize {
+        self.modules
+    }
+
+    fn last_step(&self) -> StepReport {
+        self.last
+    }
+
+    fn totals(&self) -> (StepReport, u64) {
+        (self.total, self.steps)
+    }
+
+    fn params(&self) -> SchemeParams {
+        SchemeParams {
+            kind: SchemeKind::Hashed,
+            n: self.n,
+            m: self.cells.len(),
+            modules: self.modules,
+            redundancy: 1.0,
+            seed: self.seed,
         }
     }
 }
@@ -112,6 +151,9 @@ mod tests {
         h.access(&[], &[(3, 30), (4, 40)]);
         let r = h.access(&[3, 4], &[]);
         assert_eq!(r.read_values, vec![30, 40]);
+        let (tot, steps) = h.totals();
+        assert_eq!(steps, 2);
+        assert_eq!(tot.requests, 4);
     }
 
     #[test]
@@ -119,11 +161,14 @@ mod tests {
         let h = HashedDmmpc::new(8, 64, 8, 1);
         // Find two variables in the same module.
         let m0 = h.module_of(0);
-        let twin = (1..64).find(|&v| h.module_of(v) == m0).expect("collision exists");
+        let twin = (1..64)
+            .find(|&v| h.module_of(v) == m0)
+            .expect("collision exists");
         let mut h = h;
         let rep = h.access(&[0, twin], &[]);
         assert_eq!(rep.cost.phases, 2);
         assert_eq!(h.last_congestion(), 2);
+        assert_eq!(h.last_step().phases, 2);
     }
 
     #[test]
@@ -137,8 +182,11 @@ mod tests {
         let mut sum_coarse = 0;
         let mut sum_fine = 0;
         for _ in 0..50 {
-            let addrs: Vec<usize> =
-                rng.sample_distinct(m as u64, n).into_iter().map(|x| x as usize).collect();
+            let addrs: Vec<usize> = rng
+                .sample_distinct(m as u64, n)
+                .into_iter()
+                .map(|x| x as usize)
+                .collect();
             sum_coarse += coarse.access(&addrs, &[]).cost.phases;
             sum_fine += fine.access(&addrs, &[]).cost.phases;
         }
@@ -155,8 +203,10 @@ mod tests {
         // deterministic schemes.
         let h = HashedDmmpc::new(16, 1 << 12, 64, 5);
         let target = h.module_of(0);
-        let evil: Vec<usize> =
-            (0..1 << 12).filter(|&v| h.module_of(v) == target).take(16).collect();
+        let evil: Vec<usize> = (0..1 << 12)
+            .filter(|&v| h.module_of(v) == target)
+            .take(16)
+            .collect();
         assert!(evil.len() >= 8, "enough colliding variables exist");
         let mut h = h;
         let rep = h.access(&evil, &[]);

@@ -5,7 +5,9 @@
 //! accesses (each module serves one share request per phase), and the
 //! per-access work (`Θ(log n)` shares touched) is reported alongside.
 
-use ida::{params_for_n, SchusterStore};
+use crate::majority::StepReport;
+use crate::scheme::{Scheme, SchemeKind, SchemeParams};
+use ida::SchusterStore;
 use pram_machine::{AccessResult, SharedMemory, StepCost, Word};
 
 /// IDA-backed shared memory with constant storage blowup `d/b`.
@@ -14,28 +16,25 @@ pub struct IdaShared {
     n: usize,
     modules: usize,
     store: SchusterStore,
+    last: StepReport,
+    total: StepReport,
     steps: u64,
-    total_phases: u64,
     total_shares: u64,
 }
 
 impl IdaShared {
-    /// Defaults for an `n`-processor machine with `m` cells:
+    /// Fully explicit construction: `m` variables in blocks of `b`
+    /// dispersed into `d` shares over `modules` modules. Prefer
+    /// `SimBuilder::new(n, m).kind(SchemeKind::Ida)`, which derives
     /// `b, d = Θ(log n)` (blowup 1.5) over `M = max(4d, n)` modules.
-    pub fn for_pram(n: usize, m: usize) -> Self {
-        let (b, d) = params_for_n(n);
-        let modules = (4 * d).max(n).max(1);
-        Self::new(n, m, modules, b, d)
-    }
-
-    /// Fully explicit construction.
     pub fn new(n: usize, m: usize, modules: usize, b: usize, d: usize) -> Self {
         IdaShared {
             n,
             modules,
             store: SchusterStore::new(m, modules, b, d),
+            last: StepReport::default(),
+            total: StepReport::default(),
             steps: 0,
-            total_phases: 0,
             total_shares: 0,
         }
     }
@@ -50,14 +49,10 @@ impl IdaShared {
         self.store.quorum()
     }
 
-    /// `(total phases, total shares touched, steps)`.
-    pub fn totals(&self) -> (u64, u64, u64) {
-        (self.total_phases, self.total_shares, self.steps)
-    }
-
-    /// Module count.
-    pub fn modules(&self) -> usize {
-        self.modules
+    /// Total shares touched across all steps (the `Θ(log n)` work factor
+    /// the messages column of [`StepReport`] also records).
+    pub fn total_shares(&self) -> u64 {
+        self.total_shares
     }
 }
 
@@ -91,16 +86,66 @@ impl SharedMemory for IdaShared {
         for &a in reads.iter().chain(writes.iter().map(|(a, _)| a)) {
             let blk = a / blk_vars;
             for i in 0..q {
-                *module_load.entry(self.store.module_of_share(blk, i)).or_insert(0u64) += 1;
+                *module_load
+                    .entry(self.store.module_of_share(blk, i))
+                    .or_insert(0u64) += 1;
             }
         }
         let congestion = module_load.values().copied().max().unwrap_or(0);
+        let report = StepReport {
+            requests: reads.len() + writes.len(),
+            phases: congestion,
+            cycles: congestion,
+            messages: shares,
+            protocol: Default::default(),
+        };
+        self.last = report;
+        self.total.requests += report.requests;
+        self.total.phases += report.phases;
+        self.total.cycles += report.cycles;
+        self.total.messages += report.messages;
         self.steps += 1;
-        self.total_phases += congestion;
         self.total_shares += shares;
         AccessResult {
             read_values,
-            cost: StepCost { phases: congestion, cycles: congestion, messages: shares },
+            cost: StepCost {
+                phases: congestion,
+                cycles: congestion,
+                messages: shares,
+            },
+        }
+    }
+}
+
+impl Scheme for IdaShared {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Ida
+    }
+
+    fn redundancy(&self) -> f64 {
+        self.store.blowup()
+    }
+
+    fn modules(&self) -> usize {
+        self.modules
+    }
+
+    fn last_step(&self) -> StepReport {
+        self.last
+    }
+
+    fn totals(&self) -> (StepReport, u64) {
+        (self.total, self.steps)
+    }
+
+    fn params(&self) -> SchemeParams {
+        SchemeParams {
+            kind: SchemeKind::Ida,
+            n: self.n,
+            m: self.store.size(),
+            modules: self.modules,
+            redundancy: self.store.blowup(),
+            seed: 0, // share placement is deterministic, not seeded
         }
     }
 }
@@ -108,19 +153,26 @@ impl SharedMemory for IdaShared {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scheme::SimBuilder;
+
+    fn ida_for(n: usize, m: usize) -> Box<dyn Scheme> {
+        SimBuilder::new(n, m).kind(SchemeKind::Ida).build().unwrap()
+    }
 
     #[test]
     fn linearizable_against_reference() {
         use simrng::{rng_from_seed, Rng};
         let m = 128;
-        let mut s = IdaShared::for_pram(16, m);
+        let mut s = ida_for(16, m);
         let mut reference = vec![0i64; m];
         let mut rng = rng_from_seed(3);
         for step in 0..50 {
             let addrs = rng.sample_distinct(m as u64, 8);
             let reads: Vec<usize> = addrs[..4].iter().map(|&a| a as usize).collect();
-            let writes: Vec<(usize, i64)> =
-                addrs[4..].iter().map(|&a| (a as usize, step * 7 + a as i64)).collect();
+            let writes: Vec<(usize, i64)> = addrs[4..]
+                .iter()
+                .map(|&a| (a as usize, step * 7 + a as i64))
+                .collect();
             let res = s.access(&reads, &writes);
             for (i, &a) in reads.iter().enumerate() {
                 assert_eq!(res.read_values[i], reference[a], "step {step}");
@@ -133,19 +185,22 @@ mod tests {
 
     #[test]
     fn constant_blowup_log_work() {
-        let small = IdaShared::for_pram(16, 64);
-        let big = IdaShared::for_pram(1 << 16, 64);
+        let small = ida_for(16, 64);
+        let big = ida_for(1 << 16, 64);
         // Blowup constant...
-        assert!((small.blowup() - big.blowup()).abs() < 1e-9);
+        assert!((small.redundancy() - big.redundancy()).abs() < 1e-9);
         // ...but per-access work grows with log n.
-        assert!(big.quorum() > small.quorum());
+        let (qs, qb) = (ida::params_for_n(16), ida::params_for_n(1 << 16));
+        assert!((qb.0 + qb.1) / 2 > (qs.0 + qs.1) / 2);
     }
 
     #[test]
     fn step_cost_reports_share_traffic() {
-        let mut s = IdaShared::for_pram(8, 64);
+        let (b, d) = ida::params_for_n(8);
+        let mut s = IdaShared::new(8, 64, (4 * d).max(8), b, d);
         let res = s.access(&[1], &[]);
         assert_eq!(res.cost.messages, s.quorum() as u64);
         assert!(res.cost.phases >= 1);
+        assert_eq!(s.last_step().messages, s.total_shares());
     }
 }

@@ -2,9 +2,19 @@
 //! schemes with constant redundancy, plus every baseline they are measured
 //! against.
 //!
-//! All schemes implement [`pram_machine::SharedMemory`], so any P-RAM
-//! program from `pram-machine` runs on them unmodified; equality with the
-//! ideal memory's results is the end-to-end faithfulness test.
+//! All schemes implement the object-safe [`Scheme`] trait (a supertrait of
+//! [`pram_machine::SharedMemory`] plus uniform diagnostics), so any P-RAM
+//! program from `pram-machine` runs on any of them unmodified; equality
+//! with the ideal memory's results is the end-to-end faithfulness test.
+//! Construct any scheme with [`SimBuilder`]:
+//!
+//! ```
+//! use cr_core::{Scheme, SchemeKind, SimBuilder};
+//!
+//! let mut scheme = SimBuilder::new(8, 64).kind(SchemeKind::Hp2dmotLeaves).build().unwrap();
+//! scheme.access(&[], &[(0, 9)]);
+//! assert_eq!(scheme.access(&[0], &[]).read_values, vec![9]);
+//! ```
 //!
 //! | Scheme | Model | Redundancy | Time/step | Paper artifact |
 //! |--------|-------|-----------|-----------|----------------|
@@ -25,6 +35,7 @@ pub mod hashed;
 pub mod ida_scheme;
 pub mod majority;
 pub mod protocol;
+pub mod scheme;
 pub mod schemes;
 
 pub use adversary::{concentration_adversary, LowerBoundReport};
@@ -32,4 +43,5 @@ pub use config::SchemeConfig;
 pub use hashed::HashedDmmpc;
 pub use ida_scheme::IdaShared;
 pub use majority::{MajorityScheme, StepReport};
+pub use scheme::{BuildError, Scheme, SchemeKind, SchemeParams, SimBuilder};
 pub use schemes::{Hp2dmotLeaves, HpDmmpc, Lpp2dmot, UwMpc};

@@ -54,7 +54,10 @@ impl<E: PhaseExecutor, P: CopyPlacement> MajorityScheme<E, P> {
     /// the 2DMOT); `placement` maps `(var, copy)` to the physical location.
     pub fn assemble(cfg: SchemeConfig, map_modules: usize, exec: E, placement: P) -> Self {
         let r = cfg.redundancy();
-        assert!(map_modules >= r, "need at least r modules for distinct copies");
+        assert!(
+            map_modules >= r,
+            "need at least r modules for distinct copies"
+        );
         let map = MemoryMap::random(cfg.m, map_modules, r, cfg.seed);
         let store = ReplicatedStore::new(&map);
         let clusters = Clusters::new(cfg.n.max(1), r);

@@ -112,8 +112,7 @@ pub struct GridPlacement {
 impl CopyPlacement for GridPlacement {
     fn place(&self, map: &MemoryMap, var: usize, copy: usize) -> (usize, usize) {
         let col = map.module_of(var, copy);
-        let row =
-            (simrng::mix64(((var as u64) << 20) | copy as u64) % self.side as u64) as usize;
+        let row = (simrng::mix64(((var as u64) << 20) | copy as u64) % self.side as u64) as usize;
         (col, row)
     }
 }
@@ -124,6 +123,7 @@ impl CopyPlacement for GridPlacement {
 ///   requesting processor;
 /// * returns, per request, the list of copy indices accessed (`≥ c`, so a
 ///   write quorum / read majority is always available), plus statistics.
+#[allow(clippy::too_many_arguments)] // the protocol's full parameter list, documented above
 pub fn run_protocol<E: PhaseExecutor>(
     requests: &[(usize, usize)],
     clusters: &Clusters,
@@ -175,7 +175,9 @@ pub fn run_protocol<E: PhaseExecutor>(
             let Some(i) = chosen else { continue };
             let (_, var) = requests[i];
             // One cluster member per live copy.
-            let members: Vec<usize> = clusters.members(clusters.cluster_of(requests[i].0)).collect();
+            let members: Vec<usize> = clusters
+                .members(clusters.cluster_of(requests[i].0))
+                .collect();
             let mut member = 0usize;
             for copy in 0..r {
                 if accessed[i].contains(&copy) {
@@ -226,7 +228,13 @@ pub fn run_protocol<E: PhaseExecutor>(
     // with work serves at least one attempt (the first per module), so at
     // most c·|requests| further phases occur; guard generously.
     let guard = 4 * c as u64 * requests.len() as u64 + 16;
-    while run_phase(&mut accessed, &mut cursor, &mut stats, exec, stage2_pipeline) {
+    while run_phase(
+        &mut accessed,
+        &mut cursor,
+        &mut stats,
+        exec,
+        stage2_pipeline,
+    ) {
         stats.stage2_phases += 1;
         assert!(
             stats.stage2_phases <= guard,
@@ -321,8 +329,14 @@ mod tests {
             2,
             1,
         );
-        assert!(accessed.iter().all(|a| a.len() >= c), "protocol still completes");
-        assert!(stats.stage1_leftover > 0, "congestion must leave stage-1 leftovers");
+        assert!(
+            accessed.iter().all(|a| a.len() >= c),
+            "protocol still completes"
+        );
+        assert!(
+            stats.stage1_leftover > 0,
+            "congestion must leave stage-1 leftovers"
+        );
         assert!(stats.stage2_phases > 0);
         assert!(stats.killed_attempts > 0);
     }
@@ -346,6 +360,10 @@ mod tests {
         // r=5-member clusters, ~7 clusters, each with ≤5 requests: the
         // protocol interleaves them; phase count should be well under the
         // serial bound of n.
-        assert!(stats.phases() < n as u64, "phases {} too high", stats.phases());
+        assert!(
+            stats.phases() < n as u64,
+            "phases {} too high",
+            stats.phases()
+        );
     }
 }

@@ -1,18 +1,22 @@
 //! The four copy-based schemes, as concrete types.
 //!
 //! Each wraps a [`MajorityScheme`] with the right executor, placement, and
-//! parameter regime, and exposes it as a [`SharedMemory`] plus diagnostics.
+//! parameter regime, and exposes it uniformly through the [`Scheme`] trait
+//! (plus a `scheme()` accessor to the wrapped engine for power users).
+//! Construction goes through [`crate::SimBuilder`]; the `new`/`try_new`
+//! constructors taking a [`SchemeConfig`] are the escape hatch for regimes
+//! the builder does not expose.
 
 use crate::config::SchemeConfig;
 use crate::executors::{BipartiteExec, MotExec};
-use crate::majority::MajorityScheme;
+use crate::majority::{MajorityScheme, StepReport};
 use crate::protocol::{FlatPlacement, GridPlacement};
+use crate::scheme::{BuildError, Scheme, SchemeKind, SchemeParams};
 use models::params::pow2_at_least;
-use models::PaperParams;
 use pram_machine::{AccessResult, SharedMemory, Word};
 
-macro_rules! delegate_shared_memory {
-    ($ty:ident) => {
+macro_rules! impl_scheme {
+    ($ty:ident, $kind:expr) => {
         impl SharedMemory for $ty {
             fn size(&self) -> usize {
                 self.inner.size()
@@ -22,6 +26,35 @@ macro_rules! delegate_shared_memory {
             }
             fn poke(&mut self, addr: usize, value: Word) {
                 self.inner.poke(addr, value)
+            }
+        }
+
+        impl Scheme for $ty {
+            fn kind(&self) -> SchemeKind {
+                $kind
+            }
+            fn redundancy(&self) -> f64 {
+                self.inner.redundancy() as f64
+            }
+            fn modules(&self) -> usize {
+                self.inner.config().modules
+            }
+            fn last_step(&self) -> StepReport {
+                self.inner.last_step()
+            }
+            fn totals(&self) -> (StepReport, u64) {
+                self.inner.totals()
+            }
+            fn params(&self) -> SchemeParams {
+                let cfg = self.inner.config();
+                SchemeParams {
+                    kind: $kind,
+                    n: cfg.n,
+                    m: cfg.m,
+                    modules: cfg.modules,
+                    redundancy: cfg.redundancy() as f64,
+                    seed: cfg.seed,
+                }
             }
         }
     };
@@ -43,13 +76,9 @@ impl HpDmmpc {
         // pipelining buys nothing — modules serve one request per phase.
         let cfg = cfg.with_pipeline(1);
         let exec = BipartiteExec::new(cfg.modules);
-        HpDmmpc { inner: MajorityScheme::assemble(cfg, cfg.modules, exec, FlatPlacement) }
-    }
-
-    /// Convenience: fine-grain defaults for an `n`-processor program with
-    /// `m` cells.
-    pub fn for_pram(n: usize, m: usize) -> Self {
-        Self::new(&SchemeConfig::for_pram(n, m))
+        HpDmmpc {
+            inner: MajorityScheme::assemble(cfg, cfg.modules, exec, FlatPlacement),
+        }
     }
 
     /// The wrapped step engine (stats, map, config).
@@ -58,14 +87,7 @@ impl HpDmmpc {
     }
 }
 
-delegate_shared_memory!(HpDmmpc);
-
-impl std::ops::Deref for HpDmmpc {
-    type Target = MajorityScheme<BipartiteExec, FlatPlacement>;
-    fn deref(&self) -> &Self::Target {
-        &self.inner
-    }
-}
+impl_scheme!(HpDmmpc, SchemeKind::HpDmmpc);
 
 /// **Upfal–Wigderson baseline** — majority rule on the coarse-grain MPC
 /// (`M = n`, one module per processor, Lemma 1's `c = Θ(log m)`).
@@ -77,21 +99,25 @@ pub struct UwMpc {
 }
 
 impl UwMpc {
-    /// Build from a coarse configuration (`modules == n`).
-    pub fn new(cfg: &SchemeConfig) -> Self {
-        assert_eq!(cfg.modules, cfg.n, "the MPC has one module per processor");
+    /// Build from a coarse configuration; the MPC is defined with one
+    /// module per processor, so `cfg.modules` must equal `cfg.n`.
+    pub fn try_new(cfg: &SchemeConfig) -> Result<Self, BuildError> {
+        if cfg.modules != cfg.n {
+            return Err(BuildError::NotOneModulePerProcessor {
+                n: cfg.n,
+                modules: cfg.modules,
+            });
+        }
         let cfg = cfg.with_pipeline(1);
         let exec = BipartiteExec::new(cfg.modules);
-        UwMpc { inner: MajorityScheme::assemble(cfg, cfg.modules, exec, FlatPlacement) }
+        Ok(UwMpc {
+            inner: MajorityScheme::assemble(cfg, cfg.modules, exec, FlatPlacement),
+        })
     }
 
-    /// Coarse-grain defaults for an `n`-processor program with `m` cells:
-    /// Lemma 1's `c` (growing with `m`), clamped so `2c−1 ≤ n` modules can
-    /// hold distinct copies.
-    pub fn for_pram(n: usize, m: usize) -> Self {
-        let c = PaperParams::c_lemma1(m, 8).min((n + 1) / 2).max(1);
-        let p = PaperParams::explicit(n, m, n, 8, c);
-        Self::new(&SchemeConfig::from_params(p, simrng::DEFAULT_SEED))
+    /// Panicking variant of [`UwMpc::try_new`].
+    pub fn new(cfg: &SchemeConfig) -> Self {
+        Self::try_new(cfg).expect("the MPC has one module per processor")
     }
 
     /// The wrapped step engine.
@@ -100,14 +126,7 @@ impl UwMpc {
     }
 }
 
-delegate_shared_memory!(UwMpc);
-
-impl std::ops::Deref for UwMpc {
-    type Target = MajorityScheme<BipartiteExec, FlatPlacement>;
-    fn deref(&self) -> &Self::Target {
-        &self.inner
-    }
-}
+impl_scheme!(UwMpc, SchemeKind::UwMpc);
 
 /// **Theorem 3 / Fig. 8** — the paper's DMBDN scheme: a `√M × √M` 2DMOT
 /// with the memory modules at the **leaves** and processors at the first
@@ -132,11 +151,6 @@ impl Hp2dmotLeaves {
         }
     }
 
-    /// Fine-grain defaults for an `n`-processor program with `m` cells.
-    pub fn for_pram(n: usize, m: usize) -> Self {
-        Self::new(&SchemeConfig::for_pram(n, m))
-    }
-
     /// Grid side `√M`.
     pub fn side(&self) -> usize {
         self.inner.executor().side()
@@ -153,14 +167,7 @@ impl Hp2dmotLeaves {
     }
 }
 
-delegate_shared_memory!(Hp2dmotLeaves);
-
-impl std::ops::Deref for Hp2dmotLeaves {
-    type Target = MajorityScheme<MotExec, GridPlacement>;
-    fn deref(&self) -> &Self::Target {
-        &self.inner
-    }
-}
+impl_scheme!(Hp2dmotLeaves, SchemeKind::Hp2dmotLeaves);
 
 /// **Luccio–Pietracaprina–Pucci baseline** — 2DMOT with memory at the
 /// **roots** (coalesced with the processors): same `O(log²n/log log n)`
@@ -173,16 +180,21 @@ pub struct Lpp2dmot {
 }
 
 impl Lpp2dmot {
-    /// Build for an `n`-processor program with `m` cells. The grid is
-    /// `pow2(n) × pow2(n)`; modules are the first `n` roots.
-    pub fn for_pram(n: usize, m: usize) -> Self {
-        let n2 = n.max(2);
-        let c = PaperParams::c_lemma1(m, 8).min((n2 + 1) / 2).max(1);
-        let p = PaperParams::explicit(n, m, n2, 8, c);
-        let cfg = SchemeConfig::from_params(p, simrng::DEFAULT_SEED);
-        let side = pow2_at_least(n2);
+    /// Build from a coarse configuration: the modules are the first
+    /// `cfg.modules` roots of a `pow2(modules) × pow2(modules)` grid.
+    pub fn try_new(cfg: &SchemeConfig) -> Result<Self, BuildError> {
+        if cfg.modules < cfg.redundancy() {
+            return Err(BuildError::TooFewModules {
+                kind: SchemeKind::Lpp2dmot,
+                modules: cfg.modules,
+                required: cfg.redundancy(),
+            });
+        }
+        let side = pow2_at_least(cfg.modules.max(2));
         let exec = MotExec::roots(side);
-        Lpp2dmot { inner: MajorityScheme::assemble(cfg, n2, exec, FlatPlacement) }
+        Ok(Lpp2dmot {
+            inner: MajorityScheme::assemble(*cfg, cfg.modules, exec, FlatPlacement),
+        })
     }
 
     /// Grid side.
@@ -196,22 +208,20 @@ impl Lpp2dmot {
     }
 }
 
-delegate_shared_memory!(Lpp2dmot);
-
-impl std::ops::Deref for Lpp2dmot {
-    type Target = MajorityScheme<MotExec, FlatPlacement>;
-    fn deref(&self) -> &Self::Target {
-        &self.inner
-    }
-}
+impl_scheme!(Lpp2dmot, SchemeKind::Lpp2dmot);
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scheme::SimBuilder;
     use simrng::{rng_from_seed, Rng};
 
+    fn build(kind: SchemeKind, n: usize, m: usize) -> Box<dyn Scheme> {
+        SimBuilder::new(n, m).kind(kind).build().unwrap()
+    }
+
     /// Randomized read/write steps against a flat reference memory.
-    fn exercise<M: SharedMemory>(mem: &mut M, n: usize, m: usize, seed: u64, steps: usize) {
+    fn exercise(mem: &mut dyn Scheme, n: usize, m: usize, seed: u64, steps: usize) {
         let mut reference = vec![0i64; m];
         let mut rng = rng_from_seed(seed);
         for step in 0..steps {
@@ -236,8 +246,8 @@ mod tests {
 
     #[test]
     fn hp_dmmpc_linearizes() {
-        let mut s = HpDmmpc::for_pram(16, 256);
-        exercise(&mut s, 16, 256, 7, 60);
+        let mut s = build(SchemeKind::HpDmmpc, 16, 256);
+        exercise(s.as_mut(), 16, 256, 7, 60);
         let (tot, steps) = s.totals();
         assert_eq!(steps, 60);
         assert!(tot.phases > 0);
@@ -245,30 +255,30 @@ mod tests {
 
     #[test]
     fn uw_mpc_linearizes() {
-        let mut s = UwMpc::for_pram(16, 256);
-        exercise(&mut s, 16, 256, 8, 60);
-        assert_eq!(s.config().modules, 16);
+        let mut s = build(SchemeKind::UwMpc, 16, 256);
+        exercise(s.as_mut(), 16, 256, 8, 60);
+        assert_eq!(s.modules(), 16);
     }
 
     #[test]
     fn hp_2dmot_leaves_linearizes() {
-        let mut s = Hp2dmotLeaves::for_pram(8, 64);
-        assert!(s.side() >= 8);
-        exercise(&mut s, 8, 64, 9, 30);
+        let mut s = build(SchemeKind::Hp2dmotLeaves, 8, 64);
+        assert!(s.modules() >= 8, "grid side covers the processors");
+        exercise(s.as_mut(), 8, 64, 9, 30);
         let rep = s.last_step();
         assert!(rep.cycles > 0, "2DMOT steps consume measured cycles");
     }
 
     #[test]
     fn lpp_2dmot_linearizes() {
-        let mut s = Lpp2dmot::for_pram(8, 64);
-        exercise(&mut s, 8, 64, 10, 30);
+        let mut s = build(SchemeKind::Lpp2dmot, 8, 64);
+        exercise(s.as_mut(), 8, 64, 10, 30);
         assert!(s.last_step().cycles > 0);
     }
 
     #[test]
     fn poke_then_read_through_protocol() {
-        let mut s = HpDmmpc::for_pram(8, 32);
+        let mut s = build(SchemeKind::HpDmmpc, 8, 32);
         s.poke(5, 42);
         let r = s.access(&[5], &[]);
         assert_eq!(r.read_values, vec![42]);
@@ -276,24 +286,39 @@ mod tests {
 
     #[test]
     fn hp_redundancy_constant_uw_grows() {
-        let hp_small = HpDmmpc::for_pram(16, 16 * 16);
-        let hp_big = HpDmmpc::for_pram(256, 256 * 256);
+        let hp_small = build(SchemeKind::HpDmmpc, 16, 16 * 16);
+        let hp_big = build(SchemeKind::HpDmmpc, 256, 256 * 256);
         assert_eq!(hp_small.redundancy(), hp_big.redundancy());
-        let uw_small = UwMpc::for_pram(16, 16 * 16);
-        let uw_big = UwMpc::for_pram(1 << 10, 1 << 20);
+        let uw_small = build(SchemeKind::UwMpc, 16, 16 * 16);
+        let uw_big = build(SchemeKind::UwMpc, 1 << 10, 1 << 20);
         assert!(uw_big.redundancy() > uw_small.redundancy());
     }
 
     #[test]
-    #[should_panic(expected = "one module per processor")]
     fn uw_rejects_fine_grain_config() {
         let cfg = SchemeConfig::for_pram(16, 256);
-        let _ = UwMpc::new(&cfg);
+        let err = UwMpc::try_new(&cfg).unwrap_err();
+        assert!(
+            matches!(err, BuildError::NotOneModulePerProcessor { n: 16, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn lpp_side_is_pow2_over_modules() {
+        let s = SimBuilder::new(8, 64)
+            .kind(SchemeKind::Lpp2dmot)
+            .build()
+            .unwrap();
+        assert_eq!(s.modules(), 8);
+        let cfg = SchemeConfig::coarse_for_pram(24, 64);
+        let lpp = Lpp2dmot::try_new(&cfg).unwrap();
+        assert_eq!(lpp.side(), 32);
     }
 
     #[test]
     fn step_report_accumulates() {
-        let mut s = HpDmmpc::for_pram(8, 64);
+        let mut s = build(SchemeKind::HpDmmpc, 8, 64);
         s.access(&[1, 2], &[(3, 9)]);
         let one = s.last_step();
         assert_eq!(one.requests, 3);

@@ -32,6 +32,7 @@ fn tables() -> &'static Tables {
         let mut exp = vec![0u16; 2 * ORDER];
         let mut log = vec![0u16; ORDER + 1];
         let mut x: u32 = 1;
+        #[allow(clippy::needless_range_loop)] // i indexes exp and log by coupled values
         for i in 0..ORDER {
             exp[i] = x as u16;
             log[x as usize] = i as u16;
@@ -52,6 +53,7 @@ fn tables() -> &'static Tables {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
 pub struct Gf16(pub u16);
 
+#[allow(clippy::should_implement_trait)] // inherent names mirror the field operations
 impl Gf16 {
     /// Additive identity.
     pub const ZERO: Gf16 = Gf16(0);
@@ -139,7 +141,7 @@ impl std::fmt::Display for Gf16 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use simrng::{rng_from_seed, Rng};
 
     #[test]
     fn identities() {
@@ -193,29 +195,32 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn mul_commutes(a in any::<u16>(), b in any::<u16>()) {
-            prop_assert_eq!(Gf16(a).mul(Gf16(b)), Gf16(b).mul(Gf16(a)));
-        }
-
-        #[test]
-        fn mul_associates(a in any::<u16>(), b in any::<u16>(), c in any::<u16>()) {
-            let (a, b, c) = (Gf16(a), Gf16(b), Gf16(c));
-            prop_assert_eq!(a.mul(b).mul(c), a.mul(b.mul(c)));
-        }
-
-        #[test]
-        fn distributes(a in any::<u16>(), b in any::<u16>(), c in any::<u16>()) {
-            let (a, b, c) = (Gf16(a), Gf16(b), Gf16(c));
-            prop_assert_eq!(a.mul(b + c), a.mul(b) + a.mul(c));
-        }
-
-        #[test]
-        fn nonzero_invertible(a in 1u16..) {
-            let a = Gf16(a);
-            prop_assert_eq!(a.mul(a.inv()), Gf16::ONE);
-            prop_assert_eq!(a.div(a), Gf16::ONE);
+    #[test]
+    fn field_axioms_randomized() {
+        // Commutativity, associativity, distributivity, invertibility on
+        // reproducible random samples.
+        let mut rng = rng_from_seed(0xF1E1D);
+        for case in 0..512 {
+            let (a, b, c) = (
+                Gf16(rng.next_u64() as u16),
+                Gf16(rng.next_u64() as u16),
+                Gf16(rng.next_u64() as u16),
+            );
+            assert_eq!(a.mul(b), b.mul(a), "case {case}: commutativity");
+            assert_eq!(
+                a.mul(b).mul(c),
+                a.mul(b.mul(c)),
+                "case {case}: associativity"
+            );
+            assert_eq!(
+                a.mul(b + c),
+                a.mul(b) + a.mul(c),
+                "case {case}: distributivity"
+            );
+            if a != Gf16::ZERO {
+                assert_eq!(a.mul(a.inv()), Gf16::ONE, "case {case}: inverse");
+                assert_eq!(a.div(a), Gf16::ONE, "case {case}: self-division");
+            }
         }
     }
 }

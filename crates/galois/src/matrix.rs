@@ -15,7 +15,11 @@ pub struct Matrix {
 impl Matrix {
     /// Zero matrix.
     pub fn zero(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![Gf16::ZERO; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![Gf16::ZERO; rows * cols],
+        }
     }
 
     /// Identity matrix.
@@ -58,13 +62,12 @@ impl Matrix {
     pub fn mul_vec(&self, v: &[Gf16]) -> Vec<Gf16> {
         assert_eq!(v.len(), self.cols);
         let mut out = vec![Gf16::ZERO; self.rows];
-        for i in 0..self.rows {
-            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+        for (o, row) in out.iter_mut().zip(self.data.chunks_exact(self.cols)) {
             let mut acc = Gf16::ZERO;
             for (a, b) in row.iter().zip(v) {
                 acc = acc + a.mul(*b);
             }
-            out[i] = acc;
+            *o = acc;
         }
         out
     }
@@ -142,7 +145,7 @@ impl std::ops::IndexMut<(usize, usize)> for Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use simrng::{rng_from_seed, Rng};
 
     #[test]
     fn identity_mul() {
@@ -157,7 +160,10 @@ mod tests {
         // Several row subsets, including adjacent and spread ones.
         for idx in [[0usize, 1, 2, 3], [4, 5, 6, 7], [0, 2, 5, 7], [1, 3, 4, 6]] {
             let sub = m.select_rows(&idx);
-            assert!(sub.inverse().is_some(), "rows {idx:?} should be independent");
+            assert!(
+                sub.inverse().is_some(),
+                "rows {idx:?} should be independent"
+            );
         }
     }
 
@@ -175,7 +181,10 @@ mod tests {
     fn inverse_roundtrip() {
         let m = Matrix::vandermonde(5, 5);
         let inv = m.inverse().unwrap();
-        let v: Vec<Gf16> = [9u16, 99, 999, 9999, members()].iter().map(|&x| Gf16(x)).collect();
+        let v: Vec<Gf16> = [9u16, 99, 999, 9999, members()]
+            .iter()
+            .map(|&x| Gf16(x))
+            .collect();
         let round = inv.mul_vec(&m.mul_vec(&v));
         assert_eq!(round, v);
     }
@@ -184,18 +193,23 @@ mod tests {
         0x4242
     }
 
-    proptest! {
-        #[test]
-        fn vandermonde_encode_decode(data in proptest::collection::vec(any::<u16>(), 4)) {
-            let data: Vec<Gf16> = data.into_iter().map(Gf16).collect();
-            let enc = Matrix::vandermonde(9, 4);
+    #[test]
+    fn vandermonde_encode_decode_randomized() {
+        let mut rng = rng_from_seed(0x7A6D);
+        let enc = Matrix::vandermonde(9, 4);
+        for case in 0..128 {
+            let data: Vec<Gf16> = (0..4).map(|_| Gf16(rng.next_u64() as u16)).collect();
             let shares = enc.mul_vec(&data);
-            // Decode from rows {8, 1, 6, 3}.
-            let idx = [8usize, 1, 6, 3];
+            // Decode from a random 4-row subset.
+            let idx: Vec<usize> = rng
+                .sample_distinct(9, 4)
+                .into_iter()
+                .map(|i| i as usize)
+                .collect();
             let sub = enc.select_rows(&idx);
             let inv = sub.inverse().expect("vandermonde rows independent");
             let picked: Vec<Gf16> = idx.iter().map(|&i| shares[i]).collect();
-            prop_assert_eq!(inv.mul_vec(&picked), data);
+            assert_eq!(inv.mul_vec(&picked), data, "case {case}, rows {idx:?}");
         }
     }
 }

@@ -17,7 +17,11 @@ impl IdaCode {
     /// A `b`-of-`d` code. Requires `1 ≤ b ≤ d ≤ 65535`.
     pub fn new(b: usize, d: usize) -> Self {
         assert!(b >= 1 && b <= d && d <= 65535, "need 1 <= b <= d <= 65535");
-        IdaCode { b, d, enc: Matrix::vandermonde(d, b) }
+        IdaCode {
+            b,
+            d,
+            enc: Matrix::vandermonde(d, b),
+        }
     }
 
     /// Data symbols per block.
@@ -82,7 +86,6 @@ pub fn symbols_to_word(s: &[Gf16]) -> i64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
     use simrng::{rng_from_seed, Rng};
 
     #[test]
@@ -94,8 +97,10 @@ mod tests {
         let mut rng = rng_from_seed(5);
         for _ in 0..30 {
             let pick = rng.sample_distinct(9, 4);
-            let quorum: Vec<(usize, Gf16)> =
-                pick.iter().map(|&i| (i as usize, shares[i as usize])).collect();
+            let quorum: Vec<(usize, Gf16)> = pick
+                .iter()
+                .map(|&i| (i as usize, shares[i as usize]))
+                .collect();
             assert_eq!(code.decode(&quorum).unwrap(), data);
         }
     }
@@ -139,23 +144,33 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn proptest_roundtrip(data in proptest::collection::vec(any::<u16>(), 8),
-                              seed in any::<u64>()) {
-            let code = IdaCode::new(8, 12);
-            let data: Vec<Gf16> = data.into_iter().map(Gf16).collect();
+    #[test]
+    fn randomized_roundtrip() {
+        // Random data blocks and random quorums, reproducible from the seed.
+        let mut rng = rng_from_seed(0xC0DEC);
+        let code = IdaCode::new(8, 12);
+        for case in 0..64 {
+            let data: Vec<Gf16> = (0..8).map(|_| Gf16(rng.next_u64() as u16)).collect();
             let shares = code.encode(&data);
-            let mut rng = rng_from_seed(seed);
             let pick = rng.sample_distinct(12, 8);
-            let quorum: Vec<(usize, Gf16)> =
-                pick.iter().map(|&i| (i as usize, shares[i as usize])).collect();
-            prop_assert_eq!(code.decode(&quorum).unwrap(), data);
+            let quorum: Vec<(usize, Gf16)> = pick
+                .iter()
+                .map(|&i| (i as usize, shares[i as usize]))
+                .collect();
+            assert_eq!(
+                code.decode(&quorum).unwrap(),
+                data,
+                "case {case}, quorum {pick:?}"
+            );
         }
+    }
 
-        #[test]
-        fn proptest_word_roundtrip(w in any::<i64>()) {
-            prop_assert_eq!(symbols_to_word(&word_to_symbols(w)), w);
+    #[test]
+    fn randomized_word_roundtrip() {
+        let mut rng = rng_from_seed(0x303D);
+        for _ in 0..256 {
+            let w = rng.next_u64() as i64;
+            assert_eq!(symbols_to_word(&word_to_symbols(w)), w, "w={w}");
         }
     }
 }

@@ -62,15 +62,27 @@ impl SchusterStore {
     /// and `d ≤ modules` (shares of one block must live in distinct
     /// modules); `d + b` must be even so the quorum size is integral.
     pub fn new(vars: usize, modules: usize, b: usize, d: usize) -> Self {
-        assert!(b >= 4 && b % 4 == 0, "b must be a positive multiple of 4");
-        assert!((d + b) % 2 == 0, "d + b must be even for integral quorums");
-        assert!(d <= modules, "a block's {d} shares need distinct modules, only {modules} exist");
+        assert!(
+            b >= 4 && b.is_multiple_of(4),
+            "b must be a positive multiple of 4"
+        );
+        assert!(
+            (d + b).is_multiple_of(2),
+            "d + b must be even for integral quorums"
+        );
+        assert!(
+            d <= modules,
+            "a block's {d} shares need distinct modules, only {modules} exist"
+        );
         let code = IdaCode::new(b, d);
         let vars_per_block = b / 4;
         let nblocks = vars.div_ceil(vars_per_block);
         // All-zero data encodes to all-zero shares (linearity), version 0.
         let blocks = (0..nblocks)
-            .map(|_| Block { shares: vec![(galois::Gf16::ZERO, 0); d], write_rotation: 0 })
+            .map(|_| Block {
+                shares: vec![(galois::Gf16::ZERO, 0); d],
+                write_rotation: 0,
+            })
             .collect();
         let module_stride = (modules / d).max(1);
         SchusterStore {
@@ -169,7 +181,8 @@ impl SchusterStore {
     /// Read variable `v`.
     pub fn read(&mut self, v: usize) -> (i64, IdaAccessStats) {
         let none = vec![false; self.modules];
-        self.read_with_unavailable(v, &none).expect("all modules available")
+        self.read_with_unavailable(v, &none)
+            .expect("all modules available")
     }
 
     /// Read with some modules unavailable (fault injection): `None` when no
@@ -188,7 +201,8 @@ impl SchusterStore {
     /// Write variable `v`.
     pub fn write(&mut self, v: usize, value: i64) -> IdaAccessStats {
         let none = vec![false; self.modules];
-        self.write_with_unavailable(v, value, &none).expect("all modules available")
+        self.write_with_unavailable(v, value, &none)
+            .expect("all modules available")
     }
 
     /// Write with some modules unavailable; `None` when no quorum survives.

@@ -50,6 +50,7 @@ pub fn min_live_spread_exhaustive(map: &MemoryMap, vars: &[VarId], c: usize) -> 
     let mut best = usize::MAX;
     let mut selected: Vec<usize> = Vec::with_capacity(vars.len());
 
+    #[allow(clippy::too_many_arguments)] // explicit search-frame state
     fn recurse(
         map: &MemoryMap,
         vars: &[VarId],
@@ -80,7 +81,16 @@ pub fn min_live_spread_exhaustive(map: &MemoryMap, vars: &[VarId], c: usize) -> 
                 added.push(md);
             }
             selected.push(ci);
-            recurse(map, vars, choices, selected, covered, depth + 1, new_spread, best);
+            recurse(
+                map,
+                vars,
+                choices,
+                selected,
+                covered,
+                depth + 1,
+                new_spread,
+                best,
+            );
             selected.pop();
             for md in added {
                 covered[md] -= 1;
@@ -89,7 +99,16 @@ pub fn min_live_spread_exhaustive(map: &MemoryMap, vars: &[VarId], c: usize) -> 
     }
 
     let mut covered = vec![0u32; map.modules()];
-    recurse(map, vars, &choices, &mut selected, &mut covered, 0, 0, &mut best);
+    recurse(
+        map,
+        vars,
+        &choices,
+        &mut selected,
+        &mut covered,
+        0,
+        0,
+        &mut best,
+    );
     best
 }
 
@@ -138,8 +157,7 @@ pub fn min_live_spread_greedy(map: &MemoryMap, vars: &[VarId], c: usize) -> usiz
         }
     }
 
-    let live: Vec<(VarId, Vec<usize>)> =
-        vars.iter().copied().zip(kept.into_iter()).collect();
+    let live: Vec<(VarId, Vec<usize>)> = vars.iter().copied().zip(kept).collect();
     live_spread(map, &live)
 }
 
@@ -258,7 +276,10 @@ mod tests {
         let exact = min_live_spread_exhaustive(&map, &vars, 2);
         let greedy = min_live_spread_greedy(&map, &vars, 2);
         assert!(exact <= greedy, "exact {exact} > greedy {greedy}");
-        assert!(exact >= 2, "distinct-module maps give at least c spread for one var");
+        assert!(
+            exact >= 2,
+            "distinct-module maps give at least c spread for one var"
+        );
     }
 
     #[test]
@@ -268,7 +289,10 @@ mod tests {
         let map = MemoryMap::random(256, 64, 5, 7);
         let mut rng = rng_from_seed(42);
         let rep = check_sampled(&map, 3, 4, 3, 50, &mut rng);
-        assert!(rep.satisfied, "random fine-grain map should expand: {rep:?}");
+        assert!(
+            rep.satisfied,
+            "random fine-grain map should expand: {rep:?}"
+        );
         assert!(rep.worst_ratio >= 1.0);
     }
 
@@ -286,8 +310,7 @@ mod tests {
         let map = MemoryMap::random(64, 32, 5, 9);
         let vars: Vec<VarId> = (0..8).collect();
         let g = min_live_spread_greedy(&map, &vars, 3);
-        let all: Vec<(VarId, Vec<usize>)> =
-            vars.iter().map(|&v| (v, (0..5).collect())).collect();
+        let all: Vec<(VarId, Vec<usize>)> = vars.iter().map(|&v| (v, (0..5).collect())).collect();
         assert!(g <= live_spread(&map, &all));
     }
 }

@@ -23,6 +23,8 @@ pub mod map;
 pub mod store;
 
 pub use cluster::Clusters;
-pub use expansion::{check_sampled, min_live_spread_exhaustive, min_live_spread_greedy, ExpansionReport};
+pub use expansion::{
+    check_sampled, min_live_spread_exhaustive, min_live_spread_greedy, ExpansionReport,
+};
 pub use map::{MapKind, MemoryMap, ModuleId, VarId};
 pub use store::{ReplicatedStore, Value};

@@ -55,7 +55,10 @@ impl MemoryMap {
     /// Uniform random map (the paper's existence proof instantiated): the
     /// `r` copies of each variable land in `r` distinct uniform modules.
     pub fn random(m: usize, modules: usize, r: usize, seed: u64) -> Self {
-        assert!(r >= 1 && r <= modules, "need r <= M distinct modules per variable");
+        assert!(
+            r >= 1 && r <= modules,
+            "need r <= M distinct modules per variable"
+        );
         let mut rng = rng_from_seed(seed);
         let mut copy_module = Vec::with_capacity(m * r);
         for _ in 0..m {
@@ -63,7 +66,13 @@ impl MemoryMap {
                 copy_module.push(mod_id as u32);
             }
         }
-        MemoryMap { m, modules, r, kind: MapKind::Random, copy_module }
+        MemoryMap {
+            m,
+            modules,
+            r,
+            kind: MapKind::Random,
+            copy_module,
+        }
     }
 
     /// Striped map: copy `i` of `v` in module `(v + i·stride) mod M`, with
@@ -78,7 +87,13 @@ impl MemoryMap {
                 copy_module.push(((v + i * stride) % modules) as u32);
             }
         }
-        let map = MemoryMap { m, modules, r, kind: MapKind::Striped, copy_module };
+        let map = MemoryMap {
+            m,
+            modules,
+            r,
+            kind: MapKind::Striped,
+            copy_module,
+        };
         debug_assert!(map.validate().is_ok());
         map
     }
@@ -90,11 +105,19 @@ impl MemoryMap {
     /// probe offset is itself a deterministic function of `(v, i)`, so the
     /// map remains computable from the `2r` coefficients alone.
     pub fn affine(m: usize, modules: usize, r: usize, seed: u64) -> Self {
-        assert!(r >= 1 && r <= modules, "need r <= M distinct modules per variable");
+        assert!(
+            r >= 1 && r <= modules,
+            "need r <= M distinct modules per variable"
+        );
         const P: u128 = (1u128 << 61) - 1;
         let mut rng = rng_from_seed(seed);
         let coeffs: Vec<(u128, u128)> = (0..r)
-            .map(|_| (((rng.next_u64() | 1) as u128) % P, (rng.next_u64() as u128) % P))
+            .map(|_| {
+                (
+                    ((rng.next_u64() | 1) as u128) % P,
+                    (rng.next_u64() as u128) % P,
+                )
+            })
             .collect();
         let mut copy_module = Vec::with_capacity(m * r);
         let mut taken: Vec<u32> = Vec::with_capacity(r);
@@ -109,7 +132,13 @@ impl MemoryMap {
                 copy_module.push(md);
             }
         }
-        MemoryMap { m, modules, r, kind: MapKind::Affine, copy_module }
+        MemoryMap {
+            m,
+            modules,
+            r,
+            kind: MapKind::Affine,
+            copy_module,
+        }
     }
 
     /// Worst-case map: every variable's copies sit in modules `0..r`.
@@ -121,7 +150,13 @@ impl MemoryMap {
                 copy_module.push(i as u32);
             }
         }
-        MemoryMap { m, modules, r, kind: MapKind::Congested, copy_module }
+        MemoryMap {
+            m,
+            modules,
+            r,
+            kind: MapKind::Congested,
+            copy_module,
+        }
     }
 
     /// Number of variables `m`.
@@ -181,7 +216,9 @@ impl MemoryMap {
             for &md in self.copies(v) {
                 let md = md as usize;
                 if md >= self.modules {
-                    return Err(format!("variable {v} has a copy in nonexistent module {md}"));
+                    return Err(format!(
+                        "variable {v} has a copy in nonexistent module {md}"
+                    ));
                 }
                 if seen[md] == v {
                     return Err(format!("variable {v} has two copies in module {md}"));

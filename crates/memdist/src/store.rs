@@ -25,7 +25,11 @@ impl ReplicatedStore {
     /// with value 0 is the consistent initial state.
     pub fn new(map: &MemoryMap) -> Self {
         let slots = map.vars() * map.redundancy();
-        ReplicatedStore { r: map.redundancy(), values: vec![0; slots], stamps: vec![0; slots] }
+        ReplicatedStore {
+            r: map.redundancy(),
+            values: vec![0; slots],
+            stamps: vec![0; slots],
+        }
     }
 
     /// Copies per variable.
@@ -158,8 +162,11 @@ mod tests {
         let mut rng = rng_from_seed(1234);
         let mut latest: Value = 0;
         for step in 1..500u64 {
-            let quorum: Vec<usize> =
-                rng.sample_distinct(r as u64, c).into_iter().map(|x| x as usize).collect();
+            let quorum: Vec<usize> = rng
+                .sample_distinct(r as u64, c)
+                .into_iter()
+                .map(|x| x as usize)
+                .collect();
             if rng.chance(0.5) {
                 latest = step as Value * 10;
                 s.write_quorum(0, &quorum, latest, step);

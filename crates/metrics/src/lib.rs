@@ -4,7 +4,7 @@
 //! `n^ε`? is redundancy flat or `log n`?), so the crate provides
 //! least-squares fits against the two model families the paper uses —
 //! `y = a·(log₂ x)^p` and `y = a·x^p` — plus plain ASCII tables for the
-//! `repro` harness and EXPERIMENTS.md.
+//! `repro` harness (experiment index in DESIGN.md §4).
 
 /// Basic descriptive statistics of a sample.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -25,7 +25,13 @@ impl Summary {
     /// Summarize a sample (empty samples yield zeros).
     pub fn of(xs: &[f64]) -> Summary {
         if xs.is_empty() {
-            return Summary { count: 0, mean: 0.0, min: 0.0, max: 0.0, std: 0.0 };
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                min: 0.0,
+                max: 0.0,
+                std: 0.0,
+            };
         }
         let n = xs.len() as f64;
         let mean = xs.iter().sum::<f64>() / n;
@@ -73,7 +79,11 @@ fn linfit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
             e * e
         })
         .sum();
-    let r2 = if ss_tot.abs() < 1e-12 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r2 = if ss_tot.abs() < 1e-12 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     (intercept, slope, r2)
 }
 
@@ -107,7 +117,10 @@ pub struct Table {
 impl Table {
     /// A table with the given column headers.
     pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
-        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (must match the header count).
@@ -169,7 +182,11 @@ impl Table {
         out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
         out.push_str(&format!(
             "|{}|\n",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         ));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
@@ -262,7 +279,7 @@ mod tests {
     #[test]
     fn fnum_ranges() {
         assert_eq!(fnum(0.0), "0");
-        assert_eq!(fnum(3.14159), "3.14");
+        assert_eq!(fnum(1.23456), "1.23");
         assert_eq!(fnum(42.5), "42.5");
         assert_eq!(fnum(12345.6), "12346");
     }

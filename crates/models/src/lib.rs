@@ -124,7 +124,10 @@ impl MachineModel for MpcModel {
             return Err("MPC needs at least one processor".into());
         }
         if self.m < self.n {
-            return Err(format!("MPC with m={} < n={} has empty modules", self.m, self.n));
+            return Err(format!(
+                "MPC with m={} < n={} has empty modules",
+                self.m, self.n
+            ));
         }
         Ok(())
     }
@@ -296,7 +299,10 @@ mod tests {
 
     #[test]
     fn mpc_granularity_is_coarse() {
-        let mpc = MpcModel { n: 16, m: 16 * 16 * 16 };
+        let mpc = MpcModel {
+            n: 16,
+            m: 16 * 16 * 16,
+        };
         assert!(mpc.validate().is_ok());
         assert_eq!(mpc.granularity(), 256); // m/n = n^2 — the van Neumann bottleneck
         assert_eq!(mpc.max_degree(), 15);
@@ -306,32 +312,70 @@ mod tests {
 
     #[test]
     fn bdn_degree_bound() {
-        assert!(BdnModel { n: 64, m: 4096, degree: 4 }.validate().is_ok());
-        assert!(BdnModel { n: 64, m: 4096, degree: 1 }.validate().is_err());
+        assert!(BdnModel {
+            n: 64,
+            m: 4096,
+            degree: 4
+        }
+        .validate()
+        .is_ok());
+        assert!(BdnModel {
+            n: 64,
+            m: 4096,
+            degree: 1
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
     fn dmmpc_epsilon_recovered() {
         // n=16, M=n^{1.5}=64
-        let d = DmmpcModel { n: 16, m: 256, modules: 64 };
+        let d = DmmpcModel {
+            n: 16,
+            m: 256,
+            modules: 64,
+        };
         assert!(d.validate().is_ok());
         assert!((d.epsilon() - 0.5).abs() < 1e-9);
         assert_eq!(d.granularity(), 4);
-        assert!(DmmpcModel { n: 16, m: 256, modules: 8 }.validate().is_err());
+        assert!(DmmpcModel {
+            n: 16,
+            m: 256,
+            modules: 8
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
     fn dmbdn_switch_budget() {
-        let ok = DmbdnModel { n: 16, m: 4096, modules: 64, switches: 128, degree: 4 };
+        let ok = DmbdnModel {
+            n: 16,
+            m: 4096,
+            modules: 64,
+            switches: 128,
+            degree: 4,
+        };
         assert!(ok.validate().is_ok());
         assert_eq!(ok.switch_nodes(), 128);
-        let bad = DmbdnModel { n: 16, m: 64, modules: 64, switches: 1 << 20, degree: 4 };
+        let bad = DmbdnModel {
+            n: 16,
+            m: 64,
+            modules: 64,
+            switches: 1 << 20,
+            degree: 4,
+        };
         assert!(bad.validate().is_err());
     }
 
     #[test]
     fn granularity_rounds_up() {
-        let d = DmmpcModel { n: 4, m: 10, modules: 4 };
+        let d = DmmpcModel {
+            n: 4,
+            m: 10,
+            modules: 4,
+        };
         assert_eq!(d.granularity(), 3);
     }
 }

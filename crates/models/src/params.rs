@@ -56,14 +56,23 @@ impl PaperParams {
     /// cells makes no sense), `b > 2`.
     pub fn fine_grain(n: usize, k: f64, eps: f64, b: usize) -> Self {
         assert!(n >= 2, "n must be at least 2");
-        assert!(k > 1.0, "k must exceed 1 (k=1 is the trivial no-contention case)");
+        assert!(
+            k > 1.0,
+            "k must exceed 1 (k=1 is the trivial no-contention case)"
+        );
         assert!(eps > 0.0, "fine granularity means eps > 0");
         assert!(eps <= k - 1.0 + 1e-9, "cannot have more modules than cells");
         assert!(b > 2, "Lemma 2 needs b > 2");
         let m = ipow_ceil(n, k);
         let modules = even_pow2_at_least(ipow_ceil(n, 1.0 + eps)).min(even_pow2_at_least(m));
         let c = Self::c_lemma2(k, eps, b);
-        PaperParams { n, m, modules, b, c }
+        PaperParams {
+            n,
+            m,
+            modules,
+            b,
+            c,
+        }
     }
 
     /// Coarse-granularity configuration (MPC; `M = n`), `c` from
@@ -74,7 +83,13 @@ impl PaperParams {
         assert!(b > 4, "Lemma 1 needs b > 4");
         let m = ipow_ceil(n, k);
         let c = Self::c_lemma1(m, b);
-        PaperParams { n, m, modules: n, b, c }
+        PaperParams {
+            n,
+            m,
+            modules: n,
+            b,
+            c,
+        }
     }
 
     /// Fully explicit configuration (escape hatch for sweeps and tests).
@@ -87,7 +102,13 @@ impl PaperParams {
             2 * c - 1,
             modules
         );
-        PaperParams { n, m, modules, b, c }
+        PaperParams {
+            n,
+            m,
+            modules,
+            b,
+            c,
+        }
     }
 
     /// Lemma 2's constant: smallest integer `c > (bk − ε)/(ε(b − 2))`.
@@ -151,7 +172,11 @@ impl PaperParams {
     /// [`PaperParams::fine_grain`]).
     pub fn mot_side(&self) -> usize {
         let side = (self.modules as f64).sqrt().round() as usize;
-        assert_eq!(side * side, self.modules, "modules must be a perfect square");
+        assert_eq!(
+            side * side,
+            self.modules,
+            "modules must be a perfect square"
+        );
         assert!(side.is_power_of_two(), "grid side must be a power of two");
         side
     }
@@ -214,7 +239,10 @@ mod tests {
         // Fine granularity: bound ~ (k-1)/eps regardless of n.
         let small = PaperParams::fine_grain(64, 2.0, 0.5, 4).theorem1_lower_bound(64.0);
         let large = PaperParams::fine_grain(4096, 2.0, 0.5, 4).theorem1_lower_bound(144.0);
-        assert!((small - large).abs() < 1.5, "bound should stay ~constant: {small} vs {large}");
+        assert!(
+            (small - large).abs() < 1.5,
+            "bound should stay ~constant: {small} vs {large}"
+        );
         // Coarse granularity (eps = 0): bound grows like log n / log h.
         let coarse_small = PaperParams::explicit(64, 4096, 64, 8, 5).theorem1_lower_bound(36.0);
         let coarse_large =

@@ -111,8 +111,11 @@ mod tests {
         let modules = 4096; // n^2
         let crossbar = crossbar_scheme_switches(n, modules);
         let leaves = leaves_scheme_switches(64); // side = sqrt(4096)
-        // O(nM) vs O(M): the gap is the paper's Fig. 7 / Fig. 8 contrast.
-        assert!(crossbar > 50 * leaves, "crossbar {crossbar} vs leaves {leaves}");
+                                                 // O(nM) vs O(M): the gap is the paper's Fig. 7 / Fig. 8 contrast.
+        assert!(
+            crossbar > 50 * leaves,
+            "crossbar {crossbar} vs leaves {leaves}"
+        );
     }
 
     #[test]

@@ -204,10 +204,17 @@ impl<P> MotNetwork<P> {
         let mot = MotTopology::new(side);
         // Queue capacity must accommodate stage-2 pipelining (Θ(log n)
         // packets per column); admission control bounds the real occupancy.
-        let cfg = EngineConfig { queue_capacity: 4 * side.max(16), max_cycles: 10_000_000 };
+        let cfg = EngineConfig {
+            queue_capacity: 4 * side.max(16),
+            max_cycles: 10_000_000,
+        };
         let engine = Engine::new(mot.graph(), cfg);
         let col_admit = vec![0; side];
-        MotNetwork { mot, engine, col_admit }
+        MotNetwork {
+            mot,
+            engine,
+            col_admit,
+        }
     }
 
     /// The topology (for inspection / area accounting).
@@ -230,12 +237,21 @@ impl<P> MotNetwork<P> {
         let side = self.mot.side();
         self.col_admit.iter_mut().for_each(|x| *x = 0);
         for r in &reqs {
-            assert!(r.src_root < side && r.row < side && r.col < side, "request out of grid");
+            assert!(
+                r.src_root < side && r.row < side && r.col < side,
+                "request out of grid"
+            );
         }
         let n_reqs = reqs.len();
         for req in reqs {
             let root = self.mot.root(req.src_root);
-            self.engine.inject(root, MotPacket { req, leg: Leg::RowDown });
+            self.engine.inject(
+                root,
+                MotPacket {
+                    req,
+                    leg: Leg::RowDown,
+                },
+            );
         }
         let mut router = Router {
             mot: &self.mot,
@@ -246,13 +262,25 @@ impl<P> MotNetwork<P> {
             killed: Vec::new(),
         };
         let mut overflow: Vec<MotPacket<P>> = Vec::new();
-        let stats = self.engine.run_until_quiet(self.mot.graph(), &mut router, |p| {
-            overflow.push(p);
-        });
-        let Router { mut killed, served, .. } = router;
+        let stats = self
+            .engine
+            .run_until_quiet(self.mot.graph(), &mut router, |p| {
+                overflow.push(p);
+            });
+        let Router {
+            mut killed, served, ..
+        } = router;
         killed.extend(overflow.into_iter().map(|p| p.req));
-        debug_assert_eq!(served.len() + killed.len(), n_reqs, "requests must be accounted for");
-        BatchOutcome { served, killed, stats }
+        debug_assert_eq!(
+            served.len() + killed.len(),
+            n_reqs,
+            "requests must be accounted for"
+        );
+        BatchOutcome {
+            served,
+            killed,
+            stats,
+        }
     }
 }
 
@@ -278,7 +306,16 @@ mod tests {
         let mut net: MotNetwork<Op> = MotNetwork::new(side);
         let mut mem = grid_memory(side);
         let out = net.route_batch(
-            vec![MotRequest { to_root: false, src_root: 1, row: 5, col: 3, payload: Op { write: None, result: -1 } }],
+            vec![MotRequest {
+                to_root: false,
+                src_root: 1,
+                row: 5,
+                col: 3,
+                payload: Op {
+                    write: None,
+                    result: -1,
+                },
+            }],
             1,
             |r, c, p| {
                 p.result = mem[r * side + c];
@@ -292,8 +329,16 @@ mod tests {
         assert_eq!(out.served[0].payload.result, (5 * side + 3) as i64);
         // Path: 2 × (3·depth) hops + consume overheads; must be Θ(log side).
         let depth = side.ilog2() as u64;
-        assert!(out.stats.cycles >= 6 * depth, "cycles {} too small", out.stats.cycles);
-        assert!(out.stats.cycles <= 6 * depth + 6, "cycles {} too large", out.stats.cycles);
+        assert!(
+            out.stats.cycles >= 6 * depth,
+            "cycles {} too small",
+            out.stats.cycles
+        );
+        assert!(
+            out.stats.cycles <= 6 * depth + 6,
+            "cycles {} too large",
+            out.stats.cycles
+        );
     }
 
     #[test]
@@ -308,7 +353,10 @@ mod tests {
                 src_root: t,
                 row: (t * 7 + 3) % side,
                 col: t,
-                payload: Op { write: None, result: -1 },
+                payload: Op {
+                    write: None,
+                    result: -1,
+                },
             })
             .collect();
         let out = net.route_batch(reqs, 1, |r, c, p| {
@@ -319,7 +367,11 @@ mod tests {
         assert_eq!(out.served.len(), side);
         // Parallel requests on disjoint trees: same asymptotic latency as one.
         let depth = side.ilog2() as u64;
-        assert!(out.stats.cycles <= 6 * depth + 10, "cycles {}", out.stats.cycles);
+        assert!(
+            out.stats.cycles <= 6 * depth + 10,
+            "cycles {}",
+            out.stats.cycles
+        );
         for s in &out.served {
             assert_eq!(s.payload.result, ((s.row * side + s.col) as i64));
         }
@@ -338,7 +390,10 @@ mod tests {
                 src_root: t,
                 row: t,
                 col: 2,
-                payload: Op { write: None, result: -1 },
+                payload: Op {
+                    write: None,
+                    result: -1,
+                },
             })
             .collect();
         let out = net.route_batch(reqs.clone(), 1, |r, c, p| p.result = mem[r * side + c]);
@@ -359,7 +414,16 @@ mod tests {
         let side = 4;
         let mut net: MotNetwork<Op> = MotNetwork::new(side);
         let mut mem = grid_memory(side);
-        let w = MotRequest { to_root: false, src_root: 0, row: 2, col: 1, payload: Op { write: Some(99), result: -1 } };
+        let w = MotRequest {
+            to_root: false,
+            src_root: 0,
+            row: 2,
+            col: 1,
+            payload: Op {
+                write: Some(99),
+                result: -1,
+            },
+        };
         let out = net.route_batch(vec![w], 1, |r, c, p| {
             p.result = mem[r * side + c];
             if let Some(v) = p.write {
@@ -369,7 +433,16 @@ mod tests {
         assert_eq!(out.served.len(), 1);
         assert_eq!(mem[2 * side + 1], 99);
         // Read it back through the network.
-        let rd = MotRequest { to_root: false, src_root: 3, row: 2, col: 1, payload: Op { write: None, result: -1 } };
+        let rd = MotRequest {
+            to_root: false,
+            src_root: 3,
+            row: 2,
+            col: 1,
+            payload: Op {
+                write: None,
+                result: -1,
+            },
+        };
         let out = net.route_batch(vec![rd], 1, |r, c, p| p.result = mem[r * side + c]);
         assert_eq!(out.served[0].payload.result, 99);
         let _ = &mut mem;
@@ -387,7 +460,10 @@ mod tests {
                 src_root: 0,
                 row: i,
                 col: i + 1,
-                payload: Op { write: None, result: -1 },
+                payload: Op {
+                    write: None,
+                    result: -1,
+                },
             })
             .collect();
         let out = net.route_batch(reqs, 1, |r, c, p| p.result = mem[r * side + c]);
@@ -412,7 +488,10 @@ mod tests {
                 src_root: t,
                 row: 5,
                 col: 9,
-                payload: Op { write: None, result: -1 },
+                payload: Op {
+                    write: None,
+                    result: -1,
+                },
             })
             .collect();
         let out = net.route_batch(reqs, side, |r, c, p| p.result = mem[r * side + c]);
@@ -435,7 +514,10 @@ mod tests {
                 src_root: t,
                 row: 0, // ignored for to_root routing
                 col: (t + 3) % side,
-                payload: Op { write: None, result: -1 },
+                payload: Op {
+                    write: None,
+                    result: -1,
+                },
             })
             .collect();
         let out = net.route_batch(reqs, 1, |_r, c, p| {
@@ -450,7 +532,11 @@ mod tests {
         // Root service path (row-down, col-up, reply col-down, reply
         // row-up = 4 legs) is shorter than the 6-leg leaf path.
         let depth = side.ilog2() as u64;
-        assert!(out.stats.cycles <= 4 * depth + 8, "cycles {}", out.stats.cycles);
+        assert!(
+            out.stats.cycles <= 4 * depth + 8,
+            "cycles {}",
+            out.stats.cycles
+        );
     }
 
     #[test]
@@ -464,7 +550,10 @@ mod tests {
                 src_root: t,
                 row: 0,
                 col: 6,
-                payload: Op { write: None, result: -1 },
+                payload: Op {
+                    write: None,
+                    result: -1,
+                },
             })
             .collect();
         let out = net.route_batch(reqs, 1, |_, _, p| p.result = 0);
@@ -484,7 +573,10 @@ mod tests {
                     src_root: i % side,
                     row: (3 * i) % side,
                     col: (5 * i) % side,
-                    payload: Op { write: None, result: -1 },
+                    payload: Op {
+                        write: None,
+                        result: -1,
+                    },
                 })
                 .collect::<Vec<_>>()
         };

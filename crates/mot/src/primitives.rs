@@ -41,7 +41,11 @@ pub fn broadcast_rows(mot: &MotTopology, root_vals: &[i64]) -> (Vec<i64>, u64) {
 /// Reduce each leaf **row** up its row tree with the associative `op`,
 /// pairing adjacent subtrees one level per cycle. Returns one value per
 /// row-tree root and the cycle count (`depth`).
-pub fn reduce_rows(mot: &MotTopology, grid: &[i64], op: impl Fn(i64, i64) -> i64) -> (Vec<i64>, u64) {
+pub fn reduce_rows(
+    mot: &MotTopology,
+    grid: &[i64],
+    op: impl Fn(i64, i64) -> i64,
+) -> (Vec<i64>, u64) {
     let s = mot.side();
     assert_eq!(grid.len(), s * s);
     let mut out = Vec::with_capacity(s);
@@ -64,7 +68,11 @@ pub fn reduce_rows(mot: &MotTopology, grid: &[i64], op: impl Fn(i64, i64) -> i64
 }
 
 /// Reduce each leaf **column** up its column tree.
-pub fn reduce_cols(mot: &MotTopology, grid: &[i64], op: impl Fn(i64, i64) -> i64) -> (Vec<i64>, u64) {
+pub fn reduce_cols(
+    mot: &MotTopology,
+    grid: &[i64],
+    op: impl Fn(i64, i64) -> i64,
+) -> (Vec<i64>, u64) {
     let s = mot.side();
     assert_eq!(grid.len(), s * s);
     let mut out = Vec::with_capacity(s);

@@ -38,7 +38,10 @@ pub struct MotTopology {
 impl MotTopology {
     /// Build an `side × side` 2DMOT. `side` must be a power of two, ≥ 2.
     pub fn new(side: usize) -> Self {
-        assert!(side >= 2 && side.is_power_of_two(), "side must be a power of two >= 2");
+        assert!(
+            side >= 2 && side.is_power_of_two(),
+            "side must be a power of two >= 2"
+        );
         let mut topo = Topology::new();
 
         // Roots 0..side, then leaves.
@@ -51,13 +54,14 @@ impl MotTopology {
         let mut ports: Vec<Ports> = Vec::new();
         let mut cover_cols: Vec<(u32, u32)> = Vec::new();
         let mut cover_rows: Vec<(u32, u32)> = Vec::new();
-        let grow_to = |v: &mut Vec<Ports>, cc: &mut Vec<(u32, u32)>, cr: &mut Vec<(u32, u32)>, n: usize| {
-            while v.len() < n {
-                v.push(Ports::default());
-                cc.push((0, 0));
-                cr.push((0, 0));
-            }
-        };
+        let grow_to =
+            |v: &mut Vec<Ports>, cc: &mut Vec<(u32, u32)>, cr: &mut Vec<(u32, u32)>, n: usize| {
+                while v.len() < n {
+                    v.push(Ports::default());
+                    cc.push((0, 0));
+                    cr.push((0, 0));
+                }
+            };
         grow_to(&mut ports, &mut cover_cols, &mut cover_rows, topo.nodes());
 
         let leaf_id = |r: usize, c: usize| side + r * side + c;
@@ -65,15 +69,16 @@ impl MotTopology {
         // Build one tree family. `is_row == true`: row tree `t` over leaves
         // (t, 0..side); otherwise column tree `t` over leaves (0..side, t).
         let build_tree = |topo: &mut Topology,
-                              ports: &mut Vec<Ports>,
-                              cover_cols: &mut Vec<(u32, u32)>,
-                              cover_rows: &mut Vec<(u32, u32)>,
-                              t: usize,
-                              is_row: bool| {
+                          ports: &mut Vec<Ports>,
+                          cover_cols: &mut Vec<(u32, u32)>,
+                          cover_rows: &mut Vec<(u32, u32)>,
+                          t: usize,
+                          is_row: bool| {
             // Heap indices 1..side are the internal nodes (heap 1 = root,
             // coalesced with the other family's root for the same t).
             let mut node_of = vec![usize::MAX; side.max(2)];
             node_of[1] = t; // roots are nodes 0..side
+            #[allow(clippy::needless_range_loop)] // heap is an index into the implicit tree
             for heap in 2..side {
                 let n = topo.add_node();
                 node_of[heap] = n;
@@ -105,6 +110,7 @@ impl MotTopology {
             }
             // Subtree covers: heap node v at depth d covers `side >> d`
             // leaves starting at (v - 2^d)·(side >> d).
+            #[allow(clippy::needless_range_loop)] // heap is an index into the implicit tree
             for heap in 1..side {
                 let d = heap.ilog2() as usize;
                 let width = side >> d;
@@ -119,8 +125,22 @@ impl MotTopology {
         };
 
         for t in 0..side {
-            build_tree(&mut topo, &mut ports, &mut cover_cols, &mut cover_rows, t, true);
-            build_tree(&mut topo, &mut ports, &mut cover_cols, &mut cover_rows, t, false);
+            build_tree(
+                &mut topo,
+                &mut ports,
+                &mut cover_cols,
+                &mut cover_rows,
+                t,
+                true,
+            );
+            build_tree(
+                &mut topo,
+                &mut ports,
+                &mut cover_cols,
+                &mut cover_rows,
+                t,
+                false,
+            );
         }
 
         // Leaf covers are their own coordinates.
@@ -132,7 +152,13 @@ impl MotTopology {
             }
         }
 
-        MotTopology { side, topo, ports, cover_cols, cover_rows }
+        MotTopology {
+            side,
+            topo,
+            ports,
+            cover_cols,
+            cover_rows,
+        }
     }
 
     /// Grid side `s` (`= √M` in the paper's Theorem 3).

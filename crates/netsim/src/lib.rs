@@ -62,7 +62,10 @@ impl Topology {
 
     /// Add a directed edge `from → to`; returns its id.
     pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> EdgeId {
-        assert!(from < self.out.len() && to < self.out.len(), "endpoints must exist");
+        assert!(
+            from < self.out.len() && to < self.out.len(),
+            "endpoints must exist"
+        );
         let id = self.edges.len();
         self.edges.push((from, to));
         self.out[from].push(id);
@@ -145,7 +148,10 @@ pub struct EngineConfig {
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { queue_capacity: 4, max_cycles: 1_000_000 }
+        EngineConfig {
+            queue_capacity: 4,
+            max_cycles: 1_000_000,
+        }
     }
 }
 
@@ -373,7 +379,10 @@ mod tests {
         // FIFO order preserved.
         assert_eq!(b.consumed, vec![0, 1, 2, 3]);
         // Pipeline: first arrives after 2 hops (+consume), one more each cycle.
-        assert!(stats.cycles >= 6, "4 packets over a shared link must serialize");
+        assert!(
+            stats.cycles >= 6,
+            "4 packets over a shared link must serialize"
+        );
         assert_eq!(stats.hops, 8);
     }
 
@@ -386,7 +395,13 @@ mod tests {
         let sink = topo.add_node();
         topo.add_edge(s0, sink);
         topo.add_edge(s1, sink);
-        let mut eng = Engine::new(&topo, EngineConfig { queue_capacity: 1, max_cycles: 100 });
+        let mut eng = Engine::new(
+            &topo,
+            EngineConfig {
+                queue_capacity: 1,
+                max_cycles: 100,
+            },
+        );
         eng.inject(s0, WalkPacket { dest: sink, id: 10 });
         eng.inject(s1, WalkPacket { dest: sink, id: 11 });
         let mut b = LineBehavior { consumed: vec![] };
@@ -440,7 +455,13 @@ mod tests {
 
         let mut eng = Engine::new(&topo, EngineConfig::default());
         eng.inject(a, ReqRep { is_reply: false });
-        let mut b = RB { replies_received: 0, fwd, back, a, b: bnode };
+        let mut b = RB {
+            replies_received: 0,
+            fwd,
+            back,
+            a,
+            b: bnode,
+        };
         let stats = eng.run_until_quiet(&topo, &mut b, |_| {});
         assert_eq!(b.replies_received, 1);
         assert_eq!(stats.delivered, 2); // request + reply
@@ -464,7 +485,13 @@ mod tests {
                 None
             }
         }
-        let mut eng = Engine::new(&topo, EngineConfig { queue_capacity: 4, max_cycles: 50 });
+        let mut eng = Engine::new(
+            &topo,
+            EngineConfig {
+                queue_capacity: 4,
+                max_cycles: 50,
+            },
+        );
         eng.inject(a, 0);
         let _ = eng.run_until_quiet(&topo, &mut Spin, |_| {});
     }
@@ -518,7 +545,12 @@ mod tests {
         let mut eng = Engine::new(&topo, EngineConfig::default());
         eng.inject(src, 0);
         eng.inject(src, 1);
-        let mut b = Fan { e1, e2, src, got: 0 };
+        let mut b = Fan {
+            e1,
+            e2,
+            src,
+            got: 0,
+        };
         let stats = eng.run_until_quiet(&topo, &mut b, |_| {});
         assert_eq!(b.got, 2);
         // Both depart cycle 1, arrive cycle 2, consumed cycle 2.

@@ -31,7 +31,9 @@ pub struct RunLimits {
 
 impl Default for RunLimits {
     fn default() -> Self {
-        RunLimits { max_steps: 1_000_000 }
+        RunLimits {
+            max_steps: 1_000_000,
+        }
     }
 }
 
@@ -74,7 +76,12 @@ impl Pram {
     /// An `n`-processor machine with the given conflict mode.
     pub fn new(n: usize, mode: Mode) -> Self {
         assert!(n > 0, "a P-RAM needs at least one processor");
-        Pram { n, mode, limits: RunLimits::default(), record_trace: false }
+        Pram {
+            n,
+            mode,
+            limits: RunLimits::default(),
+            record_trace: false,
+        }
     }
 
     /// Override the safety limits.
@@ -118,7 +125,9 @@ impl Pram {
 
         while live > 0 {
             if steps >= self.limits.max_steps {
-                return Err(PramError::StepLimitExceeded { limit: self.limits.max_steps });
+                return Err(PramError::StepLimitExceeded {
+                    limit: self.limits.max_steps,
+                });
             }
             step_reads.clear();
             step_writes.clear();
@@ -204,14 +213,20 @@ impl Pram {
                     Instr::Div(d, a, b) => {
                         let bv = r!(b);
                         if bv == 0 {
-                            return Err(PramError::DivisionByZero { step: steps, proc: p });
+                            return Err(PramError::DivisionByZero {
+                                step: steps,
+                                proc: p,
+                            });
                         }
                         r!(d) = r!(a).wrapping_div(bv);
                     }
                     Instr::Rem(d, a, b) => {
                         let bv = r!(b);
                         if bv == 0 {
-                            return Err(PramError::DivisionByZero { step: steps, proc: p });
+                            return Err(PramError::DivisionByZero {
+                                step: steps,
+                                proc: p,
+                            });
                         }
                         r!(d) = r!(a).wrapping_rem(bv);
                     }
@@ -272,7 +287,11 @@ impl Pram {
 
     fn check_addr(a: Word, m: usize, step: u64, proc: ProcId) -> Result<usize, PramError> {
         if a < 0 || a as u128 >= m as u128 {
-            Err(PramError::AddressOutOfRange { step, proc, addr: a })
+            Err(PramError::AddressOutOfRange {
+                step,
+                proc,
+                addr: a,
+            })
         } else {
             Ok(a as usize)
         }
@@ -280,6 +299,7 @@ impl Pram {
 
     /// Apply the conflict convention: returns (distinct read addresses,
     /// resolved distinct writes).
+    #[allow(clippy::type_complexity)]
     fn resolve_conflicts(
         &self,
         reads: &[(ProcId, Reg, usize)],
@@ -302,7 +322,11 @@ impl Pram {
                 if ps.len() > 1 {
                     let mut procs = ps.clone();
                     procs.sort_unstable();
-                    return Err(PramError::ReadConflict { step, addr: a, procs });
+                    return Err(PramError::ReadConflict {
+                        step,
+                        addr: a,
+                        procs,
+                    });
                 }
             }
             // EREW also forbids a cell being read and written in one step.
@@ -323,7 +347,11 @@ impl Pram {
                 Mode::Erew | Mode::Crew => {
                     let mut procs: Vec<ProcId> = ws.iter().map(|&(p, _)| p).collect();
                     procs.sort_unstable();
-                    return Err(PramError::WriteConflict { step, addr: a, procs });
+                    return Err(PramError::WriteConflict {
+                        step,
+                        addr: a,
+                        procs,
+                    });
                 }
                 Mode::Crcw(policy) => {
                     let winner = match policy {
@@ -433,7 +461,9 @@ mod tests {
         b.halt();
         let p = b.build();
         let mut mem = IdealMemory::new(4);
-        Pram::new(4, Mode::Crcw(WritePolicy::Priority)).run(&p, &mut mem).unwrap();
+        Pram::new(4, Mode::Crcw(WritePolicy::Priority))
+            .run(&p, &mut mem)
+            .unwrap();
         assert_eq!(mem.peek(0), 100);
     }
 
@@ -446,7 +476,9 @@ mod tests {
         b.halt();
         let p = b.build();
         let mut mem = IdealMemory::new(4);
-        Pram::new(4, Mode::Crcw(WritePolicy::Max)).run(&p, &mut mem).unwrap();
+        Pram::new(4, Mode::Crcw(WritePolicy::Max))
+            .run(&p, &mut mem)
+            .unwrap();
         assert_eq!(mem.peek(0), 3);
     }
 
@@ -459,7 +491,9 @@ mod tests {
         b.halt();
         let p = b.build();
         let mut mem = IdealMemory::new(4);
-        let err = Pram::new(2, Mode::Crcw(WritePolicy::Common)).run(&p, &mut mem).unwrap_err();
+        let err = Pram::new(2, Mode::Crcw(WritePolicy::Common))
+            .run(&p, &mut mem)
+            .unwrap_err();
         assert!(matches!(err, PramError::CommonViolation { addr: 0, .. }));
     }
 
@@ -472,7 +506,9 @@ mod tests {
         b.halt();
         let p = b.build();
         let mut mem = IdealMemory::new(4);
-        Pram::new(5, Mode::Crcw(WritePolicy::Common)).run(&p, &mut mem).unwrap();
+        Pram::new(5, Mode::Crcw(WritePolicy::Common))
+            .run(&p, &mut mem)
+            .unwrap();
         assert_eq!(mem.peek(0), 7);
     }
 
@@ -605,7 +641,7 @@ mod tests {
         b.raw(Instr::And(r(13), r(0), r(1))); // 12&5=4
         b.raw(Instr::Or(r(14), r(0), r(1))); // 13
         b.raw(Instr::Xor(r(15), r(0), r(1))); // 9
-        // Store everything to shared memory for inspection.
+                                              // Store everything to shared memory for inspection.
         let addr = r(16);
         for (cell, reg) in (2..=15).enumerate() {
             b.load_imm(addr, cell as Word);

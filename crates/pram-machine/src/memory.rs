@@ -111,7 +111,11 @@ impl SharedMemory for IdealMemory {
         }
         AccessResult {
             read_values,
-            cost: StepCost { phases: 1, cycles: 1, messages: (reads.len() + writes.len()) as u64 },
+            cost: StepCost {
+                phases: 1,
+                cycles: 1,
+                messages: (reads.len() + writes.len()) as u64,
+            },
         }
     }
 }
@@ -133,9 +137,24 @@ mod tests {
     #[test]
     fn cost_accumulates() {
         let mut total = StepCost::default();
-        total.add(StepCost { phases: 2, cycles: 10, messages: 5 });
-        total.add(StepCost { phases: 1, cycles: 4, messages: 2 });
-        assert_eq!(total, StepCost { phases: 3, cycles: 14, messages: 7 });
+        total.add(StepCost {
+            phases: 2,
+            cycles: 10,
+            messages: 5,
+        });
+        total.add(StepCost {
+            phases: 1,
+            cycles: 4,
+            messages: 2,
+        });
+        assert_eq!(
+            total,
+            StepCost {
+                phases: 3,
+                cycles: 14,
+                messages: 7
+            }
+        );
     }
 
     #[test]

@@ -95,10 +95,7 @@ impl ProgramBuilder {
 
     /// Bind `label` to the current position.
     pub fn bind(&mut self, label: Label) {
-        assert_eq!(
-            self.labels[label.0], UNRESOLVED,
-            "label bound twice"
-        );
+        assert_eq!(self.labels[label.0], UNRESOLVED, "label bound twice");
         self.labels[label.0] = self.instrs.len();
     }
 
@@ -294,7 +291,10 @@ impl ProgramBuilder {
                 );
             }
         }
-        Program { instrs: self.instrs, max_reg: self.max_reg }
+        Program {
+            instrs: self.instrs,
+            max_reg: self.max_reg,
+        }
     }
 }
 

@@ -463,7 +463,9 @@ mod tests {
     use crate::types::{Mode, WritePolicy};
 
     fn run_erew(prog: &Program, n: usize, mem: &mut IdealMemory) {
-        Pram::new(n, Mode::Erew).run(prog, mem).expect("EREW-legal program");
+        Pram::new(n, Mode::Erew)
+            .run(prog, mem)
+            .expect("EREW-legal program");
     }
 
     #[test]
@@ -489,8 +491,8 @@ mod tests {
             }
             run_erew(&prefix_sum(n), n, &mut mem);
             let mut acc = 0;
-            for i in 0..n {
-                acc += input[i];
+            for (i, &x) in input.iter().enumerate() {
+                acc += x;
                 assert_eq!(mem.peek(i), acc, "n={n} i={i}");
             }
         }
@@ -513,7 +515,9 @@ mod tests {
         let n = 16;
         let mut mem = IdealMemory::new(n);
         mem.poke(0, 7);
-        let rep = Pram::new(n, Mode::Crew).run(&broadcast_crew(), &mut mem).unwrap();
+        let rep = Pram::new(n, Mode::Crew)
+            .run(&broadcast_crew(), &mut mem)
+            .unwrap();
         for i in 0..n {
             assert_eq!(mem.peek(i), 7);
         }
@@ -525,7 +529,9 @@ mod tests {
     fn broadcast_crew_rejected_under_erew() {
         let n = 4;
         let mut mem = IdealMemory::new(n);
-        let err = Pram::new(n, Mode::Erew).run(&broadcast_crew(), &mut mem).unwrap_err();
+        let err = Pram::new(n, Mode::Erew)
+            .run(&broadcast_crew(), &mut mem)
+            .unwrap_err();
         assert!(matches!(err, crate::types::PramError::ReadConflict { .. }));
     }
 
@@ -537,7 +543,9 @@ mod tests {
         for (i, &v) in vals.iter().enumerate() {
             mem.poke(i, v);
         }
-        Pram::new(n, Mode::Crcw(WritePolicy::Max)).run(&max_crcw(n), &mut mem).unwrap();
+        Pram::new(n, Mode::Crcw(WritePolicy::Max))
+            .run(&max_crcw(n), &mut mem)
+            .unwrap();
         assert_eq!(mem.peek(n), 9);
     }
 
@@ -555,7 +563,9 @@ mod tests {
         for j in 0..cols {
             mem.poke(rows * cols + j, (j + 1) as Word);
         }
-        Pram::new(n, Mode::Crew).run(&matvec(rows, cols), &mut mem).unwrap();
+        Pram::new(n, Mode::Crew)
+            .run(&matvec(rows, cols), &mut mem)
+            .unwrap();
         let y_base = 2 * rows * cols + cols;
         for i in 0..rows {
             let expect: Word = (0..cols).map(|j| ((i + j) * (j + 1)) as Word).sum();
@@ -576,7 +586,9 @@ mod tests {
         for j in 0..cols {
             mem.poke(rows * cols + j, 2);
         }
-        Pram::new(n, Mode::Crew).run(&matvec(rows, cols), &mut mem).unwrap();
+        Pram::new(n, Mode::Crew)
+            .run(&matvec(rows, cols), &mut mem)
+            .unwrap();
         let y_base = 2 * rows * cols + cols;
         for i in 0..rows {
             assert_eq!(mem.peek(y_base + i), (2 * cols) as Word);
@@ -623,7 +635,9 @@ mod tests {
             mem.poke(i, succ as Word);
             mem.poke(n + i, if i == 0 { 0 } else { 1 });
         }
-        Pram::new(n, Mode::Crew).run(&list_ranking(n), &mut mem).unwrap();
+        Pram::new(n, Mode::Crew)
+            .run(&list_ranking(n), &mut mem)
+            .unwrap();
         for i in 0..n {
             assert_eq!(mem.peek(n + i), i as Word, "rank of node {i}");
         }
@@ -641,9 +655,11 @@ mod tests {
             mem.poke(node, succ as Word);
             mem.poke(n + node, if k == 0 { 0 } else { 1 });
         }
-        Pram::new(n, Mode::Crew).run(&list_ranking(n), &mut mem).unwrap();
-        for k in 0..n {
-            assert_eq!(mem.peek(n + order[k]), k as Word, "node {}", order[k]);
+        Pram::new(n, Mode::Crew)
+            .run(&list_ranking(n), &mut mem)
+            .unwrap();
+        for (k, &node) in order.iter().enumerate() {
+            assert_eq!(mem.peek(n + node), k as Word, "node {node}");
         }
     }
 
@@ -653,7 +669,9 @@ mod tests {
         let mut prev = 0;
         for n in [8usize, 64, 512] {
             let mut mem = IdealMemory::new(parallel_sum_layout(n));
-            let rep = Pram::new(n, Mode::Erew).run(&parallel_sum(n), &mut mem).unwrap();
+            let rep = Pram::new(n, Mode::Erew)
+                .run(&parallel_sum(n), &mut mem)
+                .unwrap();
             assert!(rep.shared_steps as usize <= 4 * n.ilog2() as usize + 4);
             assert!(rep.shared_steps > prev);
             prev = rep.shared_steps;

@@ -80,9 +80,17 @@ impl std::fmt::Display for Mode {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PramError {
     /// Two or more processors read one cell in a step under EREW.
-    ReadConflict { step: u64, addr: usize, procs: Vec<ProcId> },
+    ReadConflict {
+        step: u64,
+        addr: usize,
+        procs: Vec<ProcId>,
+    },
     /// Two or more processors wrote one cell in a step under EREW/CREW.
-    WriteConflict { step: u64, addr: usize, procs: Vec<ProcId> },
+    WriteConflict {
+        step: u64,
+        addr: usize,
+        procs: Vec<ProcId>,
+    },
     /// A cell was both read and written in one step under EREW ("accessed by
     /// more than one processor").
     ReadWriteConflict { step: u64, addr: usize },
@@ -102,7 +110,10 @@ impl std::fmt::Display for PramError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PramError::ReadConflict { step, addr, procs } => {
-                write!(f, "step {step}: EREW read conflict on cell {addr} by {procs:?}")
+                write!(
+                    f,
+                    "step {step}: EREW read conflict on cell {addr} by {procs:?}"
+                )
             }
             PramError::WriteConflict { step, addr, procs } => {
                 write!(f, "step {step}: write conflict on cell {addr} by {procs:?}")
@@ -111,16 +122,25 @@ impl std::fmt::Display for PramError {
                 write!(f, "step {step}: EREW read+write conflict on cell {addr}")
             }
             PramError::CommonViolation { step, addr } => {
-                write!(f, "step {step}: CRCW-Common writers disagree on cell {addr}")
+                write!(
+                    f,
+                    "step {step}: CRCW-Common writers disagree on cell {addr}"
+                )
             }
             PramError::AddressOutOfRange { step, proc, addr } => {
-                write!(f, "step {step}: processor {proc} addressed cell {addr} (out of range)")
+                write!(
+                    f,
+                    "step {step}: processor {proc} addressed cell {addr} (out of range)"
+                )
             }
             PramError::DivisionByZero { step, proc } => {
                 write!(f, "step {step}: processor {proc} divided by zero")
             }
             PramError::PcOutOfRange { step, proc, pc } => {
-                write!(f, "step {step}: processor {proc} ran off the program at pc {pc}")
+                write!(
+                    f,
+                    "step {step}: processor {proc} ran off the program at pc {pc}"
+                )
             }
             PramError::StepLimitExceeded { limit } => {
                 write!(f, "step limit {limit} exceeded")
@@ -146,7 +166,10 @@ mod tests {
     #[test]
     fn mode_display() {
         assert_eq!(Mode::Erew.to_string(), "EREW");
-        assert_eq!(Mode::Crcw(WritePolicy::Priority).to_string(), "CRCW-Priority");
+        assert_eq!(
+            Mode::Crcw(WritePolicy::Priority).to_string(),
+            "CRCW-Priority"
+        );
     }
 
     #[test]

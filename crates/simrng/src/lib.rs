@@ -97,7 +97,10 @@ pub trait Rng {
     /// `k` distinct values sampled uniformly from `[0, bound)`, in random
     /// order. Uses Floyd's algorithm: O(k) expected work, O(k) memory.
     fn sample_distinct(&mut self, bound: u64, k: usize) -> Vec<u64> {
-        assert!((k as u64) <= bound, "cannot sample {k} distinct from {bound}");
+        assert!(
+            (k as u64) <= bound,
+            "cannot sample {k} distinct from {bound}"
+        );
         // For dense requests a shuffle of the full range is cheaper and
         // avoids the hash set.
         if (k as u64) * 4 >= bound * 3 {
@@ -215,7 +218,11 @@ mod tests {
         let mut s = v.clone();
         s.sort_unstable();
         assert_eq!(s, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, (0..100).collect::<Vec<_>>(), "astronomically unlikely identity");
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "astronomically unlikely identity"
+        );
     }
 
     #[test]

@@ -52,7 +52,10 @@ pub fn uniform(n: usize, m: usize, write_frac: f64, rng: &mut impl Rng) -> StepP
     let (w, r) = addrs.split_at(n_writes.min(k));
     StepPattern {
         reads: r.iter().map(|&a| a as usize).collect(),
-        writes: w.iter().map(|&a| (a as usize, rng.next_u64() as Word)).collect(),
+        writes: w
+            .iter()
+            .map(|&a| (a as usize, rng.next_u64() as Word))
+            .collect(),
     }
 }
 
@@ -62,7 +65,10 @@ pub fn permutation(n: usize, m: usize, rng: &mut impl Rng) -> Vec<StepPattern> {
     let mut perm: Vec<usize> = (0..m).collect();
     rng.shuffle(&mut perm);
     perm.chunks(n.max(1))
-        .map(|chunk| StepPattern { reads: chunk.to_vec(), writes: Vec::new() })
+        .map(|chunk| StepPattern {
+            reads: chunk.to_vec(),
+            writes: Vec::new(),
+        })
         .collect()
 }
 
@@ -102,7 +108,10 @@ pub fn hotspot(n: usize, zipf: &Zipf, rng: &mut impl Rng) -> StepPattern {
     for _ in 0..n {
         seen.insert(zipf.sample(rng));
     }
-    StepPattern { reads: seen.into_iter().collect(), writes: Vec::new() }
+    StepPattern {
+        reads: seen.into_iter().collect(),
+        writes: Vec::new(),
+    }
 }
 
 /// `n` strided reads: `offset, offset+stride, …` (mod m), deduplicated.
@@ -111,7 +120,10 @@ pub fn stride(n: usize, m: usize, stride: usize, offset: usize) -> StepPattern {
     for i in 0..n {
         seen.insert((offset + i * stride) % m);
     }
-    StepPattern { reads: seen.into_iter().collect(), writes: Vec::new() }
+    StepPattern {
+        reads: seen.into_iter().collect(),
+        writes: Vec::new(),
+    }
 }
 
 /// The Theorem 1 concentration attack: the `n` variables whose copies are
@@ -127,7 +139,12 @@ pub fn adversarial(map: &MemoryMap, n: usize) -> StepPattern {
     }
     let mut vars: Vec<(u32, usize)> = (0..map.vars())
         .map(|v| {
-            let worst = map.copies(v).iter().map(|&md| rank[md as usize]).max().unwrap();
+            let worst = map
+                .copies(v)
+                .iter()
+                .map(|&md| rank[md as usize])
+                .max()
+                .unwrap();
             (worst, v)
         })
         .collect();
@@ -186,8 +203,12 @@ mod tests {
         let p = uniform(16, 256, 0.25, &mut rng);
         assert_eq!(p.len(), 16);
         assert_eq!(p.writes.len(), 4);
-        let mut all: Vec<usize> =
-            p.reads.iter().copied().chain(p.writes.iter().map(|&(a, _)| a)).collect();
+        let mut all: Vec<usize> = p
+            .reads
+            .iter()
+            .copied()
+            .chain(p.writes.iter().map(|&(a, _)| a))
+            .collect();
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), 16);
@@ -220,7 +241,10 @@ mod tests {
                 low += 1;
             }
         }
-        assert!(low > 500, "zipf(1.2) should put >25% of mass on the top 10, got {low}");
+        assert!(
+            low > 500,
+            "zipf(1.2) should put >25% of mass on the top 10, got {low}"
+        );
     }
 
     #[test]

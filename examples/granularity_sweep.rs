@@ -16,10 +16,8 @@
 //! Coarse memory (ε = 0, the MPC) is polynomially slow at constant
 //! redundancy; fine memory (ε > 0) is polylog. That crossover is the paper.
 
-use pramsim::core::{concentration_adversary, HpDmmpc, SchemeConfig};
-use pramsim::machine::SharedMemory;
+use pramsim::core::{concentration_adversary, SchemeKind, SimBuilder};
 use pramsim::memdist::MemoryMap;
-use pramsim::models::PaperParams;
 use pramsim::simrng::rng_from_seed;
 
 fn main() {
@@ -42,10 +40,15 @@ fn main() {
         let map = MemoryMap::random(m, modules, r, seed);
         let attack = concentration_adversary(&map, n);
 
-        // Upper-bound side: measured protocol phases on uniform steps.
-        let cfg =
-            SchemeConfig::from_params(PaperParams::explicit(n, m, modules, 4, c), seed);
-        let mut scheme = HpDmmpc::new(&cfg);
+        // Upper-bound side: measured protocol phases on uniform steps,
+        // through the builder at this exact granularity and redundancy.
+        let mut scheme = SimBuilder::new(n, m)
+            .kind(SchemeKind::HpDmmpc)
+            .modules(modules)
+            .c(c)
+            .seed(seed)
+            .build()
+            .expect("every swept granularity holds r distinct copies");
         let mut rng = rng_from_seed(seed ^ 0xABCD);
         let mut phases = 0u64;
         let steps = 5;

@@ -28,10 +28,10 @@ fn main() {
     // Populate with recognizable values.
     let mut rng = rng_from_seed(77);
     let mut reference = vec![0i64; vars];
-    for v in 0..vars {
+    for (v, slot) in reference.iter_mut().enumerate() {
         let val = (v as i64) * 1_000 + rng.below(1000) as i64;
         store.write(v, val);
-        reference[v] = val;
+        *slot = val;
     }
 
     // Kill modules one at a time and keep reading everything.
@@ -39,10 +39,10 @@ fn main() {
     for wave in 0..4 {
         let mut readable = 0;
         let mut lost = 0;
-        for v in 0..vars {
+        for (v, &expect) in reference.iter().enumerate() {
             match store.read_with_unavailable(v, &dead) {
                 Some((val, _)) => {
-                    assert_eq!(val, reference[v], "corruption would be a bug");
+                    assert_eq!(val, expect, "corruption would be a bug");
                     readable += 1;
                 }
                 None => lost += 1,

@@ -11,7 +11,7 @@
 //! shuffled 32-node list on the ideal machine, the Theorem 2 DMMPC scheme,
 //! and the IDA (Schuster) alternative, comparing costs.
 
-use pramsim::core::{HpDmmpc, IdaShared};
+use pramsim::core::{SchemeKind, SimBuilder};
 use pramsim::machine::{programs, IdealMemory, Mode, Pram, SharedMemory};
 use pramsim::simrng::{rng_from_seed, Rng};
 
@@ -29,15 +29,18 @@ fn random_list(n: usize, seed: u64) -> (Vec<usize>, Vec<i64>) {
     (succ, rank)
 }
 
-fn rank_on<M: SharedMemory>(mem: &mut M, n: usize, succ: &[usize]) -> (Vec<i64>, u64) {
-    for i in 0..n {
-        mem.poke(i, succ[i] as i64);
-        mem.poke(n + i, if succ[i] == i { 0 } else { 1 });
+fn rank_on(mem: &mut dyn SharedMemory, n: usize, succ: &[usize]) -> (Vec<i64>, u64) {
+    for (i, &s) in succ.iter().enumerate() {
+        mem.poke(i, s as i64);
+        mem.poke(n + i, if s == i { 0 } else { 1 });
     }
     let report = Pram::new(n, Mode::Crew)
         .run(&programs::list_ranking(n), mem)
         .expect("list ranking is CREW-clean");
-    ((0..n).map(|i| mem.peek(n + i)).collect(), report.cost.phases)
+    (
+        (0..n).map(|i| mem.peek(n + i)).collect(),
+        report.cost.phases,
+    )
 }
 
 fn main() {
@@ -50,20 +53,23 @@ fn main() {
     assert_eq!(ranks, expect);
     println!("ideal P-RAM      : ranked {n} nodes, {phases} unit-cost steps");
 
-    let mut dmmpc = HpDmmpc::for_pram(n, m);
-    let (ranks, phases) = rank_on(&mut dmmpc, n, &succ);
+    let mut dmmpc = SimBuilder::new(n, m)
+        .kind(SchemeKind::HpDmmpc)
+        .build()
+        .unwrap();
+    let (ranks, phases) = rank_on(dmmpc.as_mut(), n, &succ);
     assert_eq!(ranks, expect);
     println!(
-        "HP DMMPC (Thm 2) : same ranks, {phases} phases with r = {} copies",
+        "HP DMMPC (Thm 2) : same ranks, {phases} phases with r = {:.0} copies",
         dmmpc.redundancy()
     );
 
-    let mut ida_mem = IdaShared::for_pram(n, m);
-    let (ranks, phases) = rank_on(&mut ida_mem, n, &succ);
+    let mut ida_mem = SimBuilder::new(n, m).kind(SchemeKind::Ida).build().unwrap();
+    let (ranks, phases) = rank_on(ida_mem.as_mut(), n, &succ);
     assert_eq!(ranks, expect);
     println!(
         "IDA (Schuster)   : same ranks, {phases} phases at {:.1}x storage blowup",
-        ida_mem.blowup()
+        ida_mem.redundancy()
     );
 
     println!("\nPointer chasing scatters requests across modules every round;");

@@ -13,8 +13,8 @@
 //! 2. as a **CREW P-RAM program** whose shared memory is simulated by the
 //!    paper's Theorem 3 scheme on that very network.
 
-use pramsim::core::Hp2dmotLeaves;
-use pramsim::machine::{programs, Mode, Pram, SharedMemory};
+use pramsim::core::{SchemeKind, SimBuilder};
+use pramsim::machine::{programs, Mode, Pram};
 use pramsim::mot::{primitives, MotTopology};
 
 fn main() {
@@ -43,7 +43,10 @@ fn main() {
     // --- 2. P-RAM program over simulated shared memory ------------------
     let n = rows * cols;
     let m = programs::matvec_layout(rows, cols);
-    let mut shared = Hp2dmotLeaves::for_pram(n, m);
+    let mut shared = SimBuilder::new(n, m)
+        .kind(SchemeKind::Hp2dmotLeaves)
+        .build()
+        .expect("default fine-grain regime is feasible");
     for (idx, &v) in a.iter().enumerate() {
         shared.poke(idx, v);
     }
@@ -51,7 +54,7 @@ fn main() {
         shared.poke(rows * cols + j, v);
     }
     let report = Pram::new(n, Mode::Crew)
-        .run(&programs::matvec(rows, cols), &mut shared)
+        .run(&programs::matvec(rows, cols), shared.as_mut())
         .expect("matvec program is CREW-clean");
     let y_base = 2 * rows * cols + cols;
     let y_pram: Vec<i64> = (0..rows).map(|i| shared.peek(y_base + i)).collect();
@@ -59,9 +62,7 @@ fn main() {
     println!(
         "P-RAM on HP 2DMOT (Thm 3) : same y in {} simulated cycles \
          ({} protocol phases over {} shared steps)",
-        report.cost.cycles,
-        report.cost.phases,
-        report.shared_steps,
+        report.cost.cycles, report.cost.phases, report.shared_steps,
     );
 
     let slowdown = report.cost.cycles as f64 / native_cycles as f64;

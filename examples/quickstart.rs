@@ -9,11 +9,17 @@
 //! (b) the Theorem 2 DMMPC scheme, and (c) the Theorem 3 2DMOT scheme, and
 //! shows that the results agree while the realistic machines pay measured
 //! phases/cycles per step.
+//!
+//! Scheme (b) goes through [`SimBuilder`] — the canonical construction
+//! path. Scheme (c) demonstrates the power-user path: a builder-validated
+//! [`SchemeConfig`] handed to the concrete type, which exposes
+//! interconnect diagnostics (`side`, `switches`) the uniform [`Scheme`]
+//! trait deliberately leaves out.
 
-use pramsim::core::{Hp2dmotLeaves, HpDmmpc};
+use pramsim::core::{Hp2dmotLeaves, SchemeKind, SimBuilder};
 use pramsim::machine::{programs, IdealMemory, Mode, Pram, SharedMemory};
 
-fn run_prefix_sum<M: SharedMemory>(mem: &mut M, n: usize) -> (Vec<i64>, u64, u64) {
+fn run_prefix_sum(mem: &mut dyn SharedMemory, n: usize) -> (Vec<i64>, u64, u64) {
     // input[i] = i + 1  ->  prefix[i] = (i+1)(i+2)/2
     for i in 0..n {
         mem.poke(i, (i + 1) as i64);
@@ -37,17 +43,27 @@ fn main() {
     assert_eq!(got, expect);
     println!("ideal P-RAM        : correct, {phases:>5} phases, {cycles:>6} cycles (unit-cost)");
 
-    let mut dmmpc = HpDmmpc::for_pram(n, m);
+    // The canonical path: one validated builder for any scheme in the zoo.
+    let mut dmmpc = SimBuilder::new(n, m)
+        .kind(SchemeKind::HpDmmpc)
+        .build()
+        .expect("default fine-grain regime is feasible");
     let r = dmmpc.redundancy();
-    let modules = dmmpc.config().modules;
-    let (got, phases, cycles) = run_prefix_sum(&mut dmmpc, n);
+    let modules = dmmpc.modules();
+    let (got, phases, cycles) = run_prefix_sum(dmmpc.as_mut(), n);
     assert_eq!(got, expect);
     println!(
         "HP DMMPC (Thm 2)   : correct, {phases:>5} phases, {cycles:>6} cycles \
-         (r = {r} copies, M = {modules} modules)"
+         (r = {r:.0} copies, M = {modules} modules)"
     );
 
-    let mut motm = Hp2dmotLeaves::for_pram(n, m);
+    // The power-user path: validate through the builder, construct the
+    // concrete type for interconnect-specific diagnostics.
+    let cfg = SimBuilder::new(n, m)
+        .kind(SchemeKind::Hp2dmotLeaves)
+        .fine_config()
+        .expect("default fine-grain regime is feasible");
+    let mut motm = Hp2dmotLeaves::new(&cfg);
     let side = motm.side();
     let switches = motm.switches();
     let (got, phases, cycles) = run_prefix_sum(&mut motm, n);

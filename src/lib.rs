@@ -15,31 +15,50 @@
 //! * [`galois`] / [`ida`] — GF(2^16) and Rabin's information dispersal
 //!   (Schuster's alternative scheme);
 //! * [`core`] — the simulation schemes themselves (the paper's
-//!   contribution plus all baselines);
+//!   contribution plus all baselines), unified behind the object-safe
+//!   [`core::Scheme`] trait and constructed via [`core::SimBuilder`];
 //! * [`workloads`] / [`metrics`] — experiment support.
 //!
-//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
-//! paper-vs-measured record.
+//! See `DESIGN.md` for the crate inventory and the experiment index, and
+//! `README.md` for the tour.
 //!
 //! ## Quickstart
 //!
+//! Every scheme in the zoo is built through one validated path —
+//! [`core::SimBuilder`] — and driven through `Box<dyn Scheme>`:
+//!
 //! ```
-//! use pramsim::machine::{Mode, Pram, SharedMemory, programs};
-//! use pramsim::core::{SchemeConfig, HpDmmpc};
+//! use pramsim::core::{Scheme, SchemeKind, SimBuilder};
+//! use pramsim::machine::{programs, Mode, Pram};
 //!
 //! // An 8-processor EREW P-RAM program (tree-sum), executed through the
 //! // paper's constant-redundancy DMMPC scheme (Theorem 2).
 //! let n = 8;
-//! let cfg = SchemeConfig::for_pram(n, programs::parallel_sum_layout(n));
-//! let mut shared = HpDmmpc::new(&cfg);
+//! let m = programs::parallel_sum_layout(n);
+//! let mut shared = SimBuilder::new(n, m)
+//!     .kind(SchemeKind::HpDmmpc)
+//!     .build()
+//!     .expect("default fine-grain regime is feasible");
 //! for i in 0..n {
 //!     shared.poke(i, (i + 1) as i64);
 //! }
 //! Pram::new(n, Mode::Erew)
-//!     .run(&programs::parallel_sum(n), &mut shared)
+//!     .run(&programs::parallel_sum(n), shared.as_mut())
 //!     .unwrap();
 //! assert_eq!(shared.peek(0), 36);
+//!
+//! // The same loop runs the whole zoo — that is the point of the trait.
+//! for kind in SchemeKind::ALL {
+//!     let mut s = SimBuilder::new(n, 64).kind(kind).build().unwrap();
+//!     s.access(&[], &[(0, 7)]);
+//!     assert_eq!(s.access(&[0], &[]).read_values, vec![7], "{kind}");
+//! }
 //! ```
+//!
+//! Power users who need knobs the builder does not expose (e.g.
+//! `stage1_phases` ablations) can validate a config through
+//! [`core::SimBuilder::fine_config`] and hand it to a concrete type such
+//! as [`core::HpDmmpc::new`] — see `examples/quickstart.rs`.
 
 pub use cr_core as core;
 pub use galois;

@@ -1,12 +1,15 @@
 //! Smoke tests: the experiment harness must run and report the expected
-//! qualitative outcomes (the "shape" claims of EXPERIMENTS.md).
+//! qualitative outcomes (the "shape" claims of DESIGN.md §4).
 //!
 //! The heavyweight scaling experiments (E4/E5) are exercised at full size
 //! only by the `repro` binary; here we assert the cheap ones end-to-end.
 
+use pram_bench::RunCtx;
+use pramsim::core::SchemeKind;
+
 #[test]
 fn e1_models_table_lists_all_five() {
-    let out = pram_bench::model_zoo::run(1);
+    let out = pram_bench::model_zoo::run(&RunCtx::seeded(1));
     for name in ["P-RAM", "MPC", "BDN", "DMMPC", "DMBDN"] {
         assert!(out.contains(name), "missing {name} in:\n{out}");
     }
@@ -15,58 +18,107 @@ fn e1_models_table_lists_all_five() {
 
 #[test]
 fn e3_lower_bound_shows_granularity_cliff() {
-    let out = pram_bench::lowerbound::run(2);
+    let out = pram_bench::lowerbound::run(&RunCtx::seeded(2));
     assert!(out.contains("Theorem 1"));
     // The r=1, M=64 row forces time 64; the fine-grain rows collapse.
-    assert!(out.contains("64.0"), "coarse r=1 must force ~n time:\n{out}");
+    assert!(
+        out.contains("64.0"),
+        "coarse r=1 must force ~n time:\n{out}"
+    );
 }
 
 #[test]
 fn e6_crossbar_ratio_grows() {
-    let out = pram_bench::crossbar::run(3);
+    let out = pram_bench::crossbar::run(&RunCtx::seeded(3));
     assert!(out.contains("crossbar switches"));
 }
 
 #[test]
 fn e7_area_reaches_optimality() {
-    let out = pram_bench::area::run(4);
-    assert!(out.contains("true"), "some configuration must be area-optimal:\n{out}");
-    assert!(out.contains("false"), "some configuration must pay overhead:\n{out}");
+    let out = pram_bench::area::run(&RunCtx::seeded(4));
+    assert!(
+        out.contains("true"),
+        "some configuration must be area-optimal:\n{out}"
+    );
+    assert!(
+        out.contains("false"),
+        "some configuration must pay overhead:\n{out}"
+    );
 }
 
 #[test]
 fn e9_redundancy_hp_constant_uw_growing() {
-    let out = pram_bench::redundancy::run(5);
+    let out = pram_bench::redundancy::run(&RunCtx::seeded(5));
     // HP column is the Lemma-2 constant (15 for k=2, eps=0.5, b=4).
     assert!(out.contains("15"));
     // UW at n = 2^20 has grown past HP.
-    assert!(out.contains("27"), "UW redundancy must reach 27 at 2^20:\n{out}");
+    assert!(
+        out.contains("27"),
+        "UW redundancy must reach 27 at 2^20:\n{out}"
+    );
 }
 
 #[test]
 fn e12_matvec_correct_at_all_sides() {
-    let out = pram_bench::matvec::run(6);
-    assert!(!out.contains("false"), "native matvec must be correct:\n{out}");
+    let out = pram_bench::matvec::run(&RunCtx::seeded(6));
+    assert!(
+        !out.contains("false"),
+        "native matvec must be correct:\n{out}"
+    );
 }
 
 #[test]
 fn e8_ida_blowup_constant() {
-    let out = pram_bench::ida_exp::run(7);
-    assert!(out.matches("1.50").count() >= 4, "blowup must be 1.5 at every n:\n{out}");
+    let out = pram_bench::ida_exp::run(&RunCtx::seeded(7));
+    assert!(
+        out.matches("1.50").count() >= 4,
+        "blowup must be 1.5 at every n:\n{out}"
+    );
 }
 
 #[test]
 fn e11_hashing_adversary_beats_average() {
-    let out = pram_bench::hashing::run(8);
+    let out = pram_bench::hashing::run(&RunCtx::seeded(8));
     assert!(out.contains("adversarial"));
+}
+
+#[test]
+fn e13_sweep_covers_requested_schemes() {
+    // The full zoo...
+    let out = pram_bench::sweep::run(&RunCtx::seeded(9));
+    for kind in SchemeKind::ALL {
+        assert!(out.contains(kind.name()), "sweep must cover {kind}:\n{out}");
+    }
+    // ...and the --scheme restriction honors the subset.
+    let only = RunCtx::seeded(9).with_schemes(vec![SchemeKind::Hashed, SchemeKind::Ida]);
+    let out = pram_bench::sweep::run(&only);
+    assert!(out.contains("hashed") && out.contains("ida"));
+    assert!(
+        !out.contains("uw-mpc"),
+        "unrequested schemes must not run:\n{out}"
+    );
+}
+
+#[test]
+fn programs_e2e_all_schemes_correct() {
+    let ctx = RunCtx::seeded(10).with_schemes(vec![
+        SchemeKind::HpDmmpc,
+        SchemeKind::Hashed,
+        SchemeKind::Ida,
+    ]);
+    let out = pram_bench::programs_e2e::run(&ctx);
+    assert!(
+        !out.contains("false"),
+        "every scheme must match the ideal result:\n{out}"
+    );
 }
 
 #[test]
 fn registry_is_complete_and_unique() {
     let reg = pram_bench::registry();
-    assert_eq!(reg.len(), 13);
+    assert_eq!(reg.len(), 14);
     let mut ids: Vec<&str> = reg.iter().map(|&(id, _, _)| id).collect();
     ids.sort_unstable();
     ids.dedup();
-    assert_eq!(ids.len(), 13, "experiment ids must be unique");
+    assert_eq!(ids.len(), 14, "experiment ids must be unique");
 }
