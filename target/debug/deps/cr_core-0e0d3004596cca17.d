@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cr_core-0e0d3004596cca17.d: crates/core/src/lib.rs crates/core/src/adversary.rs crates/core/src/config.rs crates/core/src/executors.rs crates/core/src/hashed.rs crates/core/src/ida_scheme.rs crates/core/src/majority.rs crates/core/src/protocol.rs crates/core/src/scheme.rs crates/core/src/schemes.rs
+
+/root/repo/target/debug/deps/cr_core-0e0d3004596cca17: crates/core/src/lib.rs crates/core/src/adversary.rs crates/core/src/config.rs crates/core/src/executors.rs crates/core/src/hashed.rs crates/core/src/ida_scheme.rs crates/core/src/majority.rs crates/core/src/protocol.rs crates/core/src/scheme.rs crates/core/src/schemes.rs
+
+crates/core/src/lib.rs:
+crates/core/src/adversary.rs:
+crates/core/src/config.rs:
+crates/core/src/executors.rs:
+crates/core/src/hashed.rs:
+crates/core/src/ida_scheme.rs:
+crates/core/src/majority.rs:
+crates/core/src/protocol.rs:
+crates/core/src/scheme.rs:
+crates/core/src/schemes.rs:

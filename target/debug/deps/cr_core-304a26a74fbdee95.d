@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/cr_core-304a26a74fbdee95.d: crates/core/src/lib.rs crates/core/src/adversary.rs crates/core/src/config.rs crates/core/src/executors.rs crates/core/src/hashed.rs crates/core/src/ida_scheme.rs crates/core/src/majority.rs crates/core/src/protocol.rs crates/core/src/scheme.rs crates/core/src/schemes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcr_core-304a26a74fbdee95.rmeta: crates/core/src/lib.rs crates/core/src/adversary.rs crates/core/src/config.rs crates/core/src/executors.rs crates/core/src/hashed.rs crates/core/src/ida_scheme.rs crates/core/src/majority.rs crates/core/src/protocol.rs crates/core/src/scheme.rs crates/core/src/schemes.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/adversary.rs:
+crates/core/src/config.rs:
+crates/core/src/executors.rs:
+crates/core/src/hashed.rs:
+crates/core/src/ida_scheme.rs:
+crates/core/src/majority.rs:
+crates/core/src/protocol.rs:
+crates/core/src/scheme.rs:
+crates/core/src/schemes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

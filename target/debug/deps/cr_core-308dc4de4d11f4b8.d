@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/cr_core-308dc4de4d11f4b8.d: crates/core/src/lib.rs crates/core/src/adversary.rs crates/core/src/config.rs crates/core/src/executors.rs crates/core/src/hashed.rs crates/core/src/ida_scheme.rs crates/core/src/majority.rs crates/core/src/protocol.rs crates/core/src/scheme.rs crates/core/src/schemes.rs
+
+/root/repo/target/debug/deps/libcr_core-308dc4de4d11f4b8.rlib: crates/core/src/lib.rs crates/core/src/adversary.rs crates/core/src/config.rs crates/core/src/executors.rs crates/core/src/hashed.rs crates/core/src/ida_scheme.rs crates/core/src/majority.rs crates/core/src/protocol.rs crates/core/src/scheme.rs crates/core/src/schemes.rs
+
+/root/repo/target/debug/deps/libcr_core-308dc4de4d11f4b8.rmeta: crates/core/src/lib.rs crates/core/src/adversary.rs crates/core/src/config.rs crates/core/src/executors.rs crates/core/src/hashed.rs crates/core/src/ida_scheme.rs crates/core/src/majority.rs crates/core/src/protocol.rs crates/core/src/scheme.rs crates/core/src/schemes.rs
+
+crates/core/src/lib.rs:
+crates/core/src/adversary.rs:
+crates/core/src/config.rs:
+crates/core/src/executors.rs:
+crates/core/src/hashed.rs:
+crates/core/src/ida_scheme.rs:
+crates/core/src/majority.rs:
+crates/core/src/protocol.rs:
+crates/core/src/scheme.rs:
+crates/core/src/schemes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments_smoke-b92eb27ada75240e.d: tests/experiments_smoke.rs
+
+/root/repo/target/debug/deps/experiments_smoke-b92eb27ada75240e: tests/experiments_smoke.rs
+
+tests/experiments_smoke.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/galois-196f55d16070becd.d: crates/galois/src/lib.rs crates/galois/src/matrix.rs
+
+/root/repo/target/debug/deps/libgalois-196f55d16070becd.rlib: crates/galois/src/lib.rs crates/galois/src/matrix.rs
+
+/root/repo/target/debug/deps/libgalois-196f55d16070becd.rmeta: crates/galois/src/lib.rs crates/galois/src/matrix.rs
+
+crates/galois/src/lib.rs:
+crates/galois/src/matrix.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/galois-3d0e4d0f340019d8.d: crates/galois/src/lib.rs crates/galois/src/matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgalois-3d0e4d0f340019d8.rmeta: crates/galois/src/lib.rs crates/galois/src/matrix.rs Cargo.toml
+
+crates/galois/src/lib.rs:
+crates/galois/src/matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/galois-74870ddfe86b1262.d: crates/galois/src/lib.rs crates/galois/src/matrix.rs
+
+/root/repo/target/debug/deps/galois-74870ddfe86b1262: crates/galois/src/lib.rs crates/galois/src/matrix.rs
+
+crates/galois/src/lib.rs:
+crates/galois/src/matrix.rs:

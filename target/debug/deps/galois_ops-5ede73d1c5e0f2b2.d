@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/galois_ops-5ede73d1c5e0f2b2.d: crates/bench/benches/galois_ops.rs
+
+/root/repo/target/debug/deps/galois_ops-5ede73d1c5e0f2b2: crates/bench/benches/galois_ops.rs
+
+crates/bench/benches/galois_ops.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/galois_ops-6c90bc609bc0ae03.d: crates/bench/benches/galois_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgalois_ops-6c90bc609bc0ae03.rmeta: crates/bench/benches/galois_ops.rs Cargo.toml
+
+crates/bench/benches/galois_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

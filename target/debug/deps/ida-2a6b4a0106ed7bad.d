@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ida-2a6b4a0106ed7bad.d: crates/ida/src/lib.rs crates/ida/src/codec.rs crates/ida/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libida-2a6b4a0106ed7bad.rmeta: crates/ida/src/lib.rs crates/ida/src/codec.rs crates/ida/src/store.rs Cargo.toml
+
+crates/ida/src/lib.rs:
+crates/ida/src/codec.rs:
+crates/ida/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ida-564571b217278efb.d: crates/ida/src/lib.rs crates/ida/src/codec.rs crates/ida/src/store.rs
+
+/root/repo/target/debug/deps/ida-564571b217278efb: crates/ida/src/lib.rs crates/ida/src/codec.rs crates/ida/src/store.rs
+
+crates/ida/src/lib.rs:
+crates/ida/src/codec.rs:
+crates/ida/src/store.rs:

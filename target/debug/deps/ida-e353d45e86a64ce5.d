@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ida-e353d45e86a64ce5.d: crates/ida/src/lib.rs crates/ida/src/codec.rs crates/ida/src/store.rs
+
+/root/repo/target/debug/deps/libida-e353d45e86a64ce5.rlib: crates/ida/src/lib.rs crates/ida/src/codec.rs crates/ida/src/store.rs
+
+/root/repo/target/debug/deps/libida-e353d45e86a64ce5.rmeta: crates/ida/src/lib.rs crates/ida/src/codec.rs crates/ida/src/store.rs
+
+crates/ida/src/lib.rs:
+crates/ida/src/codec.rs:
+crates/ida/src/store.rs:

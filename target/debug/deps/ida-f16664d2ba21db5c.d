@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ida-f16664d2ba21db5c.d: crates/ida/src/lib.rs crates/ida/src/codec.rs crates/ida/src/store.rs
+
+/root/repo/target/debug/deps/ida-f16664d2ba21db5c: crates/ida/src/lib.rs crates/ida/src/codec.rs crates/ida/src/store.rs
+
+crates/ida/src/lib.rs:
+crates/ida/src/codec.rs:
+crates/ida/src/store.rs:

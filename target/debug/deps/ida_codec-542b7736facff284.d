@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ida_codec-542b7736facff284.d: crates/bench/benches/ida_codec.rs
+
+/root/repo/target/debug/deps/ida_codec-542b7736facff284: crates/bench/benches/ida_codec.rs
+
+crates/bench/benches/ida_codec.rs:

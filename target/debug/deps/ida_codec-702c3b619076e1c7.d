@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ida_codec-702c3b619076e1c7.d: crates/bench/benches/ida_codec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libida_codec-702c3b619076e1c7.rmeta: crates/bench/benches/ida_codec.rs Cargo.toml
+
+crates/bench/benches/ida_codec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/memdist-764ba2f78097aea1.d: crates/memdist/src/lib.rs crates/memdist/src/cluster.rs crates/memdist/src/expansion.rs crates/memdist/src/map.rs crates/memdist/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemdist-764ba2f78097aea1.rmeta: crates/memdist/src/lib.rs crates/memdist/src/cluster.rs crates/memdist/src/expansion.rs crates/memdist/src/map.rs crates/memdist/src/store.rs Cargo.toml
+
+crates/memdist/src/lib.rs:
+crates/memdist/src/cluster.rs:
+crates/memdist/src/expansion.rs:
+crates/memdist/src/map.rs:
+crates/memdist/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/memdist-9aeda0ea845e1de8.d: crates/memdist/src/lib.rs crates/memdist/src/cluster.rs crates/memdist/src/expansion.rs crates/memdist/src/map.rs crates/memdist/src/store.rs
+
+/root/repo/target/debug/deps/libmemdist-9aeda0ea845e1de8.rlib: crates/memdist/src/lib.rs crates/memdist/src/cluster.rs crates/memdist/src/expansion.rs crates/memdist/src/map.rs crates/memdist/src/store.rs
+
+/root/repo/target/debug/deps/libmemdist-9aeda0ea845e1de8.rmeta: crates/memdist/src/lib.rs crates/memdist/src/cluster.rs crates/memdist/src/expansion.rs crates/memdist/src/map.rs crates/memdist/src/store.rs
+
+crates/memdist/src/lib.rs:
+crates/memdist/src/cluster.rs:
+crates/memdist/src/expansion.rs:
+crates/memdist/src/map.rs:
+crates/memdist/src/store.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/memdist-eb77402405be81be.d: crates/memdist/src/lib.rs crates/memdist/src/cluster.rs crates/memdist/src/expansion.rs crates/memdist/src/map.rs crates/memdist/src/store.rs
+
+/root/repo/target/debug/deps/memdist-eb77402405be81be: crates/memdist/src/lib.rs crates/memdist/src/cluster.rs crates/memdist/src/expansion.rs crates/memdist/src/map.rs crates/memdist/src/store.rs
+
+crates/memdist/src/lib.rs:
+crates/memdist/src/cluster.rs:
+crates/memdist/src/expansion.rs:
+crates/memdist/src/map.rs:
+crates/memdist/src/store.rs:

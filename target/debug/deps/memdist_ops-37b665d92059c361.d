@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/memdist_ops-37b665d92059c361.d: crates/bench/benches/memdist_ops.rs
+
+/root/repo/target/debug/deps/memdist_ops-37b665d92059c361: crates/bench/benches/memdist_ops.rs
+
+crates/bench/benches/memdist_ops.rs:

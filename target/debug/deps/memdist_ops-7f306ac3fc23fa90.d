@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/memdist_ops-7f306ac3fc23fa90.d: crates/bench/benches/memdist_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemdist_ops-7f306ac3fc23fa90.rmeta: crates/bench/benches/memdist_ops.rs Cargo.toml
+
+crates/bench/benches/memdist_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/metrics-2f9ff44285b3573d.d: crates/metrics/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmetrics-2f9ff44285b3573d.rmeta: crates/metrics/src/lib.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/metrics-632417d4a48c48f7.d: crates/metrics/src/lib.rs
+
+/root/repo/target/debug/deps/libmetrics-632417d4a48c48f7.rlib: crates/metrics/src/lib.rs
+
+/root/repo/target/debug/deps/libmetrics-632417d4a48c48f7.rmeta: crates/metrics/src/lib.rs
+
+crates/metrics/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/metrics-9649c244937305c3.d: crates/metrics/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmetrics-9649c244937305c3.rmeta: crates/metrics/src/lib.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

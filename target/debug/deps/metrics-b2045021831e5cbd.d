@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/metrics-b2045021831e5cbd.d: crates/metrics/src/lib.rs
+
+/root/repo/target/debug/deps/metrics-b2045021831e5cbd: crates/metrics/src/lib.rs
+
+crates/metrics/src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/models-0d667a6fa2f039fa.d: crates/models/src/lib.rs crates/models/src/params.rs
+
+/root/repo/target/debug/deps/models-0d667a6fa2f039fa: crates/models/src/lib.rs crates/models/src/params.rs
+
+crates/models/src/lib.rs:
+crates/models/src/params.rs:

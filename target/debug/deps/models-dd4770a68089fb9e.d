@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/models-dd4770a68089fb9e.d: crates/models/src/lib.rs crates/models/src/params.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodels-dd4770a68089fb9e.rmeta: crates/models/src/lib.rs crates/models/src/params.rs Cargo.toml
+
+crates/models/src/lib.rs:
+crates/models/src/params.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/models-f8f41744d31cd89d.d: crates/models/src/lib.rs crates/models/src/params.rs
+
+/root/repo/target/debug/deps/libmodels-f8f41744d31cd89d.rlib: crates/models/src/lib.rs crates/models/src/params.rs
+
+/root/repo/target/debug/deps/libmodels-f8f41744d31cd89d.rmeta: crates/models/src/lib.rs crates/models/src/params.rs
+
+crates/models/src/lib.rs:
+crates/models/src/params.rs:

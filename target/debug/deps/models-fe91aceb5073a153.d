@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/models-fe91aceb5073a153.d: crates/models/src/lib.rs crates/models/src/params.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodels-fe91aceb5073a153.rmeta: crates/models/src/lib.rs crates/models/src/params.rs Cargo.toml
+
+crates/models/src/lib.rs:
+crates/models/src/params.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

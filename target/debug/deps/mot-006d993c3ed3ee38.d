@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mot-006d993c3ed3ee38.d: crates/mot/src/lib.rs crates/mot/src/area.rs crates/mot/src/network.rs crates/mot/src/primitives.rs crates/mot/src/topology.rs
+
+/root/repo/target/debug/deps/libmot-006d993c3ed3ee38.rlib: crates/mot/src/lib.rs crates/mot/src/area.rs crates/mot/src/network.rs crates/mot/src/primitives.rs crates/mot/src/topology.rs
+
+/root/repo/target/debug/deps/libmot-006d993c3ed3ee38.rmeta: crates/mot/src/lib.rs crates/mot/src/area.rs crates/mot/src/network.rs crates/mot/src/primitives.rs crates/mot/src/topology.rs
+
+crates/mot/src/lib.rs:
+crates/mot/src/area.rs:
+crates/mot/src/network.rs:
+crates/mot/src/primitives.rs:
+crates/mot/src/topology.rs:

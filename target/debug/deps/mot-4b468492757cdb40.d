@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mot-4b468492757cdb40.d: crates/mot/src/lib.rs crates/mot/src/area.rs crates/mot/src/network.rs crates/mot/src/primitives.rs crates/mot/src/topology.rs
+
+/root/repo/target/debug/deps/mot-4b468492757cdb40: crates/mot/src/lib.rs crates/mot/src/area.rs crates/mot/src/network.rs crates/mot/src/primitives.rs crates/mot/src/topology.rs
+
+crates/mot/src/lib.rs:
+crates/mot/src/area.rs:
+crates/mot/src/network.rs:
+crates/mot/src/primitives.rs:
+crates/mot/src/topology.rs:

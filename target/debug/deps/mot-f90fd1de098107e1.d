@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mot-f90fd1de098107e1.d: crates/mot/src/lib.rs crates/mot/src/area.rs crates/mot/src/network.rs crates/mot/src/primitives.rs crates/mot/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmot-f90fd1de098107e1.rmeta: crates/mot/src/lib.rs crates/mot/src/area.rs crates/mot/src/network.rs crates/mot/src/primitives.rs crates/mot/src/topology.rs Cargo.toml
+
+crates/mot/src/lib.rs:
+crates/mot/src/area.rs:
+crates/mot/src/network.rs:
+crates/mot/src/primitives.rs:
+crates/mot/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mot_routing-3a4545b9eb58e4d7.d: crates/bench/benches/mot_routing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmot_routing-3a4545b9eb58e4d7.rmeta: crates/bench/benches/mot_routing.rs Cargo.toml
+
+crates/bench/benches/mot_routing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

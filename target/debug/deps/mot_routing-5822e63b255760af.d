@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mot_routing-5822e63b255760af.d: crates/bench/benches/mot_routing.rs
+
+/root/repo/target/debug/deps/mot_routing-5822e63b255760af: crates/bench/benches/mot_routing.rs
+
+crates/bench/benches/mot_routing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/netsim-4fcac911818813e6.d: crates/netsim/src/lib.rs
+
+/root/repo/target/debug/deps/netsim-4fcac911818813e6: crates/netsim/src/lib.rs
+
+crates/netsim/src/lib.rs:

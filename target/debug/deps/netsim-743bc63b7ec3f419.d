@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/netsim-743bc63b7ec3f419.d: crates/netsim/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetsim-743bc63b7ec3f419.rmeta: crates/netsim/src/lib.rs Cargo.toml
+
+crates/netsim/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

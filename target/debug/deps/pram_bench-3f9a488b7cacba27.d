@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pram_bench-3f9a488b7cacba27.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpram_bench-3f9a488b7cacba27.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/pram_bench-4c470634a3fbe531.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/debug/deps/pram_bench-4c470634a3fbe531: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pram_bench-b434e4d4f63ba249.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/debug/deps/libpram_bench-b434e4d4f63ba249.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/debug/deps/libpram_bench-b434e4d4f63ba249.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pram_machine-8a692f99311a0c58.d: crates/pram-machine/src/lib.rs crates/pram-machine/src/instr.rs crates/pram-machine/src/machine.rs crates/pram-machine/src/memory.rs crates/pram-machine/src/program.rs crates/pram-machine/src/programs.rs crates/pram-machine/src/types.rs
+
+/root/repo/target/debug/deps/pram_machine-8a692f99311a0c58: crates/pram-machine/src/lib.rs crates/pram-machine/src/instr.rs crates/pram-machine/src/machine.rs crates/pram-machine/src/memory.rs crates/pram-machine/src/program.rs crates/pram-machine/src/programs.rs crates/pram-machine/src/types.rs
+
+crates/pram-machine/src/lib.rs:
+crates/pram-machine/src/instr.rs:
+crates/pram-machine/src/machine.rs:
+crates/pram-machine/src/memory.rs:
+crates/pram-machine/src/program.rs:
+crates/pram-machine/src/programs.rs:
+crates/pram-machine/src/types.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pram_machine-977a72f549ef087b.d: crates/pram-machine/src/lib.rs crates/pram-machine/src/instr.rs crates/pram-machine/src/machine.rs crates/pram-machine/src/memory.rs crates/pram-machine/src/program.rs crates/pram-machine/src/programs.rs crates/pram-machine/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpram_machine-977a72f549ef087b.rmeta: crates/pram-machine/src/lib.rs crates/pram-machine/src/instr.rs crates/pram-machine/src/machine.rs crates/pram-machine/src/memory.rs crates/pram-machine/src/program.rs crates/pram-machine/src/programs.rs crates/pram-machine/src/types.rs Cargo.toml
+
+crates/pram-machine/src/lib.rs:
+crates/pram-machine/src/instr.rs:
+crates/pram-machine/src/machine.rs:
+crates/pram-machine/src/memory.rs:
+crates/pram-machine/src/program.rs:
+crates/pram-machine/src/programs.rs:
+crates/pram-machine/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pram_machine-e220efb365548493.d: crates/pram-machine/src/lib.rs crates/pram-machine/src/instr.rs crates/pram-machine/src/machine.rs crates/pram-machine/src/memory.rs crates/pram-machine/src/program.rs crates/pram-machine/src/programs.rs crates/pram-machine/src/types.rs
+
+/root/repo/target/debug/deps/libpram_machine-e220efb365548493.rlib: crates/pram-machine/src/lib.rs crates/pram-machine/src/instr.rs crates/pram-machine/src/machine.rs crates/pram-machine/src/memory.rs crates/pram-machine/src/program.rs crates/pram-machine/src/programs.rs crates/pram-machine/src/types.rs
+
+/root/repo/target/debug/deps/libpram_machine-e220efb365548493.rmeta: crates/pram-machine/src/lib.rs crates/pram-machine/src/instr.rs crates/pram-machine/src/machine.rs crates/pram-machine/src/memory.rs crates/pram-machine/src/program.rs crates/pram-machine/src/programs.rs crates/pram-machine/src/types.rs
+
+crates/pram-machine/src/lib.rs:
+crates/pram-machine/src/instr.rs:
+crates/pram-machine/src/machine.rs:
+crates/pram-machine/src/memory.rs:
+crates/pram-machine/src/program.rs:
+crates/pram-machine/src/programs.rs:
+crates/pram-machine/src/types.rs:

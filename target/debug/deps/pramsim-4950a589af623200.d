@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pramsim-4950a589af623200.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpramsim-4950a589af623200.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpramsim-4950a589af623200.rmeta: src/lib.rs
+
+src/lib.rs:

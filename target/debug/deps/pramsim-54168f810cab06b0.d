@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pramsim-54168f810cab06b0.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpramsim-54168f810cab06b0.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pramsim-b56af63820e77a04.d: src/lib.rs
+
+/root/repo/target/debug/deps/pramsim-b56af63820e77a04: src/lib.rs
+
+src/lib.rs:

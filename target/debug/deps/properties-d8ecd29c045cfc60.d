@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d8ecd29c045cfc60.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-d8ecd29c045cfc60: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-2c35b789206de33d.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-2c35b789206de33d: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-9cdf545714493fb0.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-9cdf545714493fb0: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

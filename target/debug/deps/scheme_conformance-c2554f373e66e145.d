@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheme_conformance-c2554f373e66e145.d: tests/scheme_conformance.rs
+
+/root/repo/target/debug/deps/scheme_conformance-c2554f373e66e145: tests/scheme_conformance.rs
+
+tests/scheme_conformance.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheme_conformance-e854fe910eba216a.d: tests/scheme_conformance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheme_conformance-e854fe910eba216a.rmeta: tests/scheme_conformance.rs Cargo.toml
+
+tests/scheme_conformance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

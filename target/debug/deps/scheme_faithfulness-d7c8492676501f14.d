@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheme_faithfulness-d7c8492676501f14.d: tests/scheme_faithfulness.rs
+
+/root/repo/target/debug/deps/scheme_faithfulness-d7c8492676501f14: tests/scheme_faithfulness.rs
+
+tests/scheme_faithfulness.rs:

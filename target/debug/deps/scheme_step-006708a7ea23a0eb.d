@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheme_step-006708a7ea23a0eb.d: crates/bench/benches/scheme_step.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheme_step-006708a7ea23a0eb.rmeta: crates/bench/benches/scheme_step.rs Cargo.toml
+
+crates/bench/benches/scheme_step.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheme_step-98603ca3732ae377.d: crates/bench/benches/scheme_step.rs
+
+/root/repo/target/debug/deps/scheme_step-98603ca3732ae377: crates/bench/benches/scheme_step.rs
+
+crates/bench/benches/scheme_step.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/simrng-3d3161e409517760.d: crates/simrng/src/lib.rs crates/simrng/src/splitmix.rs crates/simrng/src/xoshiro.rs
+
+/root/repo/target/debug/deps/simrng-3d3161e409517760: crates/simrng/src/lib.rs crates/simrng/src/splitmix.rs crates/simrng/src/xoshiro.rs
+
+crates/simrng/src/lib.rs:
+crates/simrng/src/splitmix.rs:
+crates/simrng/src/xoshiro.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/simrng-54cdefbe52953204.d: crates/simrng/src/lib.rs crates/simrng/src/splitmix.rs crates/simrng/src/xoshiro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimrng-54cdefbe52953204.rmeta: crates/simrng/src/lib.rs crates/simrng/src/splitmix.rs crates/simrng/src/xoshiro.rs Cargo.toml
+
+crates/simrng/src/lib.rs:
+crates/simrng/src/splitmix.rs:
+crates/simrng/src/xoshiro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

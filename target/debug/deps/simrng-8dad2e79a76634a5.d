@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/simrng-8dad2e79a76634a5.d: crates/simrng/src/lib.rs crates/simrng/src/splitmix.rs crates/simrng/src/xoshiro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimrng-8dad2e79a76634a5.rmeta: crates/simrng/src/lib.rs crates/simrng/src/splitmix.rs crates/simrng/src/xoshiro.rs Cargo.toml
+
+crates/simrng/src/lib.rs:
+crates/simrng/src/splitmix.rs:
+crates/simrng/src/xoshiro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

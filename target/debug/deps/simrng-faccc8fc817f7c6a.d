@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simrng-faccc8fc817f7c6a.d: crates/simrng/src/lib.rs crates/simrng/src/splitmix.rs crates/simrng/src/xoshiro.rs
+
+/root/repo/target/debug/deps/libsimrng-faccc8fc817f7c6a.rlib: crates/simrng/src/lib.rs crates/simrng/src/splitmix.rs crates/simrng/src/xoshiro.rs
+
+/root/repo/target/debug/deps/libsimrng-faccc8fc817f7c6a.rmeta: crates/simrng/src/lib.rs crates/simrng/src/splitmix.rs crates/simrng/src/xoshiro.rs
+
+crates/simrng/src/lib.rs:
+crates/simrng/src/splitmix.rs:
+crates/simrng/src/xoshiro.rs:

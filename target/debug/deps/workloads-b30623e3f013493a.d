@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workloads-b30623e3f013493a.d: crates/workloads/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkloads-b30623e3f013493a.rmeta: crates/workloads/src/lib.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

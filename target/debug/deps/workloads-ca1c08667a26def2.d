@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workloads-ca1c08667a26def2.d: crates/workloads/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkloads-ca1c08667a26def2.rmeta: crates/workloads/src/lib.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

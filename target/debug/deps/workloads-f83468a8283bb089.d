@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/workloads-f83468a8283bb089.d: crates/workloads/src/lib.rs
+
+/root/repo/target/debug/deps/libworkloads-f83468a8283bb089.rlib: crates/workloads/src/lib.rs
+
+/root/repo/target/debug/deps/libworkloads-f83468a8283bb089.rmeta: crates/workloads/src/lib.rs
+
+crates/workloads/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workloads-fb885b309af9b887.d: crates/workloads/src/lib.rs
+
+/root/repo/target/debug/deps/workloads-fb885b309af9b887: crates/workloads/src/lib.rs
+
+crates/workloads/src/lib.rs:

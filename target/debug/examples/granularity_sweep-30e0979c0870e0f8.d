@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/granularity_sweep-30e0979c0870e0f8.d: examples/granularity_sweep.rs
+
+/root/repo/target/debug/examples/granularity_sweep-30e0979c0870e0f8: examples/granularity_sweep.rs
+
+examples/granularity_sweep.rs:

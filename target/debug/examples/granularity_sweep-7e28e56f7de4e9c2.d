@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/granularity_sweep-7e28e56f7de4e9c2.d: examples/granularity_sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgranularity_sweep-7e28e56f7de4e9c2.rmeta: examples/granularity_sweep.rs Cargo.toml
+
+examples/granularity_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

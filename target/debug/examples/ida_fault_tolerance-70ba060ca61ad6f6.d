@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ida_fault_tolerance-70ba060ca61ad6f6.d: examples/ida_fault_tolerance.rs Cargo.toml
+
+/root/repo/target/debug/examples/libida_fault_tolerance-70ba060ca61ad6f6.rmeta: examples/ida_fault_tolerance.rs Cargo.toml
+
+examples/ida_fault_tolerance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

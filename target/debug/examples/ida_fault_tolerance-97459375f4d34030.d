@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ida_fault_tolerance-97459375f4d34030.d: examples/ida_fault_tolerance.rs
+
+/root/repo/target/debug/examples/ida_fault_tolerance-97459375f4d34030: examples/ida_fault_tolerance.rs
+
+examples/ida_fault_tolerance.rs:

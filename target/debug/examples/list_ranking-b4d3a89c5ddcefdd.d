@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/list_ranking-b4d3a89c5ddcefdd.d: examples/list_ranking.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblist_ranking-b4d3a89c5ddcefdd.rmeta: examples/list_ranking.rs Cargo.toml
+
+examples/list_ranking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

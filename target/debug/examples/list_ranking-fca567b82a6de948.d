@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/list_ranking-fca567b82a6de948.d: examples/list_ranking.rs
+
+/root/repo/target/debug/examples/list_ranking-fca567b82a6de948: examples/list_ranking.rs
+
+examples/list_ranking.rs:

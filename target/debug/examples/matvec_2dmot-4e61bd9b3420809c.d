@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/matvec_2dmot-4e61bd9b3420809c.d: examples/matvec_2dmot.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmatvec_2dmot-4e61bd9b3420809c.rmeta: examples/matvec_2dmot.rs Cargo.toml
+
+examples/matvec_2dmot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/matvec_2dmot-7e93b49c84ea99cd.d: examples/matvec_2dmot.rs
+
+/root/repo/target/debug/examples/matvec_2dmot-7e93b49c84ea99cd: examples/matvec_2dmot.rs
+
+examples/matvec_2dmot.rs:

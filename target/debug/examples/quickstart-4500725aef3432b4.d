@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4500725aef3432b4.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4500725aef3432b4: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libgalois.rlib: /root/repo/crates/galois/src/lib.rs /root/repo/crates/galois/src/matrix.rs

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libmetrics.rlib: /root/repo/crates/metrics/src/lib.rs

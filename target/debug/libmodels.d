@@ -1,0 +1,1 @@
+/root/repo/target/debug/libmodels.rlib: /root/repo/crates/models/src/lib.rs /root/repo/crates/models/src/params.rs

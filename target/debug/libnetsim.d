@@ -1,0 +1,1 @@
+/root/repo/target/debug/libnetsim.rlib: /root/repo/crates/netsim/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libsimrng.rlib: /root/repo/crates/simrng/src/lib.rs /root/repo/crates/simrng/src/splitmix.rs /root/repo/crates/simrng/src/xoshiro.rs

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/cr_core-7cf09214370bf617.d: crates/core/src/lib.rs crates/core/src/adversary.rs crates/core/src/config.rs crates/core/src/executors.rs crates/core/src/hashed.rs crates/core/src/ida_scheme.rs crates/core/src/majority.rs crates/core/src/protocol.rs crates/core/src/scheme.rs crates/core/src/schemes.rs
+
+/root/repo/target/release/deps/libcr_core-7cf09214370bf617.rlib: crates/core/src/lib.rs crates/core/src/adversary.rs crates/core/src/config.rs crates/core/src/executors.rs crates/core/src/hashed.rs crates/core/src/ida_scheme.rs crates/core/src/majority.rs crates/core/src/protocol.rs crates/core/src/scheme.rs crates/core/src/schemes.rs
+
+/root/repo/target/release/deps/libcr_core-7cf09214370bf617.rmeta: crates/core/src/lib.rs crates/core/src/adversary.rs crates/core/src/config.rs crates/core/src/executors.rs crates/core/src/hashed.rs crates/core/src/ida_scheme.rs crates/core/src/majority.rs crates/core/src/protocol.rs crates/core/src/scheme.rs crates/core/src/schemes.rs
+
+crates/core/src/lib.rs:
+crates/core/src/adversary.rs:
+crates/core/src/config.rs:
+crates/core/src/executors.rs:
+crates/core/src/hashed.rs:
+crates/core/src/ida_scheme.rs:
+crates/core/src/majority.rs:
+crates/core/src/protocol.rs:
+crates/core/src/scheme.rs:
+crates/core/src/schemes.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/galois-a0b606d7d9f3efc3.d: crates/galois/src/lib.rs crates/galois/src/matrix.rs
+
+/root/repo/target/release/deps/libgalois-a0b606d7d9f3efc3.rlib: crates/galois/src/lib.rs crates/galois/src/matrix.rs
+
+/root/repo/target/release/deps/libgalois-a0b606d7d9f3efc3.rmeta: crates/galois/src/lib.rs crates/galois/src/matrix.rs
+
+crates/galois/src/lib.rs:
+crates/galois/src/matrix.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/galois_ops-a4d498bf23916d82.d: crates/bench/benches/galois_ops.rs
+
+/root/repo/target/release/deps/galois_ops-a4d498bf23916d82: crates/bench/benches/galois_ops.rs
+
+crates/bench/benches/galois_ops.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ida-c02021e809e9b58d.d: crates/ida/src/lib.rs crates/ida/src/codec.rs crates/ida/src/store.rs
+
+/root/repo/target/release/deps/libida-c02021e809e9b58d.rlib: crates/ida/src/lib.rs crates/ida/src/codec.rs crates/ida/src/store.rs
+
+/root/repo/target/release/deps/libida-c02021e809e9b58d.rmeta: crates/ida/src/lib.rs crates/ida/src/codec.rs crates/ida/src/store.rs
+
+crates/ida/src/lib.rs:
+crates/ida/src/codec.rs:
+crates/ida/src/store.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ida_codec-ded0f0ffbf839edf.d: crates/bench/benches/ida_codec.rs
+
+/root/repo/target/release/deps/ida_codec-ded0f0ffbf839edf: crates/bench/benches/ida_codec.rs
+
+crates/bench/benches/ida_codec.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/memdist-e82d6ab1b01fd52b.d: crates/memdist/src/lib.rs crates/memdist/src/cluster.rs crates/memdist/src/expansion.rs crates/memdist/src/map.rs crates/memdist/src/store.rs
+
+/root/repo/target/release/deps/libmemdist-e82d6ab1b01fd52b.rlib: crates/memdist/src/lib.rs crates/memdist/src/cluster.rs crates/memdist/src/expansion.rs crates/memdist/src/map.rs crates/memdist/src/store.rs
+
+/root/repo/target/release/deps/libmemdist-e82d6ab1b01fd52b.rmeta: crates/memdist/src/lib.rs crates/memdist/src/cluster.rs crates/memdist/src/expansion.rs crates/memdist/src/map.rs crates/memdist/src/store.rs
+
+crates/memdist/src/lib.rs:
+crates/memdist/src/cluster.rs:
+crates/memdist/src/expansion.rs:
+crates/memdist/src/map.rs:
+crates/memdist/src/store.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/memdist_ops-ef6555ec5c4c0283.d: crates/bench/benches/memdist_ops.rs
+
+/root/repo/target/release/deps/memdist_ops-ef6555ec5c4c0283: crates/bench/benches/memdist_ops.rs
+
+crates/bench/benches/memdist_ops.rs:

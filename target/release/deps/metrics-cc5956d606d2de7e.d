@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/metrics-cc5956d606d2de7e.d: crates/metrics/src/lib.rs
+
+/root/repo/target/release/deps/libmetrics-cc5956d606d2de7e.rlib: crates/metrics/src/lib.rs
+
+/root/repo/target/release/deps/libmetrics-cc5956d606d2de7e.rmeta: crates/metrics/src/lib.rs
+
+crates/metrics/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/models-9ba87acee64e7898.d: crates/models/src/lib.rs crates/models/src/params.rs
+
+/root/repo/target/release/deps/libmodels-9ba87acee64e7898.rlib: crates/models/src/lib.rs crates/models/src/params.rs
+
+/root/repo/target/release/deps/libmodels-9ba87acee64e7898.rmeta: crates/models/src/lib.rs crates/models/src/params.rs
+
+crates/models/src/lib.rs:
+crates/models/src/params.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mot-5231f0376bb631b6.d: crates/mot/src/lib.rs crates/mot/src/area.rs crates/mot/src/network.rs crates/mot/src/primitives.rs crates/mot/src/topology.rs
+
+/root/repo/target/release/deps/libmot-5231f0376bb631b6.rlib: crates/mot/src/lib.rs crates/mot/src/area.rs crates/mot/src/network.rs crates/mot/src/primitives.rs crates/mot/src/topology.rs
+
+/root/repo/target/release/deps/libmot-5231f0376bb631b6.rmeta: crates/mot/src/lib.rs crates/mot/src/area.rs crates/mot/src/network.rs crates/mot/src/primitives.rs crates/mot/src/topology.rs
+
+crates/mot/src/lib.rs:
+crates/mot/src/area.rs:
+crates/mot/src/network.rs:
+crates/mot/src/primitives.rs:
+crates/mot/src/topology.rs:

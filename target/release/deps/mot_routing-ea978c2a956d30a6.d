@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mot_routing-ea978c2a956d30a6.d: crates/bench/benches/mot_routing.rs
+
+/root/repo/target/release/deps/mot_routing-ea978c2a956d30a6: crates/bench/benches/mot_routing.rs
+
+crates/bench/benches/mot_routing.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/netsim-5f4678d62ab2bafa.d: crates/netsim/src/lib.rs
+
+/root/repo/target/release/deps/libnetsim-5f4678d62ab2bafa.rlib: crates/netsim/src/lib.rs
+
+/root/repo/target/release/deps/libnetsim-5f4678d62ab2bafa.rmeta: crates/netsim/src/lib.rs
+
+crates/netsim/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/pram_bench-7fa2ab9e2fd7d7ec.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/release/deps/libpram_bench-7fa2ab9e2fd7d7ec.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/release/deps/libpram_bench-7fa2ab9e2fd7d7ec.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:

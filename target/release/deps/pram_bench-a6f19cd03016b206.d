@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/pram_bench-a6f19cd03016b206.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/release/deps/pram_bench-a6f19cd03016b206: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:

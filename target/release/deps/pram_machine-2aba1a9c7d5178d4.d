@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/pram_machine-2aba1a9c7d5178d4.d: crates/pram-machine/src/lib.rs crates/pram-machine/src/instr.rs crates/pram-machine/src/machine.rs crates/pram-machine/src/memory.rs crates/pram-machine/src/program.rs crates/pram-machine/src/programs.rs crates/pram-machine/src/types.rs
+
+/root/repo/target/release/deps/libpram_machine-2aba1a9c7d5178d4.rlib: crates/pram-machine/src/lib.rs crates/pram-machine/src/instr.rs crates/pram-machine/src/machine.rs crates/pram-machine/src/memory.rs crates/pram-machine/src/program.rs crates/pram-machine/src/programs.rs crates/pram-machine/src/types.rs
+
+/root/repo/target/release/deps/libpram_machine-2aba1a9c7d5178d4.rmeta: crates/pram-machine/src/lib.rs crates/pram-machine/src/instr.rs crates/pram-machine/src/machine.rs crates/pram-machine/src/memory.rs crates/pram-machine/src/program.rs crates/pram-machine/src/programs.rs crates/pram-machine/src/types.rs
+
+crates/pram-machine/src/lib.rs:
+crates/pram-machine/src/instr.rs:
+crates/pram-machine/src/machine.rs:
+crates/pram-machine/src/memory.rs:
+crates/pram-machine/src/program.rs:
+crates/pram-machine/src/programs.rs:
+crates/pram-machine/src/types.rs:

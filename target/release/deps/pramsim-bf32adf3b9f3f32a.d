@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pramsim-bf32adf3b9f3f32a.d: src/lib.rs
+
+/root/repo/target/release/deps/libpramsim-bf32adf3b9f3f32a.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpramsim-bf32adf3b9f3f32a.rmeta: src/lib.rs
+
+src/lib.rs:

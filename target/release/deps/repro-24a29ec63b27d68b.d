@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-24a29ec63b27d68b.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-24a29ec63b27d68b: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-a6a050f17e9fe5f2.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-a6a050f17e9fe5f2: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scheme_step-46e0ac33607a01dd.d: crates/bench/benches/scheme_step.rs
+
+/root/repo/target/release/deps/scheme_step-46e0ac33607a01dd: crates/bench/benches/scheme_step.rs
+
+crates/bench/benches/scheme_step.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/simrng-b609b7903a359b6c.d: crates/simrng/src/lib.rs crates/simrng/src/splitmix.rs crates/simrng/src/xoshiro.rs
+
+/root/repo/target/release/deps/libsimrng-b609b7903a359b6c.rlib: crates/simrng/src/lib.rs crates/simrng/src/splitmix.rs crates/simrng/src/xoshiro.rs
+
+/root/repo/target/release/deps/libsimrng-b609b7903a359b6c.rmeta: crates/simrng/src/lib.rs crates/simrng/src/splitmix.rs crates/simrng/src/xoshiro.rs
+
+crates/simrng/src/lib.rs:
+crates/simrng/src/splitmix.rs:
+crates/simrng/src/xoshiro.rs:

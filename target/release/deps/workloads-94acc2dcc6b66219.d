@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/workloads-94acc2dcc6b66219.d: crates/workloads/src/lib.rs
+
+/root/repo/target/release/deps/libworkloads-94acc2dcc6b66219.rlib: crates/workloads/src/lib.rs
+
+/root/repo/target/release/deps/libworkloads-94acc2dcc6b66219.rmeta: crates/workloads/src/lib.rs
+
+crates/workloads/src/lib.rs:

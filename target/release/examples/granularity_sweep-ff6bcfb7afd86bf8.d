@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/granularity_sweep-ff6bcfb7afd86bf8.d: examples/granularity_sweep.rs
+
+/root/repo/target/release/examples/granularity_sweep-ff6bcfb7afd86bf8: examples/granularity_sweep.rs
+
+examples/granularity_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/ida_fault_tolerance-50fce07c4de9636b.d: examples/ida_fault_tolerance.rs
+
+/root/repo/target/release/examples/ida_fault_tolerance-50fce07c4de9636b: examples/ida_fault_tolerance.rs
+
+examples/ida_fault_tolerance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/list_ranking-4996c4f941eb10cd.d: examples/list_ranking.rs
+
+/root/repo/target/release/examples/list_ranking-4996c4f941eb10cd: examples/list_ranking.rs
+
+examples/list_ranking.rs:

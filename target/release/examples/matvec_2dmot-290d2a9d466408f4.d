@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/matvec_2dmot-290d2a9d466408f4.d: examples/matvec_2dmot.rs
+
+/root/repo/target/release/examples/matvec_2dmot-290d2a9d466408f4: examples/matvec_2dmot.rs
+
+examples/matvec_2dmot.rs:

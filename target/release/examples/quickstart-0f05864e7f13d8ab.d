@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-0f05864e7f13d8ab.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-0f05864e7f13d8ab: examples/quickstart.rs
+
+examples/quickstart.rs:
