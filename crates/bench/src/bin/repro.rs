@@ -5,17 +5,23 @@
 //! repro dmmpc mot                # selected experiments
 //! repro --seed 7 all             # override the seed
 //! repro --scheme hp-2dmot sweep  # restrict zoo sweeps to one scheme
+//! repro --faults 0.1 --scheme hp-dmmpc
+//!                                # E14 at one fault fraction, full report
+//! repro --faults 0.25 --fault-mode adversarial faults
 //! repro --list                   # list experiment ids and scheme names
 //! ```
 
 use cr_core::SchemeKind;
-use pram_bench::{registry, RunCtx};
+use cr_faults::Placement;
+use pram_bench::{registry, scheme_list_lines, RunCtx};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut seed = simrng::DEFAULT_SEED;
     let mut schemes: Vec<SchemeKind> = Vec::new();
     let mut wanted: Vec<String> = Vec::new();
+    let mut faults: Option<f64> = None;
+    let mut fault_mode = Placement::Random;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -37,23 +43,52 @@ fn main() {
                     }
                 }
             }
+            "--faults" => {
+                i += 1;
+                let f = args
+                    .get(i)
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .filter(|f| (0.0..=1.0).contains(f))
+                    .unwrap_or_else(|| {
+                        eprintln!("--faults needs a fraction in [0, 1]");
+                        std::process::exit(2);
+                    });
+                faults = Some(f);
+            }
+            "--fault-mode" => {
+                i += 1;
+                let name = args.get(i).cloned().unwrap_or_default();
+                fault_mode = name.parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                });
+            }
             "--list" => {
                 println!("experiments:");
                 for (id, desc, _) in registry() {
                     println!("  {id:<12} {desc}");
                 }
                 println!("schemes (for --scheme, repeatable):");
-                for kind in SchemeKind::ALL {
-                    println!("  {:<12} {}", kind.name(), kind.describe());
+                for line in scheme_list_lines() {
+                    println!("  {line}");
                 }
+                println!("fault modes (for --fault-mode): random, adversarial");
                 return;
             }
             other => wanted.push(other.to_string()),
         }
         i += 1;
     }
+    // `repro --faults 0.1 --scheme hp-dmmpc` means: run the fault
+    // experiment — no need to name it.
+    if wanted.is_empty() && faults.is_some() {
+        wanted.push("faults".to_string());
+    }
     if wanted.is_empty() {
-        eprintln!("usage: repro [--seed S] [--scheme NAME]... [--list] <experiment|all>...");
+        eprintln!(
+            "usage: repro [--seed S] [--scheme NAME]... [--faults F] \
+             [--fault-mode random|adversarial] [--list] <experiment|all>..."
+        );
         eprintln!("experiments:");
         for (id, desc, _) in registry() {
             eprintln!("  {id:<12} {desc}");
@@ -65,6 +100,11 @@ fn main() {
     if !schemes.is_empty() {
         ctx = ctx.with_schemes(schemes);
     }
+    // Placement applies to the E14 sweep whether or not the fraction is
+    // pinned: `repro --fault-mode adversarial faults` runs the full sweep
+    // under worst-case placement.
+    ctx.fault_placement = fault_mode;
+    ctx.fault_fraction = faults;
 
     let reg = registry();
     let run_all = wanted.iter().any(|w| w == "all");

@@ -17,6 +17,7 @@ pub mod experiments;
 pub use experiments::*;
 
 use cr_core::SchemeKind;
+use cr_faults::Placement;
 
 /// Everything an experiment run needs to know.
 #[derive(Debug, Clone)]
@@ -25,6 +26,12 @@ pub struct RunCtx {
     pub seed: u64,
     /// Which schemes the zoo-sweeping experiments cover, in order.
     pub schemes: Vec<SchemeKind>,
+    /// Restrict the fault experiment (E14) to one fault fraction instead
+    /// of its default sweep, and print the full per-scheme `FaultReport`s
+    /// (`repro --faults <f>`).
+    pub fault_fraction: Option<f64>,
+    /// Fault placement strategy for E14 (`repro --fault-mode <mode>`).
+    pub fault_placement: Placement,
 }
 
 impl RunCtx {
@@ -33,6 +40,8 @@ impl RunCtx {
         RunCtx {
             seed,
             schemes: SchemeKind::ALL.to_vec(),
+            fault_fraction: None,
+            fault_placement: Placement::Random,
         }
     }
 
@@ -41,6 +50,21 @@ impl RunCtx {
         self.schemes = schemes;
         self
     }
+
+    /// Pin the fault experiment to one fraction and placement.
+    pub fn with_faults(mut self, fraction: f64, placement: Placement) -> Self {
+        self.fault_fraction = Some(fraction);
+        self.fault_placement = placement;
+        self
+    }
+}
+
+/// The `name — description` lines `repro --list` prints for `--scheme`.
+pub fn scheme_list_lines() -> Vec<String> {
+    SchemeKind::ALL
+        .iter()
+        .map(|kind| format!("{:<12} — {}", kind.name(), kind.describe()))
+        .collect()
 }
 
 /// An experiment entry point.
@@ -109,6 +133,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "sweep",
             "E13: uniform steps through the whole scheme zoo",
             experiments::sweep::run,
+        ),
+        (
+            "faults",
+            "E14: fault injection - what constant redundancy buys",
+            experiments::faults::run,
         ),
         (
             "programs",

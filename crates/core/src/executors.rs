@@ -1,6 +1,6 @@
 //! Phase executors: how one protocol phase meets the interconnect.
 
-use crate::protocol::{CopyAttempt, PhaseExecutor, PhaseResult};
+use crate::protocol::{AttemptOutcome, CopyAttempt, PhaseExecutor, PhaseResult};
 use mot::{MotNetwork, MotRequest};
 use pram_machine::StepCost;
 
@@ -37,22 +37,25 @@ impl PhaseExecutor for BipartiteExec {
         }
         self.touched.clear();
         let mut demand = vec![];
-        let mut success = Vec::with_capacity(attempts.len());
+        let mut outcome = Vec::with_capacity(attempts.len());
         for a in attempts {
             debug_assert!(a.module < self.modules);
             if self.load[a.module] == 0 {
                 self.touched.push(a.module);
             }
             self.load[a.module] += 1;
-            let ok = self.load[a.module] <= pipeline as u32;
-            success.push(ok);
+            outcome.push(if self.load[a.module] <= pipeline as u32 {
+                AttemptOutcome::Served
+            } else {
+                AttemptOutcome::Killed
+            });
             demand.push(a.module);
         }
         for &m in &demand {
             self.max_module_demand = self.max_module_demand.max(self.load[m]);
         }
         PhaseResult {
-            success,
+            outcome,
             // A phase on a complete interconnect is one routing round:
             // one time unit, one cycle; message per attempt and reply.
             cost: StepCost {
@@ -104,6 +107,18 @@ impl MotExec {
     pub fn switches(&self) -> usize {
         self.net.topology().switches()
     }
+
+    /// The underlying routed network — mutable, so fault injection can
+    /// kill links ([`MotNetwork::fail_links`] / `fail_random_links`)
+    /// before the executor is handed to a scheme.
+    pub fn network_mut(&mut self) -> &mut MotNetwork<usize> {
+        &mut self.net
+    }
+
+    /// The underlying routed network (read-only diagnostics).
+    pub fn network(&self) -> &MotNetwork<usize> {
+        &self.net
+    }
 }
 
 impl PhaseExecutor for MotExec {
@@ -128,18 +143,34 @@ impl PhaseExecutor for MotExec {
         // each copy slot is touched at most once per step, so order within
         // the phase cannot matter).
         let out = self.net.route_batch(reqs, pipeline, |_, _, _| {});
-        let mut success = vec![false; attempts.len()];
+        let mut outcome = vec![AttemptOutcome::Killed; attempts.len()];
         for s in &out.served {
-            success[s.payload] = true;
+            outcome[s.payload] = AttemptOutcome::Served;
         }
+        // Link-faulted attempts are also Killed, not Dead: the dead link
+        // is permanent, but the *route* is not — the protocol rotates the
+        // issuing cluster member, so a retry of the same copy from a
+        // different source root can route around the fault. Copies that
+        // are unreachable from every source exhaust the protocol's stage-2
+        // budget instead, and the request is written off there (the
+        // executor reports `lossy()`, so that abort is permitted).
+        // `out.faulted` stays distinct in the batch outcome for
+        // diagnostics; timing-wise both kill classes already cost their
+        // measured cycles.
         PhaseResult {
-            success,
+            outcome,
             cost: StepCost {
                 phases: 1,
                 cycles: out.stats.cycles,
                 messages: out.stats.hops,
             },
         }
+    }
+
+    fn lossy(&self) -> bool {
+        // With dead links injected, requests can fail permanently — the
+        // protocol may legitimately end a step below quorum.
+        self.net.dead_links() > 0
     }
 }
 
@@ -158,16 +189,18 @@ mod tests {
         }
     }
 
+    use AttemptOutcome::{Killed, Served};
+
     #[test]
     fn bipartite_serializes_per_module() {
         let mut ex = BipartiteExec::new(8);
         let attempts = vec![attempt(0, 3, 0), attempt(1, 3, 1), attempt(2, 5, 2)];
         let r = ex.execute(&attempts, 1);
-        assert_eq!(r.success, vec![true, false, true]);
+        assert_eq!(r.outcome, vec![Served, Killed, Served]);
         assert_eq!(r.cost.cycles, 1);
         // Pipeline 2 admits both module-3 attempts.
         let r = ex.execute(&attempts, 2);
-        assert_eq!(r.success, vec![true, true, true]);
+        assert_eq!(r.outcome, vec![Served, Served, Served]);
         assert_eq!(ex.max_module_demand, 2);
     }
 
@@ -175,10 +208,10 @@ mod tests {
     fn bipartite_state_resets_between_phases() {
         let mut ex = BipartiteExec::new(4);
         let a = vec![attempt(0, 1, 0)];
-        assert_eq!(ex.execute(&a, 1).success, vec![true]);
+        assert_eq!(ex.execute(&a, 1).outcome, vec![Served]);
         assert_eq!(
-            ex.execute(&a, 1).success,
-            vec![true],
+            ex.execute(&a, 1).outcome,
+            vec![Served],
             "fresh phase, fresh budget"
         );
     }
@@ -189,11 +222,32 @@ mod tests {
         let attempts = vec![attempt(0, 2, 0), attempt(1, 5, 1), attempt(2, 2, 3)];
         let r = ex.execute(&attempts, 1);
         // Two column-2 attempts: one survives.
-        assert_eq!(r.success.iter().filter(|&&s| s).count(), 2);
+        assert_eq!(r.outcome.iter().filter(|&&s| s == Served).count(), 2);
         assert!(r.cost.cycles >= 6 * 3, "full path is 6·depth cycles");
         // Pipelined phase admits both.
         let r = ex.execute(&attempts, 2);
-        assert_eq!(r.success, vec![true, true, true]);
+        assert_eq!(r.outcome, vec![Served, Served, Served]);
+    }
+
+    #[test]
+    fn mot_exec_dead_links_kill_attempts_transiently() {
+        let mut ex = MotExec::leaves(8);
+        // Kill root 0's row-tree down-links: attempts issued *from source
+        // root 0* cannot route — but the same copy retried from another
+        // root could, so the outcome is Killed (retry), never Dead.
+        let root = ex.network().topology().root(0);
+        let dead: Vec<_> = ex.network().topology().graph().out_edges(root).to_vec();
+        ex.network_mut().fail_links(&dead);
+        assert!(ex.lossy(), "dead links permit protocol degradation");
+        let attempts = vec![attempt(0, 2, 0), attempt(1, 5, 1)];
+        let r = ex.execute(&attempts, 1);
+        assert_eq!(r.outcome[0], Killed);
+        assert_eq!(r.outcome[1], Served);
+        // The identical attempt from a live root succeeds — the fault is
+        // per-route, which is why it must not write the copy off.
+        let retry = vec![attempt(0, 2, 3)];
+        let r = ex.execute(&retry, 1);
+        assert_eq!(r.outcome[0], Served);
     }
 
     #[test]

@@ -16,6 +16,12 @@ pub struct IdaShared {
     n: usize,
     modules: usize,
     store: SchusterStore,
+    /// Per-module unavailability mask (fault injection): accesses recover
+    /// from surviving shares; a block with fewer than quorum survivors is
+    /// lost. All-false on a healthy machine.
+    unavailable: Vec<bool>,
+    /// Accesses that found no reachable quorum (lost cells under faults).
+    quorum_failures: u64,
     last: StepReport,
     total: StepReport,
     steps: u64,
@@ -32,11 +38,33 @@ impl IdaShared {
             n,
             modules,
             store: SchusterStore::new(m, modules, b, d),
+            unavailable: vec![false; modules],
+            quorum_failures: 0,
             last: StepReport::default(),
             total: StepReport::default(),
             steps: 0,
             total_shares: 0,
         }
+    }
+
+    /// Mark modules unavailable (fault injection): `dead[j]` means module
+    /// `j` no longer serves shares. Accesses degrade to the surviving
+    /// shares; a block left below its quorum is lost (reads return 0,
+    /// counted in [`Self::quorum_failures`]).
+    pub fn set_unavailable(&mut self, dead: Vec<bool>) {
+        assert_eq!(dead.len(), self.modules, "mask must cover every module");
+        self.unavailable = dead;
+    }
+
+    /// Accesses that found no reachable quorum so far.
+    pub fn quorum_failures(&self) -> u64 {
+        self.quorum_failures
+    }
+
+    /// The underlying dispersed store (share placement diagnostics —
+    /// fault planners use `module_of_share` to aim at a block's shares).
+    pub fn store(&self) -> &SchusterStore {
+        &self.store
     }
 
     /// Storage blowup `d/b` — the scheme's "redundancy" analogue.
@@ -66,29 +94,52 @@ impl SharedMemory for IdaShared {
         let mut module_load = std::collections::HashMap::new();
         let mut shares = 0u64;
 
-        // Reads observe pre-step state.
+        // Reads observe pre-step state. Recovery uses whatever shares
+        // survive the unavailability mask; a block below quorum is lost
+        // (reads return 0 — the fault layer classifies these).
         let read_values: Vec<Word> = reads
             .iter()
-            .map(|&a| {
-                let (v, st) = self.store.read(a);
-                shares += st.shares_touched;
-                v
-            })
+            .map(
+                |&a| match self.store.read_with_unavailable(a, &self.unavailable) {
+                    Some((v, st)) => {
+                        shares += st.shares_touched;
+                        v
+                    }
+                    None => {
+                        self.quorum_failures += 1;
+                        0
+                    }
+                },
+            )
             .collect();
         for &(a, v) in writes {
-            let st = self.store.write(a, v);
-            shares += st.shares_touched;
+            match self.store.write_with_unavailable(a, v, &self.unavailable) {
+                Some(st) => shares += st.shares_touched,
+                None => self.quorum_failures += 1,
+            }
         }
         // Module congestion: each access's quorum lands on its block's
-        // first q share modules (the store's deterministic touch order).
+        // first q *available* share modules — the store's deterministic
+        // touch order under the unavailability mask, so dead modules are
+        // never charged and faulted machines route real extra load onto
+        // the survivors. A lost block (fewer than q survivors) still
+        // charges the shares it probed before giving up.
         let q = self.store.quorum();
+        let d = self.store.shares();
         let blk_vars = self.store.vars_per_block();
         for &a in reads.iter().chain(writes.iter().map(|(a, _)| a)) {
             let blk = a / blk_vars;
-            for i in 0..q {
-                *module_load
-                    .entry(self.store.module_of_share(blk, i))
-                    .or_insert(0u64) += 1;
+            let mut touched = 0;
+            for i in 0..d {
+                let md = self.store.module_of_share(blk, i);
+                if self.unavailable.get(md).copied().unwrap_or(false) {
+                    continue;
+                }
+                *module_load.entry(md).or_insert(0u64) += 1;
+                touched += 1;
+                if touched == q {
+                    break;
+                }
             }
         }
         let congestion = module_load.values().copied().max().unwrap_or(0);
@@ -192,6 +243,31 @@ mod tests {
         // ...but per-access work grows with log n.
         let (qs, qb) = (ida::params_for_n(16), ida::params_for_n(1 << 16));
         assert!((qb.0 + qb.1) / 2 > (qs.0 + qs.1) / 2);
+    }
+
+    #[test]
+    fn unavailability_mask_recovers_then_loses() {
+        // b=8 (2 vars/block), d=12 over 32 modules: margin d-q = 2.
+        let (b, d) = (8, 12);
+        let mut s = IdaShared::new(8, 64, 32, b, d);
+        s.access(&[], &[(10, 777)]);
+        let blk = 10 / s.store().vars_per_block();
+        // Two dead share modules: recovery shifts to surviving shares.
+        let mut dead = vec![false; 32];
+        dead[s.store().module_of_share(blk, 0)] = true;
+        dead[s.store().module_of_share(blk, 1)] = true;
+        s.set_unavailable(dead.clone());
+        let res = s.access(&[10], &[]);
+        assert_eq!(res.read_values, vec![777]);
+        assert_eq!(s.quorum_failures(), 0);
+        // The dead modules are never charged congestion.
+        assert!(res.cost.phases >= 1);
+        // A third dead share module breaks the block's quorum: lost.
+        dead[s.store().module_of_share(blk, 2)] = true;
+        s.set_unavailable(dead);
+        let res = s.access(&[10], &[]);
+        assert_eq!(res.read_values, vec![0], "lost cells read as 0");
+        assert_eq!(s.quorum_failures(), 1);
     }
 
     #[test]

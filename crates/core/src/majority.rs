@@ -17,7 +17,10 @@ use memdist::{Clusters, MemoryMap, ReplicatedStore};
 use pram_machine::{AccessResult, SharedMemory, StepCost, Word};
 
 /// Per-step report (the measurable object of experiments E4/E5/E10).
-#[derive(Debug, Clone, Copy, Default)]
+///
+/// Derives `Eq` so determinism properties ("same seed, same workload,
+/// byte-identical totals") are directly assertable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StepReport {
     /// Distinct variables accessed this step.
     pub requests: usize,
@@ -146,16 +149,27 @@ impl<E: PhaseExecutor, P: CopyPlacement> SharedMemory for MajorityScheme<E, P> {
         );
 
         // Reads observe the pre-step state: extract before applying writes.
+        // On a fault-free machine every request holds a full `c`-quorum;
+        // under fault injection a request may end below quorum (its viable
+        // copies ran out) — reads then degrade to best-effort over the
+        // copies actually reached, and a read with nothing reachable
+        // returns 0 (the cell is lost; the fault layer counts these).
         let read_values: Vec<Word> = reads
             .iter()
             .enumerate()
-            .map(|(i, &var)| self.store.read_majority(var, &accessed[i]))
+            .map(|(i, &var)| {
+                if accessed[i].is_empty() {
+                    0
+                } else {
+                    self.store.read_majority(var, &accessed[i])
+                }
+            })
             .collect();
 
         self.step += 1;
         for (j, &(var, value)) in writes.iter().enumerate() {
             let quorum = &accessed[reads.len() + j];
-            debug_assert!(quorum.len() >= self.cfg.c);
+            debug_assert!(quorum.len() >= self.cfg.c || proto.failed_requests > 0);
             self.store.write_quorum(var, quorum, value, self.step);
         }
 

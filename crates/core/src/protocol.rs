@@ -41,11 +41,24 @@ pub struct CopyAttempt {
     pub src: usize,
 }
 
+/// What happened to one copy attempt in a phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttemptOutcome {
+    /// The attempt reached its module; the copy was accessed.
+    Served,
+    /// The attempt lost a transient race (module contention, queue
+    /// overflow, dropped message) — the protocol retries it next phase.
+    Killed,
+    /// The attempt hit a **permanent** fault (dead module, dead link):
+    /// retrying can never succeed, so the protocol writes the copy off.
+    Dead,
+}
+
 /// Outcome of one phase.
 #[derive(Debug, Clone)]
 pub struct PhaseResult {
-    /// `success[i]` — whether `attempts[i]` reached its module.
-    pub success: Vec<bool>,
+    /// `outcome[i]` — what happened to `attempts[i]`.
+    pub outcome: Vec<AttemptOutcome>,
     /// What this phase cost.
     pub cost: StepCost,
 }
@@ -55,6 +68,16 @@ pub trait PhaseExecutor {
     /// Execute the attempts; each contention unit serves at most
     /// `pipeline` of them.
     fn execute(&mut self, attempts: &[CopyAttempt], pipeline: usize) -> PhaseResult;
+
+    /// Whether this executor can lose work for reasons other than
+    /// contention (fault injection: dead modules, dead links, message
+    /// drops). On a `false` executor the protocol's progress guarantee
+    /// holds, so exceeding the stage-2 budget is a protocol bug and
+    /// panics; on a `true` executor it is an expected degraded outcome
+    /// and the step aborts gracefully instead.
+    fn lossy(&self) -> bool {
+        false
+    }
 }
 
 /// Per-step protocol statistics (one row of E4/E5/E10 per step).
@@ -72,6 +95,13 @@ pub struct ProtocolStats {
     pub stage1_leftover: usize,
     /// Copy attempts that lost a contention race.
     pub killed_attempts: u64,
+    /// Copy attempts that hit a permanent fault (dead module or link) and
+    /// were written off rather than retried.
+    pub dead_attempts: u64,
+    /// Requests that finished the step below their `c`-copy quorum —
+    /// nonzero only under fault injection (or a guard abort): every copy
+    /// they could still try was dead.
+    pub failed_requests: usize,
     /// Copies actually accessed.
     pub copies_accessed: u64,
 }
@@ -121,8 +151,13 @@ impl CopyPlacement for GridPlacement {
 ///
 /// * `requests[i] = (processor, variable)` — deduplicated, one per
 ///   requesting processor;
-/// * returns, per request, the list of copy indices accessed (`≥ c`, so a
-///   write quorum / read majority is always available), plus statistics.
+/// * returns, per request, the list of copy indices accessed, plus
+///   statistics. On a fault-free machine every request reaches `≥ c`
+///   copies, so a write quorum / read majority is always available; under
+///   fault injection an executor may report attempts [`AttemptOutcome::Dead`],
+///   and a request whose viable copies run out below `c` ends short-quorum
+///   (counted in [`ProtocolStats::failed_requests`] — the caller degrades
+///   to best-effort over whatever was accessed).
 #[allow(clippy::too_many_arguments)] // the protocol's full parameter list, documented above
 pub fn run_protocol<E: PhaseExecutor>(
     requests: &[(usize, usize)],
@@ -148,15 +183,32 @@ pub fn run_protocol<E: PhaseExecutor>(
         by_cluster[clusters.cluster_of(proc)].push(i);
     }
     let mut cursor: Vec<usize> = vec![0; clusters.count()];
-    let live = |acc: &Vec<Vec<usize>>, i: usize| acc[i].len() < c;
+    // Copies written off per request (attempts that came back Dead) —
+    // flat `request * r + copy` plus a per-request count, one allocation
+    // each for the whole step.
+    let mut dead: Vec<bool> = vec![false; r * requests.len()];
+    let mut dead_count: Vec<usize> = vec![0; requests.len()];
+    // A request keeps contending while it is below quorum AND still has an
+    // untried, not-written-off copy to attempt. Requests that exhaust their
+    // viable copies below `c` are *failed* — they stop contending (and are
+    // counted at the end), instead of spinning on dead modules forever.
+    // O(1): a copy is never both accessed and written off, so the untried
+    // viable copies are exactly `r - accessed - dead`.
+    let live = |acc: &Vec<Vec<usize>>, dc: &Vec<usize>, i: usize| {
+        acc[i].len() < c && acc[i].len() + dc[i] < r
+    };
 
     let mut attempts: Vec<CopyAttempt> = Vec::new();
     let mut run_phase = |accessed: &mut Vec<Vec<usize>>,
+                         dead: &mut Vec<bool>,
+                         dead_count: &mut Vec<usize>,
                          cursor: &mut Vec<usize>,
                          stats: &mut ProtocolStats,
                          exec: &mut E,
                          pipeline: usize|
      -> bool {
+        // Total phases so far — rotates the member↔copy assignment below.
+        let phase = stats.stage1_phases + stats.stage2_phases;
         attempts.clear();
         for (k, reqs) in by_cluster.iter().enumerate() {
             if reqs.is_empty() {
@@ -166,7 +218,7 @@ pub fn run_protocol<E: PhaseExecutor>(
             let mut chosen = None;
             for off in 0..reqs.len() {
                 let i = reqs[(cursor[k] + off) % reqs.len()];
-                if live(accessed, i) {
+                if live(accessed, dead_count, i) {
                     chosen = Some(i);
                     cursor[k] = (cursor[k] + off + 1) % reqs.len();
                     break;
@@ -174,13 +226,19 @@ pub fn run_protocol<E: PhaseExecutor>(
             }
             let Some(i) = chosen else { continue };
             let (_, var) = requests[i];
-            // One cluster member per live copy.
+            // One cluster member per live copy. The assignment rotates
+            // with the phase counter: a copy retried in a later phase is
+            // issued by a *different* cluster member, so a route blocked
+            // by a dead link for one source is retried around the fault
+            // from the others (the dynamic-reassignment discipline of the
+            // fault-tolerant P-RAM literature) instead of re-issuing the
+            // identical doomed attempt forever.
             let members: Vec<usize> = clusters
                 .members(clusters.cluster_of(requests[i].0))
                 .collect();
-            let mut member = 0usize;
+            let mut member = phase as usize;
             for copy in 0..r {
-                if accessed[i].contains(&copy) {
+                if accessed[i].contains(&copy) || dead[i * r + copy] {
                     continue;
                 }
                 let (module, row) = placement.place(map, var, copy);
@@ -196,20 +254,26 @@ pub fn run_protocol<E: PhaseExecutor>(
             }
         }
         if attempts.is_empty() {
-            return false; // everything dead
+            return false; // everything done (or written off)
         }
         let result = exec.execute(&attempts, pipeline);
-        debug_assert_eq!(result.success.len(), attempts.len());
+        debug_assert_eq!(result.outcome.len(), attempts.len());
         stats.cycles += result.cost.cycles;
         stats.messages += result.cost.messages;
-        for (a, &ok) in attempts.iter().zip(&result.success) {
-            if ok {
-                stats.copies_accessed += 1;
-                // Record even past c: extra accessed copies strengthen the
-                // quorum at no additional cost.
-                accessed[a.req].push(a.copy);
-            } else {
-                stats.killed_attempts += 1;
+        for (a, &out) in attempts.iter().zip(&result.outcome) {
+            match out {
+                AttemptOutcome::Served => {
+                    stats.copies_accessed += 1;
+                    // Record even past c: extra accessed copies strengthen
+                    // the quorum at no additional cost.
+                    accessed[a.req].push(a.copy);
+                }
+                AttemptOutcome::Killed => stats.killed_attempts += 1,
+                AttemptOutcome::Dead => {
+                    stats.dead_attempts += 1;
+                    dead[a.req * r + a.copy] = true;
+                    dead_count[a.req] += 1;
+                }
             }
         }
         true
@@ -217,32 +281,58 @@ pub fn run_protocol<E: PhaseExecutor>(
 
     // Stage 1: bounded, serialized module service.
     for _ in 0..stage1_phases {
-        if !run_phase(&mut accessed, &mut cursor, &mut stats, exec, 1) {
+        if !run_phase(
+            &mut accessed,
+            &mut dead,
+            &mut dead_count,
+            &mut cursor,
+            &mut stats,
+            exec,
+            1,
+        ) {
             break;
         }
         stats.stage1_phases += 1;
     }
-    stats.stage1_leftover = (0..requests.len()).filter(|&i| live(&accessed, i)).count();
+    stats.stage1_leftover = (0..requests.len())
+        .filter(|&i| live(&accessed, &dead_count, i))
+        .count();
 
-    // Stage 2: run to completion with pipelining. Termination: every phase
-    // with work serves at least one attempt (the first per module), so at
-    // most c·|requests| further phases occur; guard generously.
+    // Stage 2: run to completion with pipelining. Termination: on a
+    // fault-free machine every phase with work serves at least one attempt
+    // (the first per module), so at most c·|requests| further phases
+    // occur and exceeding the generous guard below is a protocol bug —
+    // panic, exactly as before fault injection existed. Only a `lossy()`
+    // executor (fault injection: message drops can stall progress
+    // indefinitely) is allowed to abort the step instead: the leftover
+    // requests are written off as failed, the honest degraded outcome.
     let guard = 4 * c as u64 * requests.len() as u64 + 16;
     while run_phase(
         &mut accessed,
+        &mut dead,
+        &mut dead_count,
         &mut cursor,
         &mut stats,
         exec,
         stage2_pipeline,
     ) {
         stats.stage2_phases += 1;
-        assert!(
-            stats.stage2_phases <= guard,
-            "stage 2 failed to make progress (protocol bug)"
-        );
+        if stats.stage2_phases > guard {
+            assert!(
+                exec.lossy(),
+                "stage 2 failed to make progress (protocol bug)"
+            );
+            dead.iter_mut().for_each(|x| *x = true);
+            dead_count.iter_mut().for_each(|x| *x = r);
+            break;
+        }
     }
 
-    debug_assert!(accessed.iter().all(|a| a.len() >= c));
+    stats.failed_requests = accessed.iter().filter(|a| a.len() < c).count();
+    debug_assert!(
+        stats.failed_requests == 0 || exec.lossy(),
+        "a fault-free run must reach quorum on every request"
+    );
     (accessed, stats)
 }
 
@@ -339,6 +429,187 @@ mod tests {
         );
         assert!(stats.stage2_phases > 0);
         assert!(stats.killed_attempts > 0);
+    }
+
+    /// Executor decorator marking every attempt at a module in `dead` as
+    /// permanently faulted (the shape `cr-faults`' FaultyExec takes).
+    struct DeadModules<E> {
+        inner: E,
+        dead: Vec<bool>,
+    }
+
+    impl<E: PhaseExecutor> PhaseExecutor for DeadModules<E> {
+        fn execute(&mut self, attempts: &[CopyAttempt], pipeline: usize) -> PhaseResult {
+            let mut res = self.inner.execute(attempts, pipeline);
+            for (a, out) in attempts.iter().zip(res.outcome.iter_mut()) {
+                if self.dead[a.module] {
+                    *out = AttemptOutcome::Dead;
+                }
+            }
+            res
+        }
+
+        fn lossy(&self) -> bool {
+            self.dead.iter().any(|&d| d)
+        }
+    }
+
+    #[test]
+    fn dead_modules_are_written_off_not_retried() {
+        // r = 5, c = 3 over 16 modules; kill 2 modules. Every request still
+        // has ≥ 3 live copies, so every quorum completes — and the phase
+        // count stays bounded because dead copies are not retried.
+        let (m, modules, c) = (64usize, 16usize, 3usize);
+        let r = 2 * c - 1;
+        let map = MemoryMap::random(m, modules, r, 7);
+        let clusters = Clusters::new(8, r);
+        let mut dead = vec![false; modules];
+        dead[0] = true;
+        dead[5] = true;
+        let mut exec = DeadModules {
+            inner: BipartiteExec::new(modules),
+            dead,
+        };
+        let requests: Vec<(usize, usize)> = (0..8).map(|p| (p, p * 7)).collect();
+        let (accessed, stats) = run_protocol(
+            &requests,
+            &clusters,
+            c,
+            r,
+            &map,
+            &FlatPlacement,
+            &mut exec,
+            4,
+            1,
+        );
+        for (i, a) in accessed.iter().enumerate() {
+            let faulty = map
+                .copies(requests[i].1)
+                .iter()
+                .filter(|&&md| md == 0 || md == 5)
+                .count();
+            assert!(
+                a.len() >= c.min(r - faulty),
+                "request {i}: accessed {a:?} with {faulty} dead copies"
+            );
+            // No dead module was ever recorded as accessed.
+            for &cp in a {
+                let md = map.module_of(requests[i].1, cp);
+                assert!(md != 0 && md != 5);
+            }
+        }
+        assert_eq!(stats.failed_requests, 0, "≥ c live copies everywhere");
+        // Dead attempts happen once per (request, dead copy), never more.
+        let total_dead_copies: usize = requests
+            .iter()
+            .map(|&(_, v)| {
+                map.copies(v)
+                    .iter()
+                    .filter(|&&md| md == 0 || md == 5)
+                    .count()
+            })
+            .sum();
+        assert!(stats.dead_attempts as usize <= total_dead_copies);
+    }
+
+    /// Executor where one *source processor* is cut off (every attempt it
+    /// issues is killed) — the shape of a per-source link fault on the
+    /// 2DMOT. Transient from the protocol's point of view: the same copy
+    /// can succeed from a different member.
+    struct SourceBlocked {
+        inner: BipartiteExec,
+        blocked_src: usize,
+    }
+
+    impl PhaseExecutor for SourceBlocked {
+        fn execute(&mut self, attempts: &[CopyAttempt], pipeline: usize) -> PhaseResult {
+            let mut res = self.inner.execute(attempts, pipeline);
+            for (a, out) in attempts.iter().zip(res.outcome.iter_mut()) {
+                if a.src == self.blocked_src {
+                    *out = AttemptOutcome::Killed;
+                }
+            }
+            res
+        }
+
+        fn lossy(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn member_rotation_routes_around_a_blocked_source() {
+        // c = 2, r = 3: clusters {0,1,2}, {3,4,5}. Processor 0 can never
+        // deliver an attempt. Because the member↔copy assignment rotates
+        // per phase, every copy is eventually issued by processors 1 or 2
+        // and every request still reaches quorum — in a bounded number of
+        // phases, not by burning the stage-2 guard.
+        let (m, modules, c) = (32usize, 16usize, 2usize);
+        let r = 2 * c - 1;
+        let map = MemoryMap::random(m, modules, r, 5);
+        let clusters = Clusters::new(6, r);
+        let mut exec = SourceBlocked {
+            inner: BipartiteExec::new(modules),
+            blocked_src: 0,
+        };
+        let requests: Vec<(usize, usize)> = (0..6).map(|p| (p, p * 5)).collect();
+        let (accessed, stats) = run_protocol(
+            &requests,
+            &clusters,
+            c,
+            r,
+            &map,
+            &FlatPlacement,
+            &mut exec,
+            4,
+            1,
+        );
+        assert!(
+            accessed.iter().all(|a| a.len() >= c),
+            "rotation must route around the blocked source: {accessed:?}"
+        );
+        assert_eq!(stats.failed_requests, 0);
+        let guard = 4 * c as u64 * requests.len() as u64 + 16;
+        assert!(
+            stats.phases() < guard / 2,
+            "phases {} should be far below the guard {guard}",
+            stats.phases()
+        );
+    }
+
+    #[test]
+    fn all_copies_dead_fails_request_and_terminates() {
+        // Every module dead: no request can access anything; the protocol
+        // must terminate immediately with every request failed.
+        let (m, modules, c) = (32usize, 8usize, 2usize);
+        let r = 2 * c - 1;
+        let map = MemoryMap::random(m, modules, r, 3);
+        let clusters = Clusters::new(4, r);
+        let mut exec = DeadModules {
+            inner: BipartiteExec::new(modules),
+            dead: vec![true; modules],
+        };
+        let requests: Vec<(usize, usize)> = (0..4).map(|p| (p, p)).collect();
+        let (accessed, stats) = run_protocol(
+            &requests,
+            &clusters,
+            c,
+            r,
+            &map,
+            &FlatPlacement,
+            &mut exec,
+            4,
+            1,
+        );
+        assert!(accessed.iter().all(|a| a.is_empty()));
+        assert_eq!(stats.failed_requests, 4);
+        assert_eq!(stats.dead_attempts, (4 * r) as u64);
+        // One discovery phase per copy at most — no spinning.
+        assert!(
+            stats.phases() <= (r + 4) as u64,
+            "phases {}",
+            stats.phases()
+        );
     }
 
     #[test]

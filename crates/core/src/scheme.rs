@@ -336,27 +336,42 @@ impl SimBuilder {
                 let cfg = self.coarse_config(self.n.max(2))?;
                 Ok(Box::new(Lpp2dmot::try_new(&cfg)?))
             }
-            SchemeKind::Hashed => {
-                let modules = self
-                    .modules
-                    .unwrap_or_else(|| pow2_at_least(ipow_ceil(self.n, 1.5)));
-                Ok(Box::new(HashedDmmpc::new(
-                    self.n, self.m, modules, self.seed,
-                )))
-            }
+            SchemeKind::Hashed => Ok(Box::new(HashedDmmpc::new(
+                self.n,
+                self.m,
+                self.hashed_modules(),
+                self.seed,
+            ))),
             SchemeKind::Ida => {
-                let (b, d) = ida::params_for_n(self.n);
-                let modules = self.modules.unwrap_or_else(|| (4 * d).max(self.n));
-                if modules < d {
-                    return Err(BuildError::TooFewModules {
-                        kind: self.kind,
-                        modules,
-                        required: d,
-                    });
-                }
+                let (modules, b, d) = self.ida_layout()?;
                 Ok(Box::new(IdaShared::new(self.n, self.m, modules, b, d)))
             }
         }
+    }
+
+    /// The module count the `hashed` baseline would be built with —
+    /// `M = 2^⌈log₂ n^1.5⌉` unless overridden. Named (like
+    /// [`fine_config`](Self::fine_config)) so external composers derive
+    /// the identical geometry.
+    pub fn hashed_modules(&self) -> usize {
+        self.modules
+            .unwrap_or_else(|| pow2_at_least(ipow_ceil(self.n, 1.5)))
+    }
+
+    /// The validated `(modules, b, d)` layout the `ida` scheme would be
+    /// built with: `b, d = Θ(log n)` shares over `M = max(4d, n)` modules
+    /// unless overridden.
+    pub fn ida_layout(&self) -> Result<(usize, usize, usize), BuildError> {
+        let (b, d) = ida::params_for_n(self.n);
+        let modules = self.modules.unwrap_or_else(|| (4 * d).max(self.n));
+        if modules < d {
+            return Err(BuildError::TooFewModules {
+                kind: SchemeKind::Ida,
+                modules,
+                required: d,
+            });
+        }
+        Ok((modules, b, d))
     }
 
     /// The validated [`SchemeConfig`] this builder would hand to a
@@ -378,8 +393,13 @@ impl SimBuilder {
     }
 
     /// The validated coarse-granularity (MPC-style) configuration with
-    /// `modules_default` contention units unless overridden.
-    fn coarse_config(&self, modules_default: usize) -> Result<SchemeConfig, BuildError> {
+    /// `modules_default` contention units unless overridden — public for
+    /// the same reason as [`fine_config`](Self::fine_config): external
+    /// composers (e.g. the fault-injection layer in `cr-faults`) rebuild
+    /// the coarse baselines around decorated executors and must derive the
+    /// *identical* configuration the builder would.
+    pub fn coarse_config(&self, modules_default: usize) -> Result<SchemeConfig, BuildError> {
+        self.validate_common()?;
         let modules = self.modules.unwrap_or(modules_default);
         let c = match self.c {
             Some(c) => {
@@ -602,5 +622,18 @@ mod tests {
         assert!(err.to_string().contains("lpp-2dmot"), "{err}");
         let err = "wat".parse::<SchemeKind>().unwrap_err();
         assert!(err.to_string().contains("hp-2dmot"), "{err}");
+    }
+
+    #[test]
+    fn unknown_scheme_error_lists_every_valid_name() {
+        // `repro --scheme <typo>` surfaces this message; it must teach the
+        // full vocabulary.
+        let err = "not-a-scheme"
+            .parse::<SchemeKind>()
+            .unwrap_err()
+            .to_string();
+        for kind in SchemeKind::ALL {
+            assert!(err.contains(kind.name()), "missing {kind} in: {err}");
+        }
     }
 }

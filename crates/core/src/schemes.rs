@@ -140,10 +140,18 @@ pub struct Hp2dmotLeaves {
 }
 
 impl Hp2dmotLeaves {
-    /// Build from a fine-granularity configuration; the grid side is the
-    /// smallest power of two ≥ max(modules, n).
+    /// The grid side this scheme derives from a configuration: the
+    /// smallest power of two ≥ max(modules, n). Named so external
+    /// composers (the fault layer rebuilds this scheme around a decorated
+    /// executor) derive the identical geometry.
+    pub fn side_for(cfg: &SchemeConfig) -> usize {
+        pow2_at_least(cfg.modules.max(cfg.n)).max(2)
+    }
+
+    /// Build from a fine-granularity configuration; the grid side is
+    /// [`Self::side_for`].
     pub fn new(cfg: &SchemeConfig) -> Self {
-        let side = pow2_at_least(cfg.modules.max(cfg.n)).max(2);
+        let side = Self::side_for(cfg);
         let cfg = cfg.with_modules(side);
         let exec = MotExec::leaves(side);
         Hp2dmotLeaves {
@@ -180,6 +188,12 @@ pub struct Lpp2dmot {
 }
 
 impl Lpp2dmot {
+    /// The grid side this scheme derives from a configuration (see
+    /// [`Hp2dmotLeaves::side_for`] for why this is a named function).
+    pub fn side_for(cfg: &SchemeConfig) -> usize {
+        pow2_at_least(cfg.modules.max(2))
+    }
+
     /// Build from a coarse configuration: the modules are the first
     /// `cfg.modules` roots of a `pow2(modules) × pow2(modules)` grid.
     pub fn try_new(cfg: &SchemeConfig) -> Result<Self, BuildError> {
@@ -190,7 +204,7 @@ impl Lpp2dmot {
                 required: cfg.redundancy(),
             });
         }
-        let side = pow2_at_least(cfg.modules.max(2));
+        let side = Self::side_for(cfg);
         let exec = MotExec::roots(side);
         Ok(Lpp2dmot {
             inner: MajorityScheme::assemble(*cfg, cfg.modules, exec, FlatPlacement),

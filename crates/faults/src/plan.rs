@@ -1,0 +1,290 @@
+//! Fault plans: *what* is broken, decided deterministically before the run.
+//!
+//! A [`FaultPlan`] is pure description — fractions of the machine to break
+//! and a [`Placement`] strategy for choosing the victims. Materialization
+//! into concrete masks happens in the per-scheme builder
+//! ([`crate::FaultyBuilder`]), which knows each scheme's module universe
+//! and copy geometry; the plan itself only implements the two placement
+//! strategies over `(loads, hot modules)` supplied by the builder.
+
+use std::fmt;
+use std::str::FromStr;
+
+use simrng::{rng_from_seed, Rng};
+
+/// How fault victims are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// Uniform over the universe, deterministically from the plan's seed.
+    #[default]
+    Random,
+    /// Worst-case: kill the modules holding the copies of the plan's *hot
+    /// cell* first (via the scheme's memory distribution), then continue
+    /// with the most-loaded modules. This is the fault analogue of the
+    /// Theorem 1 concentration adversary — it aims at exactly the
+    /// redundancy a single variable has.
+    Adversarial,
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Placement::Random => "random",
+            Placement::Adversarial => "adversarial",
+        })
+    }
+}
+
+impl FromStr for Placement {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "random" | "rand" => Ok(Placement::Random),
+            "adversarial" | "adv" | "worst" => Ok(Placement::Adversarial),
+            other => Err(format!(
+                "unknown fault placement '{other}' (try: random, adversarial)"
+            )),
+        }
+    }
+}
+
+/// A deterministic description of everything broken in one run.
+///
+/// Fractions are of the respective universe (modules, processors, links);
+/// a positive fraction always breaks at least one unit (`⌈f·U⌉`), so any
+/// `f > 0` is a real fault scenario. `message_drop` is a transient
+/// per-attempt drop probability — retried by the protocols, it costs time
+/// rather than data. Everything is derived from `seed`, so two runs of the
+/// same plan break byte-identically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Fraction of memory modules (contention units) statically dead.
+    pub module_fraction: f64,
+    /// Fraction of processors statically dead (their requests are never
+    /// issued).
+    pub processor_fraction: f64,
+    /// Probability that a served copy attempt's reply is dropped
+    /// (transient; applies to the protocol-driven copy schemes).
+    pub message_drop: f64,
+    /// Fraction of interconnect links statically dead (2DMOT schemes only
+    /// — the complete-interconnect models have no routed links).
+    pub link_fraction: f64,
+    /// Victim selection strategy.
+    pub placement: Placement,
+    /// The cell the adversarial placement aims at.
+    pub hot_cell: usize,
+    /// Seed for every random choice the plan makes.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// The fault-free plan (control runs).
+    pub fn none() -> Self {
+        FaultPlan {
+            module_fraction: 0.0,
+            processor_fraction: 0.0,
+            message_drop: 0.0,
+            link_fraction: 0.0,
+            placement: Placement::Random,
+            hot_cell: 0,
+            seed: simrng::DEFAULT_SEED,
+        }
+    }
+
+    /// Static module faults on a fraction `f` of the modules.
+    pub fn modules(f: f64) -> Self {
+        FaultPlan {
+            module_fraction: f,
+            ..Self::none()
+        }
+    }
+
+    /// Override the placement strategy.
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Override the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Add static processor faults.
+    pub fn with_processor_fraction(mut self, f: f64) -> Self {
+        self.processor_fraction = f;
+        self
+    }
+
+    /// Add transient message drops.
+    pub fn with_message_drop(mut self, p: f64) -> Self {
+        self.message_drop = p;
+        self
+    }
+
+    /// Add static link faults (2DMOT schemes).
+    pub fn with_link_fraction(mut self, f: f64) -> Self {
+        self.link_fraction = f;
+        self
+    }
+
+    /// Aim the adversarial placement at a specific cell.
+    pub fn with_hot_cell(mut self, cell: usize) -> Self {
+        self.hot_cell = cell;
+        self
+    }
+
+    /// Whether this plan breaks nothing at all.
+    pub fn is_fault_free(&self) -> bool {
+        self.module_fraction == 0.0
+            && self.processor_fraction == 0.0
+            && self.message_drop == 0.0
+            && self.link_fraction == 0.0
+    }
+
+    /// How many units a fraction breaks: `⌈f·universe⌉`, clamped — so any
+    /// positive fraction breaks at least one unit.
+    pub fn count(fraction: f64, universe: usize) -> usize {
+        ((fraction * universe as f64).ceil() as usize).min(universe)
+    }
+
+    /// Materialize the dead-module mask over a universe of `modules`
+    /// contention units. `loads[j]` is how many copy slots module `j`
+    /// holds and `hot` lists the modules holding the hot cell's copies —
+    /// both supplied by the scheme-aware builder, both used only by the
+    /// adversarial placement.
+    pub fn module_mask(&self, modules: usize, loads: &[usize], hot: &[usize]) -> Vec<bool> {
+        let count = Self::count(self.module_fraction, modules);
+        let mut dead = vec![false; modules];
+        match self.placement {
+            Placement::Random => {
+                let mut rng = rng_from_seed(simrng::mix64(self.seed ^ MODULE_SALT));
+                for j in rng.sample_distinct(modules as u64, count) {
+                    dead[j as usize] = true;
+                }
+            }
+            Placement::Adversarial => {
+                let mut picked = 0usize;
+                for &j in hot {
+                    if picked == count {
+                        break;
+                    }
+                    if !dead[j] {
+                        dead[j] = true;
+                        picked += 1;
+                    }
+                }
+                // Fill the remaining budget with the most-loaded modules
+                // (stable: ties broken by index).
+                let mut by_load: Vec<usize> = (0..modules).collect();
+                by_load
+                    .sort_by_key(|&j| (std::cmp::Reverse(loads.get(j).copied().unwrap_or(0)), j));
+                for j in by_load {
+                    if picked == count {
+                        break;
+                    }
+                    if !dead[j] {
+                        dead[j] = true;
+                        picked += 1;
+                    }
+                }
+            }
+        }
+        dead
+    }
+
+    /// Materialize the dead-processor mask. Note the machine model
+    /// (Chlebus–Gąsieniec–Pelc-style static faults): surviving processors
+    /// are renumbered contiguously and the protocol's clusters are
+    /// rebuilt over them, so *which* processors die only determines which
+    /// requests are never issued — the count is what degrades the
+    /// machine. Adversarial placement kills a contiguous prefix (max
+    /// requests lost from one cluster's worth of the request stream);
+    /// random placement scatters the losses.
+    pub fn processor_mask(&self, n: usize) -> Vec<bool> {
+        let count = Self::count(self.processor_fraction, n);
+        let mut dead = vec![false; n];
+        match self.placement {
+            Placement::Random => {
+                let mut rng = rng_from_seed(simrng::mix64(self.seed ^ PROC_SALT));
+                for p in rng.sample_distinct(n as u64, count) {
+                    dead[p as usize] = true;
+                }
+            }
+            Placement::Adversarial => {
+                dead.iter_mut().take(count).for_each(|x| *x = true);
+            }
+        }
+        dead
+    }
+
+    /// Sub-seed for the transient message-drop stream.
+    pub fn drop_seed(&self) -> u64 {
+        simrng::mix64(self.seed ^ DROP_SALT)
+    }
+
+    /// Sub-seed for link-fault selection.
+    pub fn link_seed(&self) -> u64 {
+        simrng::mix64(self.seed ^ LINK_SALT)
+    }
+}
+
+const MODULE_SALT: u64 = 0x6d6f_6475_6c65; // "module"
+const PROC_SALT: u64 = 0x7072_6f63; // "proc"
+const DROP_SALT: u64 = 0x6472_6f70; // "drop"
+const LINK_SALT: u64 = 0x6c69_6e6b; // "link"
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positive_fraction_always_breaks_something() {
+        assert_eq!(FaultPlan::count(0.0, 64), 0);
+        assert_eq!(FaultPlan::count(1.0 / 1024.0, 64), 1);
+        assert_eq!(FaultPlan::count(0.25, 64), 16);
+        assert_eq!(FaultPlan::count(2.0, 64), 64);
+    }
+
+    #[test]
+    fn random_mask_deterministic_in_seed() {
+        let plan = FaultPlan::modules(0.25).with_seed(9);
+        let a = plan.module_mask(64, &[], &[]);
+        let b = plan.module_mask(64, &[], &[]);
+        let c = plan.with_seed(10).module_mask(64, &[], &[]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.iter().filter(|&&d| d).count(), 16);
+    }
+
+    #[test]
+    fn adversarial_mask_targets_hot_then_loaded() {
+        let plan = FaultPlan::modules(4.0 / 8.0).with_placement(Placement::Adversarial);
+        let loads = [1usize, 9, 2, 8, 3, 7, 4, 6];
+        let hot = [5usize, 0];
+        let dead = plan.module_mask(8, &loads, &hot);
+        // Hot modules first, then the two most-loaded of the rest (1, 3).
+        assert!(dead[5] && dead[0]);
+        assert!(dead[1] && dead[3]);
+        assert_eq!(dead.iter().filter(|&&d| d).count(), 4);
+    }
+
+    #[test]
+    fn placement_parses() {
+        assert_eq!("random".parse::<Placement>().unwrap(), Placement::Random);
+        assert_eq!(
+            "adversarial".parse::<Placement>().unwrap(),
+            Placement::Adversarial
+        );
+        assert!("chaotic".parse::<Placement>().is_err());
+    }
+
+    #[test]
+    fn fault_free_detection() {
+        assert!(FaultPlan::none().is_fault_free());
+        assert!(!FaultPlan::modules(0.1).is_fault_free());
+        assert!(!FaultPlan::none().with_message_drop(0.5).is_fault_free());
+    }
+}

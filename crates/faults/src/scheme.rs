@@ -1,0 +1,551 @@
+//! [`FaultyScheme`]: any member of the scheme zoo, running on a broken
+//! machine, measured against its fault-free twin.
+//!
+//! [`FaultyBuilder`] mirrors `cr_core::SimBuilder` — same `(n, m)`, same
+//! kind, same seed, same derived configuration — but threads the
+//! [`FaultPlan`] through every layer the scheme touches:
+//!
+//! * the copy-based schemes get their `PhaseExecutor` wrapped in a
+//!   [`FaultyExec`] (dead modules, message drops) and, on the 2DMOT, dead
+//!   links injected into the routed network itself;
+//! * the hashed baseline loses every request aimed at a dead module —
+//!   there is no second copy to try;
+//! * the IDA scheme recovers from surviving shares via its
+//!   unavailability mask.
+//!
+//! Every constructed [`FaultyScheme`] also carries an identically-seeded
+//! **fault-free twin** built through `SimBuilder`. Each step runs on both
+//! machines; the twin supplies the ground-truth values (what a correct
+//! run would have returned) and the fault-free cost, so the
+//! [`FaultReport`] can count correct / stale / lost reads and measure
+//! slowdown instead of guessing it.
+
+use cr_core::executors::{BipartiteExec, MotExec};
+use cr_core::majority::{MajorityScheme, StepReport};
+use cr_core::protocol::{FlatPlacement, GridPlacement};
+use cr_core::{
+    BuildError, HashedDmmpc, Hp2dmotLeaves, IdaShared, Lpp2dmot, Scheme, SchemeKind, SchemeParams,
+    SimBuilder,
+};
+use memdist::MemoryMap;
+use pram_machine::{AccessResult, SharedMemory, Word};
+
+use crate::exec::FaultyExec;
+use crate::plan::FaultPlan;
+use crate::report::FaultReport;
+
+/// The faulty engine: each zoo member with its fault wiring.
+#[derive(Debug)]
+enum Engine {
+    /// `uw-mpc` / `hp-dmmpc`: complete interconnect behind a fault
+    /// decorator.
+    Flat(MajorityScheme<FaultyExec<BipartiteExec>, FlatPlacement>),
+    /// `hp-2dmot`: routed mesh (leaf memory) behind a fault decorator,
+    /// with link faults inside the network.
+    Grid(MajorityScheme<FaultyExec<MotExec>, GridPlacement>),
+    /// `lpp-2dmot`: routed mesh, root memory.
+    GridFlat(MajorityScheme<FaultyExec<MotExec>, FlatPlacement>),
+    /// `hashed`: no protocol — dead-module requests are simply lost.
+    Hashed(HashedDmmpc),
+    /// `ida`: recovery from surviving shares via the unavailability mask.
+    Ida(IdaShared),
+}
+
+impl Engine {
+    fn access(&mut self, reads: &[usize], writes: &[(usize, Word)]) -> AccessResult {
+        match self {
+            Engine::Flat(s) => s.access(reads, writes),
+            Engine::Grid(s) => s.access(reads, writes),
+            Engine::GridFlat(s) => s.access(reads, writes),
+            Engine::Hashed(s) => s.access(reads, writes),
+            Engine::Ida(s) => s.access(reads, writes),
+        }
+    }
+
+    fn poke(&mut self, addr: usize, value: Word) {
+        match self {
+            Engine::Flat(s) => s.poke(addr, value),
+            Engine::Grid(s) => s.poke(addr, value),
+            Engine::GridFlat(s) => s.poke(addr, value),
+            Engine::Hashed(s) => s.poke(addr, value),
+            Engine::Ida(s) => s.poke(addr, value),
+        }
+    }
+
+    fn last_step(&self) -> StepReport {
+        match self {
+            Engine::Flat(s) => s.last_step(),
+            Engine::Grid(s) => s.last_step(),
+            Engine::GridFlat(s) => s.last_step(),
+            Engine::Hashed(s) => Scheme::last_step(s),
+            Engine::Ida(s) => Scheme::last_step(s),
+        }
+    }
+
+    fn totals(&self) -> (StepReport, u64) {
+        match self {
+            Engine::Flat(s) => s.totals(),
+            Engine::Grid(s) => s.totals(),
+            Engine::GridFlat(s) => s.totals(),
+            Engine::Hashed(s) => Scheme::totals(s),
+            Engine::Ida(s) => Scheme::totals(s),
+        }
+    }
+
+    /// Fault counters from the decorated executor (protocol schemes only).
+    fn exec_stats(&self) -> (u64, u64) {
+        match self {
+            Engine::Flat(s) => {
+                let st = s.executor().stats;
+                (st.dead_attempts, st.dropped_messages)
+            }
+            Engine::Grid(s) => {
+                let st = s.executor().stats;
+                (st.dead_attempts, st.dropped_messages)
+            }
+            Engine::GridFlat(s) => {
+                let st = s.executor().stats;
+                (st.dead_attempts, st.dropped_messages)
+            }
+            Engine::Hashed(_) | Engine::Ida(_) => (0, 0),
+        }
+    }
+}
+
+/// Builder for a [`FaultyScheme`] — `SimBuilder`'s fluent shape plus a
+/// [`FaultPlan`].
+///
+/// ```
+/// use cr_faults::{FaultPlan, FaultyBuilder};
+/// use cr_core::SchemeKind;
+/// use pram_machine::SharedMemory;
+///
+/// let mut s = FaultyBuilder::new(16, 256)
+///     .kind(SchemeKind::HpDmmpc)
+///     .plan(FaultPlan::modules(0.125))
+///     .build()
+///     .unwrap();
+/// s.access(&[], &[(3, 42)]);
+/// let r = s.access(&[3], &[]);
+/// assert_eq!(r.read_values, vec![42], "a 12.5% module loss is absorbed");
+/// assert_eq!(s.report().correct_reads, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultyBuilder {
+    n: usize,
+    m: usize,
+    kind: SchemeKind,
+    seed: u64,
+    plan: FaultPlan,
+}
+
+impl FaultyBuilder {
+    /// Start a configuration for an `n`-processor machine over `m` cells,
+    /// defaulting to the paper's Theorem 2 scheme and a fault-free plan.
+    pub fn new(n: usize, m: usize) -> Self {
+        FaultyBuilder {
+            n,
+            m,
+            kind: SchemeKind::HpDmmpc,
+            seed: simrng::DEFAULT_SEED,
+            plan: FaultPlan::none(),
+        }
+    }
+
+    /// Select the scheme.
+    pub fn kind(mut self, kind: SchemeKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Seed of the memory distribution (shared with the fault-free twin).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The fault plan to inject.
+    pub fn plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Validate, construct the scheme with its fault wiring, and pair it
+    /// with its fault-free twin.
+    pub fn build(&self) -> Result<FaultyScheme, BuildError> {
+        let FaultyBuilder {
+            n,
+            m,
+            kind,
+            seed,
+            plan,
+        } = *self;
+        // The twin validates the configuration exactly as SimBuilder would.
+        let baseline = SimBuilder::new(n, m).kind(kind).seed(seed).build()?;
+        let hot = plan.hot_cell % m.max(1);
+
+        // Per-kind: build the engine, the dead-module mask over the
+        // scheme's own contention units, and the per-cell classification
+        // (how many of the cell's copies/shares are faulty; is it still
+        // recoverable at all).
+        let mut dead_links = 0usize;
+        let (engine, dead_modules, faulty_copies, recoverable) = match kind {
+            SchemeKind::HpDmmpc | SchemeKind::UwMpc => {
+                let builder = SimBuilder::new(n, m).kind(kind).seed(seed);
+                let cfg = match kind {
+                    SchemeKind::HpDmmpc => builder.fine_config()?,
+                    _ => builder.coarse_config(n)?,
+                }
+                .with_pipeline(1);
+                let r = cfg.redundancy();
+                let map = MemoryMap::random(cfg.m, cfg.modules, r, cfg.seed);
+                let (dead, fc, rec) = plan_over_map(&map, &plan, hot);
+                let exec = FaultyExec::new(
+                    BipartiteExec::new(cfg.modules),
+                    dead.clone(),
+                    plan.message_drop,
+                    plan.drop_seed(),
+                );
+                let s = MajorityScheme::assemble(cfg, cfg.modules, exec, FlatPlacement);
+                (Engine::Flat(s), dead, fc, rec)
+            }
+            SchemeKind::Hp2dmotLeaves => {
+                let cfg = SimBuilder::new(n, m).kind(kind).seed(seed).fine_config()?;
+                let side = Hp2dmotLeaves::side_for(&cfg);
+                let cfg = cfg.with_modules(side);
+                let r = cfg.redundancy();
+                let map = MemoryMap::random(cfg.m, side, r, cfg.seed);
+                let (dead, fc, rec) = plan_over_map(&map, &plan, hot);
+                let mut mot = MotExec::leaves(side);
+                if plan.link_fraction > 0.0 {
+                    dead_links = mot
+                        .network_mut()
+                        .fail_random_links(plan.link_fraction, plan.link_seed());
+                }
+                let exec = FaultyExec::new(mot, dead.clone(), plan.message_drop, plan.drop_seed());
+                let s = MajorityScheme::assemble(cfg, side, exec, GridPlacement { side });
+                (Engine::Grid(s), dead, fc, rec)
+            }
+            SchemeKind::Lpp2dmot => {
+                let cfg = SimBuilder::new(n, m)
+                    .kind(kind)
+                    .seed(seed)
+                    .coarse_config(n.max(2))?;
+                let r = cfg.redundancy();
+                let side = Lpp2dmot::side_for(&cfg);
+                let map = MemoryMap::random(cfg.m, cfg.modules, r, cfg.seed);
+                let (dead, fc, rec) = plan_over_map(&map, &plan, hot);
+                let mut mot = MotExec::roots(side);
+                if plan.link_fraction > 0.0 {
+                    dead_links = mot
+                        .network_mut()
+                        .fail_random_links(plan.link_fraction, plan.link_seed());
+                }
+                let exec = FaultyExec::new(mot, dead.clone(), plan.message_drop, plan.drop_seed());
+                let s = MajorityScheme::assemble(cfg, cfg.modules, exec, FlatPlacement);
+                (Engine::GridFlat(s), dead, fc, rec)
+            }
+            SchemeKind::Hashed => {
+                let modules = SimBuilder::new(n, m).kind(kind).hashed_modules();
+                let inner = HashedDmmpc::new(n, m, modules, seed);
+                let mut loads = vec![0usize; modules];
+                for v in 0..m {
+                    loads[inner.module_of(v)] += 1;
+                }
+                let hot_modules = vec![inner.module_of(hot)];
+                let dead = plan.module_mask(modules, &loads, &hot_modules);
+                let mut fc = vec![0u32; m];
+                let mut rec = vec![true; m];
+                for v in 0..m {
+                    if dead[inner.module_of(v)] {
+                        fc[v] = 1;
+                        rec[v] = false; // the only copy is gone
+                    }
+                }
+                (Engine::Hashed(inner), dead, fc, rec)
+            }
+            SchemeKind::Ida => {
+                let (modules, b, d) = SimBuilder::new(n, m).kind(kind).ida_layout()?;
+                let mut inner = IdaShared::new(n, m, modules, b, d);
+                let store = inner.store();
+                let vars_per_block = store.vars_per_block();
+                let blocks = m.div_ceil(vars_per_block);
+                let q = store.quorum();
+                let mut loads = vec![0usize; modules];
+                for blk in 0..blocks {
+                    for i in 0..d {
+                        loads[store.module_of_share(blk, i)] += 1;
+                    }
+                }
+                let hot_blk = hot / vars_per_block;
+                let hot_modules: Vec<usize> =
+                    (0..d).map(|i| store.module_of_share(hot_blk, i)).collect();
+                let dead = plan.module_mask(modules, &loads, &hot_modules);
+                let mut fc = vec![0u32; m];
+                let mut rec = vec![true; m];
+                for blk in 0..blocks {
+                    let dead_shares = (0..d)
+                        .filter(|&i| dead[store.module_of_share(blk, i)])
+                        .count();
+                    let block_ok = d - dead_shares >= q;
+                    for v in blk * vars_per_block..((blk + 1) * vars_per_block).min(m) {
+                        fc[v] = dead_shares as u32;
+                        rec[v] = block_ok;
+                    }
+                }
+                inner.set_unavailable(dead.clone());
+                (Engine::Ida(inner), dead, fc, rec)
+            }
+        };
+
+        let dead_procs = plan.processor_mask(n);
+        let report = FaultReport {
+            dead_modules: dead_modules.iter().filter(|&&d| d).count(),
+            dead_processors: dead_procs.iter().filter(|&&d| d).count(),
+            dead_links,
+            lost_cells: recoverable.iter().filter(|&&ok| !ok).count(),
+            ..Default::default()
+        };
+        Ok(FaultyScheme {
+            kind,
+            engine,
+            baseline,
+            plan,
+            dead_procs,
+            faulty_copies,
+            recoverable,
+            report,
+        })
+    }
+}
+
+/// Materialize a plan over a replicated memory map: the dead-module mask
+/// (adversarial placement aims at the hot cell's copy modules, then map
+/// load) plus the per-cell classification. One function, so the three
+/// majority-scheme arms of [`FaultyBuilder::build`] cannot diverge.
+fn plan_over_map(
+    map: &MemoryMap,
+    plan: &FaultPlan,
+    hot: usize,
+) -> (Vec<bool>, Vec<u32>, Vec<bool>) {
+    let hot_modules: Vec<usize> = map.copies(hot).iter().map(|&md| md as usize).collect();
+    let dead = plan.module_mask(map.modules(), &map.module_loads(), &hot_modules);
+    let (fc, rec) = classify_map(map, &dead);
+    (dead, fc, rec)
+}
+
+/// Per-cell fault classification over a replicated memory map: how many of
+/// each cell's copies sit in dead modules, and whether any copy survives.
+fn classify_map(map: &MemoryMap, dead: &[bool]) -> (Vec<u32>, Vec<bool>) {
+    let r = map.redundancy();
+    let mut faulty = vec![0u32; map.vars()];
+    let mut recoverable = vec![true; map.vars()];
+    for v in 0..map.vars() {
+        let fc = map
+            .copies(v)
+            .iter()
+            .filter(|&&md| dead[md as usize])
+            .count();
+        faulty[v] = fc as u32;
+        recoverable[v] = fc < r;
+    }
+    (faulty, recoverable)
+}
+
+/// A scheme from the zoo running under a [`FaultPlan`], paired with its
+/// fault-free twin. Implements [`Scheme`], so zoo-sweeping experiments
+/// drive it exactly like a healthy machine — plus [`Self::report`] for
+/// what the faults cost.
+#[derive(Debug)]
+pub struct FaultyScheme {
+    kind: SchemeKind,
+    engine: Engine,
+    baseline: Box<dyn Scheme>,
+    plan: FaultPlan,
+    dead_procs: Vec<bool>,
+    /// Per cell: copies/shares of this cell residing in dead modules.
+    faulty_copies: Vec<u32>,
+    /// Per cell: whether the scheme can still guarantee recovery.
+    recoverable: Vec<bool>,
+    report: FaultReport,
+}
+
+impl FaultyScheme {
+    /// The per-run fault metrics accumulated so far.
+    pub fn report(&self) -> FaultReport {
+        self.report
+    }
+
+    /// The plan in force.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Cells the plan made statically unrecoverable.
+    pub fn lost_cells(&self) -> usize {
+        self.report.lost_cells
+    }
+
+    /// Whether `cell` is still recoverable under the plan.
+    pub fn is_recoverable(&self, cell: usize) -> bool {
+        self.recoverable[cell]
+    }
+
+    /// How many of `cell`'s copies/shares sit in dead modules.
+    pub fn faulty_copies(&self, cell: usize) -> u32 {
+        self.faulty_copies[cell]
+    }
+}
+
+impl SharedMemory for FaultyScheme {
+    fn size(&self) -> usize {
+        self.baseline.size()
+    }
+
+    fn access(&mut self, reads: &[usize], writes: &[(usize, Word)]) -> AccessResult {
+        // The twin executes the intended step: its answers are the ground
+        // truth a correct machine would produce, its cost the fault-free
+        // baseline.
+        let truth = self.baseline.access(reads, writes);
+        let nreads = reads.len();
+        let hashed = matches!(self.engine, Engine::Hashed(_));
+
+        // Requests from dead processors are never issued; the surviving
+        // requests are re-indexed onto the engine's processors 0..k (the
+        // static-fault model's renumbering of live processors). On the
+        // hashed scheme, requests to dead modules have nowhere to go at
+        // all (their target modules are collected so the timeout they
+        // cost is still charged below).
+        let mut dead_targets: Vec<usize> = Vec::new();
+        let mut live_reads = Vec::with_capacity(nreads);
+        let mut live_read_pos = Vec::with_capacity(nreads);
+        for (i, &a) in reads.iter().enumerate() {
+            if self.dead_procs.get(i).copied().unwrap_or(false) {
+                self.report.unserved_requests += 1;
+                continue;
+            }
+            if hashed && self.faulty_copies[a] > 0 {
+                if let Engine::Hashed(h) = &self.engine {
+                    dead_targets.push(h.module_of(a));
+                }
+                continue; // classified as a lost read below
+            }
+            live_read_pos.push(i);
+            live_reads.push(a);
+        }
+        let mut live_writes = Vec::with_capacity(writes.len());
+        for (j, &(a, v)) in writes.iter().enumerate() {
+            if self.dead_procs.get(nreads + j).copied().unwrap_or(false) {
+                self.report.unserved_requests += 1;
+                continue;
+            }
+            if hashed && self.faulty_copies[a] > 0 {
+                if let Engine::Hashed(h) = &self.engine {
+                    dead_targets.push(h.module_of(a));
+                }
+                continue; // the cell's only module is dead
+            }
+            live_writes.push((a, v));
+        }
+
+        let mut res = self.engine.access(&live_reads, &live_writes);
+        // Requests aimed at a dead module were still *sent* — the issuing
+        // processors wait out the dead module's (unserved) queue before
+        // giving up, so the step cannot be cheaper than that queue depth.
+        // Without this charge, losing cells would make the hashed machine
+        // look *faster* (its congestion is computed over fewer requests).
+        if !dead_targets.is_empty() {
+            let mut load = std::collections::HashMap::new();
+            let timeout = dead_targets
+                .iter()
+                .map(|&md| {
+                    let e = load.entry(md).or_insert(0u64);
+                    *e += 1;
+                    *e
+                })
+                .max()
+                .unwrap_or(0);
+            res.cost.phases = res.cost.phases.max(timeout);
+            res.cost.cycles = res.cost.cycles.max(timeout);
+        }
+        let mut read_values = vec![0 as Word; nreads];
+        for (k, &i) in live_read_pos.iter().enumerate() {
+            read_values[i] = res.read_values[k];
+        }
+
+        // Classify every intended read against the twin's answer.
+        for (i, &a) in reads.iter().enumerate() {
+            self.report.reads += 1;
+            if self.dead_procs.get(i).copied().unwrap_or(false) {
+                self.report.unserved_reads += 1;
+                continue; // in unserved_requests too (with the writes)
+            }
+            if !self.recoverable[a] {
+                self.report.lost_reads += 1;
+            } else if read_values[i] == truth.read_values[i] {
+                self.report.correct_reads += 1;
+                if self.faulty_copies[a] > 0 {
+                    match self.kind {
+                        SchemeKind::Ida => self.report.recovered_ida += 1,
+                        SchemeKind::Hashed => unreachable!("faulty hashed cell is lost"),
+                        _ => self.report.recovered_majority += 1,
+                    }
+                }
+            } else {
+                self.report.stale_reads += 1;
+            }
+        }
+        self.report.writes += writes.len() as u64;
+        self.report.lost_writes += writes
+            .iter()
+            .filter(|&&(a, _)| !self.recoverable[a])
+            .count() as u64;
+
+        self.report.steps += 1;
+        self.report.faulty_phases += res.cost.phases;
+        self.report.faulty_cycles += res.cost.cycles;
+        self.report.baseline_phases += truth.cost.phases;
+        self.report.baseline_cycles += truth.cost.cycles;
+        let (dead_attempts, dropped) = self.engine.exec_stats();
+        self.report.dead_attempts = dead_attempts;
+        self.report.dropped_messages = dropped;
+
+        AccessResult {
+            read_values,
+            cost: res.cost,
+        }
+    }
+
+    fn poke(&mut self, addr: usize, value: Word) {
+        // Initialization path: both machines receive it, outside the
+        // report's step accounting.
+        self.baseline.poke(addr, value);
+        self.engine.poke(addr, value);
+    }
+}
+
+impl Scheme for FaultyScheme {
+    fn kind(&self) -> SchemeKind {
+        self.kind
+    }
+
+    fn redundancy(&self) -> f64 {
+        self.baseline.redundancy()
+    }
+
+    fn modules(&self) -> usize {
+        self.baseline.modules()
+    }
+
+    fn last_step(&self) -> StepReport {
+        self.engine.last_step()
+    }
+
+    fn totals(&self) -> (StepReport, u64) {
+        self.engine.totals()
+    }
+
+    fn params(&self) -> SchemeParams {
+        self.baseline.params()
+    }
+}

@@ -106,6 +106,11 @@ impl SchusterStore {
         (self.code.d() + self.code.b()) / 2
     }
 
+    /// Shares per block `d`.
+    pub fn shares(&self) -> usize {
+        self.code.d()
+    }
+
     /// Variables stored per block (`b/4`).
     pub fn vars_per_block(&self) -> usize {
         self.vars_per_block

@@ -21,7 +21,10 @@
 //! serialization and pipelining effects are measured, not assumed.
 
 use crate::topology::MotTopology;
-use netsim::{Behavior, Engine, EngineConfig, NodeId, Route, RunStats, Topology};
+use netsim::{
+    Behavior, DropReason, EdgeId, Engine, EngineConfig, NodeId, Route, RunStats, Topology,
+};
+use simrng::{rng_from_seed, Rng};
 
 /// A memory-access request to route through the mesh.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,9 +74,16 @@ struct MotPacket<P> {
 pub struct BatchOutcome<P> {
     /// Requests served, with payloads as mutated by the leaf callback.
     pub served: Vec<MotRequest<P>>,
-    /// Requests killed by column-admission conflicts (to be retried by the
-    /// protocol in a later phase).
+    /// Requests killed by column-admission conflicts or queue overflows
+    /// (transient — to be retried by the protocol in a later phase).
     pub killed: Vec<MotRequest<P>>,
+    /// Requests lost to a dead link ([`MotNetwork::fail_links`]). The
+    /// link is permanently dead but the *route* is per-source: a retry of
+    /// the same request from a different source root can route around the
+    /// fault (which is how `cr-core`'s `MotExec` consumes this bucket —
+    /// it retries with a rotated source). Only write a request off as
+    /// permanent if it will always be re-sent from the same source.
+    pub faulted: Vec<MotRequest<P>>,
     /// Engine statistics; `stats.cycles` is the phase's duration.
     pub stats: RunStats,
 }
@@ -201,11 +211,18 @@ pub struct MotNetwork<P> {
 impl<P> MotNetwork<P> {
     /// A network over an `side × side` 2DMOT.
     pub fn new(side: usize) -> Self {
-        let mot = MotTopology::new(side);
         // Queue capacity must accommodate stage-2 pipelining (Θ(log n)
         // packets per column); admission control bounds the real occupancy.
+        Self::with_queue_capacity(side, 4 * side.max(16))
+    }
+
+    /// A network with an explicit per-node queue capacity — exposed so the
+    /// queue-overflow ("collision kill") drop path can be exercised
+    /// deterministically in tests; production callers want [`Self::new`].
+    pub fn with_queue_capacity(side: usize, queue_capacity: usize) -> Self {
+        let mot = MotTopology::new(side);
         let cfg = EngineConfig {
-            queue_capacity: 4 * side.max(16),
+            queue_capacity,
             max_cycles: 10_000_000,
         };
         let engine = Engine::new(mot.graph(), cfg);
@@ -220,6 +237,34 @@ impl<P> MotNetwork<P> {
     /// The topology (for inspection / area accounting).
     pub fn topology(&self) -> &MotTopology {
         &self.mot
+    }
+
+    /// Permanently kill the given directed edges: packets routed onto them
+    /// are dropped and reported in [`BatchOutcome::faulted`].
+    pub fn fail_links(&mut self, edges: &[EdgeId]) {
+        for &e in edges {
+            assert!(e < self.mot.graph().edge_count(), "edge {e} out of range");
+            self.engine.fail_link(e);
+        }
+    }
+
+    /// Kill `⌈fraction · edges⌉` links chosen uniformly (deterministically
+    /// from `seed`); returns how many links are now dead.
+    pub fn fail_random_links(&mut self, fraction: f64, seed: u64) -> usize {
+        let edges = self.mot.graph().edge_count();
+        let count = ((fraction * edges as f64).ceil() as usize).min(edges);
+        if count > 0 {
+            let mut rng = rng_from_seed(seed);
+            for e in rng.sample_distinct(edges as u64, count) {
+                self.engine.fail_link(e as EdgeId);
+            }
+        }
+        self.engine.dead_link_count()
+    }
+
+    /// Number of directed edges currently marked dead.
+    pub fn dead_links(&self) -> usize {
+        self.engine.dead_link_count()
     }
 
     /// Route one batch (= one protocol phase).
@@ -262,23 +307,27 @@ impl<P> MotNetwork<P> {
             killed: Vec::new(),
         };
         let mut overflow: Vec<MotPacket<P>> = Vec::new();
+        let mut faulted: Vec<MotPacket<P>> = Vec::new();
         let stats = self
             .engine
-            .run_until_quiet(self.mot.graph(), &mut router, |p| {
-                overflow.push(p);
+            .run_until_quiet(self.mot.graph(), &mut router, |p, reason| match reason {
+                DropReason::QueueFull => overflow.push(p),
+                DropReason::DeadLink => faulted.push(p),
             });
         let Router {
             mut killed, served, ..
         } = router;
         killed.extend(overflow.into_iter().map(|p| p.req));
+        let faulted: Vec<MotRequest<P>> = faulted.into_iter().map(|p| p.req).collect();
         debug_assert_eq!(
-            served.len() + killed.len(),
+            served.len() + killed.len() + faulted.len(),
             n_reqs,
             "requests must be accounted for"
         );
         BatchOutcome {
             served,
             killed,
+            faulted,
             stats,
         }
     }
@@ -559,6 +608,109 @@ mod tests {
         let out = net.route_batch(reqs, 1, |_, _, p| p.result = 0);
         assert_eq!(out.served.len(), 1);
         assert_eq!(out.killed.len(), 1);
+    }
+
+    #[test]
+    fn dead_links_fault_requests_permanently() {
+        let side = 8;
+        let mut net: MotNetwork<Op> = MotNetwork::new(side);
+        let mem = grid_memory(side);
+        // Kill root 0's first row-tree down-link: every request from root 0
+        // dies on its first hop; other roots are untouched.
+        let root = net.topology().root(0);
+        let first_down = net.topology().graph().out_edges(root).to_vec();
+        net.fail_links(&first_down);
+        assert_eq!(net.dead_links(), first_down.len());
+        let mk = |src: usize| MotRequest {
+            to_root: false,
+            src_root: src,
+            row: 3,
+            col: (src + 1) % side,
+            payload: Op {
+                write: None,
+                result: -1,
+            },
+        };
+        let out = net.route_batch(vec![mk(0), mk(4)], 1, |r, c, p| {
+            p.result = mem[r * side + c]
+        });
+        assert_eq!(out.served.len(), 1);
+        assert_eq!(out.served[0].src_root, 4);
+        assert_eq!(out.killed.len(), 0, "link faults are not transient kills");
+        assert_eq!(out.faulted.len(), 1);
+        assert_eq!(out.faulted[0].src_root, 0);
+        assert_eq!(out.stats.link_faulted, 1);
+        // Retrying reproduces the fault — it is permanent, not a race.
+        let again = net.route_batch(vec![mk(0)], 1, |r, c, p| p.result = mem[r * side + c]);
+        assert_eq!(again.faulted.len(), 1);
+    }
+
+    #[test]
+    fn fail_random_links_is_deterministic_and_bounded() {
+        let side = 8;
+        let mut a: MotNetwork<Op> = MotNetwork::new(side);
+        let mut b: MotNetwork<Op> = MotNetwork::new(side);
+        let da = a.fail_random_links(0.05, 42);
+        let db = b.fail_random_links(0.05, 42);
+        assert_eq!(da, db);
+        assert!(da > 0);
+        let edges = a.topology().graph().edge_count();
+        assert_eq!(da, (0.05f64 * edges as f64).ceil() as usize);
+        // Same seed, same batch: identical outcome on both networks.
+        let mem = grid_memory(side);
+        let mk = || {
+            (0..side)
+                .map(|t| MotRequest {
+                    to_root: false,
+                    src_root: t,
+                    row: (t * 3) % side,
+                    col: (t * 5) % side,
+                    payload: Op {
+                        write: None,
+                        result: -1,
+                    },
+                })
+                .collect::<Vec<_>>()
+        };
+        let oa = a.route_batch(mk(), 1, |r, c, p| p.result = mem[r * side + c]);
+        let ob = b.route_batch(mk(), 1, |r, c, p| p.result = mem[r * side + c]);
+        assert_eq!(oa.served, ob.served);
+        assert_eq!(oa.faulted, ob.faulted);
+        assert_eq!(oa.stats.cycles, ob.stats.cycles);
+    }
+
+    #[test]
+    fn queue_overflow_kills_are_counted_and_retryable() {
+        // A tiny queue capacity forces the engine's collision-kill path:
+        // many requests from one root share its row-tree links and pile up.
+        let side = 8;
+        let mut net: MotNetwork<Op> = MotNetwork::with_queue_capacity(side, 1);
+        let mem = grid_memory(side);
+        let mk = || {
+            (0..side)
+                .map(|i| MotRequest {
+                    to_root: false,
+                    src_root: 0,
+                    row: i,
+                    col: i,
+                    payload: Op {
+                        write: None,
+                        result: -1,
+                    },
+                })
+                .collect::<Vec<_>>()
+        };
+        let out = net.route_batch(mk(), side, |r, c, p| p.result = mem[r * side + c]);
+        assert!(out.stats.dropped > 0, "capacity 1 must overflow");
+        assert_eq!(out.killed.len(), out.stats.dropped as usize);
+        assert_eq!(out.faulted.len(), 0);
+        assert_eq!(out.served.len() + out.killed.len(), side);
+        // The engine drains fully and stays deterministic afterward.
+        let again = net.route_batch(mk(), side, |r, c, p| p.result = mem[r * side + c]);
+        assert_eq!(again.served, out.served);
+        assert_eq!(again.killed, out.killed);
+        assert_eq!(again.stats.cycles, out.stats.cycles);
+        assert_eq!(again.stats.dropped, out.stats.dropped);
     }
 
     #[test]

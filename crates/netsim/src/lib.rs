@@ -110,6 +110,23 @@ impl Topology {
     }
 }
 
+/// Why the engine dropped a packet (reported through the `on_drop`
+/// callback of [`Engine::run_until_quiet`]).
+///
+/// The distinction matters to protocols: a queue-full kill is *transient*
+/// (the same packet can be retried next phase and may get through), while a
+/// dead link is a *permanent* fault — retrying the **same route** can never
+/// succeed, so the protocol should either reroute (retry from a different
+/// source) or write the request off instead of spinning on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Arrived at a node whose queue was full (the deterministic 2DMOT
+    /// protocols' "collision kill").
+    QueueFull,
+    /// Tried to traverse a link marked dead via [`Engine::fail_link`].
+    DeadLink,
+}
+
 /// What a node does with a packet this cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Route {
@@ -166,6 +183,9 @@ pub struct RunStats {
     pub hops: u64,
     /// Packets dropped on arrival at a full queue.
     pub dropped: u64,
+    /// Packets dropped because they were routed onto a dead link
+    /// (fault injection via [`Engine::fail_link`]).
+    pub link_faulted: u64,
     /// Packets discarded by behavior choice.
     pub discarded: u64,
     /// Largest queue occupancy observed at any node.
@@ -188,6 +208,9 @@ pub struct Engine<T> {
     /// Nodes with a non-empty queue (kept duplicate-free via `is_active`).
     active: Vec<NodeId>,
     is_active: Vec<bool>,
+    /// Edges marked dead by fault injection; forwarding onto one drops the
+    /// packet (reported with [`DropReason::DeadLink`]).
+    dead_links: Vec<bool>,
     cfg: EngineConfig,
 }
 
@@ -200,8 +223,20 @@ impl<T> Engine<T> {
             occupied: Vec::new(),
             active: Vec::new(),
             is_active: vec![false; topo.nodes()],
+            dead_links: vec![false; topo.edge_count()],
             cfg,
         }
+    }
+
+    /// Mark a directed edge as permanently dead: any packet routed onto it
+    /// is dropped and reported with [`DropReason::DeadLink`].
+    pub fn fail_link(&mut self, e: EdgeId) {
+        self.dead_links[e] = true;
+    }
+
+    /// Number of edges currently marked dead.
+    pub fn dead_link_count(&self) -> usize {
+        self.dead_links.iter().filter(|&&d| d).count()
     }
 
     fn mark_active(&mut self, node: NodeId) {
@@ -219,8 +254,9 @@ impl<T> Engine<T> {
     }
 
     /// Run until no packet remains queued or in flight. Returns statistics;
-    /// dropped packets are handed to `on_drop` so protocols can mark the
-    /// corresponding requests failed.
+    /// dropped packets are handed to `on_drop` with the [`DropReason`] so
+    /// protocols can mark the corresponding requests failed (transiently
+    /// for queue overflows, permanently for dead links).
     ///
     /// Panics when `max_cycles` is exceeded (a protocol bug, not a
     /// condition to handle).
@@ -228,7 +264,7 @@ impl<T> Engine<T> {
         &mut self,
         topo: &Topology,
         behavior: &mut B,
-        mut on_drop: impl FnMut(T),
+        mut on_drop: impl FnMut(T, DropReason),
     ) -> RunStats {
         let mut stats = RunStats::default();
         let mut spawned: Vec<(NodeId, T)> = Vec::new();
@@ -250,7 +286,7 @@ impl<T> Engine<T> {
                     let (_, to) = topo.endpoints(e);
                     if self.queues[to].len() >= self.cfg.queue_capacity {
                         stats.dropped += 1;
-                        on_drop(p);
+                        on_drop(p, DropReason::QueueFull);
                     } else {
                         self.queues[to].push_back(p);
                         stats.max_queue = stats.max_queue.max(self.queues[to].len());
@@ -277,7 +313,10 @@ impl<T> Engine<T> {
                     match behavior.route(node, &mut p, topo) {
                         Route::Forward(e) => {
                             debug_assert_eq!(topo.endpoints(e).0, node, "edge must leave node");
-                            if self.links[e].is_none() {
+                            if self.dead_links[e] {
+                                stats.link_faulted += 1;
+                                on_drop(p, DropReason::DeadLink);
+                            } else if self.links[e].is_none() {
                                 self.links[e] = Some(p);
                                 self.occupied.push(e);
                                 stats.hops += 1;
@@ -358,7 +397,7 @@ mod tests {
         let mut eng = Engine::new(&topo, EngineConfig::default());
         eng.inject(0, WalkPacket { dest: 4, id: 1 });
         let mut b = LineBehavior { consumed: vec![] };
-        let stats = eng.run_until_quiet(&topo, &mut b, |_| {});
+        let stats = eng.run_until_quiet(&topo, &mut b, |_, _| {});
         assert_eq!(b.consumed, vec![1]);
         assert_eq!(stats.hops, 4);
         // 4 hops at 1 cycle each + the consume cycle.
@@ -374,7 +413,7 @@ mod tests {
             eng.inject(0, WalkPacket { dest: 2, id });
         }
         let mut b = LineBehavior { consumed: vec![] };
-        let stats = eng.run_until_quiet(&topo, &mut b, |_| {});
+        let stats = eng.run_until_quiet(&topo, &mut b, |_, _| {});
         assert_eq!(b.consumed.len(), 4);
         // FIFO order preserved.
         assert_eq!(b.consumed, vec![0, 1, 2, 3]);
@@ -406,11 +445,78 @@ mod tests {
         eng.inject(s1, WalkPacket { dest: sink, id: 11 });
         let mut b = LineBehavior { consumed: vec![] };
         let mut dropped = Vec::new();
-        let stats = eng.run_until_quiet(&topo, &mut b, |p| dropped.push(p.id));
+        let stats = eng.run_until_quiet(&topo, &mut b, |p, r| dropped.push((p.id, r)));
         // Both arrive in the same cycle at a capacity-1 queue: one dies.
         assert_eq!(stats.dropped, 1);
         assert_eq!(dropped.len(), 1);
+        assert_eq!(dropped[0].1, DropReason::QueueFull);
         assert_eq!(b.consumed.len(), 1);
+    }
+
+    /// The queue-full "collision kill" path: dropped packets are counted
+    /// and reported, and the engine stays deterministic afterward — the
+    /// same injection pattern on the same engine reproduces the same drops,
+    /// deliveries, and cycle count.
+    #[test]
+    fn queue_overflow_is_counted_and_engine_stays_deterministic() {
+        // Four sources feed one sink whose queue holds 2 packets.
+        let mut topo = Topology::new();
+        let sources: Vec<NodeId> = (0..4).map(|_| topo.add_node()).collect();
+        let sink = topo.add_node();
+        for &s in &sources {
+            topo.add_edge(s, sink);
+        }
+        let mut eng = Engine::new(
+            &topo,
+            EngineConfig {
+                queue_capacity: 2,
+                max_cycles: 100,
+            },
+        );
+        let run = |eng: &mut Engine<WalkPacket>| {
+            for (id, &s) in sources.iter().enumerate() {
+                eng.inject(s, WalkPacket { dest: sink, id });
+            }
+            let mut b = LineBehavior { consumed: vec![] };
+            let mut dropped = Vec::new();
+            let stats = eng.run_until_quiet(&topo, &mut b, |p, r| {
+                assert_eq!(r, DropReason::QueueFull);
+                dropped.push(p.id);
+            });
+            (stats, b.consumed, dropped)
+        };
+        let (s1, c1, d1) = run(&mut eng);
+        // All four arrive in the same cycle; capacity 2 kills exactly two,
+        // and every packet is accounted for exactly once.
+        assert_eq!(s1.dropped, 2);
+        assert_eq!(d1.len(), 2);
+        assert_eq!(c1.len() + d1.len(), 4);
+        // A drained engine is reusable and bit-deterministic: same batch,
+        // same outcome.
+        let (s2, c2, d2) = run(&mut eng);
+        assert_eq!(s2.dropped, s1.dropped);
+        assert_eq!(s2.cycles, s1.cycles);
+        assert_eq!(c2, c1);
+        assert_eq!(d2, d1);
+    }
+
+    #[test]
+    fn dead_link_drops_at_forward_time() {
+        let topo = line(4); // 0 -> 1 -> 2 -> 3
+        let mut eng = Engine::new(&topo, EngineConfig::default());
+        // Kill the 1 -> 2 edge: packets die when node 1 tries to forward.
+        eng.fail_link(1);
+        assert_eq!(eng.dead_link_count(), 1);
+        eng.inject(0, WalkPacket { dest: 3, id: 7 });
+        let mut b = LineBehavior { consumed: vec![] };
+        let mut dropped = Vec::new();
+        let stats = eng.run_until_quiet(&topo, &mut b, |p, r| dropped.push((p.id, r)));
+        assert!(b.consumed.is_empty());
+        assert_eq!(stats.link_faulted, 1);
+        assert_eq!(stats.dropped, 0);
+        assert_eq!(dropped, vec![(7, DropReason::DeadLink)]);
+        // Only the 0 -> 1 hop was traversed.
+        assert_eq!(stats.hops, 1);
     }
 
     #[test]
@@ -462,7 +568,7 @@ mod tests {
             a,
             b: bnode,
         };
-        let stats = eng.run_until_quiet(&topo, &mut b, |_| {});
+        let stats = eng.run_until_quiet(&topo, &mut b, |_, _| {});
         assert_eq!(b.replies_received, 1);
         assert_eq!(stats.delivered, 2); // request + reply
         assert_eq!(stats.hops, 2);
@@ -493,7 +599,7 @@ mod tests {
             },
         );
         eng.inject(a, 0);
-        let _ = eng.run_until_quiet(&topo, &mut Spin, |_| {});
+        let _ = eng.run_until_quiet(&topo, &mut Spin, |_, _| {});
     }
 
     #[test]
@@ -551,7 +657,7 @@ mod tests {
             src,
             got: 0,
         };
-        let stats = eng.run_until_quiet(&topo, &mut b, |_| {});
+        let stats = eng.run_until_quiet(&topo, &mut b, |_, _| {});
         assert_eq!(b.got, 2);
         // Both depart cycle 1, arrive cycle 2, consumed cycle 2.
         assert_eq!(stats.cycles, 2);

@@ -17,6 +17,9 @@
 //! * [`core`] — the simulation schemes themselves (the paper's
 //!   contribution plus all baselines), unified behind the object-safe
 //!   [`core::Scheme`] trait and constructed via [`core::SimBuilder`];
+//! * [`faults`] — deterministic fault injection ([`faults::FaultPlan`] /
+//!   [`faults::FaultyBuilder`]): every scheme under module, processor,
+//!   link, and message faults, measured against a fault-free twin;
 //! * [`workloads`] / [`metrics`] — experiment support.
 //!
 //! See `DESIGN.md` for the crate inventory and the experiment index, and
@@ -61,6 +64,7 @@
 //! as [`core::HpDmmpc::new`] — see `examples/quickstart.rs`.
 
 pub use cr_core as core;
+pub use cr_faults as faults;
 pub use galois;
 pub use ida;
 pub use memdist;

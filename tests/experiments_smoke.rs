@@ -114,11 +114,57 @@ fn programs_e2e_all_schemes_correct() {
 }
 
 #[test]
+fn e14_faults_emits_one_json_row_per_scheme_fraction_pair() {
+    use pramsim::faults::Placement;
+    // Two schemes to keep the smoke test fast; the conformance matrix
+    // covers the zoo.
+    let ctx = RunCtx::seeded(11).with_schemes(vec![SchemeKind::HpDmmpc, SchemeKind::Hashed]);
+    let out = pram_bench::faults::run(&ctx);
+    let rows = out
+        .lines()
+        .filter(|l| l.starts_with("{\"experiment\":\"E14\""))
+        .count();
+    assert_eq!(
+        rows,
+        2 * pram_bench::faults::FRACTIONS.len(),
+        "one JSON row per (scheme, f) pair:\n{out}"
+    );
+    // The headline contrast is visible in one table: hashing loses cells,
+    // the copy scheme does not.
+    assert!(out.contains("hp-dmmpc"), "{out}");
+    assert!(out.contains("hashed"), "{out}");
+
+    // `repro --faults 0.1 --scheme hp-dmmpc` prints a full FaultReport.
+    let pinned = RunCtx::seeded(11)
+        .with_schemes(vec![SchemeKind::HpDmmpc])
+        .with_faults(0.1, Placement::Random);
+    let out = pram_bench::faults::run(&pinned);
+    assert!(out.contains("FaultReport"), "{out}");
+    assert_eq!(
+        out.lines()
+            .filter(|l| l.starts_with("{\"experiment\":\"E14\""))
+            .count(),
+        1
+    );
+}
+
+#[test]
+fn scheme_list_lines_name_and_describe_every_scheme() {
+    let lines = pram_bench::scheme_list_lines();
+    assert_eq!(lines.len(), SchemeKind::ALL.len());
+    for (line, kind) in lines.iter().zip(SchemeKind::ALL) {
+        assert!(line.contains(kind.name()), "{line}");
+        assert!(line.contains(kind.describe()), "{line}");
+        assert!(line.contains('—'), "list format is 'name — description'");
+    }
+}
+
+#[test]
 fn registry_is_complete_and_unique() {
     let reg = pram_bench::registry();
-    assert_eq!(reg.len(), 14);
+    assert_eq!(reg.len(), 15);
     let mut ids: Vec<&str> = reg.iter().map(|&(id, _, _)| id).collect();
     ids.sort_unstable();
     ids.dedup();
-    assert_eq!(ids.len(), 14, "experiment ids must be unique");
+    assert_eq!(ids.len(), 15, "experiment ids must be unique");
 }
