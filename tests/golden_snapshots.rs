@@ -1,0 +1,176 @@
+//! Golden determinism snapshots: the step engine's observable behavior,
+//! pinned byte-for-byte.
+//!
+//! Each scheme in the zoo runs a fixed seeded workload and the snapshot
+//! string captures everything the engine reports — accumulated
+//! `StepReport` totals, the final step's full report (including
+//! `ProtocolStats`), and an FNV-1a hash over every value read back — so
+//! any engine rewrite is verified *behavior-identical*, not merely
+//! "still passes the property suite". The fault-injection snapshots pin
+//! the whole `FaultReport` JSON line the same way.
+//!
+//! The constants below were captured from the pre-refactor engine (the
+//! per-phase-allocating data plane) and must never change across a
+//! performance refactor. To regenerate after an *intentional* behavior
+//! change: `GOLDEN=print cargo test --test golden_snapshots -- --nocapture`
+//! and paste the printed block.
+
+use pramsim::core::{SchemeKind, SimBuilder};
+use pramsim::faults::{FaultPlan, FaultyBuilder};
+use pramsim::machine::SharedMemory;
+use pramsim::simrng::rng_from_seed;
+
+const GOLDEN_SEED: u64 = 0xC0FFEE;
+const STEPS: usize = 12;
+
+/// The routed 2DMOT schemes simulate every packet, so they run on a
+/// smaller instance (same policy as the property suite and E14).
+fn size_for(kind: SchemeKind) -> (usize, usize) {
+    match kind {
+        SchemeKind::Hp2dmotLeaves | SchemeKind::Lpp2dmot => (8, 64),
+        _ => (16, 256),
+    }
+}
+
+fn fnv1a(hash: &mut u64, value: u64) {
+    for byte in value.to_le_bytes() {
+        *hash ^= byte as u64;
+        *hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+/// Drive `mem` through the fixed golden workload; returns the read hash.
+fn drive(mem: &mut dyn SharedMemory, n: usize, m: usize) -> u64 {
+    let mut rng = rng_from_seed(GOLDEN_SEED ^ 0x9E37);
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for _ in 0..STEPS {
+        let p = workloads::uniform(n, m, 0.3, &mut rng);
+        let res = mem.access(&p.reads, &p.writes);
+        for &v in &res.read_values {
+            fnv1a(&mut hash, v as u64);
+        }
+        fnv1a(&mut hash, res.cost.phases);
+        fnv1a(&mut hash, res.cost.cycles);
+        fnv1a(&mut hash, res.cost.messages);
+    }
+    hash
+}
+
+/// One scheme's snapshot line: totals + final step + read hash.
+fn snapshot(kind: SchemeKind) -> String {
+    let (n, m) = size_for(kind);
+    let mut s = SimBuilder::new(n, m)
+        .kind(kind)
+        .seed(GOLDEN_SEED)
+        .build()
+        .expect("golden regimes are feasible");
+    let hash = drive(s.as_mut(), n, m);
+    let (tot, steps) = s.totals();
+    format!(
+        "{kind} n={n} m={m} steps={steps} req={} phases={} cycles={} \
+         messages={} readhash={hash:016x} last={:?}",
+        tot.requests,
+        tot.phases,
+        tot.cycles,
+        tot.messages,
+        s.last_step()
+    )
+}
+
+/// One faulty scheme's snapshot: the full `FaultReport` JSON plus the
+/// read hash (the JSON is what PR 2 promised stays byte-identical).
+fn fault_snapshot(kind: SchemeKind) -> String {
+    let (n, m) = size_for(kind);
+    let plan = FaultPlan::modules(0.125)
+        .with_message_drop(0.05)
+        .with_link_fraction(0.02)
+        .with_seed(GOLDEN_SEED);
+    let mut s = FaultyBuilder::new(n, m)
+        .kind(kind)
+        .seed(GOLDEN_SEED)
+        .plan(plan)
+        .build()
+        .expect("golden fault regimes are feasible");
+    let hash = drive(&mut s, n, m);
+    format!(
+        "readhash={hash:016x} {}",
+        s.report().to_json(kind.name(), 0.125)
+    )
+}
+
+const GOLDEN: [(&str, SchemeKind); 6] = [
+    ("uw-mpc", SchemeKind::UwMpc),
+    ("hp-dmmpc", SchemeKind::HpDmmpc),
+    ("hp-2dmot", SchemeKind::Hp2dmotLeaves),
+    ("lpp-2dmot", SchemeKind::Lpp2dmot),
+    ("hashed", SchemeKind::Hashed),
+    ("ida", SchemeKind::Ida),
+];
+
+/// Pre-refactor engine snapshots (see module docs). Index-aligned with
+/// [`GOLDEN`].
+const EXPECTED: [&str; 6] = [
+    "uw-mpc n=16 m=256 steps=12 req=192 phases=141 cycles=93 messages=2366 readhash=9b14dab2fb18c607 last=StepReport { requests: 16, phases: 13, cycles: 9, messages: 212, protocol: ProtocolStats { stage1_phases: 9, stage2_phases: 0, cycles: 9, messages: 212, stage1_leftover: 0, killed_attempts: 35, dead_attempts: 0, failed_requests: 0, copies_accessed: 71 } }",
+    "hp-dmmpc n=16 m=256 steps=12 req=192 phases=228 cycles=180 messages=5760 readhash=d015f0f425074b0d last=StepReport { requests: 16, phases: 19, cycles: 15, messages: 480, protocol: ProtocolStats { stage1_phases: 15, stage2_phases: 0, cycles: 15, messages: 480, stage1_leftover: 0, killed_attempts: 4, dead_attempts: 0, failed_requests: 0, copies_accessed: 236 } }",
+    "hp-2dmot n=8 m=64 steps=12 req=96 phases=132 cycles=3744 messages=51840 readhash=85b4345357f65494 last=StepReport { requests: 8, phases: 11, cycles: 312, messages: 4320, protocol: ProtocolStats { stage1_phases: 8, stage2_phases: 0, cycles: 312, messages: 4320, stage1_leftover: 0, killed_attempts: 0, dead_attempts: 0, failed_requests: 0, copies_accessed: 120 } }",
+    "lpp-2dmot n=8 m=64 steps=12 req=96 phases=88 cycles=733 messages=3357 readhash=6aa0965245889b5c last=StepReport { requests: 8, phases: 8, cycles: 70, messages: 294, protocol: ProtocolStats { stage1_phases: 5, stage2_phases: 0, cycles: 70, messages: 294, stage1_leftover: 0, killed_attempts: 10, dead_attempts: 0, failed_requests: 0, copies_accessed: 22 } }",
+    "hashed n=16 m=256 steps=12 req=192 phases=22 cycles=22 messages=384 readhash=3397fc7ed02e80cd last=StepReport { requests: 16, phases: 2, cycles: 2, messages: 32, protocol: ProtocolStats { stage1_phases: 0, stage2_phases: 0, cycles: 0, messages: 0, stage1_leftover: 0, killed_attempts: 0, dead_attempts: 0, failed_requests: 0, copies_accessed: 0 } }",
+    "ida n=16 m=256 steps=12 req=192 phases=67 cycles=67 messages=1260 readhash=37f1ad528bf902f1 last=StepReport { requests: 16, phases: 6, cycles: 6, messages: 105, protocol: ProtocolStats { stage1_phases: 0, stage2_phases: 0, cycles: 0, messages: 0, stage1_leftover: 0, killed_attempts: 0, dead_attempts: 0, failed_requests: 0, copies_accessed: 0 } }",
+];
+
+const EXPECTED_FAULTY: [(&str, &str); 2] = [
+    (
+        "hp-dmmpc",
+        r#"readhash=d1d689571dc28950 {"experiment":"E14","scheme":"hp-dmmpc","f":0.125000,"dead_modules":8,"dead_processors":0,"dead_links":0,"lost_cells":0,"steps":12,"reads":132,"writes":60,"correct_reads":132,"stale_reads":0,"lost_reads":0,"unserved_reads":0,"lost_writes":0,"recovered_majority":126,"recovered_ida":0,"unserved_requests":0,"dead_attempts":385,"dropped_messages":114,"faulty_phases":228,"baseline_phases":228,"read_survival":1.000000,"slowdown":1.0000}"#,
+    ),
+    (
+        "hp-2dmot",
+        r#"readhash=fa9b8b084be89dd4 {"experiment":"E14","scheme":"hp-2dmot","f":0.125000,"dead_modules":8,"dead_processors":0,"dead_links":646,"lost_cells":0,"steps":12,"reads":72,"writes":24,"correct_reads":72,"stale_reads":0,"lost_reads":0,"unserved_reads":0,"lost_writes":0,"recovered_majority":68,"recovered_ida":0,"unserved_requests":0,"dead_attempts":162,"dropped_messages":26,"faulty_phases":3036,"baseline_phases":132,"read_survival":1.000000,"slowdown":23.0000}"#,
+    ),
+];
+
+#[test]
+fn golden_scheme_snapshots() {
+    let printing = std::env::var("GOLDEN").is_ok_and(|v| v == "print");
+    for ((name, kind), expected) in GOLDEN.iter().zip(EXPECTED) {
+        let got = snapshot(*kind);
+        if printing {
+            println!("    \"{got}\",");
+        } else {
+            assert_eq!(got, expected, "{name} snapshot drifted");
+        }
+    }
+    assert!(
+        !printing,
+        "GOLDEN=print captures snapshots; unset it to assert"
+    );
+}
+
+#[test]
+fn golden_fault_snapshots() {
+    let printing = std::env::var("GOLDEN").is_ok_and(|v| v == "print");
+    for (name, expected) in EXPECTED_FAULTY {
+        let kind: SchemeKind = name.parse().expect("golden kinds parse");
+        let got = fault_snapshot(kind);
+        if printing {
+            println!("    (\"{name}\", \"{got}\"),");
+        } else {
+            assert_eq!(got, expected, "{name} fault snapshot drifted");
+        }
+    }
+    assert!(
+        !printing,
+        "GOLDEN=print captures snapshots; unset it to assert"
+    );
+}
+
+/// The snapshot harness itself must be deterministic: two fresh drives
+/// of the same scheme produce the same snapshot string.
+#[test]
+fn snapshots_are_reproducible() {
+    assert_eq!(snapshot(SchemeKind::HpDmmpc), snapshot(SchemeKind::HpDmmpc));
+    assert_eq!(
+        fault_snapshot(SchemeKind::HpDmmpc),
+        fault_snapshot(SchemeKind::HpDmmpc)
+    );
+}
