@@ -3,17 +3,48 @@
 //! ```text
 //! repro all                      # every experiment, in order
 //! repro dmmpc mot                # selected experiments
+//! repro --experiment throughput  # flag form of the same selection
 //! repro --seed 7 all             # override the seed
 //! repro --scheme hp-2dmot sweep  # restrict zoo sweeps to one scheme
 //! repro --faults 0.1 --scheme hp-dmmpc
 //!                                # E14 at one fault fraction, full report
 //! repro --faults 0.25 --fault-mode adversarial faults
+//! repro --threads 4 throughput   # parallel sweep driver (E15)
+//! repro --quick --experiment throughput --baseline BENCH_throughput.json
+//!                                # CI perf smoke: small sweep + 3x guard
+//! repro --json-out out.json all  # collect every emitted JSON row
 //! repro --list                   # list experiment ids and scheme names
 //! ```
 
 use cr_core::SchemeKind;
 use cr_faults::Placement;
-use pram_bench::{registry, scheme_list_lines, RunCtx};
+use pram_bench::{registry, scheme_list_lines, throughput, RunCtx};
+
+/// Count heap allocations so E15 can report `allocs/step` — the perf
+/// trajectory's "is the data plane still flat?" column.
+#[global_allocator]
+static ALLOC: metrics::counting::CountingAlloc = metrics::counting::CountingAlloc;
+
+fn usage(reg: &[(&str, &str, pram_bench::Runner)]) {
+    eprintln!(
+        "usage: repro [--seed S] [--scheme NAME]... [--faults F] \
+         [--fault-mode random|adversarial] [--threads N] [--quick] \
+         [--experiment ID]... [--json-out PATH] [--baseline PATH] [--list] \
+         <experiment|all>..."
+    );
+    eprintln!("  --threads N    parallel sweep driver: E15 measures its");
+    eprintln!("                 (scheme, n) points on N scoped threads;");
+    eprintln!("                 sweep points are seed-isolated, so all");
+    eprintln!("                 deterministic counters are unaffected");
+    eprintln!("  --quick        CI-sized sweep subset");
+    eprintln!("  --json-out P   write every emitted JSON row to P");
+    eprintln!("  --baseline P   compare E15 steps/sec against the checked-in");
+    eprintln!("                 JSON at P; exit 1 on a >3x regression");
+    eprintln!("experiments:");
+    for (id, desc, _) in reg {
+        eprintln!("  {id:<12} {desc}");
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -22,6 +53,10 @@ fn main() {
     let mut wanted: Vec<String> = Vec::new();
     let mut faults: Option<f64> = None;
     let mut fault_mode = Placement::Random;
+    let mut threads = 1usize;
+    let mut quick = false;
+    let mut json_out: Option<String> = None;
+    let mut baseline: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -63,6 +98,41 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|&t| t >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads needs a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--quick" => quick = true,
+            "--experiment" => {
+                i += 1;
+                let id = args.get(i).cloned().unwrap_or_default();
+                if id.is_empty() {
+                    eprintln!("--experiment needs an experiment id (see --list)");
+                    std::process::exit(2);
+                }
+                wanted.push(id);
+            }
+            "--json-out" => {
+                i += 1;
+                json_out = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--json-out needs a path");
+                    std::process::exit(2);
+                }));
+            }
+            "--baseline" => {
+                i += 1;
+                baseline = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--baseline needs a path");
+                    std::process::exit(2);
+                }));
+            }
             "--list" => {
                 println!("experiments:");
                 for (id, desc, _) in registry() {
@@ -84,19 +154,13 @@ fn main() {
     if wanted.is_empty() && faults.is_some() {
         wanted.push("faults".to_string());
     }
+    let reg = registry();
     if wanted.is_empty() {
-        eprintln!(
-            "usage: repro [--seed S] [--scheme NAME]... [--faults F] \
-             [--fault-mode random|adversarial] [--list] <experiment|all>..."
-        );
-        eprintln!("experiments:");
-        for (id, desc, _) in registry() {
-            eprintln!("  {id:<12} {desc}");
-        }
+        usage(&reg);
         std::process::exit(2);
     }
 
-    let mut ctx = RunCtx::seeded(seed);
+    let mut ctx = RunCtx::seeded(seed).with_threads(threads).with_quick(quick);
     if !schemes.is_empty() {
         ctx = ctx.with_schemes(schemes);
     }
@@ -106,20 +170,71 @@ fn main() {
     ctx.fault_placement = fault_mode;
     ctx.fault_fraction = faults;
 
-    let reg = registry();
     let run_all = wanted.iter().any(|w| w == "all");
     let mut matched = false;
+    let mut json_rows = String::new();
+    let mut guard_failed = false;
+    let mut baseline_checked = false;
     for (id, desc, runner) in &reg {
         if run_all || wanted.iter().any(|w| w == id) {
             matched = true;
             println!("================================================================");
             println!("{desc}   [seed {seed}]");
             println!("================================================================");
-            println!("{}", runner(&ctx));
+            if *id == "throughput" {
+                // Measured once; rendered, guarded, and collected from the
+                // same rows so the guard judges exactly what was printed.
+                let rows = throughput::rows(&ctx);
+                println!("{}", throughput::render(&rows, &ctx));
+                for r in &rows {
+                    json_rows.push_str(&r.to_json());
+                    json_rows.push('\n');
+                }
+                if let Some(path) = &baseline {
+                    baseline_checked = true;
+                    let base = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                        eprintln!("cannot read baseline {path}: {e}");
+                        std::process::exit(2);
+                    });
+                    match throughput::check_baseline(&rows, &base) {
+                        Ok(msg) => println!("{msg}"),
+                        Err(msg) => {
+                            eprintln!("{msg}");
+                            guard_failed = true;
+                        }
+                    }
+                }
+            } else {
+                let out = runner(&ctx);
+                // Experiments emit their JSON rows inline (E14 style);
+                // collect them for --json-out.
+                for line in out.lines().filter(|l| l.starts_with("{\"experiment\"")) {
+                    json_rows.push_str(line);
+                    json_rows.push('\n');
+                }
+                println!("{out}");
+            }
         }
     }
     if !matched {
         eprintln!("no experiment matched {wanted:?}; try --list");
         std::process::exit(2);
+    }
+    // A guard that silently never ran is worse than no guard: refuse
+    // invocations where --baseline was passed but the throughput
+    // experiment was not selected.
+    if baseline.is_some() && !baseline_checked {
+        eprintln!("--baseline does nothing unless the throughput experiment runs");
+        std::process::exit(2);
+    }
+    if let Some(path) = &json_out {
+        std::fs::write(path, &json_rows).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("wrote {} json row(s) to {path}", json_rows.lines().count());
+    }
+    if guard_failed {
+        std::process::exit(1);
     }
 }

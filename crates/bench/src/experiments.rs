@@ -899,6 +899,305 @@ pub mod faults {
     }
 }
 
+/// E15 — data-plane throughput: steps/sec, cycles/step, and allocs/step
+/// across the zoo and a sweep of `n` — the perf trajectory's measured
+/// object (`BENCH_throughput.json`).
+pub mod throughput {
+    use super::*;
+    use cr_core::{SchemeKind, SimBuilder};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Instant;
+
+    /// One measured `(scheme, n)` sweep point.
+    #[derive(Debug, Clone)]
+    pub struct ThroughputRow {
+        /// Stable scheme name.
+        pub scheme: &'static str,
+        /// Simulated processors.
+        pub n: usize,
+        /// Simulated memory cells.
+        pub m: usize,
+        /// Timed steps (after warm-up).
+        pub steps: usize,
+        /// Wall-clock throughput of the timed loop.
+        pub steps_per_sec: f64,
+        /// Mean protocol phases per timed step.
+        pub phases_per_step: f64,
+        /// Mean network cycles per timed step.
+        pub cycles_per_step: f64,
+        /// Mean messages per timed step.
+        pub messages_per_step: f64,
+        /// Mean heap allocations per timed step; `-1` when the counting
+        /// allocator is not installed (see `metrics::counting`).
+        pub allocs_per_step: f64,
+    }
+
+    impl ThroughputRow {
+        /// The JSON row `repro --json-out` collects (one per sweep point).
+        pub fn to_json(&self) -> String {
+            format!(
+                concat!(
+                    "{{\"experiment\":\"E15\",\"scheme\":\"{}\",\"n\":{},\"m\":{},",
+                    "\"steps\":{},\"steps_per_sec\":{:.2},\"phases_per_step\":{:.2},",
+                    "\"cycles_per_step\":{:.2},\"messages_per_step\":{:.2},",
+                    "\"allocs_per_step\":{:.2}}}"
+                ),
+                self.scheme,
+                self.n,
+                self.m,
+                self.steps,
+                self.steps_per_sec,
+                self.phases_per_step,
+                self.cycles_per_step,
+                self.messages_per_step,
+                self.allocs_per_step,
+            )
+        }
+    }
+
+    /// One sweep point to measure: `(kind, n, m, timed steps)`.
+    type Point = (SchemeKind, usize, usize, usize);
+
+    /// The sweep grid. The routed 2DMOT schemes simulate every packet
+    /// cycle-by-cycle, so they run smaller instances and fewer steps; the
+    /// flat schemes sweep up to `n = 1024` (the trajectory's headline
+    /// point). `--quick` keeps one small `n` per scheme for CI.
+    fn points(ctx: &RunCtx) -> Vec<Point> {
+        let mut pts = Vec::new();
+        for &kind in &ctx.schemes {
+            let (ns, steps): (&[usize], usize) = match kind {
+                SchemeKind::Hp2dmotLeaves | SchemeKind::Lpp2dmot => {
+                    if ctx.quick {
+                        (&[8], 10)
+                    } else {
+                        (&[8, 16], 30)
+                    }
+                }
+                _ => {
+                    if ctx.quick {
+                        (&[64], 50)
+                    } else {
+                        (&[64, 256, 1024], 200)
+                    }
+                }
+            };
+            for &n in ns {
+                pts.push((kind, n, 4 * n, steps));
+            }
+        }
+        pts
+    }
+
+    /// The timed loop repeats its fixed step block until at least this
+    /// much wall-clock has elapsed, so `steps_per_sec` never judges a
+    /// sub-millisecond window (a single scheduler stall on a shared CI
+    /// runner would otherwise read as a fake >3x regression).
+    const MIN_TIMED: std::time::Duration = std::time::Duration::from_millis(50);
+
+    /// Measure one sweep point. Workload patterns are pre-generated so the
+    /// timed loop contains nothing but `access` calls; the seed is derived
+    /// from the point itself, so sweep points are independent and the
+    /// measured counters (phases/cycles/messages) are identical no matter
+    /// how `--threads` schedules them. Counters and allocations are taken
+    /// over the first block only (deterministic); timing accumulates
+    /// repeated identical blocks until [`MIN_TIMED`].
+    fn measure(point: Point, base_seed: u64, threaded: bool) -> ThroughputRow {
+        let (kind, n, m, steps) = point;
+        let seed = base_seed ^ simrng::mix64((n as u64) << 8 | kind.name().len() as u64);
+        let mut s = SimBuilder::new(n, m)
+            .kind(kind)
+            .seed(seed)
+            .build()
+            .expect("E15 sweep regimes are feasible");
+        let mut rng = rng_from_seed(seed ^ 15);
+        let pool: Vec<workloads::StepPattern> = (0..16.min(steps))
+            .map(|_| workloads::uniform(n, m, 0.3, &mut rng))
+            .collect();
+        // Warm-up: fills every reusable buffer to its steady-state
+        // capacity so the timed loop sees the engine's true hot path.
+        for p in &pool {
+            s.access(&p.reads, &p.writes);
+        }
+        let (tot0, steps0) = s.totals();
+        let alloc0 = metrics::counting::allocations();
+        let t0 = Instant::now();
+        for i in 0..steps {
+            let p = &pool[i % pool.len()];
+            s.access(&p.reads, &p.writes);
+        }
+        let allocs = metrics::counting::allocations() - alloc0;
+        let (tot, steps1) = s.totals();
+        let timed = (steps1 - steps0).max(1) as f64;
+        let mut done = steps;
+        while t0.elapsed() < MIN_TIMED {
+            for i in 0..steps {
+                let p = &pool[i % pool.len()];
+                s.access(&p.reads, &p.writes);
+            }
+            done += steps;
+        }
+        let elapsed = t0.elapsed().as_secs_f64().max(1e-9);
+        ThroughputRow {
+            scheme: kind.name(),
+            n,
+            m,
+            steps: done,
+            steps_per_sec: done as f64 / elapsed,
+            phases_per_step: (tot.phases - tot0.phases) as f64 / timed,
+            cycles_per_step: (tot.cycles - tot0.cycles) as f64 / timed,
+            messages_per_step: (tot.messages - tot0.messages) as f64 / timed,
+            // The allocation counter is process-global: under a threaded
+            // sweep, concurrent points would cross-contaminate it, so the
+            // column is only reported for serial runs.
+            allocs_per_step: if metrics::counting::is_active() && !threaded {
+                allocs as f64 / timed
+            } else {
+                -1.0
+            },
+        }
+    }
+
+    /// Measure every sweep point. With `ctx.threads > 1` the points are
+    /// claimed from a shared queue by `std::thread::scope` workers — each
+    /// point is seed-isolated, so the deterministic counters are
+    /// unaffected; wall-clock numbers share the machine, which the
+    /// regression guard's 3x margin absorbs.
+    pub fn rows(ctx: &RunCtx) -> Vec<ThroughputRow> {
+        let pts = points(ctx);
+        if ctx.threads <= 1 {
+            return pts
+                .into_iter()
+                .map(|p| measure(p, ctx.seed, false))
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut indexed: Vec<(usize, ThroughputRow)> = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..ctx.threads.min(pts.len()))
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&p) = pts.get(i) else { break };
+                            out.push((i, measure(p, ctx.seed, true)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .flat_map(|w| w.join().expect("sweep worker must not panic"))
+                .collect()
+        });
+        indexed.sort_by_key(|&(i, _)| i);
+        indexed.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Render rows as the experiment's table + JSON block.
+    pub fn render(rows: &[ThroughputRow], ctx: &RunCtx) -> String {
+        let mut t = Table::new(vec![
+            "scheme",
+            "n",
+            "m",
+            "steps",
+            "steps/sec",
+            "phases/step",
+            "cycles/step",
+            "msgs/step",
+            "allocs/step",
+        ]);
+        let mut json = String::new();
+        for r in rows {
+            t.row(vec![
+                r.scheme.to_string(),
+                r.n.to_string(),
+                r.m.to_string(),
+                r.steps.to_string(),
+                fnum(r.steps_per_sec),
+                fnum(r.phases_per_step),
+                fnum(r.cycles_per_step),
+                fnum(r.messages_per_step),
+                if r.allocs_per_step < 0.0 {
+                    "n/a".to_string()
+                } else {
+                    fnum(r.allocs_per_step)
+                },
+            ]);
+            json.push_str(&r.to_json());
+            json.push('\n');
+        }
+        format!(
+            "E15: data-plane throughput (uniform steps, m = 4n, seed {},\n\
+             {} thread(s){}). steps/sec is wall-clock; phases/cycles/messages\n\
+             are the engine's own deterministic counters; allocs/step needs\n\
+             the counting allocator (installed by the repro binary).\n{}\njson:\n{}",
+            ctx.seed,
+            ctx.threads.max(1),
+            if ctx.quick { ", --quick" } else { "" },
+            t.render(),
+            json
+        )
+    }
+
+    /// Render the sweep (the `repro` registry entry point).
+    pub fn run(ctx: &RunCtx) -> String {
+        render(&rows(ctx), ctx)
+    }
+
+    /// Extract a `"key":value` field from one of our own JSON rows (the
+    /// workspace is offline — no serde — and the format is fixed).
+    pub fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let tag = format!("\"{key}\":");
+        let at = line.find(&tag)? + tag.len();
+        let rest = &line[at..];
+        let end = rest.find([',', '}'])?;
+        Some(rest[..end].trim_matches('"'))
+    }
+
+    /// Coarse regression guard: for every `(scheme, n)` point present in
+    /// both the fresh rows and the checked-in baseline JSON, fail if
+    /// steps/sec dropped more than 3x (absorbs runner noise; catches a
+    /// data plane that re-grew its allocations).
+    pub fn check_baseline(rows: &[ThroughputRow], baseline: &str) -> Result<String, String> {
+        let mut checked = 0;
+        let mut regressions = String::new();
+        for line in baseline.lines().filter(|l| l.contains("\"E15\"")) {
+            let (Some(scheme), Some(n), Some(sps)) = (
+                json_field(line, "scheme"),
+                json_field(line, "n"),
+                json_field(line, "steps_per_sec"),
+            ) else {
+                return Err(format!("malformed baseline row: {line}"));
+            };
+            let old: f64 = sps
+                .parse()
+                .map_err(|_| format!("bad steps_per_sec in baseline: {line}"))?;
+            let Some(row) = rows
+                .iter()
+                .find(|r| r.scheme == scheme && r.n.to_string() == n)
+            else {
+                continue; // baseline covers more points than this run
+            };
+            checked += 1;
+            if row.steps_per_sec * 3.0 < old {
+                regressions.push_str(&format!(
+                    "  {scheme} n={n}: {:.1} steps/sec vs baseline {old:.1} (>3x drop)\n",
+                    row.steps_per_sec
+                ));
+            }
+        }
+        if checked == 0 {
+            return Err("baseline shares no sweep points with this run".to_string());
+        }
+        if regressions.is_empty() {
+            Ok(format!("baseline guard: {checked} point(s) within 3x"))
+        } else {
+            Err(format!("throughput regressions:\n{regressions}"))
+        }
+    }
+}
+
 /// End-to-end: classic P-RAM programs through every scheme, asserting
 /// result equality with the ideal machine.
 pub mod programs_e2e {

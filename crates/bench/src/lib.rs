@@ -32,6 +32,12 @@ pub struct RunCtx {
     pub fault_fraction: Option<f64>,
     /// Fault placement strategy for E14 (`repro --fault-mode <mode>`).
     pub fault_placement: Placement,
+    /// Worker threads for the parallel sweep driver (`repro --threads N`);
+    /// sweep points are seed-isolated, so only wall-clock timing (not any
+    /// deterministic counter) depends on this.
+    pub threads: usize,
+    /// Shrink sweeping experiments to a CI-sized subset (`repro --quick`).
+    pub quick: bool,
 }
 
 impl RunCtx {
@@ -42,7 +48,21 @@ impl RunCtx {
             schemes: SchemeKind::ALL.to_vec(),
             fault_fraction: None,
             fault_placement: Placement::Random,
+            threads: 1,
+            quick: false,
         }
+    }
+
+    /// Set the parallel sweep driver's worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Shrink sweeping experiments to their CI-sized subset.
+    pub fn with_quick(mut self, quick: bool) -> Self {
+        self.quick = quick;
+        self
     }
 
     /// Restrict the zoo-sweeping experiments to `schemes`.
@@ -138,6 +158,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "faults",
             "E14: fault injection - what constant redundancy buys",
             experiments::faults::run,
+        ),
+        (
+            "throughput",
+            "E15: data-plane throughput (steps/sec across the zoo)",
+            experiments::throughput::run,
         ),
         (
             "programs",

@@ -12,7 +12,9 @@
 //! 4. writes stamp their quorum with the step number.
 
 use crate::config::SchemeConfig;
-use crate::protocol::{run_protocol, CopyPlacement, PhaseExecutor, ProtocolStats};
+use crate::protocol::{
+    run_protocol, CopyPlacement, PhaseExecutor, ProtocolStats, ProtocolWorkspace,
+};
 use memdist::{Clusters, MemoryMap, ReplicatedStore};
 use pram_machine::{AccessResult, SharedMemory, StepCost, Word};
 
@@ -37,6 +39,10 @@ pub struct StepReport {
 /// A majority-rule scheme: memory map + replicated store + cluster
 /// protocol, parameterized by the interconnect's [`PhaseExecutor`] and
 /// [`CopyPlacement`].
+///
+/// Owns the [`ProtocolWorkspace`] its steps run in (plus the request
+/// assembly buffer), so the per-step data plane reuses one set of
+/// buffers for the scheme's whole lifetime (DESIGN.md §7).
 #[derive(Debug)]
 pub struct MajorityScheme<E, P> {
     cfg: SchemeConfig,
@@ -49,6 +55,8 @@ pub struct MajorityScheme<E, P> {
     last: StepReport,
     total: StepReport,
     steps: u64,
+    ws: ProtocolWorkspace,
+    requests: Vec<(usize, usize)>,
 }
 
 impl<E: PhaseExecutor, P: CopyPlacement> MajorityScheme<E, P> {
@@ -75,6 +83,8 @@ impl<E: PhaseExecutor, P: CopyPlacement> MajorityScheme<E, P> {
             last: StepReport::default(),
             total: StepReport::default(),
             steps: 0,
+            ws: ProtocolWorkspace::new(),
+            requests: Vec::new(),
         }
     }
 
@@ -128,16 +138,19 @@ impl<E: PhaseExecutor, P: CopyPlacement> SharedMemory for MajorityScheme<E, P> {
             self.cfg.n
         );
         // Requests: reads first, then writes; processor i issues request i
-        // (the front end already deduplicated and combined).
-        let requests: Vec<(usize, usize)> = reads
-            .iter()
-            .copied()
-            .chain(writes.iter().map(|&(a, _)| a))
-            .enumerate()
-            .collect();
+        // (the front end already deduplicated and combined). The assembly
+        // buffer is reused across steps.
+        self.requests.clear();
+        self.requests.extend(
+            reads
+                .iter()
+                .copied()
+                .chain(writes.iter().map(|&(a, _)| a))
+                .enumerate(),
+        );
 
-        let (accessed, proto) = run_protocol(
-            &requests,
+        let proto = run_protocol(
+            &self.requests,
             &self.clusters,
             self.cfg.c,
             self.cfg.redundancy(),
@@ -146,6 +159,7 @@ impl<E: PhaseExecutor, P: CopyPlacement> SharedMemory for MajorityScheme<E, P> {
             &mut self.exec,
             self.cfg.stage1_phases,
             self.cfg.stage2_pipeline,
+            &mut self.ws,
         );
 
         // Reads observe the pre-step state: extract before applying writes.
@@ -158,17 +172,18 @@ impl<E: PhaseExecutor, P: CopyPlacement> SharedMemory for MajorityScheme<E, P> {
             .iter()
             .enumerate()
             .map(|(i, &var)| {
-                if accessed[i].is_empty() {
+                let quorum = self.ws.accessed(i);
+                if quorum.is_empty() {
                     0
                 } else {
-                    self.store.read_majority(var, &accessed[i])
+                    self.store.read_majority(var, quorum)
                 }
             })
             .collect();
 
         self.step += 1;
         for (j, &(var, value)) in writes.iter().enumerate() {
-            let quorum = &accessed[reads.len() + j];
+            let quorum = self.ws.accessed(reads.len() + j);
             debug_assert!(quorum.len() >= self.cfg.c || proto.failed_requests > 0);
             self.store.write_quorum(var, quorum, value, self.step);
         }

@@ -20,25 +20,42 @@
 //! resolves one phase's module contention and prices it. The DMMPC
 //! executor charges one time unit per phase; the 2DMOT executor routes
 //! every packet through the cycle-level network simulator.
+//!
+//! ## The flat data plane
+//!
+//! All per-step state lives in a caller-owned [`ProtocolWorkspace`]
+//! (DESIGN.md §7): the attempt batch, the outcome buffer the executor
+//! writes into, per-request accessed/dead **copy bitmasks** (a bit test
+//! instead of the old `accessed[i].contains(&copy)` linear scan), flat
+//! stride-`r` quorum lists (replacing per-request `Vec`s), and a CSR
+//! per-cluster request index. A scheme reuses one workspace across every
+//! step, so the steady-state protocol path performs **zero heap
+//! allocations** — verified by `tests/alloc_steady_state.rs`.
 
 use memdist::{Clusters, MemoryMap};
 use pram_machine::StepCost;
 
 /// One copy-access attempt issued in a phase.
+///
+/// Fields are `u32`: a phase batch streams thousands of attempts through
+/// the executor per step, and halving the struct (24 vs 48 bytes) is a
+/// measured win on the memory-bound issue/serve loops. Every field
+/// indexes an in-machine entity (request slot, variable, module, grid
+/// coordinate, processor), all of which fit comfortably.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CopyAttempt {
     /// Index into the step's request list.
-    pub req: usize,
+    pub req: u32,
     /// The variable being accessed.
-    pub var: usize,
+    pub var: u32,
     /// Which of its `2c−1` copies.
-    pub copy: usize,
+    pub copy: u32,
     /// Contention unit (module on a DMMPC; column on the 2DMOT).
-    pub module: usize,
+    pub module: u32,
     /// Grid row of the copy (2DMOT leaf placement; 0 on a DMMPC).
-    pub row: usize,
+    pub row: u32,
     /// Issuing processor (determines the source root on the 2DMOT).
-    pub src: usize,
+    pub src: u32,
 }
 
 /// What happened to one copy attempt in a phase.
@@ -54,20 +71,23 @@ pub enum AttemptOutcome {
     Dead,
 }
 
-/// Outcome of one phase.
-#[derive(Debug, Clone)]
-pub struct PhaseResult {
-    /// `outcome[i]` — what happened to `attempts[i]`.
-    pub outcome: Vec<AttemptOutcome>,
-    /// What this phase cost.
-    pub cost: StepCost,
-}
-
 /// Resolves one phase of copy attempts against the machine's interconnect.
+///
+/// The executor writes what happened to each attempt into the
+/// caller-owned `outcome` buffer (clearing it first, then pushing exactly
+/// `attempts.len()` entries) and returns what the phase cost. The caller
+/// reuses the buffer across phases, so a steady-state phase allocates
+/// nothing.
 pub trait PhaseExecutor {
     /// Execute the attempts; each contention unit serves at most
-    /// `pipeline` of them.
-    fn execute(&mut self, attempts: &[CopyAttempt], pipeline: usize) -> PhaseResult;
+    /// `pipeline` of them. `outcome[i]` reports what happened to
+    /// `attempts[i]`.
+    fn execute(
+        &mut self,
+        attempts: &[CopyAttempt],
+        pipeline: usize,
+        outcome: &mut Vec<AttemptOutcome>,
+    ) -> StepCost;
 
     /// Whether this executor can lose work for reasons other than
     /// contention (fault injection: dead modules, dead links, message
@@ -147,17 +167,283 @@ impl CopyPlacement for GridPlacement {
     }
 }
 
+/// Caller-owned, step-reusable state of [`run_protocol`]: every buffer
+/// the protocol's hot path touches, sized once and recycled across steps
+/// so the steady state allocates nothing.
+///
+/// After a step, the quorums live here: [`accessed`](Self::accessed)
+/// returns the copy indices each request reached, in service order —
+/// what the old API returned as a fresh `Vec<Vec<usize>>` per step.
+#[derive(Debug, Default)]
+pub struct ProtocolWorkspace {
+    /// Requests in the prepared step.
+    len: usize,
+    /// Copies per variable (the stride of `accessed`).
+    r: usize,
+    /// `u64` words per request in the copy bitmasks.
+    words: usize,
+    /// The phase's attempt batch (built fresh each phase, capacity kept).
+    attempts: Vec<CopyAttempt>,
+    /// The executor's outcome buffer (`outcome[i]` ↔ `attempts[i]`).
+    outcome: Vec<AttemptOutcome>,
+    /// Per-request accessed-copy bitmask (`len × words`).
+    accessed_mask: Vec<u64>,
+    /// Per-request written-off-copy bitmask (`len × words`).
+    dead_mask: Vec<u64>,
+    /// Flat stride-`r` accessed-copy lists, gated by `accessed_len`.
+    accessed: Vec<usize>,
+    /// Copies accessed per request.
+    accessed_len: Vec<u32>,
+    /// Copies written off per request.
+    dead_count: Vec<u32>,
+    /// CSR offsets: cluster `k`'s requests are
+    /// `cluster_reqs[cluster_start[k]..cluster_start[k+1]]`.
+    cluster_start: Vec<u32>,
+    /// Stage-1 rotation cursor per cluster.
+    cluster_cursor: Vec<u32>,
+    /// Request indices grouped by cluster (CSR payload).
+    cluster_reqs: Vec<u32>,
+    /// Counting-sort scratch for the CSR fill.
+    fill: Vec<u32>,
+    /// Per-step placement cache, stride `r`: copy placements are
+    /// deterministic in `(var, copy)`, so they are computed once when a
+    /// request first issues and replayed from here on every retry.
+    place_module: Vec<u32>,
+    place_row: Vec<u32>,
+    /// Whether request `i`'s placements are cached yet this step.
+    placed: Vec<bool>,
+}
+
+impl ProtocolWorkspace {
+    /// An empty workspace; buffers grow to steady-state capacity over the
+    /// first step and are reused afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Size every buffer for a step of `len` requests with `r` copies per
+    /// variable over `nclusters` clusters, and reset the per-step state.
+    /// Allocates only while growing past the largest step seen so far.
+    fn prepare(&mut self, len: usize, r: usize, nclusters: usize) {
+        self.len = len;
+        self.r = r;
+        self.words = r.div_ceil(64).max(1);
+        self.attempts.clear();
+        self.outcome.clear();
+        self.accessed_mask.clear();
+        self.accessed_mask.resize(len * self.words, 0);
+        self.dead_mask.clear();
+        self.dead_mask.resize(len * self.words, 0);
+        // `accessed` needs no reset: reads are gated by `accessed_len`.
+        self.accessed.resize(len * r, 0);
+        self.accessed_len.clear();
+        self.accessed_len.resize(len, 0);
+        self.dead_count.clear();
+        self.dead_count.resize(len, 0);
+        self.cluster_start.clear();
+        self.cluster_start.resize(nclusters + 1, 0);
+        self.cluster_cursor.clear();
+        self.cluster_cursor.resize(nclusters, 0);
+        self.cluster_reqs.clear();
+        self.cluster_reqs.resize(len, 0);
+        self.fill.clear();
+        self.fill.resize(nclusters, 0);
+        // The placement cache needs no reset: reads are gated by `placed`.
+        self.place_module.resize(len * r, 0);
+        self.place_row.resize(len * r, 0);
+        self.placed.clear();
+        self.placed.resize(len, false);
+    }
+
+    /// Requests in the last prepared step.
+    pub fn requests(&self) -> usize {
+        self.len
+    }
+
+    /// Copy indices request `i` accessed in the last step, in service
+    /// order (`≥ c` on a fault-free machine; possibly short under fault
+    /// injection).
+    pub fn accessed(&self, i: usize) -> &[usize] {
+        debug_assert!(i < self.len);
+        &self.accessed[i * self.r..i * self.r + self.accessed_len[i] as usize]
+    }
+}
+
+/// The protocol's per-step view over a prepared workspace: disjoint
+/// mutable borrows of every buffer, so phase execution can update them
+/// while the rotation logic reads them.
+struct StepState<'a, P: CopyPlacement> {
+    requests: &'a [(usize, usize)],
+    clusters: &'a Clusters,
+    c: usize,
+    r: usize,
+    words: usize,
+    map: &'a MemoryMap,
+    placement: &'a P,
+    attempts: &'a mut Vec<CopyAttempt>,
+    outcome: &'a mut Vec<AttemptOutcome>,
+    accessed_mask: &'a mut [u64],
+    dead_mask: &'a mut [u64],
+    accessed: &'a mut [usize],
+    accessed_len: &'a mut [u32],
+    dead_count: &'a mut [u32],
+    cluster_start: &'a [u32],
+    cluster_cursor: &'a mut [u32],
+    cluster_reqs: &'a [u32],
+    place_module: &'a mut [u32],
+    place_row: &'a mut [u32],
+    placed: &'a mut [bool],
+}
+
+impl<P: CopyPlacement> StepState<'_, P> {
+    /// A request keeps contending while it is below quorum AND still has
+    /// an untried, not-written-off copy to attempt. Requests that exhaust
+    /// their viable copies below `c` are *failed* — they stop contending
+    /// (and are counted at the end), instead of spinning on dead modules
+    /// forever. O(1): a copy is never both accessed and written off, so
+    /// the untried viable copies are exactly `r - accessed - dead`.
+    fn live(&self, i: usize) -> bool {
+        self.accessed_len[i] < self.c as u32
+            && self.accessed_len[i] + self.dead_count[i] < self.r as u32
+    }
+
+    /// Issue and execute one phase; `false` when no live request remains.
+    fn run_phase<E: PhaseExecutor>(
+        &mut self,
+        exec: &mut E,
+        stats: &mut ProtocolStats,
+        pipeline: usize,
+    ) -> bool {
+        // Total phases so far — rotates the member↔copy assignment below.
+        let phase = stats.stage1_phases + stats.stage2_phases;
+        self.attempts.clear();
+        for k in 0..self.clusters.count() {
+            let reqs = &self.cluster_reqs
+                [self.cluster_start[k] as usize..self.cluster_start[k + 1] as usize];
+            if reqs.is_empty() {
+                continue;
+            }
+            // Rotate to this cluster's next live request.
+            let mut chosen = None;
+            for off in 0..reqs.len() {
+                let i = reqs[(self.cluster_cursor[k] as usize + off) % reqs.len()] as usize;
+                if self.live(i) {
+                    chosen = Some(i);
+                    self.cluster_cursor[k] =
+                        ((self.cluster_cursor[k] as usize + off + 1) % reqs.len()) as u32;
+                    break;
+                }
+            }
+            let Some(i) = chosen else { continue };
+            let (_, var) = self.requests[i];
+            // Placements are deterministic in (var, copy): compute them
+            // once, on the request's first issue, and replay the cache on
+            // every retry phase.
+            if !self.placed[i] {
+                self.placed[i] = true;
+                for copy in 0..self.r {
+                    let (module, row) = self.placement.place(self.map, var, copy);
+                    self.place_module[i * self.r + copy] = module as u32;
+                    self.place_row[i * self.r + copy] = row as u32;
+                }
+            }
+            // One cluster member per live copy. The assignment rotates
+            // with the phase counter: a copy retried in a later phase is
+            // issued by a *different* cluster member, so a route blocked
+            // by a dead link for one source is retried around the fault
+            // from the others (the dynamic-reassignment discipline of the
+            // fault-tolerant P-RAM literature) instead of re-issuing the
+            // identical doomed attempt forever. Cluster members are a
+            // contiguous processor range, so the rotation is pure index
+            // arithmetic — no member list is materialized.
+            let members = self
+                .clusters
+                .members(self.clusters.cluster_of(self.requests[i].0));
+            let mlen = members.len();
+            let mut member = phase as usize;
+            let mut issue = |copy: usize, member: usize| {
+                self.attempts.push(CopyAttempt {
+                    req: i as u32,
+                    var: var as u32,
+                    copy: copy as u32,
+                    module: self.place_module[i * self.r + copy],
+                    row: self.place_row[i * self.r + copy],
+                    src: (members.start + member % mlen) as u32,
+                });
+            };
+            if self.words == 1 {
+                // Fast path (r ≤ 64, every configured scheme): one busy
+                // word, iterate set bits of its complement.
+                let busy = self.accessed_mask[i] | self.dead_mask[i];
+                let all = if self.r == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << self.r) - 1
+                };
+                let mut free = !busy & all;
+                while free != 0 {
+                    let copy = free.trailing_zeros() as usize;
+                    free &= free - 1;
+                    issue(copy, member);
+                    member += 1;
+                }
+            } else {
+                for copy in 0..self.r {
+                    let w = i * self.words + copy / 64;
+                    let bit = 1u64 << (copy % 64);
+                    if (self.accessed_mask[w] | self.dead_mask[w]) & bit != 0 {
+                        continue;
+                    }
+                    issue(copy, member);
+                    member += 1;
+                }
+            }
+        }
+        if self.attempts.is_empty() {
+            return false; // everything done (or written off)
+        }
+        let cost = exec.execute(self.attempts, pipeline, self.outcome);
+        debug_assert_eq!(self.outcome.len(), self.attempts.len());
+        stats.cycles += cost.cycles;
+        stats.messages += cost.messages;
+        for (a, &out) in self.attempts.iter().zip(self.outcome.iter()) {
+            let (req, copy) = (a.req as usize, a.copy as usize);
+            match out {
+                AttemptOutcome::Served => {
+                    stats.copies_accessed += 1;
+                    // Record even past c: extra accessed copies strengthen
+                    // the quorum at no additional cost.
+                    self.accessed[req * self.r + self.accessed_len[req] as usize] = copy;
+                    self.accessed_len[req] += 1;
+                    self.accessed_mask[req * self.words + copy / 64] |= 1 << (copy % 64);
+                }
+                AttemptOutcome::Killed => stats.killed_attempts += 1,
+                AttemptOutcome::Dead => {
+                    stats.dead_attempts += 1;
+                    self.dead_mask[req * self.words + copy / 64] |= 1 << (copy % 64);
+                    self.dead_count[req] += 1;
+                }
+            }
+        }
+        true
+    }
+}
+
 /// Run the two-stage protocol for one P-RAM step.
 ///
 /// * `requests[i] = (processor, variable)` — deduplicated, one per
 ///   requesting processor;
-/// * returns, per request, the list of copy indices accessed, plus
-///   statistics. On a fault-free machine every request reaches `≥ c`
+/// * `ws` — the caller-owned workspace; after the call,
+///   [`ProtocolWorkspace::accessed`] lists, per request, the copy indices
+///   accessed. On a fault-free machine every request reaches `≥ c`
 ///   copies, so a write quorum / read majority is always available; under
 ///   fault injection an executor may report attempts [`AttemptOutcome::Dead`],
 ///   and a request whose viable copies run out below `c` ends short-quorum
 ///   (counted in [`ProtocolStats::failed_requests`] — the caller degrades
 ///   to best-effort over whatever was accessed).
+///
+/// The hot path is allocation-free in the steady state: every buffer
+/// lives in `ws` and is recycled across steps.
 #[allow(clippy::too_many_arguments)] // the protocol's full parameter list, documented above
 pub fn run_protocol<E: PhaseExecutor>(
     requests: &[(usize, usize)],
@@ -169,134 +455,64 @@ pub fn run_protocol<E: PhaseExecutor>(
     exec: &mut E,
     stage1_phases: usize,
     stage2_pipeline: usize,
-) -> (Vec<Vec<usize>>, ProtocolStats) {
-    let mut accessed: Vec<Vec<usize>> = vec![Vec::with_capacity(c); requests.len()];
+    ws: &mut ProtocolWorkspace,
+) -> ProtocolStats {
     let mut stats = ProtocolStats::default();
+    ws.prepare(requests.len(), r, clusters.count());
     if requests.is_empty() {
-        return (accessed, stats);
+        return stats;
     }
 
-    // Requests of each cluster, plus a rotating cursor for stage-1
-    // interleaving.
-    let mut by_cluster: Vec<Vec<usize>> = vec![Vec::new(); clusters.count()];
+    // Requests of each cluster, as a counting-sorted CSR index (request
+    // order within a cluster matches insertion order, exactly as the old
+    // per-cluster Vec pushes did).
+    for &(proc, _) in requests {
+        ws.fill[clusters.cluster_of(proc)] += 1;
+    }
+    let mut sum = 0u32;
+    for (k, count) in ws.fill.iter_mut().enumerate() {
+        ws.cluster_start[k] = sum;
+        sum += *count;
+        *count = ws.cluster_start[k];
+    }
+    ws.cluster_start[clusters.count()] = sum;
     for (i, &(proc, _)) in requests.iter().enumerate() {
-        by_cluster[clusters.cluster_of(proc)].push(i);
+        let slot = &mut ws.fill[clusters.cluster_of(proc)];
+        ws.cluster_reqs[*slot as usize] = i as u32;
+        *slot += 1;
     }
-    let mut cursor: Vec<usize> = vec![0; clusters.count()];
-    // Copies written off per request (attempts that came back Dead) —
-    // flat `request * r + copy` plus a per-request count, one allocation
-    // each for the whole step.
-    let mut dead: Vec<bool> = vec![false; r * requests.len()];
-    let mut dead_count: Vec<usize> = vec![0; requests.len()];
-    // A request keeps contending while it is below quorum AND still has an
-    // untried, not-written-off copy to attempt. Requests that exhaust their
-    // viable copies below `c` are *failed* — they stop contending (and are
-    // counted at the end), instead of spinning on dead modules forever.
-    // O(1): a copy is never both accessed and written off, so the untried
-    // viable copies are exactly `r - accessed - dead`.
-    let live = |acc: &Vec<Vec<usize>>, dc: &Vec<usize>, i: usize| {
-        acc[i].len() < c && acc[i].len() + dc[i] < r
-    };
 
-    let mut attempts: Vec<CopyAttempt> = Vec::new();
-    let mut run_phase = |accessed: &mut Vec<Vec<usize>>,
-                         dead: &mut Vec<bool>,
-                         dead_count: &mut Vec<usize>,
-                         cursor: &mut Vec<usize>,
-                         stats: &mut ProtocolStats,
-                         exec: &mut E,
-                         pipeline: usize|
-     -> bool {
-        // Total phases so far — rotates the member↔copy assignment below.
-        let phase = stats.stage1_phases + stats.stage2_phases;
-        attempts.clear();
-        for (k, reqs) in by_cluster.iter().enumerate() {
-            if reqs.is_empty() {
-                continue;
-            }
-            // Rotate to this cluster's next live request.
-            let mut chosen = None;
-            for off in 0..reqs.len() {
-                let i = reqs[(cursor[k] + off) % reqs.len()];
-                if live(accessed, dead_count, i) {
-                    chosen = Some(i);
-                    cursor[k] = (cursor[k] + off + 1) % reqs.len();
-                    break;
-                }
-            }
-            let Some(i) = chosen else { continue };
-            let (_, var) = requests[i];
-            // One cluster member per live copy. The assignment rotates
-            // with the phase counter: a copy retried in a later phase is
-            // issued by a *different* cluster member, so a route blocked
-            // by a dead link for one source is retried around the fault
-            // from the others (the dynamic-reassignment discipline of the
-            // fault-tolerant P-RAM literature) instead of re-issuing the
-            // identical doomed attempt forever.
-            let members: Vec<usize> = clusters
-                .members(clusters.cluster_of(requests[i].0))
-                .collect();
-            let mut member = phase as usize;
-            for copy in 0..r {
-                if accessed[i].contains(&copy) || dead[i * r + copy] {
-                    continue;
-                }
-                let (module, row) = placement.place(map, var, copy);
-                attempts.push(CopyAttempt {
-                    req: i,
-                    var,
-                    copy,
-                    module,
-                    row,
-                    src: members[member % members.len()],
-                });
-                member += 1;
-            }
-        }
-        if attempts.is_empty() {
-            return false; // everything done (or written off)
-        }
-        let result = exec.execute(&attempts, pipeline);
-        debug_assert_eq!(result.outcome.len(), attempts.len());
-        stats.cycles += result.cost.cycles;
-        stats.messages += result.cost.messages;
-        for (a, &out) in attempts.iter().zip(&result.outcome) {
-            match out {
-                AttemptOutcome::Served => {
-                    stats.copies_accessed += 1;
-                    // Record even past c: extra accessed copies strengthen
-                    // the quorum at no additional cost.
-                    accessed[a.req].push(a.copy);
-                }
-                AttemptOutcome::Killed => stats.killed_attempts += 1,
-                AttemptOutcome::Dead => {
-                    stats.dead_attempts += 1;
-                    dead[a.req * r + a.copy] = true;
-                    dead_count[a.req] += 1;
-                }
-            }
-        }
-        true
+    let mut state = StepState {
+        requests,
+        clusters,
+        c,
+        r,
+        words: ws.words,
+        map,
+        placement,
+        attempts: &mut ws.attempts,
+        outcome: &mut ws.outcome,
+        accessed_mask: &mut ws.accessed_mask,
+        dead_mask: &mut ws.dead_mask,
+        accessed: &mut ws.accessed,
+        accessed_len: &mut ws.accessed_len,
+        dead_count: &mut ws.dead_count,
+        cluster_start: &ws.cluster_start,
+        cluster_cursor: &mut ws.cluster_cursor,
+        cluster_reqs: &ws.cluster_reqs,
+        place_module: &mut ws.place_module,
+        place_row: &mut ws.place_row,
+        placed: &mut ws.placed,
     };
 
     // Stage 1: bounded, serialized module service.
     for _ in 0..stage1_phases {
-        if !run_phase(
-            &mut accessed,
-            &mut dead,
-            &mut dead_count,
-            &mut cursor,
-            &mut stats,
-            exec,
-            1,
-        ) {
+        if !state.run_phase(exec, &mut stats, 1) {
             break;
         }
         stats.stage1_phases += 1;
     }
-    stats.stage1_leftover = (0..requests.len())
-        .filter(|&i| live(&accessed, &dead_count, i))
-        .count();
+    stats.stage1_leftover = (0..requests.len()).filter(|&i| state.live(i)).count();
 
     // Stage 2: run to completion with pipelining. Termination: on a
     // fault-free machine every phase with work serves at least one attempt
@@ -305,35 +521,28 @@ pub fn run_protocol<E: PhaseExecutor>(
     // panic, exactly as before fault injection existed. Only a `lossy()`
     // executor (fault injection: message drops can stall progress
     // indefinitely) is allowed to abort the step instead: the leftover
-    // requests are written off as failed, the honest degraded outcome.
+    // requests simply end short-quorum and are counted as failed below,
+    // the honest degraded outcome.
     let guard = 4 * c as u64 * requests.len() as u64 + 16;
-    while run_phase(
-        &mut accessed,
-        &mut dead,
-        &mut dead_count,
-        &mut cursor,
-        &mut stats,
-        exec,
-        stage2_pipeline,
-    ) {
+    while state.run_phase(exec, &mut stats, stage2_pipeline) {
         stats.stage2_phases += 1;
         if stats.stage2_phases > guard {
             assert!(
                 exec.lossy(),
                 "stage 2 failed to make progress (protocol bug)"
             );
-            dead.iter_mut().for_each(|x| *x = true);
-            dead_count.iter_mut().for_each(|x| *x = r);
             break;
         }
     }
 
-    stats.failed_requests = accessed.iter().filter(|a| a.len() < c).count();
+    stats.failed_requests = (0..requests.len())
+        .filter(|&i| ws.accessed_len[i] < c as u32)
+        .count();
     debug_assert!(
         stats.failed_requests == 0 || exec.lossy(),
         "a fault-free run must reach quorum on every request"
     );
-    (accessed, stats)
+    stats
 }
 
 #[cfg(test)]
@@ -341,6 +550,37 @@ mod tests {
     use super::*;
     use crate::executors::BipartiteExec;
     use memdist::MemoryMap;
+
+    /// Run one protocol step in a fresh workspace; returns the quorums as
+    /// owned lists (test convenience — production callers read them out
+    /// of their long-lived workspace).
+    fn run_step<E: PhaseExecutor>(
+        requests: &[(usize, usize)],
+        clusters: &Clusters,
+        c: usize,
+        r: usize,
+        map: &MemoryMap,
+        exec: &mut E,
+        stage1_phases: usize,
+    ) -> (Vec<Vec<usize>>, ProtocolStats) {
+        let mut ws = ProtocolWorkspace::new();
+        let stats = run_protocol(
+            requests,
+            clusters,
+            c,
+            r,
+            map,
+            &FlatPlacement,
+            exec,
+            stage1_phases,
+            1,
+            &mut ws,
+        );
+        let accessed = (0..requests.len())
+            .map(|i| ws.accessed(i).to_vec())
+            .collect();
+        (accessed, stats)
+    }
 
     fn run(
         n: usize,
@@ -353,17 +593,7 @@ mod tests {
         let map = MemoryMap::random(m, modules, r, 42);
         let clusters = Clusters::new(n, r);
         let mut exec = BipartiteExec::new(modules);
-        run_protocol(
-            requests,
-            &clusters,
-            c,
-            r,
-            &map,
-            &FlatPlacement,
-            &mut exec,
-            4,
-            1,
-        )
+        run_step(requests, &clusters, c, r, &map, &mut exec, 4)
     }
 
     #[test]
@@ -408,17 +638,7 @@ mod tests {
         let clusters = Clusters::new(n, r);
         let mut exec = BipartiteExec::new(64);
         let requests: Vec<(usize, usize)> = (0..n).map(|p| (p, p)).collect();
-        let (accessed, stats) = run_protocol(
-            &requests,
-            &clusters,
-            c,
-            r,
-            &map,
-            &FlatPlacement,
-            &mut exec,
-            2,
-            1,
-        );
+        let (accessed, stats) = run_step(&requests, &clusters, c, r, &map, &mut exec, 2);
         assert!(
             accessed.iter().all(|a| a.len() >= c),
             "protocol still completes"
@@ -439,14 +659,19 @@ mod tests {
     }
 
     impl<E: PhaseExecutor> PhaseExecutor for DeadModules<E> {
-        fn execute(&mut self, attempts: &[CopyAttempt], pipeline: usize) -> PhaseResult {
-            let mut res = self.inner.execute(attempts, pipeline);
-            for (a, out) in attempts.iter().zip(res.outcome.iter_mut()) {
-                if self.dead[a.module] {
+        fn execute(
+            &mut self,
+            attempts: &[CopyAttempt],
+            pipeline: usize,
+            outcome: &mut Vec<AttemptOutcome>,
+        ) -> StepCost {
+            let cost = self.inner.execute(attempts, pipeline, outcome);
+            for (a, out) in attempts.iter().zip(outcome.iter_mut()) {
+                if self.dead[a.module as usize] {
                     *out = AttemptOutcome::Dead;
                 }
             }
-            res
+            cost
         }
 
         fn lossy(&self) -> bool {
@@ -471,17 +696,7 @@ mod tests {
             dead,
         };
         let requests: Vec<(usize, usize)> = (0..8).map(|p| (p, p * 7)).collect();
-        let (accessed, stats) = run_protocol(
-            &requests,
-            &clusters,
-            c,
-            r,
-            &map,
-            &FlatPlacement,
-            &mut exec,
-            4,
-            1,
-        );
+        let (accessed, stats) = run_step(&requests, &clusters, c, r, &map, &mut exec, 4);
         for (i, a) in accessed.iter().enumerate() {
             let faulty = map
                 .copies(requests[i].1)
@@ -522,14 +737,19 @@ mod tests {
     }
 
     impl PhaseExecutor for SourceBlocked {
-        fn execute(&mut self, attempts: &[CopyAttempt], pipeline: usize) -> PhaseResult {
-            let mut res = self.inner.execute(attempts, pipeline);
-            for (a, out) in attempts.iter().zip(res.outcome.iter_mut()) {
-                if a.src == self.blocked_src {
+        fn execute(
+            &mut self,
+            attempts: &[CopyAttempt],
+            pipeline: usize,
+            outcome: &mut Vec<AttemptOutcome>,
+        ) -> StepCost {
+            let cost = self.inner.execute(attempts, pipeline, outcome);
+            for (a, out) in attempts.iter().zip(outcome.iter_mut()) {
+                if a.src as usize == self.blocked_src {
                     *out = AttemptOutcome::Killed;
                 }
             }
-            res
+            cost
         }
 
         fn lossy(&self) -> bool {
@@ -553,17 +773,7 @@ mod tests {
             blocked_src: 0,
         };
         let requests: Vec<(usize, usize)> = (0..6).map(|p| (p, p * 5)).collect();
-        let (accessed, stats) = run_protocol(
-            &requests,
-            &clusters,
-            c,
-            r,
-            &map,
-            &FlatPlacement,
-            &mut exec,
-            4,
-            1,
-        );
+        let (accessed, stats) = run_step(&requests, &clusters, c, r, &map, &mut exec, 4);
         assert!(
             accessed.iter().all(|a| a.len() >= c),
             "rotation must route around the blocked source: {accessed:?}"
@@ -590,17 +800,7 @@ mod tests {
             dead: vec![true; modules],
         };
         let requests: Vec<(usize, usize)> = (0..4).map(|p| (p, p)).collect();
-        let (accessed, stats) = run_protocol(
-            &requests,
-            &clusters,
-            c,
-            r,
-            &map,
-            &FlatPlacement,
-            &mut exec,
-            4,
-            1,
-        );
+        let (accessed, stats) = run_step(&requests, &clusters, c, r, &map, &mut exec, 4);
         assert!(accessed.iter().all(|a| a.is_empty()));
         assert_eq!(stats.failed_requests, 4);
         assert_eq!(stats.dead_attempts, (4 * r) as u64);
@@ -619,6 +819,58 @@ mod tests {
         let b = run(12, 50, 64, 3, &requests);
         assert_eq!(a.0, b.0);
         assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn workspace_reuse_is_equivalent_to_fresh() {
+        // The same step through one recycled workspace and through fresh
+        // workspaces must agree — buffer reuse is invisible.
+        let requests: Vec<(usize, usize)> = (0..12).map(|p| (p, (p * 7) % 50)).collect();
+        let map = MemoryMap::random(50, 64, 5, 42);
+        let clusters = Clusters::new(12, 5);
+        let mut exec = BipartiteExec::new(64);
+        let mut ws = ProtocolWorkspace::new();
+        let mut reused = Vec::new();
+        for _ in 0..3 {
+            let stats = run_protocol(
+                &requests,
+                &clusters,
+                3,
+                5,
+                &map,
+                &FlatPlacement,
+                &mut exec,
+                4,
+                1,
+                &mut ws,
+            );
+            let acc: Vec<Vec<usize>> = (0..requests.len())
+                .map(|i| ws.accessed(i).to_vec())
+                .collect();
+            reused.push((acc, stats));
+        }
+        // Shrinking steps must also recycle cleanly: a 2-request step
+        // after a 12-request step sees correctly reset state.
+        let small: Vec<(usize, usize)> = (0..2).map(|p| (p, p + 30)).collect();
+        let stats = run_protocol(
+            &small,
+            &clusters,
+            3,
+            5,
+            &map,
+            &FlatPlacement,
+            &mut exec,
+            4,
+            1,
+            &mut ws,
+        );
+        assert_eq!(stats.failed_requests, 0);
+        assert_eq!(ws.requests(), 2);
+        for (acc, stats) in &reused {
+            assert_eq!(*acc, reused[0].0);
+            assert_eq!(*stats, reused[0].1);
+            assert!(acc.iter().all(|a| a.len() >= 3));
+        }
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! unreachable from every source are written off by the protocol's
 //! stage-2 budget instead.
 
-use cr_core::protocol::{AttemptOutcome, CopyAttempt, PhaseExecutor, PhaseResult};
+use cr_core::protocol::{AttemptOutcome, CopyAttempt, PhaseExecutor};
 use pram_machine::StepCost;
 use simrng::{rng_from_seed, Rng, Xoshiro256pp};
 
@@ -43,6 +43,10 @@ pub struct FaultyExec<E> {
     /// Scratch for the surviving attempts of the current phase.
     live: Vec<CopyAttempt>,
     live_idx: Vec<usize>,
+    /// The inner executor's outcome buffer (this decorator's own buffer
+    /// is index-aligned with the *full* attempt list, the inner one with
+    /// the surviving sublist).
+    inner_outcome: Vec<AttemptOutcome>,
 }
 
 impl<E> FaultyExec<E> {
@@ -58,6 +62,7 @@ impl<E> FaultyExec<E> {
             stats: FaultExecStats::default(),
             live: Vec::new(),
             live_idx: Vec::new(),
+            inner_outcome: Vec::new(),
         }
     }
 
@@ -79,12 +84,23 @@ impl<E> FaultyExec<E> {
 }
 
 impl<E: PhaseExecutor> PhaseExecutor for FaultyExec<E> {
-    fn execute(&mut self, attempts: &[CopyAttempt], pipeline: usize) -> PhaseResult {
+    fn execute(
+        &mut self,
+        attempts: &[CopyAttempt],
+        pipeline: usize,
+        outcome: &mut Vec<AttemptOutcome>,
+    ) -> StepCost {
         self.live.clear();
         self.live_idx.clear();
-        let mut outcome = vec![AttemptOutcome::Dead; attempts.len()];
+        outcome.clear();
+        outcome.resize(attempts.len(), AttemptOutcome::Dead);
         for (i, a) in attempts.iter().enumerate() {
-            if self.dead_modules.get(a.module).copied().unwrap_or(false) {
+            if self
+                .dead_modules
+                .get(a.module as usize)
+                .copied()
+                .unwrap_or(false)
+            {
                 self.stats.dead_attempts += 1; // request sent into the void
             } else {
                 self.live.push(*a);
@@ -94,19 +110,18 @@ impl<E: PhaseExecutor> PhaseExecutor for FaultyExec<E> {
         let dead_count = (attempts.len() - self.live.len()) as u64;
         if self.live.is_empty() {
             // The phase still happened: requests went out and timed out.
-            return PhaseResult {
-                outcome,
-                cost: StepCost {
-                    phases: 1,
-                    cycles: 1,
-                    messages: dead_count,
-                },
+            return StepCost {
+                phases: 1,
+                cycles: 1,
+                messages: dead_count,
             };
         }
-        let mut result = self.inner.execute(&self.live, pipeline);
-        debug_assert_eq!(result.outcome.len(), self.live.len());
+        let mut cost = self
+            .inner
+            .execute(&self.live, pipeline, &mut self.inner_outcome);
+        debug_assert_eq!(self.inner_outcome.len(), self.live.len());
         for (k, &i) in self.live_idx.iter().enumerate() {
-            let mut out = result.outcome[k];
+            let mut out = self.inner_outcome[k];
             if out == AttemptOutcome::Served
                 && self.message_drop > 0.0
                 && self.rng.chance(self.message_drop)
@@ -120,11 +135,8 @@ impl<E: PhaseExecutor> PhaseExecutor for FaultyExec<E> {
             }
             outcome[i] = out;
         }
-        result.cost.messages += dead_count; // one doomed request packet each
-        PhaseResult {
-            outcome,
-            cost: result.cost,
-        }
+        cost.messages += dead_count; // one doomed request packet each
+        cost
     }
 
     fn lossy(&self) -> bool {
@@ -139,7 +151,7 @@ mod tests {
     use super::*;
     use cr_core::executors::BipartiteExec;
 
-    fn attempt(req: usize, module: usize) -> CopyAttempt {
+    fn attempt(req: u32, module: u32) -> CopyAttempt {
         CopyAttempt {
             req,
             var: req,
@@ -150,15 +162,26 @@ mod tests {
         }
     }
 
+    /// Test convenience: run one phase into a fresh outcome buffer.
+    fn exec_phase<E: PhaseExecutor>(
+        ex: &mut E,
+        attempts: &[CopyAttempt],
+        pipeline: usize,
+    ) -> (Vec<AttemptOutcome>, StepCost) {
+        let mut outcome = Vec::new();
+        let cost = ex.execute(attempts, pipeline, &mut outcome);
+        (outcome, cost)
+    }
+
     #[test]
     fn dead_modules_yield_dead_outcomes() {
         let mut dead = vec![false; 8];
         dead[3] = true;
         let mut ex = FaultyExec::new(BipartiteExec::new(8), dead, 0.0, 1);
         let attempts = vec![attempt(0, 3), attempt(1, 5), attempt(2, 3)];
-        let r = ex.execute(&attempts, 1);
+        let (out, cost) = exec_phase(&mut ex, &attempts, 1);
         assert_eq!(
-            r.outcome,
+            out,
             vec![
                 AttemptOutcome::Dead,
                 AttemptOutcome::Served,
@@ -168,16 +191,16 @@ mod tests {
         assert_eq!(ex.stats.dead_attempts, 2);
         // The served attempt costs request + reply; the two dead attempts
         // cost one doomed request packet each.
-        assert_eq!(r.cost.messages, 4);
+        assert_eq!(cost.messages, 4);
     }
 
     #[test]
     fn all_dead_phase_still_costs_time() {
         let mut ex = FaultyExec::new(BipartiteExec::new(4), vec![true; 4], 0.0, 1);
-        let r = ex.execute(&[attempt(0, 1)], 1);
-        assert_eq!(r.outcome, vec![AttemptOutcome::Dead]);
-        assert_eq!(r.cost.phases, 1);
-        assert_eq!(r.cost.cycles, 1);
+        let (out, cost) = exec_phase(&mut ex, &[attempt(0, 1)], 1);
+        assert_eq!(out, vec![AttemptOutcome::Dead]);
+        assert_eq!(cost.phases, 1);
+        assert_eq!(cost.cycles, 1);
     }
 
     #[test]
@@ -187,15 +210,10 @@ mod tests {
             let attempts: Vec<CopyAttempt> = (0..16).map(|i| attempt(i, i)).collect();
             let mut drops = Vec::new();
             for _ in 0..10 {
-                let r = ex.execute(&attempts, 1);
-                drops.push(
-                    r.outcome
-                        .iter()
-                        .filter(|&&o| o == AttemptOutcome::Killed)
-                        .count(),
-                );
+                let (out, _) = exec_phase(&mut ex, &attempts, 1);
+                drops.push(out.iter().filter(|&&o| o == AttemptOutcome::Killed).count());
                 assert!(
-                    r.outcome.iter().all(|&o| o != AttemptOutcome::Dead),
+                    out.iter().all(|&o| o != AttemptOutcome::Dead),
                     "drops are never permanent"
                 );
             }
@@ -215,10 +233,10 @@ mod tests {
         let mut plain = BipartiteExec::new(8);
         let mut wrapped = FaultyExec::new(BipartiteExec::new(8), vec![false; 8], 0.0, 1);
         let attempts = vec![attempt(0, 2), attempt(1, 2), attempt(2, 7)];
-        let a = plain.execute(&attempts, 1);
-        let b = wrapped.execute(&attempts, 1);
-        assert_eq!(a.outcome, b.outcome);
-        assert_eq!(a.cost, b.cost);
+        let (a_out, a_cost) = exec_phase(&mut plain, &attempts, 1);
+        let (b_out, b_cost) = exec_phase(&mut wrapped, &attempts, 1);
+        assert_eq!(a_out, b_out);
+        assert_eq!(a_cost, b_cost);
         assert_eq!(wrapped.stats, FaultExecStats::default());
     }
 }

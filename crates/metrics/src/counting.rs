@@ -1,0 +1,62 @@
+//! A counting global allocator, for measuring the data plane's
+//! steady-state allocation behavior (E15's `allocs/step` column and the
+//! zero-allocation regression test).
+//!
+//! The workspace is offline, so this is hand-rolled: a [`GlobalAlloc`]
+//! that forwards to [`System`] and bumps one relaxed atomic per
+//! allocation. A binary or test opts in with
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: metrics::counting::CountingAlloc = metrics::counting::CountingAlloc;
+//! ```
+//!
+//! and reads [`allocations`] before/after the region of interest. When
+//! the counting allocator is *not* installed the counter stays at zero
+//! forever — [`is_active`] lets measurement code report "n/a" instead of
+//! a fake zero.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Forwards to the system allocator, counting every allocation
+/// (`alloc`, `alloc_zeroed`, and growth via `realloc`).
+pub struct CountingAlloc;
+
+// SAFETY: defers entirely to `System`; the only addition is a relaxed
+// atomic increment, which allocates nothing and cannot unwind.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Total allocations since process start (0 if the counting allocator is
+/// not installed as the global allocator).
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Whether allocation counting is live in this process. Any Rust process
+/// allocates long before user code runs, so a zero counter means the
+/// counting allocator was never installed.
+pub fn is_active() -> bool {
+    allocations() > 0
+}

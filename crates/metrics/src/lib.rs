@@ -4,7 +4,10 @@
 //! `n^ε`? is redundancy flat or `log n`?), so the crate provides
 //! least-squares fits against the two model families the paper uses —
 //! `y = a·(log₂ x)^p` and `y = a·x^p` — plus plain ASCII tables for the
-//! `repro` harness (experiment index in DESIGN.md §4).
+//! `repro` harness (experiment index in DESIGN.md §4), and the
+//! [`counting`] allocator behind E15's `allocs/step` column.
+
+pub mod counting;
 
 /// Basic descriptive statistics of a sample.
 #[derive(Debug, Clone, Copy, PartialEq)]

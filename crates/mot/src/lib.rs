@@ -35,5 +35,5 @@ pub mod primitives;
 pub mod topology;
 
 pub use area::{mot_layout_area, AreaReport};
-pub use network::{BatchOutcome, MotNetwork, MotRequest};
+pub use network::{BatchBuffers, BatchOutcome, MotNetwork, MotRequest};
 pub use topology::MotTopology;

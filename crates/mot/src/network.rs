@@ -88,14 +88,45 @@ pub struct BatchOutcome<P> {
     pub stats: RunStats,
 }
 
+/// Caller-owned, batch-reusable served/killed/faulted buffers for
+/// [`MotNetwork::route_batch_into`] — the allocation-free counterpart of
+/// [`BatchOutcome`]. Hold one per phase-driving loop and recycle it.
+#[derive(Debug)]
+pub struct BatchBuffers<P> {
+    /// Requests served, with payloads as mutated by the leaf callback.
+    pub served: Vec<MotRequest<P>>,
+    /// Requests killed transiently (admission conflicts, queue overflow).
+    pub killed: Vec<MotRequest<P>>,
+    /// Requests lost to a dead link (see [`BatchOutcome::faulted`]).
+    pub faulted: Vec<MotRequest<P>>,
+}
+
+impl<P> BatchBuffers<P> {
+    /// Empty buffers; they grow to steady-state capacity over the first
+    /// batch and are reused afterwards.
+    pub fn new() -> Self {
+        BatchBuffers {
+            served: Vec::new(),
+            killed: Vec::new(),
+            faulted: Vec::new(),
+        }
+    }
+}
+
+impl<P> Default for BatchBuffers<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 struct Router<'a, P, F> {
     mot: &'a MotTopology,
     serve: F,
     /// Requests admitted into each column tree this phase.
     col_admit: &'a mut [u32],
     col_limit: u32,
-    served: Vec<MotRequest<P>>,
-    killed: Vec<MotRequest<P>>,
+    served: &'a mut Vec<MotRequest<P>>,
+    killed: &'a mut Vec<MotRequest<P>>,
 }
 
 impl<P, F: FnMut(usize, usize, &mut P)> Behavior<MotPacket<P>> for Router<'_, P, F> {
@@ -206,6 +237,12 @@ pub struct MotNetwork<P> {
     mot: MotTopology,
     engine: Engine<MotPacket<P>>,
     col_admit: Vec<u32>,
+    /// Packet pool for queue-overflow drops (merged into `killed` after
+    /// the run; a separate buffer because the router already holds the
+    /// kill list mutably while the engine reports drops).
+    overflow: Vec<MotPacket<P>>,
+    /// Packet pool for dead-link drops (drained into `faulted`).
+    dead_dropped: Vec<MotPacket<P>>,
 }
 
 impl<P> MotNetwork<P> {
@@ -231,6 +268,8 @@ impl<P> MotNetwork<P> {
             mot,
             engine,
             col_admit,
+            overflow: Vec::new(),
+            dead_dropped: Vec::new(),
         }
     }
 
@@ -267,28 +306,38 @@ impl<P> MotNetwork<P> {
         self.engine.dead_link_count()
     }
 
-    /// Route one batch (= one protocol phase).
+    /// Route one batch (= one protocol phase) through caller-owned
+    /// buffers — the allocation-free hot path (`cr-core`'s `MotExec`
+    /// drives every phase through this).
     ///
+    /// * `reqs` — the request batch; **drained** (its capacity is the
+    ///   caller's to reuse);
     /// * `col_limit` — per-column admission bound (1 for collision-kill
     ///   phases, larger for pipelined phases);
     /// * `serve(row, col, payload)` — the memory-module callback, invoked
-    ///   exactly once per served request when it reaches its leaf.
-    pub fn route_batch<F: FnMut(usize, usize, &mut P)>(
+    ///   exactly once per served request when it reaches its leaf;
+    /// * `out` — cleared, then filled with the batch's served / killed /
+    ///   faulted requests.
+    pub fn route_batch_into<F: FnMut(usize, usize, &mut P)>(
         &mut self,
-        reqs: Vec<MotRequest<P>>,
+        reqs: &mut Vec<MotRequest<P>>,
         col_limit: usize,
         serve: F,
-    ) -> BatchOutcome<P> {
+        out: &mut BatchBuffers<P>,
+    ) -> RunStats {
         let side = self.mot.side();
         self.col_admit.iter_mut().for_each(|x| *x = 0);
-        for r in &reqs {
+        out.served.clear();
+        out.killed.clear();
+        out.faulted.clear();
+        for r in reqs.iter() {
             assert!(
                 r.src_root < side && r.row < side && r.col < side,
                 "request out of grid"
             );
         }
         let n_reqs = reqs.len();
-        for req in reqs {
+        for req in reqs.drain(..) {
             let root = self.mot.root(req.src_root);
             self.engine.inject(
                 root,
@@ -303,31 +352,43 @@ impl<P> MotNetwork<P> {
             serve,
             col_admit: &mut self.col_admit,
             col_limit: col_limit as u32,
-            served: Vec::with_capacity(n_reqs),
-            killed: Vec::new(),
+            served: &mut out.served,
+            killed: &mut out.killed,
         };
-        let mut overflow: Vec<MotPacket<P>> = Vec::new();
-        let mut faulted: Vec<MotPacket<P>> = Vec::new();
+        let overflow = &mut self.overflow;
+        let dead_dropped = &mut self.dead_dropped;
         let stats = self
             .engine
             .run_until_quiet(self.mot.graph(), &mut router, |p, reason| match reason {
                 DropReason::QueueFull => overflow.push(p),
-                DropReason::DeadLink => faulted.push(p),
+                DropReason::DeadLink => dead_dropped.push(p),
             });
-        let Router {
-            mut killed, served, ..
-        } = router;
-        killed.extend(overflow.into_iter().map(|p| p.req));
-        let faulted: Vec<MotRequest<P>> = faulted.into_iter().map(|p| p.req).collect();
+        out.killed.extend(self.overflow.drain(..).map(|p| p.req));
+        out.faulted
+            .extend(self.dead_dropped.drain(..).map(|p| p.req));
         debug_assert_eq!(
-            served.len() + killed.len() + faulted.len(),
+            out.served.len() + out.killed.len() + out.faulted.len(),
             n_reqs,
             "requests must be accounted for"
         );
+        stats
+    }
+
+    /// Route one batch, returning freshly allocated result vectors —
+    /// the convenience form of [`Self::route_batch_into`] for one-shot
+    /// callers (primitives, examples, tests).
+    pub fn route_batch<F: FnMut(usize, usize, &mut P)>(
+        &mut self,
+        mut reqs: Vec<MotRequest<P>>,
+        col_limit: usize,
+        serve: F,
+    ) -> BatchOutcome<P> {
+        let mut out = BatchBuffers::new();
+        let stats = self.route_batch_into(&mut reqs, col_limit, serve, &mut out);
         BatchOutcome {
-            served,
-            killed,
-            faulted,
+            served: out.served,
+            killed: out.killed,
+            faulted: out.faulted,
             stats,
         }
     }

@@ -212,6 +212,14 @@ pub struct Engine<T> {
     /// packet (reported with [`DropReason::DeadLink`]).
     dead_links: Vec<bool>,
     cfg: EngineConfig,
+    /// Scratch pools, recycled every cycle so a steady-state run allocates
+    /// nothing: the delivery list ping-pongs with `occupied`, the round
+    /// list with `active`, the kept-queue with each node's queue, and
+    /// `spawn_scratch` holds replies spawned mid-cycle.
+    arrive_scratch: Vec<EdgeId>,
+    round_scratch: Vec<NodeId>,
+    kept_scratch: VecDeque<T>,
+    spawn_scratch: Vec<(NodeId, T)>,
 }
 
 impl<T> Engine<T> {
@@ -225,6 +233,10 @@ impl<T> Engine<T> {
             is_active: vec![false; topo.nodes()],
             dead_links: vec![false; topo.edge_count()],
             cfg,
+            arrive_scratch: Vec::new(),
+            round_scratch: Vec::new(),
+            kept_scratch: VecDeque::new(),
+            spawn_scratch: Vec::new(),
         }
     }
 
@@ -267,10 +279,12 @@ impl<T> Engine<T> {
         mut on_drop: impl FnMut(T, DropReason),
     ) -> RunStats {
         let mut stats = RunStats::default();
-        let mut spawned: Vec<(NodeId, T)> = Vec::new();
+        let mut spawned = std::mem::take(&mut self.spawn_scratch);
+        debug_assert!(spawned.is_empty());
 
         while !self.occupied.is_empty() || !self.active.is_empty() {
             if stats.cycles >= self.cfg.max_cycles {
+                self.spawn_scratch = spawned;
                 panic!(
                     "network did not quiesce within {} cycles (protocol livelock)",
                     self.cfg.max_cycles
@@ -278,10 +292,13 @@ impl<T> Engine<T> {
             }
             stats.cycles += 1;
 
-            // 1. Deliver in-flight packets (deterministic order).
-            let mut arriving = std::mem::take(&mut self.occupied);
+            // 1. Deliver in-flight packets (deterministic order). The
+            //    delivery list ping-pongs with `occupied` so neither is
+            //    reallocated in the steady state.
+            let mut arriving =
+                std::mem::replace(&mut self.occupied, std::mem::take(&mut self.arrive_scratch));
             arriving.sort_unstable();
-            for e in arriving {
+            for e in arriving.drain(..) {
                 if let Some(p) = self.links[e].take() {
                     let (_, to) = topo.endpoints(e);
                     if self.queues[to].len() >= self.cfg.queue_capacity {
@@ -294,22 +311,29 @@ impl<T> Engine<T> {
                     }
                 }
             }
+            self.arrive_scratch = arriving;
 
             // 2. Per active node (in index order), route queued packets.
             //    One packet per out-edge per cycle; stalled packets keep
             //    their FIFO position.
-            let mut round = std::mem::take(&mut self.active);
+            let mut round =
+                std::mem::replace(&mut self.active, std::mem::take(&mut self.round_scratch));
             round.sort_unstable();
             for &node in &round {
                 self.is_active[node] = false;
             }
-            for node in round {
-                let qlen = self.queues[node].len();
-                if qlen == 0 {
+            for node in round.drain(..) {
+                if self.queues[node].is_empty() {
                     continue;
                 }
-                let mut kept: VecDeque<T> = VecDeque::with_capacity(qlen);
-                while let Some(mut p) = self.queues[node].pop_front() {
+                // Drain the node's queue into the kept-scratch deque, then
+                // swap the (now empty, capacity intact) queue buffer back
+                // into the scratch slot — FIFO order is preserved and no
+                // deque is reallocated.
+                let mut q = std::mem::take(&mut self.queues[node]);
+                let mut kept = std::mem::take(&mut self.kept_scratch);
+                debug_assert!(kept.is_empty());
+                while let Some(mut p) = q.pop_front() {
                     match behavior.route(node, &mut p, topo) {
                         Route::Forward(e) => {
                             debug_assert_eq!(topo.endpoints(e).0, node, "edge must leave node");
@@ -339,7 +363,9 @@ impl<T> Engine<T> {
                     self.mark_active(node);
                 }
                 self.queues[node] = kept;
+                self.kept_scratch = q;
             }
+            self.round_scratch = round;
 
             // 3. Enqueue replies spawned this cycle (visible next cycle).
             for (node, p) in spawned.drain(..) {
@@ -348,6 +374,7 @@ impl<T> Engine<T> {
                 self.mark_active(node);
             }
         }
+        self.spawn_scratch = spawned;
         stats
     }
 }

@@ -149,6 +149,72 @@ fn e14_faults_emits_one_json_row_per_scheme_fraction_pair() {
 }
 
 #[test]
+fn e15_throughput_emits_one_json_row_per_sweep_point() {
+    // Quick mode, two schemes: one sweep point each.
+    let ctx = RunCtx::seeded(12)
+        .with_schemes(vec![SchemeKind::HpDmmpc, SchemeKind::Hashed])
+        .with_quick(true);
+    let rows = pram_bench::throughput::rows(&ctx);
+    assert_eq!(rows.len(), 2, "quick mode keeps one n per scheme");
+    for r in &rows {
+        assert!(r.steps_per_sec > 0.0, "{r:?}");
+        assert!(r.phases_per_step > 0.0, "{r:?}");
+    }
+    let out = pram_bench::throughput::render(&rows, &ctx);
+    assert_eq!(
+        out.lines()
+            .filter(|l| l.starts_with("{\"experiment\":\"E15\""))
+            .count(),
+        2,
+        "one JSON row per (scheme, n):\n{out}"
+    );
+    assert!(out.contains("hp-dmmpc") && out.contains("hashed"), "{out}");
+}
+
+#[test]
+fn e15_threaded_sweep_reports_identical_deterministic_counters() {
+    let base = RunCtx::seeded(13)
+        .with_schemes(vec![SchemeKind::HpDmmpc, SchemeKind::Hashed])
+        .with_quick(true);
+    let serial = pram_bench::throughput::rows(&base);
+    let threaded = pram_bench::throughput::rows(&base.clone().with_threads(4));
+    assert_eq!(serial.len(), threaded.len());
+    for (a, b) in serial.iter().zip(&threaded) {
+        assert_eq!(a.scheme, b.scheme, "row order is deterministic");
+        assert_eq!(a.n, b.n);
+        assert_eq!(a.phases_per_step, b.phases_per_step);
+        assert_eq!(a.cycles_per_step, b.cycles_per_step);
+        assert_eq!(a.messages_per_step, b.messages_per_step);
+    }
+}
+
+#[test]
+fn e15_baseline_guard_passes_self_and_catches_regressions() {
+    let ctx = RunCtx::seeded(14)
+        .with_schemes(vec![SchemeKind::Hashed])
+        .with_quick(true);
+    let rows = pram_bench::throughput::rows(&ctx);
+    // A run always passes against its own numbers.
+    let baseline: String = rows.iter().map(|r| r.to_json() + "\n").collect();
+    assert!(pram_bench::throughput::check_baseline(&rows, &baseline).is_ok());
+    // A baseline 10x faster than reality trips the 3x guard.
+    let inflated = baseline.replace(
+        &format!("\"steps_per_sec\":{:.2}", rows[0].steps_per_sec),
+        &format!("\"steps_per_sec\":{:.2}", rows[0].steps_per_sec * 10.0),
+    );
+    assert!(pram_bench::throughput::check_baseline(&rows, &inflated).is_err());
+    // A baseline with no shared points is an error, not a silent pass.
+    assert!(pram_bench::throughput::check_baseline(&rows, "").is_err());
+    // Field extraction handles string and numeric fields.
+    let line = &baseline.lines().next().unwrap();
+    assert_eq!(
+        pram_bench::throughput::json_field(line, "scheme"),
+        Some("hashed")
+    );
+    assert_eq!(pram_bench::throughput::json_field(line, "n"), Some("64"));
+}
+
+#[test]
 fn scheme_list_lines_name_and_describe_every_scheme() {
     let lines = pram_bench::scheme_list_lines();
     assert_eq!(lines.len(), SchemeKind::ALL.len());
@@ -162,9 +228,13 @@ fn scheme_list_lines_name_and_describe_every_scheme() {
 #[test]
 fn registry_is_complete_and_unique() {
     let reg = pram_bench::registry();
-    assert_eq!(reg.len(), 15);
+    assert_eq!(reg.len(), 16);
     let mut ids: Vec<&str> = reg.iter().map(|&(id, _, _)| id).collect();
     ids.sort_unstable();
     ids.dedup();
-    assert_eq!(ids.len(), 15, "experiment ids must be unique");
+    assert_eq!(ids.len(), 16, "experiment ids must be unique");
+    assert!(
+        ids.contains(&"throughput"),
+        "E15 must be listed by `repro --list`"
+    );
 }
