@@ -15,9 +15,22 @@
 //! repro --json-out out.json all  # collect every emitted JSON row
 //! repro --list                   # list experiment ids and scheme names
 //! ```
+//!
+//! Serving subcommands (must be the first argument; the E16 *experiment*
+//! is still reachable as `--experiment serve` or via `all`):
+//!
+//! ```text
+//! repro serve --addr 127.0.0.1:7077 --shards 4
+//!                                # boot the TCP session service
+//! repro loadgen --addr 127.0.0.1:7077 --sessions 1024 --conns 8
+//!                                # drive a running server, report p99
+//! repro loadgen --quick --json-out load.json
+//!                                # CI-sized run, JSON row collected
+//! ```
 
 use cr_core::SchemeKind;
 use cr_faults::Placement;
+use pram_bench::loadgen::{self, LoadgenConfig};
 use pram_bench::{registry, scheme_list_lines, throughput, RunCtx};
 
 /// Count heap allocations so E15 can report `allocs/step` — the perf
@@ -30,7 +43,10 @@ fn usage(reg: &[(&str, &str, pram_bench::Runner)]) {
         "usage: repro [--seed S] [--scheme NAME]... [--faults F] \
          [--fault-mode random|adversarial] [--threads N] [--quick] \
          [--experiment ID]... [--json-out PATH] [--baseline PATH] [--list] \
-         <experiment|all>..."
+         <experiment|all>...\n\
+       repro serve [--addr HOST:PORT] [--shards N]\n\
+       repro loadgen [--addr HOST:PORT] [--sessions K] [--conns T] \
+         [--steps S] [--scheme NAME] [--seed S] [--quick] [--json-out PATH]"
     );
     eprintln!("  --threads N    parallel sweep driver: E15 measures its");
     eprintln!("                 (scheme, n) points on N scoped threads;");
@@ -46,8 +62,146 @@ fn usage(reg: &[(&str, &str, pram_bench::Runner)]) {
     }
 }
 
+/// `repro serve`: boot the sharded TCP session service and block.
+fn cmd_serve(args: &[String]) -> ! {
+    let mut addr = "127.0.0.1:7077".to_string();
+    let mut shards = 4usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                addr = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--addr needs host:port");
+                    std::process::exit(2);
+                });
+            }
+            "--shards" => {
+                i += 1;
+                shards = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&s| s >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--shards needs a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            other => {
+                eprintln!("repro serve: unknown flag {other} (--addr, --shards)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let service = cr_serve::Service::start(cr_serve::ServiceConfig::with_shards(shards));
+    let server = cr_serve::tcp::Server::bind(&addr, service.handle()).unwrap_or_else(|e| {
+        eprintln!("cannot bind {addr}: {e}");
+        std::process::exit(2);
+    });
+    println!(
+        "cr-serve listening on {} shards={shards}",
+        server.local_addr()
+    );
+    // Serve until killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+/// `repro loadgen`: drive a running server, print and optionally collect
+/// the JSON row (shares `--quick` / `--json-out` with the experiments).
+fn cmd_loadgen(args: &[String]) -> ! {
+    // `--quick` applies the CI-sized defaults *first*, so explicit
+    // flags always win regardless of where `--quick` sits on the line.
+    let mut cfg = if args.iter().any(|a| a == "--quick") {
+        LoadgenConfig::default().quick()
+    } else {
+        LoadgenConfig::default()
+    };
+    let mut json_out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut take = |what: &str| -> String {
+            i += 1;
+            args.get(i).cloned().unwrap_or_else(|| {
+                eprintln!("{flag} needs {what}");
+                std::process::exit(2);
+            })
+        };
+        match flag {
+            "--addr" => cfg.addr = take("host:port"),
+            "--sessions" => {
+                cfg.sessions = take("a count").parse().unwrap_or_else(|_| {
+                    eprintln!("--sessions needs a positive integer");
+                    std::process::exit(2);
+                })
+            }
+            "--conns" => {
+                cfg.conns = take("a count").parse().unwrap_or_else(|_| {
+                    eprintln!("--conns needs a positive integer");
+                    std::process::exit(2);
+                })
+            }
+            "--steps" => {
+                cfg.steps = take("a count").parse().unwrap_or_else(|_| {
+                    eprintln!("--steps needs a positive integer");
+                    std::process::exit(2);
+                })
+            }
+            "--scheme" => {
+                cfg.scheme = take("a scheme name").parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                })
+            }
+            "--seed" => {
+                cfg.seed = take("a u64").parse().unwrap_or_else(|_| {
+                    eprintln!("--seed needs a u64");
+                    std::process::exit(2);
+                })
+            }
+            "--quick" => {} // handled in the pre-pass above
+            "--json-out" => json_out = Some(take("a path")),
+            other => {
+                eprintln!(
+                    "repro loadgen: unknown flag {other} (--addr, --sessions, \
+                     --conns, --steps, --scheme, --seed, --quick, --json-out)"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    match loadgen::run(&cfg) {
+        Ok(report) => {
+            println!("{}", report.render());
+            let row = report.to_json();
+            println!("json:\n{row}");
+            if let Some(path) = json_out {
+                std::fs::write(&path, format!("{row}\n")).unwrap_or_else(|e| {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(2);
+                });
+                eprintln!("wrote 1 json row to {path}");
+            }
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("loadgen failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("loadgen") => cmd_loadgen(&args[1..]),
+        _ => {}
+    }
     let mut seed = simrng::DEFAULT_SEED;
     let mut schemes: Vec<SchemeKind> = Vec::new();
     let mut wanted: Vec<String> = Vec::new();
@@ -143,6 +297,9 @@ fn main() {
                     println!("  {line}");
                 }
                 println!("fault modes (for --fault-mode): random, adversarial");
+                println!("subcommands (as the first argument):");
+                println!("  serve        boot the sharded TCP session service (cr-serve)");
+                println!("  loadgen      drive a running server: K sessions over T conns");
                 return;
             }
             other => wanted.push(other.to_string()),

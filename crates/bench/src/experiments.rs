@@ -930,6 +930,12 @@ pub mod throughput {
         /// Mean heap allocations per timed step; `-1` when the counting
         /// allocator is not installed (see `metrics::counting`).
         pub allocs_per_step: f64,
+        /// Median per-step wall-clock latency (µs), from the fixed-bucket
+        /// histogram over every timed step.
+        pub p50_us: f64,
+        /// 99th-percentile per-step latency (µs) — the tail the serving
+        /// layer (E16) inherits.
+        pub p99_us: f64,
     }
 
     impl ThroughputRow {
@@ -940,7 +946,7 @@ pub mod throughput {
                     "{{\"experiment\":\"E15\",\"scheme\":\"{}\",\"n\":{},\"m\":{},",
                     "\"steps\":{},\"steps_per_sec\":{:.2},\"phases_per_step\":{:.2},",
                     "\"cycles_per_step\":{:.2},\"messages_per_step\":{:.2},",
-                    "\"allocs_per_step\":{:.2}}}"
+                    "\"allocs_per_step\":{:.2},\"p50_us\":{:.2},\"p99_us\":{:.2}}}"
                 ),
                 self.scheme,
                 self.n,
@@ -951,6 +957,8 @@ pub mod throughput {
                 self.cycles_per_step,
                 self.messages_per_step,
                 self.allocs_per_step,
+                self.p50_us,
+                self.p99_us,
             )
         }
     }
@@ -999,9 +1007,11 @@ pub mod throughput {
     /// from the point itself, so sweep points are independent and the
     /// measured counters (phases/cycles/messages) are identical no matter
     /// how `--threads` schedules them. Counters and allocations are taken
-    /// over the first block only (deterministic); timing accumulates
-    /// repeated identical blocks until [`MIN_TIMED`].
-    fn measure(point: Point, base_seed: u64, threaded: bool) -> ThroughputRow {
+    /// over the first block only (deterministic); allocations use the
+    /// thread-attributed counter, so concurrent sweep workers cannot
+    /// pollute each other's windows. Timing accumulates repeated
+    /// identical blocks until [`MIN_TIMED`].
+    fn measure(point: Point, base_seed: u64) -> ThroughputRow {
         let (kind, n, m, steps) = point;
         let seed = base_seed ^ simrng::mix64((n as u64) << 8 | kind.name().len() as u64);
         let mut s = SimBuilder::new(n, m)
@@ -1019,20 +1029,28 @@ pub mod throughput {
             s.access(&p.reads, &p.writes);
         }
         let (tot0, steps0) = s.totals();
-        let alloc0 = metrics::counting::allocations();
+        // Per-step latencies feed the fixed-bucket histogram (p50/p99
+        // columns) — the same `metrics::Histogram` the serving layer
+        // merges across shards, replacing the old min/max-free timing.
+        let mut lat = metrics::Histogram::new();
+        let alloc0 = metrics::counting::thread_allocations();
         let t0 = Instant::now();
         for i in 0..steps {
             let p = &pool[i % pool.len()];
+            let s0 = Instant::now();
             s.access(&p.reads, &p.writes);
+            lat.record(s0.elapsed().as_nanos() as u64);
         }
-        let allocs = metrics::counting::allocations() - alloc0;
+        let allocs = metrics::counting::thread_allocations() - alloc0;
         let (tot, steps1) = s.totals();
         let timed = (steps1 - steps0).max(1) as f64;
         let mut done = steps;
         while t0.elapsed() < MIN_TIMED {
             for i in 0..steps {
                 let p = &pool[i % pool.len()];
+                let s0 = Instant::now();
                 s.access(&p.reads, &p.writes);
+                lat.record(s0.elapsed().as_nanos() as u64);
             }
             done += steps;
         }
@@ -1046,14 +1064,13 @@ pub mod throughput {
             phases_per_step: (tot.phases - tot0.phases) as f64 / timed,
             cycles_per_step: (tot.cycles - tot0.cycles) as f64 / timed,
             messages_per_step: (tot.messages - tot0.messages) as f64 / timed,
-            // The allocation counter is process-global: under a threaded
-            // sweep, concurrent points would cross-contaminate it, so the
-            // column is only reported for serial runs.
-            allocs_per_step: if metrics::counting::is_active() && !threaded {
+            allocs_per_step: if metrics::counting::is_active() {
                 allocs as f64 / timed
             } else {
                 -1.0
             },
+            p50_us: lat.p50() as f64 / 1e3,
+            p99_us: lat.p99() as f64 / 1e3,
         }
     }
 
@@ -1065,10 +1082,7 @@ pub mod throughput {
     pub fn rows(ctx: &RunCtx) -> Vec<ThroughputRow> {
         let pts = points(ctx);
         if ctx.threads <= 1 {
-            return pts
-                .into_iter()
-                .map(|p| measure(p, ctx.seed, false))
-                .collect();
+            return pts.into_iter().map(|p| measure(p, ctx.seed)).collect();
         }
         let next = AtomicUsize::new(0);
         let mut indexed: Vec<(usize, ThroughputRow)> = std::thread::scope(|scope| {
@@ -1079,7 +1093,7 @@ pub mod throughput {
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             let Some(&p) = pts.get(i) else { break };
-                            out.push((i, measure(p, ctx.seed, true)));
+                            out.push((i, measure(p, ctx.seed)));
                         }
                         out
                     })
@@ -1106,6 +1120,8 @@ pub mod throughput {
             "cycles/step",
             "msgs/step",
             "allocs/step",
+            "p50 us",
+            "p99 us",
         ]);
         let mut json = String::new();
         for r in rows {
@@ -1123,6 +1139,8 @@ pub mod throughput {
                 } else {
                     fnum(r.allocs_per_step)
                 },
+                fnum(r.p50_us),
+                fnum(r.p99_us),
             ]);
             json.push_str(&r.to_json());
             json.push('\n');
@@ -1195,6 +1213,208 @@ pub mod throughput {
         } else {
             Err(format!("throughput regressions:\n{regressions}"))
         }
+    }
+}
+
+/// E16 — serving throughput: thousands of concurrent sessions multiplexed
+/// across the sharded session service (`cr-serve`), in-process (no socket
+/// in the loop) — the serving trajectory's measured object
+/// (`BENCH_serve.json`).
+pub mod serve {
+    use super::*;
+    use cr_core::SchemeKind;
+    use cr_serve::{Service, ServiceConfig, SessionSpec, WorkloadSpec};
+    use std::time::Instant;
+
+    /// Per-session machine size: small sessions are the serving workload
+    /// (many tenants, each modest), and they keep the grid affordable.
+    pub const SESSION_N: usize = 16;
+    /// Cells per session (`m = 4n`, as in E15).
+    pub const SESSION_M: usize = 64;
+    /// Steps each session executes during the timed window.
+    const STEPS_PER_SESSION: u64 = 32;
+    /// Steps per `step` command (amortizes the queue round-trip).
+    const BATCH: u64 = 8;
+    /// Driver threads (the in-process stand-ins for client connections).
+    const DRIVERS: usize = 8;
+
+    /// One measured `(scheme, shards, sessions)` grid point.
+    #[derive(Debug, Clone)]
+    pub struct ServeRow {
+        /// Stable scheme name.
+        pub scheme: &'static str,
+        /// Service shard count.
+        pub shards: usize,
+        /// Concurrent sessions held open through the whole window.
+        pub sessions: usize,
+        /// Total steps executed across all sessions.
+        pub steps: u64,
+        /// Sustained service-wide throughput.
+        pub steps_per_sec: f64,
+        /// Median per-step latency (µs) from the merged shard histograms.
+        pub p50_us: f64,
+        /// 99th-percentile per-step latency (µs).
+        pub p99_us: f64,
+    }
+
+    impl ServeRow {
+        /// The JSON row `repro --json-out` collects.
+        pub fn to_json(&self) -> String {
+            format!(
+                concat!(
+                    "{{\"experiment\":\"E16\",\"scheme\":\"{}\",\"shards\":{},",
+                    "\"sessions\":{},\"n\":{},\"m\":{},\"steps\":{},",
+                    "\"steps_per_sec\":{:.2},\"p50_us\":{:.2},\"p99_us\":{:.2}}}"
+                ),
+                self.scheme,
+                self.shards,
+                self.sessions,
+                SESSION_N,
+                SESSION_M,
+                self.steps,
+                self.steps_per_sec,
+                self.p50_us,
+                self.p99_us,
+            )
+        }
+    }
+
+    /// The schemes E16 serves. The routed 2DMOT schemes simulate every
+    /// network packet and would dominate the grid by hours; they are
+    /// excluded here (E15 covers their single-session cost) and the
+    /// rendering names the exclusion.
+    fn flat(kind: SchemeKind) -> bool {
+        !matches!(kind, SchemeKind::Hp2dmotLeaves | SchemeKind::Lpp2dmot)
+    }
+
+    /// The `(shards, sessions)` grid. Full mode ends at the acceptance
+    /// point — ≥ 1000 concurrent sessions on 4 shards; `--quick` keeps
+    /// one small point for CI.
+    fn grid(ctx: &RunCtx) -> Vec<(usize, usize)> {
+        if ctx.quick {
+            vec![(2, 32)]
+        } else {
+            vec![(1, 64), (2, 256), (4, 1024)]
+        }
+    }
+
+    /// Measure one grid point: open every session up front (they stay
+    /// live for the whole window — that is the concurrency being
+    /// claimed), then drive them from [`DRIVERS`] threads in batched
+    /// steps, and read the merged latency histogram at the end.
+    fn measure(kind: SchemeKind, shards: usize, sessions: usize, seed: u64) -> ServeRow {
+        let service = Service::start(ServiceConfig::with_shards(shards));
+        let h = service.handle();
+        let sids: Vec<u64> = (0..sessions)
+            .map(|i| {
+                h.open(
+                    SessionSpec::new(SESSION_N, SESSION_M, kind)
+                        .seed(seed ^ simrng::mix64(i as u64)),
+                )
+                .expect("E16 session specs are feasible")
+                .sid
+            })
+            .collect();
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            for chunk in sids.chunks(sessions.div_ceil(DRIVERS.min(sessions))) {
+                let h = h.clone();
+                scope.spawn(move || {
+                    for _ in 0..(STEPS_PER_SESSION / BATCH) {
+                        for &sid in chunk {
+                            h.step(sid, WorkloadSpec::Uniform, BATCH)
+                                .expect("in-budget steps succeed");
+                        }
+                    }
+                });
+            }
+        });
+        let elapsed = t0.elapsed().as_secs_f64().max(1e-9);
+        let info = h.info().expect("service is up");
+        assert_eq!(info.sessions, sessions, "all sessions stayed live");
+        let steps = sessions as u64 * STEPS_PER_SESSION;
+        let row = ServeRow {
+            scheme: kind.name(),
+            shards,
+            sessions,
+            steps,
+            steps_per_sec: steps as f64 / elapsed,
+            p50_us: info.latency.p50() as f64 / 1e3,
+            p99_us: info.latency.p99() as f64 / 1e3,
+        };
+        service.shutdown();
+        row
+    }
+
+    /// Measure the whole grid.
+    pub fn rows(ctx: &RunCtx) -> Vec<ServeRow> {
+        let mut out = Vec::new();
+        for &kind in ctx.schemes.iter().filter(|&&k| flat(k)) {
+            for &(shards, sessions) in &grid(ctx) {
+                out.push(measure(kind, shards, sessions, ctx.seed));
+            }
+        }
+        out
+    }
+
+    /// Render rows as the experiment's table + JSON block.
+    pub fn render(rows: &[ServeRow], ctx: &RunCtx) -> String {
+        let mut t = Table::new(vec![
+            "scheme",
+            "shards",
+            "sessions",
+            "steps",
+            "steps/sec",
+            "p50 us",
+            "p99 us",
+        ]);
+        let mut json = String::new();
+        for r in rows {
+            t.row(vec![
+                r.scheme.to_string(),
+                r.shards.to_string(),
+                r.sessions.to_string(),
+                r.steps.to_string(),
+                fnum(r.steps_per_sec),
+                fnum(r.p50_us),
+                fnum(r.p99_us),
+            ]);
+            json.push_str(&r.to_json());
+            json.push('\n');
+        }
+        let skipped: Vec<&str> = ctx
+            .schemes
+            .iter()
+            .filter(|&&k| !flat(k))
+            .map(|k| k.name())
+            .collect();
+        format!(
+            "E16: serving throughput — concurrent sessions (n={}, m={})\n\
+             multiplexed over the sharded session service, driven in-process\n\
+             by {DRIVERS} client threads, {} steps/session (seed {}{}).\n\
+             Latency quantiles come from the per-shard fixed-bucket\n\
+             histograms, merged.{}\n{}\njson:\n{}",
+            SESSION_N,
+            SESSION_M,
+            STEPS_PER_SESSION,
+            ctx.seed,
+            if ctx.quick { ", --quick" } else { "" },
+            if skipped.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "\n             Excluded (cycle-level routing, see E15): {}.",
+                    skipped.join(", ")
+                )
+            },
+            t.render(),
+            json
+        )
+    }
+
+    /// Render the grid (the `repro` registry entry point).
+    pub fn run(ctx: &RunCtx) -> String {
+        render(&rows(ctx), ctx)
     }
 }
 

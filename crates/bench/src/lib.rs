@@ -13,6 +13,7 @@
 //! steps.
 
 pub mod experiments;
+pub mod loadgen;
 
 pub use experiments::*;
 
@@ -163,6 +164,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "throughput",
             "E15: data-plane throughput (steps/sec across the zoo)",
             experiments::throughput::run,
+        ),
+        (
+            "serve",
+            "E16: serving throughput (sessions x shards over cr-serve)",
+            experiments::serve::run,
         ),
         (
             "programs",

@@ -1,0 +1,279 @@
+//! `loadgen` — the TCP load generator behind `repro loadgen`.
+//!
+//! Opens `sessions` concurrent sessions spread across `conns` TCP
+//! connections against a running `repro serve` instance, drives each
+//! through `steps` workload steps in batched `STEP` commands, and reports
+//! sustained steps/sec plus the server's own merged p50/p99 step latency
+//! (`INFO`). All sessions are opened before the first step and stay open
+//! until after the measurement — the concurrency is held, not peak-burst.
+
+use cr_core::SchemeKind;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Barrier;
+use std::time::Instant;
+
+/// What a load-generation run drives.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address (`repro serve`'s `--addr`).
+    pub addr: String,
+    /// Concurrent sessions to hold open.
+    pub sessions: usize,
+    /// TCP connections (client threads) to spread them over.
+    pub conns: usize,
+    /// Steps per session.
+    pub steps: u64,
+    /// Steps per `STEP` command.
+    pub batch: u64,
+    /// Scheme every session runs.
+    pub scheme: SchemeKind,
+    /// Per-session processors.
+    pub n: usize,
+    /// Per-session memory cells.
+    pub m: usize,
+    /// Base seed (session i gets a mixed derivative).
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:7077".to_string(),
+            sessions: 1024,
+            conns: 8,
+            steps: 32,
+            batch: 8,
+            scheme: SchemeKind::HpDmmpc,
+            n: 16,
+            m: 64,
+            seed: simrng::DEFAULT_SEED,
+        }
+    }
+}
+
+impl LoadgenConfig {
+    /// The CI-sized subset (`--quick`).
+    pub fn quick(mut self) -> Self {
+        self.sessions = 64;
+        self.conns = 4;
+        self.steps = 8;
+        self
+    }
+}
+
+/// What a run measured.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Scheme name served.
+    pub scheme: &'static str,
+    /// Sessions held open through the window.
+    pub sessions: usize,
+    /// Connections used.
+    pub conns: usize,
+    /// Server shard count (from `INFO`).
+    pub shards: usize,
+    /// Total steps driven.
+    pub steps: u64,
+    /// Wall-clock of the stepping window (seconds).
+    pub elapsed_sec: f64,
+    /// Sustained client-observed throughput.
+    pub steps_per_sec: f64,
+    /// Server-side median step latency (µs).
+    pub p50_us: f64,
+    /// Server-side 99th-percentile step latency (µs).
+    pub p99_us: f64,
+}
+
+impl LoadgenReport {
+    /// One JSON row, `repro --json-out` compatible.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"experiment\":\"loadgen\",\"scheme\":\"{}\",\"sessions\":{},",
+                "\"conns\":{},\"shards\":{},\"steps\":{},\"steps_per_sec\":{:.2},",
+                "\"p50_us\":{:.2},\"p99_us\":{:.2}}}"
+            ),
+            self.scheme,
+            self.sessions,
+            self.conns,
+            self.shards,
+            self.steps,
+            self.steps_per_sec,
+            self.p50_us,
+            self.p99_us,
+        )
+    }
+
+    /// Human summary for the terminal.
+    pub fn render(&self) -> String {
+        format!(
+            "loadgen: {} sessions ({}) over {} conns against {} shards:\n\
+             {} steps in {:.2}s = {:.0} steps/sec sustained; \
+             server p50 {:.1}us, p99 {:.1}us per step",
+            self.sessions,
+            self.scheme,
+            self.conns,
+            self.shards,
+            self.steps,
+            self.elapsed_sec,
+            self.steps_per_sec,
+            self.p50_us,
+            self.p99_us,
+        )
+    }
+}
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Conn {
+    fn connect(addr: &str) -> Result<Conn, String> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        stream.set_nodelay(true).ok();
+        Ok(Conn {
+            reader: BufReader::new(
+                stream
+                    .try_clone()
+                    .map_err(|e| format!("clone stream: {e}"))?,
+            ),
+            writer: stream,
+        })
+    }
+
+    fn roundtrip(&mut self, line: &str) -> Result<String, String> {
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .map_err(|e| format!("send: {e}"))?;
+        let mut reply = String::new();
+        self.reader
+            .read_line(&mut reply)
+            .map_err(|e| format!("recv: {e}"))?;
+        let reply = reply.trim_end().to_string();
+        if reply.starts_with("OK") {
+            Ok(reply)
+        } else {
+            Err(format!("server replied: {reply} (to: {line})"))
+        }
+    }
+}
+
+/// Pull `key=value` out of a reply line.
+pub fn reply_field<'a>(reply: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("{key}=");
+    reply
+        .split_ascii_whitespace()
+        .find_map(|tok| tok.strip_prefix(tag.as_str()))
+}
+
+/// Run the load. Connections open their session share, rendezvous at a
+/// barrier (so the full concurrency exists before any step), drive
+/// batched steps to completion, then `CLOSE` every session they opened —
+/// a close that fails proves the session was evicted mid-run (the
+/// measurement was not at the claimed concurrency), and closing keeps
+/// repeated runs against one long-lived server from pinning abandoned
+/// sessions until their TTL.
+pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
+    let conns = cfg.conns.max(1).min(cfg.sessions.max(1));
+    let batch = cfg.batch.clamp(1, cfg.steps.max(1));
+    let barrier = Barrier::new(conns);
+    let results: Vec<Result<(u64, f64), String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..conns)
+            .map(|c| {
+                let barrier = &barrier;
+                scope.spawn(move || -> Result<(u64, f64), String> {
+                    // Setup must not early-return: every thread has to
+                    // reach the barrier or a single failed connect would
+                    // leave its siblings waiting forever.
+                    let setup = (|| -> Result<(Conn, Vec<String>), String> {
+                        let mut conn = Conn::connect(&cfg.addr)?;
+                        // This thread's slice of the session count.
+                        let mine = cfg.sessions / conns + usize::from(c < cfg.sessions % conns);
+                        let mut sids = Vec::with_capacity(mine);
+                        for i in 0..mine {
+                            let seed = cfg
+                                .seed
+                                .wrapping_add(simrng::mix64((c * cfg.sessions + i) as u64));
+                            let reply = conn.roundtrip(&format!(
+                                "OPEN {} {} {} seed={seed}",
+                                cfg.n,
+                                cfg.m,
+                                cfg.scheme.name()
+                            ))?;
+                            let sid = reply_field(&reply, "sid")
+                                .ok_or_else(|| format!("no sid in: {reply}"))?;
+                            sids.push(sid.to_string());
+                        }
+                        Ok((conn, sids))
+                    })();
+                    barrier.wait(); // every session everywhere is open
+                    let (mut conn, sids) = setup?;
+                    let t0 = Instant::now();
+                    let mut steps = 0u64;
+                    let mut left = cfg.steps;
+                    while left > 0 {
+                        let burst = batch.min(left);
+                        for sid in &sids {
+                            let reply = conn.roundtrip(&format!("STEP {sid} uniform {burst}"))?;
+                            steps += reply_field(&reply, "executed")
+                                .and_then(|v| v.parse::<u64>().ok())
+                                .ok_or_else(|| format!("no executed in: {reply}"))?;
+                        }
+                        left -= burst;
+                    }
+                    let elapsed = t0.elapsed().as_secs_f64();
+                    // Post-measurement cleanup doubling as the liveness
+                    // proof: every session this thread opened must still
+                    // close cleanly.
+                    for sid in &sids {
+                        conn.roundtrip(&format!("CLOSE {sid}"))
+                            .map_err(|e| format!("session {sid} did not survive the run: {e}"))?;
+                    }
+                    Ok((steps, elapsed))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err("client thread panicked".into()))
+            })
+            .collect()
+    });
+
+    let mut steps = 0u64;
+    // The measurement window is the slowest connection's stepping phase
+    // (all of them started together at the barrier).
+    let mut elapsed = 0f64;
+    for r in results {
+        let (s, e) = r?;
+        steps += s;
+        elapsed = elapsed.max(e);
+    }
+    let elapsed = elapsed.max(1e-9);
+    // One more connection reads the merged server-side view. Note the
+    // histogram behind p50/p99 covers the server's lifetime — against a
+    // fresh server (CI smoke, benches) that is exactly this run.
+    let mut conn = Conn::connect(&cfg.addr)?;
+    let info = conn.roundtrip("INFO")?;
+    let get = |key: &str| -> Result<f64, String> {
+        reply_field(&info, key)
+            .and_then(|v| v.parse::<f64>().ok())
+            .ok_or_else(|| format!("no {key} in: {info}"))
+    };
+    Ok(LoadgenReport {
+        scheme: cfg.scheme.name(),
+        sessions: cfg.sessions,
+        conns,
+        shards: get("shards")? as usize,
+        steps,
+        elapsed_sec: elapsed,
+        steps_per_sec: steps as f64 / elapsed,
+        p50_us: get("p50us")?,
+        p99_us: get("p99us")?,
+    })
+}

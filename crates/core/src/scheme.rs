@@ -131,7 +131,13 @@ pub struct SchemeParams {
 /// Object-safe: experiments hold a `Vec<Box<dyn Scheme>>` and drive the
 /// whole zoo through one loop. The supertrait carries the memory
 /// semantics; this trait adds the diagnostics the experiments tabulate.
-pub trait Scheme: SharedMemory + fmt::Debug {
+///
+/// `Send` is a supertrait so a built scheme can be handed off to another
+/// thread — the sharded session service (`cr-serve`) routes every
+/// `Box<dyn Scheme>` to a shard worker, and the E15 sweep driver measures
+/// points on scoped threads. No scheme holds `Rc`/raw-pointer state, so
+/// this costs implementors nothing.
+pub trait Scheme: SharedMemory + fmt::Debug + Send {
     /// Which member of the zoo this is.
     fn kind(&self) -> SchemeKind;
 
@@ -461,9 +467,25 @@ impl SimBuilder {
     }
 }
 
+// Compile-time proof that scheme objects cross shard boundaries: the
+// serving layer moves sessions onto worker threads, so this must never
+// regress to a `!Send` implementation (an `Rc`, a raw pointer).
+const _: () = {
+    const fn assert_send<T: Send + ?Sized>() {}
+    assert_send::<Box<dyn Scheme>>();
+    assert_send::<dyn Scheme>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn box_dyn_scheme_is_send() {
+        fn takes_send<T: Send>(_: T) {}
+        let s = SimBuilder::new(8, 64).build().unwrap();
+        takes_send(s);
+    }
 
     #[test]
     fn every_kind_builds_and_linearizes() {

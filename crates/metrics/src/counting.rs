@@ -17,19 +17,36 @@
 //! a fake zero.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    // Const-initialized `Cell<u64>` with no destructor: TLS access from
+    // inside the allocator neither allocates nor registers teardown
+    // hooks, so this is safe on the allocation path.
+    static THREAD_ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+#[inline]
+fn count_one() {
+    ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+    // `try_with` instead of `with`: during thread teardown TLS may be
+    // gone while the runtime still allocates; skip the thread count then.
+    let _ = THREAD_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+}
 
 /// Forwards to the system allocator, counting every allocation
 /// (`alloc`, `alloc_zeroed`, and growth via `realloc`).
 pub struct CountingAlloc;
 
 // SAFETY: defers entirely to `System`; the only addition is a relaxed
-// atomic increment, which allocates nothing and cannot unwind.
+// atomic increment plus a const-initialized TLS bump, neither of which
+// allocates or unwinds.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         System.alloc(layout)
     }
 
@@ -38,12 +55,12 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         System.alloc_zeroed(layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -52,6 +69,14 @@ unsafe impl GlobalAlloc for CountingAlloc {
 /// not installed as the global allocator).
 pub fn allocations() -> u64 {
     ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Allocations made by the *calling thread* (0 if the counting allocator
+/// is not installed). Counting windows on this counter are immune to
+/// other threads in the process (the test harness, sibling tests,
+/// parallel sweep workers) allocating concurrently.
+pub fn thread_allocations() -> u64 {
+    THREAD_ALLOCATIONS.with(|c| c.get())
 }
 
 /// Whether allocation counting is live in this process. Any Rust process

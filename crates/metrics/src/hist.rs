@@ -1,0 +1,234 @@
+//! Fixed-bucket latency histogram.
+//!
+//! The serving layer (`cr-serve`) and the throughput experiment (E15) both
+//! need tail quantiles — p50/p99 step latency — without unbounded memory
+//! or per-sample allocation. [`Histogram`] uses 64 fixed power-of-two
+//! buckets (bucket `i` holds values in `[2^(i-1), 2^i)`; bucket 0 holds
+//! zero), so `record` is a shift and an increment, the footprint is one
+//! cache line's worth of counters, and two histograms recorded on
+//! different shards [`merge`](Histogram::merge) exactly — the property a
+//! sharded service needs to report one service-wide p99.
+//!
+//! Quantiles are resolved to the *geometric midpoint* of the covering
+//! bucket, so the worst-case relative error is √2 — coarse, but stable and
+//! honest for latencies that span orders of magnitude. Exact `min`, `max`,
+//! `count`, and `sum` (hence mean) are tracked alongside the buckets.
+
+/// Number of power-of-two buckets — enough for the full `u64` range.
+pub const BUCKETS: usize = 64;
+
+/// A mergeable fixed-bucket histogram over `u64` samples (typically
+/// latencies in nanoseconds).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index of a value: 0 for 0, else `floor(log2 v) + 1`, capped.
+#[inline]
+fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        ((64 - value.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Fold another histogram into this one. Bucket-exact: merging per-shard
+    /// histograms yields the same counts as recording every sample into one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The quantile `q ∈ [0, 1]`, resolved to the geometric midpoint of
+    /// the bucket containing the `⌈q·count⌉`-th smallest sample, clamped
+    /// to the exact observed `[min, max]`. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let mid = if i == 0 {
+                    0
+                } else {
+                    // Bucket i covers [2^(i-1), 2^i); geometric midpoint
+                    // = 2^(i-1) * sqrt(2).
+                    let lo = 1u64 << (i - 1);
+                    (lo as f64 * std::f64::consts::SQRT_2) as u64
+                };
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Shorthand: the median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// Shorthand: the 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zeroed() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn exact_stats_and_bucketed_quantiles() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30, 40, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 220.0).abs() < 1e-9);
+        // p50 lands in the bucket of 20..30; within a factor of sqrt(2).
+        let p50 = h.p50() as f64;
+        assert!((16.0..=32.0).contains(&p50), "p50 = {p50}");
+        // p99 lands in the top sample's bucket, clamped to max.
+        let p99 = h.p99();
+        assert!((512..=1000).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
+    fn quantile_is_monotone_and_clamped() {
+        let mut h = Histogram::new();
+        for v in 0..1000u64 {
+            h.record(v);
+        }
+        let mut last = 0;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let x = h.quantile(q);
+            assert!(x >= last, "quantile must be monotone");
+            assert!(x <= h.max());
+            last = x;
+        }
+        assert_eq!(h.quantile(0.0), h.min());
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in 0..500u64 {
+            let x = v * v % 7919;
+            if v % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+            all.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+        assert_eq!(a.p99(), all.p99());
+    }
+
+    #[test]
+    fn merge_into_empty() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        b.record(42);
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.min(), 42);
+        assert_eq!(a.max(), 42);
+    }
+}

@@ -4,10 +4,15 @@
 //! `n^ε`? is redundancy flat or `log n`?), so the crate provides
 //! least-squares fits against the two model families the paper uses —
 //! `y = a·(log₂ x)^p` and `y = a·x^p` — plus plain ASCII tables for the
-//! `repro` harness (experiment index in DESIGN.md §4), and the
-//! [`counting`] allocator behind E15's `allocs/step` column.
+//! `repro` harness (experiment index in DESIGN.md §4), the
+//! [`counting`] allocator behind E15's `allocs/step` column, and the
+//! mergeable fixed-bucket [`Histogram`] behind the p50/p99 latency
+//! columns of E15 and the serving layer (`cr-serve`).
 
 pub mod counting;
+pub mod hist;
+
+pub use hist::Histogram;
 
 /// Basic descriptive statistics of a sample.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -1,0 +1,49 @@
+//! The service's error vocabulary — every failure a client can cause or
+//! observe, each rendered as a one-line `ERR` reply.
+
+use cr_core::BuildError;
+use std::fmt;
+
+/// Why a service request failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The requested scheme configuration cannot be built.
+    Build(BuildError),
+    /// No live session with this id (never opened, closed, or evicted).
+    UnknownSession(u64),
+    /// The session's step budget is spent; only `STATS`/`TRACE`/`CLOSE`
+    /// remain valid.
+    BudgetExhausted {
+        /// The exhausted session.
+        sid: u64,
+        /// Its configured budget.
+        max_steps: u64,
+    },
+    /// A shard worker is gone (service shutting down).
+    ShardDown,
+    /// A malformed or out-of-contract request (bad frame, bad address,
+    /// duplicate address, oversized count).
+    BadRequest(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Build(e) => write!(f, "build: {e}"),
+            ServeError::UnknownSession(sid) => write!(f, "unknown session {sid}"),
+            ServeError::BudgetExhausted { sid, max_steps } => {
+                write!(f, "session {sid}: budget of {max_steps} steps exhausted")
+            }
+            ServeError::ShardDown => f.write_str("shard down"),
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<BuildError> for ServeError {
+    fn from(e: BuildError) -> Self {
+        ServeError::Build(e)
+    }
+}

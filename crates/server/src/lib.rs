@@ -1,0 +1,53 @@
+//! `cr-serve` — the sharded P-RAM simulation service (DESIGN.md §8).
+//!
+//! The ROADMAP's north star is a system that serves heavy concurrent
+//! traffic; this crate is the serving layer over the zero-alloc step
+//! engine. It multiplexes thousands of live simulation **sessions** — each
+//! a [`cr_core::Scheme`] built from a [`SessionSpec`], optionally
+//! fault-wrapped via `cr-faults` — across N **shards** (one worker thread
+//! plus one bounded `std::sync::mpsc` command queue each). Sessions are
+//! hash-routed by id, carry budgets (a step ceiling and an idle TTL), and
+//! expose their read/write **trace hash** as a first-class artifact: two
+//! sessions with the same spec produce the same hash no matter how many
+//! shards the service runs, so a client can verify a deployment
+//! byte-for-byte (Wei et al., "Verifying PRAM Consistency over Read/Write
+//! Traces of Data Replicas", motivates exactly this handle).
+//!
+//! Three entry points, one service:
+//!
+//! * [`Service`] / [`ServiceHandle`] — the in-process API (what tests and
+//!   the E16 experiment use; no socket in the loop);
+//! * [`tcp::Server`] — the newline-framed TCP front end
+//!   (`repro serve`);
+//! * [`protocol`] — the shared frame grammar (`OPEN`/`STEP`/`STATS`/
+//!   `TRACE`/`CLOSE`/`INFO`), so the wire protocol and the in-process API
+//!   cannot drift apart.
+//!
+//! ```
+//! use cr_serve::{Service, ServiceConfig, SessionSpec, WorkloadSpec};
+//! use cr_core::SchemeKind;
+//!
+//! let service = Service::start(ServiceConfig::with_shards(2));
+//! let h = service.handle();
+//! let s = h.open(SessionSpec::new(8, 64, SchemeKind::HpDmmpc).seed(7)).unwrap();
+//! let sum = h.step(s.sid, WorkloadSpec::Uniform, 5).unwrap();
+//! assert_eq!(sum.executed, 5);
+//! let t = h.close(s.sid).unwrap();
+//! assert_eq!(t.steps, 5);
+//! service.shutdown();
+//! ```
+
+pub mod error;
+pub mod protocol;
+pub mod service;
+pub mod session;
+pub mod shard;
+pub mod tcp;
+
+pub use error::ServeError;
+pub use service::{Service, ServiceConfig, ServiceHandle, ServiceInfo};
+pub use session::{
+    Session, SessionSpec, SessionStats, StepSummary, WorkloadSpec, DEFAULT_MAX_STEPS, DEFAULT_TTL,
+    MAX_SESSION_M, MAX_SESSION_N, MAX_STEP_BATCH,
+};
+pub use shard::{OpenInfo, ShardMetrics, TraceInfo, QUEUE_CAPACITY};

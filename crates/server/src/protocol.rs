@@ -1,0 +1,353 @@
+//! The wire protocol: newline-framed text commands, one reply line per
+//! command.
+//!
+//! Grammar (tokens are space-separated; `[]` optional, `|` alternatives):
+//!
+//! ```text
+//! OPEN <n> <m> <scheme> [c=<c>] [seed=<u64>] [faults=<f>]
+//!                       [max-steps=<k>] [ttl-ms=<t>]
+//! STEP <sid> uniform|hotspot|stride [count]
+//! STEP <sid> raw [r=<a,b,..>] [w=<a:v,b:v,..>]
+//! STATS <sid>
+//! TRACE <sid>
+//! CLOSE <sid>
+//! INFO
+//! PING
+//! QUIT
+//! ```
+//!
+//! Replies are a single line: `OK <key=value ...>` or `ERR <message>`.
+//! Anything unparseable yields `ERR` and leaves the connection open — a
+//! malformed frame must never take down a session or the server.
+
+use cr_core::SchemeKind;
+use pram_machine::Word;
+use std::time::Duration;
+
+use crate::error::ServeError;
+use crate::service::{ServiceHandle, ServiceInfo};
+use crate::session::{SessionSpec, SessionStats, StepSummary, WorkloadSpec};
+use crate::shard::{OpenInfo, TraceInfo};
+
+/// One parsed client command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Open a session.
+    Open(SessionSpec),
+    /// Step a session.
+    Step {
+        /// Target session.
+        sid: u64,
+        /// What to drive through it.
+        workload: WorkloadSpec,
+        /// How many steps.
+        count: u64,
+    },
+    /// Report aggregate counters.
+    Stats(u64),
+    /// Report the trace hash.
+    Trace(u64),
+    /// Close a session.
+    Close(u64),
+    /// Report service-wide counters.
+    Info,
+    /// Liveness probe.
+    Ping,
+    /// Close the connection.
+    Quit,
+}
+
+fn parse_u64(tok: &str, what: &str) -> Result<u64, String> {
+    tok.parse()
+        .map_err(|_| format!("{what}: not a number: {tok}"))
+}
+
+fn parse_kv(tok: &str) -> Result<(&str, &str), String> {
+    tok.split_once('=')
+        .ok_or_else(|| format!("expected key=value, got {tok}"))
+}
+
+fn parse_list(val: &str, what: &str) -> Result<Vec<usize>, String> {
+    val.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse::<usize>()
+                .map_err(|_| format!("{what}: bad address {s}"))
+        })
+        .collect()
+}
+
+fn parse_writes(val: &str) -> Result<Vec<(usize, Word)>, String> {
+    val.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|pair| {
+            let (a, v) = pair
+                .split_once(':')
+                .ok_or_else(|| format!("w: expected addr:value, got {pair}"))?;
+            let addr = a
+                .parse::<usize>()
+                .map_err(|_| format!("w: bad address {a}"))?;
+            let value = v.parse::<Word>().map_err(|_| format!("w: bad value {v}"))?;
+            Ok((addr, value))
+        })
+        .collect()
+}
+
+/// Parse one frame line. Errors are client-facing messages.
+pub fn parse(line: &str) -> Result<Frame, String> {
+    let mut toks = line.split_ascii_whitespace();
+    let verb = toks.next().ok_or("empty frame")?;
+    let toks: Vec<&str> = toks.collect();
+    match verb.to_ascii_uppercase().as_str() {
+        "OPEN" => {
+            if toks.len() < 3 {
+                return Err("OPEN needs: n m scheme [key=value ...]".into());
+            }
+            let n = parse_u64(toks[0], "n")? as usize;
+            let m = parse_u64(toks[1], "m")? as usize;
+            let kind: SchemeKind = toks[2].parse().map_err(|e| format!("{e}"))?;
+            let mut spec = SessionSpec::new(n, m, kind);
+            for tok in &toks[3..] {
+                let (k, v) = parse_kv(tok)?;
+                match k {
+                    "c" => spec.c = Some(parse_u64(v, "c")? as usize),
+                    "seed" => spec.seed = parse_u64(v, "seed")?,
+                    "faults" => {
+                        let f: f64 = v.parse().map_err(|_| format!("faults: bad fraction {v}"))?;
+                        if !(0.0..=1.0).contains(&f) {
+                            return Err(format!("faults: {f} outside [0, 1]"));
+                        }
+                        spec.fault_fraction = f;
+                    }
+                    "max-steps" => spec.max_steps = parse_u64(v, "max-steps")?,
+                    "ttl-ms" => spec.ttl = Duration::from_millis(parse_u64(v, "ttl-ms")?),
+                    other => return Err(format!("OPEN: unknown option {other}")),
+                }
+            }
+            Ok(Frame::Open(spec))
+        }
+        "STEP" => {
+            if toks.len() < 2 {
+                return Err("STEP needs: sid workload [count]".into());
+            }
+            let sid = parse_u64(toks[0], "sid")?;
+            let (workload, rest) = match toks[1].to_ascii_lowercase().as_str() {
+                "uniform" => (WorkloadSpec::Uniform, &toks[2..]),
+                "hotspot" => (WorkloadSpec::Hotspot, &toks[2..]),
+                "stride" => (WorkloadSpec::Stride, &toks[2..]),
+                "raw" => {
+                    let mut reads = Vec::new();
+                    let mut writes = Vec::new();
+                    for tok in &toks[2..] {
+                        let (k, v) = parse_kv(tok)?;
+                        match k {
+                            "r" => reads = parse_list(v, "r")?,
+                            "w" => writes = parse_writes(v)?,
+                            other => return Err(format!("STEP raw: unknown option {other}")),
+                        }
+                    }
+                    if reads.is_empty() && writes.is_empty() {
+                        return Err("STEP raw: needs r=... and/or w=...".into());
+                    }
+                    (WorkloadSpec::Raw { reads, writes }, &[][..])
+                }
+                other => {
+                    return Err(format!(
+                        "unknown workload {other} (uniform, hotspot, stride, raw)"
+                    ))
+                }
+            };
+            let count = match rest.first() {
+                Some(tok) => parse_u64(tok, "count")?,
+                None => 1,
+            };
+            Ok(Frame::Step {
+                sid,
+                workload,
+                count,
+            })
+        }
+        "STATS" => Ok(Frame::Stats(parse_u64(
+            toks.first().ok_or("STATS needs: sid")?,
+            "sid",
+        )?)),
+        "TRACE" => Ok(Frame::Trace(parse_u64(
+            toks.first().ok_or("TRACE needs: sid")?,
+            "sid",
+        )?)),
+        "CLOSE" => Ok(Frame::Close(parse_u64(
+            toks.first().ok_or("CLOSE needs: sid")?,
+            "sid",
+        )?)),
+        "INFO" => Ok(Frame::Info),
+        "PING" => Ok(Frame::Ping),
+        "QUIT" => Ok(Frame::Quit),
+        other => Err(format!(
+            "unknown command {other} (OPEN, STEP, STATS, TRACE, CLOSE, INFO, PING, QUIT)"
+        )),
+    }
+}
+
+/// Render the reply line for an executed frame.
+pub fn render_open(info: &OpenInfo) -> String {
+    format!(
+        "OK sid={} shard={} scheme={} r={} modules={}",
+        info.sid, info.shard, info.scheme, info.redundancy, info.modules
+    )
+}
+
+/// Render a `STEP` reply.
+pub fn render_step(sum: &StepSummary) -> String {
+    format!(
+        "OK executed={} steps={} phases={} cycles={} messages={} exhausted={}",
+        sum.executed, sum.total_steps, sum.phases, sum.cycles, sum.messages, sum.exhausted
+    )
+}
+
+/// Render a `STATS` reply.
+pub fn render_stats(st: &SessionStats) -> String {
+    format!(
+        "OK steps={} requests={} phases={} cycles={} messages={} budget-left={} trace={:016x}",
+        st.steps, st.requests, st.phases, st.cycles, st.messages, st.budget_left, st.trace
+    )
+}
+
+/// Render a `TRACE` reply.
+pub fn render_trace(t: &TraceInfo) -> String {
+    format!("OK sid={} steps={} trace={:016x}", t.sid, t.steps, t.trace)
+}
+
+/// Render a `CLOSE` reply.
+pub fn render_close(t: &TraceInfo) -> String {
+    format!(
+        "OK closed sid={} steps={} trace={:016x}",
+        t.sid, t.steps, t.trace
+    )
+}
+
+/// Render an `INFO` reply (latencies in microseconds).
+pub fn render_info(info: &ServiceInfo) -> String {
+    format!(
+        "OK shards={} sessions={} opened={} closed={} evicted={} steps={} \
+         queue-max={} p50us={:.1} p99us={:.1}",
+        info.shards,
+        info.sessions,
+        info.opened,
+        info.closed,
+        info.evicted,
+        info.steps,
+        info.queue_depth_max,
+        info.latency.p50() as f64 / 1e3,
+        info.latency.p99() as f64 / 1e3,
+    )
+}
+
+/// Render an error reply.
+pub fn render_err(e: &ServeError) -> String {
+    format!("ERR {e}")
+}
+
+/// Execute one parsed frame against the service; `None` means QUIT.
+pub fn execute(handle: &ServiceHandle, frame: Frame) -> Option<String> {
+    let out = match frame {
+        Frame::Open(spec) => handle.open(spec).map(|i| render_open(&i)),
+        Frame::Step {
+            sid,
+            workload,
+            count,
+        } => handle.step(sid, workload, count).map(|s| render_step(&s)),
+        Frame::Stats(sid) => handle.stats(sid).map(|s| render_stats(&s)),
+        Frame::Trace(sid) => handle.trace(sid).map(|t| render_trace(&t)),
+        Frame::Close(sid) => handle.close(sid).map(|t| render_close(&t)),
+        Frame::Info => handle.info().map(|i| render_info(&i)),
+        Frame::Ping => Ok("OK pong".to_string()),
+        Frame::Quit => return None,
+    };
+    Some(out.unwrap_or_else(|e| render_err(&e)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_with_options_round_trips() {
+        let f = parse("OPEN 16 256 hp-dmmpc seed=9 faults=0.125 max-steps=100 ttl-ms=50").unwrap();
+        match f {
+            Frame::Open(spec) => {
+                assert_eq!(spec.n, 16);
+                assert_eq!(spec.m, 256);
+                assert_eq!(spec.kind, SchemeKind::HpDmmpc);
+                assert_eq!(spec.seed, 9);
+                assert_eq!(spec.fault_fraction, 0.125);
+                assert_eq!(spec.max_steps, 100);
+                assert_eq!(spec.ttl, Duration::from_millis(50));
+            }
+            other => panic!("wrong frame: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn step_variants() {
+        assert_eq!(
+            parse("STEP 3 uniform 10").unwrap(),
+            Frame::Step {
+                sid: 3,
+                workload: WorkloadSpec::Uniform,
+                count: 10
+            }
+        );
+        assert_eq!(
+            parse("step 3 hotspot").unwrap(),
+            Frame::Step {
+                sid: 3,
+                workload: WorkloadSpec::Hotspot,
+                count: 1
+            }
+        );
+        assert_eq!(
+            parse("STEP 7 raw r=1,2 w=3:9,4:-5").unwrap(),
+            Frame::Step {
+                sid: 7,
+                workload: WorkloadSpec::Raw {
+                    reads: vec![1, 2],
+                    writes: vec![(3, 9), (4, -5)]
+                },
+                count: 1
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_frames_are_errors_not_panics() {
+        for bad in [
+            "",
+            "   ",
+            "NOPE",
+            "OPEN",
+            "OPEN 4 x hp-dmmpc",
+            "OPEN 4 64 not-a-scheme",
+            "OPEN 4 64 hp-dmmpc bogus=1",
+            "OPEN 4 64 hp-dmmpc faults=2.0",
+            "STEP",
+            "STEP abc uniform",
+            "STEP 1 warp",
+            "STEP 1 raw",
+            "STEP 1 raw r=x",
+            "STEP 1 raw w=5",
+            "STATS",
+            "TRACE plus",
+            "CLOSE -2",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn simple_verbs() {
+        assert_eq!(parse("INFO").unwrap(), Frame::Info);
+        assert_eq!(parse("ping").unwrap(), Frame::Ping);
+        assert_eq!(parse("QUIT").unwrap(), Frame::Quit);
+        assert_eq!(parse("STATS 12").unwrap(), Frame::Stats(12));
+    }
+}

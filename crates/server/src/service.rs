@@ -1,0 +1,241 @@
+//! The session service: N shards, hash routing, and the in-process
+//! [`ServiceHandle`] API that tests, benches, and the TCP front end all
+//! share.
+//!
+//! Sessions are hash-routed: session ids come from one global counter and
+//! `shard_of(sid) = mix64(sid) mod shards`, so placement is uniform
+//! without coordination and any holder of an id can find its shard. The
+//! handle is `Clone` — every load-generator thread and TCP connection
+//! clones its own set of queue senders and talks to the shards directly;
+//! there is no central dispatcher thread to bottleneck on.
+
+use metrics::Histogram;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::error::ServeError;
+use crate::session::{SessionSpec, SessionStats, StepSummary, WorkloadSpec};
+use crate::shard::{
+    spawn_shard, OpenInfo, Reply, ShardCmd, ShardMetrics, TraceInfo, QUEUE_CAPACITY,
+};
+
+/// Service-wide configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker shards (threads). Sessions are hash-routed across them.
+    pub shards: usize,
+    /// Per-shard bounded queue capacity (the backpressure knob).
+    pub queue_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: 4,
+            queue_capacity: QUEUE_CAPACITY,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// A config with `shards` workers and default queue capacity.
+    pub fn with_shards(shards: usize) -> Self {
+        ServiceConfig {
+            shards: shards.max(1),
+            ..Default::default()
+        }
+    }
+}
+
+/// Merged service-wide counters (`INFO`).
+#[derive(Debug, Clone)]
+pub struct ServiceInfo {
+    /// Shard count.
+    pub shards: usize,
+    /// Live sessions across all shards.
+    pub sessions: usize,
+    /// Sessions ever opened.
+    pub opened: u64,
+    /// Sessions closed by clients.
+    pub closed: u64,
+    /// Sessions evicted by idle TTL.
+    pub evicted: u64,
+    /// Steps executed across all shards.
+    pub steps: u64,
+    /// Deepest per-shard queue at snapshot time.
+    pub queue_depth_max: usize,
+    /// Merged per-step latency histogram (nanoseconds).
+    pub latency: Histogram,
+    /// Per-shard snapshots, in shard order.
+    pub per_shard: Vec<ShardMetrics>,
+}
+
+struct ShardLink {
+    tx: SyncSender<ShardCmd>,
+    queue_depth: Arc<AtomicUsize>,
+}
+
+/// The cheap, cloneable client face of the service.
+#[derive(Clone)]
+pub struct ServiceHandle {
+    shards: Arc<Vec<ShardLink>>,
+    next_sid: Arc<AtomicU64>,
+}
+
+/// The service itself: owns the shard worker threads. Dropping (or
+/// calling [`shutdown`](Service::shutdown)) stops them.
+pub struct Service {
+    handle: ServiceHandle,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Start the shard workers.
+    pub fn start(cfg: ServiceConfig) -> Service {
+        let shards = cfg.shards.max(1);
+        let mut links = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = sync_channel(cfg.queue_capacity.max(1));
+            let queue_depth = Arc::new(AtomicUsize::new(0));
+            workers.push(spawn_shard(shard, rx, Arc::clone(&queue_depth)));
+            links.push(ShardLink { tx, queue_depth });
+        }
+        Service {
+            handle: ServiceHandle {
+                shards: Arc::new(links),
+                next_sid: Arc::new(AtomicU64::new(1)),
+            },
+            workers,
+        }
+    }
+
+    /// A clone-per-thread client handle.
+    pub fn handle(&self) -> ServiceHandle {
+        self.handle.clone()
+    }
+
+    /// Stop every shard worker and join them.
+    pub fn shutdown(mut self) {
+        for link in self.handle.shards.iter() {
+            let _ = link.tx.send(ShardCmd::Shutdown);
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl ServiceHandle {
+    /// Shard count.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard owns a session id.
+    pub fn shard_of(&self, sid: u64) -> usize {
+        (simrng::mix64(sid) % self.shards.len() as u64) as usize
+    }
+
+    fn call(
+        &self,
+        shard: usize,
+        make: impl FnOnce(super::shard::ReplyTx) -> ShardCmd,
+    ) -> Result<Reply, ServeError> {
+        let link = &self.shards[shard];
+        let (reply_tx, reply_rx) = sync_channel(1);
+        link.queue_depth.fetch_add(1, Ordering::Relaxed);
+        if link.tx.send(make(reply_tx)).is_err() {
+            link.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            return Err(ServeError::ShardDown);
+        }
+        reply_rx.recv().map_err(|_| ServeError::ShardDown)?
+    }
+
+    /// Open a session; returns its id and built-scheme facts.
+    pub fn open(&self, spec: SessionSpec) -> Result<OpenInfo, ServeError> {
+        let sid = self.next_sid.fetch_add(1, Ordering::Relaxed);
+        let shard = self.shard_of(sid);
+        match self.call(shard, |reply| ShardCmd::Open { sid, spec, reply })? {
+            Reply::Open(info) => Ok(info),
+            _ => Err(ServeError::ShardDown),
+        }
+    }
+
+    /// Drive `count` steps of `workload` through a session.
+    pub fn step(
+        &self,
+        sid: u64,
+        workload: WorkloadSpec,
+        count: u64,
+    ) -> Result<StepSummary, ServeError> {
+        match self.call(self.shard_of(sid), |reply| ShardCmd::Step {
+            sid,
+            workload,
+            count,
+            reply,
+        })? {
+            Reply::Step(sum) => Ok(sum),
+            _ => Err(ServeError::ShardDown),
+        }
+    }
+
+    /// Aggregate session counters.
+    pub fn stats(&self, sid: u64) -> Result<SessionStats, ServeError> {
+        match self.call(self.shard_of(sid), |reply| ShardCmd::Stats { sid, reply })? {
+            Reply::Stats(st) => Ok(st),
+            _ => Err(ServeError::ShardDown),
+        }
+    }
+
+    /// The session's running trace hash.
+    pub fn trace(&self, sid: u64) -> Result<TraceInfo, ServeError> {
+        match self.call(self.shard_of(sid), |reply| ShardCmd::Trace { sid, reply })? {
+            Reply::Trace(t) => Ok(t),
+            _ => Err(ServeError::ShardDown),
+        }
+    }
+
+    /// Close a session; returns its final trace.
+    pub fn close(&self, sid: u64) -> Result<TraceInfo, ServeError> {
+        match self.call(self.shard_of(sid), |reply| ShardCmd::Close { sid, reply })? {
+            Reply::Close(t) => Ok(t),
+            _ => Err(ServeError::ShardDown),
+        }
+    }
+
+    /// Merged service-wide counters and latency histogram.
+    pub fn info(&self) -> Result<ServiceInfo, ServeError> {
+        let mut per_shard = Vec::with_capacity(self.shards.len());
+        for shard in 0..self.shards.len() {
+            match self.call(shard, |reply| ShardCmd::Metrics { reply })? {
+                Reply::Metrics(m) => per_shard.push(*m),
+                _ => return Err(ServeError::ShardDown),
+            }
+        }
+        let mut info = ServiceInfo {
+            shards: per_shard.len(),
+            sessions: 0,
+            opened: 0,
+            closed: 0,
+            evicted: 0,
+            steps: 0,
+            queue_depth_max: 0,
+            latency: Histogram::new(),
+            per_shard: Vec::new(),
+        };
+        for m in &per_shard {
+            info.sessions += m.sessions;
+            info.opened += m.opened;
+            info.closed += m.closed;
+            info.evicted += m.evicted;
+            info.steps += m.steps;
+            info.queue_depth_max = info.queue_depth_max.max(m.queue_depth);
+            info.latency.merge(&m.latency);
+        }
+        info.per_shard = per_shard;
+        Ok(info)
+    }
+}

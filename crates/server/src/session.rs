@@ -1,0 +1,496 @@
+//! One live simulation session: a scheme instance plus its workload
+//! stream, budgets, and running read/write trace hash.
+//!
+//! A session is defined *entirely* by its [`SessionSpec`] — the scheme
+//! kind, machine size, seed, and optional fault fraction. Every random
+//! ingredient (memory map, workload stream) derives from `spec.seed`
+//! alone, never from the session id or the owning shard, so the same spec
+//! stepped the same number of times produces the same [trace
+//! hash](Session::trace) no matter how many shards the service runs —
+//! the property the cross-shard determinism test pins, and what makes the
+//! trace a verifiable artifact in the sense of Wei et al.'s P-RAM
+//! consistency checking over read/write traces.
+
+use cr_core::{Scheme, SchemeKind, SimBuilder};
+use cr_faults::{FaultPlan, FaultyBuilder};
+use metrics::Histogram;
+use pram_machine::Word;
+use simrng::{fnv1a, rng_from_seed, Xoshiro256pp};
+use std::time::{Duration, Instant};
+use workloads::Zipf;
+
+use crate::error::ServeError;
+
+/// Default per-session step budget.
+pub const DEFAULT_MAX_STEPS: u64 = 1 << 20;
+
+/// Default idle TTL before a session is evicted.
+pub const DEFAULT_TTL: Duration = Duration::from_secs(300);
+
+/// Largest `count` one `STEP` command may request — bounds how long a
+/// single command can occupy its shard's worker thread.
+pub const MAX_STEP_BATCH: u64 = 4096;
+
+/// Largest simulated processor count one session may request.
+pub const MAX_SESSION_N: usize = 1 << 12;
+
+/// Largest simulated memory one session may request — bounds the
+/// `O(m·r)` map built on the shard worker thread at `OPEN` time.
+pub const MAX_SESSION_M: usize = 1 << 20;
+
+/// Everything needed to (re)construct a session deterministically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSpec {
+    /// Simulated P-RAM processors.
+    pub n: usize,
+    /// Simulated shared-memory cells.
+    pub m: usize,
+    /// Which scheme serves the session.
+    pub kind: SchemeKind,
+    /// Optional copy-parameter override (`c`).
+    pub c: Option<usize>,
+    /// Seed of the memory distribution *and* the workload stream.
+    pub seed: u64,
+    /// Module-fault fraction; `> 0` wraps the scheme via `cr-faults`.
+    pub fault_fraction: f64,
+    /// Step budget: further `STEP`s fail once spent.
+    pub max_steps: u64,
+    /// Idle TTL: the owning shard evicts the session after this long
+    /// without a command touching it.
+    pub ttl: Duration,
+}
+
+impl SessionSpec {
+    /// A default-budget spec for an `(n, m)` machine.
+    pub fn new(n: usize, m: usize, kind: SchemeKind) -> Self {
+        SessionSpec {
+            n,
+            m,
+            kind,
+            c: None,
+            seed: simrng::DEFAULT_SEED,
+            fault_fraction: 0.0,
+            max_steps: DEFAULT_MAX_STEPS,
+            ttl: DEFAULT_TTL,
+        }
+    }
+
+    /// Override the seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Override the step budget.
+    pub fn max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Override the idle TTL.
+    pub fn ttl(mut self, ttl: Duration) -> Self {
+        self.ttl = ttl;
+        self
+    }
+
+    /// Run the session under module faults.
+    pub fn faults(mut self, fraction: f64) -> Self {
+        self.fault_fraction = fraction;
+        self
+    }
+}
+
+/// The workload a `STEP` command drives through a session.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadSpec {
+    /// `n` distinct uniform requests, 30% writes (the canonical step).
+    Uniform,
+    /// Zipf(1.2)-skewed reads, deduplicated.
+    Hotspot,
+    /// Strided reads (`stride = max(m/n, 1)`), offset advancing per step.
+    Stride,
+    /// An explicit request batch supplied by the client.
+    Raw {
+        /// Distinct addresses to read.
+        reads: Vec<usize>,
+        /// Distinct addresses to write, with values.
+        writes: Vec<(usize, Word)>,
+    },
+}
+
+/// What one `STEP` command executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepSummary {
+    /// Steps executed by this command.
+    pub executed: u64,
+    /// Session lifetime steps after this command.
+    pub total_steps: u64,
+    /// Protocol phases consumed by this command.
+    pub phases: u64,
+    /// Network cycles consumed by this command.
+    pub cycles: u64,
+    /// Messages consumed by this command.
+    pub messages: u64,
+    /// Whether the budget ran out mid-command (executed < requested).
+    pub exhausted: bool,
+}
+
+/// Aggregate counters a `STATS` command reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Lifetime steps.
+    pub steps: u64,
+    /// Lifetime requests served.
+    pub requests: u64,
+    /// Lifetime protocol phases.
+    pub phases: u64,
+    /// Lifetime network cycles.
+    pub cycles: u64,
+    /// Lifetime messages.
+    pub messages: u64,
+    /// Running trace hash (see [`Session::trace`]).
+    pub trace: u64,
+    /// Remaining step budget.
+    pub budget_left: u64,
+}
+
+/// A live session owned by one shard worker.
+#[derive(Debug)]
+pub struct Session {
+    scheme: Box<dyn Scheme>,
+    spec: SessionSpec,
+    /// Workload stream — derived from `spec.seed` only.
+    rng: Xoshiro256pp,
+    /// Lazily built Zipf CDF for the hotspot workload.
+    zipf: Option<Zipf>,
+    steps: u64,
+    trace: u64,
+    /// Strided-workload offset (advances per step).
+    stride_offset: usize,
+    last_touch: Instant,
+}
+
+impl Session {
+    /// Build the session's scheme (fault-wrapped when the spec asks) and
+    /// seed its workload stream.
+    pub fn open(spec: SessionSpec) -> Result<Session, ServeError> {
+        if spec.max_steps == 0 {
+            return Err(ServeError::BadRequest("max-steps must be positive".into()));
+        }
+        // Construction cost is O(m·r) on the owning shard's worker
+        // thread; without a ceiling one OPEN frame could stall the shard
+        // for minutes (or OOM the process) and starve every session
+        // routed there — the same reason MAX_STEP_BATCH exists.
+        if spec.n > MAX_SESSION_N || spec.m > MAX_SESSION_M {
+            return Err(ServeError::BadRequest(format!(
+                "session too large: n ≤ {MAX_SESSION_N}, m ≤ {MAX_SESSION_M} \
+                 (got n = {}, m = {})",
+                spec.n, spec.m
+            )));
+        }
+        let mut builder = SimBuilder::new(spec.n, spec.m)
+            .kind(spec.kind)
+            .seed(spec.seed);
+        if let Some(c) = spec.c {
+            builder = builder.c(c);
+        }
+        let scheme: Box<dyn Scheme> = if spec.fault_fraction > 0.0 {
+            if spec.c.is_some() {
+                return Err(ServeError::BadRequest(
+                    "faults and an explicit c cannot be combined".into(),
+                ));
+            }
+            Box::new(
+                FaultyBuilder::new(spec.n, spec.m)
+                    .kind(spec.kind)
+                    .seed(spec.seed)
+                    .plan(FaultPlan::modules(spec.fault_fraction).with_seed(spec.seed))
+                    .build()?,
+            )
+        } else {
+            builder.build()?
+        };
+        // The workload stream is decorrelated from the memory map but
+        // derived from the same seed: spec ⇒ behavior, shard-independent.
+        let rng = rng_from_seed(simrng::mix64(spec.seed ^ 0x5E55_1011));
+        Ok(Session {
+            scheme,
+            rng,
+            zipf: None,
+            steps: 0,
+            trace: simrng::FNV_OFFSET,
+            stride_offset: 0,
+            spec,
+            last_touch: Instant::now(),
+        })
+    }
+
+    /// The spec the session was opened with.
+    pub fn spec(&self) -> &SessionSpec {
+        &self.spec
+    }
+
+    /// The underlying scheme (name, redundancy, modules for `OPEN`'s reply).
+    pub fn scheme(&self) -> &dyn Scheme {
+        self.scheme.as_ref()
+    }
+
+    /// Running FNV-1a hash over the session's observable trace: every
+    /// value read back plus each step's phase/cycle/message cost. Two
+    /// sessions with the same spec and step sequence agree bit-for-bit.
+    pub fn trace(&self) -> u64 {
+        self.trace
+    }
+
+    /// Lifetime steps executed.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// When a command last touched the session.
+    pub fn last_touch(&self) -> Instant {
+        self.last_touch
+    }
+
+    /// Whether the session has sat idle longer than its TTL.
+    pub fn expired(&self, now: Instant) -> bool {
+        now.duration_since(self.last_touch) > self.spec.ttl
+    }
+
+    /// Mark the session as touched (any command counts).
+    pub fn touch(&mut self) {
+        self.last_touch = Instant::now();
+    }
+
+    /// Validate a raw request batch against the scheme's access contract,
+    /// so a malformed client batch becomes an error reply instead of a
+    /// downstream panic.
+    fn check_raw(&self, reads: &[usize], writes: &[(usize, Word)]) -> Result<(), ServeError> {
+        let m = self.spec.m;
+        if reads.len() + writes.len() > self.spec.n {
+            return Err(ServeError::BadRequest(format!(
+                "{} requests exceed the {}-processor step budget",
+                reads.len() + writes.len(),
+                self.spec.n
+            )));
+        }
+        // Sort-based dedup over the ≤ n addresses: O(n log n) per
+        // command, independent of the machine size m.
+        let mut addrs: Vec<usize> = reads
+            .iter()
+            .chain(writes.iter().map(|(a, _)| a))
+            .copied()
+            .collect();
+        addrs.sort_unstable();
+        for pair in addrs.windows(2) {
+            if pair[0] == pair[1] {
+                return Err(ServeError::BadRequest(format!(
+                    "address {} appears twice in one step",
+                    pair[0]
+                )));
+            }
+        }
+        if let Some(&a) = addrs.last() {
+            if a >= m {
+                return Err(ServeError::BadRequest(format!(
+                    "address {a} out of range (m = {m})"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Execute up to `count` steps of `workload`, recording one latency
+    /// sample per step into `latency`. Stops early (with
+    /// `exhausted = true`) when the budget runs out mid-batch; fails
+    /// without stepping when it is already spent.
+    pub fn step(
+        &mut self,
+        workload: &WorkloadSpec,
+        count: u64,
+        latency: &mut Histogram,
+    ) -> Result<StepSummary, ServeError> {
+        if count == 0 || count > MAX_STEP_BATCH {
+            return Err(ServeError::BadRequest(format!(
+                "count must be in 1..={MAX_STEP_BATCH}"
+            )));
+        }
+        if self.steps >= self.spec.max_steps {
+            return Err(ServeError::BudgetExhausted {
+                sid: 0, // filled in by the shard, which knows the id
+                max_steps: self.spec.max_steps,
+            });
+        }
+        if let WorkloadSpec::Raw { reads, writes } = workload {
+            self.check_raw(reads, writes)?;
+        }
+        let budget_left = self.spec.max_steps - self.steps;
+        let run = count.min(budget_left);
+        let (n, m) = (self.spec.n, self.spec.m);
+        // The Zipf CDF is O(m) to build; do it before the per-step timer
+        // starts so setup cost never lands in a latency sample.
+        if matches!(workload, WorkloadSpec::Hotspot) && self.zipf.is_none() {
+            self.zipf = Some(Zipf::new(m, 1.2));
+        }
+        let mut phases = 0u64;
+        let mut cycles = 0u64;
+        let mut messages = 0u64;
+        for _ in 0..run {
+            let t0 = Instant::now();
+            let res = match workload {
+                WorkloadSpec::Uniform => {
+                    let p = workloads::uniform(n, m, 0.3, &mut self.rng);
+                    self.scheme.access(&p.reads, &p.writes)
+                }
+                WorkloadSpec::Hotspot => {
+                    let zipf = self.zipf.as_ref().expect("built before the timed loop");
+                    let p = workloads::hotspot(n, zipf, &mut self.rng);
+                    self.scheme.access(&p.reads, &p.writes)
+                }
+                WorkloadSpec::Stride => {
+                    let stride = (m / n).max(1);
+                    let p = workloads::stride(n, m, stride, self.stride_offset);
+                    self.stride_offset = (self.stride_offset + 1) % m;
+                    self.scheme.access(&p.reads, &p.writes)
+                }
+                WorkloadSpec::Raw { reads, writes } => self.scheme.access(reads, writes),
+            };
+            latency.record(t0.elapsed().as_nanos() as u64);
+            for &v in &res.read_values {
+                fnv1a(&mut self.trace, v as u64);
+            }
+            fnv1a(&mut self.trace, res.cost.phases);
+            fnv1a(&mut self.trace, res.cost.cycles);
+            fnv1a(&mut self.trace, res.cost.messages);
+            phases += res.cost.phases;
+            cycles += res.cost.cycles;
+            messages += res.cost.messages;
+            self.steps += 1;
+        }
+        self.touch();
+        Ok(StepSummary {
+            executed: run,
+            total_steps: self.steps,
+            phases,
+            cycles,
+            messages,
+            exhausted: run < count,
+        })
+    }
+
+    /// Aggregate lifetime counters.
+    pub fn stats(&self) -> SessionStats {
+        let (tot, _) = self.scheme.totals();
+        SessionStats {
+            steps: self.steps,
+            requests: tot.requests as u64,
+            phases: tot.phases,
+            cycles: tot.cycles,
+            messages: tot.messages,
+            trace: self.trace,
+            budget_left: self.spec.max_steps - self.steps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SessionSpec {
+        SessionSpec::new(8, 64, SchemeKind::HpDmmpc).seed(7)
+    }
+
+    #[test]
+    fn same_spec_same_trace() {
+        let mut h = Histogram::new();
+        let mut a = Session::open(spec()).unwrap();
+        let mut b = Session::open(spec()).unwrap();
+        a.step(&WorkloadSpec::Uniform, 5, &mut h).unwrap();
+        b.step(&WorkloadSpec::Uniform, 2, &mut h).unwrap();
+        b.step(&WorkloadSpec::Uniform, 3, &mut h).unwrap();
+        assert_eq!(a.trace(), b.trace(), "batching must not change the trace");
+        assert_eq!(a.stats().steps, 5);
+    }
+
+    #[test]
+    fn budget_stops_mid_batch_then_refuses() {
+        let mut h = Histogram::new();
+        let mut s = Session::open(spec().max_steps(3)).unwrap();
+        let sum = s.step(&WorkloadSpec::Uniform, 10, &mut h).unwrap();
+        assert_eq!(sum.executed, 3);
+        assert!(sum.exhausted);
+        let err = s.step(&WorkloadSpec::Uniform, 1, &mut h).unwrap_err();
+        assert!(matches!(err, ServeError::BudgetExhausted { .. }));
+        // STATS stays valid after exhaustion.
+        assert_eq!(s.stats().budget_left, 0);
+    }
+
+    #[test]
+    fn raw_batches_are_validated() {
+        let mut h = Histogram::new();
+        let mut s = Session::open(spec()).unwrap();
+        let oob = WorkloadSpec::Raw {
+            reads: vec![64],
+            writes: vec![],
+        };
+        assert!(matches!(
+            s.step(&oob, 1, &mut h),
+            Err(ServeError::BadRequest(_))
+        ));
+        let dup = WorkloadSpec::Raw {
+            reads: vec![3],
+            writes: vec![(3, 1)],
+        };
+        assert!(matches!(
+            s.step(&dup, 1, &mut h),
+            Err(ServeError::BadRequest(_))
+        ));
+        let ok = WorkloadSpec::Raw {
+            reads: vec![],
+            writes: vec![(5, 42)],
+        };
+        s.step(&ok, 1, &mut h).unwrap();
+        let rd = WorkloadSpec::Raw {
+            reads: vec![5],
+            writes: vec![],
+        };
+        s.step(&rd, 1, &mut h).unwrap();
+        assert_eq!(s.stats().steps, 2);
+    }
+
+    #[test]
+    fn oversized_machines_are_rejected() {
+        for bad in [
+            SessionSpec::new(MAX_SESSION_N + 1, 64, SchemeKind::Hashed),
+            SessionSpec::new(8, MAX_SESSION_M + 1, SchemeKind::Hashed),
+        ] {
+            assert!(matches!(Session::open(bad), Err(ServeError::BadRequest(_))));
+        }
+        // The boundary itself is accepted (hashed: cheapest to build).
+        Session::open(SessionSpec::new(16, 1 << 16, SchemeKind::Hashed)).unwrap();
+    }
+
+    #[test]
+    fn faulty_sessions_build() {
+        let mut h = Histogram::new();
+        let mut s = Session::open(spec().faults(0.125)).unwrap();
+        s.step(&WorkloadSpec::Uniform, 3, &mut h).unwrap();
+        assert_eq!(s.steps(), 3);
+    }
+
+    #[test]
+    fn all_workload_kinds_step() {
+        let mut h = Histogram::new();
+        let mut s = Session::open(spec()).unwrap();
+        for w in [
+            WorkloadSpec::Uniform,
+            WorkloadSpec::Hotspot,
+            WorkloadSpec::Stride,
+        ] {
+            s.step(&w, 2, &mut h).unwrap();
+        }
+        assert_eq!(s.steps(), 6);
+        assert_eq!(h.count(), 6);
+    }
+}

@@ -1,0 +1,280 @@
+//! One shard: a worker thread owning a disjoint set of sessions, fed by a
+//! bounded command queue.
+//!
+//! The service's concurrency model is the classic sharded event loop (one
+//! thread, one queue, no locks around session state — the same shape as a
+//! sharded Redis actor): a session lives on exactly one shard, so its
+//! scheme is driven single-threaded and stays deterministic, while shards
+//! run in parallel. Backpressure is structural: the queue is a
+//! `sync_channel` with fixed capacity, so producers block (TCP
+//! connections, load generators) instead of the queue growing without
+//! bound; the queue-depth gauge is exported per shard.
+
+use metrics::Histogram;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::error::ServeError;
+use crate::session::{Session, SessionSpec, SessionStats, StepSummary, WorkloadSpec};
+
+/// Per-shard command-queue capacity (bounded: this is the backpressure).
+pub const QUEUE_CAPACITY: usize = 1024;
+
+/// How often an idle shard sweeps for TTL-expired sessions.
+pub const SWEEP_EVERY: Duration = Duration::from_millis(20);
+
+/// What `OPEN` reports back.
+#[derive(Debug, Clone)]
+pub struct OpenInfo {
+    /// The new session's id.
+    pub sid: u64,
+    /// The shard that owns it.
+    pub shard: usize,
+    /// Resolved scheme name.
+    pub scheme: &'static str,
+    /// Storage redundancy of the built scheme.
+    pub redundancy: f64,
+    /// Contention units of the built scheme.
+    pub modules: usize,
+}
+
+/// What `TRACE` / `CLOSE` report back.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceInfo {
+    /// The session's id.
+    pub sid: u64,
+    /// Lifetime steps at reporting time.
+    pub steps: u64,
+    /// The running trace hash.
+    pub trace: u64,
+}
+
+/// A snapshot of one shard's gauges and counters.
+#[derive(Debug, Clone)]
+pub struct ShardMetrics {
+    /// Shard index.
+    pub shard: usize,
+    /// Live sessions.
+    pub sessions: usize,
+    /// Sessions ever opened here.
+    pub opened: u64,
+    /// Sessions closed by the client.
+    pub closed: u64,
+    /// Sessions evicted by the idle-TTL sweep.
+    pub evicted: u64,
+    /// Steps executed here.
+    pub steps: u64,
+    /// Commands waiting in the queue when the snapshot was taken.
+    pub queue_depth: usize,
+    /// Per-step wall-clock latency (nanoseconds).
+    pub latency: Histogram,
+}
+
+/// A reply to one shard command.
+#[derive(Debug, Clone)]
+pub(crate) enum Reply {
+    Open(OpenInfo),
+    Step(StepSummary),
+    Stats(SessionStats),
+    Trace(TraceInfo),
+    Close(TraceInfo),
+    // Boxed: the histogram makes this variant ~20x the others' size.
+    Metrics(Box<ShardMetrics>),
+}
+
+pub(crate) type ReplyTx = SyncSender<Result<Reply, ServeError>>;
+
+/// The shard worker's command vocabulary.
+#[derive(Debug)]
+pub(crate) enum ShardCmd {
+    Open {
+        sid: u64,
+        spec: SessionSpec,
+        reply: ReplyTx,
+    },
+    Step {
+        sid: u64,
+        workload: WorkloadSpec,
+        count: u64,
+        reply: ReplyTx,
+    },
+    Stats {
+        sid: u64,
+        reply: ReplyTx,
+    },
+    Trace {
+        sid: u64,
+        reply: ReplyTx,
+    },
+    Close {
+        sid: u64,
+        reply: ReplyTx,
+    },
+    Metrics {
+        reply: ReplyTx,
+    },
+    Shutdown,
+}
+
+/// The worker-side state of one shard.
+struct ShardWorker {
+    shard: usize,
+    sessions: HashMap<u64, Session>,
+    opened: u64,
+    closed: u64,
+    evicted: u64,
+    steps: u64,
+    latency: Histogram,
+    queue_depth: Arc<AtomicUsize>,
+}
+
+impl ShardWorker {
+    fn handle(&mut self, cmd: ShardCmd) -> bool {
+        match cmd {
+            ShardCmd::Open { sid, spec, reply } => {
+                let out = Session::open(spec).map(|session| {
+                    let info = OpenInfo {
+                        sid,
+                        shard: self.shard,
+                        scheme: session.scheme().name(),
+                        redundancy: session.scheme().redundancy(),
+                        modules: session.scheme().modules(),
+                    };
+                    self.sessions.insert(sid, session);
+                    self.opened += 1;
+                    Reply::Open(info)
+                });
+                let _ = reply.send(out);
+            }
+            ShardCmd::Step {
+                sid,
+                workload,
+                count,
+                reply,
+            } => {
+                let out = match self.sessions.get_mut(&sid) {
+                    None => Err(ServeError::UnknownSession(sid)),
+                    Some(session) => session
+                        .step(&workload, count, &mut self.latency)
+                        .map(|sum| {
+                            self.steps += sum.executed;
+                            Reply::Step(sum)
+                        })
+                        .map_err(|e| match e {
+                            // The session does not know its own id.
+                            ServeError::BudgetExhausted { max_steps, .. } => {
+                                ServeError::BudgetExhausted { sid, max_steps }
+                            }
+                            other => other,
+                        }),
+                };
+                let _ = reply.send(out);
+            }
+            ShardCmd::Stats { sid, reply } => {
+                let out = match self.sessions.get_mut(&sid) {
+                    None => Err(ServeError::UnknownSession(sid)),
+                    Some(session) => {
+                        session.touch();
+                        Ok(Reply::Stats(session.stats()))
+                    }
+                };
+                let _ = reply.send(out);
+            }
+            ShardCmd::Trace { sid, reply } => {
+                let out = match self.sessions.get_mut(&sid) {
+                    None => Err(ServeError::UnknownSession(sid)),
+                    Some(session) => {
+                        session.touch();
+                        Ok(Reply::Trace(TraceInfo {
+                            sid,
+                            steps: session.steps(),
+                            trace: session.trace(),
+                        }))
+                    }
+                };
+                let _ = reply.send(out);
+            }
+            ShardCmd::Close { sid, reply } => {
+                let out = match self.sessions.remove(&sid) {
+                    None => Err(ServeError::UnknownSession(sid)),
+                    Some(session) => {
+                        self.closed += 1;
+                        Ok(Reply::Close(TraceInfo {
+                            sid,
+                            steps: session.steps(),
+                            trace: session.trace(),
+                        }))
+                    }
+                };
+                let _ = reply.send(out);
+            }
+            ShardCmd::Metrics { reply } => {
+                let snap = ShardMetrics {
+                    shard: self.shard,
+                    sessions: self.sessions.len(),
+                    opened: self.opened,
+                    closed: self.closed,
+                    evicted: self.evicted,
+                    steps: self.steps,
+                    queue_depth: self.queue_depth.load(Ordering::Relaxed),
+                    latency: self.latency.clone(),
+                };
+                let _ = reply.send(Ok(Reply::Metrics(Box::new(snap))));
+            }
+            ShardCmd::Shutdown => return false,
+        }
+        true
+    }
+
+    fn sweep(&mut self, now: Instant) {
+        let before = self.sessions.len();
+        self.sessions.retain(|_, s| !s.expired(now));
+        self.evicted += (before - self.sessions.len()) as u64;
+    }
+}
+
+/// Spawn one shard worker; returns its join handle. `queue_depth` is
+/// decremented as commands are dequeued (the sender increments it).
+pub(crate) fn spawn_shard(
+    shard: usize,
+    rx: Receiver<ShardCmd>,
+    queue_depth: Arc<AtomicUsize>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("cr-serve-shard-{shard}"))
+        .spawn(move || {
+            let mut w = ShardWorker {
+                shard,
+                sessions: HashMap::new(),
+                opened: 0,
+                closed: 0,
+                evicted: 0,
+                steps: 0,
+                latency: Histogram::new(),
+                queue_depth,
+            };
+            let mut last_sweep = Instant::now();
+            loop {
+                match rx.recv_timeout(SWEEP_EVERY) {
+                    Ok(cmd) => {
+                        w.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        if !w.handle(cmd) {
+                            break;
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+                let now = Instant::now();
+                if now.duration_since(last_sweep) >= SWEEP_EVERY {
+                    w.sweep(now);
+                    last_sweep = now;
+                }
+            }
+        })
+        .expect("spawning a shard worker thread")
+}

@@ -1,0 +1,214 @@
+//! In-process service tests: session lifecycle, budgets, idle-TTL
+//! eviction, and the cross-shard determinism contract.
+
+use cr_core::SchemeKind;
+use cr_serve::{ServeError, Service, ServiceConfig, SessionSpec, WorkloadSpec};
+use std::time::Duration;
+
+fn spec() -> SessionSpec {
+    SessionSpec::new(8, 64, SchemeKind::HpDmmpc).seed(42)
+}
+
+#[test]
+fn open_step_stats_trace_close() {
+    let service = Service::start(ServiceConfig::with_shards(2));
+    let h = service.handle();
+    let open = h.open(spec()).unwrap();
+    assert_eq!(open.scheme, "hp-dmmpc");
+    assert!(open.redundancy >= 1.0);
+    assert!(open.shard < 2);
+
+    let sum = h.step(open.sid, WorkloadSpec::Uniform, 10).unwrap();
+    assert_eq!(sum.executed, 10);
+    assert_eq!(sum.total_steps, 10);
+    assert!(sum.phases > 0);
+    assert!(!sum.exhausted);
+
+    let st = h.stats(open.sid).unwrap();
+    assert_eq!(st.steps, 10);
+    assert!(st.requests > 0);
+    assert_eq!(st.trace, h.trace(open.sid).unwrap().trace);
+
+    let closed = h.close(open.sid).unwrap();
+    assert_eq!(closed.steps, 10);
+
+    // Everything after close is unknown-session.
+    assert!(matches!(
+        h.step(open.sid, WorkloadSpec::Uniform, 1),
+        Err(ServeError::UnknownSession(_))
+    ));
+    assert!(matches!(
+        h.stats(open.sid),
+        Err(ServeError::UnknownSession(_))
+    ));
+    service.shutdown();
+}
+
+#[test]
+fn unknown_session_and_bad_build_are_errors() {
+    let service = Service::start(ServiceConfig::with_shards(1));
+    let h = service.handle();
+    assert!(matches!(h.stats(999), Err(ServeError::UnknownSession(999))));
+    // Empty machine is a BuildError surfaced through the service.
+    let err = h
+        .open(SessionSpec::new(0, 64, SchemeKind::HpDmmpc))
+        .unwrap_err();
+    assert!(matches!(err, ServeError::Build(_)), "{err}");
+    service.shutdown();
+}
+
+#[test]
+fn budget_exhaustion_is_graceful() {
+    let service = Service::start(ServiceConfig::with_shards(1));
+    let h = service.handle();
+    let open = h.open(spec().max_steps(7)).unwrap();
+    let sum = h.step(open.sid, WorkloadSpec::Uniform, 100).unwrap();
+    assert_eq!(sum.executed, 7);
+    assert!(sum.exhausted);
+    let err = h.step(open.sid, WorkloadSpec::Uniform, 1).unwrap_err();
+    assert!(
+        matches!(err, ServeError::BudgetExhausted { sid, max_steps: 7 } if sid == open.sid),
+        "{err}"
+    );
+    // The session is still inspectable and closable.
+    assert_eq!(h.stats(open.sid).unwrap().budget_left, 0);
+    assert_eq!(h.close(open.sid).unwrap().steps, 7);
+    service.shutdown();
+}
+
+#[test]
+fn idle_ttl_evicts_but_touch_keeps_alive() {
+    let service = Service::start(ServiceConfig::with_shards(1));
+    let h = service.handle();
+    let doomed = h.open(spec().ttl(Duration::from_millis(40))).unwrap();
+    let kept = h.open(spec().ttl(Duration::from_millis(400))).unwrap();
+    // Touch the long-TTL session while the short one idles past its TTL
+    // (sweeps run every 20ms).
+    for _ in 0..6 {
+        std::thread::sleep(Duration::from_millis(25));
+        h.step(kept.sid, WorkloadSpec::Uniform, 1).unwrap();
+    }
+    assert!(matches!(
+        h.stats(doomed.sid),
+        Err(ServeError::UnknownSession(_))
+    ));
+    assert_eq!(h.stats(kept.sid).unwrap().steps, 6);
+    let info = h.info().unwrap();
+    assert_eq!(info.evicted, 1);
+    assert_eq!(info.sessions, 1);
+    service.shutdown();
+}
+
+/// The serving contract the trace hash exists for: a session's trace
+/// depends only on its spec and step count — never on shard count,
+/// session-id interleaving, or what else the service is doing.
+#[test]
+fn cross_shard_determinism_same_seed_same_trace() {
+    let mut traces = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let service = Service::start(ServiceConfig::with_shards(shards));
+        let h = service.handle();
+        // Noise sessions with different seeds, interleaved before/around
+        // the probed one so ids and placement differ per shard count.
+        let noise1 = h.open(spec().seed(1)).unwrap();
+        let probe = h.open(spec().seed(777)).unwrap();
+        let noise2 = h.open(spec().seed(2)).unwrap();
+        h.step(noise1.sid, WorkloadSpec::Uniform, 3).unwrap();
+        h.step(probe.sid, WorkloadSpec::Uniform, 4).unwrap();
+        h.step(noise2.sid, WorkloadSpec::Hotspot, 2).unwrap();
+        h.step(probe.sid, WorkloadSpec::Uniform, 8).unwrap();
+        let t = h.close(probe.sid).unwrap();
+        assert_eq!(t.steps, 12);
+        traces.push(t.trace);
+        service.shutdown();
+    }
+    assert_eq!(traces[0], traces[1], "1 vs 2 shards");
+    assert_eq!(traces[0], traces[2], "1 vs 4 shards");
+}
+
+#[test]
+fn info_merges_shard_metrics() {
+    let service = Service::start(ServiceConfig::with_shards(4));
+    let h = service.handle();
+    let mut sids = Vec::new();
+    for i in 0..32 {
+        sids.push(h.open(spec().seed(i)).unwrap().sid);
+    }
+    for &sid in &sids {
+        h.step(sid, WorkloadSpec::Uniform, 2).unwrap();
+    }
+    let info = h.info().unwrap();
+    assert_eq!(info.shards, 4);
+    assert_eq!(info.sessions, 32);
+    assert_eq!(info.opened, 32);
+    assert_eq!(info.steps, 64);
+    assert_eq!(info.latency.count(), 64, "one latency sample per step");
+    assert!(info.latency.p99() >= info.latency.p50());
+    // Hash routing actually spreads sessions across shards.
+    let occupied = info.per_shard.iter().filter(|s| s.sessions > 0).count();
+    assert!(occupied >= 3, "32 sessions must land on >= 3 of 4 shards");
+    service.shutdown();
+}
+
+#[test]
+fn faulty_sessions_serve_and_survive() {
+    let service = Service::start(ServiceConfig::with_shards(2));
+    let h = service.handle();
+    let open = h
+        .open(SessionSpec::new(16, 256, SchemeKind::HpDmmpc).faults(0.125))
+        .unwrap();
+    let sum = h.step(open.sid, WorkloadSpec::Uniform, 5).unwrap();
+    assert_eq!(sum.executed, 5);
+    // A raw write/read round trip still returns the written value under
+    // a 12.5% module loss (that is what constant redundancy buys).
+    h.step(
+        open.sid,
+        WorkloadSpec::Raw {
+            reads: vec![],
+            writes: vec![(9, 1234)],
+        },
+        1,
+    )
+    .unwrap();
+    h.step(
+        open.sid,
+        WorkloadSpec::Raw {
+            reads: vec![9],
+            writes: vec![],
+        },
+        1,
+    )
+    .unwrap();
+    service.shutdown();
+}
+
+#[test]
+fn handles_are_usable_from_many_threads() {
+    let service = Service::start(ServiceConfig::with_shards(4));
+    let h = service.handle();
+    let total: u64 = std::thread::scope(|scope| {
+        (0..8u64)
+            .map(|t| {
+                let h = h.clone();
+                scope.spawn(move || {
+                    let mut steps = 0;
+                    for i in 0..8 {
+                        let open = h.open(spec().seed(t * 100 + i)).unwrap();
+                        steps += h.step(open.sid, WorkloadSpec::Uniform, 3).unwrap().executed;
+                        h.close(open.sid).unwrap();
+                    }
+                    steps
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|j| j.join().unwrap())
+            .sum()
+    });
+    assert_eq!(total, 8 * 8 * 3);
+    let info = service.handle().info().unwrap();
+    assert_eq!(info.opened, 64);
+    assert_eq!(info.closed, 64);
+    assert_eq!(info.sessions, 0);
+    service.shutdown();
+}

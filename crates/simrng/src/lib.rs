@@ -146,6 +146,23 @@ pub fn mix64(x: u64) -> u64 {
 /// Default experiment seed used across the benchmark harness.
 pub const DEFAULT_SEED: u64 = 0xC0FFEE;
 
+/// The FNV-1a 64-bit offset basis — the initial value for [`fnv1a`]
+/// accumulation chains.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Fold one value into a running FNV-1a 64-bit hash (little-endian
+/// bytes). This is the workspace's *one* definition of the trace/golden
+/// hash: the golden determinism snapshots and the serving layer's
+/// per-session trace hashes both accumulate with it, so the two can
+/// never silently drift apart.
+#[inline]
+pub fn fnv1a(hash: &mut u64, value: u64) {
+    for byte in value.to_le_bytes() {
+        *hash ^= byte as u64;
+        *hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -74,6 +74,7 @@ pub fn permutation(n: usize, m: usize, rng: &mut impl Rng) -> Vec<StepPattern> {
 
 /// Zipf-distributed requests with exponent `theta`, deduplicated. The
 /// higher `theta`, the fewer distinct variables per step.
+#[derive(Debug, Clone)]
 pub struct Zipf {
     cdf: Vec<f64>,
 }

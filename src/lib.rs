@@ -20,6 +20,9 @@
 //! * [`faults`] — deterministic fault injection ([`faults::FaultPlan`] /
 //!   [`faults::FaultyBuilder`]): every scheme under module, processor,
 //!   link, and message faults, measured against a fault-free twin;
+//! * [`serve`] — the sharded session service: thousands of concurrent
+//!   simulations multiplexed across worker shards, in-process
+//!   ([`serve::Service`]) or over TCP ([`serve::tcp::Server`]);
 //! * [`workloads`] / [`metrics`] — experiment support.
 //!
 //! See `DESIGN.md` for the crate inventory and the experiment index, and
@@ -65,6 +68,7 @@
 
 pub use cr_core as core;
 pub use cr_faults as faults;
+pub use cr_serve as serve;
 pub use galois;
 pub use ida;
 pub use memdist;

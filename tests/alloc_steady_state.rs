@@ -6,6 +6,13 @@
 //! `metrics::counting` (each Rust test binary may have its own global
 //! allocator), warms a scheme/workspace to steady-state capacity, and then
 //! counts allocations across whole protocol runs.
+//!
+//! Counting windows use the **thread-attributed** counter
+//! (`counting::thread_allocations`), not the process-global one: libtest
+//! runs tests on worker threads and allocates on the main thread (test
+//! spawning, event plumbing), which polluted process-global windows under
+//! load. Each window here counts exactly what *its* thread allocated, so
+//! the assertions stay strict per-window.
 
 use pramsim::core::protocol::{run_protocol, FlatPlacement, ProtocolWorkspace};
 use pramsim::core::{executors::BipartiteExec, SchemeKind, SimBuilder};
@@ -64,10 +71,10 @@ fn dmmpc_protocol_steps_allocate_nothing_after_warmup() {
     };
 
     drive(&mut exec, &mut ws); // warm-up: buffers grow to steady state
-    let before = counting::allocations();
+    let before = counting::thread_allocations();
     drive(&mut exec, &mut ws);
     drive(&mut exec, &mut ws);
-    let after = counting::allocations();
+    let after = counting::thread_allocations();
     assert_eq!(
         after - before,
         0,
@@ -94,12 +101,12 @@ fn dmmpc_access_steps_allocate_only_the_result_vector() {
         s.access(&p.reads, &p.writes); // warm-up
     }
     let steps = 32;
-    let before = counting::allocations();
+    let before = counting::thread_allocations();
     for i in 0..steps {
         let p = &pool[i % pool.len()];
         s.access(&p.reads, &p.writes);
     }
-    let allocs = counting::allocations() - before;
+    let allocs = counting::thread_allocations() - before;
     assert!(
         allocs <= steps as u64,
         "expected ≤ 1 allocation per access (the read_values result), got {allocs} over {steps} steps"

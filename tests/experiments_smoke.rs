@@ -215,6 +215,51 @@ fn e15_baseline_guard_passes_self_and_catches_regressions() {
 }
 
 #[test]
+fn e16_serve_emits_one_json_row_per_grid_point_and_skips_routed_schemes() {
+    // Quick mode, one flat scheme plus one routed scheme: the routed one
+    // must be excluded (and named), the flat one measured.
+    let ctx = RunCtx::seeded(15)
+        .with_schemes(vec![SchemeKind::HpDmmpc, SchemeKind::Hp2dmotLeaves])
+        .with_quick(true);
+    let rows = pram_bench::serve::rows(&ctx);
+    assert_eq!(rows.len(), 1, "quick grid is one point per flat scheme");
+    let r = &rows[0];
+    assert_eq!(r.scheme, "hp-dmmpc");
+    assert_eq!(r.shards, 2);
+    assert_eq!(r.sessions, 32);
+    assert!(r.steps_per_sec > 0.0, "{r:?}");
+    assert!(r.p99_us >= r.p50_us, "{r:?}");
+    let out = pram_bench::serve::render(&rows, &ctx);
+    assert_eq!(
+        out.lines()
+            .filter(|l| l.starts_with("{\"experiment\":\"E16\""))
+            .count(),
+        1,
+        "one JSON row per grid point:\n{out}"
+    );
+    assert!(
+        out.contains("Excluded") && out.contains("hp-2dmot"),
+        "routed schemes must be named, not silently dropped:\n{out}"
+    );
+}
+
+#[test]
+fn e15_rows_report_latency_quantiles() {
+    let ctx = RunCtx::seeded(16)
+        .with_schemes(vec![SchemeKind::Hashed])
+        .with_quick(true);
+    let rows = pram_bench::throughput::rows(&ctx);
+    let r = &rows[0];
+    assert!(r.p50_us > 0.0, "{r:?}");
+    assert!(r.p99_us >= r.p50_us, "{r:?}");
+    let json = r.to_json();
+    assert!(
+        pram_bench::throughput::json_field(&json, "p99_us").is_some(),
+        "{json}"
+    );
+}
+
+#[test]
 fn scheme_list_lines_name_and_describe_every_scheme() {
     let lines = pram_bench::scheme_list_lines();
     assert_eq!(lines.len(), SchemeKind::ALL.len());
@@ -228,13 +273,17 @@ fn scheme_list_lines_name_and_describe_every_scheme() {
 #[test]
 fn registry_is_complete_and_unique() {
     let reg = pram_bench::registry();
-    assert_eq!(reg.len(), 16);
+    assert_eq!(reg.len(), 17);
     let mut ids: Vec<&str> = reg.iter().map(|&(id, _, _)| id).collect();
     ids.sort_unstable();
     ids.dedup();
-    assert_eq!(ids.len(), 16, "experiment ids must be unique");
+    assert_eq!(ids.len(), 17, "experiment ids must be unique");
     assert!(
         ids.contains(&"throughput"),
         "E15 must be listed by `repro --list`"
+    );
+    assert!(
+        ids.contains(&"serve"),
+        "E16 must be listed by `repro --list`"
     );
 }

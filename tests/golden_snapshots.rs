@@ -32,17 +32,15 @@ fn size_for(kind: SchemeKind) -> (usize, usize) {
     }
 }
 
-fn fnv1a(hash: &mut u64, value: u64) {
-    for byte in value.to_le_bytes() {
-        *hash ^= byte as u64;
-        *hash = hash.wrapping_mul(0x100_0000_01b3);
-    }
-}
+// The hasher is the workspace-wide one (also behind cr-serve's session
+// trace hashes), so the golden recipe and the service artifact cannot
+// silently drift apart.
+use pramsim::simrng::{fnv1a, FNV_OFFSET};
 
 /// Drive `mem` through the fixed golden workload; returns the read hash.
 fn drive(mem: &mut dyn SharedMemory, n: usize, m: usize) -> u64 {
     let mut rng = rng_from_seed(GOLDEN_SEED ^ 0x9E37);
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut hash = FNV_OFFSET;
     for _ in 0..STEPS {
         let p = workloads::uniform(n, m, 0.3, &mut rng);
         let res = mem.access(&p.reads, &p.writes);
