@@ -3,7 +3,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use galois::Gf16;
-use ida::{IdaCode, SchusterStore};
+use ida::{DecodeCache, IdaCode, SchusterStore};
 
 fn bench_codec(c: &mut Criterion) {
     let mut g = c.benchmark_group("ida_codec");
@@ -17,6 +17,24 @@ fn bench_codec(c: &mut Criterion) {
         });
         g.bench_function(format!("decode_b{b}_d{d}"), |bch| {
             bch.iter(|| code.decode(black_box(&quorum)).unwrap())
+        });
+        // The flat data plane's path: warm decode-matrix cache, reusable
+        // buffers — measures the per-access win over the cold decode.
+        let mut cache = DecodeCache::new();
+        let mut out = Vec::new();
+        code.decode_into(&quorum, &mut cache, &mut out);
+        g.bench_function(format!("decode_cached_b{b}_d{d}"), |bch| {
+            bch.iter(|| {
+                code.decode_into(black_box(&quorum), &mut cache, &mut out);
+                out[0]
+            })
+        });
+        g.bench_function(format!("encode_into_b{b}_d{d}"), |bch| {
+            let mut enc = Vec::new();
+            bch.iter(|| {
+                code.encode_into(black_box(&data), &mut enc);
+                enc[0]
+            })
         });
     }
     g.finish();

@@ -1,0 +1,66 @@
+//! Flat per-step module-congestion counter shared by the protocol-free
+//! schemes (`hashed`, `ida`).
+//!
+//! A step's time on these schemes is the maximum number of requests any
+//! one module serves. Counting that with a per-step `HashMap` was worth
+//! 6–10 allocations per step; this counter keeps one flat `load` array
+//! (indexed by module id) plus the list of touched modules, so a step
+//! is touch → finish with zero allocations, and the all-zero-on-entry
+//! invariant of `load` is restored by `finish` itself.
+
+/// Reusable max-requests-per-module counter over a fixed module universe.
+#[derive(Debug)]
+pub(crate) struct CongestionCounter {
+    /// Per-module request count of the current step.
+    load: Vec<u64>,
+    /// Modules touched this step (the indices of `load` to read and
+    /// zero).
+    touched: Vec<usize>,
+}
+
+impl CongestionCounter {
+    /// A counter over `modules` modules, all idle.
+    pub(crate) fn new(modules: usize) -> Self {
+        CongestionCounter {
+            load: vec![0; modules],
+            touched: Vec::new(),
+        }
+    }
+
+    /// Charge one request to `module`.
+    pub(crate) fn touch(&mut self, module: usize) {
+        if self.load[module] == 0 {
+            self.touched.push(module);
+        }
+        self.load[module] += 1;
+    }
+
+    /// The step's congestion (max load over the touched modules; 0 when
+    /// nothing was touched), resetting the counter for the next step.
+    pub(crate) fn finish(&mut self) -> u64 {
+        let max = self.touched.iter().map(|&md| self.load[md]).max();
+        for &md in &self.touched {
+            self.load[md] = 0;
+        }
+        self.touched.clear();
+        max.unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_resets() {
+        let mut c = CongestionCounter::new(4);
+        assert_eq!(c.finish(), 0);
+        for md in [0, 1, 1, 3, 1, 0] {
+            c.touch(md);
+        }
+        assert_eq!(c.finish(), 3);
+        // The reset restored the all-zero invariant.
+        c.touch(2);
+        assert_eq!(c.finish(), 1);
+    }
+}

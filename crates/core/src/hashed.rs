@@ -13,11 +13,16 @@
 //!   aim `n` variables at one module, which is exactly why the
 //!   deterministic schemes exist.
 
+use crate::congestion::CongestionCounter;
 use crate::majority::StepReport;
 use crate::scheme::{Scheme, SchemeKind, SchemeParams};
 use pram_machine::{AccessResult, SharedMemory, StepCost, Word};
 
 /// Hashed single-copy shared memory on a DMMPC.
+///
+/// The per-step congestion count runs on flat reusable counters, so a
+/// steady-state step's only allocation is the returned `read_values`
+/// vector (the workspace-wide ≤ 1 alloc/step standard, DESIGN.md §7).
 #[derive(Debug)]
 pub struct HashedDmmpc {
     n: usize,
@@ -29,6 +34,9 @@ pub struct HashedDmmpc {
     last: StepReport,
     total: StepReport,
     steps: u64,
+    /// Flat per-step congestion counter (replaces the old per-step
+    /// `HashMap`).
+    congestion: CongestionCounter,
 }
 
 impl HashedDmmpc {
@@ -45,6 +53,7 @@ impl HashedDmmpc {
             last: StepReport::default(),
             total: StepReport::default(),
             steps: 0,
+            congestion: CongestionCounter::new(modules),
         }
     }
 
@@ -71,11 +80,12 @@ impl SharedMemory for HashedDmmpc {
 
     fn access(&mut self, reads: &[usize], writes: &[(usize, Word)]) -> AccessResult {
         assert!(reads.len() + writes.len() <= self.n.max(1));
-        let mut load = std::collections::HashMap::new();
         for &a in reads.iter().chain(writes.iter().map(|(a, _)| a)) {
-            *load.entry(self.module_of(a)).or_insert(0u64) += 1;
+            let md = self.module_of(a);
+            self.congestion.touch(md);
         }
-        let congestion = load.values().copied().max().unwrap_or(0);
+        let congestion = self.congestion.finish();
+        // The step's one allocation: the returned result vector.
         let read_values = reads.iter().map(|&a| self.cells[a]).collect();
         for &(a, v) in writes {
             self.cells[a] = v;

@@ -5,12 +5,18 @@
 //! accesses (each module serves one share request per phase), and the
 //! per-access work (`Θ(log n)` shares touched) is reported alongside.
 
+use crate::congestion::CongestionCounter;
 use crate::majority::StepReport;
 use crate::scheme::{Scheme, SchemeKind, SchemeParams};
-use ida::SchusterStore;
+use ida::{IdaWorkspace, SchusterStore};
 use pram_machine::{AccessResult, SharedMemory, StepCost, Word};
 
 /// IDA-backed shared memory with constant storage blowup `d/b`.
+///
+/// Owns the [`IdaWorkspace`] its accesses run in (decode-matrix cache +
+/// recover/encode scratch) plus flat congestion counters, so a
+/// steady-state step's only allocation is the returned `read_values`
+/// vector — the same standard `MajorityScheme` holds (DESIGN.md §7).
 #[derive(Debug)]
 pub struct IdaShared {
     n: usize,
@@ -26,6 +32,12 @@ pub struct IdaShared {
     total: StepReport,
     steps: u64,
     total_shares: u64,
+    /// Decode cache + per-access scratch, threaded through every store
+    /// access (prewarmed for the healthy rotation masks at build time).
+    ws: IdaWorkspace,
+    /// Flat per-step congestion counter (replaces the old per-step
+    /// `HashMap`).
+    congestion: CongestionCounter,
 }
 
 impl IdaShared {
@@ -34,26 +46,32 @@ impl IdaShared {
     /// `SimBuilder::new(n, m).kind(SchemeKind::Ida)`, which derives
     /// `b, d = Θ(log n)` (blowup 1.5) over `M = max(4d, n)` modules.
     pub fn new(n: usize, m: usize, modules: usize, b: usize, d: usize) -> Self {
+        let store = SchusterStore::new(m, modules, b, d);
+        let mut ws = IdaWorkspace::new();
+        store.prewarm_decode(&mut ws);
         IdaShared {
             n,
             modules,
-            store: SchusterStore::new(m, modules, b, d),
+            store,
             unavailable: vec![false; modules],
             quorum_failures: 0,
             last: StepReport::default(),
             total: StepReport::default(),
             steps: 0,
             total_shares: 0,
+            ws,
+            congestion: CongestionCounter::new(modules),
         }
     }
 
     /// Mark modules unavailable (fault injection): `dead[j]` means module
     /// `j` no longer serves shares. Accesses degrade to the surviving
     /// shares; a block left below its quorum is lost (reads return 0,
-    /// counted in [`Self::quorum_failures`]).
-    pub fn set_unavailable(&mut self, dead: Vec<bool>) {
+    /// counted in [`Self::quorum_failures`]). Copied into the scheme's
+    /// retained mask — no per-call ownership transfer.
+    pub fn set_unavailable(&mut self, dead: &[bool]) {
         assert_eq!(dead.len(), self.modules, "mask must cover every module");
-        self.unavailable = dead;
+        self.unavailable.copy_from_slice(dead);
     }
 
     /// Accesses that found no reachable quorum so far.
@@ -82,6 +100,13 @@ impl IdaShared {
     pub fn total_shares(&self) -> u64 {
         self.total_shares
     }
+
+    /// Decode-matrix cache statistics `(cached_sets, hits, misses)` —
+    /// after the build-time prewarm, healthy traffic should only add
+    /// hits.
+    pub fn decode_cache_stats(&self) -> (usize, u64, u64) {
+        self.ws.cache_stats()
+    }
 }
 
 impl SharedMemory for IdaShared {
@@ -91,16 +116,17 @@ impl SharedMemory for IdaShared {
 
     fn access(&mut self, reads: &[usize], writes: &[(usize, Word)]) -> AccessResult {
         assert!(reads.len() + writes.len() <= self.n.max(1));
-        let mut module_load = std::collections::HashMap::new();
         let mut shares = 0u64;
 
         // Reads observe pre-step state. Recovery uses whatever shares
         // survive the unavailability mask; a block below quorum is lost
-        // (reads return 0 — the fault layer classifies these).
+        // (reads return 0 — the fault layer classifies these). The
+        // collect below is the step's one allocation (the returned
+        // result vector); everything else runs on the workspace.
         let read_values: Vec<Word> = reads
             .iter()
             .map(
-                |&a| match self.store.read_with_unavailable(a, &self.unavailable) {
+                |&a| match self.store.read_in(a, &self.unavailable, &mut self.ws) {
                     Some((v, st)) => {
                         shares += st.shares_touched;
                         v
@@ -113,7 +139,7 @@ impl SharedMemory for IdaShared {
             )
             .collect();
         for &(a, v) in writes {
-            match self.store.write_with_unavailable(a, v, &self.unavailable) {
+            match self.store.write_in(a, v, &self.unavailable, &mut self.ws) {
                 Some(st) => shares += st.shares_touched,
                 None => self.quorum_failures += 1,
             }
@@ -135,14 +161,14 @@ impl SharedMemory for IdaShared {
                 if self.unavailable.get(md).copied().unwrap_or(false) {
                     continue;
                 }
-                *module_load.entry(md).or_insert(0u64) += 1;
+                self.congestion.touch(md);
                 touched += 1;
                 if touched == q {
                     break;
                 }
             }
         }
-        let congestion = module_load.values().copied().max().unwrap_or(0);
+        let congestion = self.congestion.finish();
         let report = StepReport {
             requests: reads.len() + writes.len(),
             phases: congestion,
@@ -256,7 +282,7 @@ mod tests {
         let mut dead = vec![false; 32];
         dead[s.store().module_of_share(blk, 0)] = true;
         dead[s.store().module_of_share(blk, 1)] = true;
-        s.set_unavailable(dead.clone());
+        s.set_unavailable(&dead);
         let res = s.access(&[10], &[]);
         assert_eq!(res.read_values, vec![777]);
         assert_eq!(s.quorum_failures(), 0);
@@ -264,7 +290,7 @@ mod tests {
         assert!(res.cost.phases >= 1);
         // A third dead share module breaks the block's quorum: lost.
         dead[s.store().module_of_share(blk, 2)] = true;
-        s.set_unavailable(dead);
+        s.set_unavailable(&dead);
         let res = s.access(&[10], &[]);
         assert_eq!(res.read_values, vec![0], "lost cells read as 0");
         assert_eq!(s.quorum_failures(), 1);

@@ -30,6 +30,7 @@
 
 pub mod adversary;
 pub mod config;
+mod congestion;
 pub mod executors;
 pub mod hashed;
 pub mod ida_scheme;

@@ -293,7 +293,7 @@ impl FaultyBuilder {
                         rec[v] = block_ok;
                     }
                 }
-                inner.set_unavailable(dead.clone());
+                inner.set_unavailable(&dead);
                 (Engine::Ida(inner), dead, fc, rec)
             }
         };

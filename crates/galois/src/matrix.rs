@@ -12,6 +12,14 @@ pub struct Matrix {
     data: Vec<Gf16>,
 }
 
+impl Default for Matrix {
+    /// The empty `0 × 0` matrix — the natural seed for `*_into` scratch
+    /// buffers, which reshape in place on first use.
+    fn default() -> Self {
+        Matrix::zero(0, 0)
+    }
+}
+
 impl Matrix {
     /// Zero matrix.
     pub fn zero(rows: usize, cols: usize) -> Self {
@@ -60,8 +68,16 @@ impl Matrix {
 
     /// `self · v` for a column vector `v`.
     pub fn mul_vec(&self, v: &[Gf16]) -> Vec<Gf16> {
-        assert_eq!(v.len(), self.cols);
         let mut out = vec![Gf16::ZERO; self.rows];
+        self.mul_vec_into(v, &mut out);
+        out
+    }
+
+    /// `self · v` written into caller-owned `out` (length `rows`) — the
+    /// allocation-free product the hot decode/encode paths run on.
+    pub fn mul_vec_into(&self, v: &[Gf16], out: &mut [Gf16]) {
+        assert_eq!(v.len(), self.cols);
+        assert_eq!(out.len(), self.rows);
         for (o, row) in out.iter_mut().zip(self.data.chunks_exact(self.cols)) {
             let mut acc = Gf16::ZERO;
             for (a, b) in row.iter().zip(v) {
@@ -69,31 +85,61 @@ impl Matrix {
             }
             *o = acc;
         }
-        out
+    }
+
+    /// Reuse this matrix's storage for new dimensions (capacity kept).
+    fn reshape(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, Gf16::ZERO);
     }
 
     /// A new matrix from a subset of this one's rows.
     pub fn select_rows(&self, idx: &[usize]) -> Matrix {
         let mut m = Matrix::zero(idx.len(), self.cols);
+        self.select_rows_into(idx, &mut m);
+        m
+    }
+
+    /// Row selection into caller-owned `out` (reshaped in place, so a
+    /// warm `out` never reallocates).
+    pub fn select_rows_into(&self, idx: &[usize], out: &mut Matrix) {
+        out.reshape(idx.len(), self.cols);
         for (new_i, &old_i) in idx.iter().enumerate() {
             assert!(old_i < self.rows);
-            for j in 0..self.cols {
-                m[(new_i, j)] = self[(old_i, j)];
-            }
+            let src = &self.data[old_i * self.cols..(old_i + 1) * self.cols];
+            out.data[new_i * self.cols..(new_i + 1) * self.cols].copy_from_slice(src);
         }
-        m
     }
 
     /// Inverse by Gauss–Jordan elimination with partial pivoting; `None`
     /// if singular.
     pub fn inverse(&self) -> Option<Matrix> {
+        let mut scratch = Matrix::zero(0, 0);
+        let mut inv = Matrix::zero(0, 0);
+        self.invert_into(&mut scratch, &mut inv).then_some(inv)
+    }
+
+    /// Gauss–Jordan inversion over caller scratch: `scratch` receives a
+    /// working copy of `self`, `inv` the inverse. Returns `false` (with
+    /// both buffers in an unspecified state) if singular. Warm buffers
+    /// make this allocation-free — the decode-matrix cache's cold path.
+    pub fn invert_into(&self, scratch: &mut Matrix, inv: &mut Matrix) -> bool {
         assert_eq!(self.rows, self.cols, "inverse of a square matrix only");
         let n = self.rows;
-        let mut a = self.clone();
-        let mut inv = Matrix::identity(n);
+        scratch.reshape(n, n);
+        scratch.data.copy_from_slice(&self.data);
+        inv.reshape(n, n);
+        for i in 0..n {
+            inv[(i, i)] = Gf16::ONE;
+        }
+        let a = scratch;
         for col in 0..n {
             // Find a pivot.
-            let pivot = (col..n).find(|&r| a[(r, col)] != Gf16::ZERO)?;
+            let Some(pivot) = (col..n).find(|&r| a[(r, col)] != Gf16::ZERO) else {
+                return false;
+            };
             if pivot != col {
                 a.swap_rows(pivot, col);
                 inv.swap_rows(pivot, col);
@@ -116,7 +162,7 @@ impl Matrix {
                 }
             }
         }
-        Some(inv)
+        true
     }
 
     fn swap_rows(&mut self, a: usize, b: usize) {
@@ -191,6 +237,32 @@ mod tests {
 
     fn members() -> u16 {
         0x4242
+    }
+
+    #[test]
+    fn into_variants_match_allocating_ones() {
+        let m = Matrix::vandermonde(9, 4);
+        let v: Vec<Gf16> = (1u16..=4).map(Gf16).collect();
+        let mut out = vec![Gf16::ZERO; 9];
+        m.mul_vec_into(&v, &mut out);
+        assert_eq!(out, m.mul_vec(&v));
+
+        let idx = [0usize, 3, 5, 8];
+        let mut sub = Matrix::zero(0, 0);
+        m.select_rows_into(&idx, &mut sub);
+        assert_eq!(sub, m.select_rows(&idx));
+
+        let mut scratch = Matrix::zero(0, 0);
+        let mut inv = Matrix::zero(0, 0);
+        assert!(sub.invert_into(&mut scratch, &mut inv));
+        assert_eq!(inv, sub.inverse().unwrap());
+        // Reusing warm buffers (including for a singular input) is fine.
+        let mut sing = Matrix::zero(2, 2);
+        sing[(0, 0)] = Gf16(3);
+        sing[(1, 0)] = Gf16(3);
+        assert!(!sing.invert_into(&mut scratch, &mut inv));
+        assert!(sub.invert_into(&mut scratch, &mut inv));
+        assert_eq!(inv, sub.inverse().unwrap());
     }
 
     #[test]

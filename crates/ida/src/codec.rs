@@ -1,6 +1,112 @@
-//! The `b → d` dispersal codec (Rabin 1989).
+//! The `b → d` dispersal codec (Rabin 1989), plus the decode-matrix
+//! cache the flat data plane runs on.
 
 use galois::{Gf16, Matrix};
+use std::collections::HashMap;
+
+/// Decode matrices cached by share-index set, with the scratch the cold
+/// path inverts over.
+///
+/// Decoding needs the inverse of the `b × b` encode submatrix picked out
+/// by the quorum's share indices. That inverse depends only on the *set*
+/// of indices — not the data — and a store under a fixed unavailability
+/// mask revisits a handful of sets forever (one per write-rotation
+/// offset). The cache keys each inverse by the set's membership bitmask
+/// and computes it at most once; steady-state decodes are a hash lookup
+/// plus one `b × b` matrix–vector product, with zero allocations.
+///
+/// Sizing: the healthy store touches at most `d + 1` distinct sets and a
+/// faulted one a few more, so the table effectively never fills. The
+/// [`CACHE_CAP`] clear-on-overflow bound only guards pathological
+/// callers (adversarial quorum churn); eviction can never change a
+/// decode result, only its cost. Share indices `≥ 128` fall back to the
+/// uncached inversion path (they cannot occur with `d = Θ(log n)`).
+#[derive(Debug, Clone, Default)]
+pub struct DecodeCache {
+    inverses: HashMap<u128, Matrix>,
+    hits: u64,
+    misses: u64,
+    /// Selected encode rows (cold path input).
+    sub: Matrix,
+    /// Gauss–Jordan working copy.
+    scratch: Matrix,
+    /// Cold-path inverse before it is stored (or used directly when the
+    /// index set is uncacheable).
+    inv: Matrix,
+    /// The quorum's first `b` `(index, value)` pairs, sorted by index
+    /// (the cache's canonical quorum order).
+    sel: Vec<(usize, Gf16)>,
+    /// Share values of the canonicalized quorum.
+    vals: Vec<Gf16>,
+    /// Share indices of the canonicalized quorum.
+    idx: Vec<usize>,
+}
+
+/// Cached inverses before a clear-on-overflow (see [`DecodeCache`]).
+const CACHE_CAP: usize = 4096;
+
+impl DecodeCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Decodes served from a cached inverse.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Decodes (or warms) that had to invert.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Distinct share-index sets currently cached.
+    pub fn len(&self) -> usize {
+        self.inverses.len()
+    }
+
+    /// Whether no inverse has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.inverses.is_empty()
+    }
+
+    /// Membership bitmask of an index set; `None` when an index does not
+    /// fit the key (uncacheable — cold path every time).
+    fn mask_of(idx: &[usize]) -> Option<u128> {
+        let mut mask = 0u128;
+        for &i in idx {
+            if i >= 128 {
+                return None;
+            }
+            mask |= 1u128 << i;
+        }
+        Some(mask)
+    }
+
+    /// Ensure the inverse for `idx` (rows of `enc`) is cached; on an
+    /// uncacheable set, leave it in `self.inv`. Returns the mask key.
+    fn ensure(&mut self, enc: &Matrix, idx: &[usize]) -> Option<u128> {
+        let mask = Self::mask_of(idx);
+        if let Some(mask) = mask {
+            if self.inverses.contains_key(&mask) {
+                self.hits += 1;
+                return Some(mask);
+            }
+        }
+        self.misses += 1;
+        enc.select_rows_into(idx, &mut self.sub);
+        let ok = self.sub.invert_into(&mut self.scratch, &mut self.inv);
+        assert!(ok, "Vandermonde rows are independent");
+        if let Some(mask) = mask {
+            if self.inverses.len() >= CACHE_CAP {
+                self.inverses.clear();
+            }
+            self.inverses.insert(mask, self.inv.clone());
+        }
+        mask
+    }
+}
 
 /// An information-dispersal code: `b` data symbols recoded into `d ≥ b`
 /// share symbols via a `d × b` Vandermonde matrix; **any** `b` shares
@@ -45,6 +151,15 @@ impl IdaCode {
         self.enc.mul_vec(data)
     }
 
+    /// Encode into a caller-owned buffer (resized to `d` in place): the
+    /// allocation-free twin of [`encode`](Self::encode).
+    pub fn encode_into(&self, data: &[Gf16], out: &mut Vec<Gf16>) {
+        assert_eq!(data.len(), self.b);
+        out.clear();
+        out.resize(self.d, Gf16::ZERO);
+        self.enc.mul_vec_into(data, out);
+    }
+
     /// Recover the data from any `≥ b` shares given as `(share_index,
     /// value)` pairs with distinct indices; the first `b` are used.
     /// Returns `None` if fewer than `b` shares are provided.
@@ -58,6 +173,61 @@ impl IdaCode {
         let inv = sub.inverse().expect("Vandermonde rows are independent");
         let vals: Vec<Gf16> = shares.iter().take(self.b).map(|&(_, v)| v).collect();
         Some(inv.mul_vec(&vals))
+    }
+
+    /// [`decode`](Self::decode) over a [`DecodeCache`] and a caller-owned
+    /// output buffer: identical results, but a warm decode performs no
+    /// inversion and no allocation. Returns `false` if fewer than `b`
+    /// shares are provided.
+    ///
+    /// The cache is keyed by the *set* of the first `b` share indices, so
+    /// the quorum is canonicalized by sorting those `b` pairs by index
+    /// before decoding. The recovered data is exactly [`decode`]'s:
+    /// permuting the selected rows permutes the inverse identically
+    /// (`(PS)⁻¹(Pv) = S⁻¹v`), and GF(2¹⁶) arithmetic is exact.
+    pub fn decode_into(
+        &self,
+        shares: &[(usize, Gf16)],
+        cache: &mut DecodeCache,
+        out: &mut Vec<Gf16>,
+    ) -> bool {
+        if shares.len() < self.b {
+            return false;
+        }
+        cache.sel.clear();
+        cache.sel.extend_from_slice(&shares[..self.b]);
+        cache.sel.sort_unstable_by_key(|&(i, _)| i);
+        cache.idx.clear();
+        cache.vals.clear();
+        for &(i, v) in &cache.sel {
+            debug_assert!(i < self.d, "share index out of range");
+            cache.idx.push(i);
+            cache.vals.push(v);
+        }
+        // Split the cache borrow: `ensure` mutates, then the inverse and
+        // the gathered values are read side by side.
+        let mask = {
+            let idx = std::mem::take(&mut cache.idx);
+            let mask = cache.ensure(&self.enc, &idx);
+            cache.idx = idx;
+            mask
+        };
+        let inv = match mask {
+            Some(mask) => &cache.inverses[&mask],
+            None => &cache.inv,
+        };
+        out.clear();
+        out.resize(self.b, Gf16::ZERO);
+        inv.mul_vec_into(&cache.vals, out);
+        true
+    }
+
+    /// Precompute (and cache) the decode matrix for one share-index set —
+    /// the store's construction-time warm-up, so steady-state traffic
+    /// never pays a cold inversion.
+    pub fn warm_decode(&self, idx: &[usize], cache: &mut DecodeCache) {
+        assert_eq!(idx.len(), self.b, "a decode set has exactly b indices");
+        cache.ensure(&self.enc, idx);
     }
 }
 
@@ -163,6 +333,79 @@ mod tests {
                 "case {case}, quorum {pick:?}"
             );
         }
+    }
+
+    /// Property: for random data and random quorums — including post-fault
+    /// quorums drawn only from surviving share indices — `decode_into`
+    /// over the cache equals the cold-path `decode`, on both the first
+    /// (inverting) and every subsequent (cached) encounter of a set.
+    #[test]
+    fn cached_decode_matches_cold_decode_randomized() {
+        let mut rng = rng_from_seed(0xCAC4E);
+        let code = IdaCode::new(8, 12);
+        let mut cache = DecodeCache::new();
+        let mut out = Vec::new();
+        for case in 0..256 {
+            let data: Vec<Gf16> = (0..8).map(|_| Gf16(rng.next_u64() as u16)).collect();
+            let shares = code.encode(&data);
+            // Kill up to d - b = 4 share indices, then draw the quorum
+            // from the survivors (the store's post-fault situation).
+            let ndead = rng.index(5);
+            let dead = rng.sample_distinct(12, ndead);
+            let alive: Vec<usize> = (0..12).filter(|&i| !dead.contains(&(i as u64))).collect();
+            let pick = rng.sample_distinct(alive.len() as u64, 8);
+            let quorum: Vec<(usize, Gf16)> = pick
+                .iter()
+                .map(|&k| (alive[k as usize], shares[alive[k as usize]]))
+                .collect();
+            let cold = code.decode(&quorum).expect("b shares suffice");
+            assert!(code.decode_into(&quorum, &mut cache, &mut out));
+            assert_eq!(out, cold, "case {case} (cold or first cached)");
+            assert_eq!(out, data, "case {case} recovers the data");
+            // Second decode of the same set must come from the cache.
+            let hits = cache.hits();
+            assert!(code.decode_into(&quorum, &mut cache, &mut out));
+            assert_eq!(out, cold, "case {case} (cache hit)");
+            assert_eq!(cache.hits(), hits + 1, "case {case} hit the cache");
+        }
+        assert!(!cache.is_empty());
+        assert!(cache.hits() >= 256, "every second decode hit the cache");
+    }
+
+    #[test]
+    fn warm_decode_precomputes_the_set() {
+        let code = IdaCode::new(4, 9);
+        let mut cache = DecodeCache::new();
+        code.warm_decode(&[1, 3, 4, 7], &mut cache);
+        assert_eq!(cache.len(), 1);
+        let data: Vec<Gf16> = [5u16, 6, 7, 8].iter().map(|&x| Gf16(x)).collect();
+        let shares = code.encode(&data);
+        let quorum: Vec<(usize, Gf16)> =
+            [1usize, 3, 4, 7].iter().map(|&i| (i, shares[i])).collect();
+        let mut out = Vec::new();
+        assert!(code.decode_into(&quorum, &mut cache, &mut out));
+        assert_eq!(out, data);
+        assert_eq!(cache.hits(), 1, "the warmed set is a hit");
+    }
+
+    #[test]
+    fn encode_into_matches_encode() {
+        let code = IdaCode::new(4, 9);
+        let data: Vec<Gf16> = [11u16, 22, 33, 44].iter().map(|&x| Gf16(x)).collect();
+        let mut out = Vec::new();
+        code.encode_into(&data, &mut out);
+        assert_eq!(out, code.encode(&data));
+        // Reuse does not disturb the result.
+        code.encode_into(&data, &mut out);
+        assert_eq!(out, code.encode(&data));
+    }
+
+    #[test]
+    fn too_few_shares_fail_decode_into() {
+        let code = IdaCode::new(4, 8);
+        let mut cache = DecodeCache::new();
+        let mut out = vec![Gf16(9)];
+        assert!(!code.decode_into(&[(0, Gf16(1))], &mut cache, &mut out));
     }
 
     #[test]

@@ -21,8 +21,8 @@
 pub mod codec;
 pub mod store;
 
-pub use codec::IdaCode;
-pub use store::{IdaAccessStats, SchusterStore};
+pub use codec::{DecodeCache, IdaCode};
+pub use store::{IdaAccessStats, IdaWorkspace, SchusterStore};
 
 /// Parameter choice for an `n`-processor machine: `b = Θ(log n)` rounded to
 /// a multiple of 4 (one 64-bit word = four GF(2¹⁶) symbols) and `d = 3b/2`

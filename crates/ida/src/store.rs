@@ -15,7 +15,40 @@
 //! Storage blowup is `d/b` (constant); work per access is `Θ(d)` share
 //! touches, i.e. `Θ(log n)` — the trade-off the paper points out.
 
-use crate::codec::{symbols_to_word, word_to_symbols, IdaCode};
+use crate::codec::{symbols_to_word, word_to_symbols, DecodeCache, IdaCode};
+
+/// Reusable scratch threaded through the store's read/write path — the
+/// IDA analogue of `cr-core`'s `ProtocolWorkspace`. Owned by the caller
+/// (one per scheme/session), it carries the decode-matrix cache and every
+/// buffer an access touches, so a warm store performs **zero heap
+/// allocations per access** (asserted by `tests/alloc_steady_state.rs`).
+#[derive(Debug, Clone, Default)]
+pub struct IdaWorkspace {
+    /// Decode matrices keyed by share-index set (see [`DecodeCache`]).
+    cache: DecodeCache,
+    /// Share indices the quorum touched, in deterministic probe order.
+    touched: Vec<usize>,
+    /// The touched shares carrying the newest version.
+    current: Vec<(usize, galois::Gf16)>,
+    /// Decoded block data (then mutated in place by writes).
+    data: Vec<galois::Gf16>,
+    /// Re-encoded shares (write path).
+    enc: Vec<galois::Gf16>,
+}
+
+impl IdaWorkspace {
+    /// An empty workspace; buffers grow to steady-state capacity over the
+    /// first access and are reused afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Decode-matrix cache statistics `(cached_sets, hits, misses)` —
+    /// E15/E16 diagnostics and test hooks.
+    pub fn cache_stats(&self) -> (usize, u64, u64) {
+        (self.cache.len(), self.cache.hits(), self.cache.misses())
+    }
+}
 
 /// Cost of one access, for the E8 experiment.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -54,6 +87,10 @@ pub struct SchusterStore {
     module_stride: usize,
     blocks: Vec<Block>,
     total_stats: IdaAccessStats,
+    /// Workspace backing the convenience (`read`/`write`) entry points.
+    /// The flat data plane threads its own via [`Self::read_in`] /
+    /// [`Self::write_in`]; this one stays untouched there.
+    scratch: Option<Box<IdaWorkspace>>,
 }
 
 impl SchusterStore {
@@ -93,6 +130,43 @@ impl SchusterStore {
             module_stride,
             blocks,
             total_stats: IdaAccessStats::default(),
+            scratch: None,
+        }
+    }
+
+    /// Precompute every decode matrix a healthy (fault-free) store can
+    /// need into `ws`'s cache, so steady-state traffic never pays a cold
+    /// inversion — not even on a write-rotation offset it has yet to
+    /// meet. A healthy access touches shares `0..q`; the newest-version
+    /// shares within that quorum are the last write's rotated window
+    /// `[s, s+q) mod d` (or every touched share on a never-written
+    /// block), so the decode sets are exactly: the first `b` of `0..q`,
+    /// and for each rotation `s` the first `b` of `[0, q) ∩ [s, s+q)`.
+    /// That is at most `d + 1` inversions, once per workspace.
+    ///
+    /// Post-fault quorums shift to surviving shares and are cached on
+    /// first encounter instead.
+    pub fn prewarm_decode(&self, ws: &mut IdaWorkspace) {
+        let d = self.code.d();
+        let b = self.code.b();
+        let q = self.quorum();
+        let mut idx: Vec<usize> = Vec::with_capacity(b);
+        // Never-written block: every touched share is at version 0.
+        idx.extend(0..b);
+        self.code.warm_decode(&idx, &mut ws.cache);
+        for s in 0..d {
+            idx.clear();
+            for i in 0..q {
+                // Is touched share i inside the window [s, s+q) mod d?
+                if (i + d - s) % d < q {
+                    idx.push(i);
+                    if idx.len() == b {
+                        break;
+                    }
+                }
+            }
+            debug_assert_eq!(idx.len(), b, "quorum intersection holds b shares");
+            self.code.warm_decode(&idx, &mut ws.cache);
         }
     }
 
@@ -128,7 +202,7 @@ impl SchusterStore {
 
     /// The module holding share `i` of block `blk`.
     pub fn module_of_share(&self, blk: usize, i: usize) -> usize {
-        (blk + i * self.module_stride) % self.modules
+        share_module(blk, i, self.module_stride, self.modules)
     }
 
     fn locate(&self, v: usize) -> (usize, usize) {
@@ -137,106 +211,150 @@ impl SchusterStore {
     }
 
     /// Recover a block's current data from a quorum of its shares,
-    /// excluding any modules in `unavailable`. Returns `(data_symbols,
-    /// newest_version, stats)`, or `None` if no quorum is reachable.
-    fn recover(
+    /// excluding any modules flagged in `unavailable` (an empty slice
+    /// means every module is up). On success the data symbols are left in
+    /// `ws.data` and `(newest_version, stats)` is returned; `None` if no
+    /// quorum is reachable. Allocation-free once `ws` is warm.
+    fn recover_into(
         &self,
         blk: usize,
         unavailable: &[bool],
-    ) -> Option<(Vec<galois::Gf16>, u64, IdaAccessStats)> {
+        ws: &mut IdaWorkspace,
+    ) -> Option<(u64, IdaAccessStats)> {
         let d = self.code.d();
         let q = self.quorum();
         let block = &self.blocks[blk];
         // Touch the first q available shares (deterministic order).
-        let mut touched: Vec<usize> = Vec::with_capacity(q);
+        ws.touched.clear();
         for i in 0..d {
             if !unavailable
                 .get(self.module_of_share(blk, i))
                 .copied()
                 .unwrap_or(false)
             {
-                touched.push(i);
-                if touched.len() == q {
+                ws.touched.push(i);
+                if ws.touched.len() == q {
                     break;
                 }
             }
         }
-        if touched.len() < q {
+        if ws.touched.len() < q {
             return None; // too many modules down: no quorum
         }
-        let newest = touched.iter().map(|&i| block.shares[i].1).max().unwrap();
-        let current: Vec<(usize, galois::Gf16)> = touched
-            .iter()
-            .filter(|&&i| block.shares[i].1 == newest)
-            .map(|&i| (i, block.shares[i].0))
-            .collect();
+        let newest = ws.touched.iter().map(|&i| block.shares[i].1).max().unwrap();
+        ws.current.clear();
+        ws.current.extend(
+            ws.touched
+                .iter()
+                .filter(|&&i| block.shares[i].1 == newest)
+                .map(|&i| (i, block.shares[i].0)),
+        );
         debug_assert!(
-            current.len() >= self.code.b(),
+            ws.current.len() >= self.code.b(),
             "quorum intersection must contain b current shares"
         );
-        let data = self.code.decode(&current)?;
+        if !self
+            .code
+            .decode_into(&ws.current, &mut ws.cache, &mut ws.data)
+        {
+            return None;
+        }
         let stats = IdaAccessStats {
             shares_touched: q as u64,
             modules_touched: q as u64,
             field_ops: (self.code.b() * self.code.b()) as u64, // decode matrix-vector
         };
-        Some((data, newest, stats))
+        Some((newest, stats))
     }
 
-    /// Read variable `v`.
+    /// Read variable `v` (convenience; uses the store's own workspace).
     pub fn read(&mut self, v: usize) -> (i64, IdaAccessStats) {
-        let none = vec![false; self.modules];
-        self.read_with_unavailable(v, &none)
+        self.read_with_unavailable(v, &[])
             .expect("all modules available")
     }
 
-    /// Read with some modules unavailable (fault injection): `None` when no
-    /// quorum survives.
+    /// Read with some modules unavailable (fault injection), through the
+    /// store's own workspace: `None` when no quorum survives.
     pub fn read_with_unavailable(
         &mut self,
         v: usize,
         unavailable: &[bool],
     ) -> Option<(i64, IdaAccessStats)> {
-        let (blk, off) = self.locate(v);
-        let (data, _ver, stats) = self.recover(blk, unavailable)?;
-        self.total_stats.add(stats);
-        Some((symbols_to_word(&data[off * 4..off * 4 + 4]), stats))
+        let mut ws = self.scratch.take().unwrap_or_default();
+        let r = self.read_in(v, unavailable, &mut ws);
+        self.scratch = Some(ws);
+        r
     }
 
-    /// Write variable `v`.
+    /// Read variable `v` over a caller-owned workspace — the flat data
+    /// plane's entry point. `unavailable[j]` excludes module `j` from the
+    /// quorum (an empty slice means every module is up); `None` when no
+    /// quorum survives.
+    pub fn read_in(
+        &mut self,
+        v: usize,
+        unavailable: &[bool],
+        ws: &mut IdaWorkspace,
+    ) -> Option<(i64, IdaAccessStats)> {
+        let (blk, off) = self.locate(v);
+        let (_ver, stats) = self.recover_into(blk, unavailable, ws)?;
+        self.total_stats.add(stats);
+        Some((symbols_to_word(&ws.data[off * 4..off * 4 + 4]), stats))
+    }
+
+    /// Write variable `v` (convenience; uses the store's own workspace).
     pub fn write(&mut self, v: usize, value: i64) -> IdaAccessStats {
-        let none = vec![false; self.modules];
-        self.write_with_unavailable(v, value, &none)
+        self.write_with_unavailable(v, value, &[])
             .expect("all modules available")
     }
 
-    /// Write with some modules unavailable; `None` when no quorum survives.
+    /// Write with some modules unavailable, through the store's own
+    /// workspace; `None` when no quorum survives.
     pub fn write_with_unavailable(
         &mut self,
         v: usize,
         value: i64,
         unavailable: &[bool],
     ) -> Option<IdaAccessStats> {
+        let mut ws = self.scratch.take().unwrap_or_default();
+        let r = self.write_in(v, value, unavailable, &mut ws);
+        self.scratch = Some(ws);
+        r
+    }
+
+    /// Write variable `v` over a caller-owned workspace — the flat data
+    /// plane's entry point; `None` when no quorum survives.
+    pub fn write_in(
+        &mut self,
+        v: usize,
+        value: i64,
+        unavailable: &[bool],
+        ws: &mut IdaWorkspace,
+    ) -> Option<IdaAccessStats> {
         let (blk, off) = self.locate(v);
-        let (mut data, ver, mut stats) = self.recover(blk, unavailable)?;
-        data[off * 4..off * 4 + 4].copy_from_slice(&word_to_symbols(value));
-        let shares = self.code.encode(&data);
+        let (ver, mut stats) = self.recover_into(blk, unavailable, ws)?;
+        ws.data[off * 4..off * 4 + 4].copy_from_slice(&word_to_symbols(value));
+        self.code.encode_into(&ws.data, &mut ws.enc);
         stats.field_ops += (self.code.d() * self.code.b()) as u64;
         // Write a quorum of shares at version+1, starting at a rotating
         // offset so staleness spreads across share indices.
         let d = self.code.d();
         let q = self.quorum();
-        let share_modules: Vec<usize> = (0..d).map(|i| self.module_of_share(blk, i)).collect();
+        // Locals: `module_of_share` needs `&self`, which the `&mut`
+        // block borrow below forbids — `share_module` is the shared
+        // formula both paths go through.
+        let (stride, modules) = (self.module_stride, self.modules);
         let block = &mut self.blocks[blk];
         let start = block.write_rotation;
         block.write_rotation = (block.write_rotation + 1) % d;
         let mut written = 0;
         for k in 0..d {
             let i = (start + k) % d;
-            if unavailable.get(share_modules[i]).copied().unwrap_or(false) {
+            let module = share_module(blk, i, stride, modules);
+            if unavailable.get(module).copied().unwrap_or(false) {
                 continue;
             }
-            block.shares[i] = (shares[i], ver + 1);
+            block.shares[i] = (ws.enc[i], ver + 1);
             written += 1;
             if written == q {
                 break;
@@ -250,6 +368,15 @@ impl SchusterStore {
         self.total_stats.add(stats);
         Some(stats)
     }
+}
+
+/// Share placement — the one formula mapping `(block, share_index)` to a
+/// module. `SchusterStore::module_of_share` and the write path (which
+/// cannot call it through `&self` while holding the block `&mut`) both
+/// route through here, so reads and writes cannot drift apart.
+#[inline]
+fn share_module(blk: usize, i: usize, stride: usize, modules: usize) -> usize {
+    (blk + i * stride) % modules
 }
 
 #[cfg(test)]
@@ -363,5 +490,67 @@ mod tests {
     #[should_panic(expected = "multiple of 4")]
     fn bad_b_rejected() {
         let _ = SchusterStore::new(16, 16, 6, 10);
+    }
+
+    #[test]
+    fn workspace_path_equals_convenience_path() {
+        let mut a = store();
+        let mut b = store();
+        let mut ws = IdaWorkspace::new();
+        b.prewarm_decode(&mut ws);
+        let mut rng = rng_from_seed(0x1DA);
+        for _ in 0..300 {
+            let v = rng.index(64);
+            if rng.chance(0.5) {
+                let val = rng.next_u64() as i64;
+                assert_eq!(a.write(v, val), b.write_in(v, val, &[], &mut ws).unwrap());
+            } else {
+                assert_eq!(a.read(v), b.read_in(v, &[], &mut ws).unwrap());
+            }
+        }
+        assert_eq!(a.total_stats(), b.total_stats());
+    }
+
+    #[test]
+    fn prewarm_covers_all_healthy_decode_sets() {
+        // After prewarm, fault-free traffic — across every write-rotation
+        // offset — never misses the decode-matrix cache again.
+        let mut s = store();
+        let mut ws = IdaWorkspace::new();
+        s.prewarm_decode(&mut ws);
+        let (sets, _, warm_misses) = ws.cache_stats();
+        assert!(sets >= 2, "prewarm cached the healthy decode sets");
+        let mut rng = rng_from_seed(0x1DB);
+        // > d writes per block so the rotation wraps.
+        for step in 0..600 {
+            let v = rng.index(64);
+            if rng.chance(0.6) {
+                s.write_in(v, step as i64, &[], &mut ws).unwrap();
+            } else {
+                s.read_in(v, &[], &mut ws).unwrap();
+            }
+        }
+        let (_, hits, misses) = ws.cache_stats();
+        assert_eq!(misses, warm_misses, "healthy traffic never inverts");
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn faulted_quorums_cache_on_first_encounter() {
+        let mut s = store();
+        let mut ws = IdaWorkspace::new();
+        s.prewarm_decode(&mut ws);
+        s.write_in(10, 777, &[], &mut ws).unwrap();
+        let blk = 10 / 2;
+        let mut dead = vec![false; 32];
+        dead[s.module_of_share(blk, 0)] = true;
+        dead[s.module_of_share(blk, 1)] = true;
+        let got = s.read_in(10, &dead, &mut ws).expect("quorum survives");
+        assert_eq!(got.0, 777);
+        let (_, _, misses) = ws.cache_stats();
+        // The shifted quorum was new once...
+        s.read_in(10, &dead, &mut ws).unwrap();
+        let (_, _, misses2) = ws.cache_stats();
+        assert_eq!(misses2, misses, "...and cached thereafter");
     }
 }

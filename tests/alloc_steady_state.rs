@@ -82,6 +82,61 @@ fn dmmpc_protocol_steps_allocate_nothing_after_warmup() {
     );
 }
 
+/// Every member of the zoo is bounded by the API's one unavoidable
+/// allocation per step — the returned `read_values` vector — once warm.
+/// This pins the regression class the IDA/hashed flattening fixed
+/// (per-step `HashMap`s, Vec-returning codec calls, per-request
+/// `collect()`s): a scheme whose data plane re-grows hidden allocations
+/// fails its own row here, by name.
+#[test]
+fn every_scheme_allocates_at_most_the_result_vector_per_step() {
+    assert!(
+        counting::is_active(),
+        "counting allocator must be installed"
+    );
+    for kind in SchemeKind::ALL {
+        // The routed 2DMOT schemes simulate every packet; keep their
+        // instances small (same policy as E15 and the golden snapshots).
+        let (n, m) = match kind {
+            SchemeKind::Hp2dmotLeaves | SchemeKind::Lpp2dmot => (8, 32),
+            _ => (64, 256),
+        };
+        let mut s = SimBuilder::new(n, m)
+            .kind(kind)
+            .seed(9)
+            .build()
+            .expect("zoo regimes are feasible");
+        let mut rng = rng_from_seed(79);
+        let pool: Vec<workloads::StepPattern> = (0..8)
+            .map(|_| workloads::uniform(n, m, 0.3, &mut rng))
+            .collect();
+        // Warm-up: several pool passes, so every reusable buffer reaches
+        // its high-water capacity. (IDA's decode-matrix cache is already
+        // complete at build time — the store prewarms one inverse per
+        // write-rotation offset — so warm-up only grows plain buffers.)
+        for _ in 0..4 {
+            for p in &pool {
+                s.access(&p.reads, &p.writes);
+            }
+        }
+        let steps = 48;
+        let before = counting::thread_allocations();
+        for i in 0..steps {
+            let p = &pool[i % pool.len()];
+            s.access(&p.reads, &p.writes);
+        }
+        let allocs = counting::thread_allocations() - before;
+        assert!(
+            allocs <= steps as u64,
+            "{kind}: expected ≤ 1 allocation per access (the read_values \
+             result), got {allocs} over {steps} steps"
+        );
+        let (tot, warm_steps) = s.totals();
+        assert_eq!(warm_steps as usize, 32 + steps);
+        assert!(tot.requests > 0);
+    }
+}
+
 /// The full scheme step (`access`) on the DMMPC path is bounded by the
 /// API's one unavoidable allocation — the returned `read_values` vector —
 /// once warm. (The protocol underneath contributes zero; see above.)

@@ -116,7 +116,7 @@ const EXPECTED: [&str; 6] = [
     "ida n=16 m=256 steps=12 req=192 phases=67 cycles=67 messages=1260 readhash=37f1ad528bf902f1 last=StepReport { requests: 16, phases: 6, cycles: 6, messages: 105, protocol: ProtocolStats { stage1_phases: 0, stage2_phases: 0, cycles: 0, messages: 0, stage1_leftover: 0, killed_attempts: 0, dead_attempts: 0, failed_requests: 0, copies_accessed: 0 } }",
 ];
 
-const EXPECTED_FAULTY: [(&str, &str); 2] = [
+const EXPECTED_FAULTY: [(&str, &str); 3] = [
     (
         "hp-dmmpc",
         r#"readhash=d1d689571dc28950 {"experiment":"E14","scheme":"hp-dmmpc","f":0.125000,"dead_modules":8,"dead_processors":0,"dead_links":0,"lost_cells":0,"steps":12,"reads":132,"writes":60,"correct_reads":132,"stale_reads":0,"lost_reads":0,"unserved_reads":0,"lost_writes":0,"recovered_majority":126,"recovered_ida":0,"unserved_requests":0,"dead_attempts":385,"dropped_messages":114,"faulty_phases":228,"baseline_phases":228,"read_survival":1.000000,"slowdown":1.0000}"#,
@@ -124,6 +124,10 @@ const EXPECTED_FAULTY: [(&str, &str); 2] = [
     (
         "hp-2dmot",
         r#"readhash=fa9b8b084be89dd4 {"experiment":"E14","scheme":"hp-2dmot","f":0.125000,"dead_modules":8,"dead_processors":0,"dead_links":646,"lost_cells":0,"steps":12,"reads":72,"writes":24,"correct_reads":72,"stale_reads":0,"lost_reads":0,"unserved_reads":0,"lost_writes":0,"recovered_majority":68,"recovered_ida":0,"unserved_requests":0,"dead_attempts":162,"dropped_messages":26,"faulty_phases":3036,"baseline_phases":132,"read_survival":1.000000,"slowdown":23.0000}"#,
+    ),
+    (
+        "ida",
+        r#"readhash=76a3be6100e80e91 {"experiment":"E14","scheme":"ida","f":0.125000,"dead_modules":3,"dead_processors":0,"dead_links":0,"lost_cells":0,"steps":12,"reads":132,"writes":60,"correct_reads":132,"stale_reads":0,"lost_reads":0,"unserved_reads":0,"lost_writes":0,"recovered_majority":0,"recovered_ida":98,"unserved_requests":0,"dead_attempts":0,"dropped_messages":0,"faulty_phases":68,"baseline_phases":67,"read_survival":1.000000,"slowdown":1.0149}"#,
     ),
 ];
 
@@ -160,6 +164,39 @@ fn golden_fault_snapshots() {
         !printing,
         "GOLDEN=print captures snapshots; unset it to assert"
     );
+}
+
+/// Service-level goldens: shard session trace hashes (the Wei et
+/// al.-style verifiable artifact `cr-serve` exposes), pinned across the
+/// IDA/hashed data-plane flattening. Captured from the pre-rewrite
+/// engine: a drifting hash here means a served session observed
+/// different read values or step costs than before the rewrite.
+const EXPECTED_TRACES: [(SchemeKind, &str); 3] = [
+    (SchemeKind::Ida, "21e7db2ca3247d11"),
+    (SchemeKind::HpDmmpc, "a1278dc2e6a6acf1"),
+    (SchemeKind::Hashed, "7517e0fc1da75b89"),
+];
+
+#[test]
+fn golden_session_trace_hashes() {
+    use pramsim::serve::{Service, ServiceConfig, SessionSpec, WorkloadSpec};
+    let svc = Service::start(ServiceConfig::with_shards(2));
+    let h = svc.handle();
+    for (kind, expected) in EXPECTED_TRACES {
+        let open = h
+            .open(SessionSpec::new(16, 256, kind).seed(GOLDEN_SEED))
+            .expect("golden session opens");
+        h.step(open.sid, WorkloadSpec::Uniform, 12)
+            .expect("golden session steps");
+        let t = h.close(open.sid).expect("golden session closes");
+        assert_eq!(t.steps, 12);
+        assert_eq!(
+            format!("{:016x}", t.trace),
+            expected,
+            "{kind} session trace drifted"
+        );
+    }
+    svc.shutdown();
 }
 
 /// The snapshot harness itself must be deterministic: two fresh drives
