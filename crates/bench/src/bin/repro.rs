@@ -26,6 +26,9 @@
 //!                                # drive a running server, report p99
 //! repro loadgen --quick --json-out load.json
 //!                                # CI-sized run, JSON row collected
+//! repro lint                     # workspace invariant lint (DESIGN.md §9)
+//! repro lint -D --json findings.json
+//!                                # CI form: warnings fail, findings dumped
 //! ```
 
 use cr_core::SchemeKind;
@@ -46,7 +49,8 @@ fn usage(reg: &[(&str, &str, pram_bench::Runner)]) {
          <experiment|all>...\n\
        repro serve [--addr HOST:PORT] [--shards N]\n\
        repro loadgen [--addr HOST:PORT] [--sessions K] [--conns T] \
-         [--steps S] [--scheme NAME] [--seed S] [--quick] [--json-out PATH]"
+         [--steps S] [--scheme NAME] [--seed S] [--quick] [--json-out PATH]\n\
+       repro lint [--root PATH] [-D] [--json PATH] [--rules]"
     );
     eprintln!("  --threads N    parallel sweep driver: E15 measures its");
     eprintln!("                 (scheme, n) points on N scoped threads;");
@@ -94,7 +98,8 @@ fn cmd_serve(args: &[String]) -> ! {
         }
         i += 1;
     }
-    let service = cr_serve::Service::start(cr_serve::ServiceConfig::with_shards(shards));
+    let service = cr_serve::Service::start(cr_serve::ServiceConfig::with_shards(shards))
+        .expect("spawn shard workers");
     let server = cr_serve::tcp::Server::bind(&addr, service.handle()).unwrap_or_else(|e| {
         eprintln!("cannot bind {addr}: {e}");
         std::process::exit(2);
@@ -107,6 +112,75 @@ fn cmd_serve(args: &[String]) -> ! {
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));
     }
+}
+
+/// `repro lint`: run the workspace invariant linter (same engine as the
+/// standalone `cr-lint` binary) against this checkout.
+fn cmd_lint(args: &[String]) -> ! {
+    let mut deny_warnings = false;
+    let mut json_out: Option<String> = None;
+    let mut root: Option<std::path::PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-D" | "--deny-warnings" => deny_warnings = true,
+            "--json" => {
+                i += 1;
+                json_out = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--json needs a path");
+                    std::process::exit(2);
+                }));
+            }
+            "--root" => {
+                i += 1;
+                root = Some(std::path::PathBuf::from(
+                    args.get(i).cloned().unwrap_or_else(|| {
+                        eprintln!("--root needs a path");
+                        std::process::exit(2);
+                    }),
+                ));
+            }
+            "--rules" => {
+                for (id, desc) in cr_lint::RULES {
+                    println!("{id:<16} {desc}");
+                }
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("repro lint: unknown flag {other} (--root, -D, --json, --rules)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let root = root
+        .or_else(|| cr_lint::find_root(&std::env::current_dir().unwrap_or_default()))
+        .unwrap_or_else(|| {
+            eprintln!("repro lint: not inside the workspace (try --root PATH)");
+            std::process::exit(2);
+        });
+    let findings = cr_lint::lint_workspace(&root).unwrap_or_else(|e| {
+        eprintln!("repro lint: {e}");
+        std::process::exit(2);
+    });
+    if let Some(path) = json_out {
+        if let Err(e) = std::fs::write(&path, cr_lint::to_json(&findings)) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+    print!("{}", cr_lint::render(&findings));
+    let errors = findings.iter().filter(|f| !f.warning).count();
+    let warnings = findings.len() - errors;
+    if findings.is_empty() {
+        println!("repro lint: workspace invariants hold (0 findings)");
+    } else {
+        println!("repro lint: {errors} error(s), {warnings} warning(s)");
+    }
+    if errors > 0 || (deny_warnings && warnings > 0) {
+        std::process::exit(1);
+    }
+    std::process::exit(0);
 }
 
 /// `repro loadgen`: drive a running server, print and optionally collect
@@ -200,6 +274,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("serve") => cmd_serve(&args[1..]),
         Some("loadgen") => cmd_loadgen(&args[1..]),
+        Some("lint") => cmd_lint(&args[1..]),
         _ => {}
     }
     let mut seed = simrng::DEFAULT_SEED;
@@ -300,6 +375,7 @@ fn main() {
                 println!("subcommands (as the first argument):");
                 println!("  serve        boot the sharded TCP session service (cr-serve)");
                 println!("  loadgen      drive a running server: K sessions over T conns");
+                println!("  lint         workspace invariant linter (cr-lint; see --rules)");
                 return;
             }
             other => wanted.push(other.to_string()),

@@ -1303,7 +1303,8 @@ pub mod serve {
     /// claimed), then drive them from [`DRIVERS`] threads in batched
     /// steps, and read the merged latency histogram at the end.
     fn measure(kind: SchemeKind, shards: usize, sessions: usize, seed: u64) -> ServeRow {
-        let service = Service::start(ServiceConfig::with_shards(shards));
+        let service =
+            Service::start(ServiceConfig::with_shards(shards)).expect("spawn shard workers");
         let h = service.handle();
         let sids: Vec<u64> = (0..sessions)
             .map(|i| {

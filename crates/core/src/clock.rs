@@ -1,0 +1,134 @@
+//! The workspace's one seam to wall-clock time.
+//!
+//! Everything time-dependent in the data plane and the serving layer —
+//! the idle-TTL sweeper, session touch stamps, per-step latency samples —
+//! reads a [`SimClock`] instead of calling `Instant::now()` directly.
+//! That buys two things:
+//!
+//! * **Auditability.** `cr-lint`'s `wall-clock` rule bans ambient time in
+//!   the governed crates, so this module is (by construction) the only
+//!   place real time enters. A determinism review reads one file.
+//! * **Virtualizability.** A [`SimClock::manual`] clock is an atomic
+//!   counter the test (or a future whole-service simulation) advances
+//!   explicitly: TTL eviction, latency accounting, and any future
+//!   timeout logic become deterministic, instantaneous, and schedulable —
+//!   the prerequisite for ROADMAP's deterministic whole-service runs.
+//!
+//! Reading the clock yields a [`Tick`]: nanoseconds since the clock's
+//! origin, a plain `u64` with no platform `Instant` inside, so ticks can
+//! be stored, compared, and hashed deterministically.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+// The sanctioned wall-clock import: everything else goes through SimClock.
+use std::time::Duration;
+use std::time::Instant; // lint: allow(wall-clock, this module IS the seam)
+
+/// An instant on a [`SimClock`]: nanoseconds since the clock's origin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tick(u64);
+
+impl Tick {
+    /// The clock origin.
+    pub const ZERO: Tick = Tick(0);
+
+    /// Nanoseconds since the clock origin.
+    pub fn nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Time elapsed from `earlier` to `self` (zero if `earlier` is later:
+    /// ticks from one clock never run backwards, but a saturating
+    /// difference keeps mixed-clock bugs from panicking).
+    pub fn since(self, earlier: Tick) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+}
+
+/// A monotonic clock the serving layer reads instead of ambient time:
+/// real (`Instant`-backed) in production, manually advanced in
+/// deterministic tests. Clones share the same time source, so one clock
+/// handed to N shards stays coherent.
+#[derive(Debug, Clone)]
+pub enum SimClock {
+    /// Real time, measured from the clock's creation.
+    Monotonic(Instant), // lint: allow(wall-clock, this module IS the seam)
+    /// Virtual time: advances only when [`SimClock::advance`] is called.
+    Manual(Arc<AtomicU64>),
+}
+
+impl Default for SimClock {
+    fn default() -> Self {
+        SimClock::monotonic()
+    }
+}
+
+impl SimClock {
+    /// A real-time clock (origin = now).
+    pub fn monotonic() -> SimClock {
+        SimClock::Monotonic(Instant::now()) // lint: allow(wall-clock, this module IS the seam)
+    }
+
+    /// A virtual clock starting at [`Tick::ZERO`]; advance it with
+    /// [`SimClock::advance`].
+    pub fn manual() -> SimClock {
+        SimClock::Manual(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// The current tick.
+    pub fn now(&self) -> Tick {
+        match self {
+            SimClock::Monotonic(origin) => Tick(origin.elapsed().as_nanos() as u64),
+            SimClock::Manual(t) => Tick(t.load(Ordering::SeqCst)),
+        }
+    }
+
+    /// Advance a [`SimClock::manual`] clock by `d`; every clone observes
+    /// the new time. No-op on a monotonic clock (real time cannot be
+    /// steered), returning `false` so tests that *require* virtual time
+    /// can assert they got it.
+    pub fn advance(&self, d: Duration) -> bool {
+        match self {
+            SimClock::Monotonic(_) => false,
+            SimClock::Manual(t) => {
+                t.fetch_add(d.as_nanos() as u64, Ordering::SeqCst);
+                true
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_is_deterministic_and_shared() {
+        let c = SimClock::manual();
+        let c2 = c.clone();
+        assert_eq!(c.now(), Tick::ZERO);
+        assert!(c.advance(Duration::from_millis(5)));
+        assert_eq!(c2.now().nanos(), 5_000_000, "clones share the source");
+        assert_eq!(c.now().since(Tick::ZERO), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn since_saturates() {
+        let later = Tick(10);
+        let earlier = Tick(3);
+        assert_eq!(later.since(earlier), Duration::from_nanos(7));
+        assert_eq!(earlier.since(later), Duration::ZERO);
+    }
+
+    #[test]
+    fn monotonic_clock_does_not_go_backwards() {
+        let c = SimClock::monotonic();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+        assert!(
+            !c.advance(Duration::from_secs(1)),
+            "real time cannot be steered"
+        );
+    }
+}

@@ -41,6 +41,7 @@ impl BipartiteExec {
 }
 
 impl PhaseExecutor for BipartiteExec {
+    // lint: hot
     fn execute(
         &mut self,
         attempts: &[CopyAttempt],
@@ -151,6 +152,7 @@ impl MotExec {
 }
 
 impl PhaseExecutor for MotExec {
+    // lint: hot
     fn execute(
         &mut self,
         attempts: &[CopyAttempt],

@@ -29,6 +29,7 @@
 //! Theorem 1 (the redundancy lower bound) as an executable attack.
 
 pub mod adversary;
+pub mod clock;
 pub mod config;
 mod congestion;
 pub mod executors;
@@ -40,6 +41,7 @@ pub mod scheme;
 pub mod schemes;
 
 pub use adversary::{concentration_adversary, LowerBoundReport};
+pub use clock::{SimClock, Tick};
 pub use config::SchemeConfig;
 pub use hashed::HashedDmmpc;
 pub use ida_scheme::IdaShared;

@@ -308,6 +308,7 @@ impl<P: CopyPlacement> StepState<'_, P> {
     }
 
     /// Issue and execute one phase; `false` when no live request remains.
+    // lint: hot
     fn run_phase<E: PhaseExecutor>(
         &mut self,
         exec: &mut E,

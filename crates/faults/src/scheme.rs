@@ -455,16 +455,17 @@ impl SharedMemory for FaultyScheme {
         // Without this charge, losing cells would make the hashed machine
         // look *faster* (its congestion is computed over fewer requests).
         if !dead_targets.is_empty() {
-            let mut load = std::collections::HashMap::new();
-            let timeout = dead_targets
-                .iter()
-                .map(|&md| {
-                    let e = load.entry(md).or_insert(0u64);
-                    *e += 1;
-                    *e
-                })
-                .max()
-                .unwrap_or(0);
+            // Deepest dead-module queue = longest run of one module id
+            // (sort + scan: deterministic, no hashing).
+            dead_targets.sort_unstable();
+            let mut timeout = 0u64;
+            let mut run = 0u64;
+            let mut prev = usize::MAX;
+            for &md in &dead_targets {
+                run = if md == prev { run + 1 } else { 1 };
+                prev = md;
+                timeout = timeout.max(run);
+            }
             res.cost.phases = res.cost.phases.max(timeout);
             res.cost.cycles = res.cost.cycles.max(timeout);
         }

@@ -2,7 +2,7 @@
 //! cache the flat data plane runs on.
 
 use galois::{Gf16, Matrix};
-use std::collections::HashMap;
+use simrng::DetHashMap;
 
 /// Decode matrices cached by share-index set, with the scratch the cold
 /// path inverts over.
@@ -23,7 +23,9 @@ use std::collections::HashMap;
 /// uncached inversion path (they cannot occur with `d = Θ(log n)`).
 #[derive(Debug, Clone, Default)]
 pub struct DecodeCache {
-    inverses: HashMap<u128, Matrix>,
+    // FNV-keyed (simrng::hash): cache iteration and clear order can
+    // never depend on process entropy.
+    inverses: DetHashMap<u128, Matrix>,
     hits: u64,
     misses: u64,
     /// Selected encode rows (cold path input).

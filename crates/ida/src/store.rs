@@ -290,6 +290,7 @@ impl SchusterStore {
     /// plane's entry point. `unavailable[j]` excludes module `j` from the
     /// quorum (an empty slice means every module is up); `None` when no
     /// quorum survives.
+    // lint: hot
     pub fn read_in(
         &mut self,
         v: usize,
@@ -324,6 +325,7 @@ impl SchusterStore {
 
     /// Write variable `v` over a caller-owned workspace — the flat data
     /// plane's entry point; `None` when no quorum survives.
+    // lint: hot
     pub fn write_in(
         &mut self,
         v: usize,

@@ -1,0 +1,81 @@
+//! `cr-lint` — lint the workspace's invariants (see the crate docs and
+//! DESIGN.md §9).
+//!
+//! ```text
+//! cr-lint                    # lint the enclosing workspace, exit 1 on findings
+//! cr-lint --root PATH        # lint an explicit workspace root
+//! cr-lint -D                 # deny warnings too (CI mode)
+//! cr-lint --json PATH        # also write findings as a JSON artifact
+//! cr-lint --rules            # print the rule table
+//! ```
+
+use std::path::PathBuf;
+
+fn main() {
+    let mut root: Option<PathBuf> = None;
+    let mut deny_warnings = false;
+    let mut json_out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = Some(PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--root needs a path");
+                    std::process::exit(2);
+                })));
+            }
+            "-D" | "--deny-warnings" => deny_warnings = true,
+            "--json" => {
+                json_out = Some(PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--json needs a path");
+                    std::process::exit(2);
+                })));
+            }
+            "--rules" => {
+                println!("{:<16} meaning", "rule");
+                for (id, desc) in cr_lint::RULES {
+                    println!("{id:<16} {desc}");
+                }
+                return;
+            }
+            other => {
+                eprintln!("cr-lint: unknown flag {other} (--root, -D, --json, --rules)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| {
+        let cwd = std::env::current_dir().unwrap_or_default();
+        match cr_lint::find_root(&cwd) {
+            Some(r) => r,
+            None => {
+                eprintln!("cr-lint: no workspace root found above the current directory");
+                std::process::exit(2);
+            }
+        }
+    });
+    let findings = match cr_lint::lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cr-lint: cannot walk {}: {e}", root.display());
+            std::process::exit(2);
+        }
+    };
+    if let Some(path) = json_out {
+        if let Err(e) = std::fs::write(&path, cr_lint::to_json(&findings)) {
+            eprintln!("cr-lint: cannot write {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    }
+    let errors = findings.iter().filter(|f| !f.warning).count();
+    let warnings = findings.len() - errors;
+    print!("{}", cr_lint::render(&findings));
+    if findings.is_empty() {
+        println!("cr-lint: workspace invariants hold (0 findings)");
+    } else {
+        println!("cr-lint: {errors} error(s), {warnings} warning(s)");
+    }
+    if errors > 0 || (deny_warnings && warnings > 0) {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,353 @@
+//! A small hand-rolled Rust lexer — just enough structure for the rule
+//! engine: identifiers, punctuation, literals, and comments, each tagged
+//! with its source line.
+//!
+//! The lexer must never *misclassify* (a banned identifier inside a
+//! string or comment is not code), so strings (plain, raw, byte, and
+//! C variants), char literals vs. lifetimes, nested block comments, and
+//! numeric literals are all handled. It does not need to *parse*: the
+//! rules operate on the flat token stream plus brace matching.
+
+/// What one token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (raw identifiers are unescaped: `r#type` → `type`).
+    Ident,
+    /// A single punctuation character (`::` is two `:` tokens).
+    Punct,
+    /// String/char/byte/numeric literal — content never matters to a rule.
+    Literal,
+    /// Lifetime such as `'a` (kept distinct so `'a` is never a char literal).
+    Lifetime,
+    /// Line or block comment, text preserved for `lint:` directives.
+    Comment,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokKind,
+    /// Source text (for `Punct`, exactly one character).
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: usize,
+}
+
+impl Token {
+    /// Whether this is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this is a punctuation token with exactly this character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+}
+
+/// Lex `src` into a token stream. Unterminated constructs (string,
+/// comment) consume to end of input rather than erroring: the linter
+/// must degrade gracefully on code rustc would reject anyway.
+pub fn lex(src: &str) -> Vec<Token> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line = 1usize;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                toks.push(Token {
+                    kind: TokKind::Comment,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let (start, start_line) = (i, line);
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                toks.push(Token {
+                    kind: TokKind::Comment,
+                    text: src[start..i].to_string(),
+                    line: start_line,
+                });
+            }
+            b'r' | b'b' | b'c' if is_string_start(b, i) => {
+                let start_line = line;
+                i = skip_string(b, i, &mut line);
+                toks.push(Token {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line: start_line,
+                });
+            }
+            b'"' => {
+                let start_line = line;
+                i = skip_quoted(b, i + 1, b'"', &mut line);
+                toks.push(Token {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line: start_line,
+                });
+            }
+            b'\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`, `'\u{7}'`).
+                let mut j = i + 1;
+                if j < b.len() && (b[j].is_ascii_alphabetic() || b[j] == b'_') && b[j] != b'\\' {
+                    let mut k = j;
+                    while k < b.len() && (b[k].is_ascii_alphanumeric() || b[k] == b'_') {
+                        k += 1;
+                    }
+                    if b.get(k) != Some(&b'\'') {
+                        toks.push(Token {
+                            kind: TokKind::Lifetime,
+                            text: src[i..k].to_string(),
+                            line,
+                        });
+                        i = k;
+                        continue;
+                    }
+                }
+                j = skip_quoted(b, i + 1, b'\'', &mut line);
+                toks.push(Token {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line,
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                // Integer body: digits, radix letters, underscores.
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    // `1e5` is a float only after a `.`; `0x1e5` is hex.
+                    // Either way these are literal characters; exponent
+                    // signs are handled below.
+                    i += 1;
+                }
+                // Fractional part only when `.` is followed by a digit
+                // (so `0..n` stays two range dots).
+                if i < b.len() && b[i] == b'.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
+                    i += 1;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        if (b[i] == b'e' || b[i] == b'E')
+                            && matches!(b.get(i + 1), Some(&b'+') | Some(&b'-'))
+                        {
+                            i += 1; // consume the exponent sign too
+                        }
+                        i += 1;
+                    }
+                }
+                toks.push(Token {
+                    kind: TokKind::Literal,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                // Raw identifier `r#name` — strip the escape, keep `name`.
+                let text = if b[start] == b'r'
+                    && i == start + 1
+                    && b.get(i) == Some(&b'#')
+                    && b.get(i + 1)
+                        .is_some_and(|d| d.is_ascii_alphanumeric() || *d == b'_')
+                {
+                    i += 1;
+                    let rstart = i;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                    src[rstart..i].to_string()
+                } else {
+                    src[start..i].to_string()
+                };
+                toks.push(Token {
+                    kind: TokKind::Ident,
+                    text,
+                    line,
+                });
+            }
+            _ => {
+                toks.push(Token {
+                    kind: TokKind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// Whether position `i` (at `r`, `b`, or `c`) starts a string-ish
+/// literal: `r"`, `r#"`, `b"`, `b'`, `br"`, `br#"`, `c"`, `cr#"` …
+fn is_string_start(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    // Up to two prefix letters (`br`, `cr`).
+    while j < b.len() && (b[j] == b'r' || b[j] == b'b' || b[j] == b'c') && j - i < 2 {
+        j += 1;
+    }
+    while j < b.len() && b[j] == b'#' {
+        j += 1;
+    }
+    j < b.len() && (b[j] == b'"' || (b[j] == b'\'' && j == i + 1 && b[i] == b'b'))
+}
+
+/// Skip a string-ish literal starting at `i`; returns the index just past
+/// it and counts newlines into `line`.
+fn skip_string(b: &[u8], mut i: usize, line: &mut usize) -> usize {
+    let mut raw = false;
+    while i < b.len() && (b[i] == b'r' || b[i] == b'b' || b[i] == b'c') {
+        raw |= b[i] == b'r';
+        i += 1;
+    }
+    let mut hashes = 0;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= b.len() {
+        return i;
+    }
+    let quote = b[i];
+    i += 1;
+    if raw || hashes > 0 {
+        // Raw string: ends at quote followed by `hashes` hash marks.
+        while i < b.len() {
+            if b[i] == b'\n' {
+                *line += 1;
+            }
+            if b[i] == quote
+                && b[i + 1..]
+                    .iter()
+                    .take(hashes)
+                    .filter(|&&h| h == b'#')
+                    .count()
+                    == hashes
+            {
+                return i + 1 + hashes;
+            }
+            i += 1;
+        }
+        i
+    } else {
+        skip_quoted(b, i, quote, line)
+    }
+}
+
+/// Skip to the closing `quote`, honoring backslash escapes; returns the
+/// index just past it.
+fn skip_quoted(b: &[u8], mut i: usize, quote: u8, line: &mut usize) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            c if c == quote => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+            let a = "Instant::now()"; // Instant in a comment
+            /* HashMap */ let b = r#"thread_rng"#;
+            let c = b"SystemTime";
+        "##;
+        let ids = idents(src);
+        assert!(ids.iter().all(|i| i != "Instant" && i != "HashMap"));
+        assert_eq!(ids, vec!["let", "a", "let", "b", "let", "c"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(toks.iter().any(|t| t.kind == TokKind::Literal));
+    }
+
+    #[test]
+    fn ranges_do_not_eat_dots() {
+        let toks = lex("for i in 0..n { x[i] = 1.5e-3; }");
+        assert!(toks.iter().any(|t| t.is_punct('.')));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Literal && t.text == "1.5e-3"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let toks = lex("/* a /* b */ c */ fn x() {}");
+        assert!(toks.iter().any(|t| t.is_ident("fn")));
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Comment).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_identifiers_unescape() {
+        let ids = idents("let r#type = 1;");
+        assert_eq!(ids, vec!["let", "type"]);
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_constructs() {
+        let src = "let a = \"x\ny\";\nlet b = 2;";
+        let toks = lex(src);
+        let b = toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 3);
+    }
+}

@@ -1,0 +1,119 @@
+//! Fixture tests: one positive fixture per rule family (the linter MUST
+//! find the seeded violations) and one negative fixture (allow escapes
+//! and test-module masking MUST silence everything). The last test pins
+//! the real workspace to zero findings — the PR-gating invariant itself.
+
+use cr_lint::{lint_source, lint_workspace, FileContext};
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn det() -> FileContext {
+    FileContext {
+        determinism: true,
+        panic_free: false,
+    }
+}
+
+fn panic_free() -> FileContext {
+    FileContext {
+        determinism: false,
+        panic_free: true,
+    }
+}
+
+#[test]
+fn wall_clock_fixture_is_caught() {
+    let f = lint_source("wall_clock.rs", &fixture("wall_clock.rs"), det());
+    assert!(f.len() >= 3, "Instant + SystemTime sites: {f:#?}");
+    assert!(f.iter().all(|f| f.rule == "wall-clock"), "{f:#?}");
+    // Both the import and the call site are named.
+    assert!(f.iter().any(|f| f.line == 2), "import line: {f:#?}");
+    assert!(f.iter().any(|f| f.line == 5), "Instant::now line: {f:#?}");
+}
+
+#[test]
+fn ambient_rng_fixture_is_caught() {
+    let f = lint_source("ambient_rng.rs", &fixture("ambient_rng.rs"), det());
+    let rules: Vec<_> = f.iter().map(|f| f.rule).collect();
+    assert_eq!(rules, vec!["ambient-rng", "ambient-rng"], "{f:#?}");
+}
+
+#[test]
+fn default_hasher_fixture_is_caught() {
+    let f = lint_source("default_hasher.rs", &fixture("default_hasher.rs"), det());
+    assert!(f.len() >= 4, "imports + uses: {f:#?}");
+    assert!(f.iter().all(|f| f.rule == "default-hasher"), "{f:#?}");
+}
+
+#[test]
+fn hot_alloc_fixture_is_caught_only_inside_the_hot_fn() {
+    // Hot rules apply regardless of crate context.
+    let f = lint_source(
+        "hot_alloc.rs",
+        &fixture("hot_alloc.rs"),
+        FileContext::default(),
+    );
+    let rules: Vec<_> = f.iter().map(|f| f.rule).collect();
+    assert_eq!(
+        rules,
+        vec!["hot-alloc"; 5],
+        "collect, to_vec, clone, Box::new, format!: {f:#?}"
+    );
+    // `cold` uses to_vec on line 17 and must NOT be flagged.
+    assert!(f.iter().all(|f| f.line < 15), "{f:#?}");
+}
+
+#[test]
+fn panic_fixture_is_caught() {
+    let f = lint_source("panics.rs", &fixture("panics.rs"), panic_free());
+    let rules: Vec<_> = f.iter().map(|f| f.rule).collect();
+    assert_eq!(
+        rules,
+        vec!["no-unwrap", "no-unwrap", "no-panic", "index-guard"],
+        "{f:#?}"
+    );
+}
+
+#[test]
+fn bad_directives_are_findings_themselves() {
+    let f = lint_source("bad_directive.rs", &fixture("bad_directive.rs"), det());
+    let rules: Vec<_> = f.iter().map(|f| f.rule).collect();
+    assert_eq!(rules, vec!["bad-directive"; 3], "{f:#?}");
+}
+
+#[test]
+fn clean_fixture_with_allows_lints_clean_under_every_rule_family() {
+    let ctx = FileContext {
+        determinism: true,
+        panic_free: true,
+    };
+    let f = lint_source(
+        "clean_with_allows.rs",
+        &fixture("clean_with_allows.rs"),
+        ctx,
+    );
+    assert!(f.is_empty(), "allow escapes must suppress: {f:#?}");
+}
+
+/// The tentpole's acceptance bar: the real workspace has zero findings.
+/// If this fails, either new code broke an invariant (fix it or add a
+/// reasoned `// lint: allow`) or a rule regressed (fix the rule).
+#[test]
+fn real_workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint has a workspace root two levels up");
+    let findings = lint_workspace(root).expect("walk workspace");
+    assert!(
+        findings.is_empty(),
+        "workspace invariant violations:\n{}",
+        cr_lint::render(&findings)
+    );
+}

@@ -1,0 +1,9 @@
+// Fixture: ambient entropy in a data-plane file.
+pub fn roll() -> u64 {
+    let mut r = rand::thread_rng();
+    r.gen()
+}
+
+pub fn coin() -> bool {
+    rand::random()
+}

@@ -1,0 +1,10 @@
+// Fixture: malformed lint directives are findings themselves.
+
+// lint: allow(hot-alloc)
+pub fn missing_reason() {}
+
+// lint: allow(no-such-rule, the rule id is checked too)
+pub fn unknown_rule() {}
+
+// lint: frobnicate
+pub fn unknown_directive() {}

@@ -1,0 +1,39 @@
+// Fixture: the negative case — every would-be finding is either inside
+// test code or carries a reasoned allow, so the file lints clean under
+// determinism, panic-free, and hot rules at once.
+use std::time::Instant; // lint: allow(wall-clock, fixture exercising the escape hatch)
+
+pub struct W {
+    buf: Vec<u64>,
+}
+
+// lint: hot
+pub fn step(w: &mut W, xs: &[u64]) -> u64 {
+    w.buf.clear();
+    w.buf.extend_from_slice(xs);
+    // lint: allow(hot-alloc, one-time warmup allocation, amortized to zero)
+    let warm = xs.to_vec();
+    w.buf.iter().sum::<u64>() + warm.len() as u64
+}
+
+pub fn guarded(toks: &[&str]) -> Option<u64> {
+    let first = toks.first()?;
+    first.parse().ok()
+}
+
+pub fn timed() -> u64 {
+    // lint: allow(wall-clock, fixture exercising the escape hatch)
+    Instant::now().elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_do_anything() {
+        let t0 = std::time::Instant::now();
+        let v: Vec<u64> = (0..4u64).collect();
+        let m: std::collections::HashMap<u64, u64> = Default::default();
+        assert!(v.first().unwrap() < &t0.elapsed().as_secs().max(1));
+        assert!(m.is_empty());
+    }
+}

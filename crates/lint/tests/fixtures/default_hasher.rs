@@ -1,0 +1,14 @@
+// Fixture: RandomState maps in a data-plane file.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn build() -> HashMap<u64, u64> {
+    let mut m = HashMap::new();
+    m.insert(1, 2);
+    m
+}
+
+pub fn dedup(xs: &[u64]) -> usize {
+    let s: HashSet<u64> = xs.iter().copied().collect();
+    s.len()
+}

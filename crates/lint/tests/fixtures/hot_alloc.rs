@@ -1,0 +1,18 @@
+// Fixture: allocations inside a `// lint: hot` function.
+pub struct W {
+    buf: Vec<u64>,
+}
+
+// lint: hot
+pub fn step(w: &mut W, xs: &[u64]) -> String {
+    let doubled: Vec<u64> = xs.iter().map(|x| x * 2).collect();
+    w.buf = doubled.to_vec();
+    let copy = w.buf.clone();
+    let boxed = Box::new(copy);
+    format!("{}", boxed.len())
+}
+
+// Not marked hot: the same body is fine here.
+pub fn cold(xs: &[u64]) -> Vec<u64> {
+    xs.to_vec()
+}

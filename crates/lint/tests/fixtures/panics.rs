@@ -1,0 +1,10 @@
+// Fixture: panic paths in a serving file.
+pub fn parse(toks: &[&str]) -> u64 {
+    let first = toks.first().unwrap();
+    let n: u64 = first.parse().expect("a number");
+    if n > 100 {
+        panic!("too big");
+    }
+    let second = toks[1];
+    n + second.len() as u64
+}

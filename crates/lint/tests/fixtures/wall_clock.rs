@@ -1,0 +1,14 @@
+// Fixture: ambient wall-clock reads in a data-plane file.
+use std::time::Instant;
+
+pub fn stamp() -> u64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos() as u64
+}
+
+pub fn epoch_ms() -> u128 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .unwrap_or_default()
+        .as_millis()
+}

@@ -21,6 +21,8 @@ pub enum ServeError {
     },
     /// A shard worker is gone (service shutting down).
     ShardDown,
+    /// The OS refused to spawn a shard worker thread at startup.
+    Spawn(String),
     /// A malformed or out-of-contract request (bad frame, bad address,
     /// duplicate address, oversized count).
     BadRequest(String),
@@ -35,6 +37,7 @@ impl fmt::Display for ServeError {
                 write!(f, "session {sid}: budget of {max_steps} steps exhausted")
             }
             ServeError::ShardDown => f.write_str("shard down"),
+            ServeError::Spawn(msg) => write!(f, "spawn: {msg}"),
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
         }
     }

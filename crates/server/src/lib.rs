@@ -27,7 +27,7 @@
 //! use cr_serve::{Service, ServiceConfig, SessionSpec, WorkloadSpec};
 //! use cr_core::SchemeKind;
 //!
-//! let service = Service::start(ServiceConfig::with_shards(2));
+//! let service = Service::start(ServiceConfig::with_shards(2)).expect("spawn shard workers");
 //! let h = service.handle();
 //! let s = h.open(SessionSpec::new(8, 64, SchemeKind::HpDmmpc).seed(7)).unwrap();
 //! let sum = h.step(s.sid, WorkloadSpec::Uniform, 5).unwrap();
@@ -37,6 +37,11 @@
 //! service.shutdown();
 //! ```
 
+// Serving code must degrade, never panic: cr-lint bans unwrap/expect in
+// the protocol/tcp/shard/service modules, and clippy backs it up across
+// the whole crate (tests keep their unwraps — a failed test should panic).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod error;
 pub mod protocol;
 pub mod service;
@@ -44,6 +49,7 @@ pub mod session;
 pub mod shard;
 pub mod tcp;
 
+pub use cr_core::clock::{SimClock, Tick};
 pub use error::ServeError;
 pub use service::{Service, ServiceConfig, ServiceHandle, ServiceInfo};
 pub use session::{

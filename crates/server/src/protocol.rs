@@ -100,14 +100,14 @@ pub fn parse(line: &str) -> Result<Frame, String> {
     let toks: Vec<&str> = toks.collect();
     match verb.to_ascii_uppercase().as_str() {
         "OPEN" => {
-            if toks.len() < 3 {
+            let [n, m, scheme, opts @ ..] = toks.as_slice() else {
                 return Err("OPEN needs: n m scheme [key=value ...]".into());
-            }
-            let n = parse_u64(toks[0], "n")? as usize;
-            let m = parse_u64(toks[1], "m")? as usize;
-            let kind: SchemeKind = toks[2].parse().map_err(|e| format!("{e}"))?;
+            };
+            let n = parse_u64(n, "n")? as usize;
+            let m = parse_u64(m, "m")? as usize;
+            let kind: SchemeKind = scheme.parse().map_err(|e| format!("{e}"))?;
             let mut spec = SessionSpec::new(n, m, kind);
-            for tok in &toks[3..] {
+            for tok in opts {
                 let (k, v) = parse_kv(tok)?;
                 match k {
                     "c" => spec.c = Some(parse_u64(v, "c")? as usize),
@@ -127,18 +127,18 @@ pub fn parse(line: &str) -> Result<Frame, String> {
             Ok(Frame::Open(spec))
         }
         "STEP" => {
-            if toks.len() < 2 {
+            let [sid, workload, rest @ ..] = toks.as_slice() else {
                 return Err("STEP needs: sid workload [count]".into());
-            }
-            let sid = parse_u64(toks[0], "sid")?;
-            let (workload, rest) = match toks[1].to_ascii_lowercase().as_str() {
-                "uniform" => (WorkloadSpec::Uniform, &toks[2..]),
-                "hotspot" => (WorkloadSpec::Hotspot, &toks[2..]),
-                "stride" => (WorkloadSpec::Stride, &toks[2..]),
+            };
+            let sid = parse_u64(sid, "sid")?;
+            let workload = match workload.to_ascii_lowercase().as_str() {
+                "uniform" => WorkloadSpec::Uniform,
+                "hotspot" => WorkloadSpec::Hotspot,
+                "stride" => WorkloadSpec::Stride,
                 "raw" => {
                     let mut reads = Vec::new();
                     let mut writes = Vec::new();
-                    for tok in &toks[2..] {
+                    for tok in rest {
                         let (k, v) = parse_kv(tok)?;
                         match k {
                             "r" => reads = parse_list(v, "r")?,
@@ -149,7 +149,13 @@ pub fn parse(line: &str) -> Result<Frame, String> {
                     if reads.is_empty() && writes.is_empty() {
                         return Err("STEP raw: needs r=... and/or w=...".into());
                     }
-                    (WorkloadSpec::Raw { reads, writes }, &[][..])
+                    // Raw steps carry their requests inline; a trailing
+                    // count would be ambiguous, so it is fixed at 1.
+                    return Ok(Frame::Step {
+                        sid,
+                        workload: WorkloadSpec::Raw { reads, writes },
+                        count: 1,
+                    });
                 }
                 other => {
                     return Err(format!(

@@ -9,6 +9,7 @@
 //! clones its own set of queue senders and talks to the shards directly;
 //! there is no central dispatcher thread to bottleneck on.
 
+use cr_core::clock::SimClock;
 use metrics::Histogram;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender};
@@ -28,6 +29,10 @@ pub struct ServiceConfig {
     pub shards: usize,
     /// Per-shard bounded queue capacity (the backpressure knob).
     pub queue_capacity: usize,
+    /// Time source for session timestamps, step latency, and idle-TTL
+    /// eviction. Real (monotonic) by default; tests inject
+    /// [`SimClock::manual`] to drive eviction deterministically.
+    pub clock: SimClock,
 }
 
 impl Default for ServiceConfig {
@@ -35,6 +40,7 @@ impl Default for ServiceConfig {
         ServiceConfig {
             shards: 4,
             queue_capacity: QUEUE_CAPACITY,
+            clock: SimClock::monotonic(),
         }
     }
 }
@@ -92,24 +98,31 @@ pub struct Service {
 }
 
 impl Service {
-    /// Start the shard workers.
-    pub fn start(cfg: ServiceConfig) -> Service {
+    /// Start the shard workers. Fails with [`ServeError::Spawn`] if the
+    /// OS refuses a worker thread; already-started workers are shut down
+    /// cleanly when the partially built `Service` drops.
+    pub fn start(cfg: ServiceConfig) -> Result<Service, ServeError> {
         let shards = cfg.shards.max(1);
         let mut links = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
         for shard in 0..shards {
             let (tx, rx) = sync_channel(cfg.queue_capacity.max(1));
             let queue_depth = Arc::new(AtomicUsize::new(0));
-            workers.push(spawn_shard(shard, rx, Arc::clone(&queue_depth)));
+            workers.push(spawn_shard(
+                shard,
+                rx,
+                Arc::clone(&queue_depth),
+                cfg.clock.clone(),
+            )?);
             links.push(ShardLink { tx, queue_depth });
         }
-        Service {
+        Ok(Service {
             handle: ServiceHandle {
                 shards: Arc::new(links),
                 next_sid: Arc::new(AtomicU64::new(1)),
             },
             workers,
-        }
+        })
     }
 
     /// A clone-per-thread client handle.
@@ -144,7 +157,7 @@ impl ServiceHandle {
         shard: usize,
         make: impl FnOnce(super::shard::ReplyTx) -> ShardCmd,
     ) -> Result<Reply, ServeError> {
-        let link = &self.shards[shard];
+        let link = self.shards.get(shard).ok_or(ServeError::ShardDown)?;
         let (reply_tx, reply_rx) = sync_channel(1);
         link.queue_depth.fetch_add(1, Ordering::Relaxed);
         if link.tx.send(make(reply_tx)).is_err() {

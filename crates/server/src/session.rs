@@ -11,12 +11,13 @@
 //! trace a verifiable artifact in the sense of Wei et al.'s P-RAM
 //! consistency checking over read/write traces.
 
+use cr_core::clock::{SimClock, Tick};
 use cr_core::{Scheme, SchemeKind, SimBuilder};
 use cr_faults::{FaultPlan, FaultyBuilder};
 use metrics::Histogram;
 use pram_machine::Word;
 use simrng::{fnv1a, rng_from_seed, Xoshiro256pp};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use workloads::Zipf;
 
 use crate::error::ServeError;
@@ -167,13 +168,16 @@ pub struct Session {
     trace: u64,
     /// Strided-workload offset (advances per step).
     stride_offset: usize,
-    last_touch: Instant,
+    /// When a command last touched the session, on the owning shard's
+    /// [`SimClock`] (the TTL sweeper compares against the same clock).
+    last_touch: Tick,
 }
 
 impl Session {
     /// Build the session's scheme (fault-wrapped when the spec asks) and
-    /// seed its workload stream.
-    pub fn open(spec: SessionSpec) -> Result<Session, ServeError> {
+    /// seed its workload stream. `now` is the opening shard's clock
+    /// reading — the session's first touch stamp.
+    pub fn open(spec: SessionSpec, now: Tick) -> Result<Session, ServeError> {
         if spec.max_steps == 0 {
             return Err(ServeError::BadRequest("max-steps must be positive".into()));
         }
@@ -221,7 +225,7 @@ impl Session {
             trace: simrng::FNV_OFFSET,
             stride_offset: 0,
             spec,
-            last_touch: Instant::now(),
+            last_touch: now,
         })
     }
 
@@ -248,18 +252,18 @@ impl Session {
     }
 
     /// When a command last touched the session.
-    pub fn last_touch(&self) -> Instant {
+    pub fn last_touch(&self) -> Tick {
         self.last_touch
     }
 
     /// Whether the session has sat idle longer than its TTL.
-    pub fn expired(&self, now: Instant) -> bool {
-        now.duration_since(self.last_touch) > self.spec.ttl
+    pub fn expired(&self, now: Tick) -> bool {
+        now.since(self.last_touch) > self.spec.ttl
     }
 
     /// Mark the session as touched (any command counts).
-    pub fn touch(&mut self) {
-        self.last_touch = Instant::now();
+    pub fn touch(&mut self, now: Tick) {
+        self.last_touch = now;
     }
 
     /// Validate a raw request batch against the scheme's access contract,
@@ -301,14 +305,17 @@ impl Session {
     }
 
     /// Execute up to `count` steps of `workload`, recording one latency
-    /// sample per step into `latency`. Stops early (with
-    /// `exhausted = true`) when the budget runs out mid-batch; fails
-    /// without stepping when it is already spent.
+    /// sample per step into `latency` (timed on `clock` — virtual-clock
+    /// services record zero-width samples, which is correct: no simulated
+    /// time passed). Stops early (with `exhausted = true`) when the
+    /// budget runs out mid-batch; fails without stepping when it is
+    /// already spent.
     pub fn step(
         &mut self,
         workload: &WorkloadSpec,
         count: u64,
         latency: &mut Histogram,
+        clock: &SimClock,
     ) -> Result<StepSummary, ServeError> {
         if count == 0 || count > MAX_STEP_BATCH {
             return Err(ServeError::BadRequest(format!(
@@ -336,7 +343,7 @@ impl Session {
         let mut cycles = 0u64;
         let mut messages = 0u64;
         for _ in 0..run {
-            let t0 = Instant::now();
+            let t0 = clock.now();
             let res = match workload {
                 WorkloadSpec::Uniform => {
                     let p = workloads::uniform(n, m, 0.3, &mut self.rng);
@@ -355,7 +362,7 @@ impl Session {
                 }
                 WorkloadSpec::Raw { reads, writes } => self.scheme.access(reads, writes),
             };
-            latency.record(t0.elapsed().as_nanos() as u64);
+            latency.record(clock.now().since(t0).as_nanos() as u64);
             for &v in &res.read_values {
                 fnv1a(&mut self.trace, v as u64);
             }
@@ -367,7 +374,7 @@ impl Session {
             messages += res.cost.messages;
             self.steps += 1;
         }
-        self.touch();
+        self.touch(clock.now());
         Ok(StepSummary {
             executed: run,
             total_steps: self.steps,
@@ -397,6 +404,10 @@ impl Session {
 mod tests {
     use super::*;
 
+    fn clock() -> SimClock {
+        SimClock::manual()
+    }
+
     fn spec() -> SessionSpec {
         SessionSpec::new(8, 64, SchemeKind::HpDmmpc).seed(7)
     }
@@ -404,11 +415,11 @@ mod tests {
     #[test]
     fn same_spec_same_trace() {
         let mut h = Histogram::new();
-        let mut a = Session::open(spec()).unwrap();
-        let mut b = Session::open(spec()).unwrap();
-        a.step(&WorkloadSpec::Uniform, 5, &mut h).unwrap();
-        b.step(&WorkloadSpec::Uniform, 2, &mut h).unwrap();
-        b.step(&WorkloadSpec::Uniform, 3, &mut h).unwrap();
+        let mut a = Session::open(spec(), Tick::ZERO).unwrap();
+        let mut b = Session::open(spec(), Tick::ZERO).unwrap();
+        a.step(&WorkloadSpec::Uniform, 5, &mut h, &clock()).unwrap();
+        b.step(&WorkloadSpec::Uniform, 2, &mut h, &clock()).unwrap();
+        b.step(&WorkloadSpec::Uniform, 3, &mut h, &clock()).unwrap();
         assert_eq!(a.trace(), b.trace(), "batching must not change the trace");
         assert_eq!(a.stats().steps, 5);
     }
@@ -416,11 +427,15 @@ mod tests {
     #[test]
     fn budget_stops_mid_batch_then_refuses() {
         let mut h = Histogram::new();
-        let mut s = Session::open(spec().max_steps(3)).unwrap();
-        let sum = s.step(&WorkloadSpec::Uniform, 10, &mut h).unwrap();
+        let mut s = Session::open(spec().max_steps(3), Tick::ZERO).unwrap();
+        let sum = s
+            .step(&WorkloadSpec::Uniform, 10, &mut h, &clock())
+            .unwrap();
         assert_eq!(sum.executed, 3);
         assert!(sum.exhausted);
-        let err = s.step(&WorkloadSpec::Uniform, 1, &mut h).unwrap_err();
+        let err = s
+            .step(&WorkloadSpec::Uniform, 1, &mut h, &clock())
+            .unwrap_err();
         assert!(matches!(err, ServeError::BudgetExhausted { .. }));
         // STATS stays valid after exhaustion.
         assert_eq!(s.stats().budget_left, 0);
@@ -429,13 +444,13 @@ mod tests {
     #[test]
     fn raw_batches_are_validated() {
         let mut h = Histogram::new();
-        let mut s = Session::open(spec()).unwrap();
+        let mut s = Session::open(spec(), Tick::ZERO).unwrap();
         let oob = WorkloadSpec::Raw {
             reads: vec![64],
             writes: vec![],
         };
         assert!(matches!(
-            s.step(&oob, 1, &mut h),
+            s.step(&oob, 1, &mut h, &clock()),
             Err(ServeError::BadRequest(_))
         ));
         let dup = WorkloadSpec::Raw {
@@ -443,19 +458,19 @@ mod tests {
             writes: vec![(3, 1)],
         };
         assert!(matches!(
-            s.step(&dup, 1, &mut h),
+            s.step(&dup, 1, &mut h, &clock()),
             Err(ServeError::BadRequest(_))
         ));
         let ok = WorkloadSpec::Raw {
             reads: vec![],
             writes: vec![(5, 42)],
         };
-        s.step(&ok, 1, &mut h).unwrap();
+        s.step(&ok, 1, &mut h, &clock()).unwrap();
         let rd = WorkloadSpec::Raw {
             reads: vec![5],
             writes: vec![],
         };
-        s.step(&rd, 1, &mut h).unwrap();
+        s.step(&rd, 1, &mut h, &clock()).unwrap();
         assert_eq!(s.stats().steps, 2);
     }
 
@@ -465,30 +480,37 @@ mod tests {
             SessionSpec::new(MAX_SESSION_N + 1, 64, SchemeKind::Hashed),
             SessionSpec::new(8, MAX_SESSION_M + 1, SchemeKind::Hashed),
         ] {
-            assert!(matches!(Session::open(bad), Err(ServeError::BadRequest(_))));
+            assert!(matches!(
+                Session::open(bad, Tick::ZERO),
+                Err(ServeError::BadRequest(_))
+            ));
         }
         // The boundary itself is accepted (hashed: cheapest to build).
-        Session::open(SessionSpec::new(16, 1 << 16, SchemeKind::Hashed)).unwrap();
+        Session::open(
+            SessionSpec::new(16, 1 << 16, SchemeKind::Hashed),
+            Tick::ZERO,
+        )
+        .unwrap();
     }
 
     #[test]
     fn faulty_sessions_build() {
         let mut h = Histogram::new();
-        let mut s = Session::open(spec().faults(0.125)).unwrap();
-        s.step(&WorkloadSpec::Uniform, 3, &mut h).unwrap();
+        let mut s = Session::open(spec().faults(0.125), Tick::ZERO).unwrap();
+        s.step(&WorkloadSpec::Uniform, 3, &mut h, &clock()).unwrap();
         assert_eq!(s.steps(), 3);
     }
 
     #[test]
     fn all_workload_kinds_step() {
         let mut h = Histogram::new();
-        let mut s = Session::open(spec()).unwrap();
+        let mut s = Session::open(spec(), Tick::ZERO).unwrap();
         for w in [
             WorkloadSpec::Uniform,
             WorkloadSpec::Hotspot,
             WorkloadSpec::Stride,
         ] {
-            s.step(&w, 2, &mut h).unwrap();
+            s.step(&w, 2, &mut h, &clock()).unwrap();
         }
         assert_eq!(s.steps(), 6);
         assert_eq!(h.count(), 6);

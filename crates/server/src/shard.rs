@@ -10,13 +10,14 @@
 //! connections, load generators) instead of the queue growing without
 //! bound; the queue-depth gauge is exported per shard.
 
+use cr_core::clock::{SimClock, Tick};
 use metrics::Histogram;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crate::error::ServeError;
 use crate::session::{Session, SessionSpec, SessionStats, StepSummary, WorkloadSpec};
@@ -123,20 +124,25 @@ pub(crate) enum ShardCmd {
 /// The worker-side state of one shard.
 struct ShardWorker {
     shard: usize,
-    sessions: HashMap<u64, Session>,
+    /// Ordered map: the TTL sweep and any future iteration visit
+    /// sessions in sid order — deterministic, unlike a RandomState map.
+    sessions: BTreeMap<u64, Session>,
     opened: u64,
     closed: u64,
     evicted: u64,
     steps: u64,
     latency: Histogram,
     queue_depth: Arc<AtomicUsize>,
+    /// The service's time seam: real in production, virtual in
+    /// deterministic tests (`ServiceConfig::clock`).
+    clock: SimClock,
 }
 
 impl ShardWorker {
     fn handle(&mut self, cmd: ShardCmd) -> bool {
         match cmd {
             ShardCmd::Open { sid, spec, reply } => {
-                let out = Session::open(spec).map(|session| {
+                let out = Session::open(spec, self.clock.now()).map(|session| {
                     let info = OpenInfo {
                         sid,
                         shard: self.shard,
@@ -159,7 +165,7 @@ impl ShardWorker {
                 let out = match self.sessions.get_mut(&sid) {
                     None => Err(ServeError::UnknownSession(sid)),
                     Some(session) => session
-                        .step(&workload, count, &mut self.latency)
+                        .step(&workload, count, &mut self.latency, &self.clock)
                         .map(|sum| {
                             self.steps += sum.executed;
                             Reply::Step(sum)
@@ -178,7 +184,7 @@ impl ShardWorker {
                 let out = match self.sessions.get_mut(&sid) {
                     None => Err(ServeError::UnknownSession(sid)),
                     Some(session) => {
-                        session.touch();
+                        session.touch(self.clock.now());
                         Ok(Reply::Stats(session.stats()))
                     }
                 };
@@ -188,7 +194,7 @@ impl ShardWorker {
                 let out = match self.sessions.get_mut(&sid) {
                     None => Err(ServeError::UnknownSession(sid)),
                     Some(session) => {
-                        session.touch();
+                        session.touch(self.clock.now());
                         Ok(Reply::Trace(TraceInfo {
                             sid,
                             steps: session.steps(),
@@ -230,34 +236,39 @@ impl ShardWorker {
         true
     }
 
-    fn sweep(&mut self, now: Instant) {
+    fn sweep(&mut self, now: Tick) {
         let before = self.sessions.len();
         self.sessions.retain(|_, s| !s.expired(now));
         self.evicted += (before - self.sessions.len()) as u64;
     }
 }
 
-/// Spawn one shard worker; returns its join handle. `queue_depth` is
-/// decremented as commands are dequeued (the sender increments it).
+/// Spawn one shard worker; returns its join handle, or the spawn error
+/// as a [`ServeError`] (a service must degrade, not panic, when the
+/// process hits a thread limit). `queue_depth` is decremented as
+/// commands are dequeued (the sender increments it); TTL decisions and
+/// latency samples read `clock`.
 pub(crate) fn spawn_shard(
     shard: usize,
     rx: Receiver<ShardCmd>,
     queue_depth: Arc<AtomicUsize>,
-) -> JoinHandle<()> {
+    clock: SimClock,
+) -> Result<JoinHandle<()>, ServeError> {
     std::thread::Builder::new()
         .name(format!("cr-serve-shard-{shard}"))
         .spawn(move || {
+            let mut last_sweep = clock.now();
             let mut w = ShardWorker {
                 shard,
-                sessions: HashMap::new(),
+                sessions: BTreeMap::new(),
                 opened: 0,
                 closed: 0,
                 evicted: 0,
                 steps: 0,
                 latency: Histogram::new(),
                 queue_depth,
+                clock,
             };
-            let mut last_sweep = Instant::now();
             loop {
                 match rx.recv_timeout(SWEEP_EVERY) {
                     Ok(cmd) => {
@@ -269,12 +280,16 @@ pub(crate) fn spawn_shard(
                     Err(RecvTimeoutError::Timeout) => {}
                     Err(RecvTimeoutError::Disconnected) => break,
                 }
-                let now = Instant::now();
-                if now.duration_since(last_sweep) >= SWEEP_EVERY {
+                // The *cadence* of sweep checks is the queue's real 20ms
+                // idle timeout; whether a session is expired is judged
+                // purely on the SimClock, so virtual-time tests evict
+                // deterministically.
+                let now = w.clock.now();
+                if now.since(last_sweep) >= SWEEP_EVERY {
                     w.sweep(now);
                     last_sweep = now;
                 }
             }
         })
-        .expect("spawning a shard worker thread")
+        .map_err(|e| ServeError::Spawn(format!("shard {shard} worker: {e}")))
 }

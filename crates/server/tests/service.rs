@@ -2,7 +2,7 @@
 //! eviction, and the cross-shard determinism contract.
 
 use cr_core::SchemeKind;
-use cr_serve::{ServeError, Service, ServiceConfig, SessionSpec, WorkloadSpec};
+use cr_serve::{ServeError, Service, ServiceConfig, SessionSpec, SimClock, WorkloadSpec};
 use std::time::Duration;
 
 fn spec() -> SessionSpec {
@@ -11,7 +11,7 @@ fn spec() -> SessionSpec {
 
 #[test]
 fn open_step_stats_trace_close() {
-    let service = Service::start(ServiceConfig::with_shards(2));
+    let service = Service::start(ServiceConfig::with_shards(2)).expect("spawn shard workers");
     let h = service.handle();
     let open = h.open(spec()).unwrap();
     assert_eq!(open.scheme, "hp-dmmpc");
@@ -46,7 +46,7 @@ fn open_step_stats_trace_close() {
 
 #[test]
 fn unknown_session_and_bad_build_are_errors() {
-    let service = Service::start(ServiceConfig::with_shards(1));
+    let service = Service::start(ServiceConfig::with_shards(1)).expect("spawn shard workers");
     let h = service.handle();
     assert!(matches!(h.stats(999), Err(ServeError::UnknownSession(999))));
     // Empty machine is a BuildError surfaced through the service.
@@ -59,7 +59,7 @@ fn unknown_session_and_bad_build_are_errors() {
 
 #[test]
 fn budget_exhaustion_is_graceful() {
-    let service = Service::start(ServiceConfig::with_shards(1));
+    let service = Service::start(ServiceConfig::with_shards(1)).expect("spawn shard workers");
     let h = service.handle();
     let open = h.open(spec().max_steps(7)).unwrap();
     let sum = h.step(open.sid, WorkloadSpec::Uniform, 100).unwrap();
@@ -78,7 +78,7 @@ fn budget_exhaustion_is_graceful() {
 
 #[test]
 fn idle_ttl_evicts_but_touch_keeps_alive() {
-    let service = Service::start(ServiceConfig::with_shards(1));
+    let service = Service::start(ServiceConfig::with_shards(1)).expect("spawn shard workers");
     let h = service.handle();
     let doomed = h.open(spec().ttl(Duration::from_millis(40))).unwrap();
     let kept = h.open(spec().ttl(Duration::from_millis(400))).unwrap();
@@ -99,6 +99,50 @@ fn idle_ttl_evicts_but_touch_keeps_alive() {
     service.shutdown();
 }
 
+/// The clock seam's payoff: eviction driven by a virtual clock. No
+/// session ever *idles* in real time — one `advance` call ages it past
+/// its TTL, so the test is immune to scheduler stalls and CI jitter.
+#[test]
+fn idle_ttl_evicts_on_virtual_clock() {
+    let clock = SimClock::manual();
+    let cfg = ServiceConfig {
+        shards: 1,
+        clock: clock.clone(),
+        ..Default::default()
+    };
+    let service = Service::start(cfg).expect("spawn shard workers");
+    let h = service.handle();
+    let doomed = h.open(spec().ttl(Duration::from_millis(100))).unwrap();
+    let kept = h.open(spec().ttl(Duration::from_secs(3600))).unwrap();
+    h.step(doomed.sid, WorkloadSpec::Uniform, 1).unwrap();
+
+    // Ten virtual seconds pass in an instant; only the sweep's polling
+    // cadence (20ms real) stands between us and the eviction.
+    assert!(clock.advance(Duration::from_secs(10)), "manual clock");
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        // info() reads counters without touching sessions, so polling it
+        // cannot accidentally refresh the doomed session's TTL.
+        let info = h.info().unwrap();
+        if info.evicted == 1 {
+            assert_eq!(info.sessions, 1);
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "sweeper never evicted the idle session"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(matches!(
+        h.stats(doomed.sid),
+        Err(ServeError::UnknownSession(_))
+    ));
+    // The survivor's huge TTL outlived the jump; it still answers.
+    assert_eq!(h.stats(kept.sid).unwrap().steps, 0);
+    service.shutdown();
+}
+
 /// The serving contract the trace hash exists for: a session's trace
 /// depends only on its spec and step count — never on shard count,
 /// session-id interleaving, or what else the service is doing.
@@ -106,7 +150,8 @@ fn idle_ttl_evicts_but_touch_keeps_alive() {
 fn cross_shard_determinism_same_seed_same_trace() {
     let mut traces = Vec::new();
     for shards in [1usize, 2, 4] {
-        let service = Service::start(ServiceConfig::with_shards(shards));
+        let service =
+            Service::start(ServiceConfig::with_shards(shards)).expect("spawn shard workers");
         let h = service.handle();
         // Noise sessions with different seeds, interleaved before/around
         // the probed one so ids and placement differ per shard count.
@@ -128,7 +173,7 @@ fn cross_shard_determinism_same_seed_same_trace() {
 
 #[test]
 fn info_merges_shard_metrics() {
-    let service = Service::start(ServiceConfig::with_shards(4));
+    let service = Service::start(ServiceConfig::with_shards(4)).expect("spawn shard workers");
     let h = service.handle();
     let mut sids = Vec::new();
     for i in 0..32 {
@@ -152,7 +197,7 @@ fn info_merges_shard_metrics() {
 
 #[test]
 fn faulty_sessions_serve_and_survive() {
-    let service = Service::start(ServiceConfig::with_shards(2));
+    let service = Service::start(ServiceConfig::with_shards(2)).expect("spawn shard workers");
     let h = service.handle();
     let open = h
         .open(SessionSpec::new(16, 256, SchemeKind::HpDmmpc).faults(0.125))
@@ -184,7 +229,7 @@ fn faulty_sessions_serve_and_survive() {
 
 #[test]
 fn handles_are_usable_from_many_threads() {
-    let service = Service::start(ServiceConfig::with_shards(4));
+    let service = Service::start(ServiceConfig::with_shards(4)).expect("spawn shard workers");
     let h = service.handle();
     let total: u64 = std::thread::scope(|scope| {
         (0..8u64)

@@ -31,7 +31,7 @@ impl Client {
 }
 
 fn boot(shards: usize) -> (Service, Server) {
-    let service = Service::start(ServiceConfig::with_shards(shards));
+    let service = Service::start(ServiceConfig::with_shards(shards)).expect("spawn shard workers");
     let server = Server::bind("127.0.0.1:0", service.handle()).expect("bind ephemeral port");
     (service, server)
 }
@@ -133,6 +133,21 @@ fn oversized_frame_is_rejected_without_panic() {
 }
 
 #[test]
+fn invalid_utf8_frame_gets_err_and_leaves_the_connection_up() {
+    let (service, server) = boot(1);
+    let mut c = Client::connect(server.local_addr());
+    // Raw 0xFF bytes are not UTF-8; the lossy decode must yield an ERR
+    // reply (unknown command), never a panic or a dropped connection.
+    c.writer.write_all(b"\xff\xfe OPEN\n").unwrap();
+    let mut reply = String::new();
+    c.reader.read_line(&mut reply).unwrap();
+    assert!(reply.starts_with("ERR "), "{reply}");
+    assert_eq!(c.roundtrip("PING"), "OK pong");
+    server.shutdown();
+    service.shutdown();
+}
+
+#[test]
 fn sessions_are_shared_across_connections() {
     let (service, server) = boot(2);
     let mut a = Client::connect(server.local_addr());
@@ -162,7 +177,7 @@ fn tcp_trace_matches_in_process_trace() {
     server.shutdown();
     service.shutdown();
 
-    let service = Service::start(ServiceConfig::with_shards(1));
+    let service = Service::start(ServiceConfig::with_shards(1)).expect("spawn shard workers");
     let h = service.handle();
     let open = h
         .open(cr_serve::SessionSpec::new(8, 64, cr_core::SchemeKind::HpDmmpc).seed(99))

@@ -1,0 +1,100 @@
+//! Deterministic hashing for data-plane maps.
+//!
+//! `std`'s default `RandomState` seeds itself from process entropy, so a
+//! `HashMap`'s iteration order differs run to run — exactly the ambient
+//! randomness this workspace bans (`cr-lint`'s `default-hasher` rule).
+//! [`DetHashMap`]/[`DetHashSet`] swap in FNV-1a, the same function the
+//! trace hashes use: replaying an insertion sequence rebuilds an
+//! identical table, so hashing and iteration are bit-reproducible on
+//! every run and every platform.
+//!
+//! FNV is also *faster* than SipHash for the short integer keys the data
+//! plane actually uses (decode-set bitmasks, module ids). It is not
+//! collision-resistant against adversarial keys — fine here, where every
+//! key is produced by the simulation itself.
+
+use std::collections::{HashMap, HashSet}; // lint: allow(default-hasher, aliased below onto the FNV hasher)
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FNV-1a, 64-bit: the streaming [`Hasher`] twin of [`crate::fnv1a`].
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64(crate::FNV_OFFSET)
+    }
+}
+
+impl Hasher for Fnv64 {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+/// The deterministic `BuildHasher` (zero-sized, `Default`-constructed —
+/// no per-map seed, so two maps with equal contents are bit-identical).
+pub type FnvBuildHasher = BuildHasherDefault<Fnv64>;
+
+/// `HashMap` with run-to-run deterministic hashing and iteration.
+pub type DetHashMap<K, V> = HashMap<K, V, FnvBuildHasher>;
+
+/// `HashSet` with run-to-run deterministic hashing and iteration.
+pub type DetHashSet<T> = HashSet<T, FnvBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn fnv_matches_the_trace_hash() {
+        // The streaming Hasher over a u64's little-endian bytes must
+        // agree with the one-shot fnv1a accumulator — one definition of
+        // the workspace hash, two call shapes.
+        let v = 0x0123_4567_89AB_CDEFu64;
+        let mut h = Fnv64::default();
+        h.write(&v.to_le_bytes());
+        let mut acc = crate::FNV_OFFSET;
+        crate::fnv1a(&mut acc, v);
+        assert_eq!(h.finish(), acc);
+    }
+
+    #[test]
+    fn iteration_order_is_a_pure_function_of_insertion_sequence() {
+        let build = |keys: &[u64]| -> Vec<u64> {
+            let mut m = DetHashMap::default();
+            for &k in keys {
+                m.insert(k, ());
+            }
+            m.keys().copied().collect()
+        };
+        // Replaying the same insertion sequence rebuilds the same table,
+        // so iteration order is identical — across maps, runs, and
+        // processes. (RandomState cannot promise this even within one
+        // process: every map draws a fresh seed.)
+        let keys = [9u64, 1, 5, 1 << 40, 7];
+        assert_eq!(build(&keys), build(&keys));
+        let mut sorted = build(&keys);
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 5, 7, 9, 1 << 40]);
+    }
+
+    #[test]
+    fn hasher_is_stateless_across_instances() {
+        let h1 = FnvBuildHasher::default();
+        let h2 = FnvBuildHasher::default();
+        for x in [0u128, 1, u128::MAX, 0xDEAD_BEEF] {
+            assert_eq!(h1.hash_one(x), h2.hash_one(x));
+        }
+    }
+}

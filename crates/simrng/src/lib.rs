@@ -13,9 +13,11 @@
 //! Statistical quality far exceeds what the experiments need (memory-map
 //! generation, workload sampling).
 
+pub mod hash;
 mod splitmix;
 mod xoshiro;
 
+pub use hash::{DetHashMap, DetHashSet, Fnv64, FnvBuildHasher};
 pub use splitmix::SplitMix64;
 pub use xoshiro::Xoshiro256pp;
 
@@ -109,7 +111,7 @@ pub trait Rng {
             all.truncate(k);
             return all;
         }
-        let mut chosen = std::collections::HashSet::with_capacity(k * 2);
+        let mut chosen = DetHashSet::with_capacity_and_hasher(k * 2, FnvBuildHasher::default());
         let mut out = Vec::with_capacity(k);
         for j in (bound - k as u64)..bound {
             let t = self.below(j + 1);

@@ -180,7 +180,7 @@ const EXPECTED_TRACES: [(SchemeKind, &str); 3] = [
 #[test]
 fn golden_session_trace_hashes() {
     use pramsim::serve::{Service, ServiceConfig, SessionSpec, WorkloadSpec};
-    let svc = Service::start(ServiceConfig::with_shards(2));
+    let svc = Service::start(ServiceConfig::with_shards(2)).expect("spawn shard workers");
     let h = svc.handle();
     for (kind, expected) in EXPECTED_TRACES {
         let open = h
