@@ -26,6 +26,10 @@
 //!                                # drive a running server, report p99
 //! repro loadgen --quick --json-out load.json
 //!                                # CI-sized run, JSON row collected
+//! repro metrics --addr 127.0.0.1:7077
+//!                                # scrape the server's Prometheus text
+//! repro events --addr 127.0.0.1:7077 --sid 3 --out events.jsonl
+//!                                # dump the structured trace-event ring
 //! repro lint                     # workspace invariant lint (DESIGN.md §9)
 //! repro lint -D --json findings.json
 //!                                # CI form: warnings fail, findings dumped
@@ -50,6 +54,8 @@ fn usage(reg: &[(&str, &str, pram_bench::Runner)]) {
        repro serve [--addr HOST:PORT] [--shards N]\n\
        repro loadgen [--addr HOST:PORT] [--sessions K] [--conns T] \
          [--steps S] [--scheme NAME] [--seed S] [--quick] [--json-out PATH]\n\
+       repro metrics [--addr HOST:PORT] [--out PATH]\n\
+       repro events [--addr HOST:PORT] [--sid SID] [--out PATH]\n\
        repro lint [--root PATH] [-D] [--json PATH] [--rules]"
     );
     eprintln!("  --threads N    parallel sweep driver: E15 measures its");
@@ -112,6 +118,68 @@ fn cmd_serve(args: &[String]) -> ! {
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));
     }
+}
+
+/// `repro metrics` / `repro events`: scrape a running server's
+/// observability surface (`METRICS` → Prometheus text, `EVENTS [sid]` →
+/// JSONL) and print or save the payload.
+fn cmd_scrape(verb: &str, args: &[String]) -> ! {
+    let mut addr = "127.0.0.1:7077".to_string();
+    let mut sid: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut take = |what: &str| -> String {
+            i += 1;
+            args.get(i).cloned().unwrap_or_else(|| {
+                eprintln!("{flag} needs {what}");
+                std::process::exit(2);
+            })
+        };
+        match flag {
+            "--addr" => addr = take("host:port"),
+            "--sid" if verb == "events" => {
+                let v = take("a session id");
+                if v.parse::<u64>().is_err() {
+                    eprintln!("--sid needs a u64");
+                    std::process::exit(2);
+                }
+                sid = Some(v);
+            }
+            "--out" => out = Some(take("a path")),
+            other => {
+                eprintln!(
+                    "repro {verb}: unknown flag {other} (--addr{}, --out)",
+                    if verb == "events" { ", --sid" } else { "" }
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let command = match (verb, &sid) {
+        ("metrics", _) => "METRICS".to_string(),
+        (_, Some(s)) => format!("EVENTS {s}"),
+        (_, None) => "EVENTS".to_string(),
+    };
+    let (header, payload) = loadgen::scrape(&addr, &command).unwrap_or_else(|e| {
+        eprintln!("repro {verb}: {e}");
+        std::process::exit(1);
+    });
+    let body = payload.join("\n");
+    if let Some(path) = out {
+        let trailing = if body.is_empty() { "" } else { "\n" };
+        std::fs::write(&path, format!("{body}{trailing}")).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("wrote {} line(s) to {path}", payload.len());
+    } else {
+        println!("{body}");
+    }
+    eprintln!("{header}");
+    std::process::exit(0);
 }
 
 /// `repro lint`: run the workspace invariant linter (same engine as the
@@ -274,6 +342,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("serve") => cmd_serve(&args[1..]),
         Some("loadgen") => cmd_loadgen(&args[1..]),
+        Some(verb @ ("metrics" | "events")) => cmd_scrape(verb, &args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
         _ => {}
     }
@@ -375,6 +444,8 @@ fn main() {
                 println!("subcommands (as the first argument):");
                 println!("  serve        boot the sharded TCP session service (cr-serve)");
                 println!("  loadgen      drive a running server: K sessions over T conns");
+                println!("  metrics      scrape a running server's Prometheus exposition");
+                println!("  events       dump a running server's trace-event ring as JSONL");
                 println!("  lint         workspace invariant linter (cr-lint; see --rules)");
                 return;
             }

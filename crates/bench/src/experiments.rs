@@ -925,6 +925,11 @@ pub mod throughput {
         pub phases_per_step: f64,
         /// Mean network cycles per timed step.
         pub cycles_per_step: f64,
+        /// Of those, cycles attributed to protocol stage 1 (zero for
+        /// schemes without the two-stage access protocol).
+        pub stage1_cycles_per_step: f64,
+        /// Cycles attributed to stage 2 (`cycles - stage1`).
+        pub stage2_cycles_per_step: f64,
         /// Mean messages per timed step.
         pub messages_per_step: f64,
         /// Mean heap allocations per timed step; `-1` when the counting
@@ -945,7 +950,8 @@ pub mod throughput {
                 concat!(
                     "{{\"experiment\":\"E15\",\"scheme\":\"{}\",\"n\":{},\"m\":{},",
                     "\"steps\":{},\"steps_per_sec\":{:.2},\"phases_per_step\":{:.2},",
-                    "\"cycles_per_step\":{:.2},\"messages_per_step\":{:.2},",
+                    "\"cycles_per_step\":{:.2},\"stage1_cycles_per_step\":{:.2},",
+                    "\"stage2_cycles_per_step\":{:.2},\"messages_per_step\":{:.2},",
                     "\"allocs_per_step\":{:.2},\"p50_us\":{:.2},\"p99_us\":{:.2}}}"
                 ),
                 self.scheme,
@@ -955,6 +961,8 @@ pub mod throughput {
                 self.steps_per_sec,
                 self.phases_per_step,
                 self.cycles_per_step,
+                self.stage1_cycles_per_step,
+                self.stage2_cycles_per_step,
                 self.messages_per_step,
                 self.allocs_per_step,
                 self.p50_us,
@@ -1055,6 +1063,11 @@ pub mod throughput {
             done += steps;
         }
         let elapsed = t0.elapsed().as_secs_f64().max(1e-9);
+        let cycles_per_step = (tot.cycles - tot0.cycles) as f64 / timed;
+        // Stage attribution from the protocol totals (the same counters
+        // the serving layer exports as cr_stage{1,2}_cycles_total).
+        let stage1_cycles_per_step =
+            (tot.protocol.stage1_cycles - tot0.protocol.stage1_cycles) as f64 / timed;
         ThroughputRow {
             scheme: kind.name(),
             n,
@@ -1062,7 +1075,9 @@ pub mod throughput {
             steps: done,
             steps_per_sec: done as f64 / elapsed,
             phases_per_step: (tot.phases - tot0.phases) as f64 / timed,
-            cycles_per_step: (tot.cycles - tot0.cycles) as f64 / timed,
+            cycles_per_step,
+            stage1_cycles_per_step,
+            stage2_cycles_per_step: cycles_per_step - stage1_cycles_per_step,
             messages_per_step: (tot.messages - tot0.messages) as f64 / timed,
             allocs_per_step: if metrics::counting::is_active() {
                 allocs as f64 / timed
@@ -1118,6 +1133,8 @@ pub mod throughput {
             "steps/sec",
             "phases/step",
             "cycles/step",
+            "s1cyc/step",
+            "s2cyc/step",
             "msgs/step",
             "allocs/step",
             "p50 us",
@@ -1133,6 +1150,8 @@ pub mod throughput {
                 fnum(r.steps_per_sec),
                 fnum(r.phases_per_step),
                 fnum(r.cycles_per_step),
+                fnum(r.stage1_cycles_per_step),
+                fnum(r.stage2_cycles_per_step),
                 fnum(r.messages_per_step),
                 if r.allocs_per_step < 0.0 {
                     "n/a".to_string()
@@ -1148,7 +1167,9 @@ pub mod throughput {
         format!(
             "E15: data-plane throughput (uniform steps, m = 4n, seed {},\n\
              {} thread(s){}). steps/sec is wall-clock; phases/cycles/messages\n\
-             are the engine's own deterministic counters; allocs/step needs\n\
+             are the engine's own deterministic counters; s1cyc/s2cyc split\n\
+             the cycles between the two protocol stages (zero stage 1 for\n\
+             schemes without the two-stage protocol); allocs/step needs\n\
              the counting allocator (installed by the repro binary).\n{}\njson:\n{}",
             ctx.seed,
             ctx.threads.max(1),
@@ -1255,6 +1276,11 @@ pub mod serve {
         pub p50_us: f64,
         /// 99th-percentile per-step latency (µs).
         pub p99_us: f64,
+        /// Stage-1 cycles over the window, from the service's
+        /// `cr_stage1_cycles_total` metric (aggregate over shards).
+        pub stage1_cycles: u64,
+        /// Stage-2 cycles over the window (`cr_stage2_cycles_total`).
+        pub stage2_cycles: u64,
     }
 
     impl ServeRow {
@@ -1264,7 +1290,8 @@ pub mod serve {
                 concat!(
                     "{{\"experiment\":\"E16\",\"scheme\":\"{}\",\"shards\":{},",
                     "\"sessions\":{},\"n\":{},\"m\":{},\"steps\":{},",
-                    "\"steps_per_sec\":{:.2},\"p50_us\":{:.2},\"p99_us\":{:.2}}}"
+                    "\"steps_per_sec\":{:.2},\"p50_us\":{:.2},\"p99_us\":{:.2},",
+                    "\"stage1_cycles\":{},\"stage2_cycles\":{}}}"
                 ),
                 self.scheme,
                 self.shards,
@@ -1275,6 +1302,8 @@ pub mod serve {
                 self.steps_per_sec,
                 self.p50_us,
                 self.p99_us,
+                self.stage1_cycles,
+                self.stage2_cycles,
             )
         }
     }
@@ -1334,6 +1363,10 @@ pub mod serve {
         let info = h.info().expect("service is up");
         assert_eq!(info.sessions, sessions, "all sessions stayed live");
         let steps = sessions as u64 * STEPS_PER_SESSION;
+        // Cycle attribution comes straight off the service's metrics
+        // registry — the same counters METRICS exports as
+        // cr_stage{1,2}_cycles_total, summed across shards.
+        let reg = h.registry();
         let row = ServeRow {
             scheme: kind.name(),
             shards,
@@ -1342,6 +1375,8 @@ pub mod serve {
             steps_per_sec: steps as f64 / elapsed,
             p50_us: info.latency.p50() as f64 / 1e3,
             p99_us: info.latency.p99() as f64 / 1e3,
+            stage1_cycles: reg.total("cr_stage1_cycles_total").unwrap_or(0),
+            stage2_cycles: reg.total("cr_stage2_cycles_total").unwrap_or(0),
         };
         service.shutdown();
         row
@@ -1383,6 +1418,33 @@ pub mod serve {
             json.push_str(&r.to_json());
             json.push('\n');
         }
+        // Per-phase cycle attribution, read off the service's metrics
+        // registry (shard-count-invariant in aggregate): where each grid
+        // point's simulated network cycles actually went.
+        let mut attr = Table::new(vec![
+            "scheme",
+            "shards",
+            "sessions",
+            "s1cyc/step",
+            "s2cyc/step",
+            "stage1 %",
+        ]);
+        for r in rows {
+            let steps = (r.steps as f64).max(1.0);
+            let total = (r.stage1_cycles + r.stage2_cycles) as f64;
+            attr.row(vec![
+                r.scheme.to_string(),
+                r.shards.to_string(),
+                r.sessions.to_string(),
+                fnum(r.stage1_cycles as f64 / steps),
+                fnum(r.stage2_cycles as f64 / steps),
+                if total > 0.0 {
+                    format!("{:.1}", 100.0 * r.stage1_cycles as f64 / total)
+                } else {
+                    "n/a".to_string()
+                },
+            ]);
+        }
         let skipped: Vec<&str> = ctx
             .schemes
             .iter()
@@ -1394,7 +1456,8 @@ pub mod serve {
              multiplexed over the sharded session service, driven in-process\n\
              by {DRIVERS} client threads, {} steps/session (seed {}{}).\n\
              Latency quantiles come from the per-shard fixed-bucket\n\
-             histograms, merged.{}\n{}\njson:\n{}",
+             histograms, merged.{}\n{}\n\n\
+             cycle attribution (from the cr_stage*_cycles_total metrics):\n{}\njson:\n{}",
             SESSION_N,
             SESSION_M,
             STEPS_PER_SESSION,
@@ -1409,6 +1472,7 @@ pub mod serve {
                 )
             },
             t.render(),
+            attr.render(),
             json
         )
     }

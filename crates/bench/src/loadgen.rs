@@ -159,6 +159,31 @@ impl Conn {
             Err(format!("server replied: {reply} (to: {line})"))
         }
     }
+
+    /// Round-trip a command whose reply header announces `lines=K`
+    /// payload lines (`INFO`, `METRICS`, `EVENTS`); drains exactly K.
+    fn roundtrip_multi(&mut self, line: &str) -> Result<(String, Vec<String>), String> {
+        let header = self.roundtrip(line)?;
+        let count: usize = reply_field(&header, "lines")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("no lines= in: {header}"))?;
+        let mut payload = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut l = String::new();
+            self.reader
+                .read_line(&mut l)
+                .map_err(|e| format!("recv payload: {e}"))?;
+            payload.push(l.trim_end().to_string());
+        }
+        Ok((header, payload))
+    }
+}
+
+/// One-shot scrape of a multi-line verb (`METRICS`, `EVENTS [sid]`,
+/// `INFO`) against a running server: returns the header line and the
+/// payload lines it announced. Behind `repro metrics` / `repro events`.
+pub fn scrape(addr: &str, command: &str) -> Result<(String, Vec<String>), String> {
+    Conn::connect(addr)?.roundtrip_multi(command)
 }
 
 /// Pull `key=value` out of a reply line.
@@ -259,7 +284,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
     // histogram behind p50/p99 covers the server's lifetime — against a
     // fresh server (CI smoke, benches) that is exactly this run.
     let mut conn = Conn::connect(&cfg.addr)?;
-    let info = conn.roundtrip("INFO")?;
+    let (info, _per_shard) = conn.roundtrip_multi("INFO")?;
     let get = |key: &str| -> Result<f64, String> {
         reply_field(&info, key)
             .and_then(|v| v.parse::<f64>().ok())

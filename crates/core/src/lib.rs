@@ -46,5 +46,5 @@ pub use config::SchemeConfig;
 pub use hashed::HashedDmmpc;
 pub use ida_scheme::IdaShared;
 pub use majority::{MajorityScheme, StepReport};
-pub use scheme::{BuildError, Scheme, SchemeKind, SchemeParams, SimBuilder};
+pub use scheme::{BuildError, FaultTotals, Scheme, SchemeKind, SchemeParams, SimBuilder};
 pub use schemes::{Hp2dmotLeaves, HpDmmpc, Lpp2dmot, UwMpc};

@@ -200,6 +200,7 @@ impl<E: PhaseExecutor, P: CopyPlacement> SharedMemory for MajorityScheme<E, P> {
         self.total.phases += report.phases;
         self.total.cycles += report.cycles;
         self.total.messages += report.messages;
+        self.total.protocol.accumulate(&report.protocol);
         self.steps += 1;
 
         AccessResult {

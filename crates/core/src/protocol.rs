@@ -111,6 +111,10 @@ pub struct ProtocolStats {
     pub cycles: u64,
     /// Total messages/hops.
     pub messages: u64,
+    /// Network cycles spent in stage 1 (stage 2 = `cycles - stage1_cycles`).
+    pub stage1_cycles: u64,
+    /// Messages sent in stage 1 (stage 2 = `messages - stage1_messages`).
+    pub stage1_messages: u64,
     /// Requests still live when stage 1 ended.
     pub stage1_leftover: usize,
     /// Copy attempts that lost a contention race.
@@ -130,6 +134,22 @@ impl ProtocolStats {
     /// Total phases across both stages.
     pub fn phases(&self) -> u64 {
         self.stage1_phases + self.stage2_phases
+    }
+
+    /// Fold another step's stats into this accumulator (field-wise sums;
+    /// `stage1_leftover` and `failed_requests` saturate rather than wrap).
+    pub fn accumulate(&mut self, other: &ProtocolStats) {
+        self.stage1_phases += other.stage1_phases;
+        self.stage2_phases += other.stage2_phases;
+        self.cycles += other.cycles;
+        self.messages += other.messages;
+        self.stage1_cycles += other.stage1_cycles;
+        self.stage1_messages += other.stage1_messages;
+        self.stage1_leftover = self.stage1_leftover.saturating_add(other.stage1_leftover);
+        self.killed_attempts += other.killed_attempts;
+        self.dead_attempts += other.dead_attempts;
+        self.failed_requests = self.failed_requests.saturating_add(other.failed_requests);
+        self.copies_accessed += other.copies_accessed;
     }
 }
 
@@ -514,6 +534,10 @@ pub fn run_protocol<E: PhaseExecutor>(
         stats.stage1_phases += 1;
     }
     stats.stage1_leftover = (0..requests.len()).filter(|&i| state.live(i)).count();
+    // Per-stage attribution seam (DESIGN.md §10): everything counted so
+    // far belongs to stage 1; stage 2 is the difference at the end.
+    stats.stage1_cycles = stats.cycles;
+    stats.stage1_messages = stats.messages;
 
     // Stage 2: run to completion with pipelining. Termination: on a
     // fault-free machine every phase with work serves at least one attempt

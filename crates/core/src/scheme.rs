@@ -161,6 +161,27 @@ pub trait Scheme: SharedMemory + fmt::Debug + Send {
 
     /// Configuration snapshot.
     fn params(&self) -> SchemeParams;
+
+    /// Running fault-exposure counters, for schemes that inject faults
+    /// (`cr-faults`' `FaultyScheme` overrides this). `None` means the
+    /// scheme is fault-free and has nothing to report — callers use this
+    /// to decide whether to emit fault events.
+    fn fault_counters(&self) -> Option<FaultTotals> {
+        None
+    }
+}
+
+/// Cumulative fault-exposure counters of a fault-injecting scheme
+/// (absolute values since construction; callers diff successive reads to
+/// get per-command deltas).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultTotals {
+    /// Copy-access attempts that hit a dead module or link.
+    pub dead_attempts: u64,
+    /// Messages dropped by the faulty network.
+    pub dropped_messages: u64,
+    /// Memory modules declared permanently dead.
+    pub dead_modules: u64,
 }
 
 /// Why a [`SimBuilder`] configuration cannot be realized.

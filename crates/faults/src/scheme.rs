@@ -24,8 +24,8 @@ use cr_core::executors::{BipartiteExec, MotExec};
 use cr_core::majority::{MajorityScheme, StepReport};
 use cr_core::protocol::{FlatPlacement, GridPlacement};
 use cr_core::{
-    BuildError, HashedDmmpc, Hp2dmotLeaves, IdaShared, Lpp2dmot, Scheme, SchemeKind, SchemeParams,
-    SimBuilder,
+    BuildError, FaultTotals, HashedDmmpc, Hp2dmotLeaves, IdaShared, Lpp2dmot, Scheme, SchemeKind,
+    SchemeParams, SimBuilder,
 };
 use memdist::MemoryMap;
 use pram_machine::{AccessResult, SharedMemory, Word};
@@ -548,5 +548,14 @@ impl Scheme for FaultyScheme {
 
     fn params(&self) -> SchemeParams {
         self.baseline.params()
+    }
+
+    fn fault_counters(&self) -> Option<FaultTotals> {
+        let (dead_attempts, dropped_messages) = self.engine.exec_stats();
+        Some(FaultTotals {
+            dead_attempts,
+            dropped_messages,
+            dead_modules: self.report.dead_modules as u64,
+        })
     }
 }

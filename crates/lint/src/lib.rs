@@ -44,6 +44,7 @@ pub const DATA_PLANE_CRATES: &[&str] = &[
     "workloads",
     "simrng",
     "server",
+    "obs",
 ];
 
 /// Files on the serving path that must be panic-free (repo-relative).
@@ -191,6 +192,11 @@ mod tests {
             !context_for("crates/server/src/session.rs")
                 .unwrap()
                 .panic_free
+        );
+        assert!(
+            context_for("crates/obs/src/handles.rs")
+                .unwrap()
+                .determinism
         );
         assert!(context_for("crates/bench/src/experiments.rs").is_none());
         assert!(context_for("crates/core/tests/x.rs").is_none());

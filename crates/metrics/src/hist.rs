@@ -43,8 +43,11 @@ impl Default for Histogram {
 }
 
 /// Bucket index of a value: 0 for 0, else `floor(log2 v) + 1`, capped.
+/// Public so lock-free recorders (e.g. `cr-obs`'s shared histogram) can
+/// bucket identically and later rebuild a [`Histogram`] via
+/// [`Histogram::from_parts`].
 #[inline]
-fn bucket_of(value: u64) -> usize {
+pub fn bucket_of(value: u64) -> usize {
     if value == 0 {
         0
     } else {
@@ -61,6 +64,25 @@ impl Histogram {
             sum: 0,
             min: u64::MAX,
             max: 0,
+        }
+    }
+
+    /// Rebuild a histogram from externally accumulated parts — the bridge
+    /// for lock-free recorders that keep per-bucket atomic counters (and
+    /// exact `sum`/`min`/`max`) and snapshot them into a mergeable
+    /// [`Histogram`] on read. `count` is derived from the bucket counts;
+    /// an empty snapshot yields exactly [`Histogram::new`].
+    pub fn from_parts(counts: [u64; BUCKETS], sum: u128, min: u64, max: u64) -> Self {
+        let count: u64 = counts.iter().sum();
+        if count == 0 {
+            return Histogram::new();
+        }
+        Histogram {
+            counts,
+            count,
+            sum,
+            min,
+            max,
         }
     }
 
@@ -257,6 +279,26 @@ mod tests {
         a.merge(&b);
         assert_eq!(a, all);
         assert_eq!(a.p99(), all.p99());
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let mut h = Histogram::new();
+        let mut counts = [0u64; BUCKETS];
+        let (mut sum, mut min, mut max) = (0u128, u64::MAX, 0u64);
+        for v in [0u64, 1, 7, 300, 4096, 4097, u64::MAX] {
+            h.record(v);
+            counts[bucket_of(v)] += 1;
+            sum += v as u128;
+            min = min.min(v);
+            max = max.max(v);
+        }
+        assert_eq!(Histogram::from_parts(counts, sum, min, max), h);
+        // Empty parts yield exactly the canonical empty histogram.
+        assert_eq!(
+            Histogram::from_parts([0; BUCKETS], 0, u64::MAX, 0),
+            Histogram::new()
+        );
     }
 
     #[test]

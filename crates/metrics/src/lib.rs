@@ -12,7 +12,7 @@
 pub mod counting;
 pub mod hist;
 
-pub use hist::Histogram;
+pub use hist::{bucket_of, Histogram, BUCKETS};
 
 /// Basic descriptive statistics of a sample.
 #[derive(Debug, Clone, Copy, PartialEq)]

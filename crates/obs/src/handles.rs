@@ -1,0 +1,235 @@
+//! Lock-free metric handles: [`Counter`], [`Gauge`], [`SharedHistogram`].
+//!
+//! Each handle is a cheap clone of an `Arc` around relaxed atomics. The
+//! shard worker owns one clone and records into it from the hot loop; the
+//! registry owns the other and reads it at exposition time. Record paths
+//! are marked `// lint: hot` — they may not allocate, and they don't:
+//! recording is a handful of relaxed atomic RMWs.
+//!
+//! Relaxed ordering is sufficient because exposition is a *statistical*
+//! read: each individual counter is internally consistent (atomic RMW),
+//! and cross-metric skew of a few in-flight increments is invisible at
+//! scrape granularity. Determinism of the `METRICS` text under a fixed
+//! seed comes from quiescence: tests scrape after all steps complete, at
+//! which point every store is visible via the channel round-trips'
+//! acquire/release edges.
+
+use metrics::{bucket_of, Histogram, BUCKETS};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing `u64` counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Counter {
+        Counter(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Increment by one.
+    // lint: hot
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    // lint: hot
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A `u64` gauge that can move both ways (live sessions, queue depth).
+///
+/// `add`/`sub` return the *previous* value so callers can detect
+/// threshold crossings (e.g. "the queue was full when this command was
+/// enqueued") without a second load racing the update.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Add `n`; returns the previous value.
+    // lint: hot
+    #[inline]
+    pub fn add(&self, n: u64) -> u64 {
+        self.0.fetch_add(n, Ordering::Relaxed)
+    }
+
+    /// Subtract `n` (saturating at zero); returns the previous value.
+    // lint: hot
+    #[inline]
+    pub fn sub(&self, n: u64) -> u64 {
+        let mut prev = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = prev.saturating_sub(n);
+            match self
+                .0
+                .compare_exchange_weak(prev, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(p) => return p,
+                Err(p) => prev = p,
+            }
+        }
+    }
+
+    /// Overwrite the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The atomic cells behind a [`SharedHistogram`].
+#[derive(Debug)]
+struct HistCells {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A lock-free recorder over the same 64 power-of-two buckets as
+/// [`metrics::Histogram`]. Shard threads `record` into it without
+/// locking or allocating; readers [`snapshot`](SharedHistogram::snapshot)
+/// it into a plain mergeable [`Histogram`] (bucket-exact: snapshotting
+/// after quiescence equals having recorded every sample into one
+/// histogram directly).
+#[derive(Debug, Clone)]
+pub struct SharedHistogram {
+    inner: Arc<HistCells>,
+}
+
+impl Default for SharedHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SharedHistogram {
+    /// A fresh, empty shared histogram.
+    pub fn new() -> SharedHistogram {
+        SharedHistogram {
+            inner: Arc::new(HistCells {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                sum: AtomicU64::new(0),
+                min: AtomicU64::new(u64::MAX),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Record one sample (typically a latency in nanoseconds).
+    // lint: hot
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let cells = &*self.inner;
+        cells.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        cells.sum.fetch_add(value, Ordering::Relaxed);
+        cells.min.fetch_min(value, Ordering::Relaxed);
+        cells.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.inner
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Materialize the current contents as a mergeable [`Histogram`].
+    pub fn snapshot(&self) -> Histogram {
+        let cells = &*self.inner;
+        let counts: [u64; BUCKETS] =
+            std::array::from_fn(|i| cells.buckets[i].load(Ordering::Relaxed));
+        Histogram::from_parts(
+            counts,
+            cells.sum.load(Ordering::Relaxed) as u128,
+            cells.min.load(Ordering::Relaxed),
+            cells.max.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let c2 = c.clone();
+        c2.inc();
+        assert_eq!(c.get(), 43, "clones share the cell");
+
+        let g = Gauge::new();
+        assert_eq!(g.add(5), 0, "add returns the previous value");
+        assert_eq!(g.sub(2), 5, "sub returns the previous value");
+        assert_eq!(g.get(), 3);
+        assert_eq!(g.sub(100), 3);
+        assert_eq!(g.get(), 0, "sub saturates at zero");
+        g.set(7);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn shared_histogram_matches_plain_histogram() {
+        let sh = SharedHistogram::new();
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 3, 100, 4096, 123_456_789] {
+            sh.record(v);
+            h.record(v);
+        }
+        assert_eq!(sh.count(), 6);
+        assert_eq!(sh.snapshot(), h);
+        assert_eq!(sh.snapshot().p99(), h.p99());
+    }
+
+    #[test]
+    fn empty_snapshot_is_canonical_empty() {
+        let sh = SharedHistogram::new();
+        assert_eq!(sh.snapshot(), Histogram::new());
+        assert_eq!(sh.count(), 0);
+    }
+
+    #[test]
+    fn concurrent_records_are_all_counted() {
+        let sh = SharedHistogram::new();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let sh = sh.clone();
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        sh.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        let snap = sh.snapshot();
+        assert_eq!(snap.count(), 4000);
+        assert_eq!(snap.min(), 0);
+        assert_eq!(snap.max(), 3999);
+    }
+}

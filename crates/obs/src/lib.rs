@@ -1,0 +1,32 @@
+//! `cr-obs` — observability for the serving layer (DESIGN.md §10).
+//!
+//! The paper's constant-redundancy guarantee is a claim about per-step
+//! cost distributions, so the serving layer needs a window into *what
+//! every session did and when* that is as deterministic as the
+//! simulation itself. This crate provides the two halves:
+//!
+//! * **Metrics** ([`handles`], [`registry`]) — preregistered
+//!   [`Counter`]/[`Gauge`]/[`SharedHistogram`] handles recorded lock-free
+//!   on shard threads (relaxed atomics, no allocation — the record paths
+//!   pass `cr-lint`'s `hot-alloc` rule) and merged on read by a
+//!   [`Registry`] that renders Prometheus-style exposition text for the
+//!   `METRICS` verb and `repro metrics`.
+//! * **Events** ([`events`]) — per-shard fixed-capacity ring buffers of
+//!   compact structured [`Event`]s (open/step/evict/close, queue-full
+//!   drops, fault injections) stamped with `SimClock` ticks, so a trace
+//!   taken under a manual clock is byte-identical run over run and
+//!   shard-count-invariant in aggregate. The `EVENTS` verb and
+//!   `repro events` dump them as JSONL.
+//!
+//! The crate is part of the determinism-governed set: nothing here reads
+//! wall-clock time or ambient randomness — ticks are handed in by the
+//! caller, which gets them from the one sanctioned seam
+//! (`cr_core::clock::SimClock`).
+
+pub mod events;
+pub mod handles;
+pub mod registry;
+
+pub use events::{Event, EventKind, EventRing};
+pub use handles::{Counter, Gauge, SharedHistogram};
+pub use registry::{Registry, RegistryBuilder};

@@ -20,8 +20,16 @@
 //! * [`tcp::Server`] — the newline-framed TCP front end
 //!   (`repro serve`);
 //! * [`protocol`] — the shared frame grammar (`OPEN`/`STEP`/`STATS`/
-//!   `TRACE`/`CLOSE`/`INFO`), so the wire protocol and the in-process API
-//!   cannot drift apart.
+//!   `TRACE`/`CLOSE`/`INFO`/`METRICS`/`EVENTS`), so the wire protocol and
+//!   the in-process API cannot drift apart.
+//!
+//! Observability (DESIGN.md §10) is built in: every shard records into
+//! preregistered `cr-obs` counters/gauges/histograms (merged and rendered
+//! as Prometheus text by `METRICS` / [`ServiceHandle::metrics_text`]) and
+//! into a fixed-capacity ring of structured trace events stamped with
+//! [`SimClock`] ticks (dumped as JSONL by `EVENTS` /
+//! [`ServiceHandle::events`]). Under a manual clock both surfaces are
+//! deterministic: same seed, same bytes, at any shard count.
 //!
 //! ```
 //! use cr_serve::{Service, ServiceConfig, SessionSpec, WorkloadSpec};
@@ -50,10 +58,11 @@ pub mod shard;
 pub mod tcp;
 
 pub use cr_core::clock::{SimClock, Tick};
+pub use cr_obs::{Event, EventKind, Registry, SharedHistogram};
 pub use error::ServeError;
 pub use service::{Service, ServiceConfig, ServiceHandle, ServiceInfo};
 pub use session::{
     Session, SessionSpec, SessionStats, StepSummary, WorkloadSpec, DEFAULT_MAX_STEPS, DEFAULT_TTL,
     MAX_SESSION_M, MAX_SESSION_N, MAX_STEP_BATCH,
 };
-pub use shard::{OpenInfo, ShardMetrics, TraceInfo, QUEUE_CAPACITY};
+pub use shard::{OpenInfo, ShardMetrics, TraceInfo, EVENTS_CAPACITY, QUEUE_CAPACITY};

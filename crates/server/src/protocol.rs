@@ -1,5 +1,4 @@
-//! The wire protocol: newline-framed text commands, one reply line per
-//! command.
+//! The wire protocol: newline-framed text commands.
 //!
 //! Grammar (tokens are space-separated; `[]` optional, `|` alternatives):
 //!
@@ -12,12 +11,19 @@
 //! TRACE <sid>
 //! CLOSE <sid>
 //! INFO
+//! METRICS
+//! EVENTS [sid]
 //! PING
 //! QUIT
 //! ```
 //!
-//! Replies are a single line: `OK <key=value ...>` or `ERR <message>`.
-//! Anything unparseable yields `ERR` and leaves the connection open — a
+//! Most replies are a single line: `OK <key=value ...>` or
+//! `ERR <message>`. Multi-line replies (`INFO`, `METRICS`, `EVENTS`)
+//! announce their payload in the header — `OK ... lines=<K>` — followed
+//! by exactly `K` payload lines, so a client always knows how much to
+//! read: Prometheus exposition text for `METRICS`, one JSON event per
+//! line for `EVENTS`, per-shard summaries for `INFO`. Anything
+//! unparseable yields `ERR` and leaves the connection open — a
 //! malformed frame must never take down a session or the server.
 
 use cr_core::SchemeKind;
@@ -51,6 +57,10 @@ pub enum Frame {
     Close(u64),
     /// Report service-wide counters.
     Info,
+    /// Dump the metrics registry as Prometheus exposition text.
+    Metrics,
+    /// Dump trace events (all sessions, or one) as JSONL.
+    Events(Option<u64>),
     /// Liveness probe.
     Ping,
     /// Close the connection.
@@ -186,10 +196,16 @@ pub fn parse(line: &str) -> Result<Frame, String> {
             "sid",
         )?)),
         "INFO" => Ok(Frame::Info),
+        "METRICS" => Ok(Frame::Metrics),
+        "EVENTS" => Ok(Frame::Events(match toks.first() {
+            Some(tok) => Some(parse_u64(tok, "sid")?),
+            None => None,
+        })),
         "PING" => Ok(Frame::Ping),
         "QUIT" => Ok(Frame::Quit),
         other => Err(format!(
-            "unknown command {other} (OPEN, STEP, STATS, TRACE, CLOSE, INFO, PING, QUIT)"
+            "unknown command {other} (OPEN, STEP, STATS, TRACE, CLOSE, INFO, \
+             METRICS, EVENTS, PING, QUIT)"
         )),
     }
 }
@@ -205,8 +221,15 @@ pub fn render_open(info: &OpenInfo) -> String {
 /// Render a `STEP` reply.
 pub fn render_step(sum: &StepSummary) -> String {
     format!(
-        "OK executed={} steps={} phases={} cycles={} messages={} exhausted={}",
-        sum.executed, sum.total_steps, sum.phases, sum.cycles, sum.messages, sum.exhausted
+        "OK executed={} steps={} phases={} cycles={} messages={} s1cyc={} s2cyc={} exhausted={}",
+        sum.executed,
+        sum.total_steps,
+        sum.phases,
+        sum.cycles,
+        sum.messages,
+        sum.stage1_cycles,
+        sum.stage2_cycles,
+        sum.exhausted
     )
 }
 
@@ -231,11 +254,14 @@ pub fn render_close(t: &TraceInfo) -> String {
     )
 }
 
-/// Render an `INFO` reply (latencies in microseconds).
+/// Render an `INFO` reply (latencies in microseconds): the merged header
+/// line, then one `lines=`-announced payload line per shard so hot-shard
+/// skew (sessions, steps, tail latency) is visible without scraping
+/// `METRICS`.
 pub fn render_info(info: &ServiceInfo) -> String {
-    format!(
+    let mut out = format!(
         "OK shards={} sessions={} opened={} closed={} evicted={} steps={} \
-         queue-max={} p50us={:.1} p99us={:.1}",
+         queue-max={} p50us={:.1} p99us={:.1} lines={}",
         info.shards,
         info.sessions,
         info.opened,
@@ -245,7 +271,40 @@ pub fn render_info(info: &ServiceInfo) -> String {
         info.queue_depth_max,
         info.latency.p50() as f64 / 1e3,
         info.latency.p99() as f64 / 1e3,
-    )
+        info.per_shard.len(),
+    );
+    for m in &info.per_shard {
+        out.push_str(&format!(
+            "\nshard={} sessions={} steps={} queue={} p50us={:.1} p99us={:.1}",
+            m.shard,
+            m.sessions,
+            m.steps,
+            m.queue_depth,
+            m.latency.p50() as f64 / 1e3,
+            m.latency.p99() as f64 / 1e3,
+        ));
+    }
+    out
+}
+
+/// Render a `METRICS` reply: `OK lines=<K>` then the exposition text.
+pub fn render_metrics(text: &str) -> String {
+    let body = text.trim_end_matches('\n');
+    if body.is_empty() {
+        return "OK lines=0".to_string();
+    }
+    format!("OK lines={}\n{}", body.lines().count(), body)
+}
+
+/// Render an `EVENTS` reply: `OK events=<N> lines=<N>` then one JSON
+/// object per line.
+pub fn render_events(events: &[cr_obs::Event]) -> String {
+    let mut out = format!("OK events={} lines={}", events.len(), events.len());
+    for e in events {
+        out.push('\n');
+        out.push_str(&e.to_json());
+    }
+    out
 }
 
 /// Render an error reply.
@@ -266,6 +325,8 @@ pub fn execute(handle: &ServiceHandle, frame: Frame) -> Option<String> {
         Frame::Trace(sid) => handle.trace(sid).map(|t| render_trace(&t)),
         Frame::Close(sid) => handle.close(sid).map(|t| render_close(&t)),
         Frame::Info => handle.info().map(|i| render_info(&i)),
+        Frame::Metrics => Ok(render_metrics(&handle.metrics_text())),
+        Frame::Events(sid) => handle.events(sid).map(|evs| render_events(&evs)),
         Frame::Ping => Ok("OK pong".to_string()),
         Frame::Quit => return None,
     };
@@ -355,5 +416,47 @@ mod tests {
         assert_eq!(parse("ping").unwrap(), Frame::Ping);
         assert_eq!(parse("QUIT").unwrap(), Frame::Quit);
         assert_eq!(parse("STATS 12").unwrap(), Frame::Stats(12));
+        assert_eq!(parse("METRICS").unwrap(), Frame::Metrics);
+        assert_eq!(parse("EVENTS").unwrap(), Frame::Events(None));
+        assert_eq!(parse("events 42").unwrap(), Frame::Events(Some(42)));
+        assert!(parse("EVENTS nope").is_err());
+    }
+
+    #[test]
+    fn unknown_command_error_lists_every_verb() {
+        let err = parse("NOPE").unwrap_err();
+        for verb in [
+            "OPEN", "STEP", "STATS", "TRACE", "CLOSE", "INFO", "METRICS", "EVENTS", "PING", "QUIT",
+        ] {
+            assert!(err.contains(verb), "error omits {verb}: {err}");
+        }
+    }
+
+    #[test]
+    fn multiline_replies_announce_their_payload() {
+        let m = render_metrics("# HELP x y\n# TYPE x counter\nx 1\n");
+        let mut lines = m.lines();
+        assert_eq!(lines.next(), Some("OK lines=3"));
+        assert_eq!(lines.count(), 3);
+        assert_eq!(render_metrics(""), "OK lines=0");
+
+        use cr_obs::{Event, EventKind};
+        let evs = [Event {
+            tick: 1,
+            sid: 2,
+            kind: EventKind::Evict,
+            a: 3,
+            b: 0,
+            c: 0,
+            d: 0,
+        }];
+        let r = render_events(&evs);
+        let mut lines = r.lines();
+        assert_eq!(lines.next(), Some("OK events=1 lines=1"));
+        assert_eq!(
+            lines.next(),
+            Some("{\"tick\":1,\"sid\":2,\"kind\":\"evict\",\"steps\":3}")
+        );
+        assert_eq!(render_events(&[]), "OK events=0 lines=0");
     }
 }

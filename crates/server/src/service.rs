@@ -8,10 +8,17 @@
 //! handle is `Clone` — every load-generator thread and TCP connection
 //! clones its own set of queue senders and talks to the shards directly;
 //! there is no central dispatcher thread to bottleneck on.
+//!
+//! The service also owns the observability read side: one `cr-obs`
+//! [`Registry`] whose per-shard handles were dealt to the workers at
+//! start, rendered by [`ServiceHandle::metrics_text`] (the `METRICS`
+//! verb), and the cross-shard event merge behind
+//! [`ServiceHandle::events`] (the `EVENTS` verb).
 
 use cr_core::clock::SimClock;
+use cr_obs::{Event, Gauge, Registry, RegistryBuilder};
 use metrics::Histogram;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -19,7 +26,8 @@ use std::thread::JoinHandle;
 use crate::error::ServeError;
 use crate::session::{SessionSpec, SessionStats, StepSummary, WorkloadSpec};
 use crate::shard::{
-    spawn_shard, OpenInfo, Reply, ShardCmd, ShardMetrics, TraceInfo, QUEUE_CAPACITY,
+    spawn_shard, OpenInfo, Reply, ShardCmd, ShardMetrics, ShardObs, TraceInfo, EVENTS_CAPACITY,
+    QUEUE_CAPACITY,
 };
 
 /// Service-wide configuration.
@@ -29,6 +37,9 @@ pub struct ServiceConfig {
     pub shards: usize,
     /// Per-shard bounded queue capacity (the backpressure knob).
     pub queue_capacity: usize,
+    /// Per-shard event-ring capacity (most recent events kept for
+    /// `EVENTS`; the overflow is counted, not silently lost).
+    pub events_capacity: usize,
     /// Time source for session timestamps, step latency, and idle-TTL
     /// eviction. Real (monotonic) by default; tests inject
     /// [`SimClock::manual`] to drive eviction deterministically.
@@ -40,6 +51,7 @@ impl Default for ServiceConfig {
         ServiceConfig {
             shards: 4,
             queue_capacity: QUEUE_CAPACITY,
+            events_capacity: EVENTS_CAPACITY,
             clock: SimClock::monotonic(),
         }
     }
@@ -80,7 +92,8 @@ pub struct ServiceInfo {
 
 struct ShardLink {
     tx: SyncSender<ShardCmd>,
-    queue_depth: Arc<AtomicUsize>,
+    /// The same gauge the shard's worker decrements on dequeue.
+    queue_depth: Gauge,
 }
 
 /// The cheap, cloneable client face of the service.
@@ -88,6 +101,7 @@ struct ShardLink {
 pub struct ServiceHandle {
     shards: Arc<Vec<ShardLink>>,
     next_sid: Arc<AtomicU64>,
+    registry: Arc<Registry>,
 }
 
 /// The service itself: owns the shard worker threads. Dropping (or
@@ -103,23 +117,100 @@ impl Service {
     /// cleanly when the partially built `Service` drops.
     pub fn start(cfg: ServiceConfig) -> Result<Service, ServeError> {
         let shards = cfg.shards.max(1);
+        // Declare every metric family up front; each call hands back one
+        // handle per shard (dealt to the workers below), and the frozen
+        // registry reads the same cells at exposition time.
+        let mut reg = RegistryBuilder::new(shards);
+        let mut opened = reg
+            .counters("cr_sessions_opened_total", "Sessions opened")
+            .into_iter();
+        let mut closed = reg
+            .counters("cr_sessions_closed_total", "Sessions closed by clients")
+            .into_iter();
+        let mut evicted = reg
+            .counters("cr_sessions_evicted_total", "Sessions evicted by idle TTL")
+            .into_iter();
+        let mut steps = reg
+            .counters("cr_steps_total", "Simulation steps executed")
+            .into_iter();
+        let mut stage1_cycles = reg
+            .counters(
+                "cr_stage1_cycles_total",
+                "Network cycles spent in access-protocol stage 1",
+            )
+            .into_iter();
+        let mut stage2_cycles = reg
+            .counters(
+                "cr_stage2_cycles_total",
+                "Network cycles spent in access-protocol stage 2",
+            )
+            .into_iter();
+        let mut queue_full = reg
+            .counters(
+                "cr_queue_full_total",
+                "Commands dequeued while the shard queue was saturated",
+            )
+            .into_iter();
+        let mut faults = reg
+            .counters(
+                "cr_fault_events_total",
+                "STEP commands that exposed injected faults",
+            )
+            .into_iter();
+        let mut events_dropped = reg
+            .counters(
+                "cr_events_dropped_total",
+                "Trace events overwritten in a full ring",
+            )
+            .into_iter();
+        let mut sessions = reg.gauges("cr_sessions_live", "Live sessions").into_iter();
+        let mut queue_depth = reg
+            .gauges("cr_queue_depth", "Commands in flight per shard queue")
+            .into_iter();
+        let mut latency = reg
+            .histograms("cr_step_latency_ns", "Per-step latency in nanoseconds")
+            .into_iter();
+
         let mut links = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
         for shard in 0..shards {
             let (tx, rx) = sync_channel(cfg.queue_capacity.max(1));
-            let queue_depth = Arc::new(AtomicUsize::new(0));
+            // Every family iterator holds exactly `shards` handles, so
+            // these `next()` calls cannot actually miss; the defaults
+            // only keep this path panic-free by construction.
+            let obs = ShardObs {
+                opened: opened.next().unwrap_or_default(),
+                closed: closed.next().unwrap_or_default(),
+                evicted: evicted.next().unwrap_or_default(),
+                steps: steps.next().unwrap_or_default(),
+                stage1_cycles: stage1_cycles.next().unwrap_or_default(),
+                stage2_cycles: stage2_cycles.next().unwrap_or_default(),
+                queue_full: queue_full.next().unwrap_or_default(),
+                faults: faults.next().unwrap_or_default(),
+                events_dropped: events_dropped.next().unwrap_or_default(),
+                sessions: sessions.next().unwrap_or_default(),
+                queue_depth: queue_depth.next().unwrap_or_default(),
+                latency: latency.next().unwrap_or_default(),
+            };
+            let link_depth = obs.queue_depth.clone();
             workers.push(spawn_shard(
                 shard,
                 rx,
-                Arc::clone(&queue_depth),
+                obs,
+                cfg.queue_capacity.max(1),
+                cfg.events_capacity,
                 cfg.clock.clone(),
             )?);
-            links.push(ShardLink { tx, queue_depth });
+            links.push(ShardLink {
+                tx,
+                queue_depth: link_depth,
+            });
         }
         Ok(Service {
             handle: ServiceHandle {
                 shards: Arc::new(links),
                 next_sid: Arc::new(AtomicU64::new(1)),
+                registry: Arc::new(reg.build()),
             },
             workers,
         })
@@ -159,9 +250,9 @@ impl ServiceHandle {
     ) -> Result<Reply, ServeError> {
         let link = self.shards.get(shard).ok_or(ServeError::ShardDown)?;
         let (reply_tx, reply_rx) = sync_channel(1);
-        link.queue_depth.fetch_add(1, Ordering::Relaxed);
+        link.queue_depth.add(1);
         if link.tx.send(make(reply_tx)).is_err() {
-            link.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            link.queue_depth.sub(1);
             return Err(ServeError::ShardDown);
         }
         reply_rx.recv().map_err(|_| ServeError::ShardDown)?
@@ -217,6 +308,44 @@ impl ServiceHandle {
             Reply::Close(t) => Ok(t),
             _ => Err(ServeError::ShardDown),
         }
+    }
+
+    /// The live metrics registry (totals and merged histograms without
+    /// parsing the exposition text).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Prometheus-style text exposition of every registered family —
+    /// the `METRICS` verb's payload.
+    pub fn metrics_text(&self) -> String {
+        self.registry.render()
+    }
+
+    /// Structured trace events: one session's (`Some(sid)`, served by
+    /// its owning shard) or the whole service's (`None`: all shards,
+    /// stably sorted by sid). A session's events live on exactly one
+    /// shard in execution order, so the per-sid stream — and therefore
+    /// the stable-sorted merge — is shard-count-invariant.
+    pub fn events(&self, sid: Option<u64>) -> Result<Vec<Event>, ServeError> {
+        if let Some(s) = sid {
+            return match self.call(self.shard_of(s), |reply| ShardCmd::Events {
+                sid: Some(s),
+                reply,
+            })? {
+                Reply::Events(evs) => Ok(evs),
+                _ => Err(ServeError::ShardDown),
+            };
+        }
+        let mut all = Vec::new();
+        for shard in 0..self.shards.len() {
+            match self.call(shard, |reply| ShardCmd::Events { sid: None, reply })? {
+                Reply::Events(evs) => all.extend(evs),
+                _ => return Err(ServeError::ShardDown),
+            }
+        }
+        all.sort_by_key(|e| e.sid);
+        Ok(all)
     }
 
     /// Merged service-wide counters and latency histogram.

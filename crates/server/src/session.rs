@@ -12,9 +12,9 @@
 //! consistency checking over read/write traces.
 
 use cr_core::clock::{SimClock, Tick};
-use cr_core::{Scheme, SchemeKind, SimBuilder};
+use cr_core::{FaultTotals, Scheme, SchemeKind, SimBuilder};
 use cr_faults::{FaultPlan, FaultyBuilder};
-use metrics::Histogram;
+use cr_obs::SharedHistogram;
 use pram_machine::Word;
 use simrng::{fnv1a, rng_from_seed, Xoshiro256pp};
 use std::time::Duration;
@@ -132,6 +132,15 @@ pub struct StepSummary {
     pub cycles: u64,
     /// Messages consumed by this command.
     pub messages: u64,
+    /// Cycles attributed to protocol stage 1 (zero for schemes without
+    /// the two-stage access protocol).
+    pub stage1_cycles: u64,
+    /// Cycles attributed to stage 2 (`cycles - stage1_cycles`).
+    pub stage2_cycles: u64,
+    /// Dead copy-access attempts this command exposed (fault sessions).
+    pub dead_attempts: u64,
+    /// Messages the faulty network dropped during this command.
+    pub dropped_messages: u64,
     /// Whether the budget ran out mid-command (executed < requested).
     pub exhausted: bool,
 }
@@ -168,6 +177,9 @@ pub struct Session {
     trace: u64,
     /// Strided-workload offset (advances per step).
     stride_offset: usize,
+    /// Fault counters at the end of the previous command — the baseline
+    /// for per-command deltas ([`Scheme::fault_counters`] is cumulative).
+    fault_seen: FaultTotals,
     /// When a command last touched the session, on the owning shard's
     /// [`SimClock`] (the TTL sweeper compares against the same clock).
     last_touch: Tick,
@@ -224,9 +236,19 @@ impl Session {
             steps: 0,
             trace: simrng::FNV_OFFSET,
             stride_offset: 0,
+            fault_seen: FaultTotals::default(),
             spec,
             last_touch: now,
         })
+    }
+
+    /// Position of the session's scheme in [`SchemeKind::ALL`] — the
+    /// compact numeric tag the `open` trace event carries.
+    pub fn scheme_index(&self) -> u64 {
+        SchemeKind::ALL
+            .iter()
+            .position(|k| *k == self.spec.kind)
+            .map_or(0, |i| i as u64)
     }
 
     /// The spec the session was opened with.
@@ -314,7 +336,7 @@ impl Session {
         &mut self,
         workload: &WorkloadSpec,
         count: u64,
-        latency: &mut Histogram,
+        latency: &SharedHistogram,
         clock: &SimClock,
     ) -> Result<StepSummary, ServeError> {
         if count == 0 || count > MAX_STEP_BATCH {
@@ -342,6 +364,7 @@ impl Session {
         let mut phases = 0u64;
         let mut cycles = 0u64;
         let mut messages = 0u64;
+        let mut stage1_cycles = 0u64;
         for _ in 0..run {
             let t0 = clock.now();
             let res = match workload {
@@ -372,15 +395,35 @@ impl Session {
             phases += res.cost.phases;
             cycles += res.cost.cycles;
             messages += res.cost.messages;
+            stage1_cycles += self.scheme.last_step().protocol.stage1_cycles;
             self.steps += 1;
         }
         self.touch(clock.now());
+        // Per-command fault exposure: the scheme reports lifetime
+        // absolutes, so diff against what the previous command saw.
+        let (dead_attempts, dropped_messages) = match self.scheme.fault_counters() {
+            Some(t) => {
+                let d = (
+                    t.dead_attempts
+                        .saturating_sub(self.fault_seen.dead_attempts),
+                    t.dropped_messages
+                        .saturating_sub(self.fault_seen.dropped_messages),
+                );
+                self.fault_seen = t;
+                d
+            }
+            None => (0, 0),
+        };
         Ok(StepSummary {
             executed: run,
             total_steps: self.steps,
             phases,
             cycles,
             messages,
+            stage1_cycles,
+            stage2_cycles: cycles.saturating_sub(stage1_cycles),
+            dead_attempts,
+            dropped_messages,
             exhausted: run < count,
         })
     }
@@ -414,28 +457,24 @@ mod tests {
 
     #[test]
     fn same_spec_same_trace() {
-        let mut h = Histogram::new();
+        let h = SharedHistogram::new();
         let mut a = Session::open(spec(), Tick::ZERO).unwrap();
         let mut b = Session::open(spec(), Tick::ZERO).unwrap();
-        a.step(&WorkloadSpec::Uniform, 5, &mut h, &clock()).unwrap();
-        b.step(&WorkloadSpec::Uniform, 2, &mut h, &clock()).unwrap();
-        b.step(&WorkloadSpec::Uniform, 3, &mut h, &clock()).unwrap();
+        a.step(&WorkloadSpec::Uniform, 5, &h, &clock()).unwrap();
+        b.step(&WorkloadSpec::Uniform, 2, &h, &clock()).unwrap();
+        b.step(&WorkloadSpec::Uniform, 3, &h, &clock()).unwrap();
         assert_eq!(a.trace(), b.trace(), "batching must not change the trace");
         assert_eq!(a.stats().steps, 5);
     }
 
     #[test]
     fn budget_stops_mid_batch_then_refuses() {
-        let mut h = Histogram::new();
+        let h = SharedHistogram::new();
         let mut s = Session::open(spec().max_steps(3), Tick::ZERO).unwrap();
-        let sum = s
-            .step(&WorkloadSpec::Uniform, 10, &mut h, &clock())
-            .unwrap();
+        let sum = s.step(&WorkloadSpec::Uniform, 10, &h, &clock()).unwrap();
         assert_eq!(sum.executed, 3);
         assert!(sum.exhausted);
-        let err = s
-            .step(&WorkloadSpec::Uniform, 1, &mut h, &clock())
-            .unwrap_err();
+        let err = s.step(&WorkloadSpec::Uniform, 1, &h, &clock()).unwrap_err();
         assert!(matches!(err, ServeError::BudgetExhausted { .. }));
         // STATS stays valid after exhaustion.
         assert_eq!(s.stats().budget_left, 0);
@@ -443,14 +482,14 @@ mod tests {
 
     #[test]
     fn raw_batches_are_validated() {
-        let mut h = Histogram::new();
+        let h = SharedHistogram::new();
         let mut s = Session::open(spec(), Tick::ZERO).unwrap();
         let oob = WorkloadSpec::Raw {
             reads: vec![64],
             writes: vec![],
         };
         assert!(matches!(
-            s.step(&oob, 1, &mut h, &clock()),
+            s.step(&oob, 1, &h, &clock()),
             Err(ServeError::BadRequest(_))
         ));
         let dup = WorkloadSpec::Raw {
@@ -458,19 +497,19 @@ mod tests {
             writes: vec![(3, 1)],
         };
         assert!(matches!(
-            s.step(&dup, 1, &mut h, &clock()),
+            s.step(&dup, 1, &h, &clock()),
             Err(ServeError::BadRequest(_))
         ));
         let ok = WorkloadSpec::Raw {
             reads: vec![],
             writes: vec![(5, 42)],
         };
-        s.step(&ok, 1, &mut h, &clock()).unwrap();
+        s.step(&ok, 1, &h, &clock()).unwrap();
         let rd = WorkloadSpec::Raw {
             reads: vec![5],
             writes: vec![],
         };
-        s.step(&rd, 1, &mut h, &clock()).unwrap();
+        s.step(&rd, 1, &h, &clock()).unwrap();
         assert_eq!(s.stats().steps, 2);
     }
 
@@ -495,22 +534,22 @@ mod tests {
 
     #[test]
     fn faulty_sessions_build() {
-        let mut h = Histogram::new();
+        let h = SharedHistogram::new();
         let mut s = Session::open(spec().faults(0.125), Tick::ZERO).unwrap();
-        s.step(&WorkloadSpec::Uniform, 3, &mut h, &clock()).unwrap();
+        s.step(&WorkloadSpec::Uniform, 3, &h, &clock()).unwrap();
         assert_eq!(s.steps(), 3);
     }
 
     #[test]
     fn all_workload_kinds_step() {
-        let mut h = Histogram::new();
+        let h = SharedHistogram::new();
         let mut s = Session::open(spec(), Tick::ZERO).unwrap();
         for w in [
             WorkloadSpec::Uniform,
             WorkloadSpec::Hotspot,
             WorkloadSpec::Stride,
         ] {
-            s.step(&w, 2, &mut h, &clock()).unwrap();
+            s.step(&w, 2, &h, &clock()).unwrap();
         }
         assert_eq!(s.steps(), 6);
         assert_eq!(h.count(), 6);

@@ -9,13 +9,20 @@
 //! `sync_channel` with fixed capacity, so producers block (TCP
 //! connections, load generators) instead of the queue growing without
 //! bound; the queue-depth gauge is exported per shard.
+//!
+//! Observability (DESIGN.md §10) rides the same single-threaded loop:
+//! each worker owns one [`ShardObs`] bundle of preregistered `cr-obs`
+//! handles (recorded lock-free, merged by the registry on read) and one
+//! fixed-capacity [`EventRing`] of structured trace events stamped with
+//! the shard's [`SimClock`] ticks. Because a session lives on exactly one
+//! shard, its events land in one ring in execution order — the fact that
+//! makes `EVENTS <sid>` deterministic and shard-count-invariant.
 
 use cr_core::clock::{SimClock, Tick};
+use cr_obs::{Counter, Event, EventKind, EventRing, Gauge, SharedHistogram};
 use metrics::Histogram;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
-use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -24,6 +31,10 @@ use crate::session::{Session, SessionSpec, SessionStats, StepSummary, WorkloadSp
 
 /// Per-shard command-queue capacity (bounded: this is the backpressure).
 pub const QUEUE_CAPACITY: usize = 1024;
+
+/// Per-shard event-ring capacity: the most recent events kept for
+/// `EVENTS`; older ones are overwritten and counted as dropped.
+pub const EVENTS_CAPACITY: usize = 4096;
 
 /// How often an idle shard sweeps for TTL-expired sessions.
 pub const SWEEP_EVERY: Duration = Duration::from_millis(20);
@@ -75,6 +86,27 @@ pub struct ShardMetrics {
     pub latency: Histogram,
 }
 
+/// The preregistered `cr-obs` handles one shard worker records into.
+///
+/// Built by the service from a single `RegistryBuilder`, so the
+/// registry's read side (the `METRICS` verb) observes the same atomic
+/// cells the worker bumps — no name lookups anywhere near the hot loop.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardObs {
+    pub(crate) opened: Counter,
+    pub(crate) closed: Counter,
+    pub(crate) evicted: Counter,
+    pub(crate) steps: Counter,
+    pub(crate) stage1_cycles: Counter,
+    pub(crate) stage2_cycles: Counter,
+    pub(crate) queue_full: Counter,
+    pub(crate) faults: Counter,
+    pub(crate) events_dropped: Counter,
+    pub(crate) sessions: Gauge,
+    pub(crate) queue_depth: Gauge,
+    pub(crate) latency: SharedHistogram,
+}
+
 /// A reply to one shard command.
 #[derive(Debug, Clone)]
 pub(crate) enum Reply {
@@ -85,6 +117,7 @@ pub(crate) enum Reply {
     Close(TraceInfo),
     // Boxed: the histogram makes this variant ~20x the others' size.
     Metrics(Box<ShardMetrics>),
+    Events(Vec<Event>),
 }
 
 pub(crate) type ReplyTx = SyncSender<Result<Reply, ServeError>>;
@@ -118,6 +151,11 @@ pub(crate) enum ShardCmd {
     Metrics {
         reply: ReplyTx,
     },
+    Events {
+        /// `Some(sid)` filters to one session; `None` dumps the ring.
+        sid: Option<u64>,
+        reply: ReplyTx,
+    },
     Shutdown,
 }
 
@@ -127,33 +165,56 @@ struct ShardWorker {
     /// Ordered map: the TTL sweep and any future iteration visit
     /// sessions in sid order — deterministic, unlike a RandomState map.
     sessions: BTreeMap<u64, Session>,
-    opened: u64,
-    closed: u64,
-    evicted: u64,
-    steps: u64,
-    latency: Histogram,
-    queue_depth: Arc<AtomicUsize>,
+    obs: ShardObs,
+    /// Structured trace events, most recent `EVENTS_CAPACITY` kept.
+    ring: EventRing,
+    /// The queue capacity the service configured — the threshold for
+    /// queue-full detection at dequeue time.
+    queue_capacity: usize,
     /// The service's time seam: real in production, virtual in
     /// deterministic tests (`ServiceConfig::clock`).
     clock: SimClock,
 }
 
 impl ShardWorker {
+    /// Record one trace event, stamped with the shard's current tick.
+    fn event(&mut self, kind: EventKind, sid: u64, a: u64, b: u64, c: u64, d: u64) {
+        let ev = Event {
+            tick: self.clock.now().nanos(),
+            sid,
+            kind,
+            a,
+            b,
+            c,
+            d,
+        };
+        if self.ring.push(ev) {
+            self.obs.events_dropped.inc();
+        }
+    }
+
     fn handle(&mut self, cmd: ShardCmd) -> bool {
         match cmd {
             ShardCmd::Open { sid, spec, reply } => {
-                let out = Session::open(spec, self.clock.now()).map(|session| {
-                    let info = OpenInfo {
-                        sid,
-                        shard: self.shard,
-                        scheme: session.scheme().name(),
-                        redundancy: session.scheme().redundancy(),
-                        modules: session.scheme().modules(),
-                    };
-                    self.sessions.insert(sid, session);
-                    self.opened += 1;
-                    Reply::Open(info)
-                });
+                let (n, m) = (spec.n, spec.m);
+                let out = match Session::open(spec, self.clock.now()) {
+                    Err(e) => Err(e),
+                    Ok(session) => {
+                        let info = OpenInfo {
+                            sid,
+                            shard: self.shard,
+                            scheme: session.scheme().name(),
+                            redundancy: session.scheme().redundancy(),
+                            modules: session.scheme().modules(),
+                        };
+                        let scheme_idx = session.scheme_index();
+                        self.sessions.insert(sid, session);
+                        self.obs.opened.inc();
+                        self.obs.sessions.add(1);
+                        self.event(EventKind::Open, sid, n as u64, m as u64, scheme_idx, 0);
+                        Ok(Reply::Open(info))
+                    }
+                };
                 let _ = reply.send(out);
             }
             ShardCmd::Step {
@@ -162,14 +223,10 @@ impl ShardWorker {
                 count,
                 reply,
             } => {
-                let out = match self.sessions.get_mut(&sid) {
+                let stepped = match self.sessions.get_mut(&sid) {
                     None => Err(ServeError::UnknownSession(sid)),
                     Some(session) => session
-                        .step(&workload, count, &mut self.latency, &self.clock)
-                        .map(|sum| {
-                            self.steps += sum.executed;
-                            Reply::Step(sum)
-                        })
+                        .step(&workload, count, &self.obs.latency, &self.clock)
                         .map_err(|e| match e {
                             // The session does not know its own id.
                             ServeError::BudgetExhausted { max_steps, .. } => {
@@ -177,6 +234,34 @@ impl ShardWorker {
                             }
                             other => other,
                         }),
+                };
+                let out = match stepped {
+                    Err(e) => Err(e),
+                    Ok(sum) => {
+                        self.obs.steps.add(sum.executed);
+                        self.obs.stage1_cycles.add(sum.stage1_cycles);
+                        self.obs.stage2_cycles.add(sum.stage2_cycles);
+                        self.event(
+                            EventKind::Step,
+                            sid,
+                            sum.executed,
+                            sum.stage1_cycles,
+                            sum.stage2_cycles,
+                            sum.messages,
+                        );
+                        if sum.dead_attempts > 0 || sum.dropped_messages > 0 {
+                            self.obs.faults.inc();
+                            self.event(
+                                EventKind::Fault,
+                                sid,
+                                sum.dead_attempts,
+                                sum.dropped_messages,
+                                0,
+                                0,
+                            );
+                        }
+                        Ok(Reply::Step(sum))
+                    }
                 };
                 let _ = reply.send(out);
             }
@@ -208,7 +293,16 @@ impl ShardWorker {
                 let out = match self.sessions.remove(&sid) {
                     None => Err(ServeError::UnknownSession(sid)),
                     Some(session) => {
-                        self.closed += 1;
+                        self.obs.closed.inc();
+                        self.obs.sessions.sub(1);
+                        self.event(
+                            EventKind::Close,
+                            sid,
+                            session.steps(),
+                            session.trace(),
+                            0,
+                            0,
+                        );
                         Ok(Reply::Close(TraceInfo {
                             sid,
                             steps: session.steps(),
@@ -222,14 +316,26 @@ impl ShardWorker {
                 let snap = ShardMetrics {
                     shard: self.shard,
                     sessions: self.sessions.len(),
-                    opened: self.opened,
-                    closed: self.closed,
-                    evicted: self.evicted,
-                    steps: self.steps,
-                    queue_depth: self.queue_depth.load(Ordering::Relaxed),
-                    latency: self.latency.clone(),
+                    opened: self.obs.opened.get(),
+                    closed: self.obs.closed.get(),
+                    evicted: self.obs.evicted.get(),
+                    steps: self.obs.steps.get(),
+                    queue_depth: self.obs.queue_depth.get() as usize,
+                    latency: self.obs.latency.snapshot(),
                 };
                 let _ = reply.send(Ok(Reply::Metrics(Box::new(snap))));
+            }
+            ShardCmd::Events { sid, reply } => {
+                let events: Vec<Event> = self
+                    .ring
+                    .iter()
+                    .filter(|e| match sid {
+                        None => true,
+                        Some(s) => e.sid == s,
+                    })
+                    .copied()
+                    .collect();
+                let _ = reply.send(Ok(Reply::Events(events)));
             }
             ShardCmd::Shutdown => return false,
         }
@@ -237,21 +343,39 @@ impl ShardWorker {
     }
 
     fn sweep(&mut self, now: Tick) {
-        let before = self.sessions.len();
-        self.sessions.retain(|_, s| !s.expired(now));
-        self.evicted += (before - self.sessions.len()) as u64;
+        // Collect-then-remove (rather than `retain`): eviction updates
+        // the gauge and emits one trace event per victim, which needs
+        // the session's final step count.
+        let expired: Vec<u64> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| s.expired(now))
+            .map(|(&sid, _)| sid)
+            .collect();
+        for sid in expired {
+            if let Some(session) = self.sessions.remove(&sid) {
+                self.obs.evicted.inc();
+                self.obs.sessions.sub(1);
+                self.event(EventKind::Evict, sid, session.steps(), 0, 0, 0);
+            }
+        }
     }
 }
 
 /// Spawn one shard worker; returns its join handle, or the spawn error
 /// as a [`ServeError`] (a service must degrade, not panic, when the
-/// process hits a thread limit). `queue_depth` is decremented as
-/// commands are dequeued (the sender increments it); TTL decisions and
-/// latency samples read `clock`.
+/// process hits a thread limit). The worker records into `obs` (the
+/// service holds the matching registry); `obs.queue_depth` is
+/// decremented as commands are dequeued (the sender increments it), and
+/// a dequeue that observes the depth at or above `queue_capacity` counts
+/// a queue-full incident. TTL decisions, latency samples, and event
+/// ticks read `clock`.
 pub(crate) fn spawn_shard(
     shard: usize,
     rx: Receiver<ShardCmd>,
-    queue_depth: Arc<AtomicUsize>,
+    obs: ShardObs,
+    queue_capacity: usize,
+    events_capacity: usize,
     clock: SimClock,
 ) -> Result<JoinHandle<()>, ServeError> {
     std::thread::Builder::new()
@@ -261,18 +385,19 @@ pub(crate) fn spawn_shard(
             let mut w = ShardWorker {
                 shard,
                 sessions: BTreeMap::new(),
-                opened: 0,
-                closed: 0,
-                evicted: 0,
-                steps: 0,
-                latency: Histogram::new(),
-                queue_depth,
+                obs,
+                ring: EventRing::with_capacity(events_capacity),
+                queue_capacity,
                 clock,
             };
             loop {
                 match rx.recv_timeout(SWEEP_EVERY) {
                     Ok(cmd) => {
-                        w.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        let prev = w.obs.queue_depth.sub(1);
+                        if prev >= w.queue_capacity as u64 {
+                            w.obs.queue_full.inc();
+                            w.event(EventKind::QueueFull, 0, prev, 0, 0, 0);
+                        }
                         if !w.handle(cmd) {
                             break;
                         }

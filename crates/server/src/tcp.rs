@@ -6,6 +6,12 @@
 //! the accept loop never touches a session. Frames are capped at
 //! [`MAX_FRAME`] bytes; an overlong or unparseable line gets an `ERR`
 //! reply (and, for overlong, a disconnect) — never a panic.
+//!
+//! Replies are written as rendered plus one trailing newline. Multi-line
+//! replies (`INFO`, `METRICS`, `EVENTS`) embed their payload newlines in
+//! the rendered string and announce the count in the header's `lines=`
+//! field, so this loop needs no special casing — clients read the header
+//! line, then exactly that many more lines.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};

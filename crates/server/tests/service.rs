@@ -195,6 +195,143 @@ fn info_merges_shard_metrics() {
     service.shutdown();
 }
 
+/// The observability analogue of the trace-hash contract: under a manual
+/// clock, the merged `EVENTS` stream is byte-identical run over run and
+/// shard-count-invariant, and the aggregate (unlabeled) `METRICS` lines
+/// agree at any shard count.
+#[test]
+fn events_and_metrics_are_deterministic_across_shard_counts() {
+    let mut streams: Vec<String> = Vec::new();
+    let mut aggregates: Vec<Vec<String>> = Vec::new();
+    for shards in [1usize, 4] {
+        let clock = SimClock::manual();
+        let cfg = ServiceConfig {
+            shards,
+            clock: clock.clone(),
+            ..Default::default()
+        };
+        let service = Service::start(cfg).expect("spawn shard workers");
+        let h = service.handle();
+        let a = h.open(spec().seed(1)).unwrap();
+        let b = h.open(spec().seed(777)).unwrap();
+        h.step(a.sid, WorkloadSpec::Uniform, 3).unwrap();
+        assert!(clock.advance(Duration::from_millis(10)), "manual clock");
+        h.step(b.sid, WorkloadSpec::Hotspot, 4).unwrap();
+        h.step(a.sid, WorkloadSpec::Uniform, 2).unwrap();
+        h.close(b.sid).unwrap();
+        h.close(a.sid).unwrap();
+
+        let jsonl: String = h
+            .events(None)
+            .unwrap()
+            .iter()
+            .map(|e| e.to_json() + "\n")
+            .collect();
+        streams.push(jsonl);
+        // Per-shard labeled lines legitimately differ with the shard
+        // count; the aggregate samples must not.
+        aggregates.push(
+            h.metrics_text()
+                .lines()
+                .filter(|l| !l.starts_with('#') && !l.contains("{shard="))
+                .map(String::from)
+                .collect(),
+        );
+        service.shutdown();
+    }
+    assert_eq!(
+        streams[0], streams[1],
+        "merged event stream must be shard-count-invariant"
+    );
+    for kind in [
+        "\"kind\":\"open\"",
+        "\"kind\":\"step\"",
+        "\"kind\":\"close\"",
+    ] {
+        assert!(
+            streams[0].contains(kind),
+            "missing {kind} in {}",
+            streams[0]
+        );
+    }
+    assert!(
+        streams[0].contains("\"tick\":10000000"),
+        "events after the advance carry the virtual tick: {}",
+        streams[0]
+    );
+    assert_eq!(
+        aggregates[0], aggregates[1],
+        "aggregate METRICS lines must be shard-count-invariant"
+    );
+}
+
+#[test]
+fn per_session_events_are_filtered_and_ordered() {
+    let clock = SimClock::manual();
+    let cfg = ServiceConfig {
+        shards: 2,
+        clock,
+        ..Default::default()
+    };
+    let service = Service::start(cfg).expect("spawn shard workers");
+    let h = service.handle();
+    let noise = h.open(spec().seed(5)).unwrap();
+    let probe = h.open(spec().seed(6)).unwrap();
+    h.step(noise.sid, WorkloadSpec::Uniform, 1).unwrap();
+    h.step(probe.sid, WorkloadSpec::Uniform, 2).unwrap();
+    h.close(probe.sid).unwrap();
+
+    let evs = h.events(Some(probe.sid)).unwrap();
+    assert!(evs.iter().all(|e| e.sid == probe.sid));
+    let kinds: Vec<&str> = evs.iter().map(|e| e.kind.name()).collect();
+    assert_eq!(kinds, vec!["open", "step", "close"]);
+    // The step event's payload is (executed, s1cyc, s2cyc, messages).
+    let step = &evs[1];
+    assert_eq!(step.a, 2);
+    assert!(step.b + step.c > 0, "cycles attributed to some stage");
+    service.shutdown();
+}
+
+#[test]
+fn metrics_exposition_matches_info_counters() {
+    let service = Service::start(ServiceConfig::with_shards(2)).expect("spawn shard workers");
+    let h = service.handle();
+    let open = h.open(spec()).unwrap();
+    let sum = h.step(open.sid, WorkloadSpec::Uniform, 5).unwrap();
+    let info = h.info().unwrap();
+    let text = h.metrics_text();
+
+    // Exposition is well-formed: every line is a comment or name+value.
+    for line in text.lines() {
+        if line.starts_with('#') {
+            assert!(
+                line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                "{line}"
+            );
+        } else {
+            let (_, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(value.parse::<f64>().is_ok(), "{line}");
+        }
+    }
+    // The registry and INFO read the same cells.
+    assert!(text.contains(&format!("\ncr_steps_total {}\n", info.steps)));
+    assert!(text.contains("\ncr_sessions_live 1\n"));
+    assert_eq!(
+        h.registry().total("cr_steps_total"),
+        Some(info.steps),
+        "typed read side agrees"
+    );
+    let lat = h.registry().histogram("cr_step_latency_ns").unwrap();
+    assert_eq!(lat.count(), info.latency.count());
+    // Stage attribution accounts for every cycle the command reported.
+    let s1 = h.registry().total("cr_stage1_cycles_total").unwrap();
+    let s2 = h.registry().total("cr_stage2_cycles_total").unwrap();
+    assert_eq!(s1, sum.stage1_cycles);
+    assert_eq!(s1 + s2, sum.cycles, "stage split covers all cycles");
+    assert!(s1 > 0, "stage 1 does real work on hp-dmmpc");
+    service.shutdown();
+}
+
 #[test]
 fn faulty_sessions_serve_and_survive() {
     let service = Service::start(ServiceConfig::with_shards(2)).expect("spawn shard workers");

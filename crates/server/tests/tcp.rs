@@ -28,6 +28,21 @@ impl Client {
         self.reader.read_line(&mut reply).unwrap();
         reply.trim_end().to_string()
     }
+
+    /// Round-trip a command whose reply header announces `lines=K`
+    /// payload lines (INFO, METRICS, EVENTS); returns (header, payload).
+    fn roundtrip_multi(&mut self, line: &str) -> (String, Vec<String>) {
+        let header = self.roundtrip(line);
+        let count: usize = field(&header, "lines").parse().expect("lines= count");
+        let payload = (0..count)
+            .map(|_| {
+                let mut l = String::new();
+                self.reader.read_line(&mut l).unwrap();
+                l.trim_end().to_string()
+            })
+            .collect();
+        (header, payload)
+    }
 }
 
 fn boot(shards: usize) -> (Service, Server) {
@@ -69,9 +84,25 @@ fn full_session_lifecycle_over_tcp() {
     let hash = field(&trace, "trace").to_string();
     assert_eq!(hash.len(), 16, "16 hex digits: {trace}");
 
-    let info = c.roundtrip("INFO");
+    let (info, shards) = c.roundtrip_multi("INFO");
     assert_eq!(field(&info, "sessions"), "1");
     assert_eq!(field(&info, "steps"), "12");
+    assert_eq!(shards.len(), 2, "one payload line per shard");
+    for line in &shards {
+        assert!(line.starts_with("shard="), "{line}");
+        assert!(line.contains("p99us="), "{line}");
+    }
+
+    let (metrics, families) = c.roundtrip_multi("METRICS");
+    assert!(metrics.starts_with("OK lines="), "{metrics}");
+    assert!(
+        families.iter().any(|l| l == "cr_steps_total 12"),
+        "{families:?}"
+    );
+
+    let (events, lines) = c.roundtrip_multi(&format!("EVENTS {sid}"));
+    assert!(field(&events, "events").parse::<usize>().unwrap() >= 4);
+    assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
 
     let close = c.roundtrip(&format!("CLOSE {sid}"));
     assert!(close.starts_with("OK closed"), "{close}");

@@ -108,12 +108,12 @@ const GOLDEN: [(&str, SchemeKind); 6] = [
 /// Pre-refactor engine snapshots (see module docs). Index-aligned with
 /// [`GOLDEN`].
 const EXPECTED: [&str; 6] = [
-    "uw-mpc n=16 m=256 steps=12 req=192 phases=141 cycles=93 messages=2366 readhash=9b14dab2fb18c607 last=StepReport { requests: 16, phases: 13, cycles: 9, messages: 212, protocol: ProtocolStats { stage1_phases: 9, stage2_phases: 0, cycles: 9, messages: 212, stage1_leftover: 0, killed_attempts: 35, dead_attempts: 0, failed_requests: 0, copies_accessed: 71 } }",
-    "hp-dmmpc n=16 m=256 steps=12 req=192 phases=228 cycles=180 messages=5760 readhash=d015f0f425074b0d last=StepReport { requests: 16, phases: 19, cycles: 15, messages: 480, protocol: ProtocolStats { stage1_phases: 15, stage2_phases: 0, cycles: 15, messages: 480, stage1_leftover: 0, killed_attempts: 4, dead_attempts: 0, failed_requests: 0, copies_accessed: 236 } }",
-    "hp-2dmot n=8 m=64 steps=12 req=96 phases=132 cycles=3744 messages=51840 readhash=85b4345357f65494 last=StepReport { requests: 8, phases: 11, cycles: 312, messages: 4320, protocol: ProtocolStats { stage1_phases: 8, stage2_phases: 0, cycles: 312, messages: 4320, stage1_leftover: 0, killed_attempts: 0, dead_attempts: 0, failed_requests: 0, copies_accessed: 120 } }",
-    "lpp-2dmot n=8 m=64 steps=12 req=96 phases=88 cycles=733 messages=3357 readhash=6aa0965245889b5c last=StepReport { requests: 8, phases: 8, cycles: 70, messages: 294, protocol: ProtocolStats { stage1_phases: 5, stage2_phases: 0, cycles: 70, messages: 294, stage1_leftover: 0, killed_attempts: 10, dead_attempts: 0, failed_requests: 0, copies_accessed: 22 } }",
-    "hashed n=16 m=256 steps=12 req=192 phases=22 cycles=22 messages=384 readhash=3397fc7ed02e80cd last=StepReport { requests: 16, phases: 2, cycles: 2, messages: 32, protocol: ProtocolStats { stage1_phases: 0, stage2_phases: 0, cycles: 0, messages: 0, stage1_leftover: 0, killed_attempts: 0, dead_attempts: 0, failed_requests: 0, copies_accessed: 0 } }",
-    "ida n=16 m=256 steps=12 req=192 phases=67 cycles=67 messages=1260 readhash=37f1ad528bf902f1 last=StepReport { requests: 16, phases: 6, cycles: 6, messages: 105, protocol: ProtocolStats { stage1_phases: 0, stage2_phases: 0, cycles: 0, messages: 0, stage1_leftover: 0, killed_attempts: 0, dead_attempts: 0, failed_requests: 0, copies_accessed: 0 } }",
+    "uw-mpc n=16 m=256 steps=12 req=192 phases=141 cycles=93 messages=2366 readhash=9b14dab2fb18c607 last=StepReport { requests: 16, phases: 13, cycles: 9, messages: 212, protocol: ProtocolStats { stage1_phases: 9, stage2_phases: 0, cycles: 9, messages: 212, stage1_cycles: 9, stage1_messages: 212, stage1_leftover: 0, killed_attempts: 35, dead_attempts: 0, failed_requests: 0, copies_accessed: 71 } }",
+    "hp-dmmpc n=16 m=256 steps=12 req=192 phases=228 cycles=180 messages=5760 readhash=d015f0f425074b0d last=StepReport { requests: 16, phases: 19, cycles: 15, messages: 480, protocol: ProtocolStats { stage1_phases: 15, stage2_phases: 0, cycles: 15, messages: 480, stage1_cycles: 15, stage1_messages: 480, stage1_leftover: 0, killed_attempts: 4, dead_attempts: 0, failed_requests: 0, copies_accessed: 236 } }",
+    "hp-2dmot n=8 m=64 steps=12 req=96 phases=132 cycles=3744 messages=51840 readhash=85b4345357f65494 last=StepReport { requests: 8, phases: 11, cycles: 312, messages: 4320, protocol: ProtocolStats { stage1_phases: 8, stage2_phases: 0, cycles: 312, messages: 4320, stage1_cycles: 312, stage1_messages: 4320, stage1_leftover: 0, killed_attempts: 0, dead_attempts: 0, failed_requests: 0, copies_accessed: 120 } }",
+    "lpp-2dmot n=8 m=64 steps=12 req=96 phases=88 cycles=733 messages=3357 readhash=6aa0965245889b5c last=StepReport { requests: 8, phases: 8, cycles: 70, messages: 294, protocol: ProtocolStats { stage1_phases: 5, stage2_phases: 0, cycles: 70, messages: 294, stage1_cycles: 70, stage1_messages: 294, stage1_leftover: 0, killed_attempts: 10, dead_attempts: 0, failed_requests: 0, copies_accessed: 22 } }",
+    "hashed n=16 m=256 steps=12 req=192 phases=22 cycles=22 messages=384 readhash=3397fc7ed02e80cd last=StepReport { requests: 16, phases: 2, cycles: 2, messages: 32, protocol: ProtocolStats { stage1_phases: 0, stage2_phases: 0, cycles: 0, messages: 0, stage1_cycles: 0, stage1_messages: 0, stage1_leftover: 0, killed_attempts: 0, dead_attempts: 0, failed_requests: 0, copies_accessed: 0 } }",
+    "ida n=16 m=256 steps=12 req=192 phases=67 cycles=67 messages=1260 readhash=37f1ad528bf902f1 last=StepReport { requests: 16, phases: 6, cycles: 6, messages: 105, protocol: ProtocolStats { stage1_phases: 0, stage2_phases: 0, cycles: 0, messages: 0, stage1_cycles: 0, stage1_messages: 0, stage1_leftover: 0, killed_attempts: 0, dead_attempts: 0, failed_requests: 0, copies_accessed: 0 } }",
 ];
 
 const EXPECTED_FAULTY: [(&str, &str); 3] = [
