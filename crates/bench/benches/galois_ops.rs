@@ -14,6 +14,50 @@ fn bench_field(c: &mut Criterion) {
     g.finish();
 }
 
+/// Slice kernels: the dispatched path (SIMD where the CPU has it,
+/// scalar otherwise) against the always-scalar oracle, across the row
+/// lengths the IDA codec actually touches (64 = one small stripe,
+/// 1024 = E15 acceptance point, 4096 = headroom).
+fn bench_slice_kernels(c: &mut Criterion) {
+    use galois::kernels::{gf_mul_slice_scalar, gf_mulacc_slice_scalar};
+    use galois::{active_path, gf_mul_slice, gf_mulacc_slice, MulTable};
+
+    let mut g = c.benchmark_group("galois_slice");
+    let tbl = MulTable::new(Gf16(0x2BEE));
+    for &len in &[64usize, 1024, 4096] {
+        let src: Vec<Gf16> = (0..len)
+            .map(|i| Gf16((i as u16).wrapping_mul(257)))
+            .collect();
+        let mut dst = src.clone();
+        let path = active_path().label();
+        g.bench_function(format!("mul_slice/{path}/{len}"), |bch| {
+            bch.iter(|| {
+                gf_mul_slice(black_box(&mut dst), black_box(&tbl));
+                black_box(dst[0])
+            })
+        });
+        g.bench_function(format!("mul_slice/scalar/{len}"), |bch| {
+            bch.iter(|| {
+                gf_mul_slice_scalar(black_box(&mut dst), black_box(&tbl));
+                black_box(dst[0])
+            })
+        });
+        g.bench_function(format!("mulacc_slice/{path}/{len}"), |bch| {
+            bch.iter(|| {
+                gf_mulacc_slice(black_box(&mut dst), black_box(&src), black_box(&tbl));
+                black_box(dst[0])
+            })
+        });
+        g.bench_function(format!("mulacc_slice/scalar/{len}"), |bch| {
+            bch.iter(|| {
+                gf_mulacc_slice_scalar(black_box(&mut dst), black_box(&src), black_box(&tbl));
+                black_box(dst[0])
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_matrix(c: &mut Criterion) {
     let mut g = c.benchmark_group("galois_matrix");
     let m = Matrix::vandermonde(24, 16);
@@ -23,8 +67,18 @@ fn bench_matrix(c: &mut Criterion) {
     });
     let sq = Matrix::vandermonde(16, 16);
     g.bench_function("invert_16x16", |bch| bch.iter(|| sq.inverse().unwrap()));
+    // The table-prepared form the IDA hot path actually runs: rows
+    // pre-expanded to MulTables, output written into a caller buffer.
+    let prepared = galois::PreparedMatrix::from_matrix(&m);
+    let mut out = vec![Gf16(0); prepared.rows()];
+    g.bench_function("vandermonde_24x16_prepared_mul_vec_into", |bch| {
+        bch.iter(|| {
+            prepared.mul_vec_into(black_box(&v), black_box(&mut out));
+            black_box(out[0])
+        })
+    });
     g.finish();
 }
 
-criterion_group!(benches, bench_field, bench_matrix);
+criterion_group!(benches, bench_field, bench_slice_kernels, bench_matrix);
 criterion_main!(benches);

@@ -53,7 +53,8 @@ fn usage(reg: &[(&str, &str, pram_bench::Runner)]) {
          <experiment|all>...\n\
        repro serve [--addr HOST:PORT] [--shards N]\n\
        repro loadgen [--addr HOST:PORT] [--sessions K] [--conns T] \
-         [--steps S] [--scheme NAME] [--seed S] [--quick] [--json-out PATH]\n\
+         [--steps S] [--batch B] [--pipeline W] [--scheme NAME] [--seed S] \
+         [--quick] [--json-out PATH]\n\
        repro metrics [--addr HOST:PORT] [--out PATH]\n\
        repro events [--addr HOST:PORT] [--sid SID] [--out PATH]\n\
        repro lint [--root PATH] [-D] [--json PATH] [--rules]"
@@ -292,6 +293,18 @@ fn cmd_loadgen(args: &[String]) -> ! {
                     std::process::exit(2);
                 })
             }
+            "--batch" => {
+                cfg.batch = take("a count").parse().unwrap_or_else(|_| {
+                    eprintln!("--batch needs a positive integer");
+                    std::process::exit(2);
+                })
+            }
+            "--pipeline" => {
+                cfg.pipeline = take("a window size").parse().unwrap_or_else(|_| {
+                    eprintln!("--pipeline needs a positive integer");
+                    std::process::exit(2);
+                })
+            }
             "--scheme" => {
                 cfg.scheme = take("a scheme name").parse().unwrap_or_else(|e| {
                     eprintln!("{e}");
@@ -309,7 +322,8 @@ fn cmd_loadgen(args: &[String]) -> ! {
             other => {
                 eprintln!(
                     "repro loadgen: unknown flag {other} (--addr, --sessions, \
-                     --conns, --steps, --scheme, --seed, --quick, --json-out)"
+                     --conns, --steps, --batch, --pipeline, --scheme, --seed, \
+                     --quick, --json-out)"
                 );
                 std::process::exit(2);
             }

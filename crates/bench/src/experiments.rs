@@ -1010,6 +1010,13 @@ pub mod throughput {
     /// runner would otherwise read as a fake >3x regression).
     const MIN_TIMED: std::time::Duration = std::time::Duration::from_millis(50);
 
+    /// …and until at least this many steps have been timed. The routed
+    /// 2DMOT points step so slowly that 50ms covers only a few hundred
+    /// steps — too few for a stable p99 column; the floor gives every
+    /// sweep point a four-digit sample count, full mode only (`--quick`
+    /// keeps CI latency bounded and does not publish numbers).
+    const MIN_STEPS: usize = 1000;
+
     /// Measure one sweep point. Workload patterns are pre-generated so the
     /// timed loop contains nothing but `access` calls; the seed is derived
     /// from the point itself, so sweep points are independent and the
@@ -1018,8 +1025,8 @@ pub mod throughput {
     /// over the first block only (deterministic); allocations use the
     /// thread-attributed counter, so concurrent sweep workers cannot
     /// pollute each other's windows. Timing accumulates repeated
-    /// identical blocks until [`MIN_TIMED`].
-    fn measure(point: Point, base_seed: u64) -> ThroughputRow {
+    /// identical blocks until [`MIN_TIMED`] *and* `min_steps`.
+    fn measure(point: Point, base_seed: u64, min_steps: usize) -> ThroughputRow {
         let (kind, n, m, steps) = point;
         let seed = base_seed ^ simrng::mix64((n as u64) << 8 | kind.name().len() as u64);
         let mut s = SimBuilder::new(n, m)
@@ -1053,7 +1060,7 @@ pub mod throughput {
         let (tot, steps1) = s.totals();
         let timed = (steps1 - steps0).max(1) as f64;
         let mut done = steps;
-        while t0.elapsed() < MIN_TIMED {
+        while t0.elapsed() < MIN_TIMED || done < min_steps {
             for i in 0..steps {
                 let p = &pool[i % pool.len()];
                 let s0 = Instant::now();
@@ -1096,8 +1103,12 @@ pub mod throughput {
     /// regression guard's 3x margin absorbs.
     pub fn rows(ctx: &RunCtx) -> Vec<ThroughputRow> {
         let pts = points(ctx);
+        let min_steps = if ctx.quick { 0 } else { MIN_STEPS };
         if ctx.threads <= 1 {
-            return pts.into_iter().map(|p| measure(p, ctx.seed)).collect();
+            return pts
+                .into_iter()
+                .map(|p| measure(p, ctx.seed, min_steps))
+                .collect();
         }
         let next = AtomicUsize::new(0);
         let mut indexed: Vec<(usize, ThroughputRow)> = std::thread::scope(|scope| {
@@ -1108,7 +1119,7 @@ pub mod throughput {
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             let Some(&p) = pts.get(i) else { break };
-                            out.push((i, measure(p, ctx.seed)));
+                            out.push((i, measure(p, ctx.seed, min_steps)));
                         }
                         out
                     })
@@ -1253,10 +1264,14 @@ pub mod serve {
     /// Cells per session (`m = 4n`, as in E15).
     pub const SESSION_M: usize = 64;
     /// Steps each session executes during the timed window.
-    const STEPS_PER_SESSION: u64 = 32;
-    /// Steps per `step` command (amortizes the queue round-trip).
-    const BATCH: u64 = 8;
+    const STEPS_PER_SESSION: u64 = 64;
+    /// Steps per `STEPN`-shaped command (amortizes the queue round-trip;
+    /// well under [`cr_serve::MAX_STEP_BATCH`]).
+    const BATCH: u64 = 32;
     /// Driver threads (the in-process stand-ins for client connections).
+    /// Each drives its chunk of sessions through
+    /// [`cr_serve::ServiceHandle::step_many`] — commands for a whole
+    /// round are in flight at once, like a pipelined TCP client.
     const DRIVERS: usize = 8;
 
     /// One measured `(scheme, shards, sessions)` grid point.
@@ -1329,8 +1344,10 @@ pub mod serve {
 
     /// Measure one grid point: open every session up front (they stay
     /// live for the whole window — that is the concurrency being
-    /// claimed), then drive them from [`DRIVERS`] threads in batched
-    /// steps, and read the merged latency histogram at the end.
+    /// claimed), then drive them from [`DRIVERS`] threads via pipelined
+    /// `step_many` batches (every command of a round is enqueued before
+    /// any reply is awaited, so the shard workers' drain loops service
+    /// bursts), and read the merged latency histogram at the end.
     fn measure(kind: SchemeKind, shards: usize, sessions: usize, seed: u64) -> ServeRow {
         let service =
             Service::start(ServiceConfig::with_shards(shards)).expect("spawn shard workers");
@@ -1351,10 +1368,11 @@ pub mod serve {
                 let h = h.clone();
                 scope.spawn(move || {
                     for _ in 0..(STEPS_PER_SESSION / BATCH) {
-                        for &sid in chunk {
-                            h.step(sid, WorkloadSpec::Uniform, BATCH)
-                                .expect("in-budget steps succeed");
-                        }
+                        let sum = h
+                            .step_many(chunk, &WorkloadSpec::Uniform, BATCH)
+                            .expect("shards stay up");
+                        assert_eq!(sum.errors, 0, "in-budget steps succeed");
+                        assert_eq!(sum.executed, chunk.len() as u64 * BATCH);
                     }
                 });
             }
@@ -1454,7 +1472,8 @@ pub mod serve {
         format!(
             "E16: serving throughput — concurrent sessions (n={}, m={})\n\
              multiplexed over the sharded session service, driven in-process\n\
-             by {DRIVERS} client threads, {} steps/session (seed {}{}).\n\
+             by {DRIVERS} pipelining client threads (step_many, {BATCH}-step\n\
+             commands), {} steps/session (seed {}{}).\n\
              Latency quantiles come from the per-shard fixed-bucket\n\
              histograms, merged.{}\n{}\n\n\
              cycle attribution (from the cr_stage*_cycles_total metrics):\n{}\njson:\n{}",

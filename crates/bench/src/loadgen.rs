@@ -24,8 +24,14 @@ pub struct LoadgenConfig {
     pub conns: usize,
     /// Steps per session.
     pub steps: u64,
-    /// Steps per `STEP` command.
+    /// Steps per `STEP`/`STEPN` command.
     pub batch: u64,
+    /// Commands kept in flight per connection. `1` is classic ping-pong
+    /// `STEP`; above that, each connection writes windows of `STEPN`
+    /// frames in one burst and then collects the replies in order —
+    /// the pipelining the server's deferred-flush write path and the
+    /// shards' drain loops are built for.
+    pub pipeline: usize,
     /// Scheme every session runs.
     pub scheme: SchemeKind,
     /// Per-session processors.
@@ -44,6 +50,7 @@ impl Default for LoadgenConfig {
             conns: 8,
             steps: 32,
             batch: 8,
+            pipeline: 1,
             scheme: SchemeKind::HpDmmpc,
             n: 16,
             m: 64,
@@ -71,6 +78,8 @@ pub struct LoadgenReport {
     pub sessions: usize,
     /// Connections used.
     pub conns: usize,
+    /// Commands kept in flight per connection (1 = ping-pong).
+    pub pipeline: usize,
     /// Server shard count (from `INFO`).
     pub shards: usize,
     /// Total steps driven.
@@ -91,12 +100,13 @@ impl LoadgenReport {
         format!(
             concat!(
                 "{{\"experiment\":\"loadgen\",\"scheme\":\"{}\",\"sessions\":{},",
-                "\"conns\":{},\"shards\":{},\"steps\":{},\"steps_per_sec\":{:.2},",
-                "\"p50_us\":{:.2},\"p99_us\":{:.2}}}"
+                "\"conns\":{},\"pipeline\":{},\"shards\":{},\"steps\":{},",
+                "\"steps_per_sec\":{:.2},\"p50_us\":{:.2},\"p99_us\":{:.2}}}"
             ),
             self.scheme,
             self.sessions,
             self.conns,
+            self.pipeline,
             self.shards,
             self.steps,
             self.steps_per_sec,
@@ -108,12 +118,17 @@ impl LoadgenReport {
     /// Human summary for the terminal.
     pub fn render(&self) -> String {
         format!(
-            "loadgen: {} sessions ({}) over {} conns against {} shards:\n\
+            "loadgen: {} sessions ({}) over {} conns{} against {} shards:\n\
              {} steps in {:.2}s = {:.0} steps/sec sustained; \
              server p50 {:.1}us, p99 {:.1}us per step",
             self.sessions,
             self.scheme,
             self.conns,
+            if self.pipeline > 1 {
+                format!(" (pipeline {})", self.pipeline)
+            } else {
+                String::new()
+            },
             self.shards,
             self.steps,
             self.elapsed_sec,
@@ -158,6 +173,29 @@ impl Conn {
         } else {
             Err(format!("server replied: {reply} (to: {line})"))
         }
+    }
+
+    /// Write a pre-framed window of commands in one burst, then read one
+    /// reply line per command. The server replies strictly in request
+    /// order, so no reply-to-request matching is needed; every reply
+    /// must be `OK`.
+    fn pipeline_window(&mut self, frames: &str, replies: usize) -> Result<Vec<String>, String> {
+        self.writer
+            .write_all(frames.as_bytes())
+            .map_err(|e| format!("send window: {e}"))?;
+        let mut out = Vec::with_capacity(replies);
+        for i in 0..replies {
+            let mut reply = String::new();
+            self.reader
+                .read_line(&mut reply)
+                .map_err(|e| format!("recv window reply {i}: {e}"))?;
+            let reply = reply.trim_end().to_string();
+            if !reply.starts_with("OK") {
+                return Err(format!("server replied: {reply} (in a pipelined window)"));
+            }
+            out.push(reply);
+        }
+        Ok(out)
     }
 
     /// Round-trip a command whose reply header announces `lines=K`
@@ -239,13 +277,30 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
                     let t0 = Instant::now();
                     let mut steps = 0u64;
                     let mut left = cfg.steps;
+                    let window = cfg.pipeline.max(1);
+                    let mut frames = String::new();
                     while left > 0 {
                         let burst = batch.min(left);
-                        for sid in &sids {
-                            let reply = conn.roundtrip(&format!("STEP {sid} uniform {burst}"))?;
-                            steps += reply_field(&reply, "executed")
-                                .and_then(|v| v.parse::<u64>().ok())
-                                .ok_or_else(|| format!("no executed in: {reply}"))?;
+                        if window == 1 {
+                            for sid in &sids {
+                                let reply =
+                                    conn.roundtrip(&format!("STEP {sid} uniform {burst}"))?;
+                                steps += reply_field(&reply, "executed")
+                                    .and_then(|v| v.parse::<u64>().ok())
+                                    .ok_or_else(|| format!("no executed in: {reply}"))?;
+                            }
+                        } else {
+                            for chunk in sids.chunks(window) {
+                                frames.clear();
+                                for sid in chunk {
+                                    frames.push_str(&format!("STEPN {sid} {burst}\n"));
+                                }
+                                for reply in conn.pipeline_window(&frames, chunk.len())? {
+                                    steps += reply_field(&reply, "executed")
+                                        .and_then(|v| v.parse::<u64>().ok())
+                                        .ok_or_else(|| format!("no executed in: {reply}"))?;
+                                }
+                            }
                         }
                         left -= burst;
                     }
@@ -294,6 +349,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
         scheme: cfg.scheme.name(),
         sessions: cfg.sessions,
         conns,
+        pipeline: cfg.pipeline.max(1),
         shards: get("shards")? as usize,
         steps,
         elapsed_sec: elapsed,

@@ -26,6 +26,19 @@ pub struct IdaShared {
     /// from surviving shares; a block with fewer than quorum survivors is
     /// lost. All-false on a healthy machine.
     unavailable: Vec<bool>,
+    /// Whether any entry of `unavailable` is set. A healthy machine
+    /// passes the store an empty mask, unlocking its no-fault fast path
+    /// (no share→module arithmetic in the quorum walk).
+    has_faults: bool,
+    /// `(i · module_stride) % modules` per share index — the congestion
+    /// charge below reduces each share's module to one add + compare.
+    stride_mod: Vec<usize>,
+    /// `⌊2³² / vars_per_block⌋` and `⌊2³² / modules⌋`: the per-access
+    /// `(a / vars_per_block) % modules` runs as two multiplies plus
+    /// fixups instead of two runtime divisions (same trick as the
+    /// store's `locate`; valid because `a < m ≤ 2³²`).
+    vpb_recip: u64,
+    mod_recip: u64,
     /// Accesses that found no reachable quorum (lost cells under faults).
     quorum_failures: u64,
     last: StepReport,
@@ -49,11 +62,18 @@ impl IdaShared {
         let store = SchusterStore::new(m, modules, b, d);
         let mut ws = IdaWorkspace::new();
         store.prewarm_decode(&mut ws);
+        let stride_mod = (0..d).map(|i| store.module_of_share(0, i)).collect();
+        let vpb_recip = (1u64 << 32) / store.vars_per_block() as u64;
+        let mod_recip = (1u64 << 32) / modules as u64;
         IdaShared {
             n,
             modules,
             store,
             unavailable: vec![false; modules],
+            has_faults: false,
+            stride_mod,
+            vpb_recip,
+            mod_recip,
             quorum_failures: 0,
             last: StepReport::default(),
             total: StepReport::default(),
@@ -72,6 +92,7 @@ impl IdaShared {
     pub fn set_unavailable(&mut self, dead: &[bool]) {
         assert_eq!(dead.len(), self.modules, "mask must cover every module");
         self.unavailable.copy_from_slice(dead);
+        self.has_faults = dead.iter().any(|&x| x);
     }
 
     /// Accesses that found no reachable quorum so far.
@@ -109,6 +130,19 @@ impl IdaShared {
     }
 }
 
+/// `x / d` via a precomputed `recip = ⌊2³² / d⌋` (requires `x < 2³²`):
+/// the multiply's estimate is exact or one short, so a single fixup
+/// lands it (the error term is `x·(2³² mod d) / (d·2³²) < x/2³² < 1`).
+// lint: hot
+#[inline]
+fn div_recip(x: usize, d: usize, recip: u64) -> usize {
+    let mut q = ((x as u64 * recip) >> 32) as usize;
+    if x - q * d >= d {
+        q += 1;
+    }
+    q
+}
+
 impl SharedMemory for IdaShared {
     fn size(&self) -> usize {
         self.store.size()
@@ -117,7 +151,21 @@ impl SharedMemory for IdaShared {
     fn access(&mut self, reads: &[usize], writes: &[(usize, Word)]) -> AccessResult {
         assert!(reads.len() + writes.len() <= self.n.max(1));
         let mut shares = 0u64;
+        let blk_vars = self.store.vars_per_block();
+        let modules = self.modules;
+        let has_faults = self.has_faults;
+        let (vpb_recip, mod_recip) = (self.vpb_recip, self.mod_recip);
 
+        // Module congestion is charged per access as it happens, from the
+        // quorum the store just walked (`ws.touched`): each access lands
+        // on its block's first q *available* share modules — the store's
+        // deterministic probe order under the unavailability mask — so
+        // dead modules are never charged and faulted machines route real
+        // extra load onto the survivors. A lost block (fewer than q
+        // survivors) still charges the shares it probed before giving up.
+        // Identical multiset of touches as a separate post-loop, fused so
+        // the quorum is derived exactly once.
+        //
         // Reads observe pre-step state. Recovery uses whatever shares
         // survive the unavailability mask; a block below quorum is lost
         // (reads return 0 — the fault layer classifies these). The
@@ -125,8 +173,17 @@ impl SharedMemory for IdaShared {
         // result vector); everything else runs on the workspace.
         let read_values: Vec<Word> = reads
             .iter()
-            .map(
-                |&a| match self.store.read_in(a, &self.unavailable, &mut self.ws) {
+            .map(|&a| {
+                let ua: &[bool] = if has_faults { &self.unavailable } else { &[] };
+                let r = self.store.read_in(a, ua, &mut self.ws);
+                let blk = div_recip(a, blk_vars, vpb_recip);
+                let bm = blk - div_recip(blk, modules, mod_recip) * modules;
+                for &i in self.ws.touched() {
+                    let md = bm + self.stride_mod[i];
+                    self.congestion
+                        .touch(if md >= modules { md - modules } else { md });
+                }
+                match r {
                     Some((v, st)) => {
                         shares += st.shares_touched;
                         v
@@ -135,37 +192,21 @@ impl SharedMemory for IdaShared {
                         self.quorum_failures += 1;
                         0
                     }
-                },
-            )
+                }
+            })
             .collect();
         for &(a, v) in writes {
-            match self.store.write_in(a, v, &self.unavailable, &mut self.ws) {
+            let ua: &[bool] = if has_faults { &self.unavailable } else { &[] };
+            let r = self.store.write_in(a, v, ua, &mut self.ws);
+            let bm = (a / blk_vars) % modules;
+            for &i in self.ws.touched() {
+                let md = bm + self.stride_mod[i];
+                self.congestion
+                    .touch(if md >= modules { md - modules } else { md });
+            }
+            match r {
                 Some(st) => shares += st.shares_touched,
                 None => self.quorum_failures += 1,
-            }
-        }
-        // Module congestion: each access's quorum lands on its block's
-        // first q *available* share modules — the store's deterministic
-        // touch order under the unavailability mask, so dead modules are
-        // never charged and faulted machines route real extra load onto
-        // the survivors. A lost block (fewer than q survivors) still
-        // charges the shares it probed before giving up.
-        let q = self.store.quorum();
-        let d = self.store.shares();
-        let blk_vars = self.store.vars_per_block();
-        for &a in reads.iter().chain(writes.iter().map(|(a, _)| a)) {
-            let blk = a / blk_vars;
-            let mut touched = 0;
-            for i in 0..d {
-                let md = self.store.module_of_share(blk, i);
-                if self.unavailable.get(md).copied().unwrap_or(false) {
-                    continue;
-                }
-                self.congestion.touch(md);
-                touched += 1;
-                if touched == q {
-                    break;
-                }
             }
         }
         let congestion = self.congestion.finish();

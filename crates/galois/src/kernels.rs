@@ -1,0 +1,450 @@
+//! SIMD slice kernels for GF(2¹⁶) constant-times-vector products.
+//!
+//! The scalar field multiply in [`crate::Gf16::mul`] walks the 384 KiB
+//! log/exp tables with data-dependent indices — fine for one product,
+//! hostile to a decode loop that performs hundreds of thousands of them
+//! per simulated step. These kernels use the classic byte-shuffle
+//! decomposition instead: for a *fixed* multiplicand `c`, split the other
+//! operand into four nibbles, so
+//!
+//! ```text
+//! c · x  =  c·(n0) ^ c·(n1 << 4) ^ c·(n2 << 8) ^ c·(n3 << 12)
+//! ```
+//!
+//! and each term is a lookup in a 16-entry table built once per `c` from
+//! the `xtimes` chain ([`MulTable`]). Sixteen entries fit one 128-bit
+//! shuffle register, so SSSE3 `pshufb` (or NEON `tbl`) evaluates eight
+//! field elements per instruction group.
+//!
+//! Determinism: GF(2¹⁶) addition is XOR — exact, associative and
+//! commutative — so any regrouping or vectorization of the accumulation
+//! is *bit-identical* to the scalar result. Every kernel here is
+//! differentially tested against the scalar path, and the
+//! `forced-scalar` cargo feature pins the dispatch to the scalar
+//! fallback so CI can prove golden outputs match under both builds.
+//!
+//! Dispatch: x86_64 checks `ssse3` at runtime (cached by `std`); on
+//! aarch64 NEON is baseline so no check is needed; everything else (and
+//! `forced-scalar` builds) runs the scalar loop.
+
+use crate::{xtimes, Gf16};
+
+/// Which kernel implementation slice calls will dispatch to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelPath {
+    /// Portable scalar loop (also the differential-test oracle).
+    Scalar,
+    /// x86_64 `pshufb` nibble shuffles.
+    Ssse3,
+    /// aarch64 `tbl` nibble shuffles.
+    Neon,
+}
+
+impl KernelPath {
+    /// Stable label for bench output and diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelPath::Scalar => "scalar",
+            KernelPath::Ssse3 => "ssse3",
+            KernelPath::Neon => "neon",
+        }
+    }
+}
+
+/// The path [`gf_mul_slice`]/[`gf_mulacc_slice`] take on this machine.
+pub fn active_path() -> KernelPath {
+    #[cfg(all(target_arch = "x86_64", not(feature = "forced-scalar")))]
+    if std::arch::is_x86_feature_detected!("ssse3") {
+        return KernelPath::Ssse3;
+    }
+    #[cfg(all(target_arch = "aarch64", not(feature = "forced-scalar")))]
+    return KernelPath::Neon;
+    #[allow(unreachable_code)]
+    KernelPath::Scalar
+}
+
+/// Nibble-product tables for one fixed multiplicand `c`.
+///
+/// `products()[p][x] = c · (x << 4p)` for nibble `x` at position `p`.
+/// Built from 16 `xtimes` steps plus subset XORs — no log/exp traffic —
+/// so a table costs roughly a dozen scalar multiplies and pays for
+/// itself on any slice of comparable length.
+#[derive(Debug, Clone)]
+pub struct MulTable {
+    /// t[p][x] = c·(x << 4p).
+    t: [[u16; 16]; 4],
+    /// Low product bytes of `t`, pre-split for the byte shuffles (unused
+    /// when no SIMD path is compiled in).
+    #[cfg_attr(
+        not(all(
+            any(target_arch = "x86_64", target_arch = "aarch64"),
+            not(feature = "forced-scalar")
+        )),
+        allow(dead_code)
+    )]
+    lo: [[u8; 16]; 4],
+    /// High product bytes of `t`.
+    #[cfg_attr(
+        not(all(
+            any(target_arch = "x86_64", target_arch = "aarch64"),
+            not(feature = "forced-scalar")
+        )),
+        allow(dead_code)
+    )]
+    hi: [[u8; 16]; 4],
+}
+
+impl MulTable {
+    /// Tables for multiplication by `c`.
+    pub fn new(c: Gf16) -> MulTable {
+        // pw[k] = c · x^k via the xtimes chain.
+        let mut pw = [0u16; 16];
+        pw[0] = c.0;
+        for k in 1..16 {
+            pw[k] = xtimes(pw[k - 1]);
+        }
+        let mut t = [[0u16; 16]; 4];
+        for (p, plane) in t.iter_mut().enumerate() {
+            for (x, slot) in plane.iter_mut().enumerate().skip(1) {
+                let mut acc = 0u16;
+                for (k, &pk) in pw[4 * p..4 * p + 4].iter().enumerate() {
+                    if x >> k & 1 == 1 {
+                        acc ^= pk;
+                    }
+                }
+                *slot = acc;
+            }
+        }
+        let mut lo = [[0u8; 16]; 4];
+        let mut hi = [[0u8; 16]; 4];
+        for (plane, (plo, phi)) in t.iter().zip(lo.iter_mut().zip(hi.iter_mut())) {
+            for (&v, (l, h)) in plane.iter().zip(plo.iter_mut().zip(phi.iter_mut())) {
+                *l = v as u8;
+                *h = (v >> 8) as u8;
+            }
+        }
+        MulTable { t, lo, hi }
+    }
+
+    /// `c · x` by four nibble lookups (no log/exp traffic).
+    // lint: hot
+    #[inline]
+    pub fn mul(&self, x: Gf16) -> Gf16 {
+        let v = x.0 as usize;
+        Gf16(
+            self.t[0][v & 15]
+                ^ self.t[1][v >> 4 & 15]
+                ^ self.t[2][v >> 8 & 15]
+                ^ self.t[3][v >> 12],
+        )
+    }
+
+    /// The u16 product tables (for prepared-matrix construction).
+    pub(crate) fn products(&self) -> &[[u16; 16]; 4] {
+        &self.t
+    }
+}
+
+/// In-place `dst[i] = c · dst[i]` over a slice, dispatching to the best
+/// available kernel.
+// lint: hot
+#[inline]
+pub fn gf_mul_slice(dst: &mut [Gf16], tbl: &MulTable) {
+    #[cfg(all(target_arch = "x86_64", not(feature = "forced-scalar")))]
+    if std::arch::is_x86_feature_detected!("ssse3") {
+        // SAFETY: ssse3 support was just confirmed at runtime.
+        unsafe { x86::mul_slice_ssse3(dst, tbl) };
+        return;
+    }
+    #[cfg(all(target_arch = "aarch64", not(feature = "forced-scalar")))]
+    {
+        // SAFETY: NEON is part of the aarch64 baseline.
+        unsafe { neon::mul_slice_neon(dst, tbl) };
+        return;
+    }
+    #[allow(unreachable_code)]
+    gf_mul_slice_scalar(dst, tbl)
+}
+
+/// `dst[i] ^= c · src[i]` over equal-length slices — the elimination-row
+/// primitive of Gauss–Jordan, dispatched like [`gf_mul_slice`].
+// lint: hot
+#[inline]
+pub fn gf_mulacc_slice(dst: &mut [Gf16], src: &[Gf16], tbl: &MulTable) {
+    assert_eq!(dst.len(), src.len());
+    #[cfg(all(target_arch = "x86_64", not(feature = "forced-scalar")))]
+    if std::arch::is_x86_feature_detected!("ssse3") {
+        // SAFETY: ssse3 support was just confirmed at runtime.
+        unsafe { x86::mulacc_slice_ssse3(dst, src, tbl) };
+        return;
+    }
+    #[cfg(all(target_arch = "aarch64", not(feature = "forced-scalar")))]
+    {
+        // SAFETY: NEON is part of the aarch64 baseline.
+        unsafe { neon::mulacc_slice_neon(dst, src, tbl) };
+        return;
+    }
+    #[allow(unreachable_code)]
+    gf_mulacc_slice_scalar(dst, src, tbl)
+}
+
+/// Scalar `dst[i] = c · dst[i]` — the oracle the SIMD paths are tested
+/// against, and the fallback they dispatch to.
+// lint: hot
+pub fn gf_mul_slice_scalar(dst: &mut [Gf16], tbl: &MulTable) {
+    for d in dst {
+        *d = tbl.mul(*d);
+    }
+}
+
+/// Scalar `dst[i] ^= c · src[i]` oracle/fallback.
+// lint: hot
+pub fn gf_mulacc_slice_scalar(dst: &mut [Gf16], src: &[Gf16], tbl: &MulTable) {
+    assert_eq!(dst.len(), src.len());
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = Gf16(d.0 ^ tbl.mul(*s).0);
+    }
+}
+
+#[cfg(all(target_arch = "x86_64", not(feature = "forced-scalar")))]
+mod x86 {
+    //! SSSE3 nibble-shuffle kernels. Eight `Gf16` per 128-bit vector:
+    //! extract the four nibble planes as per-u16 byte indices (odd bytes
+    //! zero — table entry 0 is `c·0 = 0`, so they contribute nothing),
+    //! shuffle the pre-split low/high product bytes, and XOR-accumulate.
+
+    use super::{Gf16, MulTable};
+    #[allow(clippy::wildcard_imports)] // the intrinsics namespace is the API
+    use std::arch::x86_64::*;
+
+    /// One table position's contribution to the accumulator: low product
+    /// bytes land in the low byte of each u16 lane, high bytes are
+    /// shifted up into the high byte.
+    ///
+    /// # Safety
+    /// Caller must have verified `ssse3`.
+    #[target_feature(enable = "ssse3")]
+    #[inline]
+    unsafe fn contrib(acc: __m128i, idx: __m128i, lo: __m128i, hi: __m128i) -> __m128i {
+        let l = _mm_shuffle_epi8(lo, idx);
+        let h = _mm_slli_epi16(_mm_shuffle_epi8(hi, idx), 8);
+        _mm_xor_si128(acc, _mm_xor_si128(l, h))
+    }
+
+    /// `c · v` for one vector of eight `Gf16`.
+    ///
+    /// # Safety
+    /// Caller must have verified `ssse3`.
+    #[target_feature(enable = "ssse3")]
+    #[inline]
+    unsafe fn mul_vec(v: __m128i, t: &Tables) -> __m128i {
+        let nib = _mm_set1_epi16(0x000f);
+        let n0 = _mm_and_si128(v, nib);
+        let n1 = _mm_and_si128(_mm_srli_epi16(v, 4), nib);
+        let n2 = _mm_and_si128(_mm_srli_epi16(v, 8), nib);
+        let n3 = _mm_srli_epi16(v, 12);
+        let mut acc = _mm_setzero_si128();
+        acc = contrib(acc, n0, t.lo[0], t.hi[0]);
+        acc = contrib(acc, n1, t.lo[1], t.hi[1]);
+        acc = contrib(acc, n2, t.lo[2], t.hi[2]);
+        contrib(acc, n3, t.lo[3], t.hi[3])
+    }
+
+    struct Tables {
+        lo: [__m128i; 4],
+        hi: [__m128i; 4],
+    }
+
+    /// # Safety
+    /// Caller must have verified `ssse3`.
+    #[target_feature(enable = "ssse3")]
+    #[inline]
+    unsafe fn load_tables(tbl: &MulTable) -> Tables {
+        Tables {
+            lo: std::array::from_fn(|p| _mm_loadu_si128(tbl.lo[p].as_ptr() as *const __m128i)),
+            hi: std::array::from_fn(|p| _mm_loadu_si128(tbl.hi[p].as_ptr() as *const __m128i)),
+        }
+    }
+
+    /// # Safety
+    /// Caller must have verified `ssse3`.
+    // lint: hot
+    #[target_feature(enable = "ssse3")]
+    pub(super) unsafe fn mul_slice_ssse3(dst: &mut [Gf16], tbl: &MulTable) {
+        let t = load_tables(tbl);
+        let mut chunks = dst.chunks_exact_mut(8);
+        for c in &mut chunks {
+            let p = c.as_mut_ptr() as *mut __m128i;
+            _mm_storeu_si128(p, mul_vec(_mm_loadu_si128(p), &t));
+        }
+        super::gf_mul_slice_scalar(chunks.into_remainder(), tbl);
+    }
+
+    /// # Safety
+    /// Caller must have verified `ssse3`.
+    // lint: hot
+    #[target_feature(enable = "ssse3")]
+    pub(super) unsafe fn mulacc_slice_ssse3(dst: &mut [Gf16], src: &[Gf16], tbl: &MulTable) {
+        let t = load_tables(tbl);
+        let mut d = dst.chunks_exact_mut(8);
+        let mut s = src.chunks_exact(8);
+        for (dc, sc) in (&mut d).zip(&mut s) {
+            let dp = dc.as_mut_ptr() as *mut __m128i;
+            let sv = _mm_loadu_si128(sc.as_ptr() as *const __m128i);
+            _mm_storeu_si128(dp, _mm_xor_si128(_mm_loadu_si128(dp), mul_vec(sv, &t)));
+        }
+        super::gf_mulacc_slice_scalar(d.into_remainder(), s.remainder(), tbl);
+    }
+}
+
+#[cfg(all(target_arch = "aarch64", not(feature = "forced-scalar")))]
+mod neon {
+    //! NEON mirror of the SSSE3 kernels: `vqtbl1q_u8` is the byte
+    //! shuffle, and NEON is baseline on aarch64 so there is no runtime
+    //! check. Structured identically to `x86` above.
+
+    use super::{Gf16, MulTable};
+    #[allow(clippy::wildcard_imports)] // the intrinsics namespace is the API
+    use std::arch::aarch64::*;
+
+    struct Tables {
+        lo: [uint8x16_t; 4],
+        hi: [uint8x16_t; 4],
+    }
+
+    /// # Safety
+    /// NEON (baseline on aarch64).
+    #[inline]
+    unsafe fn load_tables(tbl: &MulTable) -> Tables {
+        Tables {
+            lo: std::array::from_fn(|p| vld1q_u8(tbl.lo[p].as_ptr())),
+            hi: std::array::from_fn(|p| vld1q_u8(tbl.hi[p].as_ptr())),
+        }
+    }
+
+    /// # Safety
+    /// NEON (baseline on aarch64).
+    #[inline]
+    unsafe fn contrib(
+        acc: uint16x8_t,
+        idx: uint8x16_t,
+        lo: uint8x16_t,
+        hi: uint8x16_t,
+    ) -> uint16x8_t {
+        let l = vreinterpretq_u16_u8(vqtbl1q_u8(lo, idx));
+        let h = vshlq_n_u16::<8>(vreinterpretq_u16_u8(vqtbl1q_u8(hi, idx)));
+        veorq_u16(acc, veorq_u16(l, h))
+    }
+
+    /// # Safety
+    /// NEON (baseline on aarch64).
+    #[inline]
+    unsafe fn mul_vec(v: uint16x8_t, t: &Tables) -> uint16x8_t {
+        let nib = vdupq_n_u16(0x000f);
+        let n0 = vreinterpretq_u8_u16(vandq_u16(v, nib));
+        let n1 = vreinterpretq_u8_u16(vandq_u16(vshrq_n_u16::<4>(v), nib));
+        let n2 = vreinterpretq_u8_u16(vandq_u16(vshrq_n_u16::<8>(v), nib));
+        let n3 = vreinterpretq_u8_u16(vshrq_n_u16::<12>(v));
+        let mut acc = vdupq_n_u16(0);
+        acc = contrib(acc, n0, t.lo[0], t.hi[0]);
+        acc = contrib(acc, n1, t.lo[1], t.hi[1]);
+        acc = contrib(acc, n2, t.lo[2], t.hi[2]);
+        contrib(acc, n3, t.lo[3], t.hi[3])
+    }
+
+    /// # Safety
+    /// NEON (baseline on aarch64).
+    // lint: hot
+    pub(super) unsafe fn mul_slice_neon(dst: &mut [Gf16], tbl: &MulTable) {
+        let t = load_tables(tbl);
+        let mut chunks = dst.chunks_exact_mut(8);
+        for c in &mut chunks {
+            let p = c.as_mut_ptr() as *mut u16;
+            vst1q_u16(p, mul_vec(vld1q_u16(p), &t));
+        }
+        super::gf_mul_slice_scalar(chunks.into_remainder(), tbl);
+    }
+
+    /// # Safety
+    /// NEON (baseline on aarch64).
+    // lint: hot
+    pub(super) unsafe fn mulacc_slice_neon(dst: &mut [Gf16], src: &[Gf16], tbl: &MulTable) {
+        let t = load_tables(tbl);
+        let mut d = dst.chunks_exact_mut(8);
+        let mut s = src.chunks_exact(8);
+        for (dc, sc) in (&mut d).zip(&mut s) {
+            let dp = dc.as_mut_ptr() as *mut u16;
+            let sv = vld1q_u16(sc.as_ptr() as *const u16);
+            vst1q_u16(dp, veorq_u16(vld1q_u16(dp), mul_vec(sv, &t)));
+        }
+        super::gf_mulacc_slice_scalar(d.into_remainder(), s.remainder(), tbl);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simrng::{rng_from_seed, Rng};
+
+    #[test]
+    fn table_mul_matches_field_mul() {
+        let mut rng = rng_from_seed(0x7AB1E);
+        for _ in 0..64 {
+            let c = Gf16(rng.next_u64() as u16);
+            let tbl = MulTable::new(c);
+            for x in [0u16, 1, 2, 0x00ff, 0x0f0f, 0xffff] {
+                assert_eq!(tbl.mul(Gf16(x)), c.mul(Gf16(x)), "c={c} x={x:#x}");
+            }
+            for _ in 0..64 {
+                let x = Gf16(rng.next_u64() as u16);
+                assert_eq!(tbl.mul(x), c.mul(x), "c={c} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn slice_kernels_match_scalar_oracle() {
+        // Lengths straddling the 8-lane vector width, including the
+        // empty slice and pure-tail cases.
+        let mut rng = rng_from_seed(0x51135);
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 17, 64, 100] {
+            let c = Gf16(rng.next_u64() as u16);
+            let tbl = MulTable::new(c);
+            let src: Vec<Gf16> = (0..len).map(|_| Gf16(rng.next_u64() as u16)).collect();
+            let base: Vec<Gf16> = (0..len).map(|_| Gf16(rng.next_u64() as u16)).collect();
+
+            let mut got = src.clone();
+            gf_mul_slice(&mut got, &tbl);
+            let mut want = src.clone();
+            gf_mul_slice_scalar(&mut want, &tbl);
+            assert_eq!(got, want, "mul len={len}");
+
+            let mut got = base.clone();
+            gf_mulacc_slice(&mut got, &src, &tbl);
+            let mut want = base.clone();
+            gf_mulacc_slice_scalar(&mut want, &src, &tbl);
+            assert_eq!(got, want, "mulacc len={len}");
+        }
+    }
+
+    #[test]
+    fn zero_and_one_constants() {
+        let src: Vec<Gf16> = (0..24).map(|i| Gf16(i * 37 + 1)).collect();
+        let mut by_zero = src.clone();
+        gf_mul_slice(&mut by_zero, &MulTable::new(Gf16::ZERO));
+        assert!(by_zero.iter().all(|&v| v == Gf16::ZERO));
+        let mut by_one = src.clone();
+        gf_mul_slice(&mut by_one, &MulTable::new(Gf16::ONE));
+        assert_eq!(by_one, src);
+    }
+
+    #[test]
+    fn active_path_is_consistent_with_features() {
+        let path = active_path();
+        if cfg!(feature = "forced-scalar") {
+            assert_eq!(path, KernelPath::Scalar);
+        }
+        // Smoke the label mapping either way.
+        assert!(["scalar", "ssse3", "neon"].contains(&path.label()));
+    }
+}

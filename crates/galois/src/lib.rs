@@ -8,16 +8,34 @@
 //! (128 KiB + 256 KiB), giving O(1) field ops — the right trade for the
 //! codec benchmarks.
 
+pub mod kernels;
 pub mod matrix;
+pub mod prepared;
 
+pub use kernels::{active_path, gf_mul_slice, gf_mulacc_slice, KernelPath, MulTable};
 pub use matrix::Matrix;
+pub use prepared::PreparedMatrix;
 
 use std::sync::OnceLock;
 
 /// The primitive polynomial: x^16 + x^12 + x^3 + x + 1.
-const POLY: u32 = 0x1100B;
+pub(crate) const POLY: u32 = 0x1100B;
 /// Multiplicative group order.
 const ORDER: usize = 65535;
+
+/// Multiply by the generator `x` (i.e. 2): one shift plus a conditional
+/// reduction. The seed of every nibble-table build — table construction
+/// never touches the log/exp tables, so the SIMD kernels are independent
+/// of (and differentially testable against) the scalar path.
+#[inline]
+pub(crate) fn xtimes(v: u16) -> u16 {
+    let wide = (v as u32) << 1;
+    if wide & 0x10000 != 0 {
+        (wide ^ POLY) as u16
+    } else {
+        wide as u16
+    }
+}
 
 struct Tables {
     /// exp[i] = g^i for i in 0..2·ORDER (doubled to skip a mod in mul).

@@ -2,6 +2,7 @@
 //! dispersal — Vandermonde construction, matrix–vector products, and
 //! Gaussian inversion.
 
+use crate::kernels::{gf_mul_slice, gf_mulacc_slice, MulTable};
 use crate::Gf16;
 
 /// A dense row-major matrix over GF(2¹⁶).
@@ -144,34 +145,53 @@ impl Matrix {
                 a.swap_rows(pivot, col);
                 inv.swap_rows(pivot, col);
             }
-            let p = a[(col, col)].inv();
-            for j in 0..n {
-                a[(col, j)] = a[(col, j)].mul(p);
-                inv[(col, j)] = inv[(col, j)].mul(p);
-            }
+            // Row ops run on whole-row slices through the dispatched
+            // kernels (SIMD when available, scalar otherwise) — XOR
+            // accumulation makes either path bit-identical.
+            let ptbl = MulTable::new(a[(col, col)].inv());
+            gf_mul_slice(a.row_mut(col), &ptbl);
+            gf_mul_slice(inv.row_mut(col), &ptbl);
             for r in 0..n {
                 if r == col || a[(r, col)] == Gf16::ZERO {
                     continue;
                 }
-                let f = a[(r, col)];
-                for j in 0..n {
-                    let av = a[(col, j)].mul(f);
-                    a[(r, j)] = a[(r, j)] + av;
-                    let iv = inv[(col, j)].mul(f);
-                    inv[(r, j)] = inv[(r, j)] + iv;
-                }
+                let ftbl = MulTable::new(a[(r, col)]);
+                let (src, dst) = a.two_rows_mut(col, r);
+                gf_mulacc_slice(dst, src, &ftbl);
+                let (src, dst) = inv.two_rows_mut(col, r);
+                gf_mulacc_slice(dst, src, &ftbl);
             }
         }
         true
+    }
+
+    /// Row `i` as a mutable slice.
+    fn row_mut(&mut self, i: usize) -> &mut [Gf16] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Disjoint borrows of row `src` (shared) and row `dst` (mutable);
+    /// the two must differ.
+    fn two_rows_mut(&mut self, src: usize, dst: usize) -> (&[Gf16], &mut [Gf16]) {
+        assert_ne!(src, dst);
+        let c = self.cols;
+        if src < dst {
+            let (head, tail) = self.data.split_at_mut(dst * c);
+            (&head[src * c..(src + 1) * c], &mut tail[..c])
+        } else {
+            let (head, tail) = self.data.split_at_mut(src * c);
+            (&tail[..c], &mut head[dst * c..(dst + 1) * c])
+        }
     }
 
     fn swap_rows(&mut self, a: usize, b: usize) {
         if a == b {
             return;
         }
-        for j in 0..self.cols {
-            self.data.swap(a * self.cols + j, b * self.cols + j);
-        }
+        let (lo, hi) = (a.min(b), a.max(b));
+        let c = self.cols;
+        let (head, tail) = self.data.split_at_mut(hi * c);
+        head[lo * c..(lo + 1) * c].swap_with_slice(&mut tail[..c]);
     }
 }
 

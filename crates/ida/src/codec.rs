@@ -1,7 +1,7 @@
 //! The `b → d` dispersal codec (Rabin 1989), plus the decode-matrix
 //! cache the flat data plane runs on.
 
-use galois::{Gf16, Matrix};
+use galois::{Gf16, Matrix, PreparedMatrix};
 use simrng::DetHashMap;
 
 /// Decode matrices cached by share-index set, with the scratch the cold
@@ -15,6 +15,13 @@ use simrng::DetHashMap;
 /// and computes it at most once; steady-state decodes are a hash lookup
 /// plus one `b × b` matrix–vector product, with zero allocations.
 ///
+/// Cached inverses are stored *prepared* ([`PreparedMatrix`]): expanded
+/// into nibble-product tables at insertion time, so every warm decode
+/// runs the SIMD-friendly table kernel instead of scalar log/exp
+/// multiplies. Preparation happens only on the (rare) cold path, never
+/// per decode, and changes no result — the table product is
+/// bit-identical to the scalar one (see `galois::kernels`).
+///
 /// Sizing: the healthy store touches at most `d + 1` distinct sets and a
 /// faulted one a few more, so the table effectively never fills. The
 /// [`CACHE_CAP`] clear-on-overflow bound only guards pathological
@@ -25,7 +32,7 @@ use simrng::DetHashMap;
 pub struct DecodeCache {
     // FNV-keyed (simrng::hash): cache iteration and clear order can
     // never depend on process entropy.
-    inverses: DetHashMap<u128, Matrix>,
+    inverses: DetHashMap<u128, PreparedMatrix>,
     hits: u64,
     misses: u64,
     /// Selected encode rows (cold path input).
@@ -104,7 +111,8 @@ impl DecodeCache {
             if self.inverses.len() >= CACHE_CAP {
                 self.inverses.clear();
             }
-            self.inverses.insert(mask, self.inv.clone());
+            self.inverses
+                .insert(mask, PreparedMatrix::from_matrix(&self.inv));
         }
         mask
     }
@@ -119,17 +127,18 @@ pub struct IdaCode {
     b: usize,
     d: usize,
     enc: Matrix,
+    /// The encode matrix expanded into nibble tables once at
+    /// construction — every encode thereafter runs the table kernel.
+    prep: PreparedMatrix,
 }
 
 impl IdaCode {
     /// A `b`-of-`d` code. Requires `1 ≤ b ≤ d ≤ 65535`.
     pub fn new(b: usize, d: usize) -> Self {
         assert!(b >= 1 && b <= d && d <= 65535, "need 1 <= b <= d <= 65535");
-        IdaCode {
-            b,
-            d,
-            enc: Matrix::vandermonde(d, b),
-        }
+        let enc = Matrix::vandermonde(d, b);
+        let prep = PreparedMatrix::from_matrix(&enc);
+        IdaCode { b, d, enc, prep }
     }
 
     /// Data symbols per block.
@@ -159,7 +168,7 @@ impl IdaCode {
         assert_eq!(data.len(), self.b);
         out.clear();
         out.resize(self.d, Gf16::ZERO);
-        self.enc.mul_vec_into(data, out);
+        self.prep.mul_vec_into(data, out);
     }
 
     /// Recover the data from any `≥ b` shares given as `(share_index,
@@ -193,8 +202,66 @@ impl IdaCode {
         cache: &mut DecodeCache,
         out: &mut Vec<Gf16>,
     ) -> bool {
-        if shares.len() < self.b {
+        let Some(mask) = self.prepare_quorum(shares, cache) else {
             return false;
+        };
+        out.clear();
+        out.resize(self.b, Gf16::ZERO);
+        match mask {
+            Some(mask) => cache.inverses[&mask].mul_vec_into(&cache.vals, out),
+            None => cache.inv.mul_vec_into(&cache.vals, out),
+        }
+        true
+    }
+
+    /// Decode only data symbols `row_start..row_start + out.len()` — the
+    /// read path's shortcut: one variable needs 4 of the block's `b`
+    /// symbols, and the prepared inverse can produce exactly those rows.
+    /// Results are bit-identical to the corresponding slice of
+    /// [`decode_into`]'s output; returns `false` if fewer than `b` shares
+    /// are provided.
+    // lint: hot
+    pub fn decode_rows_into(
+        &self,
+        shares: &[(usize, Gf16)],
+        cache: &mut DecodeCache,
+        row_start: usize,
+        out: &mut [Gf16],
+    ) -> bool {
+        assert!(row_start + out.len() <= self.b, "rows out of range");
+        let Some(mask) = self.prepare_quorum(shares, cache) else {
+            return false;
+        };
+        match mask {
+            Some(mask) => cache.inverses[&mask].mul_rows_into(&cache.vals, row_start, out),
+            None => {
+                // Uncacheable set (share index ≥ 128): scalar partial
+                // product over the freshly inverted matrix.
+                for (k, o) in out.iter_mut().enumerate() {
+                    let mut acc = Gf16::ZERO;
+                    for (j, &v) in cache.vals.iter().enumerate() {
+                        acc = acc + cache.inv[(row_start + k, j)].mul(v);
+                    }
+                    *o = acc;
+                }
+            }
+        }
+        true
+    }
+
+    /// Canonicalize the quorum (first `b` pairs, sorted by index) into
+    /// `cache.{idx,vals}` and ensure its decode matrix exists. Returns
+    /// `None` when fewer than `b` shares are provided; otherwise the
+    /// cache key (`None` inside means uncacheable — inverse left in
+    /// `cache.inv`).
+    #[allow(clippy::option_option)] // outer: quorum viability, inner: cacheability
+    fn prepare_quorum(
+        &self,
+        shares: &[(usize, Gf16)],
+        cache: &mut DecodeCache,
+    ) -> Option<Option<u128>> {
+        if shares.len() < self.b {
+            return None;
         }
         cache.sel.clear();
         cache.sel.extend_from_slice(&shares[..self.b]);
@@ -208,20 +275,10 @@ impl IdaCode {
         }
         // Split the cache borrow: `ensure` mutates, then the inverse and
         // the gathered values are read side by side.
-        let mask = {
-            let idx = std::mem::take(&mut cache.idx);
-            let mask = cache.ensure(&self.enc, &idx);
-            cache.idx = idx;
-            mask
-        };
-        let inv = match mask {
-            Some(mask) => &cache.inverses[&mask],
-            None => &cache.inv,
-        };
-        out.clear();
-        out.resize(self.b, Gf16::ZERO);
-        inv.mul_vec_into(&cache.vals, out);
-        true
+        let idx = std::mem::take(&mut cache.idx);
+        let mask = cache.ensure(&self.enc, &idx);
+        cache.idx = idx;
+        Some(mask)
     }
 
     /// Precompute (and cache) the decode matrix for one share-index set —
@@ -372,6 +429,64 @@ mod tests {
         }
         assert!(!cache.is_empty());
         assert!(cache.hits() >= 256, "every second decode hit the cache");
+    }
+
+    /// Property: `decode_rows_into` equals the matching slice of the full
+    /// decode, for every (start, len) and for both cacheable and
+    /// uncacheable quorums, healthy or post-fault.
+    #[test]
+    fn partial_decode_matches_full_decode() {
+        let mut rng = rng_from_seed(0x9A47);
+        let code = IdaCode::new(8, 12);
+        let mut cache = DecodeCache::new();
+        let mut full = Vec::new();
+        for case in 0..64 {
+            let data: Vec<Gf16> = (0..8).map(|_| Gf16(rng.next_u64() as u16)).collect();
+            let shares = code.encode(&data);
+            let ndead = rng.index(5);
+            let dead = rng.sample_distinct(12, ndead);
+            let alive: Vec<usize> = (0..12).filter(|&i| !dead.contains(&(i as u64))).collect();
+            let pick = rng.sample_distinct(alive.len() as u64, 8);
+            let quorum: Vec<(usize, Gf16)> = pick
+                .iter()
+                .map(|&k| (alive[k as usize], shares[alive[k as usize]]))
+                .collect();
+            assert!(code.decode_into(&quorum, &mut cache, &mut full));
+            for start in 0..8 {
+                for len in 0..=(8 - start) {
+                    let mut part = vec![Gf16::ZERO; len];
+                    assert!(code.decode_rows_into(&quorum, &mut cache, start, &mut part));
+                    assert_eq!(
+                        part,
+                        &full[start..start + len],
+                        "case {case} rows {start}+{len}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Share indices ≥ 128 don't fit the cache key: both decode entry
+    /// points must still produce the data via the uncached inverse.
+    #[test]
+    fn uncacheable_quorum_decodes_on_both_entry_points() {
+        let code = IdaCode::new(4, 130);
+        let data: Vec<Gf16> = [21u16, 22, 23, 24].iter().map(|&x| Gf16(x)).collect();
+        let shares = code.encode(&data);
+        let idx = [0usize, 64, 128, 129];
+        let quorum: Vec<(usize, Gf16)> = idx.iter().map(|&i| (i, shares[i])).collect();
+        let mut cache = DecodeCache::new();
+        let mut out = Vec::new();
+        assert!(code.decode_into(&quorum, &mut cache, &mut out));
+        assert_eq!(out, data);
+        assert!(cache.is_empty(), "uncacheable sets are never stored");
+        for start in 0..4 {
+            for len in 0..=(4 - start) {
+                let mut part = vec![Gf16::ZERO; len];
+                assert!(code.decode_rows_into(&quorum, &mut cache, start, &mut part));
+                assert_eq!(part, &data[start..start + len], "rows {start}+{len}");
+            }
+        }
     }
 
     #[test]

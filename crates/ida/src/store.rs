@@ -48,6 +48,16 @@ impl IdaWorkspace {
     pub fn cache_stats(&self) -> (usize, u64, u64) {
         (self.cache.len(), self.cache.hits(), self.cache.misses())
     }
+
+    /// Share indices the most recent access's quorum touched, in
+    /// deterministic probe order. The congestion accounting above the
+    /// store reads this instead of re-deriving the quorum — the store
+    /// already walked it. A failed access (no quorum) leaves the shares
+    /// it probed before giving up, which is exactly what a lost access
+    /// is charged for.
+    pub fn touched(&self) -> &[usize] {
+        &self.touched
+    }
 }
 
 /// Cost of one access, for the E8 experiment.
@@ -69,12 +79,28 @@ impl IdaAccessStats {
     }
 }
 
-/// One dispersed block: `d` shares, each `(value, version)`.
+/// One dispersed block: `d` shares, values and version stamps kept in
+/// separate arrays so the hot version scan (find the newest stamp in a
+/// quorum) walks a dense `u64` slice instead of striding over pairs.
 #[derive(Debug, Clone)]
 struct Block {
-    shares: Vec<(galois::Gf16, u64)>,
+    vals: Vec<galois::Gf16>,
+    vers: Vec<u64>,
     /// Rotation offset so successive writes hit different stale shares.
     write_rotation: usize,
+    /// Plaintext mirror: the block's data as of version [`Self::data_ver`]
+    /// (writes record what they encoded; all-zero at version 0 matches the
+    /// all-zero shares). When a quorum's newest version equals `data_ver`
+    /// *and* carries enough current shares to decode, the decode's result
+    /// is already known bit-for-bit — shares at version `v` are exactly
+    /// `enc(data_v)` and the code is lossless — so the hot path serves
+    /// from the mirror instead of running the matrix product. Stale or
+    /// ahead-of-quorum mirrors (possible only under faults) fail the
+    /// version check and fall back to a real decode, preserving fault
+    /// semantics exactly.
+    data: Vec<galois::Gf16>,
+    /// Version the mirror reflects.
+    data_ver: u64,
 }
 
 /// The IDA-backed shared memory.
@@ -83,6 +109,10 @@ pub struct SchusterStore {
     code: IdaCode,
     vars: usize,
     vars_per_block: usize,
+    /// `⌊2³² / vars_per_block⌋` — `locate`'s division runs as a multiply
+    /// plus one fixup (the divisor is a runtime value the compiler can't
+    /// strength-reduce, and `locate` runs once per access).
+    vpb_recip: u64,
     modules: usize,
     module_stride: usize,
     blocks: Vec<Block>,
@@ -111,14 +141,21 @@ impl SchusterStore {
             d <= modules,
             "a block's {d} shares need distinct modules, only {modules} exist"
         );
+        assert!(
+            vars <= u32::MAX as usize,
+            "locate's reciprocal needs v < 2^32"
+        );
         let code = IdaCode::new(b, d);
         let vars_per_block = b / 4;
         let nblocks = vars.div_ceil(vars_per_block);
         // All-zero data encodes to all-zero shares (linearity), version 0.
         let blocks = (0..nblocks)
             .map(|_| Block {
-                shares: vec![(galois::Gf16::ZERO, 0); d],
+                vals: vec![galois::Gf16::ZERO; d],
+                vers: vec![0; d],
                 write_rotation: 0,
+                data: vec![galois::Gf16::ZERO; b],
+                data_ver: 0,
             })
             .collect();
         let module_stride = (modules / d).max(1);
@@ -126,6 +163,7 @@ impl SchusterStore {
             code,
             vars,
             vars_per_block,
+            vpb_recip: (1u64 << 32) / vars_per_block as u64,
             modules,
             module_stride,
             blocks,
@@ -205,66 +243,110 @@ impl SchusterStore {
         share_module(blk, i, self.module_stride, self.modules)
     }
 
+    // lint: hot
+    #[inline]
     fn locate(&self, v: usize) -> (usize, usize) {
         assert!(v < self.vars, "variable {v} out of range");
-        (v / self.vars_per_block, v % self.vars_per_block)
+        // Reciprocal multiply: the estimate is `⌊v/vpb⌋` or one less
+        // (error < v/2³² < 1), so a single fixup makes it exact.
+        let mut blk = ((v as u64 * self.vpb_recip) >> 32) as usize;
+        let mut off = v - blk * self.vars_per_block;
+        if off >= self.vars_per_block {
+            blk += 1;
+            off -= self.vars_per_block;
+        }
+        debug_assert_eq!(
+            (blk, off),
+            (v / self.vars_per_block, v % self.vars_per_block)
+        );
+        (blk, off)
     }
 
-    /// Recover a block's current data from a quorum of its shares,
+    /// Gather a quorum of block `blk`'s shares into `ws.touched`,
     /// excluding any modules flagged in `unavailable` (an empty slice
-    /// means every module is up). On success the data symbols are left in
-    /// `ws.data` and `(newest_version, stats)` is returned; `None` if no
-    /// quorum is reachable. Allocation-free once `ws` is warm.
-    fn recover_into(
+    /// means every module is up — the fast path, which skips all
+    /// share→module arithmetic because the first `q` shares are the
+    /// quorum by construction). Returns `(newest version stamp, number
+    /// of touched shares at that version)`, or `None` if no quorum is
+    /// reachable. The share *values* are not copied out here — the
+    /// mirror fast path never needs them; a decode fetches them with
+    /// [`Self::fill_current`]. Allocation-free once `ws` is warm.
+    // lint: hot
+    fn gather_quorum(
         &self,
         blk: usize,
         unavailable: &[bool],
         ws: &mut IdaWorkspace,
-    ) -> Option<(u64, IdaAccessStats)> {
+    ) -> Option<(u64, usize)> {
         let d = self.code.d();
         let q = self.quorum();
         let block = &self.blocks[blk];
         // Touch the first q available shares (deterministic order).
         ws.touched.clear();
-        for i in 0..d {
-            if !unavailable
-                .get(self.module_of_share(blk, i))
-                .copied()
-                .unwrap_or(false)
-            {
-                ws.touched.push(i);
-                if ws.touched.len() == q {
-                    break;
+        if unavailable.is_empty() {
+            ws.touched.extend(0..q);
+        } else {
+            for i in 0..d {
+                if !unavailable
+                    .get(self.module_of_share(blk, i))
+                    .copied()
+                    .unwrap_or(false)
+                {
+                    ws.touched.push(i);
+                    if ws.touched.len() == q {
+                        break;
+                    }
                 }
             }
+            if ws.touched.len() < q {
+                return None; // too many modules down: no quorum
+            }
         }
-        if ws.touched.len() < q {
-            return None; // too many modules down: no quorum
+        let mut newest = 0u64;
+        let mut n_current = 0usize;
+        for &i in &ws.touched {
+            let v = block.vers[i];
+            if v > newest {
+                newest = v;
+                n_current = 1;
+            } else if v == newest {
+                n_current += 1;
+            }
         }
-        let newest = ws.touched.iter().map(|&i| block.shares[i].1).max().unwrap();
+        debug_assert!(
+            n_current >= self.code.b(),
+            "quorum intersection must contain b current shares"
+        );
+        Some((newest, n_current))
+    }
+
+    /// Copy the touched shares carrying `newest` into `ws.current` — the
+    /// decode path's input, split out of [`Self::gather_quorum`] so the
+    /// mirror fast path skips the copies.
+    // lint: hot
+    fn fill_current(&self, blk: usize, newest: u64, ws: &mut IdaWorkspace) {
+        let block = &self.blocks[blk];
         ws.current.clear();
         ws.current.extend(
             ws.touched
                 .iter()
-                .filter(|&&i| block.shares[i].1 == newest)
-                .map(|&i| (i, block.shares[i].0)),
+                .filter(|&&i| block.vers[i] == newest)
+                .map(|&i| (i, block.vals[i])),
         );
-        debug_assert!(
-            ws.current.len() >= self.code.b(),
-            "quorum intersection must contain b current shares"
-        );
-        if !self
-            .code
-            .decode_into(&ws.current, &mut ws.cache, &mut ws.data)
-        {
-            return None;
-        }
-        let stats = IdaAccessStats {
-            shares_touched: q as u64,
-            modules_touched: q as u64,
+    }
+
+    /// Per-quorum access cost for the E8 cost model. The read path's
+    /// partial decode computes only 4 of the `b` output symbols, but the
+    /// model keeps charging the full `b × b` product — the counters are
+    /// a deterministic output surface and describe the *scheme*, not the
+    /// kernel shortcut.
+    fn quorum_stats(&self) -> IdaAccessStats {
+        let q = self.quorum() as u64;
+        IdaAccessStats {
+            shares_touched: q,
+            modules_touched: q,
             field_ops: (self.code.b() * self.code.b()) as u64, // decode matrix-vector
-        };
-        Some((newest, stats))
+        }
     }
 
     /// Read variable `v` (convenience; uses the store's own workspace).
@@ -298,9 +380,29 @@ impl SchusterStore {
         ws: &mut IdaWorkspace,
     ) -> Option<(i64, IdaAccessStats)> {
         let (blk, off) = self.locate(v);
-        let (_ver, stats) = self.recover_into(blk, unavailable, ws)?;
+        let (newest, n_current) = self.gather_quorum(blk, unavailable, ws)?;
+        let block = &self.blocks[blk];
+        let word = if block.data_ver == newest && n_current >= self.code.b() {
+            // The plaintext mirror is at the quorum's version and the
+            // quorum could decode (≥ b current shares): the decode's
+            // output is the mirror, bit-for-bit. Serve it directly.
+            symbols_to_word(&block.data[off * 4..off * 4 + 4])
+        } else {
+            // A read needs one variable = 4 symbols: decode just those
+            // rows.
+            self.fill_current(blk, newest, ws);
+            let mut w = [galois::Gf16::ZERO; 4];
+            if !self
+                .code
+                .decode_rows_into(&ws.current, &mut ws.cache, off * 4, &mut w)
+            {
+                return None;
+            }
+            symbols_to_word(&w)
+        };
+        let stats = self.quorum_stats();
         self.total_stats.add(stats);
-        Some((symbols_to_word(&ws.data[off * 4..off * 4 + 4]), stats))
+        Some((word, stats))
     }
 
     /// Write variable `v` (convenience; uses the store's own workspace).
@@ -334,7 +436,24 @@ impl SchusterStore {
         ws: &mut IdaWorkspace,
     ) -> Option<IdaAccessStats> {
         let (blk, off) = self.locate(v);
-        let (ver, mut stats) = self.recover_into(blk, unavailable, ws)?;
+        let (ver, n_current) = self.gather_quorum(blk, unavailable, ws)?;
+        // A write re-encodes the whole block: recover its data, from the
+        // plaintext mirror when it matches the quorum's version (and the
+        // quorum could decode — same condition under which the decode
+        // below succeeds), via the full decode otherwise.
+        if self.blocks[blk].data_ver == ver && n_current >= self.code.b() {
+            ws.data.clear();
+            ws.data.extend_from_slice(&self.blocks[blk].data);
+        } else {
+            self.fill_current(blk, ver, ws);
+            if !self
+                .code
+                .decode_into(&ws.current, &mut ws.cache, &mut ws.data)
+            {
+                return None;
+            }
+        }
+        let mut stats = self.quorum_stats();
         ws.data[off * 4..off * 4 + 4].copy_from_slice(&word_to_symbols(value));
         self.code.encode_into(&ws.data, &mut ws.enc);
         stats.field_ops += (self.code.d() * self.code.b()) as u64;
@@ -348,23 +467,51 @@ impl SchusterStore {
         let (stride, modules) = (self.module_stride, self.modules);
         let block = &mut self.blocks[blk];
         let start = block.write_rotation;
-        block.write_rotation = (block.write_rotation + 1) % d;
-        let mut written = 0;
-        for k in 0..d {
-            let i = (start + k) % d;
-            let module = share_module(blk, i, stride, modules);
-            if unavailable.get(module).copied().unwrap_or(false) {
-                continue;
+        block.write_rotation = if block.write_rotation + 1 == d {
+            0
+        } else {
+            block.write_rotation + 1
+        };
+        if unavailable.is_empty() {
+            // Fast path: every module is up, so the rotated window
+            // [start, start+q) is written as-is — no module arithmetic.
+            for k in 0..q {
+                let i = if start + k >= d {
+                    start + k - d
+                } else {
+                    start + k
+                };
+                block.vals[i] = ws.enc[i];
+                block.vers[i] = ver + 1;
             }
-            block.shares[i] = (ws.enc[i], ver + 1);
-            written += 1;
-            if written == q {
-                break;
+        } else {
+            let mut written = 0;
+            for k in 0..d {
+                let i = if start + k >= d {
+                    start + k - d
+                } else {
+                    start + k
+                };
+                let module = share_module(blk, i, stride, modules);
+                if unavailable.get(module).copied().unwrap_or(false) {
+                    continue;
+                }
+                block.vals[i] = ws.enc[i];
+                block.vers[i] = ver + 1;
+                written += 1;
+                if written == q {
+                    break;
+                }
+            }
+            if written < q {
+                return None;
             }
         }
-        if written < q {
-            return None;
-        }
+        // Record what this version's shares encode (a failed write above
+        // leaves the mirror at its old version, so a later quorum that
+        // still resolves to the old version keeps matching it).
+        block.data.copy_from_slice(&ws.data);
+        block.data_ver = ver + 1;
         stats.shares_touched += q as u64;
         stats.modules_touched += q as u64;
         self.total_stats.add(stats);
@@ -474,6 +621,39 @@ mod tests {
                 reference[v] = val;
             } else {
                 assert_eq!(s.read(v).0, reference[v]);
+            }
+        }
+    }
+
+    #[test]
+    fn mirror_and_decode_paths_agree_under_changing_masks() {
+        // Alternate healthy and faulted phases so accesses keep crossing
+        // between the plaintext-mirror fast path and the real decode
+        // (stale-mirror) path; every read must match a plain reference.
+        let mut s = SchusterStore::new(128, 64, 8, 12);
+        let mut ws = IdaWorkspace::new();
+        s.prewarm_decode(&mut ws);
+        let mut reference = vec![0i64; 128];
+        let mut rng = rng_from_seed(0x3148);
+        let healthy = vec![false; 64];
+        for round in 0..40 {
+            // New mask each round: up to d - q = 2 dead modules.
+            let mut dead = vec![false; 64];
+            let ndead = rng.index(3);
+            for m in rng.sample_distinct(64, ndead) {
+                dead[m as usize] = true;
+            }
+            for step in 0..50 {
+                let mask: &[bool] = if step % 2 == 0 { &dead } else { &healthy };
+                let v = rng.index(128);
+                if rng.chance(0.5) {
+                    let val = rng.next_u64() as i64;
+                    if s.write_in(v, val, mask, &mut ws).is_some() {
+                        reference[v] = val;
+                    }
+                } else if let Some((got, _)) = s.read_in(v, mask, &mut ws) {
+                    assert_eq!(got, reference[v], "round {round} step {step} var {v}");
+                }
             }
         }
     }

@@ -147,6 +147,26 @@ impl SharedHistogram {
         cells.max.fetch_max(value, Ordering::Relaxed);
     }
 
+    /// Record `n` samples of the same `value` in one pass — the batched
+    /// form the shard uses when it times a whole `STEPN` burst once and
+    /// attributes the per-step average to every step in it. Equivalent to
+    /// `n` calls to [`record`](SharedHistogram::record) with `value`:
+    /// `count` grows by `n` and `sum` by `value·n`.
+    // lint: hot
+    #[inline]
+    pub fn record_n(&self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let cells = &*self.inner;
+        cells.buckets[bucket_of(value)].fetch_add(n, Ordering::Relaxed);
+        cells
+            .sum
+            .fetch_add(value.saturating_mul(n), Ordering::Relaxed);
+        cells.min.fetch_min(value, Ordering::Relaxed);
+        cells.max.fetch_max(value, Ordering::Relaxed);
+    }
+
     /// Samples recorded so far.
     pub fn count(&self) -> u64 {
         self.inner
@@ -205,6 +225,21 @@ mod tests {
         assert_eq!(sh.count(), 6);
         assert_eq!(sh.snapshot(), h);
         assert_eq!(sh.snapshot().p99(), h.p99());
+    }
+
+    #[test]
+    fn record_n_equals_n_records() {
+        let batched = SharedHistogram::new();
+        let looped = SharedHistogram::new();
+        for (v, n) in [(0u64, 3u64), (17, 1), (4096, 7), (123_456_789, 2)] {
+            batched.record_n(v, n);
+            for _ in 0..n {
+                looped.record(v);
+            }
+        }
+        batched.record_n(999, 0);
+        assert_eq!(batched.count(), 13);
+        assert_eq!(batched.snapshot(), looped.snapshot());
     }
 
     #[test]

@@ -19,9 +19,15 @@
 //!   the E16 experiment use; no socket in the loop);
 //! * [`tcp::Server`] — the newline-framed TCP front end
 //!   (`repro serve`);
-//! * [`protocol`] — the shared frame grammar (`OPEN`/`STEP`/`STATS`/
-//!   `TRACE`/`CLOSE`/`INFO`/`METRICS`/`EVENTS`), so the wire protocol and
-//!   the in-process API cannot drift apart.
+//! * [`protocol`] — the shared frame grammar (`OPEN`/`STEP`/`STEPN`/
+//!   `STATS`/`TRACE`/`CLOSE`/`INFO`/`METRICS`/`EVENTS`), so the wire
+//!   protocol and the in-process API cannot drift apart.
+//!
+//! Throughput comes from batching at every layer (DESIGN.md §11): `STEPN`
+//! batches steps into one command, [`ServiceHandle::step_many`] pipelines
+//! commands across shards before collecting replies, each shard worker
+//! drains a burst of queued commands per wakeup, and the TCP loop batches
+//! reply flushes while a client's pipelined window is still buffered.
 //!
 //! Observability (DESIGN.md §10) is built in: every shard records into
 //! preregistered `cr-obs` counters/gauges/histograms (merged and rendered
@@ -60,9 +66,9 @@ pub mod tcp;
 pub use cr_core::clock::{SimClock, Tick};
 pub use cr_obs::{Event, EventKind, Registry, SharedHistogram};
 pub use error::ServeError;
-pub use service::{Service, ServiceConfig, ServiceHandle, ServiceInfo};
+pub use service::{BatchStepSummary, Service, ServiceConfig, ServiceHandle, ServiceInfo};
 pub use session::{
     Session, SessionSpec, SessionStats, StepSummary, WorkloadSpec, DEFAULT_MAX_STEPS, DEFAULT_TTL,
     MAX_SESSION_M, MAX_SESSION_N, MAX_STEP_BATCH,
 };
-pub use shard::{OpenInfo, ShardMetrics, TraceInfo, EVENTS_CAPACITY, QUEUE_CAPACITY};
+pub use shard::{OpenInfo, ShardMetrics, TraceInfo, DRAIN_BURST, EVENTS_CAPACITY, QUEUE_CAPACITY};

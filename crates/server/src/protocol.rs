@@ -7,6 +7,7 @@
 //!                       [max-steps=<k>] [ttl-ms=<t>]
 //! STEP <sid> uniform|hotspot|stride [count]
 //! STEP <sid> raw [r=<a,b,..>] [w=<a:v,b:v,..>]
+//! STEPN <sid> <k> [uniform|hotspot|stride]
 //! STATS <sid>
 //! TRACE <sid>
 //! CLOSE <sid>
@@ -183,6 +184,37 @@ pub fn parse(line: &str) -> Result<Frame, String> {
                 count,
             })
         }
+        // The batch form load generators pipeline: the step count is
+        // mandatory and leads, the workload is optional (default
+        // uniform), and raw batches are excluded — `STEPN` exists to
+        // saturate shards, not to carry inline requests. Parses to the
+        // same frame as `STEP`, so execution and replies are shared.
+        "STEPN" => {
+            let [sid, k, rest @ ..] = toks.as_slice() else {
+                return Err("STEPN needs: sid k [workload]".into());
+            };
+            let sid = parse_u64(sid, "sid")?;
+            let count = parse_u64(k, "k")?;
+            let workload = match rest {
+                [] => WorkloadSpec::Uniform,
+                [w] => match w.to_ascii_lowercase().as_str() {
+                    "uniform" => WorkloadSpec::Uniform,
+                    "hotspot" => WorkloadSpec::Hotspot,
+                    "stride" => WorkloadSpec::Stride,
+                    other => {
+                        return Err(format!(
+                            "unknown workload {other} (uniform, hotspot, stride)"
+                        ))
+                    }
+                },
+                _ => return Err("STEPN needs: sid k [workload]".into()),
+            };
+            Ok(Frame::Step {
+                sid,
+                workload,
+                count,
+            })
+        }
         "STATS" => Ok(Frame::Stats(parse_u64(
             toks.first().ok_or("STATS needs: sid")?,
             "sid",
@@ -204,8 +236,8 @@ pub fn parse(line: &str) -> Result<Frame, String> {
         "PING" => Ok(Frame::Ping),
         "QUIT" => Ok(Frame::Quit),
         other => Err(format!(
-            "unknown command {other} (OPEN, STEP, STATS, TRACE, CLOSE, INFO, \
-             METRICS, EVENTS, PING, QUIT)"
+            "unknown command {other} (OPEN, STEP, STEPN, STATS, TRACE, CLOSE, \
+             INFO, METRICS, EVENTS, PING, QUIT)"
         )),
     }
 }
@@ -386,6 +418,44 @@ mod tests {
     }
 
     #[test]
+    fn stepn_variants() {
+        assert_eq!(
+            parse("STEPN 3 32").unwrap(),
+            Frame::Step {
+                sid: 3,
+                workload: WorkloadSpec::Uniform,
+                count: 32
+            }
+        );
+        assert_eq!(
+            parse("stepn 9 4 hotspot").unwrap(),
+            Frame::Step {
+                sid: 9,
+                workload: WorkloadSpec::Hotspot,
+                count: 4
+            }
+        );
+        assert_eq!(
+            parse("STEPN 1 1 stride").unwrap(),
+            Frame::Step {
+                sid: 1,
+                workload: WorkloadSpec::Stride,
+                count: 1
+            }
+        );
+        for bad in [
+            "STEPN",
+            "STEPN 3",
+            "STEPN 3 x",
+            "STEPN 3 2 warp",
+            "STEPN 3 2 raw",
+            "STEPN 3 2 uniform extra",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
     fn malformed_frames_are_errors_not_panics() {
         for bad in [
             "",
@@ -426,7 +496,8 @@ mod tests {
     fn unknown_command_error_lists_every_verb() {
         let err = parse("NOPE").unwrap_err();
         for verb in [
-            "OPEN", "STEP", "STATS", "TRACE", "CLOSE", "INFO", "METRICS", "EVENTS", "PING", "QUIT",
+            "OPEN", "STEP", "STEPN", "STATS", "TRACE", "CLOSE", "INFO", "METRICS", "EVENTS",
+            "PING", "QUIT",
         ] {
             assert!(err.contains(verb), "error omits {verb}: {err}");
         }

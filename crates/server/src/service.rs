@@ -96,6 +96,31 @@ struct ShardLink {
     queue_depth: Gauge,
 }
 
+/// What one [`ServiceHandle::step_many`] batch executed, summed over its
+/// commands. Purely additive, so the total is independent of the order
+/// the shards' replies arrive in.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStepSummary {
+    /// Commands that stepped successfully.
+    pub commands: u64,
+    /// Commands that failed (unknown session, spent budget, …).
+    pub errors: u64,
+    /// Steps executed across the batch.
+    pub executed: u64,
+    /// Protocol phases consumed across the batch.
+    pub phases: u64,
+    /// Network cycles consumed across the batch.
+    pub cycles: u64,
+    /// Messages consumed across the batch.
+    pub messages: u64,
+    /// Cycles attributed to access-protocol stage 1.
+    pub stage1_cycles: u64,
+    /// Cycles attributed to stage 2.
+    pub stage2_cycles: u64,
+    /// Commands whose session ran out of budget mid-command.
+    pub exhausted: u64,
+}
+
 /// The cheap, cloneable client face of the service.
 #[derive(Clone)]
 pub struct ServiceHandle {
@@ -284,6 +309,63 @@ impl ServiceHandle {
             Reply::Step(sum) => Ok(sum),
             _ => Err(ServeError::ShardDown),
         }
+    }
+
+    /// Drive `count` steps of `workload` through every session in `sids`,
+    /// issuing all commands before collecting any reply — the in-process
+    /// pipelining behind batched load generation and the serve bench.
+    /// Every command shares one reply channel sized to the batch, so the
+    /// shard workers never block replying and the caller pays one channel
+    /// setup per *batch* instead of one per command; commands fan out to
+    /// their home shards and execute there in parallel. Per-command
+    /// failures (unknown session, spent budget) are tallied in
+    /// [`BatchStepSummary::errors`], not returned: a batch is a bulk
+    /// operation and one dead session must not mask the rest.
+    // lint: hot
+    pub fn step_many(
+        &self,
+        sids: &[u64],
+        workload: &WorkloadSpec,
+        count: u64,
+    ) -> Result<BatchStepSummary, ServeError> {
+        let (reply_tx, reply_rx) = sync_channel(sids.len().max(1));
+        let mut sent = 0usize;
+        for &sid in sids {
+            let link = self
+                .shards
+                .get(self.shard_of(sid))
+                .ok_or(ServeError::ShardDown)?;
+            link.queue_depth.add(1);
+            let cmd = ShardCmd::Step {
+                sid,
+                workload: workload.clone(), // lint: allow(hot-alloc, one spec clone per command - amortised over the batch)
+                count,
+                reply: reply_tx.clone(), // lint: allow(hot-alloc, channel-handle refcount bump - no heap allocation)
+            };
+            if link.tx.send(cmd).is_err() {
+                link.queue_depth.sub(1);
+                return Err(ServeError::ShardDown);
+            }
+            sent += 1;
+        }
+        let mut sum = BatchStepSummary::default();
+        for _ in 0..sent {
+            match reply_rx.recv().map_err(|_| ServeError::ShardDown)? {
+                Ok(Reply::Step(s)) => {
+                    sum.commands += 1;
+                    sum.executed += s.executed;
+                    sum.phases += s.phases;
+                    sum.cycles += s.cycles;
+                    sum.messages += s.messages;
+                    sum.stage1_cycles += s.stage1_cycles;
+                    sum.stage2_cycles += s.stage2_cycles;
+                    sum.exhausted += u64::from(s.exhausted);
+                }
+                Ok(_) => return Err(ServeError::ShardDown),
+                Err(_) => sum.errors += 1,
+            }
+        }
+        Ok(sum)
     }
 
     /// Aggregate session counters.

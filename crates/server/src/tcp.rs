@@ -12,8 +12,15 @@
 //! the rendered string and announce the count in the header's `lines=`
 //! field, so this loop needs no special casing — clients read the header
 //! line, then exactly that many more lines.
+//!
+//! The loop supports pipelining: clients may send a window of frames
+//! without waiting, and replies come back one line per frame, in order.
+//! Replies go through a [`BufWriter`] that is flushed only when the read
+//! buffer holds no further complete frame — a pipelined window costs one
+//! write syscall, while a ping-pong client still sees every reply flushed
+//! before the loop blocks on the socket again.
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -107,7 +114,7 @@ fn connection_loop(stream: TcpStream, handle: ServiceHandle, stop: Arc<AtomicBoo
         return;
     }
     let mut writer = match stream.try_clone() {
-        Ok(w) => w,
+        Ok(w) => BufWriter::new(w),
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
@@ -122,6 +129,7 @@ fn connection_loop(stream: TcpStream, handle: ServiceHandle, stop: Arc<AtomicBoo
             Ok(_) if !buf.ends_with(b"\n") => {
                 if buf.len() as u64 >= MAX_FRAME {
                     let _ = writer.write_all(b"ERR frame exceeds 64KiB\n");
+                    let _ = writer.flush();
                     return;
                 }
                 at_eof = true; // read_until returned short of EOF: stream end
@@ -133,6 +141,7 @@ fn connection_loop(stream: TcpStream, handle: ServiceHandle, stop: Arc<AtomicBoo
             {
                 if buf.len() as u64 >= MAX_FRAME {
                     let _ = writer.write_all(b"ERR frame exceeds 64KiB\n");
+                    let _ = writer.flush();
                     return;
                 }
                 continue; // idle or mid-line: keep the partial frame, re-check stop
@@ -149,6 +158,7 @@ fn connection_loop(stream: TcpStream, handle: ServiceHandle, stop: Arc<AtomicBoo
                     Some(reply) => Some(reply),
                     None => {
                         let _ = writer.write_all(b"OK bye\n");
+                        let _ = writer.flush();
                         return;
                     }
                 },
@@ -160,9 +170,15 @@ fn connection_loop(stream: TcpStream, handle: ServiceHandle, stop: Arc<AtomicBoo
             if writer
                 .write_all(reply.as_bytes())
                 .and_then(|_| writer.write_all(b"\n"))
-                .and_then(|_| writer.flush())
                 .is_err()
             {
+                return;
+            }
+            // Pipelining seam: while the read buffer already holds the
+            // next complete frame, keep the reply buffered — the whole
+            // window flushes in one syscall once the client would
+            // actually have to wait for it.
+            if !reader.buffer().contains(&b'\n') && writer.flush().is_err() {
                 return;
             }
         }

@@ -171,6 +171,77 @@ fn cross_shard_determinism_same_seed_same_trace() {
     assert_eq!(traces[0], traces[2], "1 vs 4 shards");
 }
 
+/// Batched stepping is an optimization, not a semantic: the same spec
+/// driven by `step_many` or by one `step` call per session produces
+/// bit-identical traces and identical aggregate counters.
+#[test]
+fn step_many_matches_per_session_steps() {
+    let mut traces: Vec<Vec<u64>> = Vec::new();
+    let mut cycles = Vec::new();
+    for batched in [false, true] {
+        let service = Service::start(ServiceConfig::with_shards(2)).expect("spawn shard workers");
+        let h = service.handle();
+        let sids: Vec<u64> = (0..12)
+            .map(|i| h.open(spec().seed(1000 + i)).unwrap().sid)
+            .collect();
+        if batched {
+            let sum = h.step_many(&sids, &WorkloadSpec::Uniform, 5).unwrap();
+            assert_eq!(sum.commands, 12);
+            assert_eq!(sum.errors, 0);
+            assert_eq!(sum.executed, 60);
+            assert_eq!(sum.exhausted, 0);
+            assert_eq!(
+                sum.stage1_cycles + sum.stage2_cycles,
+                sum.cycles,
+                "stage split covers the batch"
+            );
+            cycles.push(sum.cycles);
+        } else {
+            let mut total = 0;
+            for &sid in &sids {
+                total += h.step(sid, WorkloadSpec::Uniform, 5).unwrap().cycles;
+            }
+            cycles.push(total);
+        }
+        traces.push(sids.iter().map(|&s| h.close(s).unwrap().trace).collect());
+        let info = h.info().unwrap();
+        assert_eq!(info.steps, 60);
+        assert_eq!(info.latency.count(), 60, "one sample per step either way");
+        service.shutdown();
+    }
+    assert_eq!(traces[0], traces[1], "batching must not change any trace");
+    assert_eq!(cycles[0], cycles[1]);
+}
+
+/// One dead session in a batch is tallied, not fatal — and does not
+/// disturb the live sessions' progress.
+#[test]
+fn step_many_counts_errors_without_masking_the_batch() {
+    let service = Service::start(ServiceConfig::with_shards(2)).expect("spawn shard workers");
+    let h = service.handle();
+    let live = h.open(spec()).unwrap().sid;
+    let spent = h.open(spec().max_steps(2)).unwrap().sid;
+    let dead = h.open(spec()).unwrap().sid;
+    h.close(dead).unwrap();
+
+    let sum = h
+        .step_many(&[live, spent, dead], &WorkloadSpec::Uniform, 10)
+        .unwrap();
+    assert_eq!(sum.commands, 2, "live + mid-batch-exhausted");
+    assert_eq!(sum.errors, 1, "the closed session");
+    assert_eq!(sum.executed, 12, "10 live + 2 before exhaustion");
+    assert_eq!(sum.exhausted, 1);
+
+    // A second batch: the spent session now errors outright.
+    let sum = h
+        .step_many(&[live, spent], &WorkloadSpec::Uniform, 1)
+        .unwrap();
+    assert_eq!(sum.commands, 1);
+    assert_eq!(sum.errors, 1);
+    assert_eq!(h.stats(live).unwrap().steps, 11);
+    service.shutdown();
+}
+
 #[test]
 fn info_merges_shard_metrics() {
     let service = Service::start(ServiceConfig::with_shards(4)).expect("spawn shard workers");

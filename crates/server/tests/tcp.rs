@@ -195,6 +195,51 @@ fn sessions_are_shared_across_connections() {
     service.shutdown();
 }
 
+/// Pipelining: a window of STEPN frames sent in one write gets one
+/// in-order reply line per frame, and the resulting trace is identical
+/// to the same steps driven ping-pong — the socket discipline is pure
+/// transport.
+#[test]
+fn pipelined_stepn_window_replies_in_order() {
+    let (service, server) = boot(2);
+    let mut c = Client::connect(server.local_addr());
+    let mut sids = Vec::new();
+    for seed in 0..4 {
+        let open = c.roundtrip(&format!("OPEN 8 64 hp-dmmpc seed={}", 300 + seed));
+        sids.push(field(&open, "sid").to_string());
+    }
+    // Two rounds of STEPN across all sessions, written as one burst.
+    let mut window = String::new();
+    for _ in 0..2 {
+        for sid in &sids {
+            window.push_str(&format!("STEPN {sid} 8\n"));
+        }
+    }
+    c.writer.write_all(window.as_bytes()).unwrap();
+    for i in 0..8 {
+        let mut reply = String::new();
+        c.reader.read_line(&mut reply).unwrap();
+        assert_eq!(field(reply.trim_end(), "executed"), "8", "reply {i}");
+    }
+    let tcp_trace = field(&c.roundtrip(&format!("TRACE {}", sids[0])), "trace").to_string();
+    server.shutdown();
+    service.shutdown();
+
+    // The same 16 steps ping-pong, in process.
+    let service = Service::start(ServiceConfig::with_shards(1)).expect("spawn shard workers");
+    let h = service.handle();
+    let open = h
+        .open(cr_serve::SessionSpec::new(8, 64, cr_core::SchemeKind::HpDmmpc).seed(300))
+        .unwrap();
+    for _ in 0..16 {
+        h.step(open.sid, cr_serve::WorkloadSpec::Uniform, 1)
+            .unwrap();
+    }
+    let direct = h.trace(open.sid).unwrap().trace;
+    service.shutdown();
+    assert_eq!(tcp_trace, format!("{direct:016x}"));
+}
+
 #[test]
 fn tcp_trace_matches_in_process_trace() {
     // The socket must be a pure transport: the trace of (seed, steps) is

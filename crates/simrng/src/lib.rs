@@ -99,28 +99,50 @@ pub trait Rng {
     /// `k` distinct values sampled uniformly from `[0, bound)`, in random
     /// order. Uses Floyd's algorithm: O(k) expected work, O(k) memory.
     fn sample_distinct(&mut self, bound: u64, k: usize) -> Vec<u64> {
+        let mut out = Vec::with_capacity(k);
+        self.sample_distinct_into(bound, k, &mut out);
+        out
+    }
+
+    /// [`Rng::sample_distinct`] into a caller-owned buffer, so hot loops
+    /// can reuse one allocation across steps. Consumes the generator
+    /// identically and produces the identical sample: `sample_distinct`
+    /// delegates here.
+    // lint: hot
+    fn sample_distinct_into(&mut self, bound: u64, k: usize, out: &mut Vec<u64>) {
         assert!(
             (k as u64) <= bound,
             "cannot sample {k} distinct from {bound}"
         );
+        out.clear();
         // For dense requests a shuffle of the full range is cheaper and
-        // avoids the hash set.
+        // avoids the membership check.
         if (k as u64) * 4 >= bound * 3 {
-            let mut all: Vec<u64> = (0..bound).collect();
-            self.shuffle(&mut all);
-            all.truncate(k);
-            return all;
+            out.extend(0..bound);
+            self.shuffle(out);
+            out.truncate(k);
+            return;
         }
-        let mut chosen = DetHashSet::with_capacity_and_hasher(k * 2, FnvBuildHasher::default());
-        let mut out = Vec::with_capacity(k);
-        for j in (bound - k as u64)..bound {
-            let t = self.below(j + 1);
-            let v = if chosen.contains(&t) { j } else { t };
-            chosen.insert(v);
-            out.push(v);
+        // Floyd's sampler needs "was t already chosen?". The chosen set is
+        // exactly `out[..]`, so for small k a linear scan beats building a
+        // hash set (and allocates nothing); the answers — hence the output
+        // and the rng stream — are the same either way.
+        if k <= 64 {
+            for j in (bound - k as u64)..bound {
+                let t = self.below(j + 1);
+                let v = if out.contains(&t) { j } else { t };
+                out.push(v);
+            }
+        } else {
+            let mut chosen = DetHashSet::with_capacity_and_hasher(k * 2, FnvBuildHasher::default());
+            for j in (bound - k as u64)..bound {
+                let t = self.below(j + 1);
+                let v = if chosen.contains(&t) { j } else { t };
+                chosen.insert(v);
+                out.push(v);
+            }
         }
-        self.shuffle(&mut out);
-        out
+        self.shuffle(out);
     }
 
     /// A decorrelated child generator, for deterministic parallel streams.
@@ -253,6 +275,54 @@ mod tests {
             let set: std::collections::HashSet<_> = s.iter().collect();
             assert_eq!(set.len(), k, "values must be distinct");
             assert!(s.iter().all(|&v| v < bound));
+        }
+    }
+
+    #[test]
+    fn sample_distinct_into_matches_reference() {
+        // The pre-buffer-reuse algorithm, verbatim: Floyd's with a hash
+        // set, dense fallback. `sample_distinct_into` must consume the
+        // generator identically and produce the identical vector across
+        // the dense, linear-scan (k ≤ 64), and hash-set (k > 64) paths.
+        fn reference(rng: &mut impl Rng, bound: u64, k: usize) -> Vec<u64> {
+            if (k as u64) * 4 >= bound * 3 {
+                let mut all: Vec<u64> = (0..bound).collect();
+                rng.shuffle(&mut all);
+                all.truncate(k);
+                return all;
+            }
+            let mut chosen = DetHashSet::with_capacity_and_hasher(k * 2, FnvBuildHasher::default());
+            let mut out = Vec::with_capacity(k);
+            for j in (bound - k as u64)..bound {
+                let t = rng.below(j + 1);
+                let v = if chosen.contains(&t) { j } else { t };
+                chosen.insert(v);
+                out.push(v);
+            }
+            rng.shuffle(&mut out);
+            out
+        }
+        let mut buf = Vec::new();
+        for &(bound, k) in &[
+            (64u64, 16usize),
+            (100, 10),
+            (16, 16),
+            (1000, 999),
+            (1000, 100),
+            (10_000, 257),
+            (1, 1),
+            (8, 0),
+        ] {
+            let mut ra = rng_from_seed(0xF10D ^ bound ^ k as u64);
+            let mut rb = rng_from_seed(0xF10D ^ bound ^ k as u64);
+            let want = reference(&mut ra, bound, k);
+            rb.sample_distinct_into(bound, k, &mut buf);
+            assert_eq!(buf, want, "bound={bound} k={k}");
+            assert_eq!(
+                ra.next_u64(),
+                rb.next_u64(),
+                "bound={bound} k={k}: generators must stay in lockstep"
+            );
         }
     }
 

@@ -46,16 +46,34 @@ impl StepPattern {
 
 /// `n` distinct uniform variables, a `write_frac` fraction of them writes.
 pub fn uniform(n: usize, m: usize, write_frac: f64, rng: &mut impl Rng) -> StepPattern {
+    let mut out = StepPattern::default();
+    uniform_into(n, m, write_frac, rng, &mut Vec::new(), &mut out);
+    out
+}
+
+/// [`uniform`] into caller-owned buffers: `scratch` holds the sampled
+/// addresses, `out` the pattern. Consumes the generator identically and
+/// produces the identical pattern — [`uniform`] delegates here. Hot
+/// session loops reuse both buffers so steady-state stepping allocates
+/// nothing.
+// lint: hot
+pub fn uniform_into(
+    n: usize,
+    m: usize,
+    write_frac: f64,
+    rng: &mut impl Rng,
+    scratch: &mut Vec<u64>,
+    out: &mut StepPattern,
+) {
     let k = n.min(m);
-    let addrs = rng.sample_distinct(m as u64, k);
-    let n_writes = ((k as f64) * write_frac).round() as usize;
-    let (w, r) = addrs.split_at(n_writes.min(k));
-    StepPattern {
-        reads: r.iter().map(|&a| a as usize).collect(),
-        writes: w
-            .iter()
-            .map(|&a| (a as usize, rng.next_u64() as Word))
-            .collect(),
+    rng.sample_distinct_into(m as u64, k, scratch);
+    let n_writes = (((k as f64) * write_frac).round() as usize).min(k);
+    let (w, r) = scratch.split_at(n_writes);
+    out.reads.clear();
+    out.reads.extend(r.iter().map(|&a| a as usize));
+    out.writes.clear();
+    for &a in w {
+        out.writes.push((a as usize, rng.next_u64() as Word));
     }
 }
 
@@ -105,26 +123,44 @@ impl Zipf {
 
 /// `n` Zipf draws, deduplicated into one read step.
 pub fn hotspot(n: usize, zipf: &Zipf, rng: &mut impl Rng) -> StepPattern {
-    let mut seen = std::collections::BTreeSet::new();
+    let mut out = StepPattern::default();
+    hotspot_into(n, zipf, rng, &mut out);
+    out
+}
+
+/// [`hotspot`] into a caller-owned pattern. Sort-and-dedup over the
+/// reused `reads` buffer replaces the `BTreeSet`: the output (sorted
+/// distinct draws) and the generator stream (one [`Zipf::sample`] per
+/// request, set membership never touched the rng) are identical.
+// lint: hot
+pub fn hotspot_into(n: usize, zipf: &Zipf, rng: &mut impl Rng, out: &mut StepPattern) {
+    out.reads.clear();
+    out.writes.clear();
     for _ in 0..n {
-        seen.insert(zipf.sample(rng));
+        out.reads.push(zipf.sample(rng));
     }
-    StepPattern {
-        reads: seen.into_iter().collect(),
-        writes: Vec::new(),
-    }
+    out.reads.sort_unstable();
+    out.reads.dedup();
 }
 
 /// `n` strided reads: `offset, offset+stride, …` (mod m), deduplicated.
 pub fn stride(n: usize, m: usize, stride: usize, offset: usize) -> StepPattern {
-    let mut seen = std::collections::BTreeSet::new();
+    let mut out = StepPattern::default();
+    stride_into(n, m, stride, offset, &mut out);
+    out
+}
+
+/// [`stride`] into a caller-owned pattern; same sorted-distinct output
+/// as the `BTreeSet` construction it replaces.
+// lint: hot
+pub fn stride_into(n: usize, m: usize, stride: usize, offset: usize, out: &mut StepPattern) {
+    out.reads.clear();
+    out.writes.clear();
     for i in 0..n {
-        seen.insert((offset + i * stride) % m);
+        out.reads.push((offset + i * stride) % m);
     }
-    StepPattern {
-        reads: seen.into_iter().collect(),
-        writes: Vec::new(),
-    }
+    out.reads.sort_unstable();
+    out.reads.dedup();
 }
 
 /// The Theorem 1 concentration attack: the `n` variables whose copies are
@@ -263,6 +299,67 @@ mod tests {
         let p = stride(8, 16, 4, 1);
         // 1, 5, 9, 13, then wraps onto the same residues.
         assert_eq!(p.reads, vec![1, 5, 9, 13]);
+    }
+
+    #[test]
+    fn into_variants_match_reference_generators() {
+        // The pre-buffer-reuse generators, verbatim. The `_into` forms
+        // must produce identical patterns from an identical rng stream.
+        fn uniform_ref(n: usize, m: usize, wf: f64, rng: &mut impl Rng) -> StepPattern {
+            let k = n.min(m);
+            let addrs = rng.sample_distinct(m as u64, k);
+            let n_writes = ((k as f64) * wf).round() as usize;
+            let (w, r) = addrs.split_at(n_writes.min(k));
+            StepPattern {
+                reads: r.iter().map(|&a| a as usize).collect(),
+                writes: w
+                    .iter()
+                    .map(|&a| (a as usize, rng.next_u64() as Word))
+                    .collect(),
+            }
+        }
+        fn hotspot_ref(n: usize, zipf: &Zipf, rng: &mut impl Rng) -> StepPattern {
+            let mut seen = std::collections::BTreeSet::new();
+            for _ in 0..n {
+                seen.insert(zipf.sample(rng));
+            }
+            StepPattern {
+                reads: seen.into_iter().collect(),
+                writes: Vec::new(),
+            }
+        }
+        fn stride_ref(n: usize, m: usize, stride: usize, offset: usize) -> StepPattern {
+            let mut seen = std::collections::BTreeSet::new();
+            for i in 0..n {
+                seen.insert((offset + i * stride) % m);
+            }
+            StepPattern {
+                reads: seen.into_iter().collect(),
+                writes: Vec::new(),
+            }
+        }
+
+        let mut scratch = Vec::new();
+        let mut got = StepPattern::default();
+        let z = Zipf::new(500, 1.1);
+        for seed in 0..8u64 {
+            let mut ra = rng_from_seed(0xA110 + seed);
+            let mut rb = rng_from_seed(0xA110 + seed);
+            for &(n, m, wf) in &[(16usize, 64usize, 0.3f64), (64, 10, 0.0), (100, 4096, 0.5)] {
+                let want = uniform_ref(n, m, wf, &mut ra);
+                uniform_into(n, m, wf, &mut rb, &mut scratch, &mut got);
+                assert_eq!(got, want, "uniform n={n} m={m}");
+            }
+            let want = hotspot_ref(48, &z, &mut ra);
+            hotspot_into(48, &z, &mut rb, &mut got);
+            assert_eq!(got, want, "hotspot");
+            assert_eq!(ra.next_u64(), rb.next_u64(), "rng streams in lockstep");
+        }
+        for &(n, m, st, off) in &[(8usize, 16usize, 4usize, 1usize), (100, 7, 3, 5)] {
+            let want = stride_ref(n, m, st, off);
+            stride_into(n, m, st, off, &mut got);
+            assert_eq!(got, want, "stride n={n} m={m} s={st} o={off}");
+        }
     }
 
     #[test]
