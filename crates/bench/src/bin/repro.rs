@@ -30,6 +30,8 @@
 //!                                # scrape the server's Prometheus text
 //! repro events --addr 127.0.0.1:7077 --sid 3 --out events.jsonl
 //!                                # dump the structured trace-event ring
+//! repro verify --addr 127.0.0.1:7077 [--sid 3]
+//!                                # scrape a PRAM-consistency verdict
 //! repro lint                     # workspace invariant lint (DESIGN.md §9)
 //! repro lint -D --json findings.json
 //!                                # CI form: warnings fail, findings dumped
@@ -54,9 +56,10 @@ fn usage(reg: &[(&str, &str, pram_bench::Runner)]) {
        repro serve [--addr HOST:PORT] [--shards N]\n\
        repro loadgen [--addr HOST:PORT] [--sessions K] [--conns T] \
          [--steps S] [--batch B] [--pipeline W] [--scheme NAME] [--seed S] \
-         [--quick] [--json-out PATH]\n\
+         [--faults F] [--quick] [--json-out PATH]\n\
        repro metrics [--addr HOST:PORT] [--out PATH]\n\
        repro events [--addr HOST:PORT] [--sid SID] [--out PATH]\n\
+       repro verify [--addr HOST:PORT] [--sid SID] [--out PATH]\n\
        repro lint [--root PATH] [-D] [--json PATH] [--rules]"
     );
     eprintln!("  --threads N    parallel sweep driver: E15 measures its");
@@ -181,6 +184,66 @@ fn cmd_scrape(verb: &str, args: &[String]) -> ! {
     }
     eprintln!("{header}");
     std::process::exit(0);
+}
+
+/// `repro verify`: scrape a running server's PRAM-consistency verdict
+/// (`VERIFY` for the service-wide summary, `VERIFY <sid>` for one
+/// session's full report — violation details included). The reply is a
+/// single `OK ...` line; a scrape that cannot parse as one exits 1, so
+/// CI can gate on both the verdict and the framing.
+fn cmd_verify(args: &[String]) -> ! {
+    let mut addr = "127.0.0.1:7077".to_string();
+    let mut sid: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut take = |what: &str| -> String {
+            i += 1;
+            args.get(i).cloned().unwrap_or_else(|| {
+                eprintln!("{flag} needs {what}");
+                std::process::exit(2);
+            })
+        };
+        match flag {
+            "--addr" => addr = take("host:port"),
+            "--sid" => {
+                let v = take("a session id");
+                if v.parse::<u64>().is_err() {
+                    eprintln!("--sid needs a u64");
+                    std::process::exit(2);
+                }
+                sid = Some(v);
+            }
+            "--out" => out = Some(take("a path")),
+            other => {
+                eprintln!("repro verify: unknown flag {other} (--addr, --sid, --out)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let command = match &sid {
+        Some(s) => format!("VERIFY {s}"),
+        None => "VERIFY".to_string(),
+    };
+    let reply = loadgen::scrape_line(&addr, &command).unwrap_or_else(|e| {
+        eprintln!("repro verify: {e}");
+        std::process::exit(1);
+    });
+    if let Some(path) = out {
+        std::fs::write(&path, format!("{reply}\n")).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("wrote verdict to {path}");
+    }
+    println!("{reply}");
+    // The exit code mirrors the verdict so scripts need no parsing:
+    // 0 = consistent (or a zero-violation summary), 1 = violation.
+    let violated = reply.contains("verdict=violation")
+        || loadgen::reply_field(&reply, "violations").is_some_and(|v| v != "0");
+    std::process::exit(i32::from(violated));
 }
 
 /// `repro lint`: run the workspace invariant linter (same engine as the
@@ -317,13 +380,23 @@ fn cmd_loadgen(args: &[String]) -> ! {
                     std::process::exit(2);
                 })
             }
+            "--faults" => {
+                cfg.faults = take("a fraction in [0, 1]")
+                    .parse()
+                    .ok()
+                    .filter(|f| (0.0..=1.0).contains(f))
+                    .unwrap_or_else(|| {
+                        eprintln!("--faults needs a fraction in [0, 1]");
+                        std::process::exit(2);
+                    })
+            }
             "--quick" => {} // handled in the pre-pass above
             "--json-out" => json_out = Some(take("a path")),
             other => {
                 eprintln!(
                     "repro loadgen: unknown flag {other} (--addr, --sessions, \
                      --conns, --steps, --batch, --pipeline, --scheme, --seed, \
-                     --quick, --json-out)"
+                     --faults, --quick, --json-out)"
                 );
                 std::process::exit(2);
             }
@@ -357,6 +430,7 @@ fn main() {
         Some("serve") => cmd_serve(&args[1..]),
         Some("loadgen") => cmd_loadgen(&args[1..]),
         Some(verb @ ("metrics" | "events")) => cmd_scrape(verb, &args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
         _ => {}
     }
@@ -460,6 +534,7 @@ fn main() {
                 println!("  loadgen      drive a running server: K sessions over T conns");
                 println!("  metrics      scrape a running server's Prometheus exposition");
                 println!("  events       dump a running server's trace-event ring as JSONL");
+                println!("  verify       scrape a running server's PRAM-consistency verdict");
                 println!("  lint         workspace invariant linter (cr-lint; see --rules)");
                 return;
             }

@@ -1502,6 +1502,255 @@ pub mod serve {
     }
 }
 
+/// E17 — verification overhead: what the always-on PRAM-consistency
+/// plane (`cr-verify`, DESIGN.md §12) costs the serving layer. For each
+/// flat scheme and each `verify=` mode (off / ring / full) the grid
+/// measures (a) service-wide steps/sec, E16-shaped (concurrent sessions
+/// over sharded `cr-serve`, pipelined `step_many` drivers), and (b)
+/// allocations/step on a single in-process session — the ring mode must
+/// hold the data plane's flat-alloc line (`BENCH_verify.json`).
+pub mod verify_overhead {
+    use super::*;
+    use cr_core::SchemeKind;
+    use cr_serve::{
+        Service, ServiceConfig, Session, SessionSpec, SharedHistogram, SimClock, Tick, VerifyMode,
+        WorkloadSpec,
+    };
+    use std::time::Instant;
+
+    /// Per-session processors (same serving shape as E16).
+    pub const SESSION_N: usize = super::serve::SESSION_N;
+    /// Cells per session.
+    pub const SESSION_M: usize = super::serve::SESSION_M;
+    /// Steps each session executes during the timed window.
+    const STEPS_PER_SESSION: u64 = 64;
+    /// Steps per pipelined command.
+    const BATCH: u64 = 32;
+    /// In-process driver threads.
+    const DRIVERS: usize = 8;
+    /// Steps in the single-session allocation probe's counted window.
+    const PROBE_STEPS: u64 = 256;
+
+    /// The three verification modes under measurement.
+    const MODES: [VerifyMode; 3] = [VerifyMode::Off, VerifyMode::Ring, VerifyMode::Full];
+
+    /// One measured `(scheme, mode)` grid point.
+    #[derive(Debug, Clone)]
+    pub struct VerifyRow {
+        /// Stable scheme name.
+        pub scheme: &'static str,
+        /// Verification mode (`off` / `ring` / `full`).
+        pub mode: &'static str,
+        /// Service shard count.
+        pub shards: usize,
+        /// Concurrent sessions held open through the window.
+        pub sessions: usize,
+        /// Total steps executed across all sessions.
+        pub steps: u64,
+        /// Sustained service-wide throughput.
+        pub steps_per_sec: f64,
+        /// Throughput relative to the same scheme's `off` row (1.0 =
+        /// free; filled by [`rows`] once the `off` baseline exists).
+        pub vs_off: f64,
+        /// Heap allocations per step on a single in-process session
+        /// (steady state, thread-attributed counter; -1 when the
+        /// counting allocator is not installed).
+        pub allocs_per_step: f64,
+        /// Trace ops the service checked over the window
+        /// (`cr_verify_checked_ops_total`; 0 in `off` mode).
+        pub checked_ops: u64,
+    }
+
+    impl VerifyRow {
+        /// The JSON row `repro --json-out` collects.
+        pub fn to_json(&self) -> String {
+            format!(
+                concat!(
+                    "{{\"experiment\":\"E17\",\"scheme\":\"{}\",\"mode\":\"{}\",",
+                    "\"shards\":{},\"sessions\":{},\"n\":{},\"m\":{},\"steps\":{},",
+                    "\"steps_per_sec\":{:.2},\"vs_off\":{:.3},",
+                    "\"allocs_per_step\":{:.2},\"checked_ops\":{}}}"
+                ),
+                self.scheme,
+                self.mode,
+                self.shards,
+                self.sessions,
+                SESSION_N,
+                SESSION_M,
+                self.steps,
+                self.steps_per_sec,
+                self.vs_off,
+                self.allocs_per_step,
+                self.checked_ops,
+            )
+        }
+    }
+
+    /// Same exclusion as E16: the routed 2DMOT schemes simulate every
+    /// packet and E15 already covers their single-session cost.
+    fn flat(kind: SchemeKind) -> bool {
+        !matches!(kind, SchemeKind::Hp2dmotLeaves | SchemeKind::Lpp2dmot)
+    }
+
+    /// The `(shards, sessions)` point; one per run — the variable under
+    /// test is the verify mode, not the grid.
+    fn point(ctx: &RunCtx) -> (usize, usize) {
+        if ctx.quick {
+            (2, 32)
+        } else {
+            (2, 256)
+        }
+    }
+
+    /// Allocations/step of one in-process session at steady state. The
+    /// verifier preallocates everything at `open` (ring, spill, checker
+    /// cells), so ring mode must measure the same as off; the counted
+    /// window starts after a warm-up block that fills every reusable
+    /// buffer.
+    fn alloc_probe(kind: SchemeKind, mode: VerifyMode, seed: u64) -> f64 {
+        if !metrics::counting::is_active() {
+            return -1.0;
+        }
+        let clock = SimClock::manual();
+        let lat = SharedHistogram::new();
+        let spec = SessionSpec::new(SESSION_N, SESSION_M, kind)
+            .seed(seed)
+            .verify(mode)
+            .max_steps(PROBE_STEPS * 4);
+        let mut s = Session::open(spec, Tick::ZERO).expect("E17 session specs are feasible");
+        s.step(&WorkloadSpec::Uniform, PROBE_STEPS, &lat, &clock)
+            .expect("warm-up steps are in budget");
+        let a0 = metrics::counting::thread_allocations();
+        s.step(&WorkloadSpec::Uniform, PROBE_STEPS, &lat, &clock)
+            .expect("probe steps are in budget");
+        let allocs = metrics::counting::thread_allocations() - a0;
+        allocs as f64 / PROBE_STEPS as f64
+    }
+
+    /// Measure one `(scheme, mode)` point: E16's driver shape (sessions
+    /// opened up front, pipelined `step_many` rounds), with every
+    /// session opened in the given verify mode.
+    fn measure(kind: SchemeKind, mode: VerifyMode, ctx: &RunCtx) -> VerifyRow {
+        let (shards, sessions) = point(ctx);
+        let service =
+            Service::start(ServiceConfig::with_shards(shards)).expect("spawn shard workers");
+        let h = service.handle();
+        let sids: Vec<u64> = (0..sessions)
+            .map(|i| {
+                h.open(
+                    SessionSpec::new(SESSION_N, SESSION_M, kind)
+                        .seed(ctx.seed ^ simrng::mix64(i as u64))
+                        .verify(mode),
+                )
+                .expect("E17 session specs are feasible")
+                .sid
+            })
+            .collect();
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            for chunk in sids.chunks(sessions.div_ceil(DRIVERS.min(sessions))) {
+                let h = h.clone();
+                scope.spawn(move || {
+                    for _ in 0..(STEPS_PER_SESSION / BATCH) {
+                        let sum = h
+                            .step_many(chunk, &WorkloadSpec::Uniform, BATCH)
+                            .expect("shards stay up");
+                        assert_eq!(sum.errors, 0, "in-budget steps succeed");
+                    }
+                });
+            }
+        });
+        let elapsed = t0.elapsed().as_secs_f64().max(1e-9);
+        let steps = sessions as u64 * STEPS_PER_SESSION;
+        let checked_ops = h
+            .registry()
+            .total("cr_verify_checked_ops_total")
+            .unwrap_or(0);
+        service.shutdown();
+        VerifyRow {
+            scheme: kind.name(),
+            mode: mode.name(),
+            shards,
+            sessions,
+            steps,
+            steps_per_sec: steps as f64 / elapsed,
+            vs_off: 1.0,
+            allocs_per_step: alloc_probe(kind, mode, ctx.seed ^ 17),
+            checked_ops,
+        }
+    }
+
+    /// Measure the whole grid and fill each row's `vs_off` ratio against
+    /// its scheme's `off` baseline (measured first per scheme).
+    pub fn rows(ctx: &RunCtx) -> Vec<VerifyRow> {
+        let mut out = Vec::new();
+        for &kind in ctx.schemes.iter().filter(|&&k| flat(k)) {
+            let mut off_rate = 0.0f64;
+            for mode in MODES {
+                let mut row = measure(kind, mode, ctx);
+                if matches!(mode, VerifyMode::Off) {
+                    off_rate = row.steps_per_sec;
+                }
+                row.vs_off = if off_rate > 0.0 {
+                    row.steps_per_sec / off_rate
+                } else {
+                    1.0
+                };
+                out.push(row);
+            }
+        }
+        out
+    }
+
+    /// Render rows as the experiment's table + JSON block.
+    pub fn render(rows: &[VerifyRow], ctx: &RunCtx) -> String {
+        let mut t = Table::new(vec![
+            "scheme",
+            "mode",
+            "sessions",
+            "steps/sec",
+            "vs off",
+            "allocs/step",
+            "checked ops",
+        ]);
+        let mut json = String::new();
+        for r in rows {
+            t.row(vec![
+                r.scheme.to_string(),
+                r.mode.to_string(),
+                r.sessions.to_string(),
+                fnum(r.steps_per_sec),
+                format!("{:.3}", r.vs_off),
+                format!("{:.2}", r.allocs_per_step),
+                r.checked_ops.to_string(),
+            ]);
+            json.push_str(&r.to_json());
+            json.push('\n');
+        }
+        let (shards, sessions) = point(ctx);
+        format!(
+            "E17: verification overhead — the cr-verify plane (DESIGN.md §12)\n\
+             priced against the serving layer: {sessions} concurrent sessions\n\
+             (n={}, m={}) over {shards} shards, {} steps/session, every\n\
+             session opened verify=off|ring|full (seed {}{}).\n\
+             allocs/step is a single-session steady-state probe — ring mode\n\
+             preallocates at open, so it must match off.\n{}\njson:\n{}",
+            SESSION_N,
+            SESSION_M,
+            STEPS_PER_SESSION,
+            ctx.seed,
+            if ctx.quick { ", --quick" } else { "" },
+            t.render(),
+            json
+        )
+    }
+
+    /// Render the grid (the `repro` registry entry point).
+    pub fn run(ctx: &RunCtx) -> String {
+        render(&rows(ctx), ctx)
+    }
+}
+
 /// End-to-end: classic P-RAM programs through every scheme, asserting
 /// result equality with the ideal machine.
 pub mod programs_e2e {

@@ -171,6 +171,13 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             experiments::serve::run,
         ),
         (
+            // Not "verify": that word is the scrape subcommand (`repro
+            // verify`), which main() dispatches before experiment ids.
+            "verify-overhead",
+            "E17: verification overhead (verify=off/ring/full over cr-serve)",
+            experiments::verify_overhead::run,
+        ),
+        (
             "programs",
             "End-to-end: P-RAM programs through every scheme",
             experiments::programs_e2e::run,

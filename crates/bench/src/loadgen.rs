@@ -40,6 +40,10 @@ pub struct LoadgenConfig {
     pub m: usize,
     /// Base seed (session i gets a mixed derivative).
     pub seed: u64,
+    /// Static module-fault fraction injected at `OPEN` (0 = none).
+    /// Masked faults are exactly what the verification plane is built to
+    /// certify: a `--faults` run should still scrape `violations=0`.
+    pub faults: f64,
 }
 
 impl Default for LoadgenConfig {
@@ -55,6 +59,7 @@ impl Default for LoadgenConfig {
             n: 16,
             m: 64,
             seed: simrng::DEFAULT_SEED,
+            faults: 0.0,
         }
     }
 }
@@ -224,6 +229,13 @@ pub fn scrape(addr: &str, command: &str) -> Result<(String, Vec<String>), String
     Conn::connect(addr)?.roundtrip_multi(command)
 }
 
+/// One-shot scrape of a single-line verb (`VERIFY [sid]`, `STATS`,
+/// `TRACE`) against a running server: returns the `OK ...` reply line.
+/// Behind `repro verify`.
+pub fn scrape_line(addr: &str, command: &str) -> Result<String, String> {
+    Conn::connect(addr)?.roundtrip(command)
+}
+
 /// Pull `key=value` out of a reply line.
 pub fn reply_field<'a>(reply: &'a str, key: &str) -> Option<&'a str> {
     let tag = format!("{key}=");
@@ -260,8 +272,13 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
                             let seed = cfg
                                 .seed
                                 .wrapping_add(simrng::mix64((c * cfg.sessions + i) as u64));
+                            let faults = if cfg.faults > 0.0 {
+                                format!(" faults={}", cfg.faults)
+                            } else {
+                                String::new()
+                            };
                             let reply = conn.roundtrip(&format!(
-                                "OPEN {} {} {} seed={seed}",
+                                "OPEN {} {} {} seed={seed}{faults}",
                                 cfg.n,
                                 cfg.m,
                                 cfg.scheme.name()

@@ -169,6 +169,16 @@ pub trait Scheme: SharedMemory + fmt::Debug + Send {
     fn fault_counters(&self) -> Option<FaultTotals> {
         None
     }
+
+    /// Whether `addr` is statically *lost* — every stored copy of the
+    /// cell destroyed, so reads return a default rather than a value the
+    /// program wrote. Fault-free schemes lose nothing; `cr-faults`'
+    /// `FaultyScheme` overrides this from its fault plan. The trace
+    /// verifier (`cr-verify`) uses it to excuse exactly these reads from
+    /// value-legality checking — a masked fault run must verify clean.
+    fn cell_lost(&self, _addr: usize) -> bool {
+        false
+    }
 }
 
 /// Cumulative fault-exposure counters of a fault-injecting scheme

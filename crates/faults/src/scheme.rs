@@ -558,4 +558,8 @@ impl Scheme for FaultyScheme {
             dead_modules: self.report.dead_modules as u64,
         })
     }
+
+    fn cell_lost(&self, addr: usize) -> bool {
+        !self.recoverable.get(addr).copied().unwrap_or(true)
+    }
 }

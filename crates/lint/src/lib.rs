@@ -45,6 +45,7 @@ pub const DATA_PLANE_CRATES: &[&str] = &[
     "simrng",
     "server",
     "obs",
+    "verify",
 ];
 
 /// Prefix of the serving-path sources that must be panic-free
@@ -202,6 +203,11 @@ mod tests {
         assert!(context_for("crates/server/tests/tcp.rs").is_none());
         assert!(
             context_for("crates/obs/src/handles.rs")
+                .unwrap()
+                .determinism
+        );
+        assert!(
+            context_for("crates/verify/src/checker.rs")
                 .unwrap()
                 .determinism
         );

@@ -35,6 +35,10 @@ pub enum EventKind {
     /// A step was served through fault handling: `a` = dead copy-access
     /// attempts, `b` = dropped messages (deltas for this command).
     Fault,
+    /// A PRAM-consistency snapshot (`VERIFY` served, or a session's
+    /// first violation): `a` = trace ops checked, `b` = violated (0/1),
+    /// `c` = records truncated, `d` = coverage (0 = full, 1 = window).
+    Verify,
 }
 
 impl EventKind {
@@ -47,6 +51,7 @@ impl EventKind {
             EventKind::Close => "close",
             EventKind::QueueFull => "queue_full",
             EventKind::Fault => "fault",
+            EventKind::Verify => "verify",
         }
     }
 }
@@ -100,6 +105,13 @@ impl Event {
             EventKind::Fault => format!(
                 ",\"dead_attempts\":{},\"dropped_messages\":{}}}",
                 self.a, self.b
+            ),
+            EventKind::Verify => format!(
+                ",\"ops\":{},\"violated\":{},\"truncated\":{},\"coverage\":\"{}\"}}",
+                self.a,
+                self.b,
+                self.c,
+                if self.d == 0 { "full" } else { "window" }
             ),
         };
         head + &tail
@@ -273,6 +285,19 @@ mod tests {
         assert_eq!(
             qf.to_json(),
             "{\"tick\":1,\"sid\":0,\"kind\":\"queue_full\",\"depth\":1024}"
+        );
+        let vf = Event {
+            tick: 2,
+            sid: 5,
+            kind: EventKind::Verify,
+            a: 640,
+            b: 0,
+            c: 0,
+            d: 1,
+        };
+        assert_eq!(
+            vf.to_json(),
+            "{\"tick\":2,\"sid\":5,\"kind\":\"verify\",\"ops\":640,\"violated\":0,\"truncated\":0,\"coverage\":\"window\"}"
         );
     }
 }

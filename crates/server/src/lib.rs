@@ -20,8 +20,8 @@
 //! * [`tcp::Server`] — the newline-framed TCP front end
 //!   (`repro serve`);
 //! * [`protocol`] — the shared frame grammar (`OPEN`/`STEP`/`STEPN`/
-//!   `STATS`/`TRACE`/`CLOSE`/`INFO`/`METRICS`/`EVENTS`), so the wire
-//!   protocol and the in-process API cannot drift apart.
+//!   `STATS`/`TRACE`/`VERIFY`/`CLOSE`/`INFO`/`METRICS`/`EVENTS`), so the
+//!   wire protocol and the in-process API cannot drift apart.
 //!
 //! Throughput comes from batching at every layer (DESIGN.md §11): `STEPN`
 //! batches steps into one command, [`ServiceHandle::step_many`] pipelines
@@ -36,6 +36,14 @@
 //! [`SimClock`] ticks (dumped as JSONL by `EVENTS` /
 //! [`ServiceHandle::events`]). Under a manual clock both surfaces are
 //! deterministic: same seed, same bytes, at any shard count.
+//!
+//! Verification (DESIGN.md §12) turns the trace from reproducible into
+//! *self-checking*: every session records its read/write ops through
+//! `cr-verify` (ring-buffered by default, `OPEN ... verify=off|ring|full`
+//! to change) and an online PRAM-consistency checker validates them as
+//! they happen; `VERIFY [sid]` reports the verdict, and the
+//! `cr_verify_*` counters surface checked ops, violations, and ring
+//! truncations through `METRICS`.
 //!
 //! ```
 //! use cr_serve::{Service, ServiceConfig, SessionSpec, WorkloadSpec};
@@ -65,10 +73,14 @@ pub mod tcp;
 
 pub use cr_core::clock::{SimClock, Tick};
 pub use cr_obs::{Event, EventKind, Registry, SharedHistogram};
+pub use cr_verify::{Coverage, VerifyMode, VerifyReport, Violation, ViolationKind};
 pub use error::ServeError;
 pub use service::{BatchStepSummary, Service, ServiceConfig, ServiceHandle, ServiceInfo};
 pub use session::{
     Session, SessionSpec, SessionStats, StepSummary, WorkloadSpec, DEFAULT_MAX_STEPS, DEFAULT_TTL,
     MAX_SESSION_M, MAX_SESSION_N, MAX_STEP_BATCH,
 };
-pub use shard::{OpenInfo, ShardMetrics, TraceInfo, DRAIN_BURST, EVENTS_CAPACITY, QUEUE_CAPACITY};
+pub use shard::{
+    OpenInfo, ShardMetrics, TraceInfo, VerifyInfo, VerifySummary, DRAIN_BURST, EVENTS_CAPACITY,
+    QUEUE_CAPACITY,
+};

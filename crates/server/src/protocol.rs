@@ -5,11 +5,13 @@
 //! ```text
 //! OPEN <n> <m> <scheme> [c=<c>] [seed=<u64>] [faults=<f>]
 //!                       [max-steps=<k>] [ttl-ms=<t>]
+//!                       [verify=off|ring|full]
 //! STEP <sid> uniform|hotspot|stride [count]
 //! STEP <sid> raw [r=<a,b,..>] [w=<a:v,b:v,..>]
 //! STEPN <sid> <k> [uniform|hotspot|stride]
 //! STATS <sid>
 //! TRACE <sid>
+//! VERIFY [sid]
 //! CLOSE <sid>
 //! INFO
 //! METRICS
@@ -34,7 +36,7 @@ use std::time::Duration;
 use crate::error::ServeError;
 use crate::service::{ServiceHandle, ServiceInfo};
 use crate::session::{SessionSpec, SessionStats, StepSummary, WorkloadSpec};
-use crate::shard::{OpenInfo, TraceInfo};
+use crate::shard::{OpenInfo, TraceInfo, VerifyInfo, VerifySummary};
 
 /// One parsed client command.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,6 +56,9 @@ pub enum Frame {
     Stats(u64),
     /// Report the trace hash.
     Trace(u64),
+    /// Report one session's PRAM-consistency verdict, or the
+    /// service-wide summary.
+    Verify(Option<u64>),
     /// Close a session.
     Close(u64),
     /// Report service-wide counters.
@@ -132,6 +137,7 @@ pub fn parse(line: &str) -> Result<Frame, String> {
                     }
                     "max-steps" => spec.max_steps = parse_u64(v, "max-steps")?,
                     "ttl-ms" => spec.ttl = Duration::from_millis(parse_u64(v, "ttl-ms")?),
+                    "verify" => spec.verify = v.parse()?,
                     other => return Err(format!("OPEN: unknown option {other}")),
                 }
             }
@@ -223,6 +229,10 @@ pub fn parse(line: &str) -> Result<Frame, String> {
             toks.first().ok_or("TRACE needs: sid")?,
             "sid",
         )?)),
+        "VERIFY" => Ok(Frame::Verify(match toks.first() {
+            Some(tok) => Some(parse_u64(tok, "sid")?),
+            None => None,
+        })),
         "CLOSE" => Ok(Frame::Close(parse_u64(
             toks.first().ok_or("CLOSE needs: sid")?,
             "sid",
@@ -236,8 +246,8 @@ pub fn parse(line: &str) -> Result<Frame, String> {
         "PING" => Ok(Frame::Ping),
         "QUIT" => Ok(Frame::Quit),
         other => Err(format!(
-            "unknown command {other} (OPEN, STEP, STEPN, STATS, TRACE, CLOSE, \
-             INFO, METRICS, EVENTS, PING, QUIT)"
+            "unknown command {other} (OPEN, STEP, STEPN, STATS, TRACE, VERIFY, \
+             CLOSE, INFO, METRICS, EVENTS, PING, QUIT)"
         )),
     }
 }
@@ -276,6 +286,54 @@ pub fn render_stats(st: &SessionStats) -> String {
 /// Render a `TRACE` reply.
 pub fn render_trace(t: &TraceInfo) -> String {
     format!("OK sid={} steps={} trace={:016x}", t.sid, t.steps, t.trace)
+}
+
+/// Render a `VERIFY <sid>` reply. Every field is derived from the
+/// session's spec-determined op stream — no ticks, no shard ids — so
+/// the line is byte-identical at any shard count (the per-sid analogue
+/// of the trace hash's invariance). A violation appends its structured
+/// explanation: the violating op's lifetime index, cell, observed and
+/// required values, the latest write's index (`wop=none` when the cell
+/// was never written), and the stale/unknown classification.
+pub fn render_verify(info: &VerifyInfo) -> String {
+    let r = &info.report;
+    let mut out = format!(
+        "OK sid={} verdict={} mode={} ops={} reads={} writes={} excused={} \
+         coverage={} retained={} truncated={}",
+        info.sid,
+        r.verdict(),
+        r.mode.name(),
+        r.ops,
+        r.reads,
+        r.writes,
+        r.excused,
+        r.coverage.name(),
+        r.retained,
+        r.truncated,
+    );
+    if let Some(v) = &r.violation {
+        out.push_str(&format!(
+            " vop={} vaddr={} got={} expected={} wop={} vkind={}",
+            v.op,
+            v.addr,
+            v.got,
+            v.expected,
+            match v.write_op {
+                Some(w) => w.to_string(),
+                None => "none".to_string(),
+            },
+            v.kind.name(),
+        ));
+    }
+    out
+}
+
+/// Render a bare `VERIFY` reply: the service-wide self-check summary.
+pub fn render_verify_summary(s: &VerifySummary) -> String {
+    format!(
+        "OK sessions={} unchecked={} ops={} violations={} truncated={}",
+        s.sessions, s.unchecked, s.ops, s.violations, s.truncated
+    )
 }
 
 /// Render a `CLOSE` reply.
@@ -355,6 +413,8 @@ pub fn execute(handle: &ServiceHandle, frame: Frame) -> Option<String> {
         } => handle.step(sid, workload, count).map(|s| render_step(&s)),
         Frame::Stats(sid) => handle.stats(sid).map(|s| render_stats(&s)),
         Frame::Trace(sid) => handle.trace(sid).map(|t| render_trace(&t)),
+        Frame::Verify(Some(sid)) => handle.verify(sid).map(|v| render_verify(&v)),
+        Frame::Verify(None) => handle.verify_all().map(|s| render_verify_summary(&s)),
         Frame::Close(sid) => handle.close(sid).map(|t| render_close(&t)),
         Frame::Info => handle.info().map(|i| render_info(&i)),
         Frame::Metrics => Ok(render_metrics(&handle.metrics_text())),
@@ -490,17 +550,100 @@ mod tests {
         assert_eq!(parse("EVENTS").unwrap(), Frame::Events(None));
         assert_eq!(parse("events 42").unwrap(), Frame::Events(Some(42)));
         assert!(parse("EVENTS nope").is_err());
+        assert_eq!(parse("VERIFY").unwrap(), Frame::Verify(None));
+        assert_eq!(parse("verify 7").unwrap(), Frame::Verify(Some(7)));
+        assert!(parse("VERIFY nope").is_err());
+    }
+
+    #[test]
+    fn open_verify_mode_round_trips() {
+        use cr_verify::VerifyMode;
+        for (opt, want) in [
+            ("off", VerifyMode::Off),
+            ("ring", VerifyMode::Ring),
+            ("full", VerifyMode::Full),
+        ] {
+            match parse(&format!("OPEN 8 64 hashed verify={opt}")).unwrap() {
+                Frame::Open(spec) => assert_eq!(spec.verify, want),
+                other => panic!("wrong frame: {other:?}"),
+            }
+        }
+        // The default is ring: the service self-checks unless told not to.
+        match parse("OPEN 8 64 hashed").unwrap() {
+            Frame::Open(spec) => assert_eq!(spec.verify, VerifyMode::Ring),
+            other => panic!("wrong frame: {other:?}"),
+        }
+        assert!(parse("OPEN 8 64 hashed verify=sometimes").is_err());
     }
 
     #[test]
     fn unknown_command_error_lists_every_verb() {
         let err = parse("NOPE").unwrap_err();
         for verb in [
-            "OPEN", "STEP", "STEPN", "STATS", "TRACE", "CLOSE", "INFO", "METRICS", "EVENTS",
-            "PING", "QUIT",
+            "OPEN", "STEP", "STEPN", "STATS", "TRACE", "VERIFY", "CLOSE", "INFO", "METRICS",
+            "EVENTS", "PING", "QUIT",
         ] {
             assert!(err.contains(verb), "error omits {verb}: {err}");
         }
+    }
+
+    #[test]
+    fn verify_replies_render_stably() {
+        use cr_verify::{Coverage, VerifyMode, VerifyReport, Violation, ViolationKind};
+        let clean = VerifyInfo {
+            sid: 3,
+            report: VerifyReport {
+                mode: VerifyMode::Ring,
+                ops: 640,
+                reads: 420,
+                writes: 220,
+                excused: 2,
+                retained: 640,
+                truncated: 0,
+                coverage: Coverage::Full,
+                violation: None,
+            },
+        };
+        assert_eq!(
+            render_verify(&clean),
+            "OK sid=3 verdict=consistent mode=ring ops=640 reads=420 writes=220 \
+             excused=2 coverage=full retained=640 truncated=0"
+        );
+        let bad = VerifyInfo {
+            sid: 9,
+            report: VerifyReport {
+                violation: Some(Violation {
+                    op: 12,
+                    tick: 0,
+                    addr: 5,
+                    got: 3,
+                    expected: 9,
+                    write_op: Some(4),
+                    kind: ViolationKind::StaleValue,
+                }),
+                coverage: Coverage::Window,
+                truncated: 64,
+                retained: 576,
+                ..clean.report
+            },
+        };
+        assert_eq!(
+            render_verify(&bad),
+            "OK sid=9 verdict=violation mode=ring ops=640 reads=420 writes=220 \
+             excused=2 coverage=window retained=576 truncated=64 \
+             vop=12 vaddr=5 got=3 expected=9 wop=4 vkind=stale"
+        );
+        let sum = VerifySummary {
+            sessions: 4,
+            unchecked: 1,
+            ops: 100,
+            violations: 0,
+            truncated: 7,
+        };
+        assert_eq!(
+            render_verify_summary(&sum),
+            "OK sessions=4 unchecked=1 ops=100 violations=0 truncated=7"
+        );
     }
 
     #[test]

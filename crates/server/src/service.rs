@@ -26,8 +26,8 @@ use std::thread::JoinHandle;
 use crate::error::ServeError;
 use crate::session::{SessionSpec, SessionStats, StepSummary, WorkloadSpec};
 use crate::shard::{
-    spawn_shard, OpenInfo, Reply, ShardCmd, ShardMetrics, ShardObs, TraceInfo, EVENTS_CAPACITY,
-    QUEUE_CAPACITY,
+    spawn_shard, OpenInfo, Reply, ShardCmd, ShardMetrics, ShardObs, TraceInfo, VerifyInfo,
+    VerifySummary, EVENTS_CAPACITY, QUEUE_CAPACITY,
 };
 
 /// Service-wide configuration.
@@ -188,6 +188,27 @@ impl Service {
                 "Trace events overwritten in a full ring",
             )
             .into_iter();
+        let mut verify_ops = reg
+            .counters(
+                "cr_verify_checked_ops_total",
+                "Trace ops recorded and PRAM-checked",
+            )
+            .into_iter();
+        let mut verify_violations = reg
+            .counters(
+                "cr_verify_violations_total",
+                "Sessions whose trace first turned PRAM-inconsistent",
+            )
+            .into_iter();
+        let mut verify_truncations = reg
+            .counters(
+                "cr_verify_ring_truncations_total",
+                "Trace records truncated (ring overwrote, no spill copy)",
+            )
+            .into_iter();
+        let mut verify_cycles = reg
+            .counters("cr_verify_cycles_total", "VERIFY commands served")
+            .into_iter();
         let mut sessions = reg.gauges("cr_sessions_live", "Live sessions").into_iter();
         let mut queue_depth = reg
             .gauges("cr_queue_depth", "Commands in flight per shard queue")
@@ -213,6 +234,10 @@ impl Service {
                 queue_full: queue_full.next().unwrap_or_default(),
                 faults: faults.next().unwrap_or_default(),
                 events_dropped: events_dropped.next().unwrap_or_default(),
+                verify_ops: verify_ops.next().unwrap_or_default(),
+                verify_violations: verify_violations.next().unwrap_or_default(),
+                verify_truncations: verify_truncations.next().unwrap_or_default(),
+                verify_cycles: verify_cycles.next().unwrap_or_default(),
                 sessions: sessions.next().unwrap_or_default(),
                 queue_depth: queue_depth.next().unwrap_or_default(),
                 latency: latency.next().unwrap_or_default(),
@@ -428,6 +453,34 @@ impl ServiceHandle {
         }
         all.sort_by_key(|e| e.sid);
         Ok(all)
+    }
+
+    /// One session's PRAM-consistency verdict (`VERIFY <sid>`), served
+    /// by its owning shard. The reply carries no shard- or time-derived
+    /// fields, so under a manual clock it is byte-identical at any
+    /// shard count — the cross-shard determinism test pins this.
+    pub fn verify(&self, sid: u64) -> Result<VerifyInfo, ServeError> {
+        match self.call(self.shard_of(sid), |reply| ShardCmd::Verify {
+            sid: Some(sid),
+            reply,
+        })? {
+            Reply::Verify(info) => Ok(info),
+            _ => Err(ServeError::ShardDown),
+        }
+    }
+
+    /// Service-wide self-check (bare `VERIFY`): every shard summarizes
+    /// the sessions it owns, merged here. The CI verify leg asserts
+    /// `violations=0` on this without knowing any session id.
+    pub fn verify_all(&self) -> Result<VerifySummary, ServeError> {
+        let mut sum = VerifySummary::default();
+        for shard in 0..self.shards.len() {
+            match self.call(shard, |reply| ShardCmd::Verify { sid: None, reply })? {
+                Reply::VerifySummary(s) => sum.merge(&s),
+                _ => return Err(ServeError::ShardDown),
+            }
+        }
+        Ok(sum)
     }
 
     /// Merged service-wide counters and latency histogram.

@@ -15,6 +15,7 @@ use cr_core::clock::{SimClock, Tick};
 use cr_core::{FaultTotals, Scheme, SchemeKind, SimBuilder};
 use cr_faults::{FaultPlan, FaultyBuilder};
 use cr_obs::SharedHistogram;
+use cr_verify::{SessionVerifier, VerifyDelta, VerifyMode, VerifyReport};
 use pram_machine::Word;
 use simrng::{fnv1a, rng_from_seed, Xoshiro256pp};
 use std::time::Duration;
@@ -59,6 +60,9 @@ pub struct SessionSpec {
     /// Idle TTL: the owning shard evicts the session after this long
     /// without a command touching it.
     pub ttl: Duration,
+    /// Trace recording + PRAM-consistency checking mode (`cr-verify`).
+    /// `ring` by default: the service self-checks unless told not to.
+    pub verify: VerifyMode,
 }
 
 impl SessionSpec {
@@ -73,6 +77,7 @@ impl SessionSpec {
             fault_fraction: 0.0,
             max_steps: DEFAULT_MAX_STEPS,
             ttl: DEFAULT_TTL,
+            verify: VerifyMode::default(),
         }
     }
 
@@ -97,6 +102,12 @@ impl SessionSpec {
     /// Run the session under module faults.
     pub fn faults(mut self, fraction: f64) -> Self {
         self.fault_fraction = fraction;
+        self
+    }
+
+    /// Override the trace-verification mode.
+    pub fn verify(mut self, mode: VerifyMode) -> Self {
+        self.verify = mode;
         self
     }
 }
@@ -141,6 +152,14 @@ pub struct StepSummary {
     pub dead_attempts: u64,
     /// Messages the faulty network dropped during this command.
     pub dropped_messages: u64,
+    /// Trace ops recorded and PRAM-checked during this command.
+    pub verify_ops: u64,
+    /// Trace records truncated (ring overwrote, no spill copy) during
+    /// this command.
+    pub verify_truncated: u64,
+    /// Whether this command produced the session's *first* PRAM
+    /// violation (the shard turns this into a counter bump + event).
+    pub verify_violation: bool,
     /// Whether the budget ran out mid-command (executed < requested).
     pub exhausted: bool,
 }
@@ -184,6 +203,9 @@ pub struct Session {
     /// Fault counters at the end of the previous command — the baseline
     /// for per-command deltas ([`Scheme::fault_counters`] is cumulative).
     fault_seen: FaultTotals,
+    /// Trace recording + online PRAM-consistency checking (`cr-verify`),
+    /// fed right next to the trace-hash update in [`step`](Session::step).
+    verifier: SessionVerifier,
     /// When a command last touched the session, on the owning shard's
     /// [`SimClock`] (the TTL sweeper compares against the same clock).
     last_touch: Tick,
@@ -233,6 +255,9 @@ impl Session {
         // The workload stream is decorrelated from the memory map but
         // derived from the same seed: spec ⇒ behavior, shard-independent.
         let rng = rng_from_seed(simrng::mix64(spec.seed ^ 0x5E55_1011));
+        // Ring, spill, and per-cell checker state are all allocated
+        // here, once — the recording path in `step` stays alloc-free.
+        let verifier = SessionVerifier::new(spec.verify, spec.m);
         Ok(Session {
             scheme,
             rng,
@@ -243,6 +268,7 @@ impl Session {
             pattern: StepPattern::default(),
             scratch: Vec::new(),
             fault_seen: FaultTotals::default(),
+            verifier,
             spec,
             last_touch: now,
         })
@@ -379,6 +405,7 @@ impl Session {
         let mut cycles = 0u64;
         let mut messages = 0u64;
         let mut stage1_cycles = 0u64;
+        let mut verify = VerifyDelta::default();
         let t0 = clock.now();
         for _ in 0..run {
             let res = match workload {
@@ -410,6 +437,27 @@ impl Session {
                 }
                 WorkloadSpec::Raw { reads, writes } => self.scheme.access(reads, writes),
             };
+            // The verification seam sits right next to the trace-hash
+            // update: the same (addresses, values) batch the hash folds
+            // in is what the PRAM checker sees, stamped with the
+            // command's tick. Reads of cells the fault layer lost are
+            // recorded excused — quorum-masked faults verify clean.
+            let (r_addrs, w_vals): (&[usize], &[(usize, Word)]) = match workload {
+                WorkloadSpec::Raw { reads, writes } => (reads, writes),
+                _ => (&self.pattern.reads, &self.pattern.writes),
+            };
+            // Short-circuit on the spec flag: a fault-free session never
+            // pays the per-read virtual `cell_lost` call (measurable on
+            // the cheapest schemes, where a step is sub-microsecond).
+            let faulty = self.spec.fault_fraction > 0.0;
+            let scheme = &self.scheme;
+            verify.merge(self.verifier.record_step(
+                t0.nanos(),
+                r_addrs,
+                &res.read_values,
+                w_vals,
+                |a| faulty && scheme.cell_lost(a),
+            ));
             for &v in &res.read_values {
                 fnv1a(&mut self.trace, v as u64);
             }
@@ -450,8 +498,25 @@ impl Session {
             stage2_cycles: cycles.saturating_sub(stage1_cycles),
             dead_attempts,
             dropped_messages,
+            verify_ops: verify.ops,
+            verify_truncated: verify.truncated,
+            verify_violation: verify.violated,
             exhausted: run < count,
         })
+    }
+
+    /// Snapshot the session's PRAM-consistency state (`VERIFY <sid>`).
+    pub fn verify_report(&self) -> VerifyReport {
+        self.verifier.report()
+    }
+
+    /// Test-support hook: overwrite every stored copy of `addr` with
+    /// `value` *without* telling the verifier — a deliberate store
+    /// corruption. The next non-excused read of `addr` must trip the
+    /// checker; the corruption CI leg proves it does. Not reachable from
+    /// the wire protocol.
+    pub fn corrupt_cell(&mut self, addr: usize, value: Word) {
+        self.scheme.poke(addr, value);
     }
 
     /// Aggregate lifetime counters.
@@ -564,6 +629,105 @@ mod tests {
         let mut s = Session::open(spec().faults(0.125), Tick::ZERO).unwrap();
         s.step(&WorkloadSpec::Uniform, 3, &h, &clock()).unwrap();
         assert_eq!(s.steps(), 3);
+    }
+
+    #[test]
+    fn verify_is_on_by_default_and_stays_consistent() {
+        let h = SharedHistogram::new();
+        let mut s = Session::open(spec(), Tick::ZERO).unwrap();
+        let sum = s.step(&WorkloadSpec::Uniform, 10, &h, &clock()).unwrap();
+        assert!(sum.verify_ops > 0, "default mode records");
+        assert!(!sum.verify_violation);
+        let rep = s.verify_report();
+        assert_eq!(rep.verdict(), "consistent");
+        assert_eq!(rep.ops, rep.reads + rep.writes);
+    }
+
+    #[test]
+    fn verify_off_records_nothing() {
+        let h = SharedHistogram::new();
+        let mut s = Session::open(spec().verify(VerifyMode::Off), Tick::ZERO).unwrap();
+        let sum = s.step(&WorkloadSpec::Uniform, 10, &h, &clock()).unwrap();
+        assert_eq!(sum.verify_ops, 0);
+        assert_eq!(s.verify_report().verdict(), "off");
+    }
+
+    #[test]
+    fn corruption_trips_the_checker() {
+        let h = SharedHistogram::new();
+        let mut s = Session::open(spec(), Tick::ZERO).unwrap();
+        let w = WorkloadSpec::Raw {
+            reads: vec![],
+            writes: vec![(5, 42)],
+        };
+        s.step(&w, 1, &h, &clock()).unwrap();
+        // Overwrite every stored copy behind the verifier's back.
+        s.corrupt_cell(5, 1234);
+        let r = WorkloadSpec::Raw {
+            reads: vec![5],
+            writes: vec![],
+        };
+        let sum = s.step(&r, 1, &h, &clock()).unwrap();
+        assert!(sum.verify_violation, "corrupted read must violate");
+        let rep = s.verify_report();
+        assert_eq!(rep.verdict(), "violation");
+        let v = rep.violation.unwrap();
+        assert_eq!(v.addr, 5);
+        assert_eq!(v.got, 1234);
+        assert_eq!(v.expected, 42);
+        assert_eq!(v.kind, cr_verify::ViolationKind::UnknownValue);
+        // The transition is reported once; further bad reads do not re-flag.
+        let sum = s.step(&r, 1, &h, &clock()).unwrap();
+        assert!(!sum.verify_violation);
+    }
+
+    #[test]
+    fn masked_faults_verify_clean_across_the_zoo() {
+        // Statically lost cells read back a default, not a program
+        // value; the fault layer reports them and the checker excuses
+        // exactly those reads — so every scheme, fault-wrapped at the
+        // standard 12.5% module-fault fraction, must verify clean.
+        let h = SharedHistogram::new();
+        for kind in SchemeKind::ALL {
+            let spec = SessionSpec::new(8, 64, kind).seed(11).faults(0.125);
+            let mut s = Session::open(spec, Tick::ZERO).unwrap();
+            s.step(&WorkloadSpec::Uniform, 40, &h, &clock()).unwrap();
+            let rep = s.verify_report();
+            assert_eq!(
+                rep.verdict(),
+                "consistent",
+                "{kind:?} must verify clean under masked faults: {:?}",
+                rep.violation
+            );
+            assert!(rep.ops > 0);
+        }
+    }
+
+    #[test]
+    fn ring_wraparound_degrades_coverage_and_counts_truncations() {
+        let h = SharedHistogram::new();
+        let mut s = Session::open(spec(), Tick::ZERO).unwrap();
+        // n = 8 requests per uniform step: 128 steps exactly fill the
+        // 1024-op ring; coverage must still be full.
+        let sum = s.step(&WorkloadSpec::Uniform, 128, &h, &clock()).unwrap();
+        assert_eq!(sum.verify_ops, 1024);
+        assert_eq!(sum.verify_truncated, 0);
+        assert_eq!(s.verify_report().coverage, cr_verify::Coverage::Full);
+        // The next step wraps: coverage degrades exactly then, and the
+        // per-command truncation delta accounts every overwritten record.
+        let mut truncated = 0;
+        for _ in 0..100 {
+            truncated += s
+                .step(&WorkloadSpec::Uniform, 1, &h, &clock())
+                .unwrap()
+                .verify_truncated;
+        }
+        let rep = s.verify_report();
+        assert_eq!(rep.coverage, cr_verify::Coverage::Window);
+        assert_eq!(rep.truncated, truncated);
+        assert_eq!(rep.truncated, 800, "8 ops per step, 100 steps past full");
+        assert_eq!(rep.retained, 1024);
+        assert_eq!(rep.verdict(), "consistent");
     }
 
     #[test]

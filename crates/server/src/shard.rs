@@ -20,6 +20,7 @@
 
 use cr_core::clock::{SimClock, Tick};
 use cr_obs::{Counter, Event, EventKind, EventRing, Gauge, SharedHistogram};
+use cr_verify::{Coverage, VerifyReport};
 use metrics::Histogram;
 use std::collections::BTreeMap;
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
@@ -72,6 +73,43 @@ pub struct TraceInfo {
     pub trace: u64,
 }
 
+/// What `VERIFY <sid>` reports back: one session's PRAM verdict.
+#[derive(Debug, Clone, Copy)]
+pub struct VerifyInfo {
+    /// The session's id.
+    pub sid: u64,
+    /// The verifier's snapshot (verdict, op counts, coverage, and the
+    /// first violation when there is one).
+    pub report: VerifyReport,
+}
+
+/// What a bare `VERIFY` reports back, merged across shards: the
+/// service-wide self-check the CI verify leg asserts on.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VerifySummary {
+    /// Live sessions inspected.
+    pub sessions: u64,
+    /// Sessions recording with verification off.
+    pub unchecked: u64,
+    /// Trace ops checked across them.
+    pub ops: u64,
+    /// Sessions whose trace holds a PRAM violation.
+    pub violations: u64,
+    /// Trace records truncated across them.
+    pub truncated: u64,
+}
+
+impl VerifySummary {
+    /// Fold one shard's summary into the service-wide one.
+    pub fn merge(&mut self, other: &VerifySummary) {
+        self.sessions += other.sessions;
+        self.unchecked += other.unchecked;
+        self.ops += other.ops;
+        self.violations += other.violations;
+        self.truncated += other.truncated;
+    }
+}
+
 /// A snapshot of one shard's gauges and counters.
 #[derive(Debug, Clone)]
 pub struct ShardMetrics {
@@ -109,6 +147,10 @@ pub(crate) struct ShardObs {
     pub(crate) queue_full: Counter,
     pub(crate) faults: Counter,
     pub(crate) events_dropped: Counter,
+    pub(crate) verify_ops: Counter,
+    pub(crate) verify_violations: Counter,
+    pub(crate) verify_truncations: Counter,
+    pub(crate) verify_cycles: Counter,
     pub(crate) sessions: Gauge,
     pub(crate) queue_depth: Gauge,
     pub(crate) latency: SharedHistogram,
@@ -125,6 +167,8 @@ pub(crate) enum Reply {
     // Boxed: the histogram makes this variant ~20x the others' size.
     Metrics(Box<ShardMetrics>),
     Events(Vec<Event>),
+    Verify(VerifyInfo),
+    VerifySummary(VerifySummary),
 }
 
 pub(crate) type ReplyTx = SyncSender<Result<Reply, ServeError>>;
@@ -163,6 +207,12 @@ pub(crate) enum ShardCmd {
         sid: Option<u64>,
         reply: ReplyTx,
     },
+    Verify {
+        /// `Some(sid)` reports one session's verdict; `None` summarizes
+        /// every session the shard owns.
+        sid: Option<u64>,
+        reply: ReplyTx,
+    },
     Shutdown,
 }
 
@@ -198,6 +248,22 @@ impl ShardWorker {
         if self.ring.push(ev) {
             self.obs.events_dropped.inc();
         }
+    }
+
+    /// Record one `verify` trace event from a session's current report:
+    /// ops checked, violated flag, records truncated, coverage tag.
+    fn verify_event(&mut self, sid: u64) {
+        let Some(report) = self.sessions.get(&sid).map(|s| s.verify_report()) else {
+            return;
+        };
+        self.event(
+            EventKind::Verify,
+            sid,
+            report.ops,
+            u64::from(report.violation.is_some()),
+            report.truncated,
+            u64::from(matches!(report.coverage, Coverage::Window)),
+        );
     }
 
     fn handle(&mut self, cmd: ShardCmd) -> bool {
@@ -248,6 +314,8 @@ impl ShardWorker {
                         self.obs.steps.add(sum.executed);
                         self.obs.stage1_cycles.add(sum.stage1_cycles);
                         self.obs.stage2_cycles.add(sum.stage2_cycles);
+                        self.obs.verify_ops.add(sum.verify_ops);
+                        self.obs.verify_truncations.add(sum.verify_truncated);
                         self.event(
                             EventKind::Step,
                             sid,
@@ -266,6 +334,13 @@ impl ShardWorker {
                                 0,
                                 0,
                             );
+                        }
+                        if sum.verify_violation {
+                            // Clean → violated transition: once per
+                            // session, ever — the counter counts newly
+                            // violated sessions, not violating reads.
+                            self.obs.verify_violations.inc();
+                            self.verify_event(sid);
                         }
                         Ok(Reply::Step(sum))
                     }
@@ -331,6 +406,41 @@ impl ShardWorker {
                     latency: self.obs.latency.snapshot(),
                 };
                 let _ = reply.send(Ok(Reply::Metrics(Box::new(snap))));
+            }
+            ShardCmd::Verify { sid, reply } => {
+                self.obs.verify_cycles.inc();
+                let out = match sid {
+                    Some(sid) => {
+                        let now = self.clock.now();
+                        let out = match self.sessions.get_mut(&sid) {
+                            None => Err(ServeError::UnknownSession(sid)),
+                            Some(session) => {
+                                session.touch(now);
+                                Ok(Reply::Verify(VerifyInfo {
+                                    sid,
+                                    report: session.verify_report(),
+                                }))
+                            }
+                        };
+                        if out.is_ok() {
+                            self.verify_event(sid);
+                        }
+                        out
+                    }
+                    None => {
+                        let mut sum = VerifySummary::default();
+                        for session in self.sessions.values() {
+                            let r = session.verify_report();
+                            sum.sessions += 1;
+                            sum.unchecked += u64::from(!r.mode.enabled());
+                            sum.ops += r.ops;
+                            sum.violations += u64::from(r.violation.is_some());
+                            sum.truncated += r.truncated;
+                        }
+                        Ok(Reply::VerifySummary(sum))
+                    }
+                };
+                let _ = reply.send(out);
             }
             ShardCmd::Events { sid, reply } => {
                 let events: Vec<Event> = self

@@ -273,11 +273,11 @@ fn scheme_list_lines_name_and_describe_every_scheme() {
 #[test]
 fn registry_is_complete_and_unique() {
     let reg = pram_bench::registry();
-    assert_eq!(reg.len(), 17);
+    assert_eq!(reg.len(), 18);
     let mut ids: Vec<&str> = reg.iter().map(|&(id, _, _)| id).collect();
     ids.sort_unstable();
     ids.dedup();
-    assert_eq!(ids.len(), 17, "experiment ids must be unique");
+    assert_eq!(ids.len(), 18, "experiment ids must be unique");
     assert!(
         ids.contains(&"throughput"),
         "E15 must be listed by `repro --list`"
@@ -285,5 +285,9 @@ fn registry_is_complete_and_unique() {
     assert!(
         ids.contains(&"serve"),
         "E16 must be listed by `repro --list`"
+    );
+    assert!(
+        ids.contains(&"verify-overhead"),
+        "E17 must be listed by `repro --list`"
     );
 }
