@@ -35,6 +35,9 @@
 //! repro lint                     # workspace invariant lint (DESIGN.md §9)
 //! repro lint -D --json findings.json
 //!                                # CI form: warnings fail, findings dumped
+//! repro sim --seed 7 --chaos     # deterministic whole-service simulation
+//! repro sim --sweep 32 --chaos   # CI chaos sweep; failures dump a replay
+//! repro sim --seed 7 --repeat 2  # determinism check: fingerprints equal
 //! ```
 
 use cr_core::SchemeKind;
@@ -60,7 +63,10 @@ fn usage(reg: &[(&str, &str, pram_bench::Runner)]) {
        repro metrics [--addr HOST:PORT] [--out PATH]\n\
        repro events [--addr HOST:PORT] [--sid SID] [--out PATH]\n\
        repro verify [--addr HOST:PORT] [--sid SID] [--out PATH]\n\
-       repro lint [--root PATH] [-D] [--json PATH] [--rules]"
+       repro lint [--root PATH] [-D] [--json PATH] [--rules]\n\
+       repro sim [--seed S] [--chaos] [--shards N] [--sessions K] \
+         [--steps S] [--scheme NAME] [--sweep N] [--repeat N] \
+         [--json-out PATH]"
     );
     eprintln!("  --threads N    parallel sweep driver: E15 measures its");
     eprintln!("                 (scheme, n) points on N scoped threads;");
@@ -315,6 +321,156 @@ fn cmd_lint(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
+/// `repro sim`: deterministic whole-service simulation (DESIGN.md §13).
+/// One seed pins every client frame, sweep tick, and chaos draw, so a
+/// failing seed is replayed — never chased. `--sweep N` runs N
+/// consecutive seeds (the CI chaos job); a failing run dumps its merged
+/// event log to `sim-fail-<seed>.events.jsonl` and prints the replay
+/// command. `--repeat N` runs one seed N times and demands identical
+/// fingerprints.
+fn cmd_sim(args: &[String]) -> ! {
+    let mut cfg = cr_sim::SimConfig::default();
+    let mut sweep = 1u64;
+    let mut repeat = 1u64;
+    let mut json_out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut take = |what: &str| -> String {
+            i += 1;
+            args.get(i).cloned().unwrap_or_else(|| {
+                eprintln!("{flag} needs {what}");
+                std::process::exit(2);
+            })
+        };
+        let parse_count = |flag: &str, raw: String| -> u64 {
+            raw.parse().ok().filter(|&v| v > 0).unwrap_or_else(|| {
+                eprintln!("{flag} needs a positive integer");
+                std::process::exit(2);
+            })
+        };
+        match flag {
+            "--seed" => {
+                cfg.seed = take("a u64").parse().unwrap_or_else(|_| {
+                    eprintln!("--seed needs a u64");
+                    std::process::exit(2);
+                })
+            }
+            "--chaos" => cfg.chaos = true,
+            "--shards" => cfg.shards = parse_count(flag, take("a count")) as usize,
+            "--sessions" => cfg.clients = parse_count(flag, take("a count")) as usize,
+            "--steps" => cfg.steps = parse_count(flag, take("a count")),
+            "--scheme" => {
+                let name = take("a scheme name");
+                if name.parse::<SchemeKind>().is_err() {
+                    eprintln!("--scheme: unknown scheme {name}");
+                    std::process::exit(2);
+                }
+                cfg.scheme = name;
+            }
+            "--sweep" => sweep = parse_count(flag, take("a count")),
+            "--repeat" => repeat = parse_count(flag, take("a count")),
+            "--json-out" => json_out = Some(take("a path")),
+            other => {
+                eprintln!(
+                    "repro sim: unknown flag {other} (--seed, --chaos, --shards, \
+                     --sessions, --steps, --scheme, --sweep, --repeat, --json-out)"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let mut rows: Vec<String> = Vec::new();
+    let mut failed: Vec<u64> = Vec::new();
+    for offset in 0..sweep {
+        let mut run_cfg = cfg.clone();
+        run_cfg.seed = cfg.seed + offset;
+        let report = cr_sim::run(&run_cfg);
+        if sweep == 1 && repeat == 1 {
+            println!("{}", report.render());
+        } else {
+            println!(
+                "seed={} ok={} completed={} lost={} crashes={} queue_full={} \
+                 malformed={} evicted={} fingerprint={:016x}",
+                report.seed,
+                report.ok(),
+                report.completed,
+                report.lost,
+                report.tally.crashes,
+                report.tally.queue_full,
+                report.tally.malformed_rejected,
+                report.evicted,
+                report.fingerprint(),
+            );
+        }
+        rows.push(report.to_json());
+        if !report.ok() {
+            failed.push(report.seed);
+            let dump = format!("sim-fail-{}.events.jsonl", report.seed);
+            if let Err(e) = std::fs::write(&dump, &report.events_jsonl) {
+                eprintln!("cannot write {dump}: {e}");
+            } else {
+                eprintln!("event log dumped to {dump}");
+            }
+            if sweep > 1 {
+                eprintln!("{}", report.render());
+            }
+            eprintln!(
+                "replay: repro sim --seed {}{} --shards {} --sessions {} --steps {}",
+                report.seed,
+                if run_cfg.chaos { " --chaos" } else { "" },
+                run_cfg.shards,
+                run_cfg.clients,
+                run_cfg.steps,
+            );
+        }
+        // `--repeat`: the same seed again, demanding the same bytes.
+        for rep in 1..repeat {
+            let again = cr_sim::run(&run_cfg);
+            if again.fingerprint() != report.fingerprint()
+                || again.events_jsonl != report.events_jsonl
+            {
+                failed.push(report.seed);
+                eprintln!(
+                    "DETERMINISM BROKEN: seed {} run {} fingerprint {:016x} != {:016x}",
+                    report.seed,
+                    rep + 1,
+                    again.fingerprint(),
+                    report.fingerprint(),
+                );
+            } else {
+                println!(
+                    "seed={} repeat {}/{}: fingerprint {:016x} reproduced",
+                    report.seed,
+                    rep + 1,
+                    repeat,
+                    report.fingerprint(),
+                );
+            }
+        }
+    }
+    if let Some(path) = json_out {
+        let mut body = rows.join("\n");
+        body.push('\n');
+        std::fs::write(&path, body).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("wrote {} json row(s) to {path}", rows.len());
+    }
+    if failed.is_empty() {
+        if sweep > 1 {
+            println!("repro sim: {sweep} seed(s) ok");
+        }
+        std::process::exit(0);
+    }
+    failed.dedup();
+    eprintln!("repro sim: {} failing seed(s): {failed:?}", failed.len());
+    std::process::exit(1);
+}
+
 /// `repro loadgen`: drive a running server, print and optionally collect
 /// the JSON row (shares `--quick` / `--json-out` with the experiments).
 fn cmd_loadgen(args: &[String]) -> ! {
@@ -432,6 +588,7 @@ fn main() {
         Some(verb @ ("metrics" | "events")) => cmd_scrape(verb, &args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
+        Some("sim") => cmd_sim(&args[1..]),
         _ => {}
     }
     let mut seed = simrng::DEFAULT_SEED;

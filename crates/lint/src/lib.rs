@@ -17,6 +17,11 @@
 //! * **Panic-free serving** (`no-unwrap`, `no-panic`, `index-guard`) —
 //!   every shipped module of `crates/server` must degrade to `ERR`
 //!   replies, never panic a shard or connection thread.
+//! * **Runtime seam** (`no-ambient-runtime`) — server modules outside
+//!   `runtime.rs` must not touch `std::thread`, `sync_channel`, or
+//!   `recv_timeout` directly; spawning, sleeping, and channels go
+//!   through `crate::runtime`, which is what lets `cr-sim` run the
+//!   whole service single-threaded under virtual time.
 //!
 //! Escapes are per-line and self-documenting:
 //! `// lint: allow(<rule>, <reason>)`. Test code (`#[test]`,
@@ -46,7 +51,12 @@ pub const DATA_PLANE_CRATES: &[&str] = &[
     "server",
     "obs",
     "verify",
+    "sim",
 ];
+
+/// The one server module allowed to touch `std::thread` and raw mpsc
+/// channels: the runtime seam itself (`no-ambient-runtime` exemption).
+pub const RUNTIME_SEAM_FILE: &str = "crates/server/src/runtime.rs";
 
 /// Prefix of the serving-path sources that must be panic-free
 /// (repo-relative). Originally a four-file list (protocol, tcp, shard,
@@ -69,7 +79,8 @@ pub fn context_for(rel: &str) -> Option<FileContext> {
         }
     }
     ctx.panic_free = rel.starts_with(PANIC_FREE_PREFIX);
-    if ctx.determinism || ctx.panic_free {
+    ctx.ambient_runtime = rel.starts_with(PANIC_FREE_PREFIX) && rel != RUNTIME_SEAM_FILE;
+    if ctx.determinism || ctx.panic_free || ctx.ambient_runtime {
         Some(ctx)
     } else {
         None
@@ -100,7 +111,7 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
         let src = std::fs::read_to_string(&path)?;
         // Hot markers are honored in every crate; skip the lex only when
         // nothing could possibly fire.
-        if !(ctx.determinism || ctx.panic_free || src.contains("lint:")) {
+        if !(ctx.determinism || ctx.panic_free || ctx.ambient_runtime || src.contains("lint:")) {
             continue;
         }
         findings.extend(lint_source(&rel, &src, ctx));
@@ -199,6 +210,17 @@ mod tests {
                 .unwrap()
                 .panic_free
         );
+        // The runtime seam keeps its determinism/panic rules but is the
+        // one file exempt from no-ambient-runtime.
+        let seam = context_for(RUNTIME_SEAM_FILE).unwrap();
+        assert!(seam.panic_free && !seam.ambient_runtime);
+        assert!(
+            context_for("crates/server/src/shard.rs")
+                .unwrap()
+                .ambient_runtime
+        );
+        // cr-sim is data plane: its executor must be deterministic.
+        assert!(context_for("crates/sim/src/lib.rs").unwrap().determinism);
         // ...but not the crate's test/bench trees.
         assert!(context_for("crates/server/tests/tcp.rs").is_none());
         assert!(

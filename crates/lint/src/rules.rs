@@ -19,6 +19,10 @@ pub struct FileContext {
     /// Panic-freedom rules: no `unwrap`/`expect`/`panic!`/unguarded
     /// indexing (the serving path's frame-handling files).
     pub panic_free: bool,
+    /// Runtime-seam rules: no direct `std::thread`, `sync_channel`, or
+    /// `recv_timeout` (every `crates/server` module except the seam
+    /// itself, `runtime.rs`).
+    pub ambient_runtime: bool,
 }
 
 /// One rule violation (or directive problem).
@@ -66,6 +70,10 @@ pub const RULES: &[(&str, &str)] = &[
     (
         "index-guard",
         "slice/array indexing in a panic-free serving file; use get()/patterns or annotate the guard",
+    ),
+    (
+        "no-ambient-runtime",
+        "std::thread / sync_channel / recv_timeout outside the runtime seam; go through crate::runtime",
     ),
     (
         "bad-directive",
@@ -135,7 +143,7 @@ pub fn lint_source(file: &str, src: &str, ctx: FileContext) -> Vec<Finding> {
                     msg: format!(
                         "allow needs a known rule and a reason, got `{directive}` \
                          (rules: wall-clock, ambient-rng, default-hasher, hot-alloc, \
-                         no-unwrap, no-panic, index-guard)"
+                         no-unwrap, no-panic, index-guard, no-ambient-runtime)"
                     ),
                     warning: false,
                 });
@@ -179,6 +187,9 @@ pub fn lint_source(file: &str, src: &str, ctx: FileContext) -> Vec<Finding> {
         }
         if ctx.panic_free {
             panic_rules(&code, i, &mut raw);
+        }
+        if ctx.ambient_runtime {
+            runtime_rules(&code, i, &mut raw);
         }
         if hot[i] {
             hot_rules(&code, i, &mut raw);
@@ -457,6 +468,48 @@ fn panic_rules(code: &[&Token], i: usize, out: &mut Vec<(usize, &'static str, St
     }
 }
 
+/// Runtime-seam rules at position `i`: server modules must not reach for
+/// OS threads or raw mpsc channels directly — spawning, sleeping, and
+/// bounded channels all go through `crate::runtime`, which is what lets
+/// `cr-sim` drive the same code single-threaded under virtual time.
+fn runtime_rules(code: &[&Token], i: usize, out: &mut Vec<(usize, &'static str, String)>) {
+    let t = code[i];
+    if t.kind != TokKind::Ident {
+        return;
+    }
+    match t.text.as_str() {
+        // `std::thread` / `thread::spawn` — the ident is part of a path
+        // (`::` on either side), so a local named `thread` stays legal.
+        "thread"
+            if (i >= 2 && code[i - 1].is_punct(':') && code[i - 2].is_punct(':'))
+                || (i + 2 < code.len()
+                    && code[i + 1].is_punct(':')
+                    && code[i + 2].is_punct(':')) =>
+        {
+            push(
+                out,
+                t,
+                "no-ambient-runtime",
+                "`std::thread` bypasses the runtime seam; spawn/sleep through a `Runtime`"
+                    .to_string(),
+            )
+        }
+        "sync_channel" => push(
+            out,
+            t,
+            "no-ambient-runtime",
+            "`sync_channel` bypasses the runtime seam; use `crate::runtime::chan`".to_string(),
+        ),
+        "recv_timeout" => push(
+            out,
+            t,
+            "no-ambient-runtime",
+            "`recv_timeout` bypasses the runtime seam; use `ChanRx::recv_for`".to_string(),
+        ),
+        _ => {}
+    }
+}
+
 /// Zero-alloc hot-path rules at position `i`.
 fn hot_rules(code: &[&Token], i: usize, out: &mut Vec<(usize, &'static str, String)>) {
     let t = code[i];
@@ -513,7 +566,7 @@ mod tests {
             src,
             FileContext {
                 determinism: true,
-                panic_free: false,
+                ..FileContext::default()
             },
         )
     }
@@ -572,8 +625,8 @@ fn cold2() { let v = vec![1]; }
     #[test]
     fn panic_rules_catch_exact_methods_only() {
         let ctx = FileContext {
-            determinism: false,
             panic_free: true,
+            ..FileContext::default()
         };
         let f = lint_source(
             "x.rs",
@@ -586,8 +639,8 @@ fn cold2() { let v = vec![1]; }
     #[test]
     fn indexing_is_flagged_but_patterns_are_not() {
         let ctx = FileContext {
-            determinism: false,
             panic_free: true,
+            ..FileContext::default()
         };
         let bad = lint_source("x.rs", "fn f() { let x = toks[0]; }", ctx);
         assert_eq!(rules_of(&bad), vec!["index-guard"]);
@@ -597,5 +650,37 @@ fn cold2() { let v = vec![1]; }
             ctx,
         );
         assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn ambient_runtime_catches_thread_channel_and_timeout() {
+        let ctx = FileContext {
+            ambient_runtime: true,
+            ..FileContext::default()
+        };
+        let f = lint_source(
+            "x.rs",
+            "fn f() { std::thread::spawn(|| {}); let (tx, rx) = sync_channel(8); \
+             let r = rx.recv_timeout(d); }",
+            ctx,
+        );
+        assert_eq!(
+            rules_of(&f),
+            vec![
+                "no-ambient-runtime",
+                "no-ambient-runtime",
+                "no-ambient-runtime"
+            ]
+        );
+        // A plain local named `thread` is not a path segment.
+        let ok = lint_source("x.rs", "fn f() { let thread = 3; use_it(thread); }", ctx);
+        assert!(ok.is_empty(), "{ok:?}");
+        // The seam's own call sites use `recv_for` / `chan` and stay clean.
+        let seam = lint_source(
+            "x.rs",
+            "fn f() { let (tx, rx) = chan(8); let r = rx.recv_for(d); }",
+            ctx,
+        );
+        assert!(seam.is_empty(), "{seam:?}");
     }
 }

@@ -16,14 +16,14 @@ fn fixture(name: &str) -> String {
 fn det() -> FileContext {
     FileContext {
         determinism: true,
-        panic_free: false,
+        ..FileContext::default()
     }
 }
 
 fn panic_free() -> FileContext {
     FileContext {
-        determinism: false,
         panic_free: true,
+        ..FileContext::default()
     }
 }
 
@@ -81,6 +81,21 @@ fn panic_fixture_is_caught() {
 }
 
 #[test]
+fn ambient_runtime_fixture_is_caught() {
+    let ctx = FileContext {
+        ambient_runtime: true,
+        ..FileContext::default()
+    };
+    let f = lint_source("ambient_runtime.rs", &fixture("ambient_runtime.rs"), ctx);
+    let rules: Vec<_> = f.iter().map(|f| f.rule).collect();
+    assert_eq!(
+        rules,
+        vec!["no-ambient-runtime"; 4],
+        "thread import, spawn, sync_channel, recv_timeout: {f:#?}"
+    );
+}
+
+#[test]
 fn bad_directives_are_findings_themselves() {
     let f = lint_source("bad_directive.rs", &fixture("bad_directive.rs"), det());
     let rules: Vec<_> = f.iter().map(|f| f.rule).collect();
@@ -92,6 +107,7 @@ fn clean_fixture_with_allows_lints_clean_under_every_rule_family() {
     let ctx = FileContext {
         determinism: true,
         panic_free: true,
+        ..FileContext::default()
     };
     let f = lint_source(
         "clean_with_allows.rs",

@@ -1,0 +1,19 @@
+// Seeded no-ambient-runtime violations: a server module reaching past
+// the runtime seam. (Fixture — never compiled.)
+use std::thread;
+
+pub fn worker() {
+    let t = thread::spawn(|| {});
+    let (tx, rx) = std::sync::mpsc::sync_channel::<u32>(8);
+    let _ = tx.send(1);
+    let _ = rx.recv_timeout(core::time::Duration::from_millis(20));
+    t.join().ok();
+}
+
+// Going through the seam is clean: `chan` + `recv_for` + `Runtime::spawn`
+// carry the same capability without naming the banned idents.
+pub fn seamed() {
+    let (tx, rx) = chan::<u32>(8);
+    let _ = tx.send(1);
+    let _ = rx.recv_for(core::time::Duration::from_millis(20));
+}

@@ -39,6 +39,11 @@ pub enum EventKind {
     /// first violation): `a` = trace ops checked, `b` = violated (0/1),
     /// `c` = records truncated, `d` = coverage (0 = full, 1 = window).
     Verify,
+    /// The shard crashed (chaos injection or operator action) and lost
+    /// its live sessions: `a` = sessions lost.
+    Crash,
+    /// The shard restarted empty after a crash.
+    Restart,
 }
 
 impl EventKind {
@@ -52,6 +57,8 @@ impl EventKind {
             EventKind::QueueFull => "queue_full",
             EventKind::Fault => "fault",
             EventKind::Verify => "verify",
+            EventKind::Crash => "crash",
+            EventKind::Restart => "restart",
         }
     }
 }
@@ -113,6 +120,8 @@ impl Event {
                 self.c,
                 if self.d == 0 { "full" } else { "window" }
             ),
+            EventKind::Crash => format!(",\"lost\":{}}}", self.a),
+            EventKind::Restart => "}".to_string(),
         };
         head + &tail
     }
@@ -298,6 +307,32 @@ mod tests {
         assert_eq!(
             vf.to_json(),
             "{\"tick\":2,\"sid\":5,\"kind\":\"verify\",\"ops\":640,\"violated\":0,\"truncated\":0,\"coverage\":\"window\"}"
+        );
+        let crash = Event {
+            tick: 3,
+            sid: 0,
+            kind: EventKind::Crash,
+            a: 5,
+            b: 0,
+            c: 0,
+            d: 0,
+        };
+        assert_eq!(
+            crash.to_json(),
+            "{\"tick\":3,\"sid\":0,\"kind\":\"crash\",\"lost\":5}"
+        );
+        let restart = Event {
+            tick: 4,
+            sid: 0,
+            kind: EventKind::Restart,
+            a: 0,
+            b: 0,
+            c: 0,
+            d: 0,
+        };
+        assert_eq!(
+            restart.to_json(),
+            "{\"tick\":4,\"sid\":0,\"kind\":\"restart\"}"
         );
     }
 }

@@ -66,6 +66,7 @@
 
 pub mod error;
 pub mod protocol;
+pub mod runtime;
 pub mod service;
 pub mod session;
 pub mod shard;
@@ -75,12 +76,16 @@ pub use cr_core::clock::{SimClock, Tick};
 pub use cr_obs::{Event, EventKind, Registry, SharedHistogram};
 pub use cr_verify::{Coverage, VerifyMode, VerifyReport, Violation, ViolationKind};
 pub use error::ServeError;
-pub use service::{BatchStepSummary, Service, ServiceConfig, ServiceHandle, ServiceInfo};
+pub use runtime::{chan, ChanRx, ChanTx, Runtime, TaskHandle, ThreadRuntime};
+pub use service::{
+    build_cores, BatchStepSummary, Service, ServiceApi, ServiceConfig, ServiceHandle, ServiceInfo,
+    DEFAULT_SWEEP_EVERY,
+};
 pub use session::{
     Session, SessionSpec, SessionStats, StepSummary, WorkloadSpec, DEFAULT_MAX_STEPS, DEFAULT_TTL,
     MAX_SESSION_M, MAX_SESSION_N, MAX_STEP_BATCH,
 };
 pub use shard::{
-    OpenInfo, ShardMetrics, TraceInfo, VerifyInfo, VerifySummary, DRAIN_BURST, EVENTS_CAPACITY,
-    QUEUE_CAPACITY,
+    OpenInfo, Reply, ReplyTx, ShardCmd, ShardCore, ShardMetrics, TraceInfo, VerifyInfo,
+    VerifySummary, DRAIN_BURST, EVENTS_CAPACITY, QUEUE_CAPACITY,
 };

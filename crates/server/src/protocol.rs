@@ -34,7 +34,7 @@ use pram_machine::Word;
 use std::time::Duration;
 
 use crate::error::ServeError;
-use crate::service::{ServiceHandle, ServiceInfo};
+use crate::service::{ServiceApi, ServiceInfo};
 use crate::session::{SessionSpec, SessionStats, StepSummary, WorkloadSpec};
 use crate::shard::{OpenInfo, TraceInfo, VerifyInfo, VerifySummary};
 
@@ -402,8 +402,11 @@ pub fn render_err(e: &ServeError) -> String {
     format!("ERR {e}")
 }
 
-/// Execute one parsed frame against the service; `None` means QUIT.
-pub fn execute(handle: &ServiceHandle, frame: Frame) -> Option<String> {
+/// Execute one parsed frame against any [`ServiceApi`] implementation;
+/// `None` means QUIT. The TCP front end passes a [`crate::ServiceHandle`];
+/// `cr-sim` passes its single-threaded simulated service — one executor,
+/// one reply grammar, whatever is behind it.
+pub fn execute<A: ServiceApi>(handle: &mut A, frame: Frame) -> Option<String> {
     let out = match frame {
         Frame::Open(spec) => handle.open(spec).map(|i| render_open(&i)),
         Frame::Step {

@@ -19,16 +19,22 @@ use cr_core::clock::SimClock;
 use cr_obs::{Event, Gauge, Registry, RegistryBuilder};
 use metrics::Histogram;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::Arc;
-use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crate::error::ServeError;
+use crate::runtime::{chan, ChanTx, Runtime, TaskHandle, ThreadRuntime};
 use crate::session::{SessionSpec, SessionStats, StepSummary, WorkloadSpec};
 use crate::shard::{
-    spawn_shard, OpenInfo, Reply, ShardCmd, ShardMetrics, ShardObs, TraceInfo, VerifyInfo,
-    VerifySummary, EVENTS_CAPACITY, QUEUE_CAPACITY,
+    spawn_shard, OpenInfo, Reply, ShardCmd, ShardCore, ShardMetrics, ShardObs, TraceInfo,
+    VerifyInfo, VerifySummary, EVENTS_CAPACITY, QUEUE_CAPACITY,
 };
+
+/// Default idle-sweep cadence: how often a shard driver checks for
+/// TTL-expired sessions when no commands arrive. Configuration, not a
+/// buried constant: virtual-time tests and `cr-sim` set their own
+/// cadence through [`ServiceConfig::sweep_every`].
+pub const DEFAULT_SWEEP_EVERY: Duration = Duration::from_millis(20);
 
 /// Service-wide configuration.
 #[derive(Debug, Clone)]
@@ -40,6 +46,8 @@ pub struct ServiceConfig {
     /// Per-shard event-ring capacity (most recent events kept for
     /// `EVENTS`; the overflow is counted, not silently lost).
     pub events_capacity: usize,
+    /// How often each shard driver runs its idle-TTL sweep.
+    pub sweep_every: Duration,
     /// Time source for session timestamps, step latency, and idle-TTL
     /// eviction. Real (monotonic) by default; tests inject
     /// [`SimClock::manual`] to drive eviction deterministically.
@@ -52,6 +60,7 @@ impl Default for ServiceConfig {
             shards: 4,
             queue_capacity: QUEUE_CAPACITY,
             events_capacity: EVENTS_CAPACITY,
+            sweep_every: DEFAULT_SWEEP_EVERY,
             clock: SimClock::monotonic(),
         }
     }
@@ -90,8 +99,38 @@ pub struct ServiceInfo {
     pub per_shard: Vec<ShardMetrics>,
 }
 
+impl ServiceInfo {
+    /// Merge per-shard snapshots into the service-wide view — shared by
+    /// the threaded handle's `INFO` and `cr-sim`'s, so the two cannot
+    /// drift.
+    pub fn from_shards(per_shard: Vec<ShardMetrics>) -> ServiceInfo {
+        let mut info = ServiceInfo {
+            shards: per_shard.len(),
+            sessions: 0,
+            opened: 0,
+            closed: 0,
+            evicted: 0,
+            steps: 0,
+            queue_depth_max: 0,
+            latency: Histogram::new(),
+            per_shard: Vec::new(),
+        };
+        for m in &per_shard {
+            info.sessions += m.sessions;
+            info.opened += m.opened;
+            info.closed += m.closed;
+            info.evicted += m.evicted;
+            info.steps += m.steps;
+            info.queue_depth_max = info.queue_depth_max.max(m.queue_depth);
+            info.latency.merge(&m.latency);
+        }
+        info.per_shard = per_shard;
+        info
+    }
+}
+
 struct ShardLink {
-    tx: SyncSender<ShardCmd>,
+    tx: ChanTx<ShardCmd>,
     /// The same gauge the shard's worker decrements on dequeue.
     queue_depth: Gauge,
 }
@@ -129,128 +168,149 @@ pub struct ServiceHandle {
     registry: Arc<Registry>,
 }
 
-/// The service itself: owns the shard worker threads. Dropping (or
+/// The service itself: owns the shard worker tasks. Dropping (or
 /// calling [`shutdown`](Service::shutdown)) stops them.
 pub struct Service {
     handle: ServiceHandle,
-    workers: Vec<JoinHandle<()>>,
+    workers: Vec<TaskHandle>,
+}
+
+/// Build `cfg.shards` fresh [`ShardCore`]s plus the frozen [`Registry`]
+/// that reads the same metric cells the cores record into. This is the
+/// construction path both drivers share: [`Service::start`] wraps each
+/// core in a runtime task with a command queue, while `cr-sim` owns the
+/// cores directly and drives them from its deterministic executor.
+pub fn build_cores(cfg: &ServiceConfig) -> (Vec<ShardCore>, Registry) {
+    let shards = cfg.shards.max(1);
+    // Declare every metric family up front; each call hands back one
+    // handle per shard (dealt to the cores below), and the frozen
+    // registry reads the same cells at exposition time.
+    let mut reg = RegistryBuilder::new(shards);
+    let mut opened = reg
+        .counters("cr_sessions_opened_total", "Sessions opened")
+        .into_iter();
+    let mut closed = reg
+        .counters("cr_sessions_closed_total", "Sessions closed by clients")
+        .into_iter();
+    let mut evicted = reg
+        .counters("cr_sessions_evicted_total", "Sessions evicted by idle TTL")
+        .into_iter();
+    let mut steps = reg
+        .counters("cr_steps_total", "Simulation steps executed")
+        .into_iter();
+    let mut stage1_cycles = reg
+        .counters(
+            "cr_stage1_cycles_total",
+            "Network cycles spent in access-protocol stage 1",
+        )
+        .into_iter();
+    let mut stage2_cycles = reg
+        .counters(
+            "cr_stage2_cycles_total",
+            "Network cycles spent in access-protocol stage 2",
+        )
+        .into_iter();
+    let mut queue_full = reg
+        .counters(
+            "cr_queue_full_total",
+            "Commands dequeued while the shard queue was saturated",
+        )
+        .into_iter();
+    let mut faults = reg
+        .counters(
+            "cr_fault_events_total",
+            "STEP commands that exposed injected faults",
+        )
+        .into_iter();
+    let mut events_dropped = reg
+        .counters(
+            "cr_events_dropped_total",
+            "Trace events overwritten in a full ring",
+        )
+        .into_iter();
+    let mut verify_ops = reg
+        .counters(
+            "cr_verify_checked_ops_total",
+            "Trace ops recorded and PRAM-checked",
+        )
+        .into_iter();
+    let mut verify_violations = reg
+        .counters(
+            "cr_verify_violations_total",
+            "Sessions whose trace first turned PRAM-inconsistent",
+        )
+        .into_iter();
+    let mut verify_truncations = reg
+        .counters(
+            "cr_verify_ring_truncations_total",
+            "Trace records truncated (ring overwrote, no spill copy)",
+        )
+        .into_iter();
+    let mut verify_cycles = reg
+        .counters("cr_verify_cycles_total", "VERIFY commands served")
+        .into_iter();
+    let mut sessions = reg.gauges("cr_sessions_live", "Live sessions").into_iter();
+    let mut queue_depth = reg
+        .gauges("cr_queue_depth", "Commands in flight per shard queue")
+        .into_iter();
+    let mut latency = reg
+        .histograms("cr_step_latency_ns", "Per-step latency in nanoseconds")
+        .into_iter();
+
+    let mut cores = Vec::with_capacity(shards);
+    for shard in 0..shards {
+        // Every family iterator holds exactly `shards` handles, so
+        // these `next()` calls cannot actually miss; the defaults
+        // only keep this path panic-free by construction.
+        let obs = ShardObs {
+            opened: opened.next().unwrap_or_default(),
+            closed: closed.next().unwrap_or_default(),
+            evicted: evicted.next().unwrap_or_default(),
+            steps: steps.next().unwrap_or_default(),
+            stage1_cycles: stage1_cycles.next().unwrap_or_default(),
+            stage2_cycles: stage2_cycles.next().unwrap_or_default(),
+            queue_full: queue_full.next().unwrap_or_default(),
+            faults: faults.next().unwrap_or_default(),
+            events_dropped: events_dropped.next().unwrap_or_default(),
+            verify_ops: verify_ops.next().unwrap_or_default(),
+            verify_violations: verify_violations.next().unwrap_or_default(),
+            verify_truncations: verify_truncations.next().unwrap_or_default(),
+            verify_cycles: verify_cycles.next().unwrap_or_default(),
+            sessions: sessions.next().unwrap_or_default(),
+            queue_depth: queue_depth.next().unwrap_or_default(),
+            latency: latency.next().unwrap_or_default(),
+        };
+        cores.push(ShardCore::new(
+            shard,
+            obs,
+            cfg.queue_capacity.max(1),
+            cfg.events_capacity,
+            cfg.clock.clone(),
+        ));
+    }
+    (cores, reg.build())
 }
 
 impl Service {
-    /// Start the shard workers. Fails with [`ServeError::Spawn`] if the
-    /// OS refuses a worker thread; already-started workers are shut down
+    /// Start the shard workers on the production [`ThreadRuntime`]
+    /// reading `cfg.clock`. Fails with [`ServeError::Spawn`] if the OS
+    /// refuses a worker thread; already-started workers are shut down
     /// cleanly when the partially built `Service` drops.
     pub fn start(cfg: ServiceConfig) -> Result<Service, ServeError> {
-        let shards = cfg.shards.max(1);
-        // Declare every metric family up front; each call hands back one
-        // handle per shard (dealt to the workers below), and the frozen
-        // registry reads the same cells at exposition time.
-        let mut reg = RegistryBuilder::new(shards);
-        let mut opened = reg
-            .counters("cr_sessions_opened_total", "Sessions opened")
-            .into_iter();
-        let mut closed = reg
-            .counters("cr_sessions_closed_total", "Sessions closed by clients")
-            .into_iter();
-        let mut evicted = reg
-            .counters("cr_sessions_evicted_total", "Sessions evicted by idle TTL")
-            .into_iter();
-        let mut steps = reg
-            .counters("cr_steps_total", "Simulation steps executed")
-            .into_iter();
-        let mut stage1_cycles = reg
-            .counters(
-                "cr_stage1_cycles_total",
-                "Network cycles spent in access-protocol stage 1",
-            )
-            .into_iter();
-        let mut stage2_cycles = reg
-            .counters(
-                "cr_stage2_cycles_total",
-                "Network cycles spent in access-protocol stage 2",
-            )
-            .into_iter();
-        let mut queue_full = reg
-            .counters(
-                "cr_queue_full_total",
-                "Commands dequeued while the shard queue was saturated",
-            )
-            .into_iter();
-        let mut faults = reg
-            .counters(
-                "cr_fault_events_total",
-                "STEP commands that exposed injected faults",
-            )
-            .into_iter();
-        let mut events_dropped = reg
-            .counters(
-                "cr_events_dropped_total",
-                "Trace events overwritten in a full ring",
-            )
-            .into_iter();
-        let mut verify_ops = reg
-            .counters(
-                "cr_verify_checked_ops_total",
-                "Trace ops recorded and PRAM-checked",
-            )
-            .into_iter();
-        let mut verify_violations = reg
-            .counters(
-                "cr_verify_violations_total",
-                "Sessions whose trace first turned PRAM-inconsistent",
-            )
-            .into_iter();
-        let mut verify_truncations = reg
-            .counters(
-                "cr_verify_ring_truncations_total",
-                "Trace records truncated (ring overwrote, no spill copy)",
-            )
-            .into_iter();
-        let mut verify_cycles = reg
-            .counters("cr_verify_cycles_total", "VERIFY commands served")
-            .into_iter();
-        let mut sessions = reg.gauges("cr_sessions_live", "Live sessions").into_iter();
-        let mut queue_depth = reg
-            .gauges("cr_queue_depth", "Commands in flight per shard queue")
-            .into_iter();
-        let mut latency = reg
-            .histograms("cr_step_latency_ns", "Per-step latency in nanoseconds")
-            .into_iter();
+        let runtime = ThreadRuntime::new(cfg.clock.clone());
+        Service::start_on(cfg, &runtime)
+    }
 
-        let mut links = Vec::with_capacity(shards);
-        let mut workers = Vec::with_capacity(shards);
-        for shard in 0..shards {
-            let (tx, rx) = sync_channel(cfg.queue_capacity.max(1));
-            // Every family iterator holds exactly `shards` handles, so
-            // these `next()` calls cannot actually miss; the defaults
-            // only keep this path panic-free by construction.
-            let obs = ShardObs {
-                opened: opened.next().unwrap_or_default(),
-                closed: closed.next().unwrap_or_default(),
-                evicted: evicted.next().unwrap_or_default(),
-                steps: steps.next().unwrap_or_default(),
-                stage1_cycles: stage1_cycles.next().unwrap_or_default(),
-                stage2_cycles: stage2_cycles.next().unwrap_or_default(),
-                queue_full: queue_full.next().unwrap_or_default(),
-                faults: faults.next().unwrap_or_default(),
-                events_dropped: events_dropped.next().unwrap_or_default(),
-                verify_ops: verify_ops.next().unwrap_or_default(),
-                verify_violations: verify_violations.next().unwrap_or_default(),
-                verify_truncations: verify_truncations.next().unwrap_or_default(),
-                verify_cycles: verify_cycles.next().unwrap_or_default(),
-                sessions: sessions.next().unwrap_or_default(),
-                queue_depth: queue_depth.next().unwrap_or_default(),
-                latency: latency.next().unwrap_or_default(),
-            };
-            let link_depth = obs.queue_depth.clone();
-            workers.push(spawn_shard(
-                shard,
-                rx,
-                obs,
-                cfg.queue_capacity.max(1),
-                cfg.events_capacity,
-                cfg.clock.clone(),
-            )?);
+    /// Start the shard workers on an explicit [`Runtime`] — the seam
+    /// `cr-sim` and future hosts plug into.
+    pub fn start_on(cfg: ServiceConfig, runtime: &dyn Runtime) -> Result<Service, ServeError> {
+        let (cores, registry) = build_cores(&cfg);
+        let mut links = Vec::with_capacity(cores.len());
+        let mut workers = Vec::with_capacity(cores.len());
+        for core in cores {
+            let (tx, rx) = chan(cfg.queue_capacity.max(1));
+            let link_depth = core.queue_depth_gauge();
+            workers.push(spawn_shard(runtime, core, rx, cfg.sweep_every)?);
             links.push(ShardLink {
                 tx,
                 queue_depth: link_depth,
@@ -260,7 +320,7 @@ impl Service {
             handle: ServiceHandle {
                 shards: Arc::new(links),
                 next_sid: Arc::new(AtomicU64::new(1)),
-                registry: Arc::new(reg.build()),
+                registry: Arc::new(registry),
             },
             workers,
         })
@@ -277,7 +337,7 @@ impl Service {
             let _ = link.tx.send(ShardCmd::Shutdown);
         }
         for w in self.workers.drain(..) {
-            let _ = w.join();
+            w.join();
         }
     }
 }
@@ -299,7 +359,7 @@ impl ServiceHandle {
         make: impl FnOnce(super::shard::ReplyTx) -> ShardCmd,
     ) -> Result<Reply, ServeError> {
         let link = self.shards.get(shard).ok_or(ServeError::ShardDown)?;
-        let (reply_tx, reply_rx) = sync_channel(1);
+        let (reply_tx, reply_rx) = chan(1);
         link.queue_depth.add(1);
         if link.tx.send(make(reply_tx)).is_err() {
             link.queue_depth.sub(1);
@@ -353,7 +413,7 @@ impl ServiceHandle {
         workload: &WorkloadSpec,
         count: u64,
     ) -> Result<BatchStepSummary, ServeError> {
-        let (reply_tx, reply_rx) = sync_channel(sids.len().max(1));
+        let (reply_tx, reply_rx) = chan(sids.len().max(1));
         let mut sent = 0usize;
         for &sid in sids {
             let link = self
@@ -492,27 +552,81 @@ impl ServiceHandle {
                 _ => return Err(ServeError::ShardDown),
             }
         }
-        let mut info = ServiceInfo {
-            shards: per_shard.len(),
-            sessions: 0,
-            opened: 0,
-            closed: 0,
-            evicted: 0,
-            steps: 0,
-            queue_depth_max: 0,
-            latency: Histogram::new(),
-            per_shard: Vec::new(),
-        };
-        for m in &per_shard {
-            info.sessions += m.sessions;
-            info.opened += m.opened;
-            info.closed += m.closed;
-            info.evicted += m.evicted;
-            info.steps += m.steps;
-            info.queue_depth_max = info.queue_depth_max.max(m.queue_depth);
-            info.latency.merge(&m.latency);
-        }
-        info.per_shard = per_shard;
-        Ok(info)
+        Ok(ServiceInfo::from_shards(per_shard))
+    }
+}
+
+/// The service surface the wire protocol executes against
+/// ([`crate::protocol::execute`]): everything a `OPEN`/`STEP`/…/`EVENTS`
+/// frame can reach, behind one trait so the TCP front end (backed by a
+/// threaded [`ServiceHandle`]) and `cr-sim`'s single-threaded simulated
+/// service run the *identical* parser, executor, and reply rendering.
+///
+/// Methods take `&mut self`: a simulated service mutates its cores
+/// in place, while the thread-backed handle simply ignores the
+/// exclusivity (its state is behind `Arc`s).
+pub trait ServiceApi {
+    /// Open a session (`OPEN`).
+    fn open(&mut self, spec: SessionSpec) -> Result<OpenInfo, ServeError>;
+    /// Step a session (`STEP`/`STEPN`).
+    fn step(
+        &mut self,
+        sid: u64,
+        workload: WorkloadSpec,
+        count: u64,
+    ) -> Result<StepSummary, ServeError>;
+    /// Aggregate session counters (`STATS`).
+    fn stats(&mut self, sid: u64) -> Result<SessionStats, ServeError>;
+    /// The running trace hash (`TRACE`).
+    fn trace(&mut self, sid: u64) -> Result<TraceInfo, ServeError>;
+    /// One session's PRAM verdict (`VERIFY <sid>`).
+    fn verify(&mut self, sid: u64) -> Result<VerifyInfo, ServeError>;
+    /// The service-wide self-check (bare `VERIFY`).
+    fn verify_all(&mut self) -> Result<VerifySummary, ServeError>;
+    /// Close a session (`CLOSE`).
+    fn close(&mut self, sid: u64) -> Result<TraceInfo, ServeError>;
+    /// Merged service counters (`INFO`).
+    fn info(&mut self) -> Result<ServiceInfo, ServeError>;
+    /// Prometheus exposition text (`METRICS`).
+    fn metrics_text(&mut self) -> String;
+    /// Structured trace events (`EVENTS [sid]`).
+    fn events(&mut self, sid: Option<u64>) -> Result<Vec<Event>, ServeError>;
+}
+
+impl ServiceApi for ServiceHandle {
+    fn open(&mut self, spec: SessionSpec) -> Result<OpenInfo, ServeError> {
+        ServiceHandle::open(self, spec)
+    }
+    fn step(
+        &mut self,
+        sid: u64,
+        workload: WorkloadSpec,
+        count: u64,
+    ) -> Result<StepSummary, ServeError> {
+        ServiceHandle::step(self, sid, workload, count)
+    }
+    fn stats(&mut self, sid: u64) -> Result<SessionStats, ServeError> {
+        ServiceHandle::stats(self, sid)
+    }
+    fn trace(&mut self, sid: u64) -> Result<TraceInfo, ServeError> {
+        ServiceHandle::trace(self, sid)
+    }
+    fn verify(&mut self, sid: u64) -> Result<VerifyInfo, ServeError> {
+        ServiceHandle::verify(self, sid)
+    }
+    fn verify_all(&mut self) -> Result<VerifySummary, ServeError> {
+        ServiceHandle::verify_all(self)
+    }
+    fn close(&mut self, sid: u64) -> Result<TraceInfo, ServeError> {
+        ServiceHandle::close(self, sid)
+    }
+    fn info(&mut self) -> Result<ServiceInfo, ServeError> {
+        ServiceHandle::info(self)
+    }
+    fn metrics_text(&mut self) -> String {
+        ServiceHandle::metrics_text(self)
+    }
+    fn events(&mut self, sid: Option<u64>) -> Result<Vec<Event>, ServeError> {
+        ServiceHandle::events(self, sid)
     }
 }

@@ -1,17 +1,25 @@
-//! One shard: a worker thread owning a disjoint set of sessions, fed by a
-//! bounded command queue.
+//! One shard: a [`ShardCore`] state machine owning a disjoint set of
+//! sessions, fed by a bounded command queue.
 //!
 //! The service's concurrency model is the classic sharded event loop (one
-//! thread, one queue, no locks around session state — the same shape as a
+//! driver, one queue, no locks around session state — the same shape as a
 //! sharded Redis actor): a session lives on exactly one shard, so its
 //! scheme is driven single-threaded and stays deterministic, while shards
-//! run in parallel. Backpressure is structural: the queue is a
-//! `sync_channel` with fixed capacity, so producers block (TCP
+//! run in parallel. Backpressure is structural: the queue is a bounded
+//! [`crate::runtime::chan`] with fixed capacity, so producers block (TCP
 //! connections, load generators) instead of the queue growing without
 //! bound; the queue-depth gauge is exported per shard.
 //!
+//! The state machine and its driver are deliberately split (DESIGN.md
+//! §13): [`ShardCore::handle`] / [`ShardCore::sweep`] hold *all* shard
+//! behavior, while [`spawn_shard`] is a thin loop that a
+//! [`crate::runtime::Runtime`] runs on a real thread in production.
+//! `cr-sim` drives the identical cores from a single-threaded executor
+//! on virtual time — same commands, same replies, same events,
+//! deterministic interleaving.
+//!
 //! Observability (DESIGN.md §10) rides the same single-threaded loop:
-//! each worker owns one [`ShardObs`] bundle of preregistered `cr-obs`
+//! each core owns one [`ShardObs`] bundle of preregistered `cr-obs`
 //! handles (recorded lock-free, merged by the registry on read) and one
 //! fixed-capacity [`EventRing`] of structured trace events stamped with
 //! the shard's [`SimClock`] ticks. Because a session lives on exactly one
@@ -23,11 +31,10 @@ use cr_obs::{Counter, Event, EventKind, EventRing, Gauge, SharedHistogram};
 use cr_verify::{Coverage, VerifyReport};
 use metrics::Histogram;
 use std::collections::BTreeMap;
-use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
-use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::error::ServeError;
+use crate::runtime::{ChanRx, ChanTx, RecvWait, Runtime, TaskHandle};
 use crate::session::{Session, SessionSpec, SessionStats, StepSummary, WorkloadSpec};
 
 /// Per-shard command-queue capacity (bounded: this is the backpressure).
@@ -36,9 +43,6 @@ pub const QUEUE_CAPACITY: usize = 1024;
 /// Per-shard event-ring capacity: the most recent events kept for
 /// `EVENTS`; older ones are overwritten and counted as dropped.
 pub const EVENTS_CAPACITY: usize = 4096;
-
-/// How often an idle shard sweeps for TTL-expired sessions.
-pub const SWEEP_EVERY: Duration = Duration::from_millis(20);
 
 /// How many already-queued commands one successful dequeue may service
 /// before the worker returns to its timed wait. Draining a burst
@@ -158,7 +162,7 @@ pub(crate) struct ShardObs {
 
 /// A reply to one shard command.
 #[derive(Debug, Clone)]
-pub(crate) enum Reply {
+pub enum Reply {
     Open(OpenInfo),
     Step(StepSummary),
     Stats(SessionStats),
@@ -171,11 +175,13 @@ pub(crate) enum Reply {
     VerifySummary(VerifySummary),
 }
 
-pub(crate) type ReplyTx = SyncSender<Result<Reply, ServeError>>;
+/// Where a command's reply goes: one send per command, over a bounded
+/// [`crate::runtime::chan`] sized so the first send never blocks.
+pub type ReplyTx = ChanTx<Result<Reply, ServeError>>;
 
-/// The shard worker's command vocabulary.
+/// The shard core's command vocabulary.
 #[derive(Debug)]
-pub(crate) enum ShardCmd {
+pub enum ShardCmd {
     Open {
         sid: u64,
         spec: SessionSpec,
@@ -216,24 +222,112 @@ pub(crate) enum ShardCmd {
     Shutdown,
 }
 
-/// The worker-side state of one shard.
-struct ShardWorker {
+/// The complete state machine of one shard: sessions, observability
+/// handles, event ring, and clock — but no thread, queue, or timer.
+///
+/// Production wraps a core in [`spawn_shard`]'s receive loop; `cr-sim`
+/// owns a vector of cores directly and calls [`ShardCore::handle`] /
+/// [`ShardCore::sweep`] from its deterministic executor. Both drivers
+/// see identical behavior because all of it lives here.
+pub struct ShardCore {
     shard: usize,
     /// Ordered map: the TTL sweep and any future iteration visit
     /// sessions in sid order — deterministic, unlike a RandomState map.
     sessions: BTreeMap<u64, Session>,
     obs: ShardObs,
-    /// Structured trace events, most recent `EVENTS_CAPACITY` kept.
+    /// Structured trace events, most recent `events_capacity` kept.
     ring: EventRing,
     /// The queue capacity the service configured — the threshold for
     /// queue-full detection at dequeue time.
     queue_capacity: usize,
     /// The service's time seam: real in production, virtual in
-    /// deterministic tests (`ServiceConfig::clock`).
+    /// deterministic tests and `cr-sim` (`ServiceConfig::clock`).
     clock: SimClock,
+    /// Crashed (chaos injection / operator action): the driver refuses
+    /// commands until [`ShardCore::restart`]. Never set in production.
+    down: bool,
 }
 
-impl ShardWorker {
+impl ShardCore {
+    /// A fresh core. `obs` handles come from the service's registry
+    /// build ([`crate::service::build_cores`]), which is why external
+    /// callers construct cores through that function.
+    pub(crate) fn new(
+        shard: usize,
+        obs: ShardObs,
+        queue_capacity: usize,
+        events_capacity: usize,
+        clock: SimClock,
+    ) -> ShardCore {
+        ShardCore {
+            shard,
+            sessions: BTreeMap::new(),
+            obs,
+            ring: EventRing::with_capacity(events_capacity),
+            queue_capacity,
+            clock,
+            down: false,
+        }
+    }
+
+    /// This core's shard index.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// The clock this core stamps events and judges TTLs with.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Live sessions owned by this core.
+    pub fn sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// A clone of this shard's queue-depth gauge: senders increment it
+    /// at enqueue, the driver decrements via [`ShardCore::note_dequeue`].
+    pub fn queue_depth_gauge(&self) -> Gauge {
+        self.obs.queue_depth.clone()
+    }
+
+    /// Account one dequeue: decrement the depth gauge and, when the
+    /// observed depth was at or above the configured capacity, count a
+    /// queue-full incident and record its event. Every driver calls
+    /// this once per command, before [`ShardCore::handle`].
+    pub fn note_dequeue(&mut self) {
+        let prev = self.obs.queue_depth.sub(1);
+        if prev >= self.queue_capacity as u64 {
+            self.obs.queue_full.inc();
+            self.event(EventKind::QueueFull, 0, prev, 0, 0, 0);
+        }
+    }
+
+    /// Whether the core is crashed (refusing commands).
+    pub fn is_down(&self) -> bool {
+        self.down
+    }
+
+    /// Crash the shard: every live session is lost (gauge adjusted, one
+    /// `crash` event recorded) and the core refuses work until
+    /// [`ShardCore::restart`]. Returns how many sessions were lost.
+    /// This is `cr-sim`'s chaos entry point; production never calls it.
+    pub fn crash(&mut self) -> usize {
+        let lost = self.sessions.len();
+        self.sessions.clear();
+        self.obs.sessions.sub(lost as u64);
+        self.down = true;
+        self.event(EventKind::Crash, 0, lost as u64, 0, 0, 0);
+        lost
+    }
+
+    /// Recover a crashed shard: it comes back empty (sessions died with
+    /// the crash) and accepts commands again.
+    pub fn restart(&mut self) {
+        self.down = false;
+        self.event(EventKind::Restart, 0, 0, 0, 0, 0);
+    }
+
     /// Record one trace event, stamped with the shard's current tick.
     fn event(&mut self, kind: EventKind, sid: u64, a: u64, b: u64, c: u64, d: u64) {
         let ev = Event {
@@ -266,7 +360,10 @@ impl ShardWorker {
         );
     }
 
-    fn handle(&mut self, cmd: ShardCmd) -> bool {
+    /// Execute one command, sending its reply (if any). Returns `false`
+    /// when the command was [`ShardCmd::Shutdown`] — the driver's signal
+    /// to stop its loop.
+    pub fn handle(&mut self, cmd: ShardCmd) -> bool {
         match cmd {
             ShardCmd::Open { sid, spec, reply } => {
                 let (n, m) = (spec.n, spec.m);
@@ -459,7 +556,10 @@ impl ShardWorker {
         true
     }
 
-    fn sweep(&mut self, now: Tick) {
+    /// Evict every idle-TTL-expired session. Drivers call this on their
+    /// sweep cadence ([`crate::service::ServiceConfig::sweep_every`]);
+    /// expiry itself is judged purely on the core's [`SimClock`].
+    pub fn sweep(&mut self, now: Tick) {
         // Collect-then-remove (rather than `retain`): eviction updates
         // the gauge and emits one trace event per victim, which needs
         // the session's final step count.
@@ -479,36 +579,26 @@ impl ShardWorker {
     }
 }
 
-/// Spawn one shard worker; returns its join handle, or the spawn error
-/// as a [`ServeError`] (a service must degrade, not panic, when the
-/// process hits a thread limit). The worker records into `obs` (the
-/// service holds the matching registry); `obs.queue_depth` is
-/// decremented as commands are dequeued (the sender increments it), and
-/// a dequeue that observes the depth at or above `queue_capacity` counts
-/// a queue-full incident. TTL decisions, latency samples, and event
-/// ticks read `clock`.
+/// Run one shard core on `runtime`; returns its task handle, or the
+/// spawn error as a [`ServeError`] (a service must degrade, not panic,
+/// when the host hits a thread limit). The loop is deliberately thin:
+/// all behavior lives in [`ShardCore`], and the only scheduling here is
+/// the timed wait that doubles as the sweep timer — its cadence is the
+/// service-configured `sweep_every`, routed through the runtime seam so
+/// no real-time constant hides in the shard.
 pub(crate) fn spawn_shard(
-    shard: usize,
-    rx: Receiver<ShardCmd>,
-    obs: ShardObs,
-    queue_capacity: usize,
-    events_capacity: usize,
-    clock: SimClock,
-) -> Result<JoinHandle<()>, ServeError> {
-    std::thread::Builder::new()
-        .name(format!("cr-serve-shard-{shard}"))
-        .spawn(move || {
-            let mut last_sweep = clock.now();
-            let mut w = ShardWorker {
-                shard,
-                sessions: BTreeMap::new(),
-                obs,
-                ring: EventRing::with_capacity(events_capacity),
-                queue_capacity,
-                clock,
-            };
+    runtime: &dyn Runtime,
+    mut core: ShardCore,
+    rx: ChanRx<ShardCmd>,
+    sweep_every: Duration,
+) -> Result<TaskHandle, ServeError> {
+    let name = format!("cr-serve-shard-{}", core.shard());
+    runtime.spawn(
+        &name,
+        Box::new(move || {
+            let mut last_sweep = core.clock().now();
             'serve: loop {
-                match rx.recv_timeout(SWEEP_EVERY) {
+                match rx.recv_for(sweep_every) {
                     // lint: hot
                     // One pop services a burst: after the blocking
                     // receive lands a command, drain whatever else is
@@ -520,33 +610,29 @@ pub(crate) fn spawn_shard(
                         let mut cmd = Some(first);
                         let mut burst = 0;
                         while let Some(c) = cmd.take() {
-                            let prev = w.obs.queue_depth.sub(1);
-                            if prev >= w.queue_capacity as u64 {
-                                w.obs.queue_full.inc();
-                                w.event(EventKind::QueueFull, 0, prev, 0, 0, 0);
-                            }
-                            if !w.handle(c) {
+                            core.note_dequeue();
+                            if !core.handle(c) {
                                 break 'serve;
                             }
                             burst += 1;
                             if burst < DRAIN_BURST {
-                                cmd = rx.try_recv().ok();
+                                cmd = rx.try_recv();
                             }
                         }
                     }
-                    Err(RecvTimeoutError::Timeout) => {}
-                    Err(RecvTimeoutError::Disconnected) => break 'serve,
+                    Err(RecvWait::Timeout) => {}
+                    Err(RecvWait::Closed) => break 'serve,
                 }
-                // The *cadence* of sweep checks is the queue's real 20ms
-                // idle timeout; whether a session is expired is judged
-                // purely on the SimClock, so virtual-time tests evict
+                // The *cadence* of sweep checks is the queue's timed
+                // wait; whether a session is expired is judged purely on
+                // the SimClock, so virtual-time tests evict
                 // deterministically.
-                let now = w.clock.now();
-                if now.since(last_sweep) >= SWEEP_EVERY {
-                    w.sweep(now);
+                let now = core.clock().now();
+                if now.since(last_sweep) >= sweep_every {
+                    core.sweep(now);
                     last_sweep = now;
                 }
             }
-        })
-        .map_err(|e| ServeError::Spawn(format!("shard {shard} worker: {e}")))
+        }),
+    )
 }

@@ -24,10 +24,10 @@ use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::protocol::{execute, parse};
+use crate::runtime::{Runtime, TaskHandle, ThreadRuntime};
 use crate::service::ServiceHandle;
 
 /// Longest accepted frame line (bytes, including the newline).
@@ -40,21 +40,30 @@ const POLL: Duration = Duration::from_millis(50);
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    accept_thread: Option<TaskHandle>,
 }
 
 impl Server {
     /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral test port) and
-    /// start accepting connections against `handle`'s service.
+    /// start accepting connections against `handle`'s service. The
+    /// accept loop and every connection run on the production
+    /// [`ThreadRuntime`] — the TCP front end is inherently an OS-thread
+    /// affair; `cr-sim` simulates framed clients above the protocol
+    /// layer instead of through sockets.
     pub fn bind<A: ToSocketAddrs>(addr: A, handle: ServiceHandle) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
-        let accept_thread = std::thread::Builder::new()
-            .name("cr-serve-accept".into())
-            .spawn(move || accept_loop(listener, handle, stop2))?;
+        let runtime = Arc::new(ThreadRuntime::real());
+        let rt2 = Arc::clone(&runtime);
+        let accept_thread = runtime
+            .spawn(
+                "cr-serve-accept",
+                Box::new(move || accept_loop(listener, handle, stop2, rt2)),
+            )
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
         Ok(Server {
             addr,
             stop,
@@ -72,7 +81,7 @@ impl Server {
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::Relaxed);
         if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
+            t.join();
         }
     }
 }
@@ -81,12 +90,17 @@ impl Drop for Server {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
         if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
+            t.join();
         }
     }
 }
 
-fn accept_loop(listener: TcpListener, handle: ServiceHandle, stop: Arc<AtomicBool>) {
+fn accept_loop(
+    listener: TcpListener,
+    handle: ServiceHandle,
+    stop: Arc<AtomicBool>,
+    runtime: Arc<ThreadRuntime>,
+) {
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _)) => {
@@ -95,21 +109,22 @@ fn accept_loop(listener: TcpListener, handle: ServiceHandle, stop: Arc<AtomicBoo
                 let _ = stream.set_nodelay(true);
                 let handle = handle.clone();
                 let stop = Arc::clone(&stop);
-                // Connection threads are detached; they exit when the
+                // Connection tasks are detached; they exit when the
                 // client disconnects or the stop flag flips.
-                let _ = std::thread::Builder::new()
-                    .name("cr-serve-conn".into())
-                    .spawn(move || connection_loop(stream, handle, stop));
+                let _ = runtime.spawn(
+                    "cr-serve-conn",
+                    Box::new(move || connection_loop(stream, handle, stop)),
+                );
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(POLL);
+                runtime.sleep(POLL);
             }
             Err(_) => break,
         }
     }
 }
 
-fn connection_loop(stream: TcpStream, handle: ServiceHandle, stop: Arc<AtomicBool>) {
+fn connection_loop(stream: TcpStream, mut handle: ServiceHandle, stop: Arc<AtomicBool>) {
     if stream.set_read_timeout(Some(POLL)).is_err() {
         return;
     }
@@ -154,7 +169,7 @@ fn connection_loop(stream: TcpStream, handle: ServiceHandle, stop: Arc<AtomicBoo
             None
         } else {
             match parse(line) {
-                Ok(frame) => match execute(&handle, frame) {
+                Ok(frame) => match execute(&mut handle, frame) {
                     Some(reply) => Some(reply),
                     None => {
                         let _ = writer.write_all(b"OK bye\n");
